@@ -1,0 +1,136 @@
+"""Ablation: the alignment solver (DESIGN.md §5).
+
+1. Solver quality/speed: the production weighted-median/coordinate-descent
+   solver against the exact MILP (HiGHS and the paper's big-M formulation)
+   on batch-sized instances.
+2. Flow-level effect: aligned vs unaligned testing, and mean-affinity
+   batching on/off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import (
+    BatchAlignment,
+    center_sorted_weights,
+    solve_alignment,
+    solve_alignment_milp,
+)
+from repro.core.framework import EffiTest, EffiTestConfig
+from repro.experiments.context import DEFAULT_CONFIG, build_context
+
+
+def random_batch(rng, m=6, n_buffers=3):
+    src = rng.integers(-1, n_buffers, size=m)
+    snk = rng.integers(-1, n_buffers, size=m)
+    for p in range(m):  # every path needs at least one buffer
+        if src[p] < 0 and snk[p] < 0:
+            snk[p] = rng.integers(0, n_buffers)
+        if src[p] == snk[p]:
+            src[p] = -1
+    grids = tuple(np.linspace(-2.0, 2.0, 21) for _ in range(n_buffers))
+    spec = BatchAlignment(
+        src_buffer=src.astype(np.intp),
+        snk_buffer=snk.astype(np.intp),
+        base_shift=np.zeros(m),
+        grids=grids,
+        lower_bounds=np.full(n_buffers, -2.0),
+        upper_bounds=np.full(n_buffers, 2.0),
+        buffer_names=tuple(f"B{i}" for i in range(n_buffers)),
+    )
+    centers = rng.uniform(95.0, 110.0, size=m)
+    weights = center_sorted_weights(centers)
+    return spec, centers, weights
+
+
+def _objective(spec, centers, weights, period, x):
+    shifted = centers + spec.shift(x)
+    return float(np.sum(weights * np.abs(period - shifted)))
+
+
+def test_alignment_heuristic_speed(benchmark):
+    rng = np.random.default_rng(0)
+    cases = [random_batch(rng) for _ in range(20)]
+
+    def run_all():
+        out = 0.0
+        for spec, centers, weights in cases:
+            period, x = solve_alignment(
+                spec, centers[None, :], weights[None, :],
+                np.zeros((1, spec.n_buffers)),
+            )
+            out += _objective(spec, centers, weights, period[0], x[0])
+        return out
+
+    total = benchmark(run_all)
+    benchmark.extra_info["mean_objective"] = round(total / len(cases), 3)
+
+
+@pytest.mark.parametrize("formulation", ["compact", "paper"])
+def test_alignment_milp_speed_and_gap(benchmark, formulation):
+    rng = np.random.default_rng(0)
+    cases = [random_batch(rng) for _ in range(20)]
+
+    heuristic = []
+    for spec, centers, weights in cases:
+        period, x = solve_alignment(
+            spec, centers[None, :], weights[None, :],
+            np.zeros((1, spec.n_buffers)),
+        )
+        heuristic.append(_objective(spec, centers, weights, period[0], x[0]))
+
+    def run_all():
+        return [
+            solve_alignment_milp(spec, centers, weights, formulation)[2].objective
+            for spec, centers, weights in cases
+        ]
+
+    exact = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    gaps = [h - e for h, e in zip(heuristic, exact)]
+    benchmark.extra_info.update({
+        "formulation": formulation,
+        "mean_exact_objective": round(float(np.mean(exact)), 3),
+        "mean_heuristic_gap": round(float(np.mean(gaps)), 4),
+    })
+    # The heuristic is near-optimal on batch-sized problems.
+    assert np.mean(gaps) < 0.20 * (np.mean(exact) + 1.0)
+
+
+@pytest.mark.parametrize("align", [True, False], ids=["aligned", "unaligned"])
+def test_flow_alignment_ablation(benchmark, align):
+    context = build_context("s13207", n_chips=60, seed=20160605)
+    cfg = EffiTestConfig(
+        relative_threshold=DEFAULT_CONFIG.relative_threshold, align=align
+    )
+    framework = EffiTest(context.circuit, cfg)
+    prep = framework.prepare(context.t1)
+
+    run = benchmark.pedantic(
+        lambda: framework.run(context.population, context.t1, prep),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update({
+        "align": align,
+        "ta": round(run.mean_iterations, 2),
+        "tv": round(run.iterations_per_tested_path, 3),
+    })
+
+
+@pytest.mark.parametrize("affinity", [False, True], ids=["first-fit", "affinity"])
+def test_flow_batching_ablation(benchmark, affinity):
+    context = build_context("s13207", n_chips=60, seed=20160605)
+    cfg = EffiTestConfig(
+        relative_threshold=DEFAULT_CONFIG.relative_threshold,
+        batch_affinity=affinity,
+    )
+    framework = EffiTest(context.circuit, cfg)
+    prep = framework.prepare(context.t1)
+    run = benchmark.pedantic(
+        lambda: framework.run(context.population, context.t1, prep),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update({
+        "affinity": affinity,
+        "n_batches": prep.plan.n_batches,
+        "ta": round(run.mean_iterations, 2),
+    })

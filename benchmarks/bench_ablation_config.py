@@ -1,0 +1,130 @@
+"""Ablation: buffer configuration strategy (DESIGN.md §5).
+
+1. Solver: batched binary-search + Bellman-Ford vs the per-chip MILP.
+2. Policy: minimax-xi configuration vs the conservative ``D' = u``
+   configuration (equivalent to forcing xi = 0 and rejecting chips whose
+   upper bounds do not fit) — the paper's motivation for eqs. 15-18.
+3. Conditioning: conservative upper-bound conditioning vs range midpoints
+   for the statistical prediction input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import configure_chip_milp, configure_chips
+from repro.core.yields import configured_pass
+from repro.experiments.context import build_context
+
+
+@pytest.fixture(scope="module")
+def setup():
+    context = build_context("s9234", n_chips=120, seed=20160605)
+    run = context.framework.run(
+        context.population, context.t1, context.preparation
+    )
+    return context, run
+
+
+def test_config_binary_search_speed(benchmark, setup):
+    context, run = setup
+    structure = context.preparation.structure
+
+    result = benchmark(
+        lambda: configure_chips(
+            structure, run.bounds_lower, run.bounds_upper, context.t1
+        )
+    )
+    benchmark.extra_info["feasible_fraction"] = round(
+        float(result.feasible.mean()), 3
+    )
+
+
+def test_config_milp_reference_speed(benchmark, setup):
+    """Per-chip MILP on a subset — the Gurobi-style reference path."""
+    context, run = setup
+    structure = context.preparation.structure
+    subset = range(8)
+
+    def solve_subset():
+        return [
+            configure_chip_milp(
+                structure, run.bounds_lower[c], run.bounds_upper[c], context.t1
+            )
+            for c in subset
+        ]
+
+    results = benchmark.pedantic(solve_subset, rounds=1, iterations=1)
+    fast = configure_chips(
+        structure,
+        run.bounds_lower[list(subset)],
+        run.bounds_upper[list(subset)],
+        context.t1,
+    )
+    agree = sum(
+        int(ok == bool(f)) for (ok, _, _), f in zip(results, fast.feasible)
+    )
+    benchmark.extra_info["feasibility_agreement"] = f"{agree}/{len(list(subset))}"
+    assert agree == len(list(subset))
+
+
+def test_config_policy_ablation(benchmark, setup):
+    """Minimax-xi vs conservative upper-bound configuration yield."""
+    context, run = setup
+    structure = context.preparation.structure
+
+    def both_policies():
+        minimax = configure_chips(
+            structure, run.bounds_lower, run.bounds_upper, context.t1
+        )
+        conservative = configure_chips(
+            structure, run.bounds_upper, run.bounds_upper, context.t1
+        )
+        return minimax, conservative
+
+    minimax, conservative = benchmark.pedantic(
+        both_policies, rounds=1, iterations=1
+    )
+    y_minimax = configured_pass(
+        context.circuit, context.population, minimax, context.t1
+    ).mean()
+    y_conservative = configured_pass(
+        context.circuit, context.population, conservative, context.t1
+    ).mean()
+    benchmark.extra_info.update({
+        "yield_minimax": round(float(y_minimax), 3),
+        "yield_conservative": round(float(y_conservative), 3),
+    })
+    # The paper's argument: conservative configuration rejects working
+    # chips; minimax-xi recovers (some of) them.
+    assert y_minimax >= y_conservative - 1e-9
+
+
+def test_prediction_conditioning_ablation(benchmark, setup):
+    """Upper-bound vs midpoint conditioning of eq. 4 (DESIGN.md §5)."""
+    context, run = setup
+    prep = context.preparation
+    predictor = prep.predictor
+    structure = prep.structure
+    test = run.test
+
+    def configure_with(conditioning):
+        lower = run.bounds_lower.copy()
+        upper = run.bounds_upper.copy()
+        mid_lo, mid_hi = predictor.predict_intervals(conditioning)
+        lower[:, predictor.predicted_idx] = mid_lo
+        upper[:, predictor.predicted_idx] = mid_hi
+        cfg = configure_chips(structure, lower, upper, context.t1)
+        return configured_pass(
+            context.circuit, context.population, cfg, context.t1
+        ).mean()
+
+    def run_both():
+        y_upper = configure_with(test.upper)
+        y_mid = configure_with(0.5 * (test.lower + test.upper))
+        return y_upper, y_mid
+
+    y_upper, y_mid = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "yield_upper_conditioning": round(float(y_upper), 3),
+        "yield_midpoint_conditioning": round(float(y_mid), 3),
+    })

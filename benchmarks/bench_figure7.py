@@ -1,0 +1,31 @@
+"""Figure 7 regeneration benchmark: yields under inflated randomness.
+
+Runs the whole inflated-sigma pipeline per circuit (re-preparation against
+the inflated statistics included, as in the paper) and records the three
+bars.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CHIPS, BENCH_CIRCUITS
+from repro.experiments.figure7 import run_circuit
+
+
+@pytest.mark.parametrize("name", BENCH_CIRCUITS)
+def test_figure7_inflated_randomness(benchmark, name):
+    row = benchmark.pedantic(
+        lambda: run_circuit(name, n_chips=BENCH_CHIPS, seed=20160605),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({
+        "circuit": name,
+        "no_buffer": round(row.no_buffer, 3),
+        "effitest": round(row.effitest, 3),
+        "ideal": round(row.ideal, 3),
+    })
+    # Fig. 7 ordering: no buffers < EffiTest <= ideal configuration.
+    assert row.no_buffer <= row.effitest + 0.05
+    assert row.effitest <= row.ideal + 0.05
+    # Inflated randomness pushes the no-buffer yield below the 50 % point.
+    assert row.no_buffer < 0.5

@@ -1,0 +1,31 @@
+"""Figure 8 regeneration benchmark: iterations per path without
+statistical prediction (path-wise vs multiplexing vs proposed).
+"""
+
+import pytest
+
+from repro.experiments.figure8 import run_circuit
+
+#: Figure 8 tests every required path, so keep circuits small and chips few.
+FIG8_CIRCUITS = ("s9234", "s13207")
+FIG8_CHIPS = 25
+
+
+@pytest.mark.parametrize("name", FIG8_CIRCUITS)
+def test_figure8_modes(benchmark, name):
+    row = benchmark.pedantic(
+        lambda: run_circuit(name, n_chips=FIG8_CHIPS, seed=20160605),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({
+        "circuit": name,
+        "pathwise": round(row.pathwise, 2),
+        "multiplexed": round(row.multiplexed, 2),
+        "proposed": round(row.proposed, 2),
+    })
+    # The paper's ordering must be strict even without prediction.
+    assert row.proposed <= row.multiplexed
+    assert row.multiplexed <= row.pathwise
+    # And alignment must contribute on top of multiplexing.
+    assert row.proposed < 0.98 * row.pathwise

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrates the experiments lean on.
+
+These quantify the engineering choices of DESIGN.md: batched Bellman-Ford
+vs per-chip LP, row-vectorized weighted medians, Monte-Carlo sampling
+throughput, and the pure-Python simplex vs HiGHS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitSpec, generate_circuit
+from repro.core.yields import sample_circuit
+from repro.opt.diffconstraints import bellman_ford
+from repro.opt.model import Model, ObjectiveSense
+from repro.opt.scipy_backend import solve_lp_scipy
+from repro.opt.simplex import solve_lp
+from repro.opt.weighted_median import weighted_median_rows
+
+
+def test_batched_bellman_ford(benchmark):
+    """Feasibility of 2000 chips at once on a 20-buffer graph."""
+    rng = np.random.default_rng(0)
+    n_nodes, n_edges, n_batch = 21, 120, 2000
+    edge_u = rng.integers(0, n_nodes, size=n_edges)
+    edge_v = rng.integers(0, n_nodes, size=n_edges)
+    weights = rng.uniform(-0.05, 1.0, size=(n_edges, n_batch))
+
+    result = benchmark(
+        lambda: bellman_ford(n_nodes, edge_u, edge_v, weights, n_batch)
+    )
+    benchmark.extra_info["feasible_fraction"] = round(
+        float(np.asarray(result.feasible).mean()), 3
+    )
+
+
+def test_weighted_median_rows_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    values = rng.normal(size=(5000, 12))
+    weights = rng.uniform(0.5, 2.0, size=(5000, 12))
+    benchmark(lambda: weighted_median_rows(values, weights))
+
+
+def test_circuit_generation(benchmark):
+    spec = CircuitSpec("bench_gen", 211, 5597, 2, 80)
+    circuit = benchmark.pedantic(
+        lambda: generate_circuit(spec, seed=1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n_paths"] = circuit.paths.n_paths
+
+
+def test_population_sampling(benchmark):
+    circuit = generate_circuit(CircuitSpec("bench_s", 211, 5597, 2, 80), seed=1)
+    pop = benchmark(lambda: sample_circuit(circuit, 2000, seed=2))
+    benchmark.extra_info["n_chips"] = pop.n_chips
+
+
+@pytest.mark.parametrize("solver", ["pure_simplex", "scipy_highs"])
+def test_lp_solvers(benchmark, solver):
+    rng = np.random.default_rng(3)
+    model = Model("bench_lp")
+    exprs = [model.add_var(f"v{i}", -5.0, 5.0) for i in range(12)]
+    for _ in range(18):
+        coeffs = rng.integers(-3, 4, size=12)
+        expr = sum((int(c) * e for c, e in zip(coeffs, exprs)), 0 * exprs[0])
+        model.add_constraint(expr <= float(rng.integers(1, 20)))
+    cost = rng.integers(-3, 4, size=12)
+    model.set_objective(
+        sum((int(c) * e for c, e in zip(cost, exprs)), 0 * exprs[0]),
+        ObjectiveSense.MINIMIZE,
+    )
+    form = model.to_matrix_form()
+
+    fn = solve_lp if solver == "pure_simplex" else solve_lp_scipy
+    result = benchmark(lambda: fn(form))
+    benchmark.extra_info["objective"] = (
+        None if result.objective is None else round(result.objective, 4)
+    )

@@ -1,0 +1,58 @@
+"""Table 1 regeneration benchmark: test cost of EffiTest vs path-wise.
+
+One benchmark per circuit runs the full on-tester flow (aligned test over
+the population) and records the paper's Table 1 quantities in
+``extra_info``; a companion benchmark times the path-wise baseline.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CIRCUITS
+from repro.experiments.benchdata import PAPER_BY_NAME
+from repro.experiments.table1 import run_circuit
+
+
+@pytest.mark.parametrize("name", BENCH_CIRCUITS)
+def test_table1_effitest(benchmark, contexts, name):
+    context = contexts[name]
+
+    def flow():
+        return context.framework.run(
+            context.population, context.t1, context.preparation
+        )
+
+    result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    row = run_circuit(context)
+    paper = PAPER_BY_NAME[name]
+    benchmark.extra_info.update({
+        "circuit": name,
+        "npt": row.npt,
+        "ta": round(row.ta, 2),
+        "tv": round(row.tv, 3),
+        "ra_percent": round(row.ra_percent, 2),
+        "rv_percent": round(row.rv_percent, 2),
+        "paper_ta": paper.ta,
+        "paper_ra_percent": paper.ra_percent,
+    })
+    # Reproduction shape: massive reduction in iterations per chip.
+    assert row.ra_percent > 85.0
+    assert result.mean_iterations < row.ta_pathwise
+
+
+@pytest.mark.parametrize("name", BENCH_CIRCUITS)
+def test_table1_pathwise_baseline(benchmark, contexts, name):
+    context = contexts[name]
+
+    def baseline():
+        return context.framework.pathwise_baseline(context.population)
+
+    result = benchmark.pedantic(baseline, rounds=1, iterations=1)
+    paper = PAPER_BY_NAME[name]
+    benchmark.extra_info.update({
+        "circuit": name,
+        "ta_pathwise": result.total_iterations,
+        "tv_pathwise": round(result.mean_iterations_per_path, 2),
+        "paper_ta_pathwise": paper.ta_pathwise,
+    })
+    # Per-path binary search lands at the paper's 8-9.5 iterations.
+    assert 7.5 <= result.mean_iterations_per_path <= 11.0

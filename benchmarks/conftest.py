@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks are the *experiment regeneration* path: each ``bench_table*`` /
+``bench_figure*`` module reproduces one table or figure of the paper at
+reduced Monte-Carlo size (suitable for CI); the ``--chips``-controlled full
+runs live in ``python -m repro.experiments``.  Measured quantities are
+attached to each benchmark's ``extra_info`` so the JSON output doubles as a
+results artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import build_context
+
+#: Circuits exercised by the benchmark harness (small/medium/large).
+BENCH_CIRCUITS = ("s9234", "s13207", "usb_funct")
+
+#: Monte-Carlo chips per circuit in benchmark mode.
+BENCH_CHIPS = 100
+
+
+@pytest.fixture(scope="session")
+def contexts():
+    """One prepared context per benchmark circuit."""
+    return {
+        name: build_context(name, n_chips=BENCH_CHIPS, seed=20160605)
+        for name in BENCH_CIRCUITS
+    }

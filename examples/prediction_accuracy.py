@@ -1,0 +1,96 @@
+"""Statistical delay prediction under the microscope (§3.1 of the paper).
+
+Measures a PCA-selected ~10 % of paths on simulated chips, predicts the
+rest with the conditional Gaussian update (eqs. 4-5), and reports:
+
+* prediction error of the conditional mean vs the true delays,
+* how often the true delay falls inside the mu' +- 3 sigma' range used for
+  buffer configuration (should be ~99.7 % if the model is honest),
+* how accuracy degrades when the purely random variation grows (the
+  mechanism behind Fig. 7's larger yield drop).
+
+Run:  python examples/prediction_accuracy.py [circuit] [n_chips]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import EffiTest, sample_circuit
+from repro.experiments import build_context
+from repro.utils.tables import Table
+
+
+def evaluate(circuit, config, t1, n_chips, seed):
+    framework = EffiTest(circuit, config)
+    prep = framework.prepare(clock_period=t1)
+    pop = sample_circuit(circuit, n_chips, seed=seed)
+    run = framework.run(pop, t1, prep)
+
+    predictor = prep.predictor
+    predicted_idx = predictor.predicted_idx
+    true = pop.required[:, predicted_idx]
+    predicted_mean = predictor.predict_means(run.test.upper)
+    error = predicted_mean - true
+
+    lo = run.bounds_lower[:, predicted_idx]
+    hi = run.bounds_upper[:, predicted_idx]
+    coverage = ((true >= lo) & (true <= hi)).mean()
+
+    prior_sigma = np.sqrt(circuit.paths.model.variances()[predicted_idx])
+    return {
+        "n_tested": prep.n_tested,
+        "n_predicted": len(predicted_idx),
+        "rmse": float(np.sqrt((error**2).mean())),
+        "bias": float(error.mean()),
+        "rmse_over_prior_sigma": float(
+            np.sqrt((error**2).mean()) / prior_sigma.mean()
+        ),
+        "coverage_3sigma": float(coverage),
+        "mean_conditional_sigma": float(predictor.conditional_stds.mean()),
+        "mean_prior_sigma": float(prior_sigma.mean()),
+    }
+
+
+def main(name: str, n_chips: int) -> None:
+    context = build_context(name, n_chips=8)
+    print(f"== {name}: conditional prediction quality ({n_chips} chips) ==\n")
+
+    table = Table(["variant", "tested", "predicted", "RMSE (ps)",
+                   "RMSE/sigma", "sigma' / sigma", "3-sigma coverage %"])
+    for label, factor in (("paper variation", 1.0), ("sigma x1.1 (Fig. 7)", 1.1),
+                          ("sigma x1.3", 1.3)):
+        circuit = (
+            context.circuit
+            if factor == 1.0
+            else context.circuit.with_inflated_randomness(factor)
+        )
+        stats = evaluate(
+            circuit, context.framework.config, context.t1, n_chips, seed=11
+        )
+        table.add_row([
+            label,
+            stats["n_tested"],
+            stats["n_predicted"],
+            round(stats["rmse"], 2),
+            round(stats["rmse_over_prior_sigma"], 3),
+            round(stats["mean_conditional_sigma"] / stats["mean_prior_sigma"], 3),
+            round(100 * stats["coverage_3sigma"], 2),
+        ])
+    print(table.render())
+    print(
+        "\nReading: testing ~10% of paths shrinks the unmeasured paths'"
+        "\nuncertainty to a fraction of the prior sigma; inflating the purely"
+        "\nrandom variation (covariances unchanged) erodes exactly this"
+        "\nadvantage, which is why Fig. 7 shows a larger yield drop."
+    )
+    print(
+        "\nNote: the bias is positive by design — eq. 4 is fed the measured"
+        "\nUPPER bounds (conservative configuration, see §3.4)."
+    )
+
+
+if __name__ == "__main__":
+    circuit_name = sys.argv[1] if len(sys.argv) > 1 else "s13207"
+    chips = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+    main(circuit_name, chips)

@@ -1,0 +1,70 @@
+"""Yield study: what tuning buffers buy, and what test inaccuracy costs.
+
+Sweeps the designated clock period around T1 for one circuit and reports
+three yield curves (as in the paper's Table 2 / Fig. 7 discussion):
+
+* no buffers,
+* buffers with an ideal (exact-delay) configuration,
+* buffers configured by EffiTest from tested + predicted ranges,
+
+then repeats the T1 point with randomness inflated by 10 % (the Fig. 7
+stress case).
+
+Run:  python examples/yield_study.py [circuit] [n_chips]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import EffiTest, ideal_yield, no_buffer_yield, sample_circuit
+from repro.experiments import build_context
+from repro.utils.tables import Table
+
+
+def yield_curves(name: str, n_chips: int) -> None:
+    context = build_context(name, n_chips=n_chips)
+    circuit, prep = context.circuit, context.preparation
+    pop = context.population
+
+    print(f"== {name}: yield vs designated clock period ({n_chips} chips) ==")
+    table = Table(["period/T1", "no buffers %", "ideal config %",
+                   "EffiTest %", "drop y_r %"])
+    for factor in (0.97, 1.00, 1.03, 1.06, 1.10):
+        period = context.t1 * factor
+        run = context.framework.run(pop, period, prep)
+        yi = ideal_yield(circuit, pop, prep.structure, period)
+        table.add_row([
+            f"{factor:.2f}",
+            round(100 * no_buffer_yield(pop, period), 1),
+            round(100 * yi, 1),
+            round(100 * run.yield_fraction, 1),
+            round(100 * (yi - run.yield_fraction), 2),
+        ])
+    print(table.render())
+
+    print("\n== same circuit, randomness inflated by 10% (Fig. 7 case) ==")
+    inflated = circuit.with_inflated_randomness(1.1)
+    framework = EffiTest(inflated, context.framework.config)
+    prep_inflated = framework.prepare(clock_period=context.t1)
+    pop_inflated = sample_circuit(inflated, n_chips, seed=77)
+    run = framework.run(pop_inflated, context.t1, prep_inflated)
+    yi = ideal_yield(inflated, pop_inflated, prep_inflated.structure, context.t1)
+    rows = [
+        ("no buffers", no_buffer_yield(pop_inflated, context.t1)),
+        ("EffiTest", run.yield_fraction),
+        ("ideal config", yi),
+    ]
+    width = 40
+    for label, value in rows:
+        bar = "#" * int(round(value * width))
+        print(f"{label:>14}: {bar:<{width}} {100 * value:.1f}%")
+    ordering = rows[0][1] <= rows[1][1] + 0.02 <= rows[2][1] + 0.04
+    print(f"\nFig. 7 ordering (no-buffer < EffiTest <= ideal): "
+          f"{'holds' if ordering else 'violated'}")
+
+
+if __name__ == "__main__":
+    circuit_name = sys.argv[1] if len(sys.argv) > 1 else "s13207"
+    chips = int(sys.argv[2]) if len(sys.argv) > 2 else 500
+    yield_curves(circuit_name, chips)

@@ -1,0 +1,92 @@
+"""EffiTest — efficient delay test and statistical prediction for
+configuring post-silicon tunable buffers.
+
+Full reproduction of G. L. Zhang, B. Li, U. Schlichtmann, DAC 2016
+(DOI 10.1145/2897937.2898017).
+
+Quickstart::
+
+    from repro import (
+        CircuitSpec, generate_circuit, EffiTest,
+        sample_circuit, operating_periods,
+    )
+
+    circuit = generate_circuit(CircuitSpec("demo", 211, 5597, 2, 80), seed=1)
+    chips = sample_circuit(circuit, 1000, seed=2)
+    t1, t2 = operating_periods(chips)
+    framework = EffiTest(circuit)
+    prep = framework.prepare(clock_period=t1)
+    result = framework.run(chips, t1, prep)
+    print(result.mean_iterations, result.yield_fraction)
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: statistical prediction, grouping/selection,
+    test multiplexing, aligned delay test, buffer configuration, hold
+    bounds, yields, end-to-end framework.
+``repro.circuit``
+    Circuit substrate: cell library, netlists/.bench, placement, FF-to-FF
+    paths, tunable buffers, calibrated synthetic benchmark generator.
+``repro.variation``
+    Process variation and SSTA: parameters, spatial grid correlation,
+    canonical forms, joint Gaussian path models, PCA, Monte-Carlo sampling.
+``repro.tester``
+    ATE simulation: pass/fail oracle, path-wise frequency stepping, scan
+    cost model.
+``repro.opt``
+    Optimization substrate: LP/MILP modelling + solvers, difference
+    constraints (Bellman–Ford), maximum mean cycle, weighted medians.
+``repro.experiments``
+    Reproduction harness for Table 1, Table 2, Figure 7 and Figure 8.
+"""
+
+from repro.circuit import (
+    BufferPlan,
+    Circuit,
+    CircuitSpec,
+    Library,
+    Netlist,
+    PathSet,
+    TunableBuffer,
+    default_library,
+    generate_circuit,
+    plan_buffers,
+)
+from repro.core import (
+    EffiTest,
+    EffiTestConfig,
+    PopulationRunResult,
+    Preparation,
+    ideal_yield,
+    no_buffer_yield,
+    operating_periods,
+    sample_circuit,
+)
+from repro.variation import PathDelayModel, SpatialModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferPlan",
+    "Circuit",
+    "CircuitSpec",
+    "EffiTest",
+    "EffiTestConfig",
+    "Library",
+    "Netlist",
+    "PathDelayModel",
+    "PathSet",
+    "PopulationRunResult",
+    "Preparation",
+    "SpatialModel",
+    "TunableBuffer",
+    "default_library",
+    "generate_circuit",
+    "ideal_yield",
+    "no_buffer_yield",
+    "operating_periods",
+    "plan_buffers",
+    "sample_circuit",
+    "__version__",
+]

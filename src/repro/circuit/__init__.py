@@ -1,0 +1,68 @@
+"""Circuit substrate: library, netlists, placement, paths, buffers.
+
+Two flows produce the :class:`~repro.circuit.paths.PathSet` objects EffiTest
+consumes: the gate-level flow (``.bench`` netlist -> placement -> canonical
+path delays) and the calibrated synthetic generator that reproduces the
+published benchmark statistics of the paper's Table 1.
+"""
+
+from repro.circuit.bench_io import (
+    BenchFormatError,
+    parse_bench,
+    read_bench,
+    save_bench,
+    write_bench,
+)
+from repro.circuit.buffers import BufferPlan, TunableBuffer, uniform_buffer_plan
+from repro.circuit.delays import gate_delay_form, total_sigma_fraction
+from repro.circuit.from_netlist import circuit_from_netlist
+from repro.circuit.generator import Circuit, CircuitSpec, generate_circuit
+from repro.circuit.insertion import (
+    criticality_scores,
+    plan_buffers,
+    select_buffered_ffs,
+)
+from repro.circuit.library import CellType, Library, SequentialCell, default_library
+from repro.circuit.netlist import FlipFlop, Gate, Netlist
+from repro.circuit.paths import PathSet, ShortPathSet, TimedPath, extract_ff_paths
+from repro.circuit.placement import (
+    Placement,
+    random_placement,
+    relaxed_placement,
+    route_locations,
+)
+
+__all__ = [
+    "BenchFormatError",
+    "BufferPlan",
+    "CellType",
+    "Circuit",
+    "CircuitSpec",
+    "FlipFlop",
+    "Gate",
+    "Library",
+    "Netlist",
+    "PathSet",
+    "Placement",
+    "SequentialCell",
+    "ShortPathSet",
+    "TimedPath",
+    "TunableBuffer",
+    "circuit_from_netlist",
+    "criticality_scores",
+    "default_library",
+    "extract_ff_paths",
+    "gate_delay_form",
+    "generate_circuit",
+    "parse_bench",
+    "plan_buffers",
+    "random_placement",
+    "read_bench",
+    "relaxed_placement",
+    "route_locations",
+    "save_bench",
+    "select_buffered_ffs",
+    "total_sigma_fraction",
+    "uniform_buffer_plan",
+    "write_bench",
+]

@@ -1,0 +1,161 @@
+"""ISCAS89 ``.bench`` reader/writer.
+
+The benchmark circuits of the paper's Table 1 (s9234, s13207, ...) are
+distributed in this format.  The reader accepts the common dialect::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G14 = NAND(G0, G1)
+    G17 = NOT(G11)
+
+Gate names are normalized to this library's cells (NOT -> INV, 3+-input
+AND/NAND/... -> the 3-input variants, wider gates are decomposed into
+2-input trees so any fan-in is accepted).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.netlist import Netlist
+
+_LINE = re.compile(r"^\s*(?:(\w[\w\.\[\]]*)\s*=\s*)?(\w+)\s*\(([^)]*)\)\s*$")
+
+_CELL_BY_TYPE = {
+    "NOT": {1: "INV"},
+    "INV": {1: "INV"},
+    "BUF": {1: "BUF"},
+    "BUFF": {1: "BUF"},
+    "AND": {2: "AND2", 3: "AND3"},
+    "NAND": {2: "NAND2", 3: "NAND3"},
+    "OR": {2: "OR2", 3: "OR3"},
+    "NOR": {2: "NOR2", 3: "NOR3"},
+    "XOR": {2: "XOR2"},
+    "XNOR": {2: "XNOR2"},
+}
+
+_TYPE_BY_CELL = {
+    "INV": "NOT",
+    "BUF": "BUFF",
+    "AND2": "AND",
+    "AND3": "AND",
+    "NAND2": "NAND",
+    "NAND3": "NAND",
+    "OR2": "OR",
+    "OR3": "OR",
+    "NOR2": "NOR",
+    "NOR3": "NOR",
+    "XOR2": "XOR",
+    "XNOR2": "XNOR",
+}
+
+
+class BenchFormatError(ValueError):
+    """Raised for malformed .bench content."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a :class:`Netlist`."""
+    netlist = Netlist(name)
+    pending: list[tuple[str, str, tuple[str, ...]]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE.match(line)
+        if not match:
+            raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
+        target, kind, args_text = match.groups()
+        kind = kind.upper()
+        args = tuple(a.strip() for a in args_text.split(",") if a.strip())
+        if target is None:
+            if kind == "INPUT":
+                if len(args) != 1:
+                    raise BenchFormatError(f"line {lineno}: INPUT takes one signal")
+                netlist.add_input(args[0])
+            elif kind == "OUTPUT":
+                if len(args) != 1:
+                    raise BenchFormatError(f"line {lineno}: OUTPUT takes one signal")
+                netlist.add_output(args[0])
+            else:
+                raise BenchFormatError(
+                    f"line {lineno}: directive {kind!r} needs an assignment target"
+                )
+            continue
+        pending.append((target, kind, args))
+
+    counter = 0
+    for target, kind, args in pending:
+        if kind == "DFF":
+            if len(args) != 1:
+                raise BenchFormatError(f"flop {target!r} must have one D input")
+            netlist.add_flop(target, args[0])
+            continue
+        if kind not in _CELL_BY_TYPE:
+            raise BenchFormatError(f"unknown gate type {kind!r} for {target!r}")
+        counter = _emit_gate(netlist, target, kind, list(args), counter)
+    netlist.validate()
+    return netlist
+
+
+def _emit_gate(
+    netlist: Netlist, target: str, kind: str, args: list[str], counter: int
+) -> int:
+    """Emit ``target = kind(args)``, decomposing wide gates to 2-input trees.
+
+    A wide NAND decomposes as AND-tree + final NAND (and similarly for NOR),
+    preserving logic function; for timing purposes only depth matters.
+    """
+    variants = _CELL_BY_TYPE[kind]
+    if len(args) == 1 and 1 in variants:
+        netlist.add_gate(target, variants[1], tuple(args))
+        return counter
+    if len(args) in variants:
+        netlist.add_gate(target, variants[len(args)], tuple(args))
+        return counter
+    if len(args) < 2:
+        raise BenchFormatError(f"gate {target!r}: {kind} needs >= 2 inputs")
+    inner_kind = {"NAND": "AND", "NOR": "OR"}.get(kind, kind)
+    inner_cell = _CELL_BY_TYPE[inner_kind][2]
+    while len(args) > 2:
+        merged = f"{target}__w{counter}"
+        counter += 1
+        netlist.add_gate(merged, inner_cell, (args[0], args[1]))
+        args = [merged] + args[2:]
+    netlist.add_gate(target, _CELL_BY_TYPE[kind][2], tuple(args))
+    return counter
+
+
+def read_bench(path: str | Path) -> Netlist:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist back to ``.bench`` text.
+
+    Cells are mapped back to classic type names; the result round-trips
+    through :func:`parse_bench` to an equivalent netlist.
+    """
+    lines = [f"# {netlist.name}"]
+    for signal in netlist.primary_inputs:
+        lines.append(f"INPUT({signal})")
+    for signal in netlist.primary_outputs:
+        lines.append(f"OUTPUT({signal})")
+    for flop in netlist.flops.values():
+        lines.append(f"{flop.q_output} = DFF({flop.d_input})")
+    for gate in netlist.gates.values():
+        kind = _TYPE_BY_CELL.get(gate.cell)
+        if kind is None:
+            raise BenchFormatError(f"cell {gate.cell!r} has no .bench type")
+        lines.append(f"{gate.output} = {kind}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(netlist: Netlist, path: str | Path) -> None:
+    """Write a netlist to a ``.bench`` file."""
+    Path(path).write_text(write_bench(netlist))

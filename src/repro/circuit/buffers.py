@@ -1,0 +1,134 @@
+"""Post-silicon tunable clock buffers.
+
+A buffer at flip-flop ``i`` delays (or advances, relative to the reference
+clock) the clock edge by a configurable ``x_i`` constrained to
+``r_i <= x_i <= r_i + tau_i`` (eq. 3 of the paper) on a discrete grid.  The
+paper's experiments use a range of 1/8 of the clock period split into 20
+steps; both are parameters here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TunableBuffer:
+    """Discrete tunable buffer attached to one flip-flop.
+
+    ``lower`` is ``r_i``, ``width`` is ``tau_i``; the allowed settings are
+    ``lower + k * step`` for ``k = 0..n_steps``.
+    """
+
+    ff: str
+    lower: float
+    width: float
+    n_steps: int = 20
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise ValueError(f"buffer {self.ff}: width must be non-negative")
+        if self.n_steps < 1:
+            raise ValueError(f"buffer {self.ff}: n_steps must be >= 1")
+
+    @property
+    def upper(self) -> float:
+        return self.lower + self.width
+
+    @property
+    def step(self) -> float:
+        return self.width / self.n_steps
+
+    def values(self) -> np.ndarray:
+        """All allowed settings (``n_steps + 1`` values)."""
+        return self.lower + self.step * np.arange(self.n_steps + 1)
+
+    def quantize(self, x: float) -> float:
+        """Nearest allowed setting to ``x`` (clipped into range)."""
+        if self.step == 0:
+            return self.lower
+        k = round((x - self.lower) / self.step)
+        k = min(max(k, 0), self.n_steps)
+        return self.lower + k * self.step
+
+    def contains(self, x: float, tolerance: float = 1e-9) -> bool:
+        """Whether ``x`` is (numerically) one of the allowed settings."""
+        if x < self.lower - tolerance or x > self.upper + tolerance:
+            return False
+        if self.step == 0:
+            return abs(x - self.lower) <= tolerance
+        k = (x - self.lower) / self.step
+        return abs(k - round(k)) * self.step <= tolerance
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """The set of tunable buffers of a circuit, keyed by flip-flop name.
+
+    Flip-flops without a buffer have a fixed clock arrival (``x = 0``).
+    """
+
+    buffers: dict[str, TunableBuffer] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for ff, buf in self.buffers.items():
+            if buf.ff != ff:
+                raise ValueError(f"buffer keyed {ff!r} names flip-flop {buf.ff!r}")
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.buffers)
+
+    @property
+    def buffered_ffs(self) -> list[str]:
+        return list(self.buffers)
+
+    def has_buffer(self, ff: str) -> bool:
+        return ff in self.buffers
+
+    def buffer(self, ff: str) -> TunableBuffer:
+        return self.buffers[ff]
+
+    def uniform_step(self) -> float | None:
+        """The shared step size if all buffers are lattice-compatible.
+
+        Returns the step when every buffer has the same step size and all
+        lower bounds are integer multiples of it (so all settings live on a
+        single lattice containing 0, enabling the exact discrete
+        difference-constraint solve); otherwise ``None``.
+        """
+        if not self.buffers:
+            return None
+        steps = {round(b.step, 12) for b in self.buffers.values()}
+        if len(steps) != 1:
+            return None
+        step = next(iter(steps))
+        if step == 0:
+            return None
+        for buf in self.buffers.values():
+            ratio = buf.lower / step
+            if abs(ratio - round(ratio)) > 1e-6:
+                return None
+        return step
+
+    def zero_settings(self) -> dict[str, float]:
+        """All-zero settings clipped/quantized into each buffer's range."""
+        return {ff: buf.quantize(0.0) for ff, buf in self.buffers.items()}
+
+
+def uniform_buffer_plan(
+    ffs: list[str],
+    clock_period: float,
+    range_fraction: float = 1.0 / 8.0,
+    n_steps: int = 20,
+    centered: bool = True,
+) -> BufferPlan:
+    """Buffers with the paper's range policy: ``tau = clock_period / 8``,
+    20 discrete steps, symmetric around zero by default."""
+    width = clock_period * range_fraction
+    lower = -width / 2.0 if centered else 0.0
+    return BufferPlan(
+        {ff: TunableBuffer(ff, lower, width, n_steps) for ff in ffs}
+    )

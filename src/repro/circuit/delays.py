@@ -1,0 +1,64 @@
+"""Gate delay canonical forms under spatial process variation.
+
+Bridges the library (nominal delay + parameter sensitivities), the spatial
+model (factor profile of a die location) and the canonical-form algebra:
+
+    d_gate = d0 * (1 + sum_p s_p * sigma_p * xi_p(x, y))
+
+where ``xi_p`` is parameter ``p``'s unit-variance spatial field.  The
+resulting :class:`~repro.variation.canonical.CanonicalForm` carries one
+coefficient per (parameter, grid-cell) factor plus the gate-private
+independent term.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.library import CellType
+from repro.variation.canonical import CanonicalForm
+from repro.variation.spatial import SpatialModel
+
+
+def gate_delay_form(
+    cell: CellType,
+    x: float,
+    y: float,
+    spatial: SpatialModel,
+    nominal_override: float | None = None,
+) -> CanonicalForm:
+    """Canonical delay of one ``cell`` instance placed at ``(x, y)``.
+
+    ``nominal_override`` substitutes the library's nominal delay (the
+    synthetic generator uses it to hit calibrated path-delay targets while
+    keeping the library's *relative* sensitivities).
+    """
+    nominal = cell.nominal_delay if nominal_override is None else nominal_override
+    if nominal < 0:
+        raise ValueError(f"nominal delay must be non-negative, got {nominal}")
+    indices, coeffs, independent_coeff = spatial.factor_profile(x, y)
+    block = spatial.factors_per_parameter
+
+    sensitivities: dict[int, float] = {}
+    independent_var = 0.0
+    for p_index, parameter in enumerate(spatial.space):
+        scale = nominal * cell.sensitivities.get(parameter.name, 0.0) * parameter.sigma_fraction
+        if scale == 0.0:
+            continue
+        offset = p_index * block
+        for idx, coeff in zip(indices, coeffs):
+            key = offset + int(idx)
+            sensitivities[key] = sensitivities.get(key, 0.0) + scale * float(coeff)
+        independent_var += (scale * independent_coeff) ** 2
+    return CanonicalForm(nominal, sensitivities, independent_var**0.5)
+
+
+def total_sigma_fraction(cell: CellType, spatial: SpatialModel) -> float:
+    """Relative delay sigma of a cell under the spatial model's parameters.
+
+    Useful for calibration: a path of n perfectly correlated gates has this
+    same relative sigma; independent gates would divide it by sqrt(n).
+    """
+    variance = 0.0
+    for parameter in spatial.space:
+        s = cell.sensitivities.get(parameter.name, 0.0) * parameter.sigma_fraction
+        variance += s * s
+    return variance**0.5

@@ -1,0 +1,104 @@
+"""Build an EffiTest :class:`Circuit` from a gate-level netlist.
+
+This is the flow the paper runs on mapped ISCAS89/TAU13 circuits: parse the
+netlist, place it, extract FF-to-FF paths with statistical delays, pick the
+most critical flip-flops for tunable buffers, and split the paths into
+*required* (touching a buffered flip-flop; their delays are needed for
+configuration) and untunable *background* paths.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.generator import Circuit, CircuitSpec
+from repro.circuit.insertion import select_buffered_ffs
+from repro.circuit.library import Library, default_library
+from repro.circuit.netlist import Netlist
+from repro.circuit.paths import PathSet, ShortPathSet, extract_ff_paths
+from repro.circuit.placement import relaxed_placement
+from repro.utils.rng import RandomState
+from repro.variation.spatial import SpatialModel
+
+
+def circuit_from_netlist(
+    netlist: Netlist,
+    n_buffers: int,
+    library: Library | None = None,
+    spatial: SpatialModel | None = None,
+    seed: RandomState = None,
+    max_paths_per_pair: int = 3,
+    slack_window_fraction: float = 0.3,
+) -> Circuit:
+    """Extract a :class:`Circuit` from ``netlist``.
+
+    ``n_buffers`` flip-flops are selected by criticality mass; paths
+    incident to them become the required set (the paper's ``np``), the rest
+    become background context.  Hold requirements are restricted to the
+    required pairs — fixed-skew pairs need no tuning bound.
+    """
+    library = library or default_library()
+    spatial = spatial or SpatialModel()
+    netlist.validate()
+    placement = relaxed_placement(netlist, seed=seed)
+    all_paths, all_short = extract_ff_paths(
+        netlist,
+        library,
+        placement,
+        spatial,
+        max_paths_per_pair=max_paths_per_pair,
+        slack_window_fraction=slack_window_fraction,
+    )
+    if all_paths.n_paths == 0:
+        raise ValueError("netlist has no FF-to-FF paths to tune")
+
+    buffered = select_buffered_ffs(all_paths, n_buffers)
+    buffered_set = set(buffered)
+
+    required_idx, background_idx = [], []
+    for p in range(all_paths.n_paths):
+        src, snk = all_paths.endpoints(p)
+        if src in buffered_set or snk in buffered_set:
+            required_idx.append(p)
+        else:
+            background_idx.append(p)
+    if not required_idx:
+        raise ValueError("no paths touch the selected buffered flip-flops")
+    required = all_paths.subset(required_idx)
+    background = all_paths.subset(background_idx or required_idx[:1])
+
+    required_pairs = {
+        required.endpoints(p) for p in range(required.n_paths)
+    }
+    short_idx = [
+        p
+        for p in range(all_short.n_paths)
+        if all_short.endpoints(p) in required_pairs
+    ]
+    if not short_idx:
+        short_idx = list(range(all_short.n_paths))
+    short_subset = all_short.subset(short_idx)
+    short = ShortPathSet(
+        short_subset.ff_names,
+        short_subset.source_idx,
+        short_subset.sink_idx,
+        short_subset.model,
+        short_subset.labels,
+    )
+
+    spec = CircuitSpec(
+        name=netlist.name,
+        n_flipflops=netlist.n_flops,
+        n_gates=netlist.n_gates,
+        n_buffers=len(buffered),
+        n_paths=required.n_paths,
+    )
+    return Circuit(
+        name=netlist.name,
+        spec=spec,
+        ff_names=required.ff_names,
+        buffered_ffs=tuple(buffered),
+        paths=required,
+        short_paths=short,
+        background=background,
+        mutual_exclusions=frozenset(),
+        spatial=spatial,
+    )

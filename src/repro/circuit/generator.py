@@ -1,0 +1,395 @@
+"""Calibrated synthetic circuit generator.
+
+The paper evaluates on ISCAS89/TAU13 netlists mapped to an industry
+standard-cell library — artefacts we cannot redistribute.  This generator
+reproduces, per circuit, everything EffiTest's algorithms actually consume:
+
+* the published sizes of Table 1 (``ns`` flip-flops, ``ng`` gates,
+  ``nb`` buffers, ``np`` required paths),
+* the *physical clustering* of critical paths around buffered flip-flops
+  that §3.1's statistical prediction exploits (paths are built from virtual
+  gates placed along routes inside per-buffer clusters of the spatial
+  correlation grid),
+* converging/diverging path structure at flip-flops (shared endpoint pools)
+  that makes test multiplexing (§3.2) non-trivial,
+* short-path hold requirements (§3.5) per flip-flop pair, and
+* untunable background paths that cap the achievable yield, plus ATPG-style
+  mutual exclusions between paths.
+
+Delay *scale* is technology-flavoured (ps); all experiment quantities are
+ratios (iteration counts, yield fractions), so only the statistical shape
+matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.circuit.library import Library, SequentialCell, default_library
+from repro.circuit.paths import PathSet, ShortPathSet, TimedPath
+from repro.circuit.placement import route_locations
+from repro.circuit.delays import gate_delay_form
+from repro.utils.rng import RandomState, spawn_rngs
+from repro.variation.canonical import CanonicalForm
+from repro.variation.spatial import SpatialModel
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Published statistics plus generation knobs for one benchmark circuit."""
+
+    name: str
+    n_flipflops: int
+    n_gates: int
+    n_buffers: int
+    n_paths: int
+    depth_mean: float = 16.0
+    depth_min: int = 6
+    cluster_radius: float = 0.04
+    lobe_offset: float = 0.30
+    cross_cluster_fraction: float = 0.20
+    background_fraction: float = 0.25
+    background_scale: float = 0.86
+    path_skew_sigma: float = 0.03
+    cluster_skew_sigma: float = 0.03
+    criticality_decay: float = 0.22
+    short_delay_fraction: float = 0.30
+    exclusion_probability: float = 0.04
+    endpoint_pool_divisor: int = 3
+
+    def __post_init__(self) -> None:
+        if min(self.n_flipflops, self.n_gates, self.n_buffers, self.n_paths) <= 0:
+            raise ValueError(f"{self.name}: circuit sizes must be positive")
+        if self.n_buffers > self.n_flipflops:
+            raise ValueError(f"{self.name}: more buffers than flip-flops")
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A generated (or extracted) circuit at the abstraction EffiTest needs."""
+
+    name: str
+    spec: CircuitSpec
+    ff_names: tuple[str, ...]
+    buffered_ffs: tuple[str, ...]
+    paths: PathSet
+    short_paths: ShortPathSet
+    background: PathSet
+    mutual_exclusions: frozenset[tuple[int, int]]
+    spatial: SpatialModel
+
+    @property
+    def n_required_paths(self) -> int:
+        return self.paths.n_paths
+
+    def with_inflated_randomness(self, factor: float = 1.1) -> "Circuit":
+        """Fig. 7 variant: all path sigmas scaled by ``factor``, covariances
+        (loading matrices) unchanged."""
+        return replace(
+            self,
+            paths=self.paths.with_model(self.paths.model.inflate_randomness(factor)),
+            background=self.background.with_model(
+                self.background.model.inflate_randomness(factor)
+            ),
+        )
+
+
+@dataclass
+class _ClusterLayout:
+    """One buffered flip-flop's physical neighbourhood.
+
+    Feeder (into-buffer) and sink (out-of-buffer) logic sit in two spatially
+    offset lobes: critical cones entering and leaving a flip-flop occupy
+    different die regions, so the two sides decorrelate partially — exactly
+    the imbalance clock tuning monetizes.
+    """
+
+    center: tuple[float, float]
+    feeder_center: tuple[float, float]
+    sink_center: tuple[float, float]
+    feeders: list[str] = field(default_factory=list)
+    sinks: list[str] = field(default_factory=list)
+
+
+def generate_circuit(
+    spec: CircuitSpec,
+    spatial: SpatialModel | None = None,
+    library: Library | None = None,
+    seed: RandomState = None,
+) -> Circuit:
+    """Generate a circuit matching ``spec`` (deterministic given ``seed``)."""
+    spatial = spatial or SpatialModel()
+    library = library or default_library()
+    rng_place, rng_topo, rng_delay, rng_excl = spawn_rngs(seed, 4)
+
+    nb = spec.n_buffers
+    flop_cell = library.flip_flop
+    assert isinstance(flop_cell, SequentialCell)
+    comb_cells = library.combinational_cells()
+    mean_cell_delay = float(np.mean([c.nominal_delay for c in comb_cells]))
+    base_path_delay = spec.depth_mean * mean_cell_delay
+
+    # -- clusters and flip-flop universe -------------------------------------
+    centers = [
+        (float(rng_place.uniform(0.12, 0.88)), float(rng_place.uniform(0.12, 0.88)))
+        for _ in range(nb)
+    ]
+    counts = _cluster_path_counts(spec.n_paths, nb, rng_topo)
+
+    clusters: list[_ClusterLayout] = []
+    ff_names: list[str] = [f"B{c}" for c in range(nb)]
+    ff_positions: dict[str, tuple[float, float]] = {
+        f"B{c}": centers[c] for c in range(nb)
+    }
+    for c in range(nb):
+        angle = float(rng_place.uniform(0.0, 2.0 * math.pi))
+        half = spec.lobe_offset / 2.0
+        feeder_center = _clip_point(
+            centers[c][0] - half * math.cos(angle),
+            centers[c][1] - half * math.sin(angle),
+        )
+        sink_center = _clip_point(
+            centers[c][0] + half * math.cos(angle),
+            centers[c][1] + half * math.sin(angle),
+        )
+        layout = _ClusterLayout(
+            center=centers[c],
+            feeder_center=feeder_center,
+            sink_center=sink_center,
+        )
+        n_endpoints = max(2, math.ceil(counts[c] / (2 * spec.endpoint_pool_divisor)))
+        for k in range(n_endpoints):
+            for prefix, bucket, lobe in (
+                ("F", layout.feeders, feeder_center),
+                ("S", layout.sinks, sink_center),
+            ):
+                name = f"{prefix}{c}_{k}"
+                bucket.append(name)
+                ff_names.append(name)
+                ff_positions[name] = _near(lobe, spec.cluster_radius, rng_place)
+        clusters.append(layout)
+
+    n_spare = max(spec.n_flipflops - len(ff_names), 4)
+    spare_ffs = [f"U{k}" for k in range(n_spare)]
+    for name in spare_ffs:
+        ff_names.append(name)
+        ff_positions[name] = (
+            float(rng_place.uniform()),
+            float(rng_place.uniform()),
+        )
+
+    # -- required paths --------------------------------------------------------
+    cluster_skew = 1.0 + rng_delay.normal(0.0, spec.cluster_skew_sigma, size=nb)
+
+    def path_target(skew: float) -> float:
+        """Calibrated nominal delay: few paths near-critical, rest decaying.
+
+        Real flip-flops see one or two truly critical cones and a tail of
+        sub-critical ones; without this decay every path would crowd the
+        maximum and tuning could never rebalance anything.
+        """
+        crit = 1.0 - spec.criticality_decay * min(float(rng_delay.exponential()), 3.0)
+        jitter = float(np.clip(1.0 + rng_delay.normal(0.0, spec.path_skew_sigma), 0.7, 1.3))
+        return base_path_delay * skew * crit * jitter
+
+    required: list[TimedPath] = []
+    for c in range(nb):
+        n_c = counts[c]
+        n_cross = int(round(spec.cross_cluster_fraction * n_c)) if nb > 1 else 0
+        n_in = (n_c - n_cross + 1) // 2
+        n_out = n_c - n_cross - n_in
+        layout = clusters[c]
+        for k in range(n_in):
+            src = layout.feeders[int(rng_topo.integers(len(layout.feeders)))]
+            required.append(
+                _make_path(
+                    src, f"B{c}", ff_positions, path_target(cluster_skew[c]),
+                    spec, spatial, library, flop_cell, rng_topo, rng_delay,
+                )
+            )
+        for k in range(n_out):
+            snk = layout.sinks[int(rng_topo.integers(len(layout.sinks)))]
+            required.append(
+                _make_path(
+                    f"B{c}", snk, ff_positions, path_target(cluster_skew[c]),
+                    spec, spatial, library, flop_cell, rng_topo, rng_delay,
+                )
+            )
+        for k in range(n_cross):
+            other = _nearest_cluster(centers, c)
+            skew = 0.5 * (cluster_skew[c] + cluster_skew[other])
+            required.append(
+                _make_path(
+                    f"B{c}", f"B{other}", ff_positions, path_target(skew),
+                    spec, spatial, library, flop_cell, rng_topo, rng_delay,
+                )
+            )
+    paths = PathSet.from_timed_paths(required, ff_names, spatial.n_factors)
+
+    # -- hold requirements per used FF pair -------------------------------------
+    seen_pairs: list[tuple[str, str]] = []
+    seen = set()
+    for p in range(paths.n_paths):
+        pair = paths.endpoints(p)
+        if pair not in seen:
+            seen.add(pair)
+            seen_pairs.append(pair)
+    short_list = [
+        _make_hold_requirement(
+            src, snk, ff_positions, spec, spatial, library, flop_cell,
+            base_path_delay, rng_topo, rng_delay,
+        )
+        for src, snk in seen_pairs
+    ]  # one short path per used FF pair (eq. 2 applies pairwise)
+    short_base = PathSet.from_timed_paths(short_list, ff_names, spatial.n_factors)
+    short_paths = ShortPathSet(
+        short_base.ff_names, short_base.source_idx, short_base.sink_idx,
+        short_base.model, short_base.labels,
+    )
+
+    # -- untunable background paths ----------------------------------------------
+    n_bg = max(4, int(round(spec.background_fraction * spec.n_paths)))
+    background_list = []
+    for k in range(n_bg):
+        src, snk = rng_topo.choice(spare_ffs, size=2, replace=False)
+        background_list.append(
+            _make_path(
+                str(src), str(snk), ff_positions,
+                path_target(spec.background_scale),
+                spec, spatial, library, flop_cell, rng_topo, rng_delay,
+            )
+        )
+    background = PathSet.from_timed_paths(background_list, ff_names, spatial.n_factors)
+
+    # -- ATPG-style mutual exclusions ----------------------------------------------
+    exclusions = set()
+    for p in range(paths.n_paths):
+        if rng_excl.uniform() < spec.exclusion_probability:
+            q = int(rng_excl.integers(paths.n_paths))
+            if q != p:
+                exclusions.add((min(p, q), max(p, q)))
+
+    return Circuit(
+        name=spec.name,
+        spec=spec,
+        ff_names=tuple(ff_names),
+        buffered_ffs=tuple(f"B{c}" for c in range(nb)),
+        paths=paths,
+        short_paths=short_paths,
+        background=background,
+        mutual_exclusions=frozenset(exclusions),
+        spatial=spatial,
+    )
+
+
+# ----------------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------------
+
+
+def _cluster_path_counts(n_paths: int, nb: int, rng: np.random.Generator) -> np.ndarray:
+    """Uneven split of paths over clusters (Dirichlet weights, min 1 each)."""
+    weights = rng.dirichlet(np.full(nb, 2.0))
+    counts = np.maximum(np.round(weights * n_paths).astype(int), 1)
+    # Fix rounding drift while keeping every cluster non-empty.
+    while counts.sum() > n_paths:
+        counts[int(np.argmax(counts))] -= 1
+    while counts.sum() < n_paths:
+        counts[int(np.argmin(counts))] += 1
+    return counts
+
+
+def _nearest_cluster(centers: list[tuple[float, float]], c: int) -> int:
+    best, best_d = c, math.inf
+    cx, cy = centers[c]
+    for other, (ox, oy) in enumerate(centers):
+        if other == c:
+            continue
+        d = (cx - ox) ** 2 + (cy - oy) ** 2
+        if d < best_d:
+            best, best_d = other, d
+    return best
+
+
+def _clip_point(x: float, y: float) -> tuple[float, float]:
+    return (min(max(x, 0.02), 0.98), min(max(y, 0.02), 0.98))
+
+
+def _near(
+    center: tuple[float, float], radius: float, rng: np.random.Generator
+) -> tuple[float, float]:
+    x = min(max(center[0] + float(rng.normal(0.0, radius)), 0.0), 1.0)
+    y = min(max(center[1] + float(rng.normal(0.0, radius)), 0.0), 1.0)
+    return (x, y)
+
+
+def _make_path(
+    source: str,
+    sink: str,
+    positions: dict[str, tuple[float, float]],
+    target: float,
+    spec: CircuitSpec,
+    spatial: SpatialModel,
+    library: Library,
+    flop_cell: SequentialCell,
+    rng_topo: np.random.Generator,
+    rng_delay: np.random.Generator,
+) -> TimedPath:
+    """Build one path: virtual gates along the route, nominal sum = target."""
+    depth = max(spec.depth_min, int(rng_topo.poisson(spec.depth_mean)))
+    comb_cells = library.combinational_cells()
+    cells = [comb_cells[int(rng_topo.integers(len(comb_cells)))] for _ in range(depth)]
+    raw = np.array(
+        [c.nominal_delay * float(np.clip(rng_delay.normal(1.0, 0.10), 0.5, 1.5))
+         for c in cells]
+    )
+    # Reserve the FF clk->q delay inside the target budget.
+    scale = max(target - flop_cell.nominal_delay, 0.2 * target) / raw.sum()
+    locations = route_locations(
+        positions[source], positions[sink], depth, rng_delay,
+        jitter=spec.cluster_radius / 2.0,
+    )
+    form: CanonicalForm = gate_delay_form(
+        flop_cell, positions[source][0], positions[source][1], spatial
+    )
+    for cell, nominal, (x, y) in zip(cells, raw * scale, locations):
+        form = form + gate_delay_form(cell, x, y, spatial, nominal_override=nominal)
+    form = form + flop_cell.setup_time  # D_ij = d_ij + s_j (eq. 1)
+    return TimedPath(source, sink, form, f"{source}->{sink}")
+
+
+def _make_hold_requirement(
+    source: str,
+    sink: str,
+    positions: dict[str, tuple[float, float]],
+    spec: CircuitSpec,
+    spatial: SpatialModel,
+    library: Library,
+    flop_cell: SequentialCell,
+    base_delay: float,
+    rng_topo: np.random.Generator,
+    rng_delay: np.random.Generator,
+) -> TimedPath:
+    """Hold requirement ``~d = h_j - d_min`` of the pair's shortest path."""
+    depth = max(2, int(round(spec.depth_mean / 3)))
+    target = spec.short_delay_fraction * base_delay * float(
+        np.clip(1.0 + rng_delay.normal(0.0, spec.path_skew_sigma), 0.5, 1.5)
+    )
+    comb_cells = library.combinational_cells()
+    cells = [comb_cells[int(rng_topo.integers(len(comb_cells)))] for _ in range(depth)]
+    raw = np.array([c.nominal_delay for c in cells])
+    scale = target / raw.sum()
+    locations = route_locations(
+        positions[source], positions[sink], depth, rng_delay,
+        jitter=spec.cluster_radius / 2.0,
+    )
+    form: CanonicalForm = gate_delay_form(
+        flop_cell, positions[source][0], positions[source][1], spatial
+    )
+    for cell, nominal, (x, y) in zip(cells, raw * scale, locations):
+        form = form + gate_delay_form(cell, x, y, spatial, nominal_override=nominal)
+    requirement = form.scaled(-1.0) + flop_cell.hold_time
+    return TimedPath(source, sink, requirement, f"hold:{source}->{sink}")

@@ -1,0 +1,117 @@
+"""Standard-cell library with variation sensitivities.
+
+The paper maps ISCAS89/TAU13 circuits to an industry-partner library; we
+provide a generic technology-flavoured library with first-order delay
+sensitivities to the paper's three process parameters.  Delays are in
+picoseconds; ``sensitivities[p]`` is the relative delay change per relative
+change of parameter ``p`` (so a gate's relative delay sigma is
+``sqrt(sum((s_p * sigma_p)^2))`` under independent parameter fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.variation.parameters import (
+    OXIDE_THICKNESS,
+    THRESHOLD_VOLTAGE,
+    TRANSISTOR_LENGTH,
+)
+
+#: Default relative delay sensitivities shared by combinational cells.
+_COMB_SENSITIVITIES = {
+    TRANSISTOR_LENGTH.name: 1.10,
+    OXIDE_THICKNESS.name: 0.55,
+    THRESHOLD_VOLTAGE.name: 0.85,
+}
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One library cell: nominal timing plus variation sensitivities."""
+
+    name: str
+    n_inputs: int
+    nominal_delay: float
+    sensitivities: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nominal_delay < 0:
+            raise ValueError(f"{self.name}: nominal_delay must be non-negative")
+        if self.n_inputs < 0:
+            raise ValueError(f"{self.name}: n_inputs must be non-negative")
+
+
+@dataclass(frozen=True)
+class SequentialCell(CellType):
+    """A flip-flop cell: clk->q delay plus setup/hold requirements."""
+
+    setup_time: float = 0.0
+    hold_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class Library:
+    """A named set of cells with lookup by cell name."""
+
+    name: str
+    cells: tuple[CellType, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.cells]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate cell names in library")
+
+    def cell(self, name: str) -> CellType:
+        for c in self.cells:
+            if c.name == name:
+                return c
+        raise KeyError(f"library {self.name!r} has no cell {name!r}")
+
+    def has_cell(self, name: str) -> bool:
+        return any(c.name == name for c in self.cells)
+
+    @property
+    def flip_flop(self) -> SequentialCell:
+        for c in self.cells:
+            if isinstance(c, SequentialCell):
+                return c
+        raise KeyError(f"library {self.name!r} has no sequential cell")
+
+    def combinational_cells(self) -> list[CellType]:
+        return [c for c in self.cells if not isinstance(c, SequentialCell)]
+
+
+def default_library() -> Library:
+    """A 45 nm-flavoured library (delays in ps).
+
+    Nominal delays are representative single-stage FO4-ish numbers; the
+    experiments only depend on their ratios and on the sensitivity-scaled
+    sigmas, both of which are technology-plausible.
+    """
+    comb = dict(_COMB_SENSITIVITIES)
+    return Library(
+        name="generic45",
+        cells=(
+            CellType("INV", 1, 14.0, comb),
+            CellType("BUF", 1, 22.0, comb),
+            CellType("NAND2", 2, 20.0, comb),
+            CellType("NOR2", 2, 24.0, comb),
+            CellType("AND2", 2, 28.0, comb),
+            CellType("OR2", 2, 30.0, comb),
+            CellType("XOR2", 2, 40.0, comb),
+            CellType("XNOR2", 2, 40.0, comb),
+            CellType("NAND3", 3, 26.0, comb),
+            CellType("NOR3", 3, 32.0, comb),
+            CellType("AND3", 3, 34.0, comb),
+            CellType("OR3", 3, 36.0, comb),
+            SequentialCell(
+                "DFF",
+                1,
+                38.0,  # clk->q
+                comb,
+                setup_time=24.0,
+                hold_time=6.0,
+            ),
+        ),
+    )

@@ -1,0 +1,147 @@
+"""Gate-level netlist representation.
+
+Signals are the nodes: every signal is driven by a primary input, a gate, or
+a flip-flop's Q output.  The combinational timing graph connects a gate's
+input signals to its output signal; flip-flops cut the graph (their D pin is
+a combinational endpoint, their Q pin a combinational start point), which is
+exactly the FF-to-FF path structure EffiTest tests and tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate instance: ``output = cell(inputs...)``."""
+
+    output: str
+    cell: str
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.output:
+            raise ValueError("gate output signal must be named")
+
+
+@dataclass(frozen=True)
+class FlipFlop:
+    """A D flip-flop: ``q_output = DFF(d_input)``."""
+
+    q_output: str
+    d_input: str
+    cell: str = "DFF"
+
+    @property
+    def name(self) -> str:
+        return self.q_output
+
+
+@dataclass
+class Netlist:
+    """A named netlist of primary IOs, gates and flip-flops."""
+
+    name: str
+    primary_inputs: list[str] = field(default_factory=list)
+    primary_outputs: list[str] = field(default_factory=list)
+    gates: dict[str, Gate] = field(default_factory=dict)
+    flops: dict[str, FlipFlop] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_input(self, signal: str) -> None:
+        if signal in self.primary_inputs:
+            raise ValueError(f"duplicate primary input {signal!r}")
+        self.primary_inputs.append(signal)
+
+    def add_output(self, signal: str) -> None:
+        if signal in self.primary_outputs:
+            raise ValueError(f"duplicate primary output {signal!r}")
+        self.primary_outputs.append(signal)
+
+    def add_gate(self, output: str, cell: str, inputs: tuple[str, ...]) -> Gate:
+        self._check_driver_free(output)
+        gate = Gate(output, cell, tuple(inputs))
+        self.gates[output] = gate
+        return gate
+
+    def add_flop(self, q_output: str, d_input: str) -> FlipFlop:
+        self._check_driver_free(q_output)
+        flop = FlipFlop(q_output, d_input)
+        self.flops[q_output] = flop
+        return flop
+
+    def _check_driver_free(self, signal: str) -> None:
+        if signal in self.gates or signal in self.flops or signal in self.primary_inputs:
+            raise ValueError(f"signal {signal!r} already driven")
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_flops(self) -> int:
+        return len(self.flops)
+
+    def signals(self) -> set[str]:
+        """All driven or primary signals."""
+        out = set(self.primary_inputs)
+        out.update(self.gates)
+        out.update(self.flops)
+        return out
+
+    def driver_of(self, signal: str) -> Gate | FlipFlop | None:
+        """The gate/flop driving ``signal`` (None for primary inputs)."""
+        if signal in self.gates:
+            return self.gates[signal]
+        if signal in self.flops:
+            return self.flops[signal]
+        return None
+
+    def combinational_graph(self) -> nx.DiGraph:
+        """Signal-level DAG; flip-flop D inputs are sinks, Q outputs sources.
+
+        Nodes are signal names.  An edge ``a -> b`` means signal ``a`` is an
+        input of the gate driving ``b``.  Flip-flops contribute no edges (the
+        graph is cut at sequential elements).
+        """
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.signals())
+        for gate in self.gates.values():
+            for source in gate.inputs:
+                graph.add_edge(source, gate.output)
+        return graph
+
+    def validate(self) -> None:
+        """Check structural sanity; raises ValueError on problems."""
+        known = self.signals()
+        for gate in self.gates.values():
+            for signal in gate.inputs:
+                if signal not in known:
+                    raise ValueError(
+                        f"gate {gate.output!r} reads undriven signal {signal!r}"
+                    )
+        for flop in self.flops.values():
+            if flop.d_input not in known:
+                raise ValueError(
+                    f"flop {flop.name!r} reads undriven signal {flop.d_input!r}"
+                )
+        for signal in self.primary_outputs:
+            if signal not in known:
+                raise ValueError(f"primary output {signal!r} is undriven")
+        graph = self.combinational_graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise ValueError(f"combinational cycle detected: {cycle[:4]}...")
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, {len(self.primary_inputs)} PIs, "
+            f"{len(self.primary_outputs)} POs, {self.n_gates} gates, "
+            f"{self.n_flops} FFs)"
+        )

@@ -1,0 +1,343 @@
+"""Flip-flop-to-flip-flop timing paths.
+
+:class:`PathSet` is the core data structure EffiTest operates on: the list
+of FF-pair paths whose *maximum* delays ``D_ij = d_ij + s_j`` (eq. 1 of the
+paper, setup time folded in) are needed to configure the tuning buffers,
+together with their joint Gaussian model.  :class:`ShortPathSet` carries the
+hold-time requirements ``~d_ij = h_j - d_ij_min`` (eq. 2) used by §3.5.
+
+The module also implements gate-level path extraction from a netlist (the
+flow the paper runs on mapped ISCAS89/TAU13 circuits): enumerate the most
+critical paths per FF pair by nominal delay with suffix-bound pruning, then
+sum gate canonical forms along each path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.delays import gate_delay_form
+from repro.circuit.library import Library, SequentialCell
+from repro.circuit.netlist import Netlist
+from repro.circuit.placement import Placement
+from repro.variation.canonical import CanonicalForm
+from repro.variation.correlation import PathDelayModel
+from repro.variation.spatial import SpatialModel
+
+
+@dataclass(frozen=True)
+class TimedPath:
+    """One FF-to-FF path with its statistical (maximum) delay."""
+
+    source: str
+    sink: str
+    form: CanonicalForm
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class PathSet:
+    """Paths over a shared flip-flop universe, with a joint delay model.
+
+    ``source_idx[p]`` / ``sink_idx[p]`` index into ``ff_names``; the delay of
+    path ``p`` is row ``p`` of ``model``.
+    """
+
+    ff_names: tuple[str, ...]
+    source_idx: np.ndarray
+    sink_idx: np.ndarray
+    model: PathDelayModel
+    labels: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        n = self.model.n_paths
+        source_idx = np.asarray(self.source_idx, dtype=np.intp)
+        sink_idx = np.asarray(self.sink_idx, dtype=np.intp)
+        if source_idx.shape != (n,) or sink_idx.shape != (n,):
+            raise ValueError("endpoint index arrays must match the model size")
+        if n and (source_idx.max(initial=0) >= len(self.ff_names)
+                  or sink_idx.max(initial=0) >= len(self.ff_names)):
+            raise ValueError("endpoint index out of range of ff_names")
+        labels = self.labels if self.labels else tuple(
+            f"p{i}" for i in range(n)
+        )
+        if len(labels) != n:
+            raise ValueError("labels must match the number of paths")
+        object.__setattr__(self, "source_idx", source_idx)
+        object.__setattr__(self, "sink_idx", sink_idx)
+        object.__setattr__(self, "labels", labels)
+
+    @staticmethod
+    def from_timed_paths(
+        paths: list[TimedPath],
+        ff_names: list[str] | tuple[str, ...],
+        n_factors: int | None = None,
+    ) -> "PathSet":
+        index = {name: i for i, name in enumerate(ff_names)}
+        model = PathDelayModel.from_canonical_forms(
+            [p.form for p in paths], n_factors
+        )
+        return PathSet(
+            tuple(ff_names),
+            np.array([index[p.source] for p in paths], dtype=np.intp),
+            np.array([index[p.sink] for p in paths], dtype=np.intp),
+            model,
+            tuple(p.label or f"{p.source}->{p.sink}#{i}" for i, p in enumerate(paths)),
+        )
+
+    @property
+    def n_paths(self) -> int:
+        return self.model.n_paths
+
+    def endpoints(self, path: int) -> tuple[str, str]:
+        return (
+            self.ff_names[self.source_idx[path]],
+            self.ff_names[self.sink_idx[path]],
+        )
+
+    def touched_ffs(self) -> list[str]:
+        """Names of flip-flops incident to at least one path."""
+        used = set(self.source_idx.tolist()) | set(self.sink_idx.tolist())
+        return [self.ff_names[i] for i in sorted(used)]
+
+    def subset(self, indices) -> "PathSet":
+        idx = np.asarray(indices, dtype=np.intp)
+        return PathSet(
+            self.ff_names,
+            self.source_idx[idx],
+            self.sink_idx[idx],
+            self.model.subset(idx),
+            tuple(self.labels[i] for i in idx),
+        )
+
+    def with_model(self, model: PathDelayModel) -> "PathSet":
+        """Same structure with a replaced delay model (e.g. inflated sigma)."""
+        if model.n_paths != self.n_paths:
+            raise ValueError("replacement model must keep the path count")
+        return PathSet(
+            self.ff_names, self.source_idx, self.sink_idx, model, self.labels
+        )
+
+
+@dataclass(frozen=True)
+class ShortPathSet(PathSet):
+    """Hold-time requirements per FF pair.
+
+    The model rows are the *requirements* ``~d_ij = h_j - d_ij_min``: the
+    hold constraint on buffer values is ``x_i - x_j >= ~d_ij`` (eq. 2).
+    """
+
+
+# ----------------------------------------------------------------------------
+# Gate-level extraction
+# ----------------------------------------------------------------------------
+
+
+def extract_ff_paths(
+    netlist: Netlist,
+    library: Library,
+    placement: Placement,
+    spatial: SpatialModel,
+    max_paths_per_pair: int = 3,
+    slack_window_fraction: float = 0.15,
+) -> tuple[PathSet, ShortPathSet]:
+    """Enumerate critical FF-to-FF paths of a netlist.
+
+    For every flip-flop source, paths are enumerated by DFS over the signal
+    DAG; a prefix is pruned when even its best completion falls more than
+    ``slack_window_fraction`` of the global critical delay short of the
+    worst path through this source.  Per (source, sink) pair the top
+    ``max_paths_per_pair`` paths by nominal delay are kept.
+
+    Returns the long-path :class:`PathSet` (setup folded in) and the
+    corresponding hold requirements (one per retained FF pair, built from
+    each pair's *minimum*-delay path).
+    """
+    flop_cell = library.flip_flop
+    assert isinstance(flop_cell, SequentialCell)
+
+    forms: dict[str, CanonicalForm] = {}
+    nominal: dict[str, float] = {}
+    for gate in netlist.gates.values():
+        cell = library.cell(gate.cell)
+        x, y = placement.location(gate.output)
+        forms[gate.output] = gate_delay_form(cell, x, y, spatial)
+        nominal[gate.output] = cell.nominal_delay
+
+    fanout: dict[str, list[str]] = {s: [] for s in netlist.signals()}
+    for gate in netlist.gates.values():
+        for source in gate.inputs:
+            fanout[source].append(gate.output)
+
+    # Which signals feed a flip-flop D input (path sinks).
+    sinks_at: dict[str, list[str]] = {}
+    for flop in netlist.flops.values():
+        sinks_at.setdefault(flop.d_input, []).append(flop.name)
+
+    # Longest/shortest nominal completion from each signal to any FF D pin.
+    longest = _suffix_bounds(netlist, fanout, nominal, sinks_at, maximize=True)
+    shortest = _suffix_bounds(netlist, fanout, nominal, sinks_at, maximize=False)
+
+    critical = max(
+        (longest.get(flop.q_output, -np.inf) for flop in netlist.flops.values()),
+        default=0.0,
+    )
+    window = max(critical, 0.0) * slack_window_fraction
+
+    long_paths: list[TimedPath] = []
+    short_best: dict[tuple[str, str], list[str]] = {}
+    for flop in netlist.flops.values():
+        start = flop.q_output
+        if longest.get(start, -np.inf) == -np.inf:
+            continue
+        threshold = longest[start] - window
+        collected: dict[tuple[str, str], list[tuple[float, list[str]]]] = {}
+        _enumerate_paths(
+            start, 0.0, [start], fanout, nominal, sinks_at, longest,
+            threshold, collected, max_paths_per_pair,
+        )
+        for (src, snk), entries in collected.items():
+            entries.sort(key=lambda e: -e[0])
+            for rank, (_, signals) in enumerate(entries[:max_paths_per_pair]):
+                form = _path_form(signals, forms, flop_cell, placement, spatial)
+                long_paths.append(
+                    TimedPath(src, snk, form, f"{src}->{snk}#{rank}")
+                )
+        # Shortest path per pair for hold requirements.
+        for (src, snk), signals in _shortest_paths(
+            start, fanout, nominal, sinks_at, shortest
+        ).items():
+            short_best[(src, snk)] = signals
+
+    ff_names = sorted(netlist.flops)
+    long_set = PathSet.from_timed_paths(long_paths, ff_names, spatial.n_factors)
+
+    used_pairs = {
+        (long_set.ff_names[s], long_set.ff_names[t])
+        for s, t in zip(long_set.source_idx, long_set.sink_idx)
+    }
+    short_paths = []
+    for (src, snk), signals in sorted(short_best.items()):
+        if (src, snk) not in used_pairs:
+            continue
+        min_form = _path_form(signals, forms, flop_cell, placement, spatial,
+                              include_setup=False)
+        requirement = (min_form.scaled(-1.0)) + flop_cell.hold_time
+        short_paths.append(TimedPath(src, snk, requirement, f"hold:{src}->{snk}"))
+    base = PathSet.from_timed_paths(short_paths, ff_names, spatial.n_factors)
+    short_set = ShortPathSet(
+        base.ff_names, base.source_idx, base.sink_idx, base.model, base.labels
+    )
+    return long_set, short_set
+
+
+def _suffix_bounds(netlist, fanout, nominal, sinks_at, maximize: bool):
+    """Best (max or min) nominal completion from each signal to any FF sink."""
+    import networkx as nx
+
+    graph = netlist.combinational_graph()
+    worst = -np.inf if maximize else np.inf
+    pick = max if maximize else min
+    bounds: dict[str, float] = {}
+    for node in reversed(list(nx.topological_sort(graph))):
+        best = worst
+        if node in sinks_at:
+            best = pick(best, 0.0)
+        for succ in fanout.get(node, []):
+            through = bounds.get(succ, worst)
+            if through != worst:
+                best = pick(best, through + nominal.get(succ, 0.0))
+        bounds[node] = best
+    return bounds
+
+
+def _enumerate_paths(
+    node, prefix, signals, fanout, nominal, sinks_at, longest,
+    threshold, collected, cap,
+):
+    if node in sinks_at:
+        for sink_ff in sinks_at[node]:
+            key = (signals[0], sink_ff)
+            bucket = collected.setdefault(key, [])
+            bucket.append((prefix, list(signals)))
+            if len(bucket) > 8 * cap:
+                bucket.sort(key=lambda e: -e[0])
+                del bucket[4 * cap :]
+    for succ in fanout.get(node, []):
+        gate_delay = nominal.get(succ, 0.0)
+        best_completion = longest.get(succ, -np.inf)
+        if best_completion == -np.inf:
+            continue
+        if prefix + gate_delay + best_completion < threshold:
+            continue
+        signals.append(succ)
+        _enumerate_paths(
+            succ, prefix + gate_delay, signals, fanout, nominal, sinks_at,
+            longest, threshold, collected, cap,
+        )
+        signals.pop()
+
+
+def _shortest_paths(start, fanout, nominal, sinks_at, shortest):
+    """Minimum-nominal-delay path from ``start`` to each reachable FF sink.
+
+    Single topological relaxation with parent pointers (the graph is a DAG,
+    so this is exact and linear in the reachable subgraph).
+    """
+    dist: dict[str, float] = {start: 0.0}
+    parent: dict[str, str] = {}
+    order = [start]
+    seen = {start}
+    # BFS order is sufficient for relaxation here because we process by
+    # repeated passes until stable; depth is small in practice.
+    head = 0
+    while head < len(order):
+        node = order[head]
+        head += 1
+        for succ in fanout.get(node, []):
+            if shortest.get(succ, np.inf) == np.inf:
+                continue
+            candidate = dist[node] + nominal.get(succ, 0.0)
+            if candidate < dist.get(succ, np.inf) - 1e-15:
+                dist[succ] = candidate
+                parent[succ] = node
+                if succ in seen:
+                    order.append(succ)  # re-relax downstream of improvement
+                else:
+                    seen.add(succ)
+                    order.append(succ)
+            elif succ not in seen:
+                seen.add(succ)
+                order.append(succ)
+
+    results: dict[tuple[str, str], list[str]] = {}
+    best_cost: dict[tuple[str, str], float] = {}
+    for node, sink_ffs in sinks_at.items():
+        if node not in dist:
+            continue
+        signals: list[str] = []
+        cursor = node
+        while cursor != start:
+            signals.append(cursor)
+            cursor = parent[cursor]
+        signals.append(start)
+        signals.reverse()
+        for sink_ff in sink_ffs:
+            key = (start, sink_ff)
+            if dist[node] < best_cost.get(key, np.inf):
+                best_cost[key] = dist[node]
+                results[key] = signals
+    return results
+
+
+def _path_form(signals, forms, flop_cell, placement, spatial, include_setup=True):
+    """Sum gate forms along a signal path (+ clk->q at the source FF)."""
+    x, y = placement.location(signals[0])
+    total = gate_delay_form(flop_cell, x, y, spatial)  # clk->q of source FF
+    for signal in signals[1:]:
+        total = total + forms[signal]
+    if include_setup:
+        total = total + flop_cell.setup_time
+    return total

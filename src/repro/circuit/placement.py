@@ -1,0 +1,117 @@
+"""Die placement.
+
+Spatial correlation makes *where* gates sit determine how path delays
+correlate, so both circuit flows need locations on the unit die:
+
+* the gate-level flow places netlist signals (flip-flops seeded randomly or
+  in clusters, gates relaxed to the centroid of their neighbours), and
+* the synthetic generator places virtual gates along source-to-sink routes
+  (see :mod:`repro.circuit.generator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.utils.rng import RandomState, as_generator
+
+Location = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Locations of signals (gate outputs / FF outputs / PIs) on [0,1]^2."""
+
+    locations: dict[str, Location]
+
+    def location(self, signal: str) -> Location:
+        return self.locations[signal]
+
+    def __contains__(self, signal: str) -> bool:
+        return signal in self.locations
+
+    def __len__(self) -> int:
+        return len(self.locations)
+
+
+def _clip01(value: float) -> float:
+    return min(max(value, 0.0), 1.0)
+
+
+def random_placement(netlist: Netlist, seed: RandomState = None) -> Placement:
+    """Uniformly random placement of every signal."""
+    rng = as_generator(seed)
+    locations = {
+        signal: (float(rng.uniform()), float(rng.uniform()))
+        for signal in sorted(netlist.signals())
+    }
+    return Placement(locations)
+
+
+def relaxed_placement(
+    netlist: Netlist,
+    seed: RandomState = None,
+    sweeps: int = 3,
+    jitter: float = 0.02,
+) -> Placement:
+    """Random seed placement refined by neighbour-centroid relaxation.
+
+    Flip-flops and primary inputs stay fixed; each sweep moves every gate to
+    the average position of its fan-in signals and fan-out gates, plus a
+    small jitter.  This pulls logic cones together, giving the physically
+    clustered critical paths the paper's §3.1 argues for.
+    """
+    rng = as_generator(seed)
+    locations = dict(random_placement(netlist, rng).locations)
+    anchors = set(netlist.primary_inputs) | set(netlist.flops)
+
+    fanouts: dict[str, list[str]] = {s: [] for s in locations}
+    for gate in netlist.gates.values():
+        for source in gate.inputs:
+            fanouts[source].append(gate.output)
+
+    for _ in range(sweeps):
+        updates: dict[str, Location] = {}
+        for gate in netlist.gates.values():
+            neighbours = list(gate.inputs) + fanouts[gate.output]
+            if not neighbours:
+                continue
+            xs = [locations[n][0] for n in neighbours]
+            ys = [locations[n][1] for n in neighbours]
+            updates[gate.output] = (
+                _clip01(float(np.mean(xs) + rng.normal(0.0, jitter))),
+                _clip01(float(np.mean(ys) + rng.normal(0.0, jitter))),
+            )
+        for signal, loc in updates.items():
+            if signal not in anchors:
+                locations[signal] = loc
+    return Placement(locations)
+
+
+def route_locations(
+    source: Location,
+    sink: Location,
+    count: int,
+    rng: np.random.Generator,
+    jitter: float = 0.02,
+) -> list[Location]:
+    """``count`` locations spread along the straight route source -> sink.
+
+    Used by the synthetic generator to place a path's gates; the jitter
+    keeps gates of different paths in the same region from being perfectly
+    co-located.
+    """
+    if count <= 0:
+        return []
+    fractions = (np.arange(count) + 0.5) / count
+    sx, sy = source
+    tx, ty = sink
+    out = []
+    for t in fractions:
+        x = _clip01(sx + t * (tx - sx) + float(rng.normal(0.0, jitter)))
+        y = _clip01(sy + t * (ty - sy) + float(rng.normal(0.0, jitter)))
+        out.append((x, y))
+    return out

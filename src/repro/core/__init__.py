@@ -1,0 +1,119 @@
+"""EffiTest core: the paper's contribution.
+
+Statistical delay prediction (§3.1), path grouping and selection
+(Procedure 1), test multiplexing (§3.2), aligned delay test (§3.3,
+Procedure 2), buffer configuration (§3.4), hold-time tuning bounds (§3.5),
+yield evaluation and the end-to-end framework (Fig. 4).
+"""
+
+from repro.core.alignment import (
+    BatchAlignment,
+    build_batch_alignment,
+    center_sorted_weights,
+    solve_alignment,
+    solve_alignment_milp,
+)
+from repro.core.configuration import (
+    ConfigStructure,
+    ConfigurationResult,
+    build_config_structure,
+    configure_chip_milp,
+    configure_chips,
+    ideal_feasibility,
+)
+from repro.core.framework import (
+    EffiTest,
+    EffiTestConfig,
+    PopulationRunResult,
+    Preparation,
+)
+from repro.core.grouping import (
+    GroupingResult,
+    PathGroup,
+    group_and_select,
+    significant_components,
+)
+from repro.core.holdtime import (
+    HoldBounds,
+    compute_hold_bounds,
+    hold_feasible_settings,
+    solve_hold_bounds_milp,
+)
+from repro.core.multiplexing import (
+    Batch,
+    MultiplexPlan,
+    fill_idle_slots,
+    form_batches,
+    form_batches_ilp,
+    plan_multiplexing,
+)
+from repro.core.population import (
+    PopulationTestResult,
+    run_batch_population,
+    test_population,
+)
+from repro.core.prediction import (
+    ConditionalPredictor,
+    build_predictor,
+    conditional_stds_if_tested,
+)
+from repro.core.testflow import ChipTestResult, run_batch, test_chip
+from repro.core.yields import (
+    CircuitPopulation,
+    YieldComparison,
+    configured_pass,
+    ideal_yield,
+    no_buffer_yield,
+    operating_periods,
+    path_shifts,
+    sample_circuit,
+)
+
+__all__ = [
+    "Batch",
+    "BatchAlignment",
+    "ChipTestResult",
+    "ConditionalPredictor",
+    "ConfigStructure",
+    "ConfigurationResult",
+    "CircuitPopulation",
+    "EffiTest",
+    "EffiTestConfig",
+    "GroupingResult",
+    "HoldBounds",
+    "MultiplexPlan",
+    "PathGroup",
+    "PopulationRunResult",
+    "PopulationTestResult",
+    "Preparation",
+    "YieldComparison",
+    "build_batch_alignment",
+    "build_config_structure",
+    "build_predictor",
+    "center_sorted_weights",
+    "compute_hold_bounds",
+    "conditional_stds_if_tested",
+    "configure_chip_milp",
+    "configure_chips",
+    "configured_pass",
+    "fill_idle_slots",
+    "form_batches",
+    "form_batches_ilp",
+    "group_and_select",
+    "hold_feasible_settings",
+    "ideal_feasibility",
+    "ideal_yield",
+    "no_buffer_yield",
+    "operating_periods",
+    "path_shifts",
+    "plan_multiplexing",
+    "run_batch",
+    "run_batch_population",
+    "sample_circuit",
+    "significant_components",
+    "solve_alignment",
+    "solve_alignment_milp",
+    "solve_hold_bounds_milp",
+    "test_chip",
+    "test_population",
+]

@@ -1,0 +1,412 @@
+"""Aligned delay test optimization (§3.3, eqs. 6–14 of the paper).
+
+Per test iteration, one clock period ``T`` and batch-local buffer values
+``x`` are chosen to minimize the weighted distance of ``T`` from every
+path's *shifted* range centre:
+
+    minimize sum_ij k_ij * | T - ((u_ij + l_ij)/2 + x_i - x_j) |    (eq. 7)
+
+subject to buffer ranges (eq. 14) and hold-safety bounds ``x_i - x_j >=
+lambda_ij`` (eq. 21).  The weights are centre-sorted (the middle range gets
+``k0``, decreasing by ``kd`` outward, ``k0 >> kd``) to break the
+non-overlapping-ranges tie of Fig. 6e.
+
+Three solvers are provided:
+
+* :func:`solve_alignment` — the production solver: the optimal ``T`` for
+  fixed ``x`` is a weighted median, and each discrete buffer is improved by
+  exact coordinate minimization over its (hold-feasible) grid values.
+  Fully vectorized across Monte-Carlo chips.
+* :func:`solve_alignment_milp` — the paper's formulation solved exactly;
+  ``formulation="paper"`` reproduces the big-M/0-1 encoding of eqs. 8–13
+  verbatim, ``formulation="compact"`` the equivalent two-inequality
+  absolute-value encoding.  Used for cross-checks and small flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.opt.linexpr import LinExpr
+from repro.opt.model import Model, ObjectiveSense, VarType
+from repro.opt.solve import Solution, solve
+from repro.opt.weighted_median import weighted_median_rows
+
+
+@dataclass(frozen=True)
+class BatchAlignment:
+    """Static alignment structure of one test batch.
+
+    ``m`` batch paths reference ``n_buf`` movable buffers by local index
+    (-1 = that endpoint has no buffer or its buffer is outside the batch
+    and held at its default).  ``base_shift`` carries the contribution of
+    non-movable endpoints, so a path's tested quantity is
+    ``centre + base_shift + x[src_buffer] - x[snk_buffer]``.
+    """
+
+    src_buffer: np.ndarray  # (m,) local buffer index or -1
+    snk_buffer: np.ndarray  # (m,)
+    base_shift: np.ndarray  # (m,)
+    grids: tuple[np.ndarray, ...]  # candidate values per local buffer
+    lower_bounds: np.ndarray  # (n_buf,) static bounds incl. hold vs fixed env
+    upper_bounds: np.ndarray
+    pair_lower: tuple[tuple[int, int, float], ...] = ()
+    # each (a, b, lam): x[a] - x[b] >= lam between movable buffers
+    buffer_names: tuple[str, ...] = ()  # FF names of the movable buffers
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.src_buffer)
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.grids)
+
+    def shift(self, x: np.ndarray) -> np.ndarray:
+        """Per-path ``x_i - x_j`` (plus fixed environment) for settings ``x``.
+
+        ``x`` is ``(n_buf,)`` or ``(n_chips, n_buf)``; result matches with a
+        trailing path axis.
+        """
+        x = np.asarray(x, dtype=float)
+        batched = x.ndim == 2
+        xs = x if batched else x[None, :]
+        shift = np.tile(self.base_shift, (xs.shape[0], 1))
+        src_has = self.src_buffer >= 0
+        snk_has = self.snk_buffer >= 0
+        if src_has.any():
+            shift[:, src_has] += xs[:, self.src_buffer[src_has]]
+        if snk_has.any():
+            shift[:, snk_has] -= xs[:, self.snk_buffer[snk_has]]
+        return shift if batched else shift[0]
+
+    def feasible_default(self) -> np.ndarray:
+        """A hold-feasible starting point: per-buffer value closest to 0.
+
+        Assumes the static bounds admit such a point and that pairwise
+        ``lambda`` constraints hold at it (guaranteed by the offline
+        hold-bound computation, which validates the default settings).
+        """
+        out = np.empty(self.n_buffers)
+        for b, grid in enumerate(self.grids):
+            feasible = grid[
+                (grid >= self.lower_bounds[b] - 1e-12)
+                & (grid <= self.upper_bounds[b] + 1e-12)
+            ]
+            pool = feasible if feasible.size else grid
+            out[b] = pool[np.argmin(np.abs(pool))]
+        return out
+
+
+def build_batch_alignment(
+    batch_paths: np.ndarray,
+    path_source_idx: np.ndarray,
+    path_sink_idx: np.ndarray,
+    ff_names: tuple[str, ...],
+    buffer_plan,
+    hold_pairs: tuple[tuple[int, int], ...] = (),
+    hold_lambdas: np.ndarray | None = None,
+    default_settings: dict[str, float] | None = None,
+) -> BatchAlignment:
+    """Construct the alignment structure of one batch.
+
+    Movable buffers are the tunable endpoints of the batch's paths; buffers
+    elsewhere in the circuit stay parked at ``default_settings``, which
+    turns hold constraints against them into static bounds on the movable
+    ones.  ``hold_pairs``/``hold_lambdas`` are (source FF index, sink FF
+    index) -> lambda from :mod:`repro.core.holdtime`.
+    """
+    batch_paths = np.asarray(batch_paths, dtype=np.intp)
+    defaults = default_settings or {}
+
+    movable: list[str] = []
+    movable_index: dict[str, int] = {}
+    for p in batch_paths.tolist():
+        for ff_idx in (int(path_source_idx[p]), int(path_sink_idx[p])):
+            name = ff_names[ff_idx]
+            if buffer_plan.has_buffer(name) and name not in movable_index:
+                movable_index[name] = len(movable)
+                movable.append(name)
+
+    src_buffer = np.array(
+        [
+            movable_index.get(ff_names[int(path_source_idx[p])], -1)
+            for p in batch_paths.tolist()
+        ],
+        dtype=np.intp,
+    )
+    snk_buffer = np.array(
+        [
+            movable_index.get(ff_names[int(path_sink_idx[p])], -1)
+            for p in batch_paths.tolist()
+        ],
+        dtype=np.intp,
+    )
+
+    grids = tuple(buffer_plan.buffer(name).values() for name in movable)
+    lower = np.array([buffer_plan.buffer(name).lower for name in movable])
+    upper = np.array([buffer_plan.buffer(name).upper for name in movable])
+
+    pair_lower: list[tuple[int, int, float]] = []
+    if hold_lambdas is not None:
+        for (src_idx, snk_idx), lam in zip(hold_pairs, hold_lambdas):
+            src_name, snk_name = ff_names[src_idx], ff_names[snk_idx]
+            a = movable_index.get(src_name)
+            b = movable_index.get(snk_name)
+            lam = float(lam)
+            if a is not None and b is not None:
+                pair_lower.append((a, b, lam))
+            elif a is not None:
+                # x_a >= lam + fixed setting of the sink side
+                fixed = defaults.get(snk_name, 0.0)
+                lower[a] = max(lower[a], lam + fixed)
+            elif b is not None:
+                fixed = defaults.get(src_name, 0.0)
+                upper[b] = min(upper[b], fixed - lam)
+
+    return BatchAlignment(
+        src_buffer=src_buffer,
+        snk_buffer=snk_buffer,
+        base_shift=np.zeros(len(batch_paths)),
+        grids=grids,
+        lower_bounds=lower,
+        upper_bounds=upper,
+        pair_lower=tuple(pair_lower),
+        buffer_names=tuple(movable),
+    )
+
+
+def center_sorted_weights(
+    centers: np.ndarray, k0: float = 1000.0, kd: float = 1.0
+) -> np.ndarray:
+    """Eq.-7 weights: middle of the sorted centres gets ``k0``; weight drops
+    by ``kd`` per rank step away from the middle (``k0 >> kd``).
+
+    Accepts ``(m,)`` or ``(n_chips, m)`` centres; NaN centres (converged or
+    inactive paths) get weight 0.
+    """
+    centers = np.asarray(centers, dtype=float)
+    single = centers.ndim == 1
+    c = centers[None, :] if single else centers
+    n_rows, m = c.shape
+
+    valid = ~np.isnan(c)
+    # Rank valid entries per row by centre value; NaNs sort to the end.
+    order = np.argsort(np.where(valid, c, np.inf), axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    rows = np.arange(n_rows)[:, None]
+    ranks[rows, order] = np.arange(m)[None, :]
+
+    n_valid = valid.sum(axis=1)
+    middle = (n_valid - 1) / 2.0
+    weights = k0 - kd * np.abs(ranks - middle[:, None])
+    weights = np.where(valid, np.maximum(weights, kd), 0.0)
+    return weights[0] if single else weights
+
+
+def solve_alignment(
+    spec: BatchAlignment,
+    centers: np.ndarray,
+    weights: np.ndarray,
+    x_init: np.ndarray,
+    sweeps: int = 2,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weighted-median / coordinate-descent alignment solver.
+
+    Parameters are batched: ``centers``/``weights`` are ``(n_chips, m)``
+    (NaN centre = inactive path), ``x_init`` is ``(n_chips, n_buf)`` and
+    must satisfy the static bounds and pairwise constraints.
+
+    Returns ``(T, x)`` with ``T`` shape ``(n_chips,)``.  Deterministic:
+    grid-candidate ties resolve to the lowest index.
+    """
+    centers = np.atleast_2d(np.asarray(centers, dtype=float))
+    weights = np.atleast_2d(np.asarray(weights, dtype=float))
+    x = np.array(np.atleast_2d(np.asarray(x_init, dtype=float)), copy=True)
+    n_chips, m = centers.shape
+    if weights.shape != centers.shape:
+        raise ValueError("weights must match centers in shape")
+    if x.shape != (n_chips, spec.n_buffers):
+        raise ValueError("x_init must be (n_chips, n_buffers)")
+
+    masked_weights = np.where(np.isnan(centers), 0.0, weights)
+
+    period = weighted_median_rows(centers + spec.shift(x), masked_weights)
+    for _ in range(sweeps):
+        for b in range(spec.n_buffers):
+            period, _ = _improve_buffer(
+                spec, b, centers, masked_weights, x, period
+            )
+        period = weighted_median_rows(centers + spec.shift(x), masked_weights)
+    return period, x
+
+
+_CHUNK = 1024  # chips per block in the candidate sweep (memory bound)
+
+
+def _improve_buffer(
+    spec: BatchAlignment,
+    b: int,
+    centers: np.ndarray,
+    weights: np.ndarray,
+    x: np.ndarray,
+    period: np.ndarray,
+) -> tuple[np.ndarray, bool]:
+    """Exact coordinate minimization of buffer ``b`` over its grid.
+
+    For every candidate grid value the clock period is re-optimized (the
+    optimal ``T`` for fixed buffers is the weighted median of the shifted
+    centres), so each step minimizes the *joint* objective over
+    ``(T, x_b)`` — plain coordinate descent with ``T`` frozen stalls on the
+    symmetric in/out-pair case where moving ``x_b`` alone cannot help.
+    """
+    affected_src = spec.src_buffer == b
+    affected_snk = spec.snk_buffer == b
+    if not affected_src.any() and not affected_snk.any():
+        return period, False
+    grid = spec.grids[b]
+    n_chips, m = centers.shape
+    n_cand = len(grid)
+
+    # Per-chip feasible interval from static bounds and pair constraints.
+    lb = np.full(n_chips, spec.lower_bounds[b])
+    ub = np.full(n_chips, spec.upper_bounds[b])
+    for a, other, lam in spec.pair_lower:
+        if a == b and other != b:
+            lb = np.maximum(lb, lam + x[:, other])  # x_b >= lam + x_other
+        elif other == b and a != b:
+            ub = np.minimum(ub, x[:, a] - lam)  # x_b <= x_a - lam
+    feasible = (grid[None, :] >= lb[:, None] - 1e-12) & (
+        grid[None, :] <= ub[:, None] + 1e-12
+    )
+
+    # Shift with buffer b removed, and the +-1 coupling of each path to b.
+    x_zero = x.copy()
+    x_zero[:, b] = 0.0
+    partial = centers + spec.shift(x_zero)
+    sign = affected_src.astype(float) - affected_snk.astype(float)
+
+    best_k = np.zeros(n_chips, dtype=np.intp)
+    best_period = period.copy()
+    for start in range(0, n_chips, _CHUNK):
+        stop = min(start + _CHUNK, n_chips)
+        block = slice(start, stop)
+        rows = stop - start
+        shifted = (
+            partial[block, None, :] + sign[None, None, :] * grid[None, :, None]
+        )  # (rows, n_cand, m)
+        w_block = np.broadcast_to(
+            weights[block, None, :], (rows, n_cand, m)
+        ).reshape(-1, m)
+        medians = weighted_median_rows(
+            shifted.reshape(-1, m), w_block
+        ).reshape(rows, n_cand)
+        cost = np.nansum(
+            np.where(
+                np.isnan(shifted), 0.0,
+                weights[block, None, :] * np.abs(medians[:, :, None] - shifted),
+            ),
+            axis=2,
+        )
+        cost = np.where(feasible[block], cost, np.inf)
+        k = np.argmin(cost, axis=1)
+        best_k[block] = k
+        best_period[block] = medians[np.arange(rows), k]
+
+    # If numerical tightening left a chip with no feasible candidate, keep
+    # its current (feasible) value rather than jumping to an invalid one.
+    all_infeasible = ~feasible.any(axis=1)
+    if all_infeasible.any():
+        current_k = np.argmin(np.abs(grid[None, :] - x[:, b : b + 1]), axis=1)
+        best_k[all_infeasible] = current_k[all_infeasible]
+        best_period[all_infeasible] = period[all_infeasible]
+    x[:, b] = grid[best_k]
+    return best_period, True
+
+
+# ----------------------------------------------------------------------------
+# Exact MILP formulations (scalar)
+# ----------------------------------------------------------------------------
+
+
+def _alignment_model(
+    spec: BatchAlignment,
+    centers: np.ndarray,
+    weights: np.ndarray,
+    formulation: str,
+) -> tuple[Model, list[LinExpr]]:
+    centers = np.asarray(centers, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    model = Model("alignment")
+
+    x_exprs: list[LinExpr] = []
+    for b, grid in enumerate(spec.grids):
+        step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+        k = model.add_var(f"k{b}", 0, len(grid) - 1, VarType.INTEGER)
+        x_exprs.append(k * float(step) + float(grid[0]))
+
+    # Static bounds (hold vs fixed environment) and pair constraints.
+    for b in range(spec.n_buffers):
+        model.add_constraint(x_exprs[b] >= float(spec.lower_bounds[b]))
+        model.add_constraint(x_exprs[b] <= float(spec.upper_bounds[b]))
+    for a, b, lam in spec.pair_lower:
+        model.add_constraint(x_exprs[a] - x_exprs[b] >= float(lam))
+
+    finite = [p for p in range(spec.n_paths) if not np.isnan(centers[p])]
+    span = max(
+        (abs(float(centers[p])) for p in finite), default=1.0
+    ) + sum(float(np.max(np.abs(g))) for g in spec.grids) + 1.0
+    period = model.add_var("T", -span, span)
+
+    big_m = 4.0 * span
+    objective = LinExpr()
+    for p in finite:
+        eta = model.add_var(f"eta{p}", 0.0)
+        gap: LinExpr = period - float(centers[p]) - float(spec.base_shift[p])
+        if spec.src_buffer[p] >= 0:
+            gap = gap - x_exprs[spec.src_buffer[p]]
+        if spec.snk_buffer[p] >= 0:
+            gap = gap + x_exprs[spec.snk_buffer[p]]
+        if formulation == "compact":
+            model.add_constraint(eta >= gap)
+            model.add_constraint(eta >= -1.0 * gap)
+        elif formulation == "paper":
+            zp = model.add_binary(f"zp{p}")
+            zn = model.add_binary(f"zn{p}")
+            model.add_constraint(gap <= big_m * zp)  # eq. 8
+            model.add_constraint(gap - eta <= big_m * (1 - zp))  # eq. 9
+            model.add_constraint(-1.0 * gap + eta <= big_m * (1 - zp))  # eq. 10
+            model.add_constraint(-1.0 * gap <= big_m * zn)  # eq. 11
+            model.add_constraint(-1.0 * gap - eta <= big_m * (1 - zn))  # eq. 12
+            model.add_constraint(gap + eta <= big_m * (1 - zn))  # eq. 13
+            model.add_constraint(zp + zn >= 1)
+        else:
+            raise ValueError(f"unknown formulation {formulation!r}")
+        objective = objective + float(weights[p]) * eta
+    model.set_objective(objective, ObjectiveSense.MINIMIZE)
+    return model, x_exprs
+
+
+def solve_alignment_milp(
+    spec: BatchAlignment,
+    centers: np.ndarray,
+    weights: np.ndarray,
+    formulation: str = "compact",
+    backend: str = "scipy",
+) -> tuple[float, np.ndarray, Solution]:
+    """Solve eqs. 7–14 exactly; returns ``(T, x, solution)``.
+
+    Raises ``RuntimeError`` when the solver fails (e.g. inconsistent hold
+    bounds), since alignment infeasibility indicates a configuration bug.
+    """
+    model, _ = _alignment_model(spec, centers, weights, formulation)
+    solution = solve(model, backend=backend)
+    if not solution.ok:
+        raise RuntimeError(f"alignment MILP failed: {solution.status}")
+    x = np.empty(spec.n_buffers)
+    for b, grid in enumerate(spec.grids):
+        step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+        x[b] = grid[0] + step * round(solution[f"k{b}"])
+    return float(solution["T"]), x, solution

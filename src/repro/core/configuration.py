@@ -1,0 +1,371 @@
+"""Buffer configuration from delay ranges (§3.4, eqs. 15–18 of the paper).
+
+After test + prediction every required path has a range ``[l, u]``.  The
+paper configures buffers by assuming delays as close to their upper bounds
+as feasibility allows: minimize the largest optimism ``xi`` with
+
+    Td >= D'_ij + x_i - x_j,   l <= D' <= u,   xi >= u - D',
+    r <= x <= r + tau,         x_i - x_j >= lambda_ij (eq. 21).
+
+Key structural fact: for a candidate ``xi`` the problem reduces to a
+*difference-constraint system* — eliminate ``D'`` and each path contributes
+``x_j - x_i >= max(l, u - xi) - Td``.  The minimal ``xi`` is found by
+binary search with (chip-batched, lattice-exact) Bellman–Ford feasibility,
+replacing the paper's per-chip Gurobi LP at a fraction of the cost; a MILP
+formulation is kept for cross-checking.
+
+Parallel paths between the same buffer pair collapse exactly:
+``max_p max(l_p, u_p - xi) = max(max_p l_p, max_p u_p - xi)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.buffers import BufferPlan
+from repro.circuit.paths import PathSet
+from repro.core.holdtime import HoldBounds
+from repro.opt.diffconstraints import bellman_ford
+from repro.opt.model import Model, ObjectiveSense, VarType
+from repro.opt.solve import solve
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ConfigStructure:
+    """Chip-independent structure of the configuration problem."""
+
+    buffer_names: tuple[str, ...]
+    grids: tuple[np.ndarray, ...]
+    step: float | None  # shared lattice step (None -> continuous + snap)
+    src_buffer: np.ndarray  # (n_paths,) local buffer index or -1
+    snk_buffer: np.ndarray
+    fixed_paths: np.ndarray  # neither endpoint tunable (or self-loop)
+    into_paths: tuple[np.ndarray, ...]  # per buffer: paths with only sink tunable
+    from_paths: tuple[np.ndarray, ...]  # per buffer: paths with only source tunable
+    pair_edges: tuple[tuple[int, int, np.ndarray], ...]
+    # (src_buf, snk_buf, path indices) for paths with both endpoints tunable
+    hold_edges: tuple[tuple[int, int, float], ...]  # x_a - x_b >= lam, both tunable
+    static_lower: np.ndarray  # per buffer, box + hold vs fixed
+    static_upper: np.ndarray
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.buffer_names)
+
+
+def build_config_structure(
+    paths: PathSet,
+    buffer_plan: BufferPlan,
+    hold_bounds: HoldBounds | None = None,
+) -> ConfigStructure:
+    """Precompute the constraint graph skeleton for a circuit."""
+    buffer_names = tuple(
+        name for name in buffer_plan.buffered_ffs
+    )
+    local = {name: b for b, name in enumerate(buffer_names)}
+    grids = tuple(buffer_plan.buffer(name).values() for name in buffer_names)
+    static_lower = np.array(
+        [buffer_plan.buffer(n).lower for n in buffer_names], dtype=float
+    )
+    static_upper = np.array(
+        [buffer_plan.buffer(n).upper for n in buffer_names], dtype=float
+    )
+
+    src_buffer = np.array(
+        [local.get(paths.ff_names[i], -1) for i in paths.source_idx], dtype=np.intp
+    )
+    snk_buffer = np.array(
+        [local.get(paths.ff_names[i], -1) for i in paths.sink_idx], dtype=np.intp
+    )
+
+    fixed, pair_groups = [], {}
+    into_lists = [[] for _ in buffer_names]
+    from_lists = [[] for _ in buffer_names]
+    for p in range(paths.n_paths):
+        sb, tb = int(src_buffer[p]), int(snk_buffer[p])
+        if sb < 0 and tb < 0:
+            fixed.append(p)
+        elif sb == tb:
+            fixed.append(p)  # self-loop: x_i - x_j = 0
+        elif sb < 0:
+            into_lists[tb].append(p)
+        elif tb < 0:
+            from_lists[sb].append(p)
+        else:
+            pair_groups.setdefault((sb, tb), []).append(p)
+
+    hold_edges = []
+    if hold_bounds is not None:
+        for (src_ff, snk_ff), lam in zip(hold_bounds.pairs, hold_bounds.lambdas):
+            a = local.get(paths.ff_names[src_ff], -1)
+            b = local.get(paths.ff_names[snk_ff], -1)
+            lam = float(lam)
+            if a >= 0 and b >= 0:
+                hold_edges.append((a, b, lam))
+            elif a >= 0:
+                static_lower[a] = max(static_lower[a], lam)
+            elif b >= 0:
+                static_upper[b] = min(static_upper[b], -lam)
+
+    return ConfigStructure(
+        buffer_names=buffer_names,
+        grids=grids,
+        step=buffer_plan.uniform_step(),
+        src_buffer=src_buffer,
+        snk_buffer=snk_buffer,
+        fixed_paths=np.array(fixed, dtype=np.intp),
+        into_paths=tuple(np.array(v, dtype=np.intp) for v in into_lists),
+        from_paths=tuple(np.array(v, dtype=np.intp) for v in from_lists),
+        pair_edges=tuple(
+            (a, b, np.array(v, dtype=np.intp)) for (a, b), v in sorted(pair_groups.items())
+        ),
+        hold_edges=tuple(hold_edges),
+        static_lower=static_lower,
+        static_upper=static_upper,
+    )
+
+
+@dataclass(frozen=True)
+class ConfigurationResult:
+    """Per-chip configuration outcome."""
+
+    feasible: np.ndarray  # (n_chips,) bool
+    settings: np.ndarray  # (n_chips, n_buffers); NaN rows when infeasible
+    xi: np.ndarray  # (n_chips,) achieved max optimism (NaN when infeasible)
+    buffer_names: tuple[str, ...]
+
+
+def _feasibility(
+    structure: ConfigStructure,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    xi: np.ndarray,
+    period: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Bellman–Ford feasibility at per-chip optimism ``xi``.
+
+    Returns (feasible mask, witness settings).  ``lower``/``upper`` are
+    (n_chips, n_paths); fixed paths must be pre-checked by the caller.
+    """
+    n_chips = lower.shape[0]
+    nb = structure.n_buffers
+    ref = nb
+
+    # Per-buffer dynamic bounds from single-endpoint paths.
+    dyn_lower = np.tile(structure.static_lower, (n_chips, 1))
+    dyn_upper = np.tile(structure.static_upper, (n_chips, 1))
+    for b in range(nb):
+        into = structure.into_paths[b]
+        if into.size:
+            need = np.max(
+                np.maximum(lower[:, into], upper[:, into] - xi[:, None]), axis=1
+            )
+            dyn_lower[:, b] = np.maximum(dyn_lower[:, b], need - period)
+        from_ = structure.from_paths[b]
+        if from_.size:
+            need = np.max(
+                np.maximum(lower[:, from_], upper[:, from_] - xi[:, None]), axis=1
+            )
+            dyn_upper[:, b] = np.minimum(dyn_upper[:, b], period - need)
+
+    edges_u, edges_v, weights = [], [], []
+    for b in range(nb):
+        # x_b <= dyn_upper  (ref -> b); x_b >= dyn_lower (b -> ref).
+        edges_u.append(ref)
+        edges_v.append(b)
+        weights.append(dyn_upper[:, b])
+        edges_u.append(b)
+        edges_v.append(ref)
+        weights.append(-dyn_lower[:, b])
+    for a, b, lam in structure.hold_edges:
+        # x_a - x_b >= lam  <=>  x_b - x_a <= -lam
+        edges_u.append(a)
+        edges_v.append(b)
+        weights.append(np.full(n_chips, -lam))
+    for sb, tb, path_idx in structure.pair_edges:
+        l_max = lower[:, path_idx].max(axis=1)
+        u_max = upper[:, path_idx].max(axis=1)
+        need = np.maximum(l_max, u_max - xi)
+        # x_snk - x_src >= need - Td  <=>  x_src - x_snk <= Td - need
+        edges_u.append(tb)
+        edges_v.append(sb)
+        weights.append(period - need)
+
+    weight_matrix = np.array(weights)
+    if structure.step:
+        weight_matrix = (
+            np.floor(weight_matrix / structure.step + _EPS) * structure.step
+        )
+    result = bellman_ford(
+        nb + 1,
+        np.array(edges_u, dtype=np.intp),
+        np.array(edges_v, dtype=np.intp),
+        weight_matrix,
+        n_batch=n_chips,
+    )
+    x = result.x[:, :nb] - result.x[:, ref : ref + 1]
+    if structure.step:
+        with np.errstate(invalid="ignore"):
+            x = np.round(x / structure.step) * structure.step
+    return np.asarray(result.feasible, dtype=bool), x
+
+
+def configure_chips(
+    structure: ConfigStructure,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    period: float,
+    xi_tolerance: float | None = None,
+) -> ConfigurationResult:
+    """Minimax-``xi`` configuration of every chip (binary search).
+
+    ``lower``/``upper`` are ``(n_chips, n_paths)`` delay ranges over the
+    full required path set (measured bounds for tested paths, ``mu' ± 3
+    sigma'`` for predicted ones).
+    """
+    lower = np.atleast_2d(np.asarray(lower, dtype=float))
+    upper = np.atleast_2d(np.asarray(upper, dtype=float))
+    n_chips = lower.shape[0]
+    nb = structure.n_buffers
+
+    # Fixed paths: feasibility precondition and a hard floor on xi.
+    xi_floor = np.zeros(n_chips)
+    feasible = np.ones(n_chips, dtype=bool)
+    if structure.fixed_paths.size:
+        fixed_l = lower[:, structure.fixed_paths]
+        fixed_u = upper[:, structure.fixed_paths]
+        feasible &= (fixed_l <= period + _EPS).all(axis=1)
+        xi_floor = np.maximum(xi_floor, (fixed_u - period).max(axis=1))
+        xi_floor = np.maximum(xi_floor, 0.0)
+
+    if nb == 0:
+        settings = np.zeros((n_chips, 0))
+        xi = np.where(feasible, xi_floor, np.nan)
+        return ConfigurationResult(feasible, settings, xi, structure.buffer_names)
+
+    span = float(
+        np.max(upper - period, initial=0.0)
+        + (structure.static_upper - structure.static_lower).max(initial=0.0) * 2.0
+        + 1.0
+    )
+    xi_hi = np.maximum(xi_floor + span, xi_floor)
+    ok_hi, x_hi = _feasibility(structure, lower, upper, xi_hi, period)
+    feasible &= ok_hi
+
+    lo = xi_floor.copy()
+    hi = xi_hi.copy()
+    best_x = x_hi
+    ok_lo, x_lo = _feasibility(structure, lower, upper, lo, period)
+    done_at_floor = ok_lo & feasible
+    hi = np.where(done_at_floor, lo, hi)
+    best_x = np.where(done_at_floor[:, None], x_lo, best_x)
+
+    tolerance = xi_tolerance
+    if tolerance is None:
+        tolerance = (structure.step / 4.0) if structure.step else span * 1e-4
+    search = feasible & ~done_at_floor
+    max_steps = int(np.ceil(np.log2(max(span / tolerance, 2.0)))) + 1
+    for _ in range(max_steps):
+        if not search.any():
+            break
+        mid = 0.5 * (lo + hi)
+        ok_mid, x_mid = _feasibility(structure, lower, upper, mid, period)
+        go_down = search & ok_mid
+        go_up = search & ~ok_mid
+        hi = np.where(go_down, mid, hi)
+        best_x = np.where(go_down[:, None], x_mid, best_x)
+        lo = np.where(go_up, mid, lo)
+        if (hi - lo).max(initial=0.0) <= tolerance:
+            break
+
+    settings = np.where(feasible[:, None], best_x, np.nan)
+    xi = np.where(feasible, hi, np.nan)
+    return ConfigurationResult(feasible, settings, xi, structure.buffer_names)
+
+
+def ideal_feasibility(
+    structure: ConfigStructure,
+    true_delays: np.ndarray,
+    period: float,
+) -> ConfigurationResult:
+    """Configurability with *exact* delay knowledge (the paper's ``y_i``).
+
+    With ``l = u = D`` the optimism ``xi`` drops out and the problem is a
+    single feasibility check.
+    """
+    true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
+    n_chips = true_delays.shape[0]
+    feasible = np.ones(n_chips, dtype=bool)
+    if structure.fixed_paths.size:
+        feasible &= (
+            true_delays[:, structure.fixed_paths] <= period + _EPS
+        ).all(axis=1)
+    if structure.n_buffers == 0:
+        return ConfigurationResult(
+            feasible,
+            np.zeros((n_chips, 0)),
+            np.zeros(n_chips),
+            structure.buffer_names,
+        )
+    ok, x = _feasibility(
+        structure, true_delays, true_delays, np.zeros(n_chips), period
+    )
+    feasible &= ok
+    settings = np.where(feasible[:, None], x, np.nan)
+    return ConfigurationResult(
+        feasible, settings, np.zeros(n_chips), structure.buffer_names
+    )
+
+
+# ----------------------------------------------------------------------------
+# Exact MILP cross-check (one chip)
+# ----------------------------------------------------------------------------
+
+
+def configure_chip_milp(
+    structure: ConfigStructure,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    period: float,
+    backend: str = "scipy",
+) -> tuple[bool, np.ndarray | None, float | None]:
+    """Solve eqs. 15–18 (+21) exactly for one chip; returns
+    ``(feasible, settings, xi)``."""
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    model = Model("configuration")
+    x_exprs = []
+    for b, grid in enumerate(structure.grids):
+        step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+        k = model.add_var(f"k{b}", 0, len(grid) - 1, VarType.INTEGER)
+        x_exprs.append(k * float(step) + float(grid[0]))
+    for b in range(structure.n_buffers):
+        model.add_constraint(x_exprs[b] >= float(structure.static_lower[b]))
+        model.add_constraint(x_exprs[b] <= float(structure.static_upper[b]))
+    for a, b, lam in structure.hold_edges:
+        model.add_constraint(x_exprs[a] - x_exprs[b] >= float(lam))
+
+    xi = model.add_var("xi", 0.0)
+    for p in range(len(lower)):
+        sb, tb = int(structure.src_buffer[p]), int(structure.snk_buffer[p])
+        d_var = model.add_var(f"d{p}", float(lower[p]), float(upper[p]))
+        model.add_constraint(xi >= float(upper[p]) - d_var)  # eq. 17
+        gap = d_var - float(period)
+        if sb >= 0 and sb != tb:
+            gap = gap + x_exprs[sb]
+        if tb >= 0 and sb != tb:
+            gap = gap - x_exprs[tb]
+        model.add_constraint(gap <= 0)  # eq. 16
+    model.set_objective(xi, ObjectiveSense.MINIMIZE)
+    solution = solve(model, backend=backend)
+    if not solution.ok:
+        return False, None, None
+    x = np.empty(structure.n_buffers)
+    for b, grid in enumerate(structure.grids):
+        step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+        x[b] = grid[0] + step * round(solution[f"k{b}"])
+    return True, x, float(solution["xi"])

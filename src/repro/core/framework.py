@@ -1,0 +1,367 @@
+"""EffiTest end-to-end framework (Fig. 4 of the paper).
+
+Offline (once per circuit design, the paper's ``Tp``):
+
+1. path selection for prediction (§3.1, Procedure 1),
+2. path test multiplexing + slot filling (§3.2),
+3. hold-time tuning bounds (§3.5),
+4. alignment structures and the configuration constraint skeleton.
+
+On the tester (per chip, ``Tt``): scan test with delay alignment
+(§3.3, Procedure 2).  Off the tester (``Ts``): statistical prediction of
+untested delays (eqs. 4–5) and buffer configuration (§3.4), then the final
+pass/fail test.
+
+:class:`EffiTest` wires the pieces; :meth:`EffiTest.run` executes the whole
+flow over a Monte-Carlo population and reports the Table 1/Table 2
+quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.buffers import BufferPlan
+from repro.circuit.generator import Circuit
+from repro.circuit.insertion import plan_buffers
+from repro.core.alignment import BatchAlignment, build_batch_alignment
+from repro.core.configuration import (
+    ConfigStructure,
+    ConfigurationResult,
+    build_config_structure,
+    configure_chips,
+)
+from repro.core.grouping import GroupingResult, group_and_select
+from repro.core.holdtime import HoldBounds, compute_hold_bounds, hold_feasible_settings
+from repro.core.multiplexing import MultiplexPlan, plan_multiplexing
+from repro.core.population import PopulationTestResult, test_population
+from repro.core.prediction import ConditionalPredictor, build_predictor
+from repro.core.testflow import ChipTestResult, test_chip
+from repro.core.yields import CircuitPopulation, configured_pass
+from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
+from repro.tester.oracle import ChipOracle
+from repro.utils.rng import derive_seed
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class EffiTestConfig:
+    """All knobs of the framework, defaulted to the paper's setup."""
+
+    # §3.1 grouping / selection
+    start_threshold: float = 0.95
+    threshold_step: float = 0.05
+    floor_threshold: float = 0.50
+    pc_criterion: str = "largest"
+    relative_threshold: float = 0.03
+    variance_fraction: float = 0.95
+    # §3.2 multiplexing
+    fill_slots: bool = True
+    fill_sigma_fraction: float = 0.5  # fill only still-poorly-predicted paths
+    max_fill_factor: float = 1.0  # fills <= factor * |selected|
+    batch_affinity: bool = False  # extension: mean-affinity batch packing
+    # §3.3 aligned test
+    epsilon: float | None = None  # None -> calibrated from pathwise target
+    pathwise_iterations_target: int = 9
+    sigma_window: float = 3.0
+    k0: float = 1000.0
+    kd: float = 1.0
+    align: bool = True
+    # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
+    xi_tolerance: float | None = None
+    # §3.5 hold bounds
+    hold_yield: float = 0.99
+    hold_samples: int = 1000
+    # buffer policy (Table 1 setup: tau = T/8, 20 discrete steps)
+    range_fraction: float = 1.0 / 8.0
+    n_steps: int = 20
+    # misc
+    test_all_paths: bool = False  # Fig. 8 mode: skip statistical prediction
+    seed: int = 20160605
+
+
+@dataclass
+class Preparation:
+    """Everything computed offline, before any chip is touched."""
+
+    buffer_plan: BufferPlan
+    grouping: GroupingResult | None
+    plan: MultiplexPlan
+    specs: list[BatchAlignment]
+    x_inits: list[np.ndarray]
+    hold_bounds: HoldBounds
+    default_settings: dict[str, float]
+    predictor: ConditionalPredictor | None
+    structure: ConfigStructure
+    epsilon: float
+    prior_means: np.ndarray
+    prior_stds: np.ndarray
+    offline_seconds: float
+
+    @property
+    def n_tested(self) -> int:
+        """The paper's ``n_pt``: paths actually frequency-stepped."""
+        return self.plan.n_measured
+
+
+@dataclass
+class PopulationRunResult:
+    """Outcome of the full flow over a chip population at one period."""
+
+    period: float
+    test: PopulationTestResult
+    bounds_lower: np.ndarray  # (n_chips, n_paths) full required-path bounds
+    bounds_upper: np.ndarray
+    configuration: ConfigurationResult
+    passed: np.ndarray
+    tester_seconds_per_chip: float
+    config_seconds_per_chip: float
+
+    @property
+    def mean_iterations(self) -> float:
+        """The paper's ``t_a``."""
+        return self.test.mean_iterations
+
+    @property
+    def iterations_per_tested_path(self) -> float:
+        """The paper's ``t_v = t_a / n_pt``."""
+        return self.test.mean_iterations / max(len(self.test.measured_indices), 1)
+
+    @property
+    def yield_fraction(self) -> float:
+        """The paper's ``y_t``."""
+        return float(self.passed.mean())
+
+
+class EffiTest:
+    """The EffiTest framework bound to one circuit."""
+
+    def __init__(self, circuit: Circuit, config: EffiTestConfig | None = None):
+        self.circuit = circuit
+        self.config = config or EffiTestConfig()
+
+    # -- offline ---------------------------------------------------------------
+
+    def prepare(self, clock_period: float) -> Preparation:
+        """Run the offline flow; ``clock_period`` sizes the buffer ranges
+        (the design's original period) and anchors nothing else."""
+        cfg = self.config
+        circuit = self.circuit
+        watch = Stopwatch()
+
+        with watch.measure("offline"):
+            buffer_plan = plan_buffers(
+                list(circuit.buffered_ffs),
+                clock_period,
+                range_fraction=cfg.range_fraction,
+                n_steps=cfg.n_steps,
+            )
+
+            model = circuit.paths.model
+            prior_means = model.means
+            prior_stds = model.stds()
+
+            if cfg.test_all_paths:
+                grouping = None
+                selected = np.arange(circuit.paths.n_paths, dtype=np.intp)
+                fill = False
+            else:
+                grouping = group_and_select(
+                    model,
+                    start_threshold=cfg.start_threshold,
+                    threshold_step=cfg.threshold_step,
+                    floor_threshold=cfg.floor_threshold,
+                    pc_criterion=cfg.pc_criterion,
+                    variance_fraction=cfg.variance_fraction,
+                    relative_threshold=cfg.relative_threshold,
+                )
+                selected = grouping.tested_indices
+                fill = cfg.fill_slots
+
+            plan = plan_multiplexing(
+                circuit.paths,
+                selected,
+                mutual_exclusions=circuit.mutual_exclusions,
+                fill_slots=fill,
+                affinity=cfg.batch_affinity,
+                fill_sigma_fraction=cfg.fill_sigma_fraction,
+                max_fill_factor=cfg.max_fill_factor,
+            )
+
+            hold_bounds = compute_hold_bounds(
+                circuit.short_paths,
+                buffer_plan,
+                target_yield=cfg.hold_yield,
+                n_samples=cfg.hold_samples,
+                seed=derive_seed(cfg.seed, circuit.name, "hold"),
+            )
+            default_settings = hold_feasible_settings(
+                buffer_plan, hold_bounds, circuit.ff_names
+            )
+
+            specs = []
+            x_inits = []
+            for batch in plan.batches:
+                spec = build_batch_alignment(
+                    batch.path_indices,
+                    circuit.paths.source_idx,
+                    circuit.paths.sink_idx,
+                    circuit.ff_names,
+                    buffer_plan,
+                    hold_pairs=hold_bounds.pairs,
+                    hold_lambdas=hold_bounds.lambdas,
+                    default_settings=default_settings,
+                )
+                specs.append(spec)
+                x_inits.append(
+                    np.array([default_settings[name] for name in spec.buffer_names])
+                )
+
+            predictor = None
+            if plan.n_measured < circuit.paths.n_paths:
+                predictor = build_predictor(model, plan.measured)
+
+            structure = build_config_structure(
+                circuit.paths, buffer_plan, hold_bounds
+            )
+
+            epsilon = cfg.epsilon
+            if epsilon is None:
+                widths = 2.0 * cfg.sigma_window * prior_stds
+                epsilon = float(
+                    np.median(widths) / 2**cfg.pathwise_iterations_target
+                )
+
+        return Preparation(
+            buffer_plan=buffer_plan,
+            grouping=grouping,
+            plan=plan,
+            specs=specs,
+            x_inits=x_inits,
+            hold_bounds=hold_bounds,
+            default_settings=default_settings,
+            predictor=predictor,
+            structure=structure,
+            epsilon=epsilon,
+            prior_means=prior_means,
+            prior_stds=prior_stds,
+            offline_seconds=watch.total("offline"),
+        )
+
+    # -- per-population ----------------------------------------------------------
+
+    def run(
+        self,
+        population: CircuitPopulation,
+        period: float,
+        preparation: Preparation | None = None,
+        clock_period: float | None = None,
+    ) -> PopulationRunResult:
+        """Test, predict, configure and pass/fail every chip at ``period``."""
+        prep = preparation or self.prepare(clock_period or period)
+        cfg = self.config
+        watch = Stopwatch()
+        n_chips = population.n_chips
+
+        with watch.measure("tester"):
+            test = test_population(
+                population.required,
+                prep.plan,
+                prep.specs,
+                prep.prior_means,
+                prep.prior_stds,
+                prep.epsilon,
+                sigma_window=cfg.sigma_window,
+                k0=cfg.k0,
+                kd=cfg.kd,
+                align=cfg.align,
+                x_inits=prep.x_inits,
+            )
+
+        with watch.measure("config"):
+            lower, upper = self._full_bounds(population, prep, test)
+            configuration = configure_chips(
+                prep.structure,
+                lower,
+                upper,
+                period,
+                xi_tolerance=cfg.xi_tolerance,
+            )
+        passed = configured_pass(self.circuit, population, configuration, period)
+
+        return PopulationRunResult(
+            period=period,
+            test=test,
+            bounds_lower=lower,
+            bounds_upper=upper,
+            configuration=configuration,
+            passed=passed,
+            tester_seconds_per_chip=watch.total("tester") / n_chips,
+            config_seconds_per_chip=watch.total("config") / n_chips,
+        )
+
+    def run_chip(
+        self, true_delays: np.ndarray, preparation: Preparation
+    ) -> ChipTestResult:
+        """Scalar reference flow (Procedure 2) for one chip's delays."""
+        oracle = ChipOracle(true_delays)
+        return test_chip(
+            oracle,
+            preparation.plan,
+            preparation.specs,
+            preparation.prior_means,
+            preparation.prior_stds,
+            preparation.epsilon,
+            sigma_window=self.config.sigma_window,
+            k0=self.config.k0,
+            kd=self.config.kd,
+            align=self.config.align,
+            x_inits=preparation.x_inits,
+        )
+
+    def pathwise_baseline(self, population: CircuitPopulation) -> PathwiseResult:
+        """The comparison method of [2, 6, 8, 9]: per-path binary search
+        over all required paths with the same resolution ``epsilon``."""
+        cfg = self.config
+        model = self.circuit.paths.model
+        epsilon = cfg.epsilon
+        if epsilon is None:
+            widths = 2.0 * cfg.sigma_window * model.stds()
+            epsilon = float(np.median(widths) / 2**cfg.pathwise_iterations_target)
+        return pathwise_frequency_stepping(
+            population.required,
+            model.means,
+            model.stds(),
+            epsilon,
+            sigma_window=cfg.sigma_window,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _full_bounds(
+        self,
+        population: CircuitPopulation,
+        prep: Preparation,
+        test: PopulationTestResult,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense (n_chips, n_paths) bounds: tested ranges + predictions."""
+        n_chips = population.n_chips
+        n_paths = self.circuit.paths.n_paths
+        lower = np.empty((n_chips, n_paths))
+        upper = np.empty((n_chips, n_paths))
+        lower[:, test.measured_indices] = test.lower
+        upper[:, test.measured_indices] = test.upper
+
+        if prep.predictor is not None:
+            # Conservative conditioning on measured *upper* bounds (§3.4).
+            measured_upper = test.upper
+            pred_lower, pred_upper = prep.predictor.predict_intervals(
+                measured_upper, sigma_window=self.config.sigma_window
+            )
+            lower[:, prep.predictor.predicted_idx] = pred_lower
+            upper[:, prep.predictor.predicted_idx] = pred_upper
+        return lower, upper
+
+

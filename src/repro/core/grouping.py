@@ -1,0 +1,174 @@
+"""Path grouping and test-path selection (§3.1, Procedure 1 of the paper).
+
+Starting at a high correlation threshold (0.95), paths are partitioned into
+groups of mutually correlated delays; the threshold is lowered by 0.05 per
+round until every path is grouped.  Each group's covariance is decomposed
+with PCA, the number of significant principal components determines how
+many of its paths are frequency-stepped, and the paths picked are those
+with the largest loading on each successive component.
+
+Grouping uses connected components of the thresholded correlation graph —
+cheap, deterministic, and faithful to the paper's "extract paths with high
+correlations" (clusters far apart on the die correlate only globally, so
+chaining across clusters cannot occur at high thresholds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+from repro.variation.correlation import PathDelayModel
+from repro.variation.pca import pca, select_representatives
+
+
+@dataclass(frozen=True)
+class PathGroup:
+    """One correlated path group and its selected test paths."""
+
+    indices: np.ndarray  # global path indices in this group
+    threshold: float  # correlation threshold at which it was extracted
+    n_components: int  # |PC_i|
+    selected: np.ndarray  # global indices of the paths chosen for test
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class GroupingResult:
+    """All groups plus the union of selected test paths (the paper's P_t)."""
+
+    groups: tuple[PathGroup, ...] = field(default=())
+
+    @property
+    def tested_indices(self) -> np.ndarray:
+        if not self.groups:
+            return np.array([], dtype=np.intp)
+        return np.unique(np.concatenate([g.selected for g in self.groups]))
+
+    @property
+    def n_tested(self) -> int:
+        return len(self.tested_indices)
+
+    def group_of(self, path: int) -> PathGroup:
+        for group in self.groups:
+            if path in group.indices:
+                return group
+        raise KeyError(f"path {path} not in any group")
+
+
+def _threshold_components(corr: np.ndarray, members: np.ndarray, threshold: float):
+    """Connected components of the subgraph with edges ``corr >= threshold``."""
+    n = len(members)
+    sub = corr[np.ix_(members, members)] >= threshold
+    np.fill_diagonal(sub, True)
+    labels = np.full(n, -1, dtype=int)
+    current = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        stack = [start]
+        labels[start] = current
+        while stack:
+            node = stack.pop()
+            neighbours = np.flatnonzero(sub[node] & (labels < 0))
+            labels[neighbours] = current
+            stack.extend(neighbours.tolist())
+        current += 1
+    return [members[labels == c] for c in range(current)]
+
+
+def significant_components(
+    eigenvalues: np.ndarray,
+    criterion: str = "relative",
+    variance_fraction: float = 0.95,
+    relative_threshold: float = 0.03,
+) -> int:
+    """How many principal components "carry the correlation information".
+
+    ``"largest"`` (default) counts eigenvalues at least
+    ``relative_threshold`` of the *largest* eigenvalue — scale-free in the
+    group size, so a 50-path and a 1000-path cluster select comparably.
+    ``"relative"`` counts eigenvalues at least ``relative_threshold`` of
+    the total variance.  ``"fraction"`` counts the smallest prefix
+    explaining ``variance_fraction`` of total variance (classic PCA
+    truncation).
+    """
+    check_probability(variance_fraction, "variance_fraction")
+    clipped = np.maximum(eigenvalues, 0.0)
+    total = float(np.sum(clipped))
+    if total <= 0:
+        return 0
+    if criterion == "largest":
+        top = float(clipped[0]) if len(clipped) else 0.0
+        if top <= 0:
+            return 0
+        return max(int(np.sum(clipped >= relative_threshold * top)), 1)
+    if criterion == "relative":
+        count = int(np.sum(clipped >= relative_threshold * total))
+        return max(count, 1)
+    if criterion == "fraction":
+        cumulative = np.cumsum(clipped) / total
+        return int(np.searchsorted(cumulative, variance_fraction - 1e-12) + 1)
+    raise ValueError(f"unknown criterion {criterion!r}")
+
+
+def group_and_select(
+    model: PathDelayModel,
+    start_threshold: float = 0.95,
+    threshold_step: float = 0.05,
+    floor_threshold: float = 0.50,
+    pc_criterion: str = "largest",
+    variance_fraction: float = 0.95,
+    relative_threshold: float = 0.03,
+) -> GroupingResult:
+    """Procedure 1: group paths by correlation, select test paths by PCA.
+
+    A component of size >= 2 found at the current threshold becomes a group;
+    singletons are retried at lower thresholds until ``floor_threshold``,
+    below which every remaining path forms its own (directly tested) group.
+    """
+    corr = model.correlation()
+    cov = model.covariance()
+    remaining = np.arange(model.n_paths, dtype=np.intp)
+    groups: list[PathGroup] = []
+    threshold = start_threshold
+
+    while remaining.size:
+        at_floor = threshold <= floor_threshold + 1e-12
+        components = _threshold_components(corr, remaining, threshold)
+        leftovers = []
+        for component in components:
+            if component.size == 1 and not at_floor:
+                leftovers.append(component)
+                continue
+            group_cov = cov[np.ix_(component, component)]
+            decomposition = pca(group_cov, variance_fraction)
+            n_pc = significant_components(
+                decomposition.eigenvalues,
+                criterion=pc_criterion,
+                variance_fraction=variance_fraction,
+                relative_threshold=relative_threshold,
+            )
+            n_pc = max(1, min(n_pc, component.size))
+            local_selected = select_representatives(decomposition, n_pc)
+            groups.append(
+                PathGroup(
+                    indices=component,
+                    threshold=threshold,
+                    n_components=n_pc,
+                    selected=component[np.asarray(local_selected, dtype=np.intp)],
+                )
+            )
+        if at_floor:
+            break
+        remaining = (
+            np.concatenate(leftovers) if leftovers else np.array([], dtype=np.intp)
+        )
+        threshold = max(threshold - threshold_step, floor_threshold)
+
+    return GroupingResult(tuple(groups))

@@ -1,0 +1,245 @@
+"""Hold-time tuning bounds (§3.5, eqs. 19–21 of the paper).
+
+Buffers must not skew clocks so far that short paths race through
+(eq. 2): ``x_i - x_j >= ~d_ij`` with ``~d_ij = h_j - d_ij_min``.  Rather
+than test hold per chip, the paper samples the short-path requirement
+distribution ``M`` times and picks per-pair lower bounds ``lambda_ij`` such
+that at least a fraction ``Y`` (0.99) of samples would be hold-safe under
+``x_i - x_j >= lambda_ij``, while minimizing ``sum(lambda_ij)`` to leave
+the buffers maximal configuration freedom.
+
+Selecting *which* (1-Y)·M samples to leave uncovered is a small covering
+MILP (eqs. 19–20); production uses a greedy drop heuristic (each round
+drops the sample whose removal shrinks ``sum(lambda)`` most), with the
+exact MILP available as a cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.buffers import BufferPlan
+from repro.circuit.paths import ShortPathSet
+from repro.opt.diffconstraints import DifferenceSystem
+from repro.opt.model import Model, ObjectiveSense
+from repro.opt.solve import solve
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class HoldBounds:
+    """Per-FF-pair lower bounds ``x_src - x_snk >= lambda``.
+
+    ``pairs[k]`` holds (source FF index, sink FF index) into the circuit's
+    ``ff_names``; ``lambdas[k]`` the bound.  Pairs without any tunable
+    endpoint are omitted (their skew is fixed at 0; their hold margin is
+    accounted for in ``achieved_yield``).
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+    lambdas: np.ndarray
+    achieved_yield: float
+    target_yield: float
+
+    def as_mapping(self) -> dict[tuple[int, int], float]:
+        return {pair: float(lam) for pair, lam in zip(self.pairs, self.lambdas)}
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def _pair_requirements(
+    short_paths: ShortPathSet, samples: np.ndarray
+) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """Collapse per-path samples to per-FF-pair requirements (max)."""
+    pair_of_path: dict[tuple[int, int], list[int]] = {}
+    for p in range(short_paths.n_paths):
+        key = (int(short_paths.source_idx[p]), int(short_paths.sink_idx[p]))
+        pair_of_path.setdefault(key, []).append(p)
+    pairs = sorted(pair_of_path)
+    collapsed = np.empty((samples.shape[0], len(pairs)))
+    for col, key in enumerate(pairs):
+        collapsed[:, col] = samples[:, pair_of_path[key]].max(axis=1)
+    return pairs, collapsed
+
+
+def compute_hold_bounds(
+    short_paths: ShortPathSet,
+    buffer_plan: BufferPlan,
+    target_yield: float = 0.99,
+    n_samples: int = 1000,
+    seed: RandomState = None,
+) -> HoldBounds:
+    """Sample short-path requirements and pick ``lambda`` bounds greedily."""
+    check_probability(target_yield, "target_yield")
+    if n_samples < 1:
+        raise ValueError("n_samples must be positive")
+    samples = short_paths.model.sample(n_samples, seed=seed)
+    pairs, req = _pair_requirements(short_paths, samples)
+
+    buffered = {
+        i for i, name in enumerate(short_paths.ff_names)
+        if buffer_plan.has_buffer(name)
+    }
+    tunable_cols = [
+        k for k, (src, snk) in enumerate(pairs)
+        if src in buffered or snk in buffered
+    ]
+    fixed_cols = [k for k in range(len(pairs)) if k not in tunable_cols]
+
+    # Samples whose fixed-skew pairs already violate can never be covered.
+    if fixed_cols:
+        uncoverable = (req[:, fixed_cols] > 0).any(axis=1)
+    else:
+        uncoverable = np.zeros(n_samples, dtype=bool)
+    coverable = np.flatnonzero(~uncoverable)
+
+    budget = int(np.floor((1.0 - target_yield) * n_samples))
+    budget -= int(uncoverable.sum())
+
+    kept = set(coverable.tolist())
+    tunable = req[:, tunable_cols] if tunable_cols else np.zeros((n_samples, 0))
+    for _ in range(max(budget, 0)):
+        if len(kept) <= 1:
+            break
+        kept_idx = np.fromiter(kept, dtype=np.intp)
+        block = tunable[kept_idx]
+        if block.shape[1] == 0:
+            break
+        order = np.argsort(block, axis=0)
+        top = block[order[-1], np.arange(block.shape[1])]
+        second = (
+            block[order[-2], np.arange(block.shape[1])]
+            if block.shape[0] > 1
+            else top
+        )
+        top_owner = kept_idx[order[-1]]
+        # Reduction from dropping sample s: sum over pairs it uniquely tops.
+        gains = np.zeros(len(kept_idx))
+        owner_local = order[-1]
+        np.add.at(gains, owner_local, np.maximum(top - second, 0.0))
+        best_local = int(np.argmax(gains))
+        if gains[best_local] <= 0:
+            break
+        kept.discard(int(kept_idx[best_local]))
+
+    kept_idx = np.fromiter(sorted(kept), dtype=np.intp)
+    if tunable_cols and kept_idx.size:
+        lambdas = tunable[kept_idx].max(axis=0)
+    else:
+        lambdas = np.zeros(len(tunable_cols))
+
+    achieved = len(kept) / n_samples
+    out_pairs = tuple(pairs[k] for k in tunable_cols)
+    return HoldBounds(
+        pairs=out_pairs,
+        lambdas=np.asarray(lambdas, dtype=float),
+        achieved_yield=float(achieved),
+        target_yield=target_yield,
+    )
+
+
+def solve_hold_bounds_milp(
+    short_paths: ShortPathSet,
+    buffer_plan: BufferPlan,
+    target_yield: float = 0.99,
+    n_samples: int = 40,
+    seed: RandomState = None,
+    backend: str = "scipy",
+) -> HoldBounds:
+    """Exact eqs. 19–20 solve (small sample counts; used for cross-checks)."""
+    samples = short_paths.model.sample(n_samples, seed=seed)
+    pairs, req = _pair_requirements(short_paths, samples)
+    buffered = {
+        i for i, name in enumerate(short_paths.ff_names)
+        if buffer_plan.has_buffer(name)
+    }
+    tunable_cols = [
+        k for k, (src, snk) in enumerate(pairs)
+        if src in buffered or snk in buffered
+    ]
+    fixed_cols = [k for k in range(len(pairs)) if k not in tunable_cols]
+
+    model = Model("hold_bounds")
+    span = float(np.abs(req).max(initial=1.0)) * 2.0 + 1.0
+    lam_vars = [
+        model.add_var(f"lam{k}", -span, span) for k in range(len(tunable_cols))
+    ]
+    y_vars = [model.add_binary(f"y{s}") for s in range(n_samples)]
+    for s in range(n_samples):
+        for j, col in enumerate(tunable_cols):
+            # lambda_j - req[s, col] >= span * (y_s - 1)   (eq. 19)
+            model.add_constraint(
+                lam_vars[j] - float(req[s, col]) >= span * (y_vars[s] - 1)
+            )
+        for col in fixed_cols:
+            if req[s, col] > 0:
+                model.add_constraint(y_vars[s] <= 0)
+    total_y = sum(y_vars[1:], y_vars[0]) if y_vars else None
+    if total_y is not None:
+        model.add_constraint(total_y >= target_yield * n_samples)  # eq. 20
+    objective = lam_vars[0] if lam_vars else None
+    for v in lam_vars[1:]:
+        objective = objective + v
+    if objective is not None:
+        model.set_objective(objective, ObjectiveSense.MINIMIZE)
+    solution = solve(model, backend=backend)
+    if not solution.ok:
+        raise RuntimeError(f"hold-bound MILP failed: {solution.status}")
+    lambdas = np.array([solution[f"lam{k}"] for k in range(len(tunable_cols))])
+    covered = sum(round(solution[f"y{s}"]) for s in range(n_samples))
+    return HoldBounds(
+        pairs=tuple(pairs[k] for k in tunable_cols),
+        lambdas=lambdas,
+        achieved_yield=covered / n_samples,
+        target_yield=target_yield,
+    )
+
+
+def hold_feasible_settings(
+    buffer_plan: BufferPlan,
+    hold_bounds: HoldBounds,
+    ff_names: tuple[str, ...],
+) -> dict[str, float]:
+    """A buffer setting satisfying all ``lambda`` bounds and ranges.
+
+    Solved as a difference-constraint system on the buffer lattice; used as
+    the default scan-in configuration during test (buffers outside the
+    current batch are parked here).  Raises if no such setting exists —
+    that means the hold bounds themselves are inconsistent with the ranges.
+    """
+    buffered = [name for name in ff_names if buffer_plan.has_buffer(name)]
+    index = {name: i for i, name in enumerate(buffered)}
+    step = buffer_plan.uniform_step()
+
+    system = DifferenceSystem(len(buffered))
+    for name in buffered:
+        buf = buffer_plan.buffer(name)
+        system.add_bounds(index[name], buf.lower, buf.upper)
+    for (src, snk), lam in zip(hold_bounds.pairs, hold_bounds.lambdas):
+        src_name, snk_name = ff_names[src], ff_names[snk]
+        src_b = index.get(src_name)
+        snk_b = index.get(snk_name)
+        if src_b is not None and snk_b is not None:
+            # x_src - x_snk >= lam  <=>  x_snk - x_src <= -lam
+            system.add_le(src_b, snk_b, -float(lam))
+        elif src_b is not None:
+            system.add_lower_bound(src_b, float(lam))
+        elif snk_b is not None:
+            system.add_upper_bound(snk_b, -float(lam))
+        elif lam > 0:
+            raise RuntimeError(
+                "hold bound between untunable flip-flops is violated; the "
+                "circuit cannot be made hold-safe by tuning"
+            )
+    result = system.solve_on_lattice(step) if step else system.solve()
+    if not result.feasible:
+        raise RuntimeError("no hold-feasible buffer setting exists")
+    out = {}
+    for name in buffered:
+        value = float(result.x[index[name]])
+        out[name] = buffer_plan.buffer(name).quantize(value)
+    return out

@@ -1,0 +1,301 @@
+"""Path test multiplexing (§3.2 of the paper).
+
+Paths measured in the same tester iteration must be *individually
+observable*: a latch failure at a flip-flop must implicate exactly one
+path.  Two paths converging at (same sink) or leaving from (same source)
+one flip-flop are therefore incompatible, while chains like
+``p14, p46, p67`` are fine ("arranged in series").  A *batch* is thus an
+edge set of the flip-flop multigraph with in-degree <= 1 and out-degree
+<= 1 per node, minus any ATPG mutual exclusions (paths that logic masking
+prevents from being sensitized together).
+
+Batches are formed greedily first-fit over paths sorted by decreasing prior
+sigma (wide ranges first so they get the most alignment attention), which
+for this degree-constrained colouring is within one of optimal in practice.
+Idle slots are then filled with not-selected paths in decreasing
+*conditional* sigma order (eq. 5 is data-independent), so the extra
+measurements shrink the widest predicted ranges for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.paths import PathSet
+from repro.core.prediction import conditional_stds_if_tested
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One parallel-test batch (global path indices)."""
+
+    path_indices: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.path_indices)
+
+
+@dataclass(frozen=True)
+class MultiplexPlan:
+    """All batches plus bookkeeping of what is measured vs predicted."""
+
+    batches: tuple[Batch, ...]
+    selected: np.ndarray  # paths chosen by Procedure 1
+    fills: np.ndarray  # extra paths added to idle slots
+    measured: np.ndarray  # union, sorted
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def n_measured(self) -> int:
+        return len(self.measured)
+
+
+class _BatchBuilder:
+    """Mutable batch respecting the source/sink exclusivity rule."""
+
+    def __init__(self) -> None:
+        self.paths: list[int] = []
+        self.used_sources: set[int] = set()
+        self.used_sinks: set[int] = set()
+        self._mean_sum: float = 0.0
+
+    def can_accept(
+        self,
+        path: int,
+        source: int,
+        sink: int,
+        exclusions: dict[int, set[int]],
+    ) -> bool:
+        if source in self.used_sources or sink in self.used_sinks:
+            return False
+        banned = exclusions.get(path)
+        if banned and any(other in banned for other in self.paths):
+            return False
+        return True
+
+    def add(self, path: int, source: int, sink: int, mean: float = 0.0) -> None:
+        self.paths.append(path)
+        self.used_sources.add(source)
+        self.used_sinks.add(sink)
+        self._mean_sum += mean
+
+    def mean_center(self) -> float:
+        return self._mean_sum / len(self.paths) if self.paths else 0.0
+
+
+def _exclusion_index(
+    mutual_exclusions: frozenset[tuple[int, int]] | set[tuple[int, int]]
+) -> dict[int, set[int]]:
+    index: dict[int, set[int]] = {}
+    for a, b in mutual_exclusions:
+        index.setdefault(a, set()).add(b)
+        index.setdefault(b, set()).add(a)
+    return index
+
+
+def form_batches(
+    paths: PathSet,
+    test_indices: np.ndarray,
+    mutual_exclusions: frozenset[tuple[int, int]] = frozenset(),
+    order_stds: np.ndarray | None = None,
+    affinity: bool = True,
+) -> list[_BatchBuilder]:
+    """Greedy batching of ``test_indices``.
+
+    With ``affinity`` (default) each path goes to the *compatible batch
+    whose mean prior delay is closest to its own*.  Aligned testing (§3.3)
+    converges fastest when a batch's shifted ranges overlap, and the tuning
+    buffers can only bridge a limited spread (tau/2 per endpoint), so
+    packing similar-delay paths together directly reduces test iterations.
+    Without affinity, plain first-fit is used.
+    """
+    test_indices = np.asarray(test_indices, dtype=np.intp)
+    exclusions = _exclusion_index(mutual_exclusions)
+    if order_stds is None:
+        order_stds = paths.model.stds()
+    means = paths.model.means
+    order = test_indices[np.argsort(-order_stds[test_indices], kind="stable")]
+
+    builders: list[_BatchBuilder] = []
+    for path in order.tolist():
+        source = int(paths.source_idx[path])
+        sink = int(paths.sink_idx[path])
+        mean = float(means[path])
+        candidates = [
+            b for b in builders if b.can_accept(path, source, sink, exclusions)
+        ]
+        if candidates:
+            if affinity:
+                chosen = min(candidates, key=lambda b: abs(b.mean_center() - mean))
+            else:
+                chosen = candidates[0]
+            chosen.add(path, source, sink, mean)
+        else:
+            builder = _BatchBuilder()
+            builder.add(path, source, sink, mean)
+            builders.append(builder)
+    return builders
+
+
+def fill_idle_slots(
+    builders: list[_BatchBuilder],
+    paths: PathSet,
+    candidate_order: np.ndarray,
+    mutual_exclusions: frozenset[tuple[int, int]] = frozenset(),
+    capacity: int | None = None,
+) -> list[int]:
+    """Add candidates (already ranked) into idle slots; returns the fills.
+
+    A batch's capacity is the size of the *largest* initially formed batch
+    (the paper's "unoccupied slots": smaller batches have idle parallel
+    test slots up to what the tester demonstrably sustains).
+    """
+    exclusions = _exclusion_index(mutual_exclusions)
+    if capacity is None:
+        capacity = max((len(b.paths) for b in builders), default=0)
+    means = paths.model.means
+    fills: list[int] = []
+    for path in np.asarray(candidate_order, dtype=np.intp).tolist():
+        source = int(paths.source_idx[path])
+        sink = int(paths.sink_idx[path])
+        mean = float(means[path])
+        candidates = [
+            b
+            for b in builders
+            if len(b.paths) < capacity and b.can_accept(path, source, sink, exclusions)
+        ]
+        if candidates:
+            chosen = min(candidates, key=lambda b: abs(b.mean_center() - mean))
+            chosen.add(path, source, sink, mean)
+            fills.append(path)
+    return fills
+
+
+def form_batches_ilp(
+    paths: PathSet,
+    test_indices: np.ndarray,
+    mutual_exclusions: frozenset[tuple[int, int]] = frozenset(),
+    backend: str = "scipy",
+) -> list[list[int]]:
+    """Minimum-batch-count arrangement via the paper's "simple ILP model".
+
+    Exact alternative to the greedy first-fit of :func:`form_batches` for
+    small test sets (the MILP grows as paths x batches).  Binary ``y[p,b]``
+    assigns path ``p`` to batch ``b``; per batch each flip-flop may appear
+    at most once as a source and once as a sink; ``z[b]`` marks used
+    batches and their count is minimized (with symmetry breaking
+    ``z[b] >= z[b+1]`` so the search does not permute batch labels).
+    """
+    from repro.opt.model import Model, ObjectiveSense
+    from repro.opt.solve import solve
+
+    test_indices = np.asarray(test_indices, dtype=np.intp)
+    if test_indices.size == 0:
+        return []
+    greedy = form_batches(paths, test_indices, mutual_exclusions)
+    max_batches = len(greedy)
+    if max_batches <= 1:
+        return [sorted(b.paths) for b in greedy]
+
+    exclusions = _exclusion_index(mutual_exclusions)
+    model = Model("min_batches")
+    y = {}
+    z = [model.add_binary(f"z{b}") for b in range(max_batches)]
+    for p in test_indices.tolist():
+        for b in range(max_batches):
+            y[p, b] = model.add_binary(f"y{p}_{b}")
+    for p in test_indices.tolist():
+        model.add_constraint(
+            sum((y[p, b] for b in range(1, max_batches)), y[p, 0]).equals(1)
+        )
+        for b in range(max_batches):
+            model.add_constraint(y[p, b] <= z[b])
+    by_source: dict[int, list[int]] = {}
+    by_sink: dict[int, list[int]] = {}
+    for p in test_indices.tolist():
+        by_source.setdefault(int(paths.source_idx[p]), []).append(p)
+        by_sink.setdefault(int(paths.sink_idx[p]), []).append(p)
+    for b in range(max_batches):
+        for group in list(by_source.values()) + list(by_sink.values()):
+            if len(group) > 1:
+                model.add_constraint(
+                    sum((y[p, b] for p in group[1:]), y[group[0], b]) <= 1
+                )
+        for p in test_indices.tolist():
+            banned = exclusions.get(p, set()) & set(test_indices.tolist())
+            for q in banned:
+                if q > p:
+                    model.add_constraint(y[p, b] + y[q, b] <= 1)
+    for b in range(max_batches - 1):
+        model.add_constraint(z[b] >= z[b + 1])
+    model.set_objective(
+        sum((zb for zb in z[1:]), z[0]), ObjectiveSense.MINIMIZE
+    )
+    solution = solve(model, backend=backend)
+    if not solution.ok:  # pragma: no cover - greedy is always feasible
+        return [sorted(b.paths) for b in greedy]
+    batches: list[list[int]] = []
+    for b in range(max_batches):
+        if round(solution[f"z{b}"]) != 1:
+            continue
+        members = [
+            p for p in test_indices.tolist() if round(solution[f"y{p}_{b}"]) == 1
+        ]
+        if members:
+            batches.append(sorted(members))
+    return batches
+
+
+def plan_multiplexing(
+    paths: PathSet,
+    selected_indices: np.ndarray,
+    mutual_exclusions: frozenset[tuple[int, int]] = frozenset(),
+    fill_slots: bool = True,
+    affinity: bool = False,
+    fill_sigma_fraction: float = 0.5,
+    max_fill_factor: float = 1.0,
+) -> MultiplexPlan:
+    """Build the full §3.2 plan: batches over the selected paths, then fill
+    idle slots with the largest-conditional-variance unselected paths.
+
+    Only candidates that remain poorly predicted — conditional sigma above
+    ``fill_sigma_fraction`` of their prior sigma — are worth a slot, and at
+    most ``max_fill_factor * len(selected)`` fills are added (testing is
+    free only while slots are genuinely idle).  ``affinity=True`` enables
+    mean-affinity packing (an extension beyond the paper's first-fit
+    batching; see :func:`form_batches`).
+    """
+    selected = np.unique(np.asarray(selected_indices, dtype=np.intp))
+    builders = form_batches(paths, selected, mutual_exclusions, affinity=affinity)
+
+    fills: list[int] = []
+    if fill_slots and selected.size < paths.n_paths:
+        conditional = conditional_stds_if_tested(paths.model, selected)
+        predictor_idx = np.setdiff1d(
+            np.arange(paths.n_paths, dtype=np.intp), selected
+        )
+        prior = np.sqrt(paths.model.variances()[predictor_idx])
+        poorly_predicted = conditional > fill_sigma_fraction * np.maximum(prior, 1e-12)
+        candidates = predictor_idx[poorly_predicted]
+        order = candidates[
+            np.argsort(-conditional[poorly_predicted], kind="stable")
+        ]
+        budget = int(np.floor(max_fill_factor * selected.size))
+        fills = fill_idle_slots(
+            builders, paths, order[:budget], mutual_exclusions
+        )
+
+    batches = tuple(
+        Batch(np.asarray(sorted(b.paths), dtype=np.intp)) for b in builders
+    )
+    fills_arr = np.asarray(sorted(fills), dtype=np.intp)
+    measured = np.unique(np.concatenate([selected, fills_arr])) if fills else selected
+    return MultiplexPlan(
+        batches=batches, selected=selected, fills=fills_arr, measured=measured
+    )

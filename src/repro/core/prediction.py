@@ -1,0 +1,117 @@
+"""Conditional Gaussian delay prediction (§3.1, eqs. 4–5 of the paper).
+
+With jointly Gaussian path delays ``[d_k, D_t] ~ N(mu, Sigma)``, measuring
+``D_t = d_t`` updates the remaining delay ``d_k`` to
+
+    mu'_k    = mu_k + Sigma_kt Sigma_t^-1 (d_t - mu_t)          (eq. 4)
+    sigma'^2 = sigma_k^2 - Sigma_kt Sigma_t^-1 Sigma_tk         (eq. 5)
+
+The conditional variance is data-independent (it depends only on the
+covariance), which the paper exploits twice: to decide *which* extra paths
+to measure in idle test slots (largest conditional variance first, §3.2)
+and to bound estimated delays by ``mu' ± 3 sigma'`` for configuration
+(§3.4).  :class:`ConditionalPredictor` precomputes the weight matrix once
+per circuit so per-chip prediction is a single matrix-vector product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.variation.correlation import PathDelayModel
+
+_JITTER = 1e-9
+
+
+@dataclass(frozen=True)
+class ConditionalPredictor:
+    """Precomputed conditional update for a fixed tested-path subset."""
+
+    tested_idx: np.ndarray
+    predicted_idx: np.ndarray
+    weights: np.ndarray  # (n_predicted, n_tested): Sigma_kt Sigma_t^-1
+    prior_means_tested: np.ndarray
+    prior_means_predicted: np.ndarray
+    conditional_stds: np.ndarray  # (n_predicted,)
+
+    @property
+    def n_tested(self) -> int:
+        return len(self.tested_idx)
+
+    @property
+    def n_predicted(self) -> int:
+        return len(self.predicted_idx)
+
+    def predict_means(self, measured: np.ndarray) -> np.ndarray:
+        """Conditional means given measured values of the tested paths.
+
+        ``measured`` has shape ``(n_tested,)`` or ``(n_chips, n_tested)``;
+        the paper conservatively feeds the measured *upper bounds* here.
+        """
+        measured = np.asarray(measured, dtype=float)
+        delta = measured - self.prior_means_tested
+        return self.prior_means_predicted + delta @ self.weights.T
+
+    def predict_intervals(
+        self, measured: np.ndarray, sigma_window: float = 3.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``mu' ± sigma_window * sigma'`` bounds for the predicted paths."""
+        means = self.predict_means(measured)
+        half = sigma_window * self.conditional_stds
+        return means - half, means + half
+
+
+def build_predictor(
+    model: PathDelayModel, tested_indices
+) -> ConditionalPredictor:
+    """Construct the conditional predictor for ``tested_indices``.
+
+    The tested covariance block is regularized with a tiny diagonal jitter
+    before solving — measured paths in one physical cluster can be nearly
+    collinear, which is precisely the regime EffiTest operates in.
+    """
+    tested = np.unique(np.asarray(tested_indices, dtype=np.intp))
+    if tested.size == 0:
+        raise ValueError("at least one tested path is required")
+    if tested.max(initial=0) >= model.n_paths:
+        raise ValueError("tested index out of range")
+    all_idx = np.arange(model.n_paths, dtype=np.intp)
+    predicted = np.setdiff1d(all_idx, tested)
+
+    a_t = model.loadings[tested]
+    a_k = model.loadings[predicted]
+    sigma_t = a_t @ a_t.T
+    sigma_t[np.diag_indices_from(sigma_t)] += (
+        model.independent[tested] ** 2 + _JITTER * max(float(np.trace(sigma_t)), 1.0)
+    )
+    sigma_kt = a_k @ a_t.T  # independent parts never cross-correlate
+
+    weights = np.linalg.solve(sigma_t, sigma_kt.T).T  # Sigma_kt Sigma_t^-1
+
+    prior_var = (
+        np.einsum("ij,ij->i", a_k, a_k) + model.independent[predicted] ** 2
+    )
+    explained = np.einsum("ij,ij->i", weights, sigma_kt)
+    conditional_var = np.maximum(prior_var - explained, 0.0)
+
+    return ConditionalPredictor(
+        tested_idx=tested,
+        predicted_idx=predicted,
+        weights=weights,
+        prior_means_tested=model.means[tested],
+        prior_means_predicted=model.means[predicted],
+        conditional_stds=np.sqrt(conditional_var),
+    )
+
+
+def conditional_stds_if_tested(
+    model: PathDelayModel, tested_indices
+) -> np.ndarray:
+    """Conditional sigma of every untested path for a hypothetical test set.
+
+    Used by slot filling (§3.2): since eq. 5 does not depend on measured
+    values, the benefit of measuring one more path can be ranked offline.
+    """
+    return build_predictor(model, tested_indices).conditional_stds

@@ -1,0 +1,146 @@
+"""Per-chip aligned delay test — the paper's Procedure 2, readable form.
+
+For every batch: solve the alignment problem (eqs. 7–14) for a clock period
+and buffer settings, apply them on the tester, turn each pass into a new
+upper bound (``u = T - x_i + x_j``) and each fail into a new lower bound,
+and retire paths whose range is narrower than ``epsilon``.  One application
+of ``(T, x)`` is one frequency-stepping iteration — the unit of tester cost
+in Table 1.
+
+This scalar engine is the reference implementation; the vectorized
+population engine (:mod:`repro.core.population`) is tested against it for
+trace equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alignment import (
+    BatchAlignment,
+    center_sorted_weights,
+    solve_alignment,
+)
+from repro.core.multiplexing import MultiplexPlan
+from repro.opt.weighted_median import weighted_median_rows
+from repro.tester.oracle import ChipOracle
+
+
+@dataclass(frozen=True)
+class ChipTestResult:
+    """Measured delay ranges of one chip after the aligned test."""
+
+    measured_indices: np.ndarray  # global path indices, aligned with bounds
+    lower: np.ndarray
+    upper: np.ndarray
+    iterations: int
+    iterations_per_batch: tuple[int, ...]
+
+
+def run_batch(
+    oracle: ChipOracle,
+    batch_paths: np.ndarray,
+    spec: BatchAlignment,
+    prior_lower: np.ndarray,
+    prior_upper: np.ndarray,
+    x_init: np.ndarray,
+    epsilon: float,
+    k0: float = 1000.0,
+    kd: float = 1.0,
+    align: bool = True,
+    max_iterations: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Test one batch on one chip; returns (lower, upper, iterations)."""
+    m = len(batch_paths)
+    lower = np.array(prior_lower, dtype=float, copy=True)
+    upper = np.array(prior_upper, dtype=float, copy=True)
+    if lower.shape != (m,) or upper.shape != (m,):
+        raise ValueError("priors must have one entry per batch path")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if max_iterations is None:
+        widths = np.maximum(upper - lower, epsilon)
+        max_iterations = int(m * (np.ceil(np.log2(widths / epsilon)).max() + 2))
+
+    iterations = 0
+    x = np.array(x_init, dtype=float, copy=True)
+    while iterations < max_iterations:
+        active = (upper - lower) >= epsilon
+        if not active.any():
+            break
+        centers = np.where(active, 0.5 * (lower + upper), np.nan)
+        weights = center_sorted_weights(centers, k0, kd)
+        if align and spec.n_buffers:
+            period_row, x_row = solve_alignment(
+                spec, centers[None, :], weights[None, :], x[None, :]
+            )
+            period = float(period_row[0])
+            x = x_row[0]
+        else:
+            shifted = (centers + spec.shift(x))[None, :]
+            period = float(weighted_median_rows(shifted, weights[None, :])[0])
+
+        shift = spec.shift(x)
+        passed = oracle.measure(batch_paths, shift, period)
+        iterations += 1
+        bound = period - shift
+        upper = np.where(active & passed, np.minimum(upper, bound), upper)
+        lower = np.where(active & ~passed, np.maximum(lower, bound), lower)
+    return lower, upper, iterations
+
+
+def test_chip(
+    oracle: ChipOracle,
+    plan: MultiplexPlan,
+    specs: list[BatchAlignment],
+    prior_means: np.ndarray,
+    prior_stds: np.ndarray,
+    epsilon: float,
+    sigma_window: float = 3.0,
+    k0: float = 1000.0,
+    kd: float = 1.0,
+    align: bool = True,
+    x_inits: list[np.ndarray] | None = None,
+) -> ChipTestResult:
+    """Procedure 2 over all batches of one chip.
+
+    ``x_inits`` optionally provides the hold-feasible starting settings per
+    batch (defaults to each spec's nearest-to-zero feasible point).
+    """
+    if len(specs) != plan.n_batches:
+        raise ValueError("one alignment spec per batch required")
+    all_indices: list[np.ndarray] = []
+    all_lower: list[np.ndarray] = []
+    all_upper: list[np.ndarray] = []
+    per_batch: list[int] = []
+    for b, (batch, spec) in enumerate(zip(plan.batches, specs)):
+        idx = batch.path_indices
+        x_init = x_inits[b] if x_inits is not None else spec.feasible_default()
+        lower, upper, iters = run_batch(
+            oracle,
+            idx,
+            spec,
+            prior_means[idx] - sigma_window * prior_stds[idx],
+            prior_means[idx] + sigma_window * prior_stds[idx],
+            x_init,
+            epsilon,
+            k0=k0,
+            kd=kd,
+            align=align,
+        )
+        all_indices.append(idx)
+        all_lower.append(lower)
+        all_upper.append(upper)
+        per_batch.append(iters)
+
+    indices = np.concatenate(all_indices) if all_indices else np.array([], dtype=np.intp)
+    order = np.argsort(indices, kind="stable")
+    return ChipTestResult(
+        measured_indices=indices[order],
+        lower=np.concatenate(all_lower)[order] if all_indices else np.array([]),
+        upper=np.concatenate(all_upper)[order] if all_indices else np.array([]),
+        iterations=int(sum(per_batch)),
+        iterations_per_batch=tuple(per_batch),
+    )

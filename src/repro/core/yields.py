@@ -1,0 +1,180 @@
+"""Yield evaluation (the paper's Table 2 / Fig. 7 quantities).
+
+Three yields per circuit and clock period ``Td``:
+
+* **no-buffer yield** — all paths meet ``Td`` with zero skew; the paper
+  calibrates its operating points against this (T1 at 50 %, T2 at the
+  +1-sigma point 84.13 %),
+* **ideal yield** ``y_i`` — a configuration exists when delays are known
+  exactly,
+* **EffiTest yield** ``y_t`` — the chip passes after being configured from
+  *tested + predicted* delay ranges; ``y_r = y_i - y_t`` is the cost of
+  measurement inaccuracy.
+
+Pass/fail of a configured chip checks every required path's setup (eq. 1
+with the configured ``x``), every untunable background path, and every true
+short-path hold requirement (eq. 2) — the "separate pass/fail test after
+the buffers are configured" the paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.generator import Circuit
+from repro.circuit.paths import PathSet
+from repro.core.configuration import (
+    ConfigStructure,
+    ConfigurationResult,
+    ideal_feasibility,
+)
+from repro.utils.rng import RandomState
+from repro.variation.sampling import sample_correlated
+
+_EPS = 1e-7
+
+
+@dataclass(frozen=True)
+class CircuitPopulation:
+    """One shared-process Monte-Carlo realization of a circuit.
+
+    ``required[c, p]`` — true max delays of the required paths;
+    ``background[c, q]`` — true max delays of untunable context paths;
+    ``hold_requirements[c, s]`` — true ``~d = h - d_min`` per short path.
+    """
+
+    required: np.ndarray
+    background: np.ndarray
+    hold_requirements: np.ndarray
+
+    @property
+    def n_chips(self) -> int:
+        return self.required.shape[0]
+
+    def subset(self, chip_indices) -> "CircuitPopulation":
+        idx = np.asarray(chip_indices, dtype=np.intp)
+        return CircuitPopulation(
+            self.required[idx], self.background[idx], self.hold_requirements[idx]
+        )
+
+
+def sample_circuit(
+    circuit: Circuit, n_chips: int, seed: RandomState = None
+) -> CircuitPopulation:
+    """Draw ``n_chips`` manufactured instances of ``circuit``."""
+    required, background, hold = sample_correlated(
+        [circuit.paths.model, circuit.background.model, circuit.short_paths.model],
+        n_chips,
+        seed=seed,
+    )
+    return CircuitPopulation(required, background, hold)
+
+
+def operating_periods(
+    population: CircuitPopulation,
+    quantiles: tuple[float, ...] = (0.5, 0.8413),
+) -> tuple[float, ...]:
+    """Clock periods at which the *no-buffer* yield equals each quantile.
+
+    The paper's T1/T2 are exactly the 50 % and 84.13 % points of the
+    no-buffer maximum-delay distribution.
+    """
+    worst = np.maximum(
+        population.required.max(axis=1, initial=-np.inf),
+        population.background.max(axis=1, initial=-np.inf),
+    )
+    return tuple(float(np.quantile(worst, q)) for q in quantiles)
+
+
+def no_buffer_yield(population: CircuitPopulation, period: float) -> float:
+    """Fraction of chips meeting ``period`` with all skews at zero."""
+    setup_ok = (population.required <= period + _EPS).all(axis=1) & (
+        population.background <= period + _EPS
+    ).all(axis=1)
+    hold_ok = (population.hold_requirements <= _EPS).all(axis=1)
+    return float((setup_ok & hold_ok).mean())
+
+
+def path_shifts(
+    paths: PathSet,
+    buffer_names: tuple[str, ...],
+    settings: np.ndarray,
+) -> np.ndarray:
+    """Per-path ``x_source - x_sink`` for per-chip buffer ``settings``.
+
+    ``settings`` is ``(n_chips, n_buffers)`` in ``buffer_names`` order;
+    flip-flops without buffers contribute 0.
+    """
+    local = {name: b for b, name in enumerate(buffer_names)}
+    src_col = np.array(
+        [local.get(paths.ff_names[i], -1) for i in paths.source_idx], dtype=np.intp
+    )
+    snk_col = np.array(
+        [local.get(paths.ff_names[i], -1) for i in paths.sink_idx], dtype=np.intp
+    )
+    n_chips = settings.shape[0]
+    shifts = np.zeros((n_chips, paths.n_paths))
+    has_src = src_col >= 0
+    has_snk = snk_col >= 0
+    if has_src.any():
+        shifts[:, has_src] += settings[:, src_col[has_src]]
+    if has_snk.any():
+        shifts[:, has_snk] -= settings[:, snk_col[has_snk]]
+    return shifts
+
+
+def configured_pass(
+    circuit: Circuit,
+    population: CircuitPopulation,
+    result: ConfigurationResult,
+    period: float,
+) -> np.ndarray:
+    """Final pass/fail test of configured chips (setup + background + hold).
+
+    Chips whose configuration was infeasible fail by definition (the paper
+    reports them nonfunctional).
+    """
+    n_chips = population.n_chips
+    passed = np.zeros(n_chips, dtype=bool)
+    ok = np.asarray(result.feasible, dtype=bool)
+    if not ok.any():
+        return passed
+    settings = np.nan_to_num(result.settings, nan=0.0)
+
+    shifts = path_shifts(circuit.paths, result.buffer_names, settings)
+    setup_ok = (population.required + shifts <= period + _EPS).all(axis=1)
+    background_ok = (population.background <= period + _EPS).all(axis=1)
+    hold_shifts = path_shifts(circuit.short_paths, result.buffer_names, settings)
+    # Hold (eq. 2): x_src - x_snk >= ~d  -> shift >= requirement.
+    hold_ok = (hold_shifts + _EPS >= population.hold_requirements).all(axis=1)
+
+    passed = ok & setup_ok & background_ok & hold_ok
+    return passed
+
+
+@dataclass(frozen=True)
+class YieldComparison:
+    """Per-period yield triple, as in Table 2."""
+
+    period: float
+    no_buffer: float
+    ideal: float
+    effitest: float
+
+    @property
+    def drop(self) -> float:
+        """The paper's ``y_r = y_i - y_t`` (in fractional units)."""
+        return self.ideal - self.effitest
+
+
+def ideal_yield(
+    circuit: Circuit,
+    population: CircuitPopulation,
+    structure: ConfigStructure,
+    period: float,
+) -> float:
+    """The paper's ``y_i``: yield with perfect per-chip delay knowledge."""
+    result = ideal_feasibility(structure, population.required, period)
+    return float(configured_pass(circuit, population, result, period).mean())

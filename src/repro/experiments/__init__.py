@@ -1,0 +1,46 @@
+"""Reproduction harness for the paper's evaluation (Table 1, Table 2,
+Figure 7, Figure 8).
+
+Run from the command line::
+
+    python -m repro.experiments all --quick
+
+or drive programmatically via :func:`run_table1` etc.
+"""
+
+from repro.experiments.benchdata import (
+    BENCHMARK_NAMES,
+    PAPER_BY_NAME,
+    PAPER_RESULTS,
+    QUICK_NAMES,
+    all_benchmark_specs,
+    benchmark_spec,
+)
+from repro.experiments.context import CircuitContext, build_context
+from repro.experiments.figure7 import Figure7Row, render_figure7, run_figure7
+from repro.experiments.figure8 import Figure8Row, render_figure8, run_figure8
+from repro.experiments.table1 import Table1Row, render_table1, run_table1
+from repro.experiments.table2 import Table2Row, render_table2, run_table2
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CircuitContext",
+    "Figure7Row",
+    "Figure8Row",
+    "PAPER_BY_NAME",
+    "PAPER_RESULTS",
+    "QUICK_NAMES",
+    "Table1Row",
+    "Table2Row",
+    "all_benchmark_specs",
+    "benchmark_spec",
+    "build_context",
+    "render_figure7",
+    "render_figure8",
+    "render_table1",
+    "render_table2",
+    "run_figure7",
+    "run_figure8",
+    "run_table1",
+    "run_table2",
+]

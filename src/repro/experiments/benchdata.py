@@ -1,0 +1,86 @@
+"""Published benchmark statistics (Table 1 of the paper).
+
+These numbers — flip-flops ``ns``, gates ``ng``, inserted buffers ``nb``
+and required paths ``np`` — calibrate the synthetic generator so every
+experiment runs at the paper's circuit sizes.  The paper's reference values
+for its own metrics are kept alongside so reports can print
+paper-vs-measured columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.generator import CircuitSpec
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The paper's published Table 1/Table 2 values for one circuit."""
+
+    name: str
+    ns: int
+    ng: int
+    nb: int
+    np_: int
+    npt: int
+    ta: float
+    tv: float
+    ta_pathwise: float
+    tv_pathwise: float
+    ra_percent: float
+    rv_percent: float
+    # Table 2
+    yi_t1: float
+    yt_t1: float
+    yi_t2: float
+    yt_t2: float
+
+
+#: Table 1 + Table 2 of the paper, verbatim.
+PAPER_RESULTS: tuple[PaperRow, ...] = (
+    PaperRow("s9234", 211, 5597, 2, 80, 15, 37, 2.47, 700, 8.75, 94.71, 71.77,
+             77.11, 75.80, 95.94, 95.61),
+    PaperRow("s13207", 638, 7951, 5, 485, 19, 39, 2.05, 4001, 8.25, 99.03, 75.15,
+             72.37, 72.09, 96.42, 96.03),
+    PaperRow("s15850", 534, 9772, 5, 397, 22, 76, 3.45, 3684, 9.28, 97.94, 62.82,
+             69.34, 69.09, 94.33, 94.10),
+    PaperRow("s38584", 1426, 19253, 7, 370, 21, 62, 2.95, 3093, 8.36, 98.00, 64.71,
+             85.97, 85.01, 98.48, 97.10),
+    PaperRow("mem_ctrl", 1065, 10327, 10, 3016, 62, 195, 3.15, 27415, 9.09,
+             99.29, 65.35, 67.11, 64.98, 94.58, 92.40),
+    PaperRow("usb_funct", 1746, 14381, 17, 482, 32, 114, 3.56, 4569, 9.48,
+             97.51, 62.45, 71.77, 69.40, 96.57, 94.60),
+    PaperRow("ac97_ctrl", 2199, 9208, 21, 780, 78, 288, 3.69, 7340, 9.41,
+             96.08, 60.79, 75.05, 73.40, 94.92, 93.09),
+    PaperRow("pci_bridge32", 3321, 12494, 32, 3472, 84, 298, 3.55, 29061, 8.37,
+             98.97, 57.59, 73.66, 71.50, 96.76, 95.71),
+)
+
+PAPER_BY_NAME: dict[str, PaperRow] = {row.name: row for row in PAPER_RESULTS}
+
+#: Circuit names in the paper's presentation order.
+BENCHMARK_NAMES: tuple[str, ...] = tuple(row.name for row in PAPER_RESULTS)
+
+#: Small subset used by default in tests and quick runs.
+QUICK_NAMES: tuple[str, ...] = ("s9234", "s13207", "usb_funct")
+
+
+def benchmark_spec(name: str) -> CircuitSpec:
+    """The generator spec calibrated to one of the paper's circuits."""
+    row = PAPER_BY_NAME.get(name)
+    if row is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+    return CircuitSpec(
+        name=row.name,
+        n_flipflops=row.ns,
+        n_gates=row.ng,
+        n_buffers=row.nb,
+        n_paths=row.np_,
+    )
+
+
+def all_benchmark_specs() -> list[CircuitSpec]:
+    return [benchmark_spec(name) for name in BENCHMARK_NAMES]

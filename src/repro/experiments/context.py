@@ -1,0 +1,77 @@
+"""Shared per-circuit experiment context.
+
+Every experiment needs the same artefacts for a circuit: the generated
+instance, the calibrated operating periods T1/T2 (no-buffer yield 50 % /
+84.13 %, from a dedicated calibration population), the offline preparation
+and an evaluation population.  Building them once per circuit keeps the
+experiment drivers small and guarantees Table 1, Table 2 and the figures
+all describe the same silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.generator import Circuit, generate_circuit
+from repro.core.framework import EffiTest, EffiTestConfig, Preparation
+from repro.core.yields import CircuitPopulation, operating_periods, sample_circuit
+from repro.experiments.benchdata import benchmark_spec
+from repro.utils.rng import derive_seed
+
+#: Calibration sample size for the T1/T2 quantiles.
+CALIBRATION_CHIPS = 4096
+
+#: Defaults shared by all experiment drivers.
+DEFAULT_CONFIG = EffiTestConfig(relative_threshold=0.015)
+
+
+@dataclass
+class CircuitContext:
+    """Everything an experiment needs about one benchmark circuit."""
+
+    circuit: Circuit
+    t1: float
+    t2: float
+    framework: EffiTest
+    preparation: Preparation
+    population: CircuitPopulation
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+
+def build_context(
+    name: str,
+    n_chips: int = 1000,
+    seed: int = 20160605,
+    config: EffiTestConfig | None = None,
+    prepare: bool = True,
+) -> CircuitContext:
+    """Generate, calibrate and prepare one benchmark circuit.
+
+    Seeds are derived per purpose (generation / calibration / evaluation),
+    so enlarging the evaluation population does not move T1/T2.
+    """
+    spec = benchmark_spec(name)
+    circuit = generate_circuit(spec, seed=derive_seed(seed, name, "circuit"))
+
+    calibration = sample_circuit(
+        circuit, CALIBRATION_CHIPS, seed=derive_seed(seed, name, "calibration")
+    )
+    t1, t2 = operating_periods(calibration)
+
+    framework = EffiTest(circuit, config or DEFAULT_CONFIG)
+    preparation = framework.prepare(clock_period=t1) if prepare else None
+
+    population = sample_circuit(
+        circuit, n_chips, seed=derive_seed(seed, name, "evaluation")
+    )
+    return CircuitContext(
+        circuit=circuit,
+        t1=t1,
+        t2=t2,
+        framework=framework,
+        preparation=preparation,
+        population=population,
+    )

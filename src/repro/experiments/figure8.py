@@ -1,0 +1,85 @@
+"""Figure 8 reproduction: test cost without statistical prediction.
+
+All ``np`` required paths are frequency-stepped (no path selection), in
+three modes:
+
+1. **path-wise** — every path alone (the baseline of [2, 6, 8, 9]),
+2. **path multiplexing** — batches per §3.2 but all buffers parked at
+   their defaults (no alignment),
+3. **proposed** — multiplexing + delay alignment by the tuning buffers.
+
+The figure reports iterations *per path*; the expected shape is a strict
+ordering path-wise > multiplexing > proposed for every circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.framework import EffiTest
+from repro.experiments.benchdata import BENCHMARK_NAMES
+from repro.experiments.context import DEFAULT_CONFIG, build_context
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    """Iterations per path in the three modes (one circuit)."""
+
+    name: str
+    pathwise: float
+    multiplexed: float
+    proposed: float
+
+
+def run_circuit(
+    name: str,
+    n_chips: int = 200,
+    seed: int = 20160605,
+) -> Figure8Row:
+    """Measure the three bars for one circuit.
+
+    Smaller default populations than Table 1: testing *all* paths is
+    exactly the cost explosion the paper argues against, so this is the
+    most expensive experiment.
+    """
+    config = replace(DEFAULT_CONFIG, test_all_paths=True)
+    context = build_context(name, n_chips=n_chips, seed=seed, config=config)
+    framework = context.framework
+    prep = context.preparation
+    n_paths = context.circuit.paths.n_paths
+
+    baseline = framework.pathwise_baseline(context.population)
+
+    aligned = framework.run(context.population, context.t1, prep)
+
+    no_align = EffiTest(context.circuit, replace(config, align=False))
+    unaligned = no_align.run(context.population, context.t1, prep)
+
+    return Figure8Row(
+        name=name,
+        pathwise=baseline.mean_iterations_per_path,
+        multiplexed=unaligned.mean_iterations / n_paths,
+        proposed=aligned.mean_iterations / n_paths,
+    )
+
+
+def run_figure8(
+    circuits: tuple[str, ...] = BENCHMARK_NAMES,
+    n_chips: int = 200,
+    seed: int = 20160605,
+) -> list[Figure8Row]:
+    return [run_circuit(name, n_chips=n_chips, seed=seed) for name in circuits]
+
+
+def render_figure8(rows: list[Figure8Row]) -> str:
+    table = Table(["circuit", "path-wise", "multiplexing", "proposed", "ordering ok"])
+    for row in rows:
+        table.add_row([
+            row.name,
+            round(row.pathwise, 2),
+            round(row.multiplexed, 2),
+            round(row.proposed, 2),
+            row.proposed <= row.multiplexed <= row.pathwise,
+        ])
+    return table.render()

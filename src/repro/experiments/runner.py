@@ -1,0 +1,99 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments table1 [--circuits s9234,s13207] [--chips N]
+    python -m repro.experiments table2 ...
+    python -m repro.experiments figure7 ...
+    python -m repro.experiments figure8 ...
+    python -m repro.experiments all --quick
+
+``--chips`` trades precision for runtime; the paper used 10 000 chips per
+circuit (pass ``--chips 10000`` to match; defaults are smaller).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.benchdata import BENCHMARK_NAMES, QUICK_NAMES
+from repro.experiments.figure7 import render_figure7, run_figure7
+from repro.experiments.figure8 import render_figure8, run_figure8
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+
+_EXPERIMENTS = ("table1", "table2", "figure7", "figure8")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the EffiTest paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS + ("all",),
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--circuits",
+        default=None,
+        help="comma-separated circuit names (default: all eight)",
+    )
+    parser.add_argument(
+        "--chips",
+        type=int,
+        default=None,
+        help="Monte-Carlo chips per circuit (default: 1000; figure8: 200)",
+    )
+    parser.add_argument("--seed", type=int, default=20160605)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="restrict to three small circuits and fewer chips",
+    )
+    return parser
+
+
+def _circuits(args: argparse.Namespace) -> tuple[str, ...]:
+    if args.circuits:
+        names = tuple(n.strip() for n in args.circuits.split(",") if n.strip())
+        unknown = [n for n in names if n not in BENCHMARK_NAMES]
+        if unknown:
+            raise SystemExit(f"unknown circuits: {unknown}; known: {BENCHMARK_NAMES}")
+        return names
+    return QUICK_NAMES if args.quick else BENCHMARK_NAMES
+
+
+def run_one(name: str, args: argparse.Namespace) -> str:
+    circuits = _circuits(args)
+    chips = args.chips
+    start = time.perf_counter()
+    if name == "table1":
+        text = render_table1(run_table1(circuits, chips or (300 if args.quick else 1000), args.seed))
+    elif name == "table2":
+        text = render_table2(run_table2(circuits, chips or (300 if args.quick else 1000), args.seed))
+    elif name == "figure7":
+        text = render_figure7(run_figure7(circuits, chips or (300 if args.quick else 1000), args.seed))
+    elif name == "figure8":
+        text = render_figure8(run_figure8(circuits, chips or (50 if args.quick else 200), args.seed))
+    else:  # pragma: no cover - guarded by argparse choices
+        raise ValueError(name)
+    elapsed = time.perf_counter() - start
+    header = f"== {name} ({', '.join(circuits)}; {elapsed:.1f}s) =="
+    return f"{header}\n{text}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(run_one(name, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

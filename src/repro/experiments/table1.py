@@ -1,0 +1,108 @@
+"""Table 1 reproduction: test cost with delay alignment and statistical
+prediction.
+
+Per circuit: circuit sizes (``ns``, ``ng``, ``nb``, ``np``), tested paths
+``npt``, average frequency-stepping iterations per chip ``ta`` and per
+tested path ``tv = ta/npt`` for EffiTest, the path-wise baseline ``t'a``
+and ``t'v``, the reduction ratios ``ra`` and ``rv``, and the runtimes
+``Tp`` (offline), ``Tt`` (on-tester optimization per chip) and ``Ts``
+(configuration per chip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.benchdata import BENCHMARK_NAMES, PAPER_BY_NAME
+from repro.experiments.context import CircuitContext, build_context
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row of Table 1."""
+
+    name: str
+    ns: int
+    ng: int
+    nb: int
+    np_: int
+    npt: int
+    ta: float
+    tv: float
+    ta_pathwise: float
+    tv_pathwise: float
+    ra_percent: float
+    rv_percent: float
+    tp_seconds: float
+    tt_seconds: float
+    ts_seconds: float
+
+
+def run_circuit(context: CircuitContext) -> Table1Row:
+    """Measure one circuit's Table 1 row at its T1 operating point."""
+    circuit = context.circuit
+    prep = context.preparation
+    result = context.framework.run(context.population, context.t1, prep)
+    baseline = context.framework.pathwise_baseline(context.population)
+
+    ta = result.mean_iterations
+    npt = prep.n_tested
+    tv = ta / max(npt, 1)
+    ta_p = float(baseline.total_iterations)
+    tv_p = baseline.mean_iterations_per_path
+    return Table1Row(
+        name=circuit.name,
+        ns=circuit.spec.n_flipflops,
+        ng=circuit.spec.n_gates,
+        nb=circuit.spec.n_buffers,
+        np_=circuit.paths.n_paths,
+        npt=npt,
+        ta=ta,
+        tv=tv,
+        ta_pathwise=ta_p,
+        tv_pathwise=tv_p,
+        ra_percent=100.0 * (ta_p - ta) / ta_p if ta_p else 0.0,
+        rv_percent=100.0 * (tv_p - tv) / tv_p if tv_p else 0.0,
+        tp_seconds=prep.offline_seconds,
+        tt_seconds=result.tester_seconds_per_chip,
+        ts_seconds=result.config_seconds_per_chip,
+    )
+
+
+def run_table1(
+    circuits: tuple[str, ...] = BENCHMARK_NAMES,
+    n_chips: int = 1000,
+    seed: int = 20160605,
+) -> list[Table1Row]:
+    """Measure Table 1 rows for the requested circuits."""
+    rows = []
+    for name in circuits:
+        context = build_context(name, n_chips=n_chips, seed=seed)
+        rows.append(run_circuit(context))
+    return rows
+
+
+def render_table1(rows: list[Table1Row], with_paper: bool = True) -> str:
+    """Format measured rows, optionally interleaved with the paper's."""
+    table = Table(
+        ["circuit", "ns", "ng", "nb", "np", "npt", "ta", "tv",
+         "t'a", "t'v", "ra%", "rv%", "Tp(s)", "Tt(s)", "Ts(s)"],
+    )
+    for row in rows:
+        table.add_row([
+            row.name, row.ns, row.ng, row.nb, row.np_, row.npt,
+            round(row.ta, 1), round(row.tv, 2),
+            round(row.ta_pathwise, 0), round(row.tv_pathwise, 2),
+            round(row.ra_percent, 2), round(row.rv_percent, 2),
+            round(row.tp_seconds, 2), round(row.tt_seconds, 4),
+            round(row.ts_seconds, 4),
+        ])
+        if with_paper and row.name in PAPER_BY_NAME:
+            p = PAPER_BY_NAME[row.name]
+            table.add_row([
+                "  (paper)", p.ns, p.ng, p.nb, p.np_, p.npt,
+                p.ta, p.tv, p.ta_pathwise, p.tv_pathwise,
+                p.ra_percent, p.rv_percent, "-", "-", "-",
+            ])
+    return table.render()

@@ -1,0 +1,93 @@
+"""Table 2 reproduction: yield comparison at two operating periods.
+
+For each circuit and for T1/T2 (periods where the no-buffer yield is 50 %
+and 84.13 %): ``yi`` — yield with a perfect delay measurement; ``yt`` —
+yield with delays measured/predicted by EffiTest; ``yr = yi - yt`` — the
+drop caused by test/prediction inaccuracy (the paper reports ~0.2–2.4
+percentage points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.yields import ideal_yield, no_buffer_yield
+from repro.experiments.benchdata import BENCHMARK_NAMES, PAPER_BY_NAME
+from repro.experiments.context import CircuitContext, build_context
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Measured yields (percent) for one circuit."""
+
+    name: str
+    t1: float
+    t2: float
+    no_buffer_t1: float
+    yi_t1: float
+    yt_t1: float
+    no_buffer_t2: float
+    yi_t2: float
+    yt_t2: float
+
+    @property
+    def yr_t1(self) -> float:
+        return self.yi_t1 - self.yt_t1
+
+    @property
+    def yr_t2(self) -> float:
+        return self.yi_t2 - self.yt_t2
+
+
+def run_circuit(context: CircuitContext) -> Table2Row:
+    """Measure one circuit's Table 2 row."""
+    circuit = context.circuit
+    prep = context.preparation
+    pop = context.population
+
+    values = {}
+    for label, period in (("t1", context.t1), ("t2", context.t2)):
+        run = context.framework.run(pop, period, prep)
+        values[f"yt_{label}"] = 100.0 * run.yield_fraction
+        values[f"yi_{label}"] = 100.0 * ideal_yield(
+            circuit, pop, prep.structure, period
+        )
+        values[f"no_buffer_{label}"] = 100.0 * no_buffer_yield(pop, period)
+
+    return Table2Row(name=circuit.name, t1=context.t1, t2=context.t2, **values)
+
+
+def run_table2(
+    circuits: tuple[str, ...] = BENCHMARK_NAMES,
+    n_chips: int = 1000,
+    seed: int = 20160605,
+) -> list[Table2Row]:
+    rows = []
+    for name in circuits:
+        context = build_context(name, n_chips=n_chips, seed=seed)
+        rows.append(run_circuit(context))
+    return rows
+
+
+def render_table2(rows: list[Table2Row], with_paper: bool = True) -> str:
+    table = Table(
+        ["circuit", "nobuf@T1", "yi@T1", "yt@T1", "yr@T1",
+         "nobuf@T2", "yi@T2", "yt@T2", "yr@T2"],
+    )
+    for row in rows:
+        table.add_row([
+            row.name,
+            round(row.no_buffer_t1, 2), round(row.yi_t1, 2),
+            round(row.yt_t1, 2), round(row.yr_t1, 2),
+            round(row.no_buffer_t2, 2), round(row.yi_t2, 2),
+            round(row.yt_t2, 2), round(row.yr_t2, 2),
+        ])
+        if with_paper and row.name in PAPER_BY_NAME:
+            p = PAPER_BY_NAME[row.name]
+            table.add_row([
+                "  (paper)", 50.0, p.yi_t1, p.yt_t1,
+                round(p.yi_t1 - p.yt_t1, 2),
+                84.13, p.yi_t2, p.yt_t2, round(p.yi_t2 - p.yt_t2, 2),
+            ])
+    return table.render()

@@ -1,0 +1,50 @@
+"""Optimization substrate: LP/MILP modelling, solvers and network algorithms.
+
+This subpackage replaces the commercial ILP solver (Gurobi) used by the
+paper with:
+
+* a solver-agnostic modelling layer (:class:`Model`, :class:`LinExpr`),
+* a SciPy/HiGHS backend plus a pure-Python two-phase simplex and branch &
+  bound for independence and cross-checking,
+* specialized network solvers exploiting the structure of EffiTest's
+  problems: difference-constraint feasibility (Bellman–Ford, chip-batched),
+  Karp's maximum mean cycle for minimum clock period, and weighted medians
+  for delay-range alignment.
+"""
+
+from repro.opt.branch_bound import MILPResult, solve_milp
+from repro.opt.cycles import (
+    maximum_mean_cycle,
+    min_clock_period_bounded,
+    min_clock_period_unbounded,
+)
+from repro.opt.diffconstraints import DifferenceSystem, DiffResult, bellman_ford
+from repro.opt.linexpr import Constraint, LinExpr, Sense
+from repro.opt.model import Model, ObjectiveSense, VarType
+from repro.opt.simplex import LPResult, LPStatus, solve_lp
+from repro.opt.solve import Solution, solve
+from repro.opt.weighted_median import weighted_median, weighted_median_rows
+
+__all__ = [
+    "Constraint",
+    "DiffResult",
+    "DifferenceSystem",
+    "LinExpr",
+    "LPResult",
+    "LPStatus",
+    "MILPResult",
+    "Model",
+    "ObjectiveSense",
+    "Sense",
+    "Solution",
+    "VarType",
+    "bellman_ford",
+    "maximum_mean_cycle",
+    "min_clock_period_bounded",
+    "min_clock_period_unbounded",
+    "solve",
+    "solve_lp",
+    "solve_milp",
+    "weighted_median",
+    "weighted_median_rows",
+]

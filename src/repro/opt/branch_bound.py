@@ -1,0 +1,137 @@
+"""Branch & bound MILP solver on top of the pure-Python simplex.
+
+Together with :mod:`repro.opt.simplex` this provides a dependency-free MILP
+capability standing in for the paper's Gurobi.  It is intended for the small
+integer programs EffiTest produces (tens of variables): delay alignment
+(eqs. 7–14 of the paper) on a single test batch, buffer configuration
+(eqs. 15–18) and hold-bound selection (eqs. 19–20) on reduced instances.
+
+Branching is depth-first on the most fractional integer variable, with
+incumbent pruning.  Determinism: ties are broken by variable index, so the
+search tree (and therefore the reported optimum) is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.opt.model import MatrixForm
+from repro.opt.simplex import LPResult, LPStatus, solve_lp
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class MILPResult:
+    """Outcome of a branch & bound solve."""
+
+    status: LPStatus
+    x: np.ndarray | None
+    objective: float | None
+    nodes_explored: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+
+def _most_fractional(x: np.ndarray, integer_mask: np.ndarray) -> int | None:
+    """Index of the integer variable farthest from integrality, or None."""
+    best_idx: int | None = None
+    best_frac = _INT_TOL
+    for i in np.flatnonzero(integer_mask):
+        frac = abs(x[i] - round(x[i]))
+        if frac > best_frac:
+            best_frac = frac
+            best_idx = int(i)
+    return best_idx
+
+
+def solve_milp(
+    form: MatrixForm,
+    node_limit: int = 20000,
+    gap_tol: float = 1e-9,
+) -> MILPResult:
+    """Solve a MILP given in matrix form.
+
+    The objective handled internally is the *minimization* objective of the
+    matrix form; the returned objective is in the original model's sense
+    (via :meth:`MatrixForm.objective_value`).
+    """
+    if not np.any(form.integer):
+        lp = solve_lp(form)
+        return MILPResult(lp.status, lp.x, lp.objective)
+
+    root = solve_lp(form)
+    if root.status is not LPStatus.OPTIMAL:
+        return MILPResult(root.status, None, None, nodes_explored=1)
+
+    sign = -1.0 if form.flip_objective else 1.0
+
+    def relax_cost(result: LPResult) -> float:
+        # Internal minimization value (lower bound for child nodes).
+        assert result.x is not None
+        return sign * (result.objective - form.objective_constant)  # type: ignore[operator]
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_cost = math.inf
+    nodes = 0
+
+    stack: list[tuple[np.ndarray, np.ndarray, LPResult]] = [
+        (form.lower.copy(), form.upper.copy(), root)
+    ]
+    while stack and nodes < node_limit:
+        lower, upper, lp = stack.pop()
+        nodes += 1
+        assert lp.x is not None
+        bound = relax_cost(lp)
+        if bound >= incumbent_cost - gap_tol:
+            continue
+        branch_var = _most_fractional(lp.x, form.integer)
+        if branch_var is None:
+            x_int = lp.x.copy()
+            x_int[form.integer] = np.round(x_int[form.integer])
+            # form.c is already the internal minimization cost vector.
+            cost = float(form.c @ x_int)
+            if cost < incumbent_cost - gap_tol:
+                incumbent_cost = cost
+                incumbent_x = x_int
+            continue
+
+        value = lp.x[branch_var]
+        floor_v, ceil_v = math.floor(value), math.ceil(value)
+
+        children = []
+        up_upper = upper.copy()
+        up_upper[branch_var] = min(up_upper[branch_var], floor_v)
+        if up_upper[branch_var] >= lower[branch_var] - _INT_TOL:
+            children.append((lower.copy(), up_upper))
+        dn_lower = lower.copy()
+        dn_lower[branch_var] = max(dn_lower[branch_var], ceil_v)
+        if dn_lower[branch_var] <= upper[branch_var] + _INT_TOL:
+            children.append((dn_lower, upper.copy()))
+
+        solved = []
+        for lo, hi in children:
+            child_form = replace(form, lower=lo, upper=hi)
+            child_lp = solve_lp(child_form)
+            if child_lp.status is LPStatus.OPTIMAL:
+                solved.append((relax_cost(child_lp), lo, hi, child_lp))
+        # Explore the more promising child first (it goes last on the stack).
+        solved.sort(key=lambda t: -t[0])
+        for _, lo, hi, child_lp in solved:
+            stack.append((lo, hi, child_lp))
+
+    if incumbent_x is None:
+        status = LPStatus.ITERATION_LIMIT if stack else LPStatus.INFEASIBLE
+        return MILPResult(status, None, None, nodes_explored=nodes)
+    status = LPStatus.ITERATION_LIMIT if stack else LPStatus.OPTIMAL
+    return MILPResult(
+        status,
+        incumbent_x,
+        form.objective_value(incumbent_x),
+        nodes_explored=nodes,
+    )

@@ -1,0 +1,131 @@
+"""Minimum feasible clock period via maximum mean cycle (Karp) and
+bounded-buffer binary search.
+
+With unconstrained clock tuning (``x`` free), the setup constraints
+``T >= D_ij + x_i - x_j`` (eq. 1 of the paper) are feasible iff for every
+directed cycle ``C`` in the flip-flop graph ``T >= sum(D_ij in C)/|C|``.
+The smallest such ``T`` is the *maximum mean cycle* of the delay graph —
+Karp's classic O(VE) dynamic program computes it exactly.  This reproduces
+the paper's motivating example (Fig. 2): a 4-flip-flop loop with stage
+delays 3, 8, 5, 6 tunes from period 8 down to 22/4 = 5.5.
+
+With *bounded* buffer ranges (eq. 3), the minimum period is found by binary
+search on ``T`` with difference-constraint feasibility at each step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.opt.diffconstraints import DifferenceSystem
+
+Edge = tuple[Hashable, Hashable, float]
+
+
+def maximum_mean_cycle(edges: Iterable[Edge]) -> float:
+    """Maximum mean weight over all directed cycles.
+
+    Returns ``-inf`` when the graph is acyclic.  Uses Karp's theorem on each
+    strongly connected component:
+
+        mmc = max_v min_{0<=k<n} (F_n(v) - F_k(v)) / (n - k)
+
+    where ``F_k(v)`` is the maximum weight of a k-edge walk ending at ``v``.
+    """
+    graph = nx.MultiDiGraph()
+    for u, v, w in edges:
+        graph.add_edge(u, v, weight=float(w))
+    best = -math.inf
+    for component in nx.strongly_connected_components(graph):
+        sub = graph.subgraph(component)
+        if sub.number_of_edges() == 0:
+            continue
+        best = max(best, _karp_single_scc(sub))
+    return best
+
+
+def _karp_single_scc(graph: nx.MultiDiGraph) -> float:
+    nodes = list(graph.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    edge_list = [
+        (index[u], index[v], data["weight"]) for u, v, data in graph.edges(data=True)
+    ]
+
+    # F[k][v]: max weight of a k-edge walk from the source set to v.
+    f = np.full((n + 1, n), -math.inf)
+    f[0, :] = 0.0  # virtual source reaches every node with weight 0
+    for k in range(1, n + 1):
+        for u, v, w in edge_list:
+            candidate = f[k - 1, u] + w
+            if candidate > f[k, v]:
+                f[k, v] = candidate
+
+    best = -math.inf
+    for v in range(n):
+        if not math.isfinite(f[n, v]):
+            continue
+        worst = math.inf
+        for k in range(n):
+            if math.isfinite(f[k, v]):
+                worst = min(worst, (f[n, v] - f[k, v]) / (n - k))
+        best = max(best, worst)
+    return best
+
+
+def min_clock_period_unbounded(edges: Iterable[Edge]) -> float:
+    """Smallest ``T`` for which eq. 1 is feasible with unconstrained buffers.
+
+    This is ``max(maximum mean cycle, 0)``; acyclic delay graphs can be
+    tuned to an arbitrarily small positive period.
+    """
+    return max(maximum_mean_cycle(edges), 0.0)
+
+
+def min_clock_period_bounded(
+    edges: Sequence[Edge],
+    lower: Mapping[Hashable, float],
+    upper: Mapping[Hashable, float],
+    tolerance: float = 1e-6,
+) -> float:
+    """Smallest feasible ``T`` when each ``x_i`` must lie in
+    ``[lower[i], upper[i]]`` (eq. 3 of the paper).
+
+    Nodes missing from ``lower``/``upper`` are treated as untunable
+    (``x = 0``).  Solved by binary search on ``T`` with Bellman–Ford
+    feasibility; the result is within ``tolerance`` of the true optimum.
+    """
+    edges = list(edges)
+    if not edges:
+        return 0.0
+    nodes = sorted({u for u, _, _ in edges} | {v for _, v, _ in edges}, key=str)
+    index = {node: i for i, node in enumerate(nodes)}
+
+    lo = min_clock_period_unbounded(edges)
+    hi = max(w for _, _, w in edges)
+    span = max(upper.get(n, 0.0) - lower.get(n, 0.0) for n in nodes) if nodes else 0.0
+    hi = max(hi + span, lo)
+
+    def feasible(period: float) -> bool:
+        system = DifferenceSystem(len(nodes))
+        for node in nodes:
+            i = index[node]
+            system.add_bounds(i, lower.get(node, 0.0), upper.get(node, 0.0))
+        for u, v, w in edges:
+            # T >= w + x_u - x_v  <=>  x_u - x_v <= T - w
+            system.add_le(index[v], index[u], period - w)
+        return bool(system.solve().feasible)
+
+    if feasible(lo):
+        return lo
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

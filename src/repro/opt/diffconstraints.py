@@ -1,0 +1,251 @@
+"""Difference-constraint systems and (batched) Bellman–Ford feasibility.
+
+Most of EffiTest's optimization problems have *network* structure: every
+constraint is of the form ``x_v - x_u <= w``.  Setup constraints
+(eq. 1 of the paper) give ``x_j - x_i >= D_ij - T``; hold bounds (eq. 21)
+give ``x_i - x_j >= lambda_ij``; buffer ranges (eq. 3) are differences
+against a reference node fixed at 0.  A system of such constraints is
+feasible iff its constraint graph has no negative cycle, and Bellman–Ford
+produces a witness assignment — this is how the library checks per-chip
+configurability ("ideal yield") and solves the buffer-configuration problem
+(§3.4) orders of magnitude faster than a generic MILP.
+
+Two layers:
+
+* :func:`bellman_ford` — the array-level workhorse.  Edge weights may carry a
+  leading *batch* axis so one call resolves feasibility for thousands of
+  Monte-Carlo chips simultaneously.
+* :class:`DifferenceSystem` — a small convenience builder with named bounds
+  and a distinguished reference node.
+
+Discrete buffers: when every variable lives on a shared lattice
+``{offset + k * step}``, flooring each weight to a multiple of ``step``
+yields a system whose feasibility is *exactly* the feasibility of the
+discrete problem (differences of lattice points are lattice-valued).  See
+:meth:`DifferenceSystem.solve_on_lattice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+@dataclass
+class DiffResult:
+    """Outcome of a difference-constraint solve.
+
+    ``x`` has shape ``(n_nodes,)`` for scalar systems or
+    ``(n_batch, n_nodes)`` for batched ones; infeasible rows contain NaN.
+    ``feasible`` is a bool or a boolean array of shape ``(n_batch,)``.
+    """
+
+    feasible: np.ndarray | bool
+    x: np.ndarray
+
+
+def bellman_ford(
+    n_nodes: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    weights: np.ndarray,
+    n_batch: int | None = None,
+) -> DiffResult:
+    """Feasibility + witness for ``x[v] - x[u] <= w`` constraint systems.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of variables (graph nodes).
+    edge_u, edge_v:
+        Integer arrays of shape ``(n_edges,)``: constraint ``x[v]-x[u] <= w``.
+    weights:
+        Shape ``(n_edges,)`` for a scalar system, or ``(n_edges, n_batch)``
+        for a batched one (each batch column is an independent system over
+        the same graph).
+    n_batch:
+        Required iff ``weights`` is 2-D; checked against its second axis.
+
+    Returns
+    -------
+    DiffResult
+        The witness is the Bellman–Ford potential from a virtual source
+        connected to every node with weight 0; it is the *component-wise
+        largest* solution bounded above by 0 on each node's tightest chain.
+        Any uniform shift of a row is also feasible.
+    """
+    edge_u = np.asarray(edge_u, dtype=np.intp)
+    edge_v = np.asarray(edge_v, dtype=np.intp)
+    weights = np.asarray(weights, dtype=float)
+    if edge_u.shape != edge_v.shape or edge_u.ndim != 1:
+        raise ValueError("edge_u and edge_v must be 1-D arrays of equal length")
+    batched = weights.ndim == 2
+    if batched:
+        if n_batch is None or weights.shape != (len(edge_u), n_batch):
+            raise ValueError(
+                f"weights shape {weights.shape} does not match "
+                f"({len(edge_u)}, n_batch={n_batch})"
+            )
+        dist = np.zeros((n_batch, n_nodes))
+        active = np.ones(n_batch, dtype=bool)
+    else:
+        dist = np.zeros((1, n_nodes))
+        weights = weights.reshape(-1, 1)
+        active = np.ones(1, dtype=bool)
+
+    n_edges = len(edge_u)
+    if np.any((edge_u < 0) | (edge_u >= n_nodes) | (edge_v < 0) | (edge_v >= n_nodes)):
+        raise ValueError("edge endpoints out of range")
+
+    # Virtual source with 0-weight edges to all nodes is encoded by the
+    # all-zeros initial distances, so at most n_nodes relaxation sweeps are
+    # needed; rows still improving afterwards contain a negative cycle.
+    rows = dist.shape[0]
+    for _ in range(n_nodes):
+        if not active.any():
+            break
+        changed = np.zeros(rows, dtype=bool)
+        for e in range(n_edges):
+            u, v = edge_u[e], edge_v[e]
+            candidate = dist[:, u] + weights[e]
+            better = candidate < dist[:, v] - _EPS
+            if better.any():
+                improve = better & active
+                if improve.any():
+                    dist[improve, v] = candidate[improve]
+                    changed |= improve
+        active &= changed
+
+    # One extra sweep: rows that can still relax are infeasible.
+    infeasible = np.zeros(rows, dtype=bool)
+    if active.any():
+        for e in range(n_edges):
+            u, v = edge_u[e], edge_v[e]
+            candidate = dist[:, u] + weights[e]
+            infeasible |= active & (candidate < dist[:, v] - _EPS)
+
+    dist[infeasible] = np.nan
+    if batched:
+        return DiffResult(~infeasible, dist)
+    return DiffResult(bool(~infeasible[0]), dist[0])
+
+
+class DifferenceSystem:
+    """Incremental builder for difference-constraint systems.
+
+    Nodes ``0..n_nodes-1`` are the variables; an internal reference node is
+    created automatically and fixed at 0, so absolute bounds become
+    difference edges against it.
+
+    >>> sys_ = DifferenceSystem(2)
+    >>> sys_.add_le(0, 1, 3.0)      # x1 - x0 <= 3
+    >>> sys_.add_ge(0, 1, -1.0)     # x1 - x0 >= -1
+    >>> sys_.add_bounds(0, -5, 5)
+    >>> sys_.add_bounds(1, -5, 5)
+    >>> result = sys_.solve()
+    >>> bool(result.feasible)
+    True
+    """
+
+    def __init__(self, n_nodes: int, n_batch: int | None = None) -> None:
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be non-negative")
+        self.n_nodes = n_nodes
+        self.n_batch = n_batch
+        self._ref = n_nodes
+        self._edges_u: list[int] = []
+        self._edges_v: list[int] = []
+        self._weights: list[np.ndarray | float] = []
+
+    def _check_weight(self, weight) -> np.ndarray | float:
+        if np.ndim(weight) == 0:
+            return float(weight)
+        arr = np.asarray(weight, dtype=float)
+        if self.n_batch is None or arr.shape != (self.n_batch,):
+            raise ValueError(
+                f"batched weight must have shape ({self.n_batch},), got {arr.shape}"
+            )
+        return arr
+
+    def add_le(self, u: int, v: int, weight) -> None:
+        """Add ``x_v - x_u <= weight``."""
+        self._edges_u.append(u)
+        self._edges_v.append(v)
+        self._weights.append(self._check_weight(weight))
+
+    def add_ge(self, u: int, v: int, weight) -> None:
+        """Add ``x_v - x_u >= weight`` (stored as ``x_u - x_v <= -weight``)."""
+        w = self._check_weight(weight)
+        self.add_le(v, u, -w if isinstance(w, np.ndarray) else -w)
+
+    def add_upper_bound(self, v: int, bound) -> None:
+        """Add ``x_v <= bound``."""
+        self.add_le(self._ref, v, bound)
+
+    def add_lower_bound(self, v: int, bound) -> None:
+        """Add ``x_v >= bound``."""
+        w = self._check_weight(bound)
+        self.add_le(v, self._ref, -w if isinstance(w, np.ndarray) else -w)
+
+    def add_bounds(self, v: int, lower, upper) -> None:
+        """Add ``lower <= x_v <= upper``."""
+        self.add_lower_bound(v, lower)
+        self.add_upper_bound(v, upper)
+
+    def _weight_matrix(self) -> np.ndarray:
+        if self.n_batch is None:
+            return np.array([float(w) for w in self._weights])
+        rows = [
+            np.full(self.n_batch, w) if np.ndim(w) == 0 else w for w in self._weights
+        ]
+        return np.array(rows) if rows else np.zeros((0, self.n_batch))
+
+    def solve(self) -> DiffResult:
+        """Solve the system; witness values are normalized to reference = 0."""
+        weights = self._weight_matrix()
+        result = bellman_ford(
+            self.n_nodes + 1,
+            np.array(self._edges_u, dtype=np.intp),
+            np.array(self._edges_v, dtype=np.intp),
+            weights,
+            n_batch=self.n_batch,
+        )
+        return self._normalize(result)
+
+    def solve_on_lattice(self, step: float) -> DiffResult:
+        """Solve with all variables restricted to multiples of ``step``.
+
+        Weight flooring makes this *exact* for the discrete problem (see
+        module docstring).  Witness values are multiples of ``step``.
+        """
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        weights = self._weight_matrix()
+        floored = np.floor(weights / step + _EPS) * step
+        result = bellman_ford(
+            self.n_nodes + 1,
+            np.array(self._edges_u, dtype=np.intp),
+            np.array(self._edges_v, dtype=np.intp),
+            floored,
+            n_batch=self.n_batch,
+        )
+        normalized = self._normalize(result)
+        # Re-snap: normalization subtracts a lattice value from lattice
+        # values, so this only removes floating-point dust.
+        with np.errstate(invalid="ignore"):
+            normalized.x[...] = np.round(normalized.x / step) * step
+        return normalized
+
+    def _normalize(self, result: DiffResult) -> DiffResult:
+        x = result.x
+        if x.ndim == 1:
+            ref_value = x[self._ref]
+            x = x - ref_value if np.isfinite(ref_value) else x
+            return DiffResult(result.feasible, x[: self.n_nodes])
+        ref_values = x[:, self._ref : self._ref + 1]
+        with np.errstate(invalid="ignore"):
+            x = x - ref_values
+        return DiffResult(result.feasible, x[:, : self.n_nodes])

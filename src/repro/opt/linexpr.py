@@ -1,0 +1,180 @@
+"""Linear expressions over named variables.
+
+This is the modelling vocabulary for the LP/MILP layer: a
+:class:`LinExpr` is an affine function ``sum(coeff * var) + constant`` and a
+:class:`Constraint` compares a :class:`LinExpr` against zero.  The paper's
+optimization problems (delay alignment, eqs. 7–14; buffer configuration,
+eqs. 15–18; hold bounds, eqs. 19–20) are all built from these.
+
+Variables are plain strings; the :class:`~repro.opt.model.Model` owns their
+bounds and integrality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, float]
+
+
+class Sense(Enum):
+    """Constraint sense, always read as ``expr SENSE 0``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``expr (<=,>=,==) 0``.
+
+    Stored in homogeneous form: the right-hand side has been folded into the
+    expression's constant term.
+    """
+
+    expr: "LinExpr"
+    sense: Sense
+    name: str = ""
+
+    def coefficients(self) -> dict[str, float]:
+        """Variable coefficients of the constraint's left-hand side."""
+        return dict(self.expr.terms)
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when written as ``terms SENSE rhs``."""
+        return -self.expr.constant
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{c:g}*{v}" for v, c in sorted(self.expr.terms.items()))
+        return f"{terms or '0'} {self.sense.value} {self.rhs:g}"
+
+
+class LinExpr:
+    """An affine expression ``sum(terms[v] * v) + constant``.
+
+    Supports ``+``, ``-``, scalar ``*`` / ``/`` and comparisons, which produce
+    :class:`Constraint` objects:
+
+    >>> x, y = LinExpr.variable("x"), LinExpr.variable("y")
+    >>> str(2 * x - y + 1 <= 5)
+    '2*x + -1*y <= 4'
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self, terms: Mapping[str, float] | None = None, constant: float = 0.0
+    ) -> None:
+        self.terms: dict[str, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def variable(name: str) -> "LinExpr":
+        """An expression consisting of a single variable."""
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        return LinExpr({name: 1.0})
+
+    @staticmethod
+    def constant_expr(value: Number) -> "LinExpr":
+        """An expression with no variables."""
+        return LinExpr({}, float(value))
+
+    @staticmethod
+    def sum(exprs: Iterable["LinExpr | Number"]) -> "LinExpr":
+        """Sum many expressions/numbers efficiently."""
+        total = LinExpr()
+        for e in exprs:
+            total = total + e
+        return total
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.terms, self.constant)
+
+    def coefficient(self, name: str) -> float:
+        """Coefficient of variable ``name`` (0.0 if absent)."""
+        return self.terms.get(name, 0.0)
+
+    def variables(self) -> set[str]:
+        """Names of variables with non-zero coefficient."""
+        return {v for v, c in self.terms.items() if c != 0.0}
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Value of the expression under a full variable assignment."""
+        value = self.constant
+        for var, coeff in self.terms.items():
+            value += coeff * assignment[var]
+        return value
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _coerce(self, other: "LinExpr | Number") -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, (int, float)):
+            return LinExpr.constant_expr(other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "LinExpr | Number") -> "LinExpr":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        out = self.copy()
+        for var, coeff in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coeff
+        out.constant += rhs.constant
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self.terms.items()}, -self.constant)
+
+    def __sub__(self, other: "LinExpr | Number") -> "LinExpr":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (-rhs)
+
+    def __rsub__(self, other: "LinExpr | Number") -> "LinExpr":
+        return (-self) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return LinExpr(
+            {v: c * scalar for v, c in self.terms.items()}, self.constant * scalar
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        if scalar == 0:
+            raise ZeroDivisionError("division of LinExpr by zero")
+        return self * (1.0 / scalar)
+
+    # -- comparisons produce constraints -------------------------------------
+
+    def __le__(self, other: "LinExpr | Number") -> Constraint:
+        return Constraint(self - other, Sense.LE)
+
+    def __ge__(self, other: "LinExpr | Number") -> Constraint:
+        return Constraint(self - other, Sense.GE)
+
+    def equals(self, other: "LinExpr | Number") -> Constraint:
+        """Equality constraint (method form; ``==`` is kept as identity)."""
+        return Constraint(self - other, Sense.EQ)
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*{v}" for v, c in sorted(self.terms.items()))
+        if not terms:
+            return f"LinExpr({self.constant:g})"
+        if self.constant:
+            return f"LinExpr({terms} + {self.constant:g})"
+        return f"LinExpr({terms})"

@@ -1,0 +1,238 @@
+"""LP/MILP model container.
+
+A :class:`Model` owns variables (bounds + integrality), constraints and an
+objective.  It is solver-agnostic: backends in
+:mod:`repro.opt.scipy_backend` and :mod:`repro.opt.branch_bound` convert it
+to their native matrix form.  This fills the role Gurobi's modelling API
+plays in the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.opt.linexpr import Constraint, LinExpr, Sense
+
+
+class VarType(Enum):
+    """Variable domain."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+@dataclass
+class Variable:
+    """A decision variable: name, bounds and domain."""
+
+    name: str
+    lower: float
+    upper: float
+    vtype: VarType
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(
+                f"variable {self.name}: lower bound {self.lower} exceeds "
+                f"upper bound {self.upper}"
+            )
+
+
+class ObjectiveSense(Enum):
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+class Model:
+    """A mixed-integer linear program.
+
+    >>> m = Model("demo")
+    >>> x = m.add_var("x", lower=0, upper=10)
+    >>> y = m.add_var("y", lower=0, upper=10, vtype=VarType.INTEGER)
+    >>> _ = m.add_constraint(x + 2 * y <= 14)
+    >>> m.set_objective(x + y, ObjectiveSense.MAXIMIZE)
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: dict[str, Variable] = {}
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense: ObjectiveSense = ObjectiveSense.MINIMIZE
+
+    # -- variables ------------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> LinExpr:
+        """Declare a variable and return it as a :class:`LinExpr`."""
+        if name in self._variables:
+            raise ValueError(f"variable {name!r} already declared")
+        if vtype is VarType.BINARY:
+            lower, upper = max(lower, 0.0), min(upper, 1.0)
+        self._variables[name] = Variable(name, float(lower), float(upper), vtype)
+        return LinExpr.variable(name)
+
+    def add_binary(self, name: str) -> LinExpr:
+        """Declare a 0/1 variable."""
+        return self.add_var(name, 0.0, 1.0, VarType.BINARY)
+
+    def has_var(self, name: str) -> bool:
+        return name in self._variables
+
+    def variable(self, name: str) -> Variable:
+        return self._variables[name]
+
+    @property
+    def variables(self) -> list[Variable]:
+        return list(self._variables.values())
+
+    @property
+    def variable_names(self) -> list[str]:
+        return list(self._variables)
+
+    # -- constraints / objective ----------------------------------------------
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint; all referenced variables must be declared."""
+        unknown = constraint.expr.variables() - self._variables.keys()
+        if unknown:
+            raise ValueError(f"constraint references undeclared variables: {unknown}")
+        stored = Constraint(constraint.expr, constraint.sense, name or constraint.name)
+        self._constraints.append(stored)
+        return stored
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for c in constraints:
+            self.add_constraint(c)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        return list(self._constraints)
+
+    def set_objective(
+        self, expr: LinExpr, sense: ObjectiveSense = ObjectiveSense.MINIMIZE
+    ) -> None:
+        unknown = expr.variables() - self._variables.keys()
+        if unknown:
+            raise ValueError(f"objective references undeclared variables: {unknown}")
+        self._objective = expr.copy()
+        self._sense = sense
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def objective_sense(self) -> ObjectiveSense:
+        return self._sense
+
+    @property
+    def is_mip(self) -> bool:
+        """True when any variable is integer/binary."""
+        return any(v.vtype is not VarType.CONTINUOUS for v in self._variables.values())
+
+    # -- matrix form ------------------------------------------------------------
+
+    def to_matrix_form(self) -> "MatrixForm":
+        """Convert to ``min c'x`` with rows ``A_ub x <= b_ub`` and
+        ``A_eq x == b_eq`` plus per-variable bounds.
+
+        ``>=`` rows are negated into ``<=`` rows; maximization is negated into
+        minimization (the stored ``flip_objective`` flag lets callers recover
+        the original objective value).
+        """
+        names = self.variable_names
+        index = {n: i for i, n in enumerate(names)}
+        n = len(names)
+
+        c = np.zeros(n)
+        for var, coeff in self._objective.terms.items():
+            c[index[var]] = coeff
+        flip = self._sense is ObjectiveSense.MAXIMIZE
+        if flip:
+            c = -c
+
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for con in self._constraints:
+            row = np.zeros(n)
+            for var, coeff in con.expr.terms.items():
+                row[index[var]] = coeff
+            rhs = con.rhs
+            if con.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif con.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        lower = np.array([self._variables[v].lower for v in names])
+        upper = np.array([self._variables[v].upper for v in names])
+        integer = np.array(
+            [self._variables[v].vtype is not VarType.CONTINUOUS for v in names]
+        )
+
+        return MatrixForm(
+            variable_names=names,
+            c=c,
+            objective_constant=self._objective.constant,
+            flip_objective=flip,
+            a_ub=np.array(ub_rows) if ub_rows else np.zeros((0, n)),
+            b_ub=np.array(ub_rhs),
+            a_eq=np.array(eq_rows) if eq_rows else np.zeros((0, n)),
+            b_eq=np.array(eq_rhs),
+            lower=lower,
+            upper=upper,
+            integer=integer,
+        )
+
+    def __repr__(self) -> str:
+        kind = "MILP" if self.is_mip else "LP"
+        return (
+            f"Model({self.name!r}, {kind}, {len(self._variables)} vars, "
+            f"{len(self._constraints)} constraints)"
+        )
+
+
+@dataclass
+class MatrixForm:
+    """Dense matrix form of a model (see :meth:`Model.to_matrix_form`)."""
+
+    variable_names: list[str]
+    c: np.ndarray
+    objective_constant: float
+    flip_objective: bool
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integer: np.ndarray
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """Objective of the *original* model at point ``x``."""
+        raw = float(self.c @ x)
+        if self.flip_objective:
+            raw = -raw
+        return raw + self.objective_constant
+
+    def assignment(self, x: np.ndarray) -> dict[str, float]:
+        """Map a solution vector back to variable names."""
+        return {name: float(v) for name, v in zip(self.variable_names, x)}

@@ -1,0 +1,76 @@
+"""SciPy (HiGHS) backend for the LP/MILP layer.
+
+This is the default production backend — the drop-in replacement for the
+Gurobi solver used in the paper's experiments.  LPs go through
+:func:`scipy.optimize.linprog`, MILPs through :func:`scipy.optimize.milp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.opt.model import MatrixForm
+from repro.opt.simplex import LPResult, LPStatus
+
+
+def _status_from_scipy(status_code: int, success: bool) -> LPStatus:
+    if success:
+        return LPStatus.OPTIMAL
+    if status_code == 2:
+        return LPStatus.INFEASIBLE
+    if status_code == 3:
+        return LPStatus.UNBOUNDED
+    return LPStatus.ITERATION_LIMIT
+
+
+def solve_lp_scipy(form: MatrixForm) -> LPResult:
+    """Solve the LP (relaxation) of ``form`` with HiGHS."""
+    bounds = list(zip(form.lower, form.upper))
+    res = optimize.linprog(
+        form.c,
+        A_ub=form.a_ub if form.a_ub.size else None,
+        b_ub=form.b_ub if form.b_ub.size else None,
+        A_eq=form.a_eq if form.a_eq.size else None,
+        b_eq=form.b_eq if form.b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _status_from_scipy(res.status, res.success)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, None, None)
+    return LPResult(status, res.x, form.objective_value(res.x))
+
+
+def solve_milp_scipy(form: MatrixForm) -> LPResult:
+    """Solve a MILP with HiGHS branch & cut."""
+    n = len(form.variable_names)
+    constraints = []
+    if form.a_ub.size:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(form.a_ub), -np.inf, form.b_ub
+            )
+        )
+    if form.a_eq.size:
+        constraints.append(
+            optimize.LinearConstraint(
+                sparse.csr_matrix(form.a_eq), form.b_eq, form.b_eq
+            )
+        )
+    res = optimize.milp(
+        c=form.c,
+        constraints=constraints or None,
+        integrality=form.integer.astype(int),
+        bounds=optimize.Bounds(form.lower, form.upper),
+    )
+    if res.status == 0 and res.x is not None:
+        x = np.asarray(res.x, dtype=float)
+        # HiGHS can return near-integral values; snap them for stability.
+        x[form.integer] = np.round(x[form.integer])
+        return LPResult(LPStatus.OPTIMAL, x, form.objective_value(x))
+    if res.status == 2:
+        return LPResult(LPStatus.INFEASIBLE, None, None)
+    if res.status == 3:
+        return LPResult(LPStatus.UNBOUNDED, None, None)
+    return LPResult(LPStatus.ITERATION_LIMIT, None, None)

@@ -1,0 +1,59 @@
+"""Backend dispatch for :class:`~repro.opt.model.Model`.
+
+``solve(model)`` picks the SciPy/HiGHS backend by default and the
+pure-Python simplex + branch & bound with ``backend="pure"``.  Both return a
+:class:`Solution` mapping variable names to values, so the EffiTest core is
+completely solver-agnostic (the paper's framework treats Gurobi the same
+way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.opt.branch_bound import solve_milp
+from repro.opt.model import Model
+from repro.opt.scipy_backend import solve_lp_scipy, solve_milp_scipy
+from repro.opt.simplex import LPStatus, solve_lp
+
+
+@dataclass
+class Solution:
+    """Solver outcome in the model's variable space."""
+
+    status: LPStatus
+    values: dict[str, float]
+    objective: float | None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+
+def solve(model: Model, backend: str = "scipy") -> Solution:
+    """Solve ``model`` and return a :class:`Solution`.
+
+    ``backend`` is ``"scipy"`` (HiGHS, default) or ``"pure"`` (this
+    library's simplex/branch & bound).
+    """
+    if backend not in ("scipy", "pure"):
+        raise ValueError(f"unknown backend {backend!r}; use 'scipy' or 'pure'")
+    form = model.to_matrix_form()
+    if backend == "scipy":
+        result = solve_milp_scipy(form) if model.is_mip else solve_lp_scipy(form)
+        x, status, obj = result.x, result.status, result.objective
+    elif model.is_mip:
+        milp = solve_milp(form)
+        x, status, obj = milp.x, milp.status, milp.objective
+    else:
+        lp = solve_lp(form)
+        x, status, obj = lp.x, lp.status, lp.objective
+
+    values = form.assignment(x) if x is not None else {}
+    return Solution(status, values, obj)

@@ -1,0 +1,32 @@
+"""ATE (automatic test equipment) substrate.
+
+Simulates the only thing a frequency-stepping tester can observe — did the
+sink flip-flop latch at period ``T`` with buffer settings ``x`` — plus the
+classic path-wise binary-search baseline and a scan-time cost model.
+"""
+
+from repro.tester.freqstep import (
+    PathwiseResult,
+    pathwise_frequency_stepping,
+    required_iterations,
+)
+from repro.tester.noise import (
+    NoisyChipOracle,
+    guard_banded_bounds,
+    verdict_error_probability,
+)
+from repro.tester.oracle import ChipOracle, shifted_slack_pass
+from repro.tester.scan import ScanCostModel, tester_time_summary
+
+__all__ = [
+    "ChipOracle",
+    "NoisyChipOracle",
+    "guard_banded_bounds",
+    "verdict_error_probability",
+    "PathwiseResult",
+    "ScanCostModel",
+    "pathwise_frequency_stepping",
+    "required_iterations",
+    "shifted_slack_pass",
+    "tester_time_summary",
+]

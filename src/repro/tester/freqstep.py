@@ -1,0 +1,84 @@
+"""Path-wise frequency stepping — the baseline of [2, 6, 8, 9].
+
+Each path is tested alone: starting from the statistical prior
+``[mu - 3 sigma, mu + 3 sigma]``, the tester repeatedly applies the range
+midpoint as the clock period, shrinking the range by half per iteration
+(pass -> new upper bound, fail -> new lower bound) until the range is
+narrower than the resolution ``epsilon``.  The total iteration count is the
+paper's ``t'_a`` and per-path count ``t'_v`` in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PathwiseResult:
+    """Outcome of path-wise stepping over a chip population."""
+
+    lower: np.ndarray  # (n_chips, n_paths)
+    upper: np.ndarray
+    iterations_per_path: np.ndarray  # (n_paths,) — deterministic per path
+    total_iterations: int  # per chip
+
+    @property
+    def mean_iterations_per_path(self) -> float:
+        return float(self.iterations_per_path.mean())
+
+
+def required_iterations(width: np.ndarray, epsilon: float) -> np.ndarray:
+    """Iterations of halving needed to take ``width`` below ``epsilon``.
+
+    Binary search halves the range every iteration regardless of pass/fail,
+    so the count is ``ceil(log2(width / epsilon))`` (0 when already narrow).
+    """
+    width = np.asarray(width, dtype=float)
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    with np.errstate(divide="ignore"):
+        ratio = np.where(width > epsilon, width / epsilon, 1.0)
+    return np.ceil(np.log2(ratio)).astype(int)
+
+
+def pathwise_frequency_stepping(
+    true_delays: np.ndarray,
+    prior_means: np.ndarray,
+    prior_stds: np.ndarray,
+    epsilon: float,
+    sigma_window: float = 3.0,
+) -> PathwiseResult:
+    """Binary-search every path of every chip independently.
+
+    ``true_delays`` is ``(n_chips, n_paths)``; the priors are per path.
+    Fully vectorized: all chips/paths step in lockstep since the iteration
+    count depends only on the prior width.
+    """
+    true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
+    prior_means = np.asarray(prior_means, dtype=float)
+    prior_stds = np.asarray(prior_stds, dtype=float)
+    n_chips, n_paths = true_delays.shape
+    if prior_means.shape != (n_paths,) or prior_stds.shape != (n_paths,):
+        raise ValueError("prior arrays must have one entry per path")
+
+    lower = np.tile(prior_means - sigma_window * prior_stds, (n_chips, 1))
+    upper = np.tile(prior_means + sigma_window * prior_stds, (n_chips, 1))
+    iters = required_iterations(upper[0] - lower[0], epsilon)
+
+    for _ in range(int(iters.max(initial=0))):
+        active = (upper - lower) >= epsilon
+        midpoint = 0.5 * (lower + upper)
+        passed = true_delays <= midpoint
+        shrink_upper = active & passed
+        shrink_lower = active & ~passed
+        upper[shrink_upper] = midpoint[shrink_upper]
+        lower[shrink_lower] = midpoint[shrink_lower]
+
+    return PathwiseResult(
+        lower=lower,
+        upper=upper,
+        iterations_per_path=iters,
+        total_iterations=int(iters.sum()),
+    )

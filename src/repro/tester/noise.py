@@ -1,0 +1,86 @@
+"""Tester non-idealities: clock jitter and guard-banding.
+
+Real ATE clock generation has finite accuracy; a frequency-stepping verdict
+near the threshold can flip.  The paper sidesteps this by treating the
+tester as exact ("testers ... able to generate various clock signals with a
+high accuracy") — this module models the imperfection so users can study
+how much accuracy the method actually needs:
+
+* :class:`NoisyChipOracle` — pass/fail with Gaussian period jitter; wrong
+  verdicts near the boundary corrupt the inferred bounds.
+* :func:`guard_banded_bounds` — the standard countermeasure: widen measured
+  ranges by a guard band before configuration, trading yield for safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tester.oracle import ChipOracle
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass
+class NoisyChipOracle:
+    """A :class:`ChipOracle` whose applied period jitters per iteration.
+
+    ``jitter_sigma`` is the standard deviation (in delay units) of the
+    actual vs requested clock period.  The *same* jitter draw applies to
+    every path of one iteration — the clock is shared — which is exactly
+    why near-boundary verdicts correlate across a batch.
+    """
+
+    true_delays: np.ndarray
+    jitter_sigma: float
+    seed: RandomState = None
+    iterations: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.true_delays = np.asarray(self.true_delays, dtype=float)
+        if self.true_delays.ndim != 1:
+            raise ValueError("true_delays must be a 1-D per-path array")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        self._rng = as_generator(self.seed)
+        self._exact = ChipOracle(self.true_delays)
+
+    def measure(
+        self, path_indices: np.ndarray, shift: np.ndarray, period: float
+    ) -> np.ndarray:
+        """One frequency-stepping iteration with a jittered period."""
+        actual = period + float(self._rng.normal(0.0, self.jitter_sigma))
+        out = self._exact.measure(path_indices, shift, actual)
+        self.iterations = self._exact.iterations
+        return out
+
+
+def guard_banded_bounds(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    guard_band: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Widen measured ranges by ``guard_band`` on each side.
+
+    Guard-banding restores the bracketing guarantee lost to jitter as long
+    as ``guard_band`` covers the worst-case accumulated verdict error
+    (a few jitter sigmas in practice); the cost is a wider range, i.e. a
+    more conservative configuration.
+    """
+    if guard_band < 0:
+        raise ValueError("guard_band must be non-negative")
+    return np.asarray(lower) - guard_band, np.asarray(upper) + guard_band
+
+
+def verdict_error_probability(
+    margin: np.ndarray, jitter_sigma: float
+) -> np.ndarray:
+    """Probability that jitter flips a verdict at distance ``margin`` from
+    the threshold (one-sided Gaussian tail)."""
+    from scipy import stats
+
+    margin = np.abs(np.asarray(margin, dtype=float))
+    if jitter_sigma == 0:
+        return np.where(margin == 0, 0.5, 0.0)
+    return stats.norm.sf(margin / jitter_sigma)

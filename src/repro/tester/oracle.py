@@ -1,0 +1,64 @@
+"""Pass/fail oracle of the simulated ATE.
+
+A frequency-stepping iteration applies a clock period ``T`` and buffer
+settings ``x`` to the chip under test; a path's sink flip-flop latches
+correctly iff the setup constraint (eq. 1 of the paper) holds:
+
+    D_ij + x_i - x_j <= T.
+
+This module evaluates exactly that predicate on Monte-Carlo chips — the
+whole tester behaviour the algorithms may observe.  It never leaks the true
+delay values to callers beyond the boolean outcome, mirroring a real
+tester's observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def shifted_slack_pass(
+    true_delays: np.ndarray,
+    shift: np.ndarray,
+    period: float | np.ndarray,
+) -> np.ndarray:
+    """Vector pass/fail: ``true_delays + shift <= period`` element-wise.
+
+    ``shift`` is the per-path ``x_source - x_sink``; shapes broadcast, so a
+    ``(n_chips, n_paths)`` delay matrix with per-chip periods works.
+    """
+    return true_delays + shift <= period
+
+
+@dataclass
+class ChipOracle:
+    """Single-chip tester with an iteration counter.
+
+    ``true_delays[p]`` is the chip's realized maximum delay of path ``p``
+    (setup folded).  ``measure`` is one frequency-stepping iteration on a
+    batch of paths; the counter is the paper's ``t_a`` unit of cost.
+    """
+
+    true_delays: np.ndarray
+    iterations: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.true_delays = np.asarray(self.true_delays, dtype=float)
+        if self.true_delays.ndim != 1:
+            raise ValueError("true_delays must be a 1-D per-path array")
+
+    def measure(
+        self,
+        path_indices: np.ndarray,
+        shift: np.ndarray,
+        period: float,
+    ) -> np.ndarray:
+        """Apply (T, x) to the chip; returns pass booleans per batch path."""
+        path_indices = np.asarray(path_indices, dtype=np.intp)
+        shift = np.asarray(shift, dtype=float)
+        if shift.shape != path_indices.shape:
+            raise ValueError("shift must align with path_indices")
+        self.iterations += 1
+        return shifted_slack_pass(self.true_delays[path_indices], shift, period)

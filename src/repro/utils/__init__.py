@@ -1,0 +1,29 @@
+"""Shared utilities: seeded randomness, table rendering, validation, timing.
+
+These helpers are deliberately tiny and dependency-free so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.utils.rng import RandomState, spawn_rngs
+from repro.utils.tables import Table, format_float
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+__all__ = [
+    "RandomState",
+    "spawn_rngs",
+    "Table",
+    "format_float",
+    "Stopwatch",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+]

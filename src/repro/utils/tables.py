@@ -1,0 +1,90 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints tables shaped like the paper's Table 1/Table 2;
+this module implements the small amount of layout logic needed (column
+alignment, float formatting, optional markdown output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def format_float(value: Any, digits: int = 2) -> str:
+    """Format a number for tabular display.
+
+    Integers print without a decimal point; floats with ``digits`` decimals;
+    ``None`` prints as a dash.  Strings pass through unchanged so callers can
+    mix computed and annotated cells.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if float(value).is_integer() and abs(value) < 1e15 and digits == 0:
+            return str(int(value))
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small ASCII/markdown table builder.
+
+    >>> t = Table(["circuit", "yield"])
+    >>> t.add_row(["s9234", 0.7711])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    columns: Sequence[str]
+    digits: int = 2
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[Any], digits: int | None = None) -> None:
+        """Append one row; values are formatted immediately."""
+        use_digits = self.digits if digits is None else digits
+        row = [format_float(v, use_digits) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        widths = self._widths()
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "  ".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        header = "| " + " | ".join(self.columns) + " |"
+        rule = "|" + "|".join(" --- " for _ in self.columns) + "|"
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def render_csv(self) -> str:
+        """Render as comma-separated values (no quoting; cells are simple)."""
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(row))
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Wall-clock timing for the runtime columns of experiment tables.
+
+The paper reports per-phase runtimes (Tp: offline preparation, Tt: on-tester
+optimization, Ts: final configuration).  :class:`Stopwatch` accumulates named
+phases so the experiment harness can reproduce those columns for our
+implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Stopwatch:
+    """Accumulate wall-clock time under named phases.
+
+    >>> sw = Stopwatch()
+    >>> with sw.measure("prep"):
+    ...     pass
+    >>> sw.total("prep") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = defaultdict(float)
+        self._counts: dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager adding elapsed time to ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._totals[phase] += time.perf_counter() - start
+            self._counts[phase] += 1
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Manually add ``seconds`` to ``phase``."""
+        self._totals[phase] += seconds
+        self._counts[phase] += 1
+
+    def total(self, phase: str) -> float:
+        """Total seconds recorded under ``phase`` (0.0 if never measured)."""
+        return self._totals.get(phase, 0.0)
+
+    def count(self, phase: str) -> int:
+        """Number of measurements recorded under ``phase``."""
+        return self._counts.get(phase, 0)
+
+    def mean(self, phase: str) -> float:
+        """Average seconds per measurement of ``phase`` (0.0 if none)."""
+        n = self._counts.get(phase, 0)
+        return self._totals.get(phase, 0.0) / n if n else 0.0
+
+    def phases(self) -> list[str]:
+        """All phase names seen so far, in insertion order."""
+        return list(self._totals)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of phase totals."""
+        return dict(self._totals)

@@ -1,0 +1,62 @@
+"""Input validation helpers shared across the library.
+
+All raise :class:`ValueError` with messages that name the offending argument,
+so misuse is caught at API boundaries instead of deep inside numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Require every entry of ``array`` to be finite."""
+    arr = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_square_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Require a 2-D square matrix."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def check_symmetric(matrix: np.ndarray, name: str, tol: float = 1e-8) -> np.ndarray:
+    """Require a symmetric matrix (within ``tol``)."""
+    arr = check_square_matrix(matrix, name)
+    if not np.allclose(arr, arr.T, atol=tol):
+        raise ValueError(f"{name} must be symmetric")
+    return arr
+
+
+def check_lengths_match(a, b, name_a: str, name_b: str) -> None:
+    """Require ``len(a) == len(b)``."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have equal length, got {len(a)} and {len(b)}"
+        )

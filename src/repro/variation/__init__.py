@@ -1,0 +1,44 @@
+"""Process-variation and statistical-timing substrate.
+
+Models the paper's §4 variation setup: three process parameters (transistor
+length, oxide thickness, threshold voltage at 15.7 %/5.3 %/4.4 % sigma) over
+a multi-level spatial-correlation grid (side-by-side correlation 1.0, global
+correlation 0.25), first-order canonical delay forms, joint Gaussian path
+delay models, PCA, Monte-Carlo chip sampling and block-based SSTA.
+"""
+
+from repro.variation.canonical import CanonicalForm, covariance_matrix, loading_matrix
+from repro.variation.correlation import PathDelayModel
+from repro.variation.parameters import (
+    OXIDE_THICKNESS,
+    PAPER_PARAMETERS,
+    THRESHOLD_VOLTAGE,
+    TRANSISTOR_LENGTH,
+    ProcessParameter,
+    ProcessSpace,
+)
+from repro.variation.pca import PCAResult, pca, select_representatives
+from repro.variation.sampling import ChipPopulation, sample_population
+from repro.variation.spatial import SpatialModel
+from repro.variation.ssta import statistical_max, topological_arrival_times
+
+__all__ = [
+    "CanonicalForm",
+    "ChipPopulation",
+    "OXIDE_THICKNESS",
+    "PAPER_PARAMETERS",
+    "PCAResult",
+    "PathDelayModel",
+    "ProcessParameter",
+    "ProcessSpace",
+    "SpatialModel",
+    "THRESHOLD_VOLTAGE",
+    "TRANSISTOR_LENGTH",
+    "covariance_matrix",
+    "loading_matrix",
+    "pca",
+    "sample_population",
+    "select_representatives",
+    "statistical_max",
+    "topological_arrival_times",
+]

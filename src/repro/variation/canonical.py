@@ -1,0 +1,165 @@
+"""First-order canonical delay forms.
+
+The standard currency of parameterized statistical timing analysis [10, 17
+in the paper]: a delay is
+
+    d = mean + sum_i a_i * X_i + b * R
+
+with ``X_i`` shared i.i.d. standard-normal factors (global/grid process
+variation) and ``R`` an independent standard normal private to this delay.
+Sums are exact; ``max`` uses Clark's moment matching.  Covariances between
+forms come from the shared factor coefficients, which is exactly what the
+statistical delay prediction of §3.1 consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass
+class CanonicalForm:
+    """``mean + sum(sensitivity[i] * X_i) + independent * R``.
+
+    ``sensitivities`` maps factor index -> coefficient; absent factors have
+    coefficient 0.  ``independent`` is the coefficient of the private
+    standard-normal term (so the purely random variance is its square).
+    """
+
+    mean: float = 0.0
+    sensitivities: dict[int, float] = field(default_factory=dict)
+    independent: float = 0.0
+
+    # -- moments ---------------------------------------------------------------
+
+    @property
+    def variance(self) -> float:
+        return sum(c * c for c in self.sensitivities.values()) + self.independent**2
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def covariance(self, other: "CanonicalForm") -> float:
+        """Covariance with another form (shared factors only)."""
+        if len(self.sensitivities) > len(other.sensitivities):
+            return other.covariance(self)
+        return sum(
+            coeff * other.sensitivities.get(idx, 0.0)
+            for idx, coeff in self.sensitivities.items()
+        )
+
+    def correlation(self, other: "CanonicalForm") -> float:
+        denom = self.std * other.std
+        if denom == 0:
+            return 0.0
+        return self.covariance(other) / denom
+
+    def quantile(self, q: float) -> float:
+        """Gaussian quantile of this delay."""
+        return float(self.mean + self.std * stats.norm.ppf(q))
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def __add__(self, other: "CanonicalForm | float | int") -> "CanonicalForm":
+        if isinstance(other, (int, float)):
+            return CanonicalForm(
+                self.mean + other, dict(self.sensitivities), self.independent
+            )
+        merged = dict(self.sensitivities)
+        for idx, coeff in other.sensitivities.items():
+            merged[idx] = merged.get(idx, 0.0) + coeff
+        independent = math.hypot(self.independent, other.independent)
+        return CanonicalForm(self.mean + other.mean, merged, independent)
+
+    __radd__ = __add__
+
+    def scaled(self, factor: float) -> "CanonicalForm":
+        """Multiply the whole delay by a constant."""
+        return CanonicalForm(
+            self.mean * factor,
+            {i: c * factor for i, c in self.sensitivities.items()},
+            abs(self.independent * factor),
+        )
+
+    # -- statistical max (Clark) ---------------------------------------------------
+
+    def maximum(self, other: "CanonicalForm") -> "CanonicalForm":
+        """Clark's moment-matched approximation of ``max(self, other)``.
+
+        The result is again a canonical form whose factor coefficients are
+        the tightness-weighted blend of the operands', preserving
+        correlations with third-party delays to first order.
+        """
+        a_var, b_var = self.variance, other.variance
+        rho = self.correlation(other)
+        theta2 = a_var + b_var - 2.0 * rho * math.sqrt(a_var * b_var)
+        if theta2 <= 1e-24:
+            # Perfectly correlated with equal spread: max is the larger mean.
+            return self if self.mean >= other.mean else other
+        theta = math.sqrt(theta2)
+        alpha = (self.mean - other.mean) / theta
+        phi = stats.norm.pdf(alpha)
+        cdf = stats.norm.cdf(alpha)
+        tightness = float(cdf)
+
+        mean = self.mean * tightness + other.mean * (1.0 - tightness) + theta * phi
+        second = (
+            (a_var + self.mean**2) * tightness
+            + (b_var + other.mean**2) * (1.0 - tightness)
+            + (self.mean + other.mean) * theta * phi
+        )
+        variance = max(second - mean * mean, 0.0)
+
+        merged: dict[int, float] = {}
+        for idx, coeff in self.sensitivities.items():
+            merged[idx] = coeff * tightness
+        for idx, coeff in other.sensitivities.items():
+            merged[idx] = merged.get(idx, 0.0) + coeff * (1.0 - tightness)
+        shared_var = sum(c * c for c in merged.values())
+        independent = math.sqrt(max(variance - shared_var, 0.0))
+        return CanonicalForm(mean, merged, independent)
+
+    def __repr__(self) -> str:
+        return (
+            f"CanonicalForm(mean={self.mean:.4g}, std={self.std:.4g}, "
+            f"factors={len(self.sensitivities)})"
+        )
+
+
+def covariance_matrix(forms: list[CanonicalForm]) -> np.ndarray:
+    """Dense covariance matrix of a list of canonical forms."""
+    n = len(forms)
+    n_factors = 0
+    for form in forms:
+        if form.sensitivities:
+            n_factors = max(n_factors, max(form.sensitivities) + 1)
+    loadings = np.zeros((n, n_factors))
+    for row, form in enumerate(forms):
+        for idx, coeff in form.sensitivities.items():
+            loadings[row, idx] = coeff
+    cov = loadings @ loadings.T
+    cov[np.diag_indices(n)] += np.array([f.independent**2 for f in forms])
+    return cov
+
+
+def loading_matrix(forms: list[CanonicalForm], n_factors: int | None = None) -> np.ndarray:
+    """Stack factor coefficients into an ``(n_forms, n_factors)`` matrix."""
+    if n_factors is None:
+        n_factors = 0
+        for form in forms:
+            if form.sensitivities:
+                n_factors = max(n_factors, max(form.sensitivities) + 1)
+    out = np.zeros((len(forms), n_factors))
+    for row, form in enumerate(forms):
+        for idx, coeff in form.sensitivities.items():
+            if idx >= n_factors:
+                raise ValueError(
+                    f"form {row} uses factor {idx} >= n_factors={n_factors}"
+                )
+            out[row, idx] = coeff
+    return out

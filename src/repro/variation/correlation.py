@@ -1,0 +1,138 @@
+"""Joint Gaussian path-delay models.
+
+:class:`PathDelayModel` is the statistical object every EffiTest algorithm
+consumes: a vector of path delays that is jointly Gaussian,
+
+    D = mu + A z + diag(sigma_ind) e,     z, e ~ N(0, I)
+
+where the *loading matrix* ``A`` carries the correlated (global + spatial)
+variation and ``sigma_ind`` the purely random residue.  The covariance is
+``A A^T + diag(sigma_ind^2)``.
+
+The model supports exactly the manipulations the paper's experiments need:
+Monte-Carlo chip sampling (shared ``z`` with other models, e.g. short-path
+delays for hold analysis), sub-setting to path groups, and the Fig. 7
+*randomness inflation* — "increase the standard deviation of all delays by
+10 % without changing the covariances", which lands entirely in the
+independent term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_finite
+from repro.variation.canonical import CanonicalForm, loading_matrix
+
+
+@dataclass(frozen=True)
+class PathDelayModel:
+    """Jointly Gaussian delays ``mu + A z + diag(sigma_ind) e``."""
+
+    means: np.ndarray
+    loadings: np.ndarray
+    independent: np.ndarray
+
+    def __post_init__(self) -> None:
+        means = check_finite(self.means, "means")
+        loadings = check_finite(self.loadings, "loadings")
+        independent = check_finite(self.independent, "independent")
+        if means.ndim != 1:
+            raise ValueError("means must be 1-D")
+        if loadings.ndim != 2 or loadings.shape[0] != means.shape[0]:
+            raise ValueError(
+                f"loadings shape {loadings.shape} incompatible with "
+                f"{means.shape[0]} paths"
+            )
+        if independent.shape != means.shape:
+            raise ValueError("independent must match means in shape")
+        if np.any(independent < 0):
+            raise ValueError("independent sigmas must be non-negative")
+        object.__setattr__(self, "means", means)
+        object.__setattr__(self, "loadings", loadings)
+        object.__setattr__(self, "independent", independent)
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def from_canonical_forms(
+        forms: list[CanonicalForm], n_factors: int | None = None
+    ) -> "PathDelayModel":
+        """Build from canonical delay forms sharing one factor space."""
+        means = np.array([f.mean for f in forms], dtype=float)
+        independent = np.array([f.independent for f in forms], dtype=float)
+        loadings = loading_matrix(forms, n_factors)
+        return PathDelayModel(means, loadings, independent)
+
+    # -- basic statistics ---------------------------------------------------------
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.means)
+
+    @property
+    def n_factors(self) -> int:
+        return self.loadings.shape[1]
+
+    def variances(self) -> np.ndarray:
+        return np.einsum("ij,ij->i", self.loadings, self.loadings) + self.independent**2
+
+    def stds(self) -> np.ndarray:
+        return np.sqrt(self.variances())
+
+    def covariance(self) -> np.ndarray:
+        cov = self.loadings @ self.loadings.T
+        cov[np.diag_indices(self.n_paths)] += self.independent**2
+        return cov
+
+    def correlation(self) -> np.ndarray:
+        cov = self.covariance()
+        std = np.sqrt(np.diag(cov))
+        std = np.where(std > 0, std, 1.0)
+        return cov / np.outer(std, std)
+
+    # -- derived models -------------------------------------------------------------
+
+    def subset(self, indices) -> "PathDelayModel":
+        """Model restricted to the given path indices (factor space kept)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return PathDelayModel(
+            self.means[idx], self.loadings[idx, :], self.independent[idx]
+        )
+
+    def inflate_randomness(self, factor: float = 1.1) -> "PathDelayModel":
+        """Raise every path's total sigma by ``factor`` keeping covariances.
+
+        This reproduces the Fig. 7 setup: cross-covariances are untouched
+        (the loading matrix is unchanged) and the extra variance
+        ``(factor^2 - 1) * var_total`` is added to the independent term.
+        """
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        var_total = self.variances()
+        extra = (factor**2 - 1.0) * var_total
+        new_independent = np.sqrt(self.independent**2 + extra)
+        return PathDelayModel(self.means.copy(), self.loadings.copy(), new_independent)
+
+    # -- sampling -------------------------------------------------------------------
+
+    def sample(self, n_chips: int, seed: RandomState = None) -> np.ndarray:
+        """Draw ``(n_chips, n_paths)`` delay realizations."""
+        rng = as_generator(seed)
+        z = rng.standard_normal((n_chips, self.n_factors))
+        e = rng.standard_normal((n_chips, self.n_paths))
+        return self.sample_with_factors(z, e)
+
+    def sample_with_factors(self, z: np.ndarray, e: np.ndarray) -> np.ndarray:
+        """Realize delays from externally drawn factors (shared across
+        models: pass the same ``z`` to correlated short-path models)."""
+        if z.shape[1] != self.n_factors:
+            raise ValueError(
+                f"z has {z.shape[1]} factors, model needs {self.n_factors}"
+            )
+        if e.shape != (z.shape[0], self.n_paths):
+            raise ValueError("e must have shape (n_chips, n_paths)")
+        return self.means + z @ self.loadings.T + e * self.independent

@@ -1,0 +1,68 @@
+"""Process-parameter definitions.
+
+The paper models gate-delay variation through three transistor-level
+parameters with the standard deviations it states in §4: channel length
+(15.7 % of nominal), oxide thickness (5.3 %) and threshold voltage (4.4 %).
+Gate delays respond linearly to each (first-order canonical model), so all
+that matters downstream is each parameter's *relative* sigma and each cell
+type's delay sensitivity to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ProcessParameter:
+    """One varying process parameter.
+
+    ``sigma_fraction`` is the standard deviation as a fraction of the
+    nominal value (e.g. 0.157 for the paper's transistor length).
+    """
+
+    name: str
+    sigma_fraction: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.sigma_fraction, "sigma_fraction")
+
+
+#: The paper's §4 parameter set.
+TRANSISTOR_LENGTH = ProcessParameter("transistor_length", 0.157)
+OXIDE_THICKNESS = ProcessParameter("oxide_thickness", 0.053)
+THRESHOLD_VOLTAGE = ProcessParameter("threshold_voltage", 0.044)
+
+PAPER_PARAMETERS: tuple[ProcessParameter, ...] = (
+    TRANSISTOR_LENGTH,
+    OXIDE_THICKNESS,
+    THRESHOLD_VOLTAGE,
+)
+
+
+@dataclass(frozen=True)
+class ProcessSpace:
+    """An ordered collection of process parameters."""
+
+    parameters: tuple[ProcessParameter, ...] = PAPER_PARAMETERS
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.parameters]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate parameter names in ProcessSpace")
+        if not self.parameters:
+            raise ValueError("ProcessSpace needs at least one parameter")
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    def __iter__(self):
+        return iter(self.parameters)
+
+    def index_of(self, name: str) -> int:
+        for i, p in enumerate(self.parameters):
+            if p.name == name:
+                return i
+        raise KeyError(f"no parameter named {name!r}")

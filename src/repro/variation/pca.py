@@ -1,0 +1,85 @@
+"""Principal component analysis of delay covariance matrices.
+
+§3.1 of the paper decomposes each path group's covariance with PCA; only
+the principal components carry correlation information, so the number of
+paths to test per group equals the number of significant PCs, and the paths
+chosen are those with the largest loading on each successive PC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_probability, check_symmetric
+
+
+@dataclass(frozen=True)
+class PCAResult:
+    """Eigendecomposition of a covariance matrix, strongest component first.
+
+    ``loadings[i, c]`` is the coefficient of variable ``i`` on component
+    ``c`` in the expansion ``D_i = mu_i + sum_c loadings[i, c] * z_c``
+    (i.e. ``eigvec * sqrt(eigval)``), so squared loadings sum to each
+    variable's correlated variance.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray  # columns are components
+    n_significant: int
+
+    @property
+    def loadings(self) -> np.ndarray:
+        return self.eigenvectors * np.sqrt(np.maximum(self.eigenvalues, 0.0))
+
+    def explained_fraction(self, k: int) -> float:
+        """Fraction of total variance carried by the ``k`` strongest PCs."""
+        total = float(np.sum(np.maximum(self.eigenvalues, 0.0)))
+        if total <= 0:
+            return 1.0
+        return float(np.sum(np.maximum(self.eigenvalues[:k], 0.0))) / total
+
+
+def pca(covariance: np.ndarray, variance_fraction: float = 0.95) -> PCAResult:
+    """Decompose ``covariance``; ``n_significant`` is the smallest number of
+    components explaining at least ``variance_fraction`` of total variance.
+
+    Eigenvalues are clipped at zero (covariances estimated from canonical
+    forms are PSD up to rounding) and sorted descending.
+    """
+    check_probability(variance_fraction, "variance_fraction")
+    cov = check_symmetric(covariance, "covariance")
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    order = np.argsort(eigvals)[::-1]
+    eigvals = np.maximum(eigvals[order], 0.0)
+    eigvecs = eigvecs[:, order]
+
+    total = float(eigvals.sum())
+    if total <= 0:
+        return PCAResult(eigvals, eigvecs, 0)
+    cumulative = np.cumsum(eigvals) / total
+    n_significant = int(np.searchsorted(cumulative, variance_fraction - 1e-12) + 1)
+    n_significant = min(n_significant, len(eigvals))
+    return PCAResult(eigvals, eigvecs, n_significant)
+
+
+def select_representatives(result: PCAResult, count: int | None = None) -> list[int]:
+    """Pick one variable per principal component, per §3.1.
+
+    For the strongest PC pick the variable with the largest absolute
+    loading; for the next PC the largest among the remaining variables; and
+    so on for ``count`` components (default: the significant ones).
+    """
+    k = result.n_significant if count is None else count
+    k = min(k, result.eigenvectors.shape[0])
+    chosen: list[int] = []
+    taken = np.zeros(result.eigenvectors.shape[0], dtype=bool)
+    loadings = np.abs(result.loadings)
+    for component in range(k):
+        scores = loadings[:, component].copy()
+        scores[taken] = -np.inf
+        pick = int(np.argmax(scores))
+        chosen.append(pick)
+        taken[pick] = True
+    return chosen

@@ -1,0 +1,117 @@
+"""Monte-Carlo chip sampling.
+
+A *chip* is one realization of all path delays — the paper simulates
+10 000 chips per circuit.  Long-path (setup) and short-path (hold) delays
+must be drawn from the *same* process realization, so
+:func:`sample_population` draws one shared correlated factor vector ``z``
+per chip and feeds it to every model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.variation.correlation import PathDelayModel
+
+
+@dataclass(frozen=True)
+class ChipPopulation:
+    """Sampled delays for a population of chips.
+
+    ``max_delays[c, p]`` is path ``p``'s maximum (setup-relevant) delay on
+    chip ``c``; ``min_delays`` are the short-path (hold-relevant) delays,
+    possibly over a different path list.
+    """
+
+    max_delays: np.ndarray
+    min_delays: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_delays.ndim != 2:
+            raise ValueError("max_delays must be (n_chips, n_paths)")
+        if self.min_delays is not None and (
+            self.min_delays.ndim != 2
+            or self.min_delays.shape[0] != self.max_delays.shape[0]
+        ):
+            raise ValueError("min_delays must be (n_chips, n_short_paths)")
+
+    @property
+    def n_chips(self) -> int:
+        return self.max_delays.shape[0]
+
+    @property
+    def n_paths(self) -> int:
+        return self.max_delays.shape[1]
+
+    def chip(self, index: int) -> np.ndarray:
+        """Max delays of one chip."""
+        return self.max_delays[index]
+
+    def subset(self, chip_indices) -> "ChipPopulation":
+        idx = np.asarray(chip_indices, dtype=np.intp)
+        return ChipPopulation(
+            self.max_delays[idx],
+            None if self.min_delays is None else self.min_delays[idx],
+        )
+
+
+def sample_correlated(
+    models: list[PathDelayModel],
+    n_chips: int,
+    seed: RandomState = None,
+) -> list[np.ndarray]:
+    """Sample several delay models from one shared process realization.
+
+    All models must share the factor space; each receives the same ``z``
+    per chip and its own independent residues.  Used to realize required
+    paths, background paths and hold requirements of one chip consistently.
+    """
+    if n_chips <= 0:
+        raise ValueError(f"n_chips must be positive, got {n_chips}")
+    if not models:
+        return []
+    rng = as_generator(seed)
+    n_factors = models[0].n_factors
+    for m in models[1:]:
+        if m.n_factors != n_factors:
+            raise ValueError("all models must share one factor space")
+    z = rng.standard_normal((n_chips, n_factors))
+    out = []
+    for m in models:
+        e = rng.standard_normal((n_chips, m.n_paths))
+        out.append(m.sample_with_factors(z, e))
+    return out
+
+
+def sample_population(
+    max_model: PathDelayModel,
+    n_chips: int,
+    min_model: PathDelayModel | None = None,
+    seed: RandomState = None,
+) -> ChipPopulation:
+    """Draw a chip population; long and short paths share process factors.
+
+    The correlated factor vector ``z`` is drawn once per chip and applied to
+    both models; the independent residues are private per delay, as in the
+    underlying canonical model.
+    """
+    if n_chips <= 0:
+        raise ValueError(f"n_chips must be positive, got {n_chips}")
+    rng = as_generator(seed)
+    n_factors = max_model.n_factors
+    if min_model is not None and min_model.n_factors != n_factors:
+        raise ValueError(
+            "max_model and min_model must share a factor space "
+            f"({n_factors} vs {min_model.n_factors})"
+        )
+    z = rng.standard_normal((n_chips, n_factors))
+    e_max = rng.standard_normal((n_chips, max_model.n_paths))
+    max_delays = max_model.sample_with_factors(z, e_max)
+    min_delays = None
+    if min_model is not None:
+        e_min = rng.standard_normal((n_chips, min_model.n_paths))
+        min_delays = min_model.sample_with_factors(z, e_min)
+    return ChipPopulation(max_delays, min_delays)

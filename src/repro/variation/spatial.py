@@ -1,0 +1,127 @@
+"""Grid-based spatial correlation of process variation.
+
+Implements the multi-level grid (quad-tree) model of Chang & Sapatnekar
+[17 in the paper]: the die is recursively divided into 4^l cells at levels
+l = 1..L, and the variation of a parameter at a location is a weighted sum
+of one *global* factor, one factor per enclosing grid cell per level, and an
+optional per-gate *independent* factor, all i.i.d. standard normal:
+
+    xi(loc) = sqrt(g) * G + sum_l sqrt(a_l) * C_l(cell_l(loc)) + sqrt(e) * E
+
+with g + sum(a_l) + e = 1 so xi is standard normal.  The correlation of two
+locations is ``g + sum of a_l over shared cells`` — matching the paper's
+experimental setup: *side-by-side gates correlate at 1.0* (same cells at all
+levels, e = 0) while *far-apart gates correlate at 0.25* (global only).
+
+Factor indices are globally flattened per parameter so canonical delay
+forms (:mod:`repro.variation.canonical`) can share one coefficient vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_probability
+from repro.variation.parameters import ProcessSpace
+
+
+@dataclass(frozen=True)
+class SpatialModel:
+    """Multi-level grid correlation model over the unit die ``[0,1]^2``.
+
+    Parameters
+    ----------
+    space:
+        The process parameters; each gets an independent copy of the field.
+    levels:
+        Number of grid levels L; level l has ``4**l`` cells.
+    global_share:
+        Variance fraction carried by the global factor (paper: 0.25).
+    independent_share:
+        Variance fraction carried by per-gate independent randomness.  The
+        remainder ``1 - global_share - independent_share`` is split evenly
+        across the L grid levels.
+    """
+
+    space: ProcessSpace = field(default_factory=ProcessSpace)
+    levels: int = 4
+    global_share: float = 0.25
+    independent_share: float = 0.02
+
+    def __post_init__(self) -> None:
+        check_probability(self.global_share, "global_share")
+        check_probability(self.independent_share, "independent_share")
+        check_in_range(self.levels, 1, 8, "levels")
+        if self.global_share + self.independent_share > 1.0 + 1e-12:
+            raise ValueError("global_share + independent_share must not exceed 1")
+
+    # -- factor bookkeeping ---------------------------------------------------
+
+    @property
+    def regional_share(self) -> float:
+        """Variance fraction split across the grid levels."""
+        return 1.0 - self.global_share - self.independent_share
+
+    @property
+    def level_share(self) -> float:
+        """Variance fraction of one grid level."""
+        return self.regional_share / self.levels
+
+    @property
+    def factors_per_parameter(self) -> int:
+        """Global factor + all grid cells of all levels (one parameter)."""
+        return 1 + sum(4**level for level in range(1, self.levels + 1))
+
+    @property
+    def n_factors(self) -> int:
+        """Total correlated factors across all parameters."""
+        return len(self.space) * self.factors_per_parameter
+
+    def _level_offset(self, level: int) -> int:
+        """Index of the first cell factor of ``level`` within one parameter
+        block (level 0 is the global factor at offset 0)."""
+        return 1 + sum(4**l for l in range(1, level))
+
+    def cell_index(self, level: int, x: float, y: float) -> int:
+        """Grid-cell ordinal of location ``(x, y)`` at ``level``."""
+        side = 2**level
+        cx = min(int(x * side), side - 1)
+        cy = min(int(y * side), side - 1)
+        return cy * side + cx
+
+    def factor_profile(self, x: float, y: float) -> tuple[np.ndarray, np.ndarray, float]:
+        """Loadings of the variation at ``(x, y)`` on the correlated factors.
+
+        Returns ``(indices, coefficients, independent_coeff)`` for **one**
+        parameter block; for parameter ``p`` the global factor index must be
+        offset by ``p * factors_per_parameter``.  The coefficients satisfy
+        ``sum(coeff^2) + independent_coeff^2 == 1``.
+        """
+        check_probability(x, "x")
+        check_probability(y, "y")
+        indices = [0]
+        coeffs = [np.sqrt(self.global_share)]
+        level_coeff = np.sqrt(self.level_share)
+        for level in range(1, self.levels + 1):
+            indices.append(self._level_offset(level) + self.cell_index(level, x, y))
+            coeffs.append(level_coeff)
+        return (
+            np.asarray(indices, dtype=np.intp),
+            np.asarray(coeffs, dtype=float),
+            float(np.sqrt(self.independent_share)),
+        )
+
+    def correlation(self, ax: float, ay: float, bx: float, by: float) -> float:
+        """Model correlation between the variations at two locations.
+
+        Equals 1.0 only for co-located points when ``independent_share`` is 0
+        (the paper's side-by-side case) and ``global_share`` for points that
+        share no grid cell.
+        """
+        rho = self.global_share
+        for level in range(1, self.levels + 1):
+            if self.cell_index(level, ax, ay) == self.cell_index(level, bx, by):
+                rho += self.level_share
+        return rho

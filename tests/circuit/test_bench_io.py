@@ -1,0 +1,94 @@
+"""Tests for ISCAS89 .bench parsing and writing."""
+
+import pytest
+
+from repro.circuit.bench_io import (
+    BenchFormatError,
+    parse_bench,
+    read_bench,
+    save_bench,
+    write_bench,
+)
+
+SAMPLE = """
+# a small sequential circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G7)
+G5 = DFF(G4)
+G4 = NAND(G0, G1)
+G6 = NOT(G5)
+G7 = AND(G6, G0)
+"""
+
+
+class TestParse:
+    def test_basic_counts(self):
+        n = parse_bench(SAMPLE, "sample")
+        assert n.primary_inputs == ["G0", "G1"]
+        assert n.primary_outputs == ["G7"]
+        assert n.n_flops == 1
+        assert n.n_gates == 3
+
+    def test_cell_mapping(self):
+        n = parse_bench(SAMPLE)
+        assert n.gates["G4"].cell == "NAND2"
+        assert n.gates["G6"].cell == "INV"
+
+    def test_comments_and_blank_lines_ignored(self):
+        n = parse_bench("# only comments\n\n" + SAMPLE)
+        assert n.n_gates == 3
+
+    def test_wide_gate_decomposition(self):
+        text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\ng = NAND(a, b, c, d, e)\n"
+        n = parse_bench(text)
+        # 5-input NAND -> AND tree + final NAND, depth preserved logically.
+        assert "g" in n.gates
+        assert n.gates["g"].cell == "NAND2"
+        assert n.n_gates == 4  # 3 AND2 + 1 NAND2
+
+    def test_three_input_native(self):
+        text = "INPUT(a)\nINPUT(b)\nINPUT(c)\ng = OR(a, b, c)\n"
+        n = parse_bench(text)
+        assert n.gates["g"].cell == "OR3"
+
+    def test_malformed_line(self):
+        with pytest.raises(BenchFormatError, match="line"):
+            parse_bench("this is not bench\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(BenchFormatError, match="unknown gate"):
+            parse_bench("INPUT(a)\ng = FROB(a)\n")
+
+    def test_dff_arity_checked(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n")
+
+    def test_input_arity_checked(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a, b)\n")
+
+    def test_undriven_signal_caught_by_validate(self):
+        with pytest.raises(ValueError):
+            parse_bench("g = NOT(ghost)\n")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        original = parse_bench(SAMPLE, "sample")
+        text = write_bench(original)
+        again = parse_bench(text, "sample")
+        assert again.primary_inputs == original.primary_inputs
+        assert again.primary_outputs == original.primary_outputs
+        assert set(again.gates) == set(original.gates)
+        assert set(again.flops) == set(original.flops)
+        for name, gate in original.gates.items():
+            assert again.gates[name].inputs == gate.inputs
+
+    def test_file_io(self, tmp_path):
+        original = parse_bench(SAMPLE, "sample")
+        path = tmp_path / "sample.bench"
+        save_bench(original, path)
+        loaded = read_bench(path)
+        assert loaded.name == "sample"
+        assert loaded.n_gates == original.n_gates

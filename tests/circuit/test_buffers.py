@@ -1,0 +1,102 @@
+"""Tests for tunable buffers and buffer plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.buffers import BufferPlan, TunableBuffer, uniform_buffer_plan
+
+
+class TestTunableBuffer:
+    def test_values_count(self):
+        buf = TunableBuffer("f", -1.0, 2.0, n_steps=20)
+        assert len(buf.values()) == 21
+        assert buf.values()[0] == pytest.approx(-1.0)
+        assert buf.values()[-1] == pytest.approx(1.0)
+
+    def test_step(self):
+        buf = TunableBuffer("f", 0.0, 2.0, n_steps=4)
+        assert buf.step == pytest.approx(0.5)
+
+    def test_quantize_clips(self):
+        buf = TunableBuffer("f", -1.0, 2.0, n_steps=4)
+        assert buf.quantize(100.0) == pytest.approx(1.0)
+        assert buf.quantize(-100.0) == pytest.approx(-1.0)
+
+    def test_contains(self):
+        buf = TunableBuffer("f", -1.0, 2.0, n_steps=4)
+        assert buf.contains(-0.5)
+        assert not buf.contains(-0.3)
+        assert not buf.contains(1.5)
+
+    def test_zero_width(self):
+        buf = TunableBuffer("f", 0.5, 0.0)
+        assert buf.quantize(3.0) == 0.5
+        assert buf.contains(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TunableBuffer("f", 0.0, -1.0)
+        with pytest.raises(ValueError):
+            TunableBuffer("f", 0.0, 1.0, n_steps=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=st.floats(-3, 3))
+    def test_quantize_idempotent_and_nearest(self, x):
+        """Property: quantize lands on the grid, is idempotent, and no grid
+        value is closer (for in-range inputs)."""
+        buf = TunableBuffer("f", -1.0, 2.0, n_steps=8)
+        q = buf.quantize(x)
+        assert buf.contains(q)
+        assert buf.quantize(q) == pytest.approx(q)
+        if buf.lower <= x <= buf.upper:
+            distances = np.abs(buf.values() - x)
+            assert abs(q - x) <= distances.min() + 1e-12
+
+
+class TestBufferPlan:
+    def test_key_consistency_checked(self):
+        with pytest.raises(ValueError):
+            BufferPlan({"a": TunableBuffer("b", 0.0, 1.0)})
+
+    def test_accessors(self):
+        plan = uniform_buffer_plan(["f1", "f2"], clock_period=8.0)
+        assert plan.n_buffers == 2
+        assert plan.has_buffer("f1")
+        assert not plan.has_buffer("zz")
+        assert plan.buffer("f2").width == pytest.approx(1.0)
+
+    def test_paper_policy(self):
+        plan = uniform_buffer_plan(["f"], clock_period=160.0)
+        buf = plan.buffer("f")
+        assert buf.width == pytest.approx(20.0)  # T/8
+        assert buf.n_steps == 20
+        assert buf.lower == pytest.approx(-10.0)  # centered
+
+    def test_uniform_step(self):
+        plan = uniform_buffer_plan(["a", "b"], clock_period=8.0)
+        assert plan.uniform_step() == pytest.approx(0.05)
+
+    def test_uniform_step_none_for_mixed(self):
+        plan = BufferPlan({
+            "a": TunableBuffer("a", 0.0, 1.0, n_steps=10),
+            "b": TunableBuffer("b", 0.0, 1.0, n_steps=20),
+        })
+        assert plan.uniform_step() is None
+
+    def test_uniform_step_requires_lattice_alignment(self):
+        plan = BufferPlan({
+            "a": TunableBuffer("a", 0.03, 1.0, n_steps=10),  # offset off-grid
+        })
+        assert plan.uniform_step() is None
+
+    def test_zero_settings_quantized(self):
+        plan = BufferPlan({"a": TunableBuffer("a", 0.3, 1.0, n_steps=10)})
+        settings_ = plan.zero_settings()
+        assert settings_["a"] == pytest.approx(0.3)  # clipped up to range
+
+    def test_empty_plan(self):
+        plan = BufferPlan({})
+        assert plan.uniform_step() is None
+        assert plan.n_buffers == 0

@@ -1,0 +1,74 @@
+"""Tests for gate delay canonical forms under spatial variation."""
+
+import pytest
+
+from repro.circuit.delays import gate_delay_form, total_sigma_fraction
+from repro.circuit.library import default_library
+from repro.variation.spatial import SpatialModel
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def spatial():
+    return SpatialModel()
+
+
+class TestGateDelayForm:
+    def test_mean_is_nominal(self, lib, spatial):
+        inv = lib.cell("INV")
+        form = gate_delay_form(inv, 0.5, 0.5, spatial)
+        assert form.mean == inv.nominal_delay
+
+    def test_nominal_override(self, lib, spatial):
+        inv = lib.cell("INV")
+        form = gate_delay_form(inv, 0.5, 0.5, spatial, nominal_override=100.0)
+        assert form.mean == 100.0
+
+    def test_negative_override_rejected(self, lib, spatial):
+        with pytest.raises(ValueError):
+            gate_delay_form(lib.cell("INV"), 0.5, 0.5, spatial, nominal_override=-1.0)
+
+    def test_relative_sigma_matches_formula(self, lib, spatial):
+        inv = lib.cell("INV")
+        form = gate_delay_form(inv, 0.3, 0.7, spatial)
+        expected = total_sigma_fraction(inv, spatial) * inv.nominal_delay
+        assert form.std == pytest.approx(expected, rel=1e-9)
+
+    def test_colocated_gates_fully_correlated(self, lib):
+        spatial = SpatialModel(independent_share=0.0)
+        inv = lib.cell("INV")
+        a = gate_delay_form(inv, 0.3, 0.3, spatial)
+        b = gate_delay_form(inv, 0.3, 0.3, spatial)
+        assert a.correlation(b) == pytest.approx(1.0)
+
+    def test_far_gates_correlate_at_global(self, lib):
+        spatial = SpatialModel(independent_share=0.0)
+        inv = lib.cell("INV")
+        a = gate_delay_form(inv, 0.01, 0.01, spatial)
+        b = gate_delay_form(inv, 0.99, 0.99, spatial)
+        assert a.correlation(b) == pytest.approx(0.25, abs=1e-9)
+
+    def test_zero_sensitivity_cell_is_deterministic(self, spatial):
+        from repro.circuit.library import CellType
+
+        cell = CellType("CONST", 1, 10.0, {})
+        form = gate_delay_form(cell, 0.5, 0.5, spatial)
+        assert form.std == 0.0
+
+
+class TestTotalSigmaFraction:
+    def test_positive_for_default_cells(self, lib, spatial):
+        for cell in lib.combinational_cells():
+            assert total_sigma_fraction(cell, spatial) > 0.1
+
+    def test_known_value(self, lib, spatial):
+        # sqrt(sum((s_p * sigma_p)^2)) with the library's shared numbers.
+        inv = lib.cell("INV")
+        expected = (
+            (1.10 * 0.157) ** 2 + (0.55 * 0.053) ** 2 + (0.85 * 0.044) ** 2
+        ) ** 0.5
+        assert total_sigma_fraction(inv, spatial) == pytest.approx(expected)

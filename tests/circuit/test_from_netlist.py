@@ -1,0 +1,107 @@
+"""Tests for the netlist -> Circuit extraction flow."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.from_netlist import circuit_from_netlist
+from repro.circuit.netlist import Netlist
+
+
+def pipeline_netlist(lanes: int = 3, stages: int = 3) -> Netlist:
+    n = Netlist("pipe")
+    previous = []
+    for lane in range(lanes):
+        pi = f"in{lane}"
+        n.add_input(pi)
+        previous.append(pi)
+    gate_id = 0
+    for stage in range(stages):
+        captured = []
+        for lane, signal in enumerate(previous):
+            q = f"ff{stage}_{lane}"
+            n.add_flop(q, signal)
+            captured.append(q)
+        outputs = []
+        for lane, q in enumerate(captured):
+            signal = q
+            for _ in range(3 + lane):
+                name = f"g{gate_id}"
+                gate_id += 1
+                n.add_gate(name, "INV", (signal,))
+                signal = name
+            outputs.append(signal)
+        previous = outputs
+    for lane, signal in enumerate(previous):
+        q = f"ffout_{lane}"
+        n.add_flop(q, signal)
+        n.add_output(q)
+    return n
+
+
+class TestCircuitFromNetlist:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return circuit_from_netlist(pipeline_netlist(), n_buffers=2, seed=0)
+
+    def test_buffer_count(self, circuit):
+        assert len(circuit.buffered_ffs) == 2
+
+    def test_required_paths_touch_buffers(self, circuit):
+        buffered = set(circuit.buffered_ffs)
+        for p in range(circuit.paths.n_paths):
+            src, snk = circuit.paths.endpoints(p)
+            assert src in buffered or snk in buffered
+
+    def test_background_paths_do_not(self, circuit):
+        buffered = set(circuit.buffered_ffs)
+        for p in range(circuit.background.n_paths):
+            src, snk = circuit.background.endpoints(p)
+            # Fallback duplicates a required path only when there is no
+            # true background; this pipeline has plenty.
+            assert src not in buffered and snk not in buffered
+
+    def test_short_paths_cover_required_pairs(self, circuit):
+        short_pairs = {
+            circuit.short_paths.endpoints(p)
+            for p in range(circuit.short_paths.n_paths)
+        }
+        required_pairs = {
+            circuit.paths.endpoints(p) for p in range(circuit.paths.n_paths)
+        }
+        assert required_pairs <= short_pairs
+
+    def test_spec_matches_netlist(self, circuit):
+        netlist = pipeline_netlist()
+        assert circuit.spec.n_flipflops == netlist.n_flops
+        assert circuit.spec.n_gates == netlist.n_gates
+
+    def test_deterministic(self):
+        a = circuit_from_netlist(pipeline_netlist(), n_buffers=2, seed=3)
+        b = circuit_from_netlist(pipeline_netlist(), n_buffers=2, seed=3)
+        np.testing.assert_array_equal(
+            a.paths.model.means, b.paths.model.means
+        )
+        assert a.buffered_ffs == b.buffered_ffs
+
+    def test_runs_through_framework(self, circuit):
+        from repro.core import (
+            EffiTest,
+            EffiTestConfig,
+            operating_periods,
+            sample_circuit,
+        )
+
+        pop = sample_circuit(circuit, 400, seed=1)
+        t1, _ = operating_periods(pop)
+        framework = EffiTest(circuit, EffiTestConfig(hold_samples=300))
+        prep = framework.prepare(t1)
+        run = framework.run(pop.subset(range(40)), t1, prep)
+        assert run.mean_iterations > 0
+        assert 0.0 <= run.yield_fraction <= 1.0
+
+    def test_empty_netlist_rejected(self):
+        n = Netlist("empty")
+        n.add_input("a")
+        n.add_flop("q", "a")
+        with pytest.raises(ValueError, match="no FF-to-FF"):
+            circuit_from_netlist(n, n_buffers=1, seed=0)

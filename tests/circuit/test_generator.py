@@ -1,0 +1,115 @@
+"""Tests for the calibrated synthetic circuit generator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.generator import Circuit, CircuitSpec, generate_circuit
+
+
+class TestSpecValidation:
+    def test_positive_sizes_required(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("bad", 0, 10, 1, 5)
+
+    def test_buffers_capped_by_ffs(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("bad", 4, 10, 5, 5)
+
+
+class TestGeneratedStructure:
+    def test_path_count_matches_spec(self, tiny_circuit, tiny_spec):
+        assert tiny_circuit.paths.n_paths == tiny_spec.n_paths
+
+    def test_buffer_count_matches_spec(self, tiny_circuit, tiny_spec):
+        assert len(tiny_circuit.buffered_ffs) == tiny_spec.n_buffers
+
+    def test_ff_universe_at_least_spec(self, tiny_circuit, tiny_spec):
+        assert len(tiny_circuit.ff_names) >= tiny_spec.n_flipflops
+
+    def test_required_paths_touch_buffers(self, tiny_circuit):
+        buffered = set(tiny_circuit.buffered_ffs)
+        for p in range(tiny_circuit.paths.n_paths):
+            src, snk = tiny_circuit.paths.endpoints(p)
+            assert src in buffered or snk in buffered
+
+    def test_background_paths_avoid_buffers(self, tiny_circuit):
+        buffered = set(tiny_circuit.buffered_ffs)
+        for p in range(tiny_circuit.background.n_paths):
+            src, snk = tiny_circuit.background.endpoints(p)
+            assert src not in buffered and snk not in buffered
+
+    def test_short_paths_cover_required_pairs(self, tiny_circuit):
+        required_pairs = {
+            tiny_circuit.paths.endpoints(p)
+            for p in range(tiny_circuit.paths.n_paths)
+        }
+        short_pairs = {
+            tiny_circuit.short_paths.endpoints(p)
+            for p in range(tiny_circuit.short_paths.n_paths)
+        }
+        assert short_pairs == required_pairs
+
+    def test_hold_requirements_negative_on_average(self, tiny_circuit):
+        # Short paths are designed to pass hold with zero skew nominally.
+        assert np.all(tiny_circuit.short_paths.model.means < 0)
+
+    def test_exclusions_reference_required_paths(self, tiny_circuit):
+        n = tiny_circuit.paths.n_paths
+        for a, b in tiny_circuit.mutual_exclusions:
+            assert 0 <= a < b < n
+
+    def test_factor_spaces_shared(self, tiny_circuit):
+        nf = tiny_circuit.paths.model.n_factors
+        assert tiny_circuit.background.model.n_factors == nf
+        assert tiny_circuit.short_paths.model.n_factors == nf
+
+
+class TestStatisticalShape:
+    def test_intra_cluster_correlation_high(self, tiny_circuit):
+        corr = tiny_circuit.paths.model.correlation()
+        upper = corr[np.triu_indices(tiny_circuit.paths.n_paths, 1)]
+        assert upper.max() > 0.9
+
+    def test_global_floor_correlation(self, tiny_circuit):
+        corr = tiny_circuit.paths.model.correlation()
+        upper = corr[np.triu_indices(tiny_circuit.paths.n_paths, 1)]
+        assert upper.min() > 0.1  # at least the global component
+
+    def test_relative_sigma_plausible(self, tiny_circuit):
+        model = tiny_circuit.paths.model
+        rel = model.stds() / model.means
+        assert 0.08 < rel.mean() < 0.30
+
+    def test_background_less_critical(self, tiny_circuit):
+        req = tiny_circuit.paths.model.means.max()
+        bg = tiny_circuit.background.model.means.max()
+        assert bg < req
+
+
+class TestDeterminismAndVariants:
+    def test_same_seed_same_circuit(self, tiny_spec):
+        a = generate_circuit(tiny_spec, seed=7)
+        b = generate_circuit(tiny_spec, seed=7)
+        np.testing.assert_array_equal(a.paths.model.means, b.paths.model.means)
+        assert a.mutual_exclusions == b.mutual_exclusions
+
+    def test_different_seed_differs(self, tiny_spec):
+        a = generate_circuit(tiny_spec, seed=7)
+        b = generate_circuit(tiny_spec, seed=8)
+        assert not np.allclose(a.paths.model.means, b.paths.model.means)
+
+    def test_inflated_randomness_variant(self, tiny_circuit):
+        inflated = tiny_circuit.with_inflated_randomness(1.1)
+        np.testing.assert_allclose(
+            inflated.paths.model.stds(),
+            1.1 * tiny_circuit.paths.model.stds(),
+        )
+        # Structure is shared, only the statistical model changes.
+        assert inflated.paths.ff_names == tiny_circuit.paths.ff_names
+        assert isinstance(inflated, Circuit)
+
+    def test_single_buffer_circuit(self):
+        spec = CircuitSpec("one", 20, 100, 1, 8)
+        c = generate_circuit(spec, seed=3)
+        assert c.paths.n_paths == 8
+        assert len(c.buffered_ffs) == 1

@@ -1,0 +1,66 @@
+"""Tests for criticality-driven buffer insertion."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.insertion import (
+    criticality_scores,
+    plan_buffers,
+    select_buffered_ffs,
+)
+from repro.circuit.paths import PathSet, TimedPath
+from repro.variation.canonical import CanonicalForm
+
+
+def pathset_with_hot_ff() -> PathSet:
+    """f1 touches two critical paths; f3 only a relaxed one."""
+    paths = [
+        TimedPath("f0", "f1", CanonicalForm(100.0, {0: 5.0})),
+        TimedPath("f1", "f2", CanonicalForm(100.0, {1: 5.0})),
+        TimedPath("f2", "f3", CanonicalForm(40.0, {2: 5.0})),
+    ]
+    return PathSet.from_timed_paths(paths, ["f0", "f1", "f2", "f3"])
+
+
+class TestCriticalityScores:
+    def test_hot_ff_scores_highest(self):
+        scores = criticality_scores(pathset_with_hot_ff())
+        assert scores["f1"] == max(scores.values())
+
+    def test_all_ffs_scored(self):
+        scores = criticality_scores(pathset_with_hot_ff())
+        assert set(scores) == {"f0", "f1", "f2", "f3"}
+
+    def test_explicit_target(self):
+        low = criticality_scores(pathset_with_hot_ff(), target_period=50.0)
+        high = criticality_scores(pathset_with_hot_ff(), target_period=150.0)
+        assert low["f1"] > high["f1"]
+
+
+class TestSelection:
+    def test_selects_hot_ff_first(self):
+        assert select_buffered_ffs(pathset_with_hot_ff(), 1) == ["f1"]
+
+    def test_count_respected(self):
+        assert len(select_buffered_ffs(pathset_with_hot_ff(), 3)) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            select_buffered_ffs(pathset_with_hot_ff(), -1)
+
+    def test_deterministic_ties(self):
+        a = select_buffered_ffs(pathset_with_hot_ff(), 2)
+        b = select_buffered_ffs(pathset_with_hot_ff(), 2)
+        assert a == b
+
+
+class TestPlanBuffers:
+    def test_paper_policy(self):
+        plan = plan_buffers(["f1"], clock_period=160.0)
+        buf = plan.buffer("f1")
+        assert buf.width == pytest.approx(20.0)
+        assert buf.n_steps == 20
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            plan_buffers(["f1"], clock_period=0.0)

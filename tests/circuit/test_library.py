@@ -1,0 +1,54 @@
+"""Tests for the standard-cell library."""
+
+import pytest
+
+from repro.circuit.library import CellType, Library, SequentialCell, default_library
+
+
+class TestDefaultLibrary:
+    def test_has_basic_cells(self):
+        lib = default_library()
+        for name in ("INV", "NAND2", "XOR2", "DFF"):
+            assert lib.has_cell(name)
+
+    def test_flip_flop_accessor(self):
+        ff = default_library().flip_flop
+        assert isinstance(ff, SequentialCell)
+        assert ff.setup_time > 0
+        assert ff.hold_time > 0
+
+    def test_combinational_excludes_dff(self):
+        cells = default_library().combinational_cells()
+        assert all(not isinstance(c, SequentialCell) for c in cells)
+        assert len(cells) >= 8
+
+    def test_sensitivities_cover_paper_parameters(self):
+        lib = default_library()
+        inv = lib.cell("INV")
+        assert set(inv.sensitivities) == {
+            "transistor_length", "oxide_thickness", "threshold_voltage",
+        }
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            default_library().cell("NAND17")
+
+
+class TestValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            CellType("BAD", 1, -1.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CellType("BAD", -1, 1.0)
+
+    def test_duplicate_cells_rejected(self):
+        c = CellType("X", 1, 1.0)
+        with pytest.raises(ValueError):
+            Library("dup", (c, c))
+
+    def test_library_without_ff(self):
+        lib = Library("nofc", (CellType("X", 1, 1.0),))
+        with pytest.raises(KeyError):
+            _ = lib.flip_flop

@@ -1,0 +1,95 @@
+"""Tests for the gate-level netlist structure."""
+
+import networkx as nx
+import pytest
+
+from repro.circuit.netlist import Netlist
+
+
+def small_netlist() -> Netlist:
+    n = Netlist("demo")
+    n.add_input("i0")
+    n.add_input("i1")
+    n.add_gate("g0", "NAND2", ("i0", "i1"))
+    n.add_flop("q0", "g0")
+    n.add_gate("g1", "INV", ("q0",))
+    n.add_output("g1")
+    return n
+
+
+class TestConstruction:
+    def test_counts(self):
+        n = small_netlist()
+        assert n.n_gates == 2
+        assert n.n_flops == 1
+
+    def test_duplicate_driver_rejected(self):
+        n = small_netlist()
+        with pytest.raises(ValueError):
+            n.add_gate("g0", "INV", ("i0",))
+        with pytest.raises(ValueError):
+            n.add_flop("g1", "i0")
+
+    def test_duplicate_input_rejected(self):
+        n = small_netlist()
+        with pytest.raises(ValueError):
+            n.add_input("i0")
+
+    def test_driver_of(self):
+        n = small_netlist()
+        assert n.driver_of("g0").cell == "NAND2"
+        assert n.driver_of("q0").d_input == "g0"
+        assert n.driver_of("i0") is None
+
+    def test_signals(self):
+        assert small_netlist().signals() == {"i0", "i1", "g0", "q0", "g1"}
+
+
+class TestCombinationalGraph:
+    def test_edges(self):
+        g = small_netlist().combinational_graph()
+        assert g.has_edge("i0", "g0")
+        assert g.has_edge("q0", "g1")
+
+    def test_flops_cut_graph(self):
+        g = small_netlist().combinational_graph()
+        assert not g.has_edge("g0", "q0")
+
+    def test_acyclic(self):
+        assert nx.is_directed_acyclic_graph(small_netlist().combinational_graph())
+
+
+class TestValidation:
+    def test_valid_passes(self):
+        small_netlist().validate()
+
+    def test_undriven_gate_input(self):
+        n = Netlist("bad")
+        n.add_gate("g", "INV", ("ghost",))
+        with pytest.raises(ValueError, match="undriven"):
+            n.validate()
+
+    def test_undriven_flop_input(self):
+        n = Netlist("bad")
+        n.add_flop("q", "ghost")
+        with pytest.raises(ValueError):
+            n.validate()
+
+    def test_undriven_output(self):
+        n = Netlist("bad")
+        n.add_output("ghost")
+        with pytest.raises(ValueError):
+            n.validate()
+
+    def test_combinational_cycle_detected(self):
+        n = Netlist("loop")
+        n.add_gate("a", "INV", ("b",))
+        n.add_gate("b", "INV", ("a",))
+        with pytest.raises(ValueError, match="cycle"):
+            n.validate()
+
+    def test_sequential_loop_is_fine(self):
+        n = Netlist("seqloop")
+        n.add_flop("q", "g")
+        n.add_gate("g", "INV", ("q",))
+        n.validate()

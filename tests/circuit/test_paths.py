@@ -1,0 +1,120 @@
+"""Tests for PathSet containers and gate-level path extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.library import default_library
+from repro.circuit.netlist import Netlist
+from repro.circuit.paths import PathSet, TimedPath, extract_ff_paths
+from repro.circuit.placement import random_placement
+from repro.variation.canonical import CanonicalForm
+from repro.variation.spatial import SpatialModel
+
+
+def make_pathset() -> PathSet:
+    paths = [
+        TimedPath("f0", "f1", CanonicalForm(10.0, {0: 1.0}), "a"),
+        TimedPath("f1", "f2", CanonicalForm(12.0, {0: 0.5, 1: 1.0}), "b"),
+        TimedPath("f0", "f2", CanonicalForm(9.0, {1: 0.5}, 0.5), "c"),
+    ]
+    return PathSet.from_timed_paths(paths, ["f0", "f1", "f2"])
+
+
+class TestPathSet:
+    def test_construction(self):
+        ps = make_pathset()
+        assert ps.n_paths == 3
+        assert ps.endpoints(1) == ("f1", "f2")
+        assert ps.labels == ("a", "b", "c")
+
+    def test_touched_ffs(self):
+        assert make_pathset().touched_ffs() == ["f0", "f1", "f2"]
+
+    def test_subset(self):
+        sub = make_pathset().subset([2, 0])
+        assert sub.n_paths == 2
+        assert sub.endpoints(0) == ("f0", "f2")
+        assert sub.labels == ("c", "a")
+
+    def test_with_model_validates_count(self):
+        ps = make_pathset()
+        with pytest.raises(ValueError):
+            ps.with_model(ps.model.subset([0]))
+
+    def test_index_bounds_checked(self):
+        ps = make_pathset()
+        with pytest.raises(ValueError):
+            PathSet(("f0",), ps.source_idx, ps.sink_idx, ps.model)
+
+    def test_label_arity_checked(self):
+        ps = make_pathset()
+        with pytest.raises(ValueError):
+            PathSet(ps.ff_names, ps.source_idx, ps.sink_idx, ps.model, ("x",))
+
+
+def two_stage_netlist() -> Netlist:
+    """q0 -> (3 inverters) -> q1 and q0 -> (1 inverter) -> q1."""
+    n = Netlist("twostage")
+    n.add_input("start")
+    n.add_flop("q0", "start")
+    n.add_flop("q1", "mix")
+    n.add_gate("a1", "INV", ("q0",))
+    n.add_gate("a2", "INV", ("a1",))
+    n.add_gate("a3", "INV", ("a2",))
+    n.add_gate("short", "BUF", ("q0",))
+    n.add_gate("mix", "NAND2", ("a3", "short"))
+    return n
+
+
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def extracted(self):
+        netlist = two_stage_netlist()
+        placement = random_placement(netlist, seed=0)
+        spatial = SpatialModel()
+        return extract_ff_paths(
+            netlist, default_library(), placement, spatial,
+            max_paths_per_pair=4, slack_window_fraction=1.0,
+        )
+
+    def test_finds_both_paths(self, extracted):
+        long_set, _ = extracted
+        assert long_set.n_paths == 2
+        assert all(
+            long_set.endpoints(p) == ("q0", "q1")
+            for p in range(long_set.n_paths)
+        )
+
+    def test_critical_path_delay(self, extracted):
+        long_set, _ = extracted
+        lib = default_library()
+        inv, nand, buf = (lib.cell(c).nominal_delay for c in ("INV", "NAND2", "BUF"))
+        dff = lib.flip_flop
+        expected_long = dff.nominal_delay + 3 * inv + nand + dff.setup_time
+        assert long_set.model.means.max() == pytest.approx(expected_long)
+
+    def test_short_requirement(self, extracted):
+        _, short_set = extracted
+        assert short_set.n_paths == 1
+        lib = default_library()
+        dff = lib.flip_flop
+        min_delay = (
+            dff.nominal_delay + lib.cell("BUF").nominal_delay
+            + lib.cell("NAND2").nominal_delay
+        )
+        expected = dff.hold_time - min_delay
+        assert short_set.model.means[0] == pytest.approx(expected)
+        assert short_set.model.means[0] < 0  # hold met with zero skew
+
+    def test_paths_per_pair_cap(self):
+        netlist = two_stage_netlist()
+        placement = random_placement(netlist, seed=0)
+        long_set, _ = extract_ff_paths(
+            netlist, default_library(), placement, SpatialModel(),
+            max_paths_per_pair=1, slack_window_fraction=1.0,
+        )
+        assert long_set.n_paths == 1
+
+    def test_factor_spaces_match(self, extracted):
+        long_set, short_set = extracted
+        assert long_set.model.n_factors == short_set.model.n_factors

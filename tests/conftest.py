@@ -1,0 +1,75 @@
+"""Shared fixtures: a small calibrated circuit and its populations.
+
+The "tiny" circuit keeps every end-to-end test fast (<1 s) while still
+exercising clusters, buffers, hold paths, background paths and mutual
+exclusions.  Session scope: generation is deterministic, and all consumers
+treat these objects as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitSpec, generate_circuit, plan_buffers
+from repro.core import (
+    EffiTest,
+    EffiTestConfig,
+    compute_hold_bounds,
+    operating_periods,
+    sample_circuit,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> CircuitSpec:
+    return CircuitSpec(
+        name="tiny",
+        n_flipflops=40,
+        n_gates=800,
+        n_buffers=2,
+        n_paths=24,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_circuit(tiny_spec):
+    return generate_circuit(tiny_spec, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_population(tiny_circuit):
+    return sample_circuit(tiny_circuit, 64, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_periods(tiny_circuit):
+    calibration = sample_circuit(tiny_circuit, 2000, seed=7)
+    return operating_periods(calibration)
+
+
+@pytest.fixture(scope="session")
+def tiny_buffer_plan(tiny_circuit, tiny_periods):
+    return plan_buffers(list(tiny_circuit.buffered_ffs), tiny_periods[0])
+
+
+@pytest.fixture(scope="session")
+def tiny_hold_bounds(tiny_circuit, tiny_buffer_plan):
+    return compute_hold_bounds(
+        tiny_circuit.short_paths, tiny_buffer_plan, n_samples=400, seed=5
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_framework(tiny_circuit):
+    return EffiTest(tiny_circuit, EffiTestConfig(hold_samples=400))
+
+
+@pytest.fixture(scope="session")
+def tiny_preparation(tiny_framework, tiny_periods):
+    return tiny_framework.prepare(clock_period=tiny_periods[0])
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

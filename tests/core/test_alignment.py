@@ -1,0 +1,195 @@
+"""Tests for delay-range alignment (eqs. 6-14).
+
+The heuristic (weighted median + coordinate descent) is cross-checked
+against the exact MILP in both the compact and the paper's big-M
+formulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import (
+    BatchAlignment,
+    center_sorted_weights,
+    solve_alignment,
+    solve_alignment_milp,
+)
+
+
+def make_spec(
+    n_buffers=2,
+    grid=(-2.0, 2.0, 9),
+    src=(-1, 0),
+    snk=(0, -1),
+    pair_lower=(),
+) -> BatchAlignment:
+    grids = tuple(
+        np.linspace(grid[0], grid[1], grid[2]) for _ in range(n_buffers)
+    )
+    return BatchAlignment(
+        src_buffer=np.array(src, dtype=np.intp),
+        snk_buffer=np.array(snk, dtype=np.intp),
+        base_shift=np.zeros(len(src)),
+        grids=grids,
+        lower_bounds=np.full(n_buffers, grid[0]),
+        upper_bounds=np.full(n_buffers, grid[1]),
+        pair_lower=tuple(pair_lower),
+        buffer_names=tuple(f"B{i}" for i in range(n_buffers)),
+    )
+
+
+def objective(spec, centers, weights, period, x):
+    shifted = centers + spec.shift(x)
+    return float(np.nansum(weights * np.abs(period - shifted)))
+
+
+class TestCenterSortedWeights:
+    def test_middle_heaviest(self):
+        w = center_sorted_weights(np.array([1.0, 5.0, 9.0]), k0=100.0, kd=1.0)
+        assert w[1] == 100.0
+        assert w[0] == w[2] == 99.0
+
+    def test_unsorted_input_ranked(self):
+        w = center_sorted_weights(np.array([9.0, 1.0, 5.0]), k0=100.0, kd=1.0)
+        assert w[2] == 100.0  # value 5.0 is the middle
+
+    def test_nan_gets_zero_weight(self):
+        w = center_sorted_weights(np.array([1.0, np.nan, 3.0]))
+        assert w[1] == 0.0
+        assert w[0] > 0 and w[2] > 0
+
+    def test_batched_rows_independent(self):
+        centers = np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        w = center_sorted_weights(centers, k0=10.0, kd=1.0)
+        assert w[0, 1] == 10.0 and w[1, 1] == 10.0
+
+    def test_weights_floor_at_kd(self):
+        centers = np.arange(25.0)
+        w = center_sorted_weights(centers, k0=5.0, kd=1.0)
+        assert w.min() == 1.0
+
+
+class TestSolveAlignment:
+    def test_pair_alignment_exact(self):
+        """An in/out pair of one buffer can be centred exactly."""
+        spec = make_spec(n_buffers=1, src=(-1, 0), snk=(0, -1))
+        centers = np.array([[10.0, 12.0]])
+        weights = np.ones((1, 2))
+        period, x = solve_alignment(spec, centers, weights, np.zeros((1, 1)))
+        # Optimal x: (c_in - c_out)/2 = -1 -> both shifted centres equal 11.
+        assert objective(spec, centers, weights, period[0], x[0]) < 1e-9
+
+    def test_respects_bounds(self):
+        spec = make_spec(n_buffers=1, src=(-1, 0), snk=(0, -1),
+                         grid=(-0.5, 0.5, 5))
+        centers = np.array([[10.0, 20.0]])  # needs shift -5, range only 0.5
+        weights = np.ones((1, 2))
+        _, x = solve_alignment(spec, centers, weights, np.zeros((1, 1)))
+        assert -0.5 - 1e-9 <= x[0, 0] <= 0.5 + 1e-9
+
+    def test_respects_pair_constraints(self):
+        spec = make_spec(pair_lower=((0, 1, 1.0),))
+        centers = np.array([[10.0, 10.0]])
+        weights = np.ones((1, 2))
+        x_init = np.array([[2.0, 0.0]])  # satisfies x0 - x1 >= 1
+        _, x = solve_alignment(spec, centers, weights, x_init)
+        assert x[0, 0] - x[0, 1] >= 1.0 - 1e-9
+
+    def test_values_stay_on_grid(self):
+        spec = make_spec()
+        centers = np.array([[10.0, 11.3]])
+        weights = np.ones((1, 2))
+        _, x = solve_alignment(spec, centers, weights, np.zeros((1, 2)))
+        for b in range(2):
+            grid = spec.grids[b]
+            assert np.min(np.abs(grid - x[0, b])) < 1e-9
+
+    def test_nan_centers_ignored(self):
+        spec = make_spec()
+        centers = np.array([[10.0, np.nan]])
+        weights = np.ones((1, 2))
+        period, _ = solve_alignment(spec, centers, weights, np.zeros((1, 2)))
+        assert np.isfinite(period[0])
+
+    def test_batched_rows_independent(self):
+        spec = make_spec(n_buffers=1, src=(-1, 0), snk=(0, -1))
+        centers = np.array([[10.0, 12.0], [30.0, 36.0]])
+        weights = np.ones((2, 2))
+        period, x = solve_alignment(spec, centers, weights, np.zeros((2, 1)))
+        assert 10.0 <= period[0] <= 12.0
+        assert 30.0 <= period[1] <= 36.0
+
+
+class TestMilpCrossChecks:
+    @pytest.mark.parametrize("formulation", ["compact", "paper"])
+    def test_formulations_agree(self, formulation):
+        spec = make_spec()
+        centers = np.array([10.0, 13.0])
+        weights = np.array([2.0, 1.0])
+        t, x, sol = solve_alignment_milp(
+            spec, centers, weights, formulation=formulation
+        )
+        # Both paths couple to buffer 0 with opposite signs, so x0 = -1.5
+        # aligns the two shifted centres exactly at T = 11.5.
+        assert sol.objective == pytest.approx(0.0, abs=1e-6)
+
+    def test_compact_equals_paper_formulation(self):
+        spec = make_spec()
+        centers = np.array([10.0, 14.5])
+        weights = np.array([1.0, 3.0])
+        _, _, a = solve_alignment_milp(spec, centers, weights, "compact")
+        _, _, b = solve_alignment_milp(spec, centers, weights, "paper")
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+    def test_heuristic_matches_milp_on_alignable_case(self):
+        spec = make_spec(n_buffers=1, src=(-1, 0), snk=(0, -1))
+        centers = np.array([10.0, 12.0])
+        weights = np.array([1.0, 1.0])
+        _, _, milp = solve_alignment_milp(spec, centers, weights)
+        period, x = solve_alignment(
+            spec, centers[None, :], weights[None, :], np.zeros((1, 1))
+        )
+        heuristic_obj = objective(spec, centers[None, :], weights[None, :],
+                                  period[0], x[0])
+        assert heuristic_obj == pytest.approx(milp.objective, abs=1e-6)
+
+    def test_heuristic_within_factor_of_milp(self, rng):
+        for trial in range(5):
+            spec = make_spec()
+            centers = rng.uniform(8.0, 16.0, size=2)
+            weights = rng.uniform(0.5, 3.0, size=2)
+            _, _, milp = solve_alignment_milp(spec, centers, weights)
+            period, x = solve_alignment(
+                spec, centers[None, :], weights[None, :], np.zeros((1, 2))
+            )
+            h = objective(spec, centers[None, :], weights[None, :],
+                          period[0], x[0])
+            assert h <= milp.objective + 0.6  # within half a grid step-ish
+
+    def test_unknown_formulation(self):
+        spec = make_spec()
+        with pytest.raises(ValueError):
+            solve_alignment_milp(
+                spec, np.array([1.0, 2.0]), np.ones(2), formulation="wat"
+            )
+
+
+class TestFeasibleDefault:
+    def test_within_bounds(self):
+        spec = make_spec(grid=(-2.0, 2.0, 9))
+        x = spec.feasible_default()
+        assert np.all(x >= spec.lower_bounds - 1e-12)
+        assert np.all(x <= spec.upper_bounds + 1e-12)
+
+    def test_prefers_zero(self):
+        spec = make_spec()
+        assert np.allclose(spec.feasible_default(), 0.0)
+
+    def test_shift_computation(self):
+        spec = make_spec()  # path0: snk buffer 0; path1: src buffer 0? see spec
+        x = np.array([1.0, -2.0])
+        shift = spec.shift(x)
+        # path 0: src none, snk buffer0 -> -x0 = -1; path 1: src buffer0,
+        # snk none -> +x0 = 1... using default src=(-1,0), snk=(0,-1)
+        assert shift[0] == pytest.approx(-1.0)
+        assert shift[1] == pytest.approx(1.0)

@@ -1,0 +1,187 @@
+"""Tests for buffer configuration (eqs. 15-18) and ideal feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.buffers import BufferPlan, TunableBuffer
+from repro.circuit.paths import PathSet, TimedPath
+from repro.core.configuration import (
+    build_config_structure,
+    configure_chip_milp,
+    configure_chips,
+    ideal_feasibility,
+)
+from repro.variation.canonical import CanonicalForm
+
+
+def chain_pathset() -> PathSet:
+    """u -> B0 -> B1 -> v plus an untunable path w -> z."""
+    paths = [
+        TimedPath("u", "B0", CanonicalForm(10.0, {0: 1.0})),
+        TimedPath("B0", "B1", CanonicalForm(10.0, {1: 1.0})),
+        TimedPath("B1", "v", CanonicalForm(10.0, {2: 1.0})),
+        TimedPath("w", "z", CanonicalForm(8.0, {3: 1.0})),
+    ]
+    return PathSet.from_timed_paths(paths, ["u", "B0", "B1", "v", "w", "z"])
+
+
+def plan(width=2.0, steps=20) -> BufferPlan:
+    return BufferPlan({
+        "B0": TunableBuffer("B0", -width / 2, width, steps),
+        "B1": TunableBuffer("B1", -width / 2, width, steps),
+    })
+
+
+@pytest.fixture(scope="module")
+def structure():
+    return build_config_structure(chain_pathset(), plan())
+
+
+class TestStructure:
+    def test_classification(self, structure):
+        assert structure.fixed_paths.tolist() == [3]
+        assert structure.into_paths[0].tolist() == [0]  # u->B0
+        assert structure.from_paths[1].tolist() == [2]  # B1->v
+        assert len(structure.pair_edges) == 1
+        sb, tb, idx = structure.pair_edges[0]
+        assert (sb, tb) == (0, 1) and idx.tolist() == [1]
+
+    def test_lattice_step(self, structure):
+        assert structure.step == pytest.approx(0.1)
+
+    def test_self_loop_treated_fixed(self):
+        paths = [TimedPath("B0", "B0", CanonicalForm(5.0, {0: 1.0}))]
+        ps = PathSet.from_timed_paths(paths, ["B0"])
+        st = build_config_structure(ps, plan())
+        assert st.fixed_paths.tolist() == [0]
+
+
+class TestConfigureChips:
+    def test_feasible_when_slack_everywhere(self, structure):
+        lower = np.full((1, 4), 8.0)
+        upper = np.full((1, 4), 9.0)
+        result = configure_chips(structure, lower, upper, period=10.0)
+        assert result.feasible[0]
+        assert result.xi[0] == pytest.approx(0.0, abs=0.05)
+
+    def test_settings_on_grid(self, structure):
+        lower = np.array([[10.2, 9.0, 8.0, 8.0]])
+        upper = np.array([[10.6, 9.5, 8.5, 8.5]])
+        result = configure_chips(structure, lower, upper, period=10.0)
+        assert result.feasible[0]
+        x = result.settings[0]
+        for b, name in enumerate(structure.buffer_names):
+            grid = structure.grids[b]
+            assert np.min(np.abs(grid - x[b])) < 1e-9
+
+    def test_configuration_satisfies_constraints_at_upper(self, structure):
+        """With the solved xi, assumed delays max(l, u-xi) must fit."""
+        rng = np.random.default_rng(3)
+        lower = rng.uniform(8.0, 10.0, size=(20, 4))
+        upper = lower + rng.uniform(0.1, 1.0, size=(20, 4))
+        period = 10.3
+        result = configure_chips(structure, lower, upper, period)
+        ps = chain_pathset()
+        for c in np.flatnonzero(result.feasible):
+            x = dict(zip(structure.buffer_names, result.settings[c]))
+            for p in range(4):
+                src, snk = ps.endpoints(p)
+                shift = x.get(src, 0.0) - x.get(snk, 0.0)
+                assumed = max(
+                    lower[c, p], upper[c, p] - result.xi[c]
+                )
+                assert assumed + shift <= period + structure.step + 1e-6
+
+    def test_fixed_path_infeasibility(self, structure):
+        lower = np.array([[8.0, 8.0, 8.0, 12.0]])  # untunable path over Td
+        upper = np.array([[9.0, 9.0, 9.0, 12.5]])
+        result = configure_chips(structure, lower, upper, period=10.0)
+        assert not result.feasible[0]
+        assert np.isnan(result.settings[0]).all()
+
+    def test_tunable_overload_infeasible(self, structure):
+        # Every stage needs more than the period and buffers cannot create
+        # budget out of nothing (chain ends are fixed).
+        lower = np.full((1, 4), 11.5)
+        upper = np.full((1, 4), 12.0)
+        lower[0, 3] = upper[0, 3] = 5.0
+        result = configure_chips(structure, lower, upper, period=10.0)
+        assert not result.feasible[0]
+
+    def test_chain_borrowing_feasible(self, structure):
+        """One slow stage borrows budget through the chain (within range)."""
+        lower = np.array([[10.8, 9.0, 9.0, 5.0]])
+        upper = np.array([[10.9, 9.2, 9.2, 5.5]])
+        result = configure_chips(structure, lower, upper, period=10.0)
+        assert result.feasible[0]
+        # B0's capture edge must fire late (positive x) so the u->B0 stage
+        # gets the extra time; B1 then shifts to keep B0->B1 feasible.
+        assert result.settings[0][0] >= 0.8
+
+    def test_batched_mixed(self, structure):
+        lower = np.stack([
+            np.full(4, 8.0),          # easy chip
+            np.array([8.0, 8.0, 8.0, 12.0]),  # fixed-path violation
+        ])
+        upper = lower + 0.5
+        result = configure_chips(structure, lower, upper, period=10.0)
+        assert result.feasible.tolist() == [True, False]
+
+
+class TestMilpCrossCheck:
+    def test_binary_search_matches_milp_xi(self, structure):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            lower = rng.uniform(8.5, 10.5, size=4)
+            upper = lower + rng.uniform(0.1, 0.8, size=4)
+            lower[3] = min(lower[3], 9.5)
+            upper[3] = min(upper[3], 9.9)
+            period = 10.0
+            ok_m, x_m, xi_m = configure_chip_milp(
+                structure, lower, upper, period
+            )
+            result = configure_chips(
+                structure, lower[None, :], upper[None, :], period
+            )
+            assert bool(result.feasible[0]) == ok_m
+            if ok_m:
+                assert result.xi[0] == pytest.approx(
+                    xi_m, abs=structure.step / 2 + 1e-6
+                )
+
+    def test_milp_infeasible_case(self, structure):
+        lower = np.full(4, 11.5)
+        upper = np.full(4, 12.0)
+        ok, x, xi = configure_chip_milp(structure, lower, upper, 10.0)
+        assert not ok and x is None
+
+
+class TestIdealFeasibility:
+    def test_all_slack_feasible(self, structure):
+        true = np.full((3, 4), 9.0)
+        result = ideal_feasibility(structure, true, period=10.0)
+        assert result.feasible.all()
+        assert np.allclose(result.xi, 0.0)
+
+    def test_matches_configure_with_tight_bounds(self, structure):
+        rng = np.random.default_rng(7)
+        true = rng.uniform(9.0, 11.0, size=(30, 4))
+        ideal = ideal_feasibility(structure, true, period=10.0)
+        tight = configure_chips(structure, true, true, period=10.0)
+        np.testing.assert_array_equal(ideal.feasible, tight.feasible)
+
+    def test_monotone_in_period(self, structure):
+        rng = np.random.default_rng(9)
+        true = rng.uniform(9.0, 11.5, size=(50, 4))
+        y1 = ideal_feasibility(structure, true, period=10.0).feasible.mean()
+        y2 = ideal_feasibility(structure, true, period=10.8).feasible.mean()
+        assert y2 >= y1
+
+
+class TestNoBuffers:
+    def test_zero_buffer_plan(self):
+        ps = chain_pathset()
+        st = build_config_structure(ps, BufferPlan({}))
+        true = np.array([[9.0, 9.0, 9.0, 9.0], [9.0, 11.0, 9.0, 9.0]])
+        result = ideal_feasibility(st, true, period=10.0)
+        assert result.feasible.tolist() == [True, False]

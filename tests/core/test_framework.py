@@ -1,0 +1,141 @@
+"""End-to-end tests of the EffiTest framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import EffiTest, EffiTestConfig
+from repro.core.yields import ideal_yield, no_buffer_yield, sample_circuit
+
+
+class TestPreparation:
+    def test_buffer_plan_covers_buffered_ffs(
+        self, tiny_circuit, tiny_preparation
+    ):
+        assert set(tiny_preparation.buffer_plan.buffered_ffs) == set(
+            tiny_circuit.buffered_ffs
+        )
+
+    def test_measured_includes_selected(self, tiny_preparation):
+        selected = set(tiny_preparation.plan.selected.tolist())
+        measured = set(tiny_preparation.plan.measured.tolist())
+        assert selected <= measured
+
+    def test_tested_fraction_small(self, tiny_circuit, tiny_preparation):
+        assert tiny_preparation.n_tested < 0.8 * tiny_circuit.paths.n_paths
+
+    def test_predictor_covers_rest(self, tiny_circuit, tiny_preparation):
+        predictor = tiny_preparation.predictor
+        assert predictor is not None
+        covered = set(predictor.tested_idx.tolist()) | set(
+            predictor.predicted_idx.tolist()
+        )
+        assert covered == set(range(tiny_circuit.paths.n_paths))
+
+    def test_epsilon_calibrated_to_pathwise_target(
+        self, tiny_framework, tiny_preparation
+    ):
+        stds = tiny_framework.circuit.paths.model.stds()
+        median_width = np.median(2 * 3.0 * stds)
+        expected = median_width / 2**9
+        assert tiny_preparation.epsilon == pytest.approx(expected)
+
+    def test_x_inits_match_specs(self, tiny_preparation):
+        for spec, x_init in zip(
+            tiny_preparation.specs, tiny_preparation.x_inits
+        ):
+            assert len(x_init) == spec.n_buffers
+
+    def test_offline_seconds_recorded(self, tiny_preparation):
+        assert tiny_preparation.offline_seconds > 0.0
+
+
+class TestRun:
+    def test_full_flow_yields_ordering(
+        self, tiny_circuit, tiny_framework, tiny_preparation, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        pop = sample_circuit(tiny_circuit, 300, seed=21)
+        run = tiny_framework.run(pop, t1, tiny_preparation)
+        yt = run.yield_fraction
+        yi = ideal_yield(tiny_circuit, pop, tiny_preparation.structure, t1)
+        nb = no_buffer_yield(pop, t1)
+        assert yt <= yi + 0.02  # measurement can only lose yield (noise slack)
+        assert yi >= nb - 0.02
+
+    def test_iterations_much_lower_than_pathwise(
+        self, tiny_framework, tiny_preparation, tiny_population, tiny_periods
+    ):
+        run = tiny_framework.run(
+            tiny_population, tiny_periods[0], tiny_preparation
+        )
+        base = tiny_framework.pathwise_baseline(tiny_population)
+        assert run.mean_iterations < 0.4 * base.total_iterations
+
+    def test_bounds_assembled_for_all_paths(
+        self, tiny_framework, tiny_preparation, tiny_population, tiny_periods
+    ):
+        run = tiny_framework.run(
+            tiny_population, tiny_periods[0], tiny_preparation
+        )
+        n_paths = tiny_framework.circuit.paths.n_paths
+        assert run.bounds_lower.shape == (tiny_population.n_chips, n_paths)
+        assert np.all(run.bounds_lower <= run.bounds_upper + 1e-9)
+
+    def test_reproducible(self, tiny_circuit, tiny_periods):
+        cfg = EffiTestConfig(hold_samples=300)
+        pop = sample_circuit(tiny_circuit, 32, seed=5)
+        runs = []
+        for _ in range(2):
+            ft = EffiTest(tiny_circuit, cfg)
+            prep = ft.prepare(tiny_periods[0])
+            runs.append(ft.run(pop, tiny_periods[0], prep))
+        np.testing.assert_array_equal(
+            runs[0].test.iterations, runs[1].test.iterations
+        )
+        np.testing.assert_array_equal(runs[0].passed, runs[1].passed)
+
+    def test_timing_fields_populated(
+        self, tiny_framework, tiny_preparation, tiny_population, tiny_periods
+    ):
+        run = tiny_framework.run(
+            tiny_population, tiny_periods[0], tiny_preparation
+        )
+        assert run.tester_seconds_per_chip >= 0.0
+        assert run.config_seconds_per_chip >= 0.0
+        assert run.iterations_per_tested_path == pytest.approx(
+            run.mean_iterations / tiny_preparation.n_tested
+        )
+
+
+class TestModes:
+    def test_test_all_paths_mode(self, tiny_circuit, tiny_periods):
+        cfg = EffiTestConfig(test_all_paths=True, hold_samples=300)
+        ft = EffiTest(tiny_circuit, cfg)
+        prep = ft.prepare(tiny_periods[0])
+        assert prep.n_tested == tiny_circuit.paths.n_paths
+        assert prep.predictor is None
+        assert prep.grouping is None
+
+    def test_alignment_off_costs_more(self, tiny_circuit, tiny_periods):
+        pop = sample_circuit(tiny_circuit, 64, seed=9)
+        costs = {}
+        for align in (True, False):
+            cfg = EffiTestConfig(align=align, hold_samples=300)
+            ft = EffiTest(tiny_circuit, cfg)
+            prep = ft.prepare(tiny_periods[0])
+            costs[align] = ft.run(pop, tiny_periods[0], prep).mean_iterations
+        assert costs[True] <= costs[False] + 1e-9
+
+    def test_no_fill_mode_tests_fewer(self, tiny_circuit, tiny_periods):
+        with_fill = EffiTest(
+            tiny_circuit, EffiTestConfig(hold_samples=300)
+        ).prepare(tiny_periods[0])
+        without = EffiTest(
+            tiny_circuit, EffiTestConfig(fill_slots=False, hold_samples=300)
+        ).prepare(tiny_periods[0])
+        assert without.n_tested <= with_fill.n_tested
+
+    def test_explicit_epsilon_respected(self, tiny_circuit, tiny_periods):
+        cfg = EffiTestConfig(epsilon=0.5, hold_samples=300)
+        prep = EffiTest(tiny_circuit, cfg).prepare(tiny_periods[0])
+        assert prep.epsilon == 0.5

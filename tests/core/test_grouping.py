@@ -1,0 +1,110 @@
+"""Tests for Procedure 1: correlation grouping + PCA selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import (
+    group_and_select,
+    significant_components,
+)
+from repro.variation.correlation import PathDelayModel
+
+
+def two_cluster_model(n_per: int = 6, rho: float = 0.97) -> PathDelayModel:
+    """Two tight clusters with negligible cross correlation."""
+    shared = np.sqrt(rho)
+    private = np.sqrt(1 - rho)
+    rows = []
+    for c in range(2):
+        for i in range(n_per):
+            row = np.zeros(2 + 2 * n_per)
+            row[c] = shared
+            row[2 + c * n_per + i] = private
+            rows.append(row)
+    return PathDelayModel(
+        np.full(2 * n_per, 100.0), np.array(rows), np.zeros(2 * n_per)
+    )
+
+
+class TestSignificantComponents:
+    def test_largest_criterion(self):
+        eig = np.array([10.0, 0.5, 0.2, 0.01])
+        # Threshold 0.03 * 10 = 0.3: eigenvalues 10.0 and 0.5 qualify.
+        assert significant_components(eig, "largest", relative_threshold=0.03) == 2
+        # A looser threshold admits 0.2 as well.
+        assert significant_components(eig, "largest", relative_threshold=0.015) == 3
+
+    def test_relative_criterion(self):
+        eig = np.array([10.0, 0.5, 0.2, 0.01])
+        # total=10.71; >= 3% of total = 0.32 -> only 10.0 and 0.5
+        assert significant_components(eig, "relative", relative_threshold=0.03) == 2
+
+    def test_fraction_criterion(self):
+        eig = np.array([6.0, 3.0, 1.0])
+        assert significant_components(eig, "fraction", variance_fraction=0.9) == 2
+
+    def test_zero_eigenvalues(self):
+        assert significant_components(np.zeros(3), "largest") == 0
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            significant_components(np.ones(2), "nope")
+
+    def test_at_least_one_when_signal(self):
+        assert significant_components(np.array([1.0]), "largest") == 1
+
+
+class TestGroupAndSelect:
+    def test_two_clusters_found(self):
+        result = group_and_select(two_cluster_model())
+        big_groups = [g for g in result.groups if g.size > 1]
+        assert len(big_groups) == 2
+        assert all(g.threshold == pytest.approx(0.95) for g in big_groups)
+
+    def test_every_path_grouped(self):
+        model = two_cluster_model()
+        result = group_and_select(model)
+        covered = np.concatenate([g.indices for g in result.groups])
+        assert sorted(covered.tolist()) == list(range(model.n_paths))
+
+    def test_selected_subset_of_group(self):
+        result = group_and_select(two_cluster_model())
+        for g in result.groups:
+            assert set(g.selected.tolist()) <= set(g.indices.tolist())
+            assert len(g.selected) == g.n_components
+
+    def test_tight_clusters_one_pc_each(self):
+        result = group_and_select(two_cluster_model(rho=0.995))
+        assert result.n_tested == 2
+
+    def test_tested_fraction_small(self):
+        model = two_cluster_model(n_per=20)
+        result = group_and_select(model)
+        assert result.n_tested <= 0.25 * model.n_paths
+
+    def test_group_of(self):
+        result = group_and_select(two_cluster_model())
+        group = result.group_of(0)
+        assert 0 in group.indices
+        with pytest.raises(KeyError):
+            result.group_of(999)
+
+    def test_independent_paths_tested_individually(self):
+        model = PathDelayModel(
+            np.full(4, 10.0), np.eye(4), np.zeros(4)
+        )
+        result = group_and_select(model)
+        assert result.n_tested == 4
+
+    def test_terminates_at_floor(self):
+        # Mid-level correlations force several threshold rounds.
+        rho = 0.6
+        n = 5
+        loadings = np.hstack([
+            np.full((n, 1), np.sqrt(rho)), np.sqrt(1 - rho) * np.eye(n)
+        ])
+        model = PathDelayModel(np.full(n, 10.0), loadings, np.zeros(n))
+        result = group_and_select(model)
+        assert result.groups  # terminated and produced groups
+        thresholds = {round(g.threshold, 2) for g in result.groups}
+        assert min(thresholds) >= 0.5

@@ -1,0 +1,136 @@
+"""Tests for hold-time tuning bounds (eqs. 19-21)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.buffers import BufferPlan, TunableBuffer
+from repro.circuit.paths import PathSet, ShortPathSet, TimedPath
+from repro.core.holdtime import (
+    compute_hold_bounds,
+    hold_feasible_settings,
+    solve_hold_bounds_milp,
+)
+from repro.variation.canonical import CanonicalForm
+
+
+def short_set(mean_req=-5.0, sigma=1.0) -> ShortPathSet:
+    paths = [
+        TimedPath("B0", "a", CanonicalForm(mean_req, {0: sigma})),
+        TimedPath("b", "B0", CanonicalForm(mean_req, {1: sigma})),
+        TimedPath("c", "d", CanonicalForm(mean_req, {2: sigma})),
+    ]
+    base = PathSet.from_timed_paths(paths, ["B0", "a", "b", "c", "d"])
+    return ShortPathSet(
+        base.ff_names, base.source_idx, base.sink_idx, base.model, base.labels
+    )
+
+
+def one_buffer_plan() -> BufferPlan:
+    return BufferPlan({"B0": TunableBuffer("B0", -1.0, 2.0, 20)})
+
+
+class TestComputeHoldBounds:
+    def test_only_tunable_pairs_bounded(self):
+        hb = compute_hold_bounds(short_set(), one_buffer_plan(), seed=1)
+        names = short_set().ff_names
+        pair_names = {
+            (names[s], names[t]) for s, t in hb.pairs
+        }
+        assert pair_names == {("B0", "a"), ("b", "B0")}
+
+    def test_achieved_yield_at_least_target(self):
+        hb = compute_hold_bounds(
+            short_set(), one_buffer_plan(), target_yield=0.95,
+            n_samples=500, seed=2,
+        )
+        assert hb.achieved_yield >= 0.95 - 1e-9
+
+    def test_lambdas_near_sample_quantile(self):
+        hb = compute_hold_bounds(
+            short_set(mean_req=-5.0, sigma=1.0), one_buffer_plan(),
+            target_yield=0.99, n_samples=2000, seed=3,
+        )
+        # Bound must cover ~99% of N(-5, 1): around -5 + 2.33 = -2.67.
+        for lam in hb.lambdas:
+            assert -3.5 < lam < -1.5
+
+    def test_dropping_samples_lowers_lambdas(self):
+        strict = compute_hold_bounds(
+            short_set(), one_buffer_plan(), target_yield=1.0,
+            n_samples=400, seed=4,
+        )
+        relaxed = compute_hold_bounds(
+            short_set(), one_buffer_plan(), target_yield=0.95,
+            n_samples=400, seed=4,
+        )
+        assert relaxed.lambdas.sum() <= strict.lambdas.sum() + 1e-9
+
+    def test_mapping_accessor(self):
+        hb = compute_hold_bounds(short_set(), one_buffer_plan(), seed=5)
+        mapping = hb.as_mapping()
+        assert len(mapping) == len(hb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_hold_bounds(
+                short_set(), one_buffer_plan(), target_yield=1.2
+            )
+        with pytest.raises(ValueError):
+            compute_hold_bounds(short_set(), one_buffer_plan(), n_samples=0)
+
+
+class TestMilpCrossCheck:
+    def test_greedy_close_to_milp(self):
+        hb_greedy = compute_hold_bounds(
+            short_set(), one_buffer_plan(), target_yield=0.9,
+            n_samples=30, seed=6,
+        )
+        hb_milp = solve_hold_bounds_milp(
+            short_set(), one_buffer_plan(), target_yield=0.9,
+            n_samples=30, seed=6,
+        )
+        assert hb_milp.achieved_yield >= 0.9 - 1e-9
+        # MILP is optimal: greedy sum cannot beat it (same samples/seed).
+        assert hb_greedy.lambdas.sum() >= hb_milp.lambdas.sum() - 1e-6
+        # ... and greedy should be close.
+        spread = abs(hb_milp.lambdas.sum()) + 1.0
+        assert hb_greedy.lambdas.sum() - hb_milp.lambdas.sum() < 0.5 * spread
+
+
+class TestHoldFeasibleSettings:
+    def test_default_settings_respect_bounds(self):
+        plan = one_buffer_plan()
+        hb = compute_hold_bounds(short_set(), plan, seed=7)
+        settings = hold_feasible_settings(plan, hb, short_set().ff_names)
+        x = settings["B0"]
+        buf = plan.buffer("B0")
+        assert buf.contains(x)
+        mapping = hb.as_mapping()
+        names = short_set().ff_names
+        for (s, t), lam in mapping.items():
+            xs = settings.get(names[s], 0.0)
+            xt = settings.get(names[t], 0.0)
+            assert xs - xt >= lam - 1e-9
+
+    def test_infeasible_bounds_raise(self):
+        plan = one_buffer_plan()
+        # lambda larger than the range makes x_B0 >= 5 impossible.
+        from repro.core.holdtime import HoldBounds
+
+        hb = HoldBounds(
+            pairs=((0, 1),), lambdas=np.array([5.0]),
+            achieved_yield=1.0, target_yield=0.99,
+        )
+        with pytest.raises(RuntimeError):
+            hold_feasible_settings(plan, hb, short_set().ff_names)
+
+    def test_untunable_violation_raises(self):
+        from repro.core.holdtime import HoldBounds
+
+        hb = HoldBounds(
+            pairs=((3, 4),), lambdas=np.array([1.0]),
+            achieved_yield=1.0, target_yield=0.99,
+        )
+        # pair (c, d) has no buffer on either side and lambda > 0.
+        with pytest.raises(RuntimeError):
+            hold_feasible_settings(BufferPlan({}), hb, short_set().ff_names)

@@ -1,0 +1,161 @@
+"""Cross-cutting property-based tests of EffiTest's core invariants.
+
+These complement the per-module tests with randomized checks of the
+contracts that the paper's correctness rests on:
+
+* alignment never violates hold/box constraints and never does worse than
+  the starting point;
+* the two MILP encodings of eqs. 7-14 are equivalent;
+* a feasible configuration really satisfies every constraint it claims;
+* measured bounds always bracket in-prior true delays, whatever the batch
+  structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import (
+    BatchAlignment,
+    center_sorted_weights,
+    solve_alignment,
+    solve_alignment_milp,
+)
+from repro.core.configuration import build_config_structure, configure_chips
+from repro.core.population import run_batch_population
+from repro.circuit.buffers import BufferPlan, TunableBuffer
+from repro.circuit.paths import PathSet, TimedPath
+from repro.variation.canonical import CanonicalForm
+
+
+def random_spec(rng, m, n_buffers, with_pairs=False):
+    src = rng.integers(-1, n_buffers, size=m)
+    snk = rng.integers(-1, n_buffers, size=m)
+    for p in range(m):
+        if src[p] < 0 and snk[p] < 0:
+            snk[p] = rng.integers(0, n_buffers)
+        if src[p] == snk[p] and src[p] >= 0:
+            src[p] = -1
+    pair_lower = ()
+    if with_pairs and n_buffers >= 2:
+        pair_lower = ((0, 1, float(rng.uniform(-1.5, 0.0))),)
+    return BatchAlignment(
+        src_buffer=src.astype(np.intp),
+        snk_buffer=snk.astype(np.intp),
+        base_shift=np.zeros(m),
+        grids=tuple(np.linspace(-1.0, 1.0, 11) for _ in range(n_buffers)),
+        lower_bounds=np.full(n_buffers, -1.0),
+        upper_bounds=np.full(n_buffers, 1.0),
+        pair_lower=pair_lower,
+        buffer_names=tuple(f"B{i}" for i in range(n_buffers)),
+    )
+
+
+def alignment_objective(spec, centers, weights, period, x):
+    shifted = centers + spec.shift(x)
+    return float(np.nansum(weights * np.abs(period - shifted)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31), m=st.integers(2, 6), nb=st.integers(1, 3))
+def test_alignment_feasible_and_never_worse(seed, m, nb):
+    rng = np.random.default_rng(seed)
+    spec = random_spec(rng, m, nb, with_pairs=True)
+    centers = rng.uniform(50.0, 60.0, size=(1, m))
+    weights = center_sorted_weights(centers)
+    x0 = np.zeros((1, nb))
+
+    period, x = solve_alignment(spec, centers, weights, x0)
+
+    # Feasibility: grid, boxes, pair constraints.
+    for b in range(nb):
+        assert np.min(np.abs(spec.grids[b] - x[0, b])) < 1e-9
+        assert spec.lower_bounds[b] - 1e-9 <= x[0, b] <= spec.upper_bounds[b] + 1e-9
+    for a, b, lam in spec.pair_lower:
+        assert x[0, a] - x[0, b] >= lam - 1e-9
+
+    # Quality: at least as good as the best x_init-with-optimal-T.
+    from repro.opt.weighted_median import weighted_median_rows
+
+    t0 = weighted_median_rows(centers + spec.shift(x0), weights)
+    baseline = alignment_objective(spec, centers, weights, t0[0], x0[0])
+    achieved = alignment_objective(spec, centers, weights, period[0], x[0])
+    assert achieved <= baseline + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_milp_formulations_equivalent(seed):
+    """The paper's big-M encoding and the compact one share the optimum."""
+    rng = np.random.default_rng(seed)
+    spec = random_spec(rng, 3, 2)
+    centers = rng.uniform(50.0, 58.0, size=3)
+    weights = rng.uniform(0.5, 3.0, size=3)
+    _, _, compact = solve_alignment_milp(spec, centers, weights, "compact")
+    _, _, paper = solve_alignment_milp(spec, centers, weights, "paper")
+    assert compact.objective == pytest.approx(paper.objective, abs=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_configuration_claims_are_verified(seed):
+    """Feasible chips' settings satisfy setup-at-assumed-delay, bounds and
+    the lattice; infeasible chips are NaN."""
+    rng = np.random.default_rng(seed)
+    paths = [
+        TimedPath("u", "B0", CanonicalForm(10.0, {0: 1.0})),
+        TimedPath("B0", "B1", CanonicalForm(10.0, {1: 1.0})),
+        TimedPath("B1", "v", CanonicalForm(10.0, {2: 1.0})),
+    ]
+    ps = PathSet.from_timed_paths(paths, ["u", "B0", "B1", "v"])
+    plan = BufferPlan({
+        "B0": TunableBuffer("B0", -1.0, 2.0, 10),
+        "B1": TunableBuffer("B1", -1.0, 2.0, 10),
+    })
+    structure = build_config_structure(ps, plan)
+
+    lower = rng.uniform(8.5, 11.0, size=(6, 3))
+    upper = lower + rng.uniform(0.05, 0.8, size=(6, 3))
+    period = 10.2
+    result = configure_chips(structure, lower, upper, period)
+
+    for c in range(6):
+        if not result.feasible[c]:
+            assert np.isnan(result.settings[c]).all()
+            continue
+        x = result.settings[c]
+        for b in range(2):
+            grid = structure.grids[b]
+            assert np.min(np.abs(grid - x[b])) < 1e-9
+        named = dict(zip(structure.buffer_names, x))
+        for p in range(3):
+            src, snk = ps.endpoints(p)
+            shift = named.get(src, 0.0) - named.get(snk, 0.0)
+            assumed = max(lower[c, p], upper[c, p] - result.xi[c])
+            # xi search stops within half a lattice step of optimal.
+            assert assumed + shift <= period + structure.step + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31), align=st.booleans())
+def test_population_bounds_always_bracket(seed, align):
+    """Whatever the alignment does, pass/fail logic keeps the invariant
+    lower <= true <= upper for in-prior chips."""
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(2, 5))
+    nb = int(rng.integers(1, 3))
+    spec = random_spec(rng, m, nb)
+    prior_mean = rng.uniform(90.0, 110.0, size=m)
+    prior_std = rng.uniform(2.0, 6.0, size=m)
+    true = prior_mean + rng.uniform(-2.5, 2.5, size=(8, m)) * prior_std
+
+    lower, upper, iters = run_batch_population(
+        true, spec,
+        prior_mean - 3 * prior_std, prior_mean + 3 * prior_std,
+        np.zeros(nb), epsilon=0.2, align=bool(align),
+    )
+    assert np.all(lower <= true + 1e-9)
+    assert np.all(true <= upper + 1e-9)
+    assert np.all(upper - lower < 0.2 + 1e-9)
+    assert np.all(iters >= 1)

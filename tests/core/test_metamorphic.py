@@ -1,0 +1,141 @@
+"""Metamorphic tests: directional changes the physics dictates.
+
+Each test perturbs one experimental knob and checks the outcome moves the
+way the paper's model says it must (wider buffers / longer periods can only
+help; more variation and fewer measurements can only hurt).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import plan_buffers
+from repro.core import (
+    EffiTest,
+    EffiTestConfig,
+    build_config_structure,
+    compute_hold_bounds,
+    ideal_feasibility,
+    ideal_yield,
+    sample_circuit,
+)
+
+
+class TestBufferRangeMonotonicity:
+    def test_wider_ranges_never_lower_ideal_yield(
+        self, tiny_circuit, tiny_population, tiny_periods
+    ):
+        t1 = tiny_periods[0]
+        yields = []
+        for fraction in (1 / 16, 1 / 8, 1 / 4):
+            plan = plan_buffers(
+                list(tiny_circuit.buffered_ffs), t1,
+                range_fraction=fraction, n_steps=40,
+            )
+            structure = build_config_structure(tiny_circuit.paths, plan)
+            result = ideal_feasibility(
+                structure, tiny_population.required, t1
+            )
+            yields.append(result.feasible.mean())
+        assert yields[0] <= yields[1] + 1e-9
+        assert yields[1] <= yields[2] + 1e-9
+
+    def test_finer_steps_never_lower_ideal_yield(
+        self, tiny_circuit, tiny_population, tiny_periods
+    ):
+        t1 = tiny_periods[0]
+        yields = []
+        for steps in (4, 8, 32):
+            plan = plan_buffers(
+                list(tiny_circuit.buffered_ffs), t1, n_steps=steps
+            )
+            structure = build_config_structure(tiny_circuit.paths, plan)
+            yields.append(
+                ideal_feasibility(
+                    structure, tiny_population.required, t1
+                ).feasible.mean()
+            )
+        # Step counts 4 | 8 | 32: each grid refines the previous (nested
+        # lattices), so feasibility can only grow.
+        assert yields[0] <= yields[1] + 1e-9
+        assert yields[1] <= yields[2] + 1e-9
+
+
+class TestPeriodMonotonicity:
+    def test_longer_period_more_yield_everywhere(
+        self, tiny_circuit, tiny_framework, tiny_preparation, tiny_population,
+        tiny_periods,
+    ):
+        t1, t2 = tiny_periods
+        run1 = tiny_framework.run(tiny_population, t1, tiny_preparation)
+        run2 = tiny_framework.run(tiny_population, t2, tiny_preparation)
+        assert run2.yield_fraction >= run1.yield_fraction - 1e-9
+        yi1 = ideal_yield(
+            tiny_circuit, tiny_population, tiny_preparation.structure, t1
+        )
+        yi2 = ideal_yield(
+            tiny_circuit, tiny_population, tiny_preparation.structure, t2
+        )
+        assert yi2 >= yi1 - 1e-9
+
+
+class TestVariationMonotonicity:
+    def test_inflation_degrades_prediction(self, tiny_circuit, tiny_periods):
+        from repro.core.prediction import build_predictor
+        from repro.core.grouping import group_and_select
+
+        sigmas = []
+        for factor in (1.0, 1.2, 1.5):
+            circuit = (
+                tiny_circuit if factor == 1.0
+                else tiny_circuit.with_inflated_randomness(factor)
+            )
+            grouping = group_and_select(circuit.paths.model)
+            predictor = build_predictor(
+                circuit.paths.model, grouping.tested_indices
+            )
+            if predictor.n_predicted:
+                sigmas.append(float(predictor.conditional_stds.mean()))
+        assert sigmas == sorted(sigmas)
+
+    def test_inflation_lowers_no_buffer_yield_at_fixed_period(
+        self, tiny_circuit, tiny_periods
+    ):
+        from repro.core.yields import no_buffer_yield
+
+        t1 = tiny_periods[0]
+        base_pop = sample_circuit(tiny_circuit, 800, seed=31)
+        inflated_pop = sample_circuit(
+            tiny_circuit.with_inflated_randomness(1.3), 800, seed=31
+        )
+        assert no_buffer_yield(inflated_pop, t1) <= no_buffer_yield(
+            base_pop, t1
+        ) + 0.02
+
+
+class TestMeasurementMonotonicity:
+    def test_coarser_epsilon_costs_fewer_iterations(
+        self, tiny_circuit, tiny_periods, tiny_population
+    ):
+        iters = []
+        for epsilon in (0.2, 1.0, 5.0):
+            cfg = EffiTestConfig(epsilon=epsilon, hold_samples=300)
+            ft = EffiTest(tiny_circuit, cfg)
+            prep = ft.prepare(tiny_periods[0])
+            run = ft.run(
+                tiny_population.subset(range(24)), tiny_periods[0], prep
+            )
+            iters.append(run.mean_iterations)
+        assert iters[0] >= iters[1] >= iters[2]
+
+    def test_stricter_hold_yield_tightens_lambdas(
+        self, tiny_circuit, tiny_buffer_plan
+    ):
+        loose = compute_hold_bounds(
+            tiny_circuit.short_paths, tiny_buffer_plan,
+            target_yield=0.90, n_samples=500, seed=13,
+        )
+        strict = compute_hold_bounds(
+            tiny_circuit.short_paths, tiny_buffer_plan,
+            target_yield=0.999, n_samples=500, seed=13,
+        )
+        assert strict.lambdas.sum() >= loose.lambdas.sum() - 1e-9

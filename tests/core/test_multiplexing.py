@@ -1,0 +1,120 @@
+"""Tests for test multiplexing (batch formation + slot filling)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.paths import PathSet, TimedPath
+from repro.core.multiplexing import form_batches, plan_multiplexing
+from repro.variation.canonical import CanonicalForm
+
+
+def star_pathset() -> PathSet:
+    """Paths around a hub: p0,p1 converge at hub; p2,p3 leave it."""
+    paths = [
+        TimedPath("a", "hub", CanonicalForm(10.0, {0: 1.0})),
+        TimedPath("b", "hub", CanonicalForm(11.0, {0: 1.0})),
+        TimedPath("hub", "c", CanonicalForm(12.0, {1: 1.0})),
+        TimedPath("hub", "d", CanonicalForm(13.0, {1: 1.0})),
+        TimedPath("e", "f", CanonicalForm(9.0, {2: 1.0})),
+    ]
+    return PathSet.from_timed_paths(paths, ["a", "b", "hub", "c", "d", "e", "f"])
+
+
+def batch_constraint_violations(paths: PathSet, batches) -> int:
+    violations = 0
+    for batch in batches:
+        sources = [paths.endpoints(p)[0] for p in batch]
+        sinks = [paths.endpoints(p)[1] for p in batch]
+        if len(set(sources)) != len(sources):
+            violations += 1
+        if len(set(sinks)) != len(sinks):
+            violations += 1
+    return violations
+
+
+class TestFormBatches:
+    def test_no_shared_sources_or_sinks(self):
+        ps = star_pathset()
+        builders = form_batches(ps, np.arange(ps.n_paths))
+        batches = [b.paths for b in builders]
+        assert batch_constraint_violations(ps, batches) == 0
+
+    def test_converging_paths_split(self):
+        ps = star_pathset()
+        builders = form_batches(ps, np.array([0, 1]))  # both sink at hub
+        assert len(builders) == 2
+
+    def test_chains_allowed_together(self):
+        ps = star_pathset()
+        builders = form_batches(ps, np.array([0, 2]))  # a->hub, hub->c
+        assert len(builders) == 1
+
+    def test_exclusions_respected(self):
+        ps = star_pathset()
+        exclusions = frozenset({(0, 2)})
+        builders = form_batches(ps, np.array([0, 2]), exclusions)
+        assert len(builders) == 2
+
+    def test_all_paths_placed_once(self):
+        ps = star_pathset()
+        builders = form_batches(ps, np.arange(ps.n_paths))
+        placed = sorted(p for b in builders for p in b.paths)
+        assert placed == list(range(ps.n_paths))
+
+    def test_affinity_groups_similar_means(self):
+        paths = [
+            TimedPath("a", "x", CanonicalForm(10.0, {0: 1.0})),
+            TimedPath("b", "y", CanonicalForm(10.5, {0: 1.0})),
+            TimedPath("c", "x", CanonicalForm(50.0, {1: 1.0})),
+            TimedPath("d", "y", CanonicalForm(50.5, {1: 1.0})),
+        ]
+        ps = PathSet.from_timed_paths(paths, ["a", "b", "c", "d", "x", "y"])
+        builders = form_batches(ps, np.arange(4), affinity=True)
+        groups = [sorted(b.paths) for b in builders]
+        assert sorted(groups) == [[0, 1], [2, 3]]
+
+
+class TestPlanMultiplexing:
+    def test_selected_always_measured(self, tiny_circuit):
+        selected = np.array([0, 3, 5])
+        plan = plan_multiplexing(tiny_circuit.paths, selected, fill_slots=False)
+        assert set(selected.tolist()) <= set(plan.measured.tolist())
+        assert plan.fills.size == 0
+
+    def test_fills_disjoint_from_selected(self, tiny_circuit):
+        selected = np.array([0, 3, 5])
+        plan = plan_multiplexing(tiny_circuit.paths, selected, fill_slots=True)
+        assert not (set(plan.fills.tolist()) & set(selected.tolist()))
+
+    def test_fill_budget_respected(self, tiny_circuit):
+        selected = np.array([0, 3, 5, 8])
+        plan = plan_multiplexing(
+            tiny_circuit.paths, selected, fill_slots=True, max_fill_factor=0.5
+        )
+        assert len(plan.fills) <= 2
+
+    def test_batches_cover_measured(self, tiny_circuit):
+        selected = np.arange(0, tiny_circuit.paths.n_paths, 3)
+        plan = plan_multiplexing(tiny_circuit.paths, selected)
+        batched = sorted(
+            int(p) for b in plan.batches for p in b.path_indices
+        )
+        assert batched == sorted(plan.measured.tolist())
+
+    def test_batch_constraints_hold_on_real_circuit(self, tiny_circuit):
+        selected = np.arange(tiny_circuit.paths.n_paths)
+        plan = plan_multiplexing(
+            tiny_circuit.paths, selected,
+            mutual_exclusions=tiny_circuit.mutual_exclusions,
+        )
+        batches = [b.path_indices.tolist() for b in plan.batches]
+        assert batch_constraint_violations(tiny_circuit.paths, batches) == 0
+        for a, b in tiny_circuit.mutual_exclusions:
+            for batch in batches:
+                assert not ({a, b} <= set(batch))
+
+    def test_full_selection_no_fills(self, tiny_circuit):
+        selected = np.arange(tiny_circuit.paths.n_paths)
+        plan = plan_multiplexing(tiny_circuit.paths, selected, fill_slots=True)
+        assert plan.fills.size == 0
+        assert plan.n_measured == tiny_circuit.paths.n_paths

@@ -1,0 +1,65 @@
+"""Tests for the exact ILP batch-formation alternative."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.paths import PathSet, TimedPath
+from repro.core.multiplexing import form_batches, form_batches_ilp
+from repro.variation.canonical import CanonicalForm
+from tests.core.test_multiplexing import batch_constraint_violations
+
+
+def star_pathset() -> PathSet:
+    paths = [
+        TimedPath("a", "hub", CanonicalForm(10.0, {0: 1.0})),
+        TimedPath("b", "hub", CanonicalForm(11.0, {0: 1.0})),
+        TimedPath("hub", "c", CanonicalForm(12.0, {1: 1.0})),
+        TimedPath("hub", "d", CanonicalForm(13.0, {1: 1.0})),
+        TimedPath("e", "f", CanonicalForm(9.0, {2: 1.0})),
+    ]
+    return PathSet.from_timed_paths(paths, ["a", "b", "hub", "c", "d", "e", "f"])
+
+
+class TestFormBatchesIlp:
+    def test_constraints_hold(self):
+        ps = star_pathset()
+        batches = form_batches_ilp(ps, np.arange(ps.n_paths))
+        assert batch_constraint_violations(ps, batches) == 0
+        placed = sorted(p for b in batches for p in b)
+        assert placed == list(range(ps.n_paths))
+
+    def test_optimal_count_on_star(self):
+        # Two converging + two diverging at the hub force >= 2 batches,
+        # and 2 suffice: {p0, p2, p4} and {p1, p3}.
+        ps = star_pathset()
+        batches = form_batches_ilp(ps, np.arange(ps.n_paths))
+        assert len(batches) == 2
+
+    def test_never_worse_than_greedy(self, tiny_circuit):
+        selected = np.arange(0, tiny_circuit.paths.n_paths, 2)
+        greedy = form_batches(
+            tiny_circuit.paths, selected, tiny_circuit.mutual_exclusions
+        )
+        exact = form_batches_ilp(
+            tiny_circuit.paths, selected, tiny_circuit.mutual_exclusions
+        )
+        assert len(exact) <= len(greedy)
+        assert batch_constraint_violations(
+            tiny_circuit.paths, exact
+        ) == 0
+
+    def test_exclusions_respected(self):
+        ps = star_pathset()
+        exclusions = frozenset({(0, 2), (0, 4)})
+        batches = form_batches_ilp(ps, np.array([0, 2, 4]), exclusions)
+        for batch in batches:
+            assert not ({0, 2} <= set(batch))
+            assert not ({0, 4} <= set(batch))
+
+    def test_single_path(self):
+        ps = star_pathset()
+        assert form_batches_ilp(ps, np.array([3])) == [[3]]
+
+    def test_empty(self):
+        ps = star_pathset()
+        assert form_batches_ilp(ps, np.array([], dtype=int)) == []

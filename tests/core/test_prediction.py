@@ -1,0 +1,124 @@
+"""Tests for conditional Gaussian delay prediction (eqs. 4-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prediction import (
+    build_predictor,
+    conditional_stds_if_tested,
+)
+from repro.variation.correlation import PathDelayModel
+
+
+def correlated_model(rho: float = 0.9) -> PathDelayModel:
+    """Three paths: 0 and 1 correlate at ~rho, 2 is independent."""
+    shared = np.sqrt(rho)
+    private = np.sqrt(1 - rho)
+    loadings = np.array([
+        [shared, private, 0.0, 0.0],
+        [shared, 0.0, private, 0.0],
+        [0.0, 0.0, 0.0, 1.0],
+    ])
+    return PathDelayModel(
+        np.array([10.0, 12.0, 9.0]), loadings, np.zeros(3)
+    )
+
+
+class TestBuildPredictor:
+    def test_partition(self):
+        pred = build_predictor(correlated_model(), [1])
+        assert pred.tested_idx.tolist() == [1]
+        assert pred.predicted_idx.tolist() == [0, 2]
+
+    def test_validation(self):
+        model = correlated_model()
+        with pytest.raises(ValueError):
+            build_predictor(model, [])
+        with pytest.raises(ValueError):
+            build_predictor(model, [7])
+
+    def test_conditional_variance_shrinks_with_correlation(self):
+        model = correlated_model(0.9)
+        pred = build_predictor(model, [1])
+        # path 0 (corr ~0.9 with tested) shrinks; path 2 (independent) not.
+        prior = np.sqrt(model.variances())
+        assert pred.conditional_stds[0] < 0.5 * prior[0]
+        assert pred.conditional_stds[1] == pytest.approx(prior[2], rel=1e-6)
+
+    def test_matches_closed_form_bivariate(self):
+        rho = 0.8
+        model = correlated_model(rho)
+        pred = build_predictor(model, [1])
+        # sigma'^2 = sigma^2 (1 - rho^2) for unit-variance bivariate.
+        assert pred.conditional_stds[0] == pytest.approx(
+            np.sqrt(1 - rho**2), rel=1e-3
+        )
+
+    def test_perfectly_correlated_prediction_is_exact(self):
+        loadings = np.array([[1.0], [1.0]])
+        model = PathDelayModel(np.array([5.0, 7.0]), loadings, np.zeros(2))
+        pred = build_predictor(model, [0])
+        assert pred.conditional_stds[0] == pytest.approx(0.0, abs=1e-4)
+        mu = pred.predict_means(np.array([6.0]))  # tested 1 sigma above mean
+        assert mu[0] == pytest.approx(8.0, rel=1e-3)
+
+
+class TestPredictMeans:
+    def test_at_prior_mean_no_update(self):
+        model = correlated_model()
+        pred = build_predictor(model, [1])
+        mu = pred.predict_means(model.means[[1]])
+        np.testing.assert_allclose(mu, model.means[[0, 2]])
+
+    def test_batched_chips(self):
+        model = correlated_model()
+        pred = build_predictor(model, [1])
+        measured = np.array([[12.0], [13.0], [11.0]])
+        mu = pred.predict_means(measured)
+        assert mu.shape == (3, 2)
+        # Higher measured delay -> higher predicted correlated path.
+        assert mu[1, 0] > mu[0, 0] > mu[2, 0]
+
+    def test_intervals(self):
+        model = correlated_model()
+        pred = build_predictor(model, [1])
+        lo, hi = pred.predict_intervals(model.means[[1]], sigma_window=3.0)
+        np.testing.assert_allclose(
+            hi - lo, 2 * 3.0 * pred.conditional_stds, rtol=1e-9
+        )
+
+    def test_monte_carlo_consistency(self):
+        """Prediction matches the empirical conditional mean."""
+        model = correlated_model(0.95)
+        pred = build_predictor(model, [1])
+        samples = model.sample(200000, seed=0)
+        target = 13.0
+        window = np.abs(samples[:, 1] - target) < 0.05
+        empirical = samples[window, 0].mean()
+        predicted = pred.predict_means(np.array([target]))[0]
+        assert predicted == pytest.approx(empirical, abs=0.05)
+
+
+class TestConditionalStdsIfTested:
+    def test_matches_predictor(self):
+        model = correlated_model()
+        stds = conditional_stds_if_tested(model, [1])
+        pred = build_predictor(model, [1])
+        np.testing.assert_allclose(stds, pred.conditional_stds)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31), n_tested=st.integers(1, 3))
+def test_conditioning_never_increases_variance(seed, n_tested):
+    """Property (eq. 5): conditional variance <= prior variance."""
+    rng = np.random.default_rng(seed)
+    loadings = rng.normal(size=(5, 3))
+    model = PathDelayModel(
+        rng.normal(size=5) + 10.0, loadings, rng.uniform(0.0, 0.5, size=5)
+    )
+    tested = rng.choice(5, size=n_tested, replace=False)
+    pred = build_predictor(model, tested)
+    prior = np.sqrt(model.variances())[pred.predicted_idx]
+    assert np.all(pred.conditional_stds <= prior + 1e-8)

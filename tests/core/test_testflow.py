@@ -1,0 +1,126 @@
+"""Tests for the scalar Procedure-2 test flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import BatchAlignment
+from repro.core.testflow import run_batch
+from repro.tester.oracle import ChipOracle
+
+
+def simple_spec(n_paths=2) -> BatchAlignment:
+    """One buffer: path 0 converges into it, path 1 leaves it."""
+    return BatchAlignment(
+        src_buffer=np.array([-1, 0][:n_paths], dtype=np.intp),
+        snk_buffer=np.array([0, -1][:n_paths], dtype=np.intp),
+        base_shift=np.zeros(n_paths),
+        grids=(np.linspace(-2.0, 2.0, 21),),
+        lower_bounds=np.array([-2.0]),
+        upper_bounds=np.array([2.0]),
+        buffer_names=("B0",),
+    )
+
+
+class TestRunBatch:
+    def test_converges_and_brackets_truth(self):
+        true = np.array([100.0, 104.0])
+        oracle = ChipOracle(true)
+        lower, upper, iters = run_batch(
+            oracle,
+            np.array([0, 1]),
+            simple_spec(),
+            prior_lower=np.array([85.0, 85.0]),
+            prior_upper=np.array([115.0, 115.0]),
+            x_init=np.zeros(1),
+            epsilon=0.1,
+        )
+        assert np.all(upper - lower < 0.1)
+        assert np.all(lower <= true + 1e-9)
+        assert np.all(true <= upper + 1e-9)
+        assert iters == oracle.iterations
+
+    def test_aligned_pair_needs_few_iterations(self):
+        """A perfectly alignable in/out pair converges about as fast as a
+        single path would (the whole point of §3.3)."""
+        true = np.array([100.0, 103.0])
+        oracle = ChipOracle(true)
+        _, _, iters = run_batch(
+            oracle, np.array([0, 1]), simple_spec(),
+            prior_lower=np.array([85.0, 88.0]),
+            prior_upper=np.array([115.0, 118.0]),
+            x_init=np.zeros(1), epsilon=0.1,
+        )
+        single_path_iters = int(np.ceil(np.log2(30.0 / 0.1)))
+        assert iters <= single_path_iters + 4
+
+    def test_alignment_off_costs_more(self):
+        true = np.array([95.0, 108.0])
+        costs = {}
+        for align in (True, False):
+            oracle = ChipOracle(true)
+            _, _, iters = run_batch(
+                oracle, np.array([0, 1]), simple_spec(),
+                prior_lower=np.array([85.0, 85.0]),
+                prior_upper=np.array([115.0, 115.0]),
+                x_init=np.zeros(1), epsilon=0.05, align=align,
+            )
+            costs[align] = iters
+        assert costs[True] <= costs[False]
+
+    def test_max_iterations_cap(self):
+        oracle = ChipOracle(np.array([100.0]))
+        _, _, iters = run_batch(
+            oracle, np.array([0]), simple_spec(1),
+            prior_lower=np.array([0.0]),
+            prior_upper=np.array([200.0]),
+            x_init=np.zeros(1), epsilon=1e-9, max_iterations=5,
+        )
+        assert iters == 5
+
+    def test_epsilon_validated(self):
+        oracle = ChipOracle(np.array([1.0]))
+        with pytest.raises(ValueError):
+            run_batch(
+                oracle, np.array([0]), simple_spec(1),
+                np.array([0.0]), np.array([2.0]), np.zeros(1), epsilon=0.0,
+            )
+
+    def test_prior_shape_validated(self):
+        oracle = ChipOracle(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            run_batch(
+                oracle, np.array([0, 1]), simple_spec(),
+                np.array([0.0]), np.array([2.0]), np.zeros(1), epsilon=0.1,
+            )
+
+
+class TestTestChip:
+    def test_end_to_end_on_tiny_circuit(
+        self, tiny_circuit, tiny_framework, tiny_preparation, tiny_population
+    ):
+        delays = tiny_population.required[0]
+        result = tiny_framework.run_chip(delays, tiny_preparation)
+        measured = result.measured_indices
+        assert sorted(measured.tolist()) == sorted(
+            tiny_preparation.plan.measured.tolist()
+        )
+        # Bounds converged and bracket the truth for in-prior paths.
+        widths = result.upper - result.lower
+        assert np.all(widths < tiny_preparation.epsilon + 1e-9)
+        assert result.iterations == sum(result.iterations_per_batch)
+
+    def test_spec_count_validated(
+        self, tiny_framework, tiny_preparation, tiny_population
+    ):
+        from repro.core.testflow import test_chip as raw_test_chip
+
+        oracle = ChipOracle(tiny_population.required[0])
+        with pytest.raises(ValueError):
+            raw_test_chip(
+                oracle,
+                tiny_preparation.plan,
+                tiny_preparation.specs[:-1],
+                tiny_preparation.prior_means,
+                tiny_preparation.prior_stds,
+                tiny_preparation.epsilon,
+            )

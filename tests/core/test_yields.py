@@ -1,0 +1,146 @@
+"""Tests for yield evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import ConfigurationResult, ideal_feasibility
+from repro.core.yields import (
+    CircuitPopulation,
+    configured_pass,
+    ideal_yield,
+    no_buffer_yield,
+    operating_periods,
+    path_shifts,
+    sample_circuit,
+)
+
+
+class TestSampleCircuit:
+    def test_shapes(self, tiny_circuit):
+        pop = sample_circuit(tiny_circuit, 16, seed=1)
+        assert pop.required.shape == (16, tiny_circuit.paths.n_paths)
+        assert pop.background.shape == (16, tiny_circuit.background.n_paths)
+        assert pop.hold_requirements.shape == (
+            16, tiny_circuit.short_paths.n_paths
+        )
+
+    def test_deterministic(self, tiny_circuit):
+        a = sample_circuit(tiny_circuit, 4, seed=2).required
+        b = sample_circuit(tiny_circuit, 4, seed=2).required
+        np.testing.assert_array_equal(a, b)
+
+    def test_subset(self, tiny_population):
+        sub = tiny_population.subset([1, 3])
+        assert sub.n_chips == 2
+        np.testing.assert_array_equal(
+            sub.required[0], tiny_population.required[1]
+        )
+
+
+class TestOperatingPeriods:
+    def test_t1_is_median_of_max(self, tiny_population):
+        t1, t2 = operating_periods(tiny_population)
+        worst = np.maximum(
+            tiny_population.required.max(axis=1),
+            tiny_population.background.max(axis=1),
+        )
+        below = (worst <= t1).mean()
+        assert 0.4 <= below <= 0.6
+        assert t2 > t1
+
+    def test_custom_quantiles(self, tiny_population):
+        (t9,) = operating_periods(tiny_population, quantiles=(0.9,))
+        t1, _ = operating_periods(tiny_population)
+        assert t9 > t1
+
+
+class TestNoBufferYield:
+    def test_monotone_in_period(self, tiny_population):
+        t1, t2 = operating_periods(tiny_population)
+        assert no_buffer_yield(tiny_population, t2) >= no_buffer_yield(
+            tiny_population, t1
+        )
+
+    def test_extremes(self, tiny_population):
+        assert no_buffer_yield(tiny_population, 1e9) == pytest.approx(1.0)
+        assert no_buffer_yield(tiny_population, 0.0) == 0.0
+
+    def test_calibration_near_half(self, tiny_circuit):
+        pop = sample_circuit(tiny_circuit, 4000, seed=3)
+        t1, _ = operating_periods(pop)
+        assert no_buffer_yield(pop, t1) == pytest.approx(0.5, abs=0.05)
+
+
+class TestPathShifts:
+    def test_shift_signs(self, tiny_circuit):
+        names = tiny_circuit.buffered_ffs
+        settings = np.array([[1.0] + [0.0] * (len(names) - 1)])
+        shifts = path_shifts(tiny_circuit.paths, names, settings)
+        hot = names[0]
+        for p in range(tiny_circuit.paths.n_paths):
+            src, snk = tiny_circuit.paths.endpoints(p)
+            expected = (1.0 if src == hot else 0.0) - (
+                1.0 if snk == hot else 0.0
+            )
+            assert shifts[0, p] == pytest.approx(expected)
+
+    def test_zero_settings_zero_shift(self, tiny_circuit):
+        names = tiny_circuit.buffered_ffs
+        shifts = path_shifts(
+            tiny_circuit.paths, names, np.zeros((3, len(names)))
+        )
+        assert np.allclose(shifts, 0.0)
+
+
+class TestConfiguredPass:
+    def test_infeasible_chips_fail(self, tiny_circuit, tiny_population):
+        n = tiny_population.n_chips
+        nb = len(tiny_circuit.buffered_ffs)
+        result = ConfigurationResult(
+            feasible=np.zeros(n, dtype=bool),
+            settings=np.full((n, nb), np.nan),
+            xi=np.full(n, np.nan),
+            buffer_names=tiny_circuit.buffered_ffs,
+        )
+        assert configured_pass(
+            tiny_circuit, tiny_population, result, period=1e9
+        ).sum() == 0
+
+    def test_zero_config_matches_no_buffer_setup(
+        self, tiny_circuit, tiny_population, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        n = tiny_population.n_chips
+        nb = len(tiny_circuit.buffered_ffs)
+        result = ConfigurationResult(
+            feasible=np.ones(n, dtype=bool),
+            settings=np.zeros((n, nb)),
+            xi=np.zeros(n),
+            buffer_names=tiny_circuit.buffered_ffs,
+        )
+        passed = configured_pass(tiny_circuit, tiny_population, result, t1)
+        expected = no_buffer_yield(tiny_population, t1)
+        assert passed.mean() == pytest.approx(expected, abs=1e-12)
+
+
+class TestIdealYield:
+    def test_between_no_buffer_and_one(
+        self, tiny_circuit, tiny_population, tiny_periods, tiny_preparation
+    ):
+        t1, _ = tiny_periods
+        yi = ideal_yield(
+            tiny_circuit, tiny_population, tiny_preparation.structure, t1
+        )
+        assert no_buffer_yield(tiny_population, t1) - 1e-9 <= yi <= 1.0
+
+    def test_improves_with_period(
+        self, tiny_circuit, tiny_population, tiny_periods, tiny_preparation
+    ):
+        t1, t2 = tiny_periods
+        y1 = ideal_yield(
+            tiny_circuit, tiny_population, tiny_preparation.structure, t1
+        )
+        y2 = ideal_yield(
+            tiny_circuit, tiny_population, tiny_preparation.structure, t2
+        )
+        assert y2 >= y1

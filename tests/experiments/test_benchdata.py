@@ -1,0 +1,62 @@
+"""Tests for the published benchmark statistics."""
+
+import pytest
+
+from repro.experiments.benchdata import (
+    BENCHMARK_NAMES,
+    PAPER_BY_NAME,
+    PAPER_RESULTS,
+    QUICK_NAMES,
+    all_benchmark_specs,
+    benchmark_spec,
+)
+
+
+class TestPaperRows:
+    def test_eight_circuits(self):
+        assert len(PAPER_RESULTS) == 8
+        assert BENCHMARK_NAMES[0] == "s9234"
+        assert BENCHMARK_NAMES[-1] == "pci_bridge32"
+
+    def test_reduction_ratios_consistent(self):
+        """ra and rv in the table match their defining formulas."""
+        for row in PAPER_RESULTS:
+            ra = 100.0 * (row.ta_pathwise - row.ta) / row.ta_pathwise
+            assert ra == pytest.approx(row.ra_percent, abs=0.06)
+            tv = row.ta / row.npt
+            assert tv == pytest.approx(row.tv, abs=0.01)
+            tv_p = row.ta_pathwise / row.np_
+            assert tv_p == pytest.approx(row.tv_pathwise, abs=0.01)
+            rv = 100.0 * (tv_p - tv) / tv_p
+            assert rv == pytest.approx(row.rv_percent, abs=0.25)
+
+    def test_headline_claims(self):
+        """The abstract's claims hold in the table itself."""
+        assert all(r.ra_percent > 94.0 for r in PAPER_RESULTS)
+        assert all(r.yi_t1 - r.yt_t1 <= 2.4 for r in PAPER_RESULTS)
+
+    def test_quick_names_subset(self):
+        assert set(QUICK_NAMES) <= set(BENCHMARK_NAMES)
+
+
+class TestSpecs:
+    def test_spec_fields(self):
+        spec = benchmark_spec("s9234")
+        row = PAPER_BY_NAME["s9234"]
+        assert spec.n_flipflops == row.ns
+        assert spec.n_gates == row.ng
+        assert spec.n_buffers == row.nb
+        assert spec.n_paths == row.np_
+
+    def test_all_specs(self):
+        specs = all_benchmark_specs()
+        assert [s.name for s in specs] == list(BENCHMARK_NAMES)
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("c6288")
+
+    def test_buffer_share_below_one_percent(self):
+        """The paper: inserted buffers < 1% of flip-flops."""
+        for spec in all_benchmark_specs():
+            assert spec.n_buffers <= 0.01 * spec.n_flipflops

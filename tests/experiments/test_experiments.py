@@ -1,0 +1,114 @@
+"""Integration tests for the experiment drivers on a small circuit.
+
+These use the smallest benchmark (s9234) at low chip counts: they check
+*consistency and shape*, not the headline numbers (which EXPERIMENTS.md
+records from full runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.context import build_context
+from repro.experiments.figure7 import render_figure7, run_circuit as run_f7
+from repro.experiments.figure8 import render_figure8, run_circuit as run_f8
+from repro.experiments.table1 import render_table1, run_circuit as run_t1
+from repro.experiments.table2 import render_table2, run_circuit as run_t2
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context("s9234", n_chips=60, seed=7)
+
+
+class TestContext:
+    def test_periods_ordered(self, context):
+        assert context.t2 > context.t1 > 0
+
+    def test_t1_calibration(self, context):
+        worst = np.maximum(
+            context.population.required.max(axis=1),
+            context.population.background.max(axis=1),
+        )
+        frac = (worst <= context.t1).mean()
+        assert 0.3 <= frac <= 0.7  # 60 chips: loose band around 0.5
+
+    def test_preparation_present(self, context):
+        assert context.preparation is not None
+        assert context.name == "s9234"
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def row(self, context):
+        return run_t1(context)
+
+    def test_identity_columns(self, row):
+        assert (row.ns, row.ng, row.nb, row.np_) == (211, 5597, 2, 80)
+
+    def test_reduction_formulas(self, row):
+        assert row.ra_percent == pytest.approx(
+            100 * (row.ta_pathwise - row.ta) / row.ta_pathwise
+        )
+        assert row.tv == pytest.approx(row.ta / row.npt)
+
+    def test_effitest_wins_big(self, row):
+        assert row.ra_percent > 80.0
+        assert row.tv < row.tv_pathwise
+
+    def test_render(self, row):
+        text = render_table1([row])
+        assert "s9234" in text and "(paper)" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def row(self, context):
+        return run_t2(context)
+
+    def test_yield_ordering(self, row):
+        assert row.yt_t1 <= row.yi_t1 + 2.0  # percent, small-sample slack
+        assert row.yt_t2 <= row.yi_t2 + 2.0
+        assert row.yi_t2 >= row.yi_t1
+
+    def test_tuning_beats_no_buffers(self, row):
+        assert row.yi_t1 >= row.no_buffer_t1
+        assert row.yi_t2 >= row.no_buffer_t2
+
+    def test_render(self, row):
+        text = render_table2([row])
+        assert "yi@T1" in text
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_f7("s9234", n_chips=60, seed=7)
+
+    def test_ordering(self, row):
+        assert row.no_buffer <= row.effitest + 0.03
+        assert row.effitest <= row.ideal + 0.03
+
+    def test_inflation_lowers_no_buffer_yield(self, row, context):
+        from repro.core.yields import no_buffer_yield
+
+        baseline = no_buffer_yield(context.population, context.t1)
+        assert row.no_buffer <= baseline + 0.1
+
+    def test_render(self, row):
+        assert "ordering ok" in render_figure7([row])
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_f8("s9234", n_chips=20, seed=7)
+
+    def test_strict_ordering(self, row):
+        assert row.proposed <= row.multiplexed + 1e-9
+        assert row.multiplexed <= row.pathwise + 1e-9
+
+    def test_pathwise_magnitude(self, row):
+        assert 7.0 <= row.pathwise <= 12.0
+
+    def test_render(self, row):
+        assert "path-wise" in render_figure8([row])

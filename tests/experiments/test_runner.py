@@ -1,0 +1,45 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, run_one
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.circuits is None
+        assert not args.quick
+
+    def test_all_choice(self):
+        args = build_parser().parse_args(["all", "--quick"])
+        assert args.experiment == "all"
+        assert args.quick
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_unknown_circuit_rejected(self):
+        args = build_parser().parse_args(
+            ["table1", "--circuits", "not_a_circuit"]
+        )
+        with pytest.raises(SystemExit):
+            run_one("table1", args)
+
+
+class TestRunOne:
+    def test_table1_smoke(self):
+        args = build_parser().parse_args(
+            ["table1", "--circuits", "s9234", "--chips", "20"]
+        )
+        out = run_one("table1", args)
+        assert "s9234" in out and "ra%" in out
+
+    def test_figure8_smoke(self):
+        args = build_parser().parse_args(
+            ["figure8", "--circuits", "s9234", "--chips", "5"]
+        )
+        out = run_one("figure8", args)
+        assert "proposed" in out

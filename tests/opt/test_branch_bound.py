@@ -1,0 +1,105 @@
+"""Tests for the pure-Python branch & bound MILP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt.branch_bound import solve_milp
+from repro.opt.model import Model, ObjectiveSense, VarType
+from repro.opt.scipy_backend import solve_milp_scipy
+from repro.opt.simplex import LPStatus
+
+
+def knapsack_model(values, weights, capacity):
+    m = Model("knapsack")
+    items = [m.add_binary(f"b{i}") for i in range(len(values))]
+    total_weight = sum((w * b for w, b in zip(weights, items)), 0 * items[0])
+    m.add_constraint(total_weight <= capacity)
+    total_value = sum((v * b for v, b in zip(values, items)), 0 * items[0])
+    m.set_objective(total_value, ObjectiveSense.MAXIMIZE)
+    return m
+
+
+class TestKnownMILPs:
+    def test_pure_lp_delegates(self):
+        m = Model()
+        x = m.add_var("x", 0, 4)
+        m.set_objective(x, ObjectiveSense.MAXIMIZE)
+        res = solve_milp(m.to_matrix_form())
+        assert res.ok and res.objective == pytest.approx(4.0)
+
+    def test_rounding_matters(self):
+        m = Model()
+        k = m.add_var("k", 0, 10, VarType.INTEGER)
+        m.add_constraint(2 * k <= 7)  # LP optimum k=3.5
+        m.set_objective(k, ObjectiveSense.MAXIMIZE)
+        res = solve_milp(m.to_matrix_form())
+        assert res.objective == pytest.approx(3.0)
+
+    def test_knapsack(self):
+        # values 6,5,4 weights 5,4,3 capacity 7 -> best {5,4} wait: w 4+3=7 v 9
+        m = knapsack_model([6, 5, 4], [5, 4, 3], 7)
+        res = solve_milp(m.to_matrix_form())
+        assert res.ok
+        assert res.objective == pytest.approx(9.0)
+
+    def test_infeasible(self):
+        m = Model()
+        k = m.add_var("k", 0, 5, VarType.INTEGER)
+        m.add_constraint(k >= 2)
+        m.add_constraint(k <= 1)
+        m.set_objective(k)
+        assert solve_milp(m.to_matrix_form()).status is LPStatus.INFEASIBLE
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        k = m.add_var("k", 0, 10, VarType.INTEGER)
+        x = m.add_var("x", 0, 10)
+        m.add_constraint(k + x <= 5.5)
+        m.set_objective(2 * k + x, ObjectiveSense.MAXIMIZE)
+        res = solve_milp(m.to_matrix_form())
+        # k=5, x=0.5 -> 10.5
+        assert res.objective == pytest.approx(10.5)
+
+    def test_negative_integer_domain(self):
+        m = Model()
+        k = m.add_var("k", -5, 5, VarType.INTEGER)
+        m.add_constraint(2 * k >= -7.5)
+        m.set_objective(k, ObjectiveSense.MINIMIZE)
+        res = solve_milp(m.to_matrix_form())
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_nodes_counted(self):
+        m = knapsack_model([3, 2, 2], [2, 1, 1], 2)
+        res = solve_milp(m.to_matrix_form())
+        assert res.nodes_explored >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_random_milps_match_scipy(data):
+    """Property: branch & bound agrees with HiGHS on random small MILPs."""
+    n = data.draw(st.integers(2, 3))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    m = Model()
+    exprs = [
+        m.add_var(f"k{i}", 0, 4, VarType.INTEGER) for i in range(n)
+    ]
+    for _ in range(data.draw(st.integers(1, 3))):
+        coeffs = rng.integers(-2, 4, size=n)
+        rhs = float(rng.integers(0, 12))
+        m.add_constraint(
+            sum((int(c) * e for c, e in zip(coeffs, exprs)), 0 * exprs[0]) <= rhs
+        )
+    cost = rng.integers(-3, 4, size=n)
+    m.set_objective(
+        sum((int(c) * e for c, e in zip(cost, exprs)), 0 * exprs[0]),
+        ObjectiveSense.MAXIMIZE,
+    )
+    form = m.to_matrix_form()
+    ours = solve_milp(form)
+    ref = solve_milp_scipy(form)
+    assert (ours.status is LPStatus.OPTIMAL) == (ref.status is LPStatus.OPTIMAL)
+    if ours.ok and ref.objective is not None:
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)

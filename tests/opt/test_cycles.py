@@ -1,0 +1,86 @@
+"""Tests for maximum mean cycle / minimum clock period.
+
+The headline case is the paper's Fig. 2: a 4-flip-flop loop with stage
+delays 3, 8, 5, 6 has minimum period 8 untuned and 22/4 = 5.5 with
+unconstrained tuning.
+"""
+
+import math
+
+import pytest
+
+from repro.opt.cycles import (
+    maximum_mean_cycle,
+    min_clock_period_bounded,
+    min_clock_period_unbounded,
+)
+
+FIG2_EDGES = [("F1", "F2", 3.0), ("F2", "F3", 8.0), ("F3", "F4", 5.0),
+              ("F4", "F1", 6.0)]
+
+
+class TestMaximumMeanCycle:
+    def test_paper_fig2(self):
+        assert maximum_mean_cycle(FIG2_EDGES) == pytest.approx(5.5)
+
+    def test_acyclic_is_minus_inf(self):
+        assert maximum_mean_cycle([("a", "b", 2.0), ("b", "c", 3.0)]) == -math.inf
+
+    def test_self_loop(self):
+        assert maximum_mean_cycle([("a", "a", 4.0)]) == pytest.approx(4.0)
+
+    def test_picks_worst_cycle(self):
+        edges = FIG2_EDGES + [("F2", "F1", 10.0)]  # cycle F1-F2-F1 mean 6.5
+        assert maximum_mean_cycle(edges) == pytest.approx(6.5)
+
+    def test_multiple_components(self):
+        edges = [("a", "b", 1.0), ("b", "a", 1.0),
+                 ("c", "d", 9.0), ("d", "c", 1.0)]
+        assert maximum_mean_cycle(edges) == pytest.approx(5.0)
+
+    def test_parallel_edges(self):
+        edges = [("a", "b", 1.0), ("a", "b", 7.0), ("b", "a", 1.0)]
+        assert maximum_mean_cycle(edges) == pytest.approx(4.0)
+
+
+class TestMinClockPeriod:
+    def test_unbounded_matches_mmc(self):
+        assert min_clock_period_unbounded(FIG2_EDGES) == pytest.approx(5.5)
+
+    def test_unbounded_acyclic_clamps_to_zero(self):
+        assert min_clock_period_unbounded([("a", "b", 3.0)]) == 0.0
+
+    def test_bounded_wide_ranges_reach_mmc(self):
+        lower = {f: -2.0 for f, *_ in [("F1",), ("F2",), ("F3",), ("F4",)]}
+        upper = {f: 2.0 for f in lower}
+        t = min_clock_period_bounded(FIG2_EDGES, lower, upper)
+        assert t == pytest.approx(5.5, abs=1e-4)
+
+    def test_bounded_zero_ranges_is_untuned_period(self):
+        zeros = {f: 0.0 for f in ("F1", "F2", "F3", "F4")}
+        t = min_clock_period_bounded(FIG2_EDGES, zeros, zeros)
+        assert t == pytest.approx(8.0, abs=1e-4)
+
+    def test_bounded_narrow_ranges_between(self):
+        lower = {f: -0.5 for f in ("F1", "F2", "F3", "F4")}
+        upper = {f: 0.5 for f in lower}
+        t = min_clock_period_bounded(FIG2_EDGES, lower, upper)
+        assert 5.5 - 1e-6 <= t <= 8.0 + 1e-6
+
+    def test_bounded_monotone_in_range(self):
+        def period(width):
+            lo = {f: -width for f in ("F1", "F2", "F3", "F4")}
+            hi = {f: width for f in lo}
+            return min_clock_period_bounded(FIG2_EDGES, lo, hi)
+
+        assert period(0.25) >= period(0.5) >= period(1.0) >= period(2.0)
+
+    def test_empty_edges(self):
+        assert min_clock_period_bounded([], {}, {}) == 0.0
+
+    def test_untunable_nodes_default_to_zero(self):
+        # Only F2 tunable: budget shifting limited to its two stages.
+        t = min_clock_period_bounded(
+            FIG2_EDGES, {"F2": -2.5}, {"F2": 2.5}
+        )
+        assert 5.5 <= t <= 8.0

@@ -1,0 +1,180 @@
+"""Tests for difference-constraint systems and batched Bellman-Ford.
+
+Feasibility answers are cross-checked against the LP layer on randomized
+systems, and the lattice mode is checked to be exact for shared-step
+discrete variables.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt.diffconstraints import DifferenceSystem, bellman_ford
+from repro.opt.model import Model
+from repro.opt.solve import solve
+
+
+class TestBellmanFord:
+    def test_simple_feasible(self):
+        res = bellman_ford(
+            2, np.array([0]), np.array([1]), np.array([3.0])
+        )
+        assert res.feasible
+        assert res.x[1] - res.x[0] <= 3.0 + 1e-9
+
+    def test_negative_cycle_infeasible(self):
+        # x1-x0 <= -1 and x0-x1 <= -1 -> cycle weight -2.
+        res = bellman_ford(
+            2,
+            np.array([0, 1]),
+            np.array([1, 0]),
+            np.array([-1.0, -1.0]),
+        )
+        assert not res.feasible
+        assert np.isnan(res.x).all()
+
+    def test_batched_mixed_feasibility(self):
+        # Cycle weight per batch column: -1 + 1.5 = 0.5 (feasible) and
+        # -1 - 2 = -3 (negative cycle, infeasible).
+        weights = np.array([[-1.0, -1.0], [1.5, -2.0]])  # (edges, batch)
+        res = bellman_ford(
+            2, np.array([0, 1]), np.array([1, 0]), weights, n_batch=2
+        )
+        assert res.feasible.tolist() == [True, False]
+
+    def test_witness_satisfies_all_constraints(self):
+        rng = np.random.default_rng(0)
+        n = 6
+        edges_u = rng.integers(0, n, size=15)
+        edges_v = rng.integers(0, n, size=15)
+        weights = rng.uniform(0.1, 2.0, size=15)  # positive: always feasible
+        res = bellman_ford(n, edges_u, edges_v, weights)
+        assert res.feasible
+        for u, v, w in zip(edges_u, edges_v, weights):
+            assert res.x[v] - res.x[u] <= w + 1e-9
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bellman_ford(2, np.array([0]), np.array([1, 0]), np.array([1.0]))
+
+    def test_endpoint_range_validation(self):
+        with pytest.raises(ValueError):
+            bellman_ford(2, np.array([0]), np.array([5]), np.array([1.0]))
+
+
+class TestDifferenceSystem:
+    def test_bounds_feasible(self):
+        sys_ = DifferenceSystem(1)
+        sys_.add_bounds(0, -2.0, 3.0)
+        res = sys_.solve()
+        assert res.feasible
+        assert -2.0 - 1e-9 <= res.x[0] <= 3.0 + 1e-9
+
+    def test_contradictory_bounds(self):
+        sys_ = DifferenceSystem(1)
+        sys_.add_bounds(0, 2.0, 1.0)
+        assert not sys_.solve().feasible
+
+    def test_ge_and_le_combination(self):
+        sys_ = DifferenceSystem(2)
+        sys_.add_le(0, 1, 3.0)   # x1 - x0 <= 3
+        sys_.add_ge(0, 1, 1.0)   # x1 - x0 >= 1
+        sys_.add_bounds(0, -1, 1)
+        sys_.add_bounds(1, -1, 4)
+        res = sys_.solve()
+        assert res.feasible
+        assert 1.0 - 1e-9 <= res.x[1] - res.x[0] <= 3.0 + 1e-9
+
+    def test_reference_normalized(self):
+        sys_ = DifferenceSystem(1)
+        sys_.add_bounds(0, 5.0, 6.0)  # forces x0 well away from 0
+        res = sys_.solve()
+        assert res.feasible
+        assert 5.0 - 1e-9 <= res.x[0] <= 6.0 + 1e-9
+
+    def test_batched_weights(self):
+        sys_ = DifferenceSystem(2, n_batch=3)
+        sys_.add_le(0, 1, np.array([3.0, -0.5, -20.0]))
+        sys_.add_bounds(0, -1.0, 1.0)
+        sys_.add_bounds(1, -1.0, 1.0)
+        res = sys_.solve()
+        assert res.feasible.tolist() == [True, True, False]
+
+    def test_batched_weight_shape_checked(self):
+        sys_ = DifferenceSystem(2, n_batch=3)
+        with pytest.raises(ValueError):
+            sys_.add_le(0, 1, np.array([1.0, 2.0]))
+
+
+class TestLatticeMode:
+    def test_solution_on_lattice(self):
+        sys_ = DifferenceSystem(2)
+        sys_.add_le(0, 1, 0.34)
+        sys_.add_bounds(0, -1.0, 1.0)
+        sys_.add_bounds(1, -1.0, 1.0)
+        res = sys_.solve_on_lattice(0.1)
+        assert res.feasible
+        for v in res.x:
+            assert abs(v / 0.1 - round(v / 0.1)) < 1e-6
+
+    def test_lattice_exactness(self):
+        """Continuous-feasible but lattice-infeasible system is rejected.
+
+        x0 in [0, 0.05] on a 0.1-lattice means x0 = 0; then x1 - x0 must be
+        >= 0.06 and <= 0.09, impossible on the lattice.
+        """
+        sys_ = DifferenceSystem(2)
+        sys_.add_bounds(0, 0.0, 0.05)
+        sys_.add_ge(0, 1, 0.06)
+        sys_.add_le(0, 1, 0.09)
+        sys_.add_bounds(1, -1.0, 1.0)
+        assert sys_.solve().feasible
+        assert not sys_.solve_on_lattice(0.1).feasible
+
+    def test_lattice_on_exact_multiples(self):
+        sys_ = DifferenceSystem(2)
+        sys_.add_le(0, 1, 0.3)
+        sys_.add_ge(0, 1, 0.3)
+        sys_.add_bounds(0, -1.0, 1.0)
+        sys_.add_bounds(1, -1.0, 1.0)
+        res = sys_.solve_on_lattice(0.1)
+        assert res.feasible
+        assert res.x[1] - res.x[0] == pytest.approx(0.3)
+
+    def test_invalid_step(self):
+        sys_ = DifferenceSystem(1)
+        with pytest.raises(ValueError):
+            sys_.solve_on_lattice(0.0)
+
+
+def _lp_feasible(n, constraints, bounds):
+    """Reference feasibility via the LP layer."""
+    m = Model()
+    exprs = [m.add_var(f"x{i}", *bounds) for i in range(n)]
+    for u, v, w in constraints:
+        m.add_constraint(exprs[v] - exprs[u] <= w)
+    m.set_objective(0 * exprs[0])
+    return solve(m).ok
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_feasibility_matches_lp(data):
+    """Property: Bellman-Ford feasibility equals LP feasibility."""
+    n = data.draw(st.integers(2, 5))
+    n_edges = data.draw(st.integers(1, 8))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    edges = [
+        (int(rng.integers(n)), int(rng.integers(n)),
+         float(rng.uniform(-2.0, 2.0)))
+        for _ in range(n_edges)
+    ]
+    sys_ = DifferenceSystem(n)
+    for i in range(n):
+        sys_.add_bounds(i, -10.0, 10.0)
+    for u, v, w in edges:
+        sys_.add_le(u, v, w)
+    ours = bool(sys_.solve().feasible)
+    ref = _lp_feasible(n, edges, (-10.0, 10.0))
+    assert ours == ref

@@ -1,0 +1,110 @@
+"""Tests for linear expressions and constraints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.opt.linexpr import Constraint, LinExpr, Sense
+
+x = LinExpr.variable("x")
+y = LinExpr.variable("y")
+
+
+class TestArithmetic:
+    def test_add_merges_terms(self):
+        e = 2 * x + 3 * x
+        assert e.coefficient("x") == 5.0
+
+    def test_subtract(self):
+        e = x - y
+        assert e.coefficient("x") == 1.0
+        assert e.coefficient("y") == -1.0
+
+    def test_constant_folding(self):
+        e = x + 1 + 2
+        assert e.constant == 3.0
+
+    def test_scalar_division(self):
+        e = (4 * x) / 2
+        assert e.coefficient("x") == 2.0
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            x / 0
+
+    def test_negate(self):
+        e = -(2 * x + 1)
+        assert e.coefficient("x") == -2.0
+        assert e.constant == -1.0
+
+    def test_rsub(self):
+        e = 5 - x
+        assert e.constant == 5.0
+        assert e.coefficient("x") == -1.0
+
+    def test_sum_helper(self):
+        e = LinExpr.sum([x, y, 3])
+        assert e.coefficient("x") == 1.0
+        assert e.coefficient("y") == 1.0
+        assert e.constant == 3.0
+
+    def test_evaluate(self):
+        e = 2 * x - y + 1
+        assert e.evaluate({"x": 3.0, "y": 2.0}) == 5.0
+
+    def test_variables_excludes_zero_coeff(self):
+        e = x - x + y
+        assert e.variables() == {"y"}
+
+
+class TestConstraints:
+    def test_le_folds_rhs(self):
+        c = 2 * x - y + 1 <= 5
+        assert c.sense is Sense.LE
+        assert c.rhs == 4.0
+
+    def test_ge(self):
+        c = x >= 2
+        assert c.sense is Sense.GE
+        assert c.rhs == 2.0
+
+    def test_equals_method(self):
+        c = (x + y).equals(3)
+        assert c.sense is Sense.EQ
+        assert c.rhs == 3.0
+
+    def test_str(self):
+        c = 2 * x <= 4
+        assert "2*x" in str(c) and "<=" in str(c)
+
+    def test_coefficients(self):
+        c = 2 * x - 3 * y <= 0
+        assert c.coefficients() == {"x": 2.0, "y": -3.0}
+
+
+class TestValidation:
+    def test_empty_variable_name(self):
+        with pytest.raises(ValueError):
+            LinExpr.variable("")
+
+
+@given(
+    ax=st.floats(-10, 10),
+    ay=st.floats(-10, 10),
+    c=st.floats(-10, 10),
+    vx=st.floats(-5, 5),
+    vy=st.floats(-5, 5),
+)
+def test_evaluate_is_linear(ax, ay, c, vx, vy):
+    """Property: evaluation matches the defining affine formula."""
+    e = ax * x + ay * y + c
+    expected = ax * vx + ay * vy + c
+    assert e.evaluate({"x": vx, "y": vy}) == pytest.approx(expected, abs=1e-9)
+
+
+@given(scale=st.floats(-4, 4), vx=st.floats(-5, 5))
+def test_scaling_commutes_with_evaluation(scale, vx):
+    e = 3 * x + 1
+    assert (e * scale).evaluate({"x": vx}) == pytest.approx(
+        scale * e.evaluate({"x": vx}), rel=1e-9, abs=1e-9
+    )

@@ -1,0 +1,108 @@
+"""Tests for the LP/MILP model container and matrix conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.opt.model import Model, ObjectiveSense, VarType
+
+
+def small_model() -> Model:
+    m = Model("t")
+    x = m.add_var("x", 0, 10)
+    y = m.add_var("y", -5, 5, VarType.INTEGER)
+    m.add_constraint(x + 2 * y <= 8)
+    m.add_constraint(x - y >= 1)
+    m.add_constraint((x + y).equals(4))
+    m.set_objective(x + 3 * y, ObjectiveSense.MAXIMIZE)
+    return m
+
+
+class TestModelConstruction:
+    def test_duplicate_var_raises(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ValueError):
+            m.add_var("x")
+
+    def test_bad_bounds_raise(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_var("x", lower=2, upper=1)
+
+    def test_binary_clamps_bounds(self):
+        m = Model()
+        m.add_binary("b")
+        var = m.variable("b")
+        assert (var.lower, var.upper) == (0.0, 1.0)
+
+    def test_undeclared_constraint_var_raises(self):
+        from repro.opt.linexpr import LinExpr
+
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(ValueError, match="undeclared"):
+            m.add_constraint(LinExpr.variable("z") <= 1)
+
+    def test_undeclared_objective_var_raises(self):
+        from repro.opt.linexpr import LinExpr
+
+        m = Model()
+        with pytest.raises(ValueError):
+            m.set_objective(LinExpr.variable("z"))
+
+    def test_is_mip(self):
+        m = Model()
+        m.add_var("x")
+        assert not m.is_mip
+        m.add_var("k", vtype=VarType.INTEGER)
+        assert m.is_mip
+
+    def test_repr_mentions_kind(self):
+        assert "LP" in repr(Model("empty"))
+
+
+class TestMatrixForm:
+    def test_shapes(self):
+        form = small_model().to_matrix_form()
+        assert form.a_ub.shape == (2, 2)
+        assert form.a_eq.shape == (1, 2)
+        assert form.lower.tolist() == [0.0, -5.0]
+        assert form.upper.tolist() == [10.0, 5.0]
+        assert form.integer.tolist() == [False, True]
+
+    def test_ge_negated_into_le(self):
+        form = small_model().to_matrix_form()
+        # second ub row encodes x - y >= 1 as -x + y <= -1
+        np.testing.assert_allclose(form.a_ub[1], [-1.0, 1.0])
+        assert form.b_ub[1] == -1.0
+
+    def test_maximize_flips_costs(self):
+        form = small_model().to_matrix_form()
+        assert form.flip_objective
+        np.testing.assert_allclose(form.c, [-1.0, -3.0])
+
+    def test_objective_value_recovers_sense(self):
+        form = small_model().to_matrix_form()
+        x = np.array([3.0, 1.0])
+        assert form.objective_value(x) == pytest.approx(6.0)
+
+    def test_objective_constant_carried(self):
+        m = Model()
+        x = m.add_var("x", 0, 1)
+        m.set_objective(x + 10)
+        form = m.to_matrix_form()
+        assert form.objective_value(np.array([0.5])) == pytest.approx(10.5)
+
+    def test_assignment_mapping(self):
+        form = small_model().to_matrix_form()
+        values = form.assignment(np.array([1.0, 2.0]))
+        assert values == {"x": 1.0, "y": 2.0}
+
+    def test_default_bounds_infinite_upper(self):
+        m = Model()
+        m.add_var("x")
+        form = m.to_matrix_form()
+        assert form.lower[0] == 0.0
+        assert math.isinf(form.upper[0])

@@ -1,0 +1,146 @@
+"""Tests for the pure-Python two-phase simplex, cross-checked against
+SciPy/HiGHS on randomized instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt.model import Model, ObjectiveSense
+from repro.opt.scipy_backend import solve_lp_scipy
+from repro.opt.simplex import LPStatus, solve_lp
+
+
+def build(objective, sense, constraints, bounds):
+    m = Model()
+    exprs = {}
+    for name, (lo, hi) in bounds.items():
+        exprs[name] = m.add_var(name, lo, hi)
+    for c in constraints(exprs):
+        m.add_constraint(c)
+    m.set_objective(objective(exprs), sense)
+    return m.to_matrix_form()
+
+
+class TestKnownLPs:
+    def test_simple_max(self):
+        form = build(
+            lambda v: v["x"] + v["y"],
+            ObjectiveSense.MAXIMIZE,
+            lambda v: [v["x"] + 2 * v["y"] <= 14, 3 * v["x"] - v["y"] >= 0,
+                       v["x"] - v["y"] <= 2],
+            {"x": (-100, 100), "y": (-100, 100)},
+        )
+        res = solve_lp(form)
+        assert res.ok
+        assert res.objective == pytest.approx(10.0)
+        np.testing.assert_allclose(res.x, [6.0, 4.0], atol=1e-7)
+
+    def test_minimize_with_negative_bounds(self):
+        # Optimum at x = -10 (lower bound), y = 7: objective -13.
+        form = build(
+            lambda v: 2 * v["x"] + v["y"],
+            ObjectiveSense.MINIMIZE,
+            lambda v: [v["x"] + v["y"] >= -3],
+            {"x": (-10, 10), "y": (-10, 10)},
+        )
+        res = solve_lp(form)
+        assert res.ok
+        assert res.objective == pytest.approx(-13.0)
+
+    def test_infeasible(self):
+        form = build(
+            lambda v: v["x"],
+            ObjectiveSense.MINIMIZE,
+            lambda v: [v["x"] >= 5, v["x"] <= 2],
+            {"x": (0, 10)},
+        )
+        assert solve_lp(form).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        form = build(
+            lambda v: v["x"],
+            ObjectiveSense.MAXIMIZE,
+            lambda v: [],
+            {"x": (0, float("inf"))},
+        )
+        assert solve_lp(form).status is LPStatus.UNBOUNDED
+
+    def test_equality_constraint(self):
+        form = build(
+            lambda v: v["x"] + v["y"],
+            ObjectiveSense.MINIMIZE,
+            lambda v: [(v["x"] + v["y"]).equals(4), v["x"] >= 1],
+            {"x": (0, 10), "y": (0, 10)},
+        )
+        res = solve_lp(form)
+        assert res.ok
+        assert res.objective == pytest.approx(4.0)
+
+    def test_free_variable(self):
+        form = build(
+            lambda v: v["x"],
+            ObjectiveSense.MINIMIZE,
+            lambda v: [v["x"] >= -7.5],
+            {"x": (-float("inf"), float("inf"))},
+        )
+        res = solve_lp(form)
+        assert res.ok
+        assert res.objective == pytest.approx(-7.5)
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degenerate corner: multiple constraints through origin.
+        form = build(
+            lambda v: -v["x"] - v["y"],
+            ObjectiveSense.MINIMIZE,
+            lambda v: [v["x"] + v["y"] <= 1, v["x"] <= 1, v["y"] <= 1,
+                       v["x"] + 2 * v["y"] <= 2],
+            {"x": (0, 5), "y": (0, 5)},
+        )
+        res = solve_lp(form)
+        assert res.ok
+        assert res.objective == pytest.approx(-1.0)
+
+
+def test_minimize_with_negative_bounds_value():
+    """Companion check with explicit optimum: min 2x+y, x+y >= -3.
+
+    At the optimum x = -10 (its lower bound) and y then must be >= 7;
+    objective 2(-10)+7 = -13.
+    """
+    m = Model()
+    x = m.add_var("x", -10, 10)
+    y = m.add_var("y", -10, 10)
+    m.add_constraint(x + y >= -3)
+    m.set_objective(2 * x + y, ObjectiveSense.MINIMIZE)
+    res = solve_lp(m.to_matrix_form())
+    assert res.ok
+    assert res.objective == pytest.approx(-13.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_random_lps_match_scipy(data):
+    """Property: on random bounded LPs, simplex matches HiGHS's optimum."""
+    n = data.draw(st.integers(2, 4))
+    m_rows = data.draw(st.integers(1, 4))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+
+    model = Model()
+    exprs = [model.add_var(f"v{i}", -5.0, 5.0) for i in range(n)]
+    for _ in range(m_rows):
+        coeffs = rng.integers(-3, 4, size=n)
+        rhs = float(rng.integers(-5, 15))
+        expr = sum((int(c) * e for c, e in zip(coeffs, exprs)),
+                   0 * exprs[0])
+        model.add_constraint(expr <= rhs)
+    cost = rng.integers(-3, 4, size=n)
+    objective = sum((int(c) * e for c, e in zip(cost, exprs)), 0 * exprs[0])
+    model.set_objective(objective, ObjectiveSense.MINIMIZE)
+    form = model.to_matrix_form()
+
+    ours = solve_lp(form)
+    ref = solve_lp_scipy(form)
+    assert ours.status == ref.status
+    if ours.ok:
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)

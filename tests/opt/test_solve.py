@@ -1,0 +1,57 @@
+"""Tests for backend dispatch and cross-backend agreement."""
+
+import pytest
+
+from repro.opt.model import Model, ObjectiveSense, VarType
+from repro.opt.simplex import LPStatus
+from repro.opt.solve import solve
+
+
+def lp_model():
+    m = Model()
+    x = m.add_var("x", 0, 10)
+    y = m.add_var("y", 0, 10)
+    m.add_constraint(x + y <= 6)
+    m.set_objective(2 * x + y, ObjectiveSense.MAXIMIZE)
+    return m
+
+
+def milp_model():
+    m = Model()
+    k = m.add_var("k", 0, 10, VarType.INTEGER)
+    m.add_constraint(3 * k <= 10)
+    m.set_objective(k, ObjectiveSense.MAXIMIZE)
+    return m
+
+
+class TestDispatch:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            solve(lp_model(), backend="gurobi")
+
+    @pytest.mark.parametrize("backend", ["scipy", "pure"])
+    def test_lp(self, backend):
+        s = solve(lp_model(), backend=backend)
+        assert s.ok
+        assert s.objective == pytest.approx(12.0)
+        assert s["x"] == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("backend", ["scipy", "pure"])
+    def test_milp(self, backend):
+        s = solve(milp_model(), backend=backend)
+        assert s.ok
+        assert s.objective == pytest.approx(3.0)
+
+    def test_solution_get_default(self):
+        s = solve(lp_model())
+        assert s.get("missing", -1.0) == -1.0
+
+    def test_infeasible_has_empty_values(self):
+        m = Model()
+        x = m.add_var("x", 0, 1)
+        m.add_constraint(x >= 2)
+        m.set_objective(x)
+        s = solve(m)
+        assert s.status is LPStatus.INFEASIBLE
+        assert s.values == {}
+        assert not s.ok

@@ -1,0 +1,86 @@
+"""Tests for weighted medians (scalar and row-vectorized)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt.weighted_median import weighted_median, weighted_median_rows
+
+
+def abs_objective(t, values, weights):
+    return float(np.sum(weights * np.abs(t - values)))
+
+
+class TestWeightedMedian:
+    def test_uniform_weights_median(self):
+        assert weighted_median(np.array([1.0, 2.0, 10.0]), np.ones(3)) == 2.0
+
+    def test_heavy_weight_dominates(self):
+        values = np.array([1.0, 2.0, 10.0])
+        weights = np.array([1.0, 1.0, 10.0])
+        assert weighted_median(values, weights) == 10.0
+
+    def test_zero_total_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_median(np.array([1.0]), np.array([0.0]))
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_median(np.array([1.0]), np.array([-1.0]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_median(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_result_is_an_input_value(self):
+        values = np.array([3.0, 1.0, 7.0, 5.0])
+        assert weighted_median(values, np.ones(4)) in values
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.floats(-100, 100), min_size=1, max_size=8),
+    seed=st.integers(0, 2**31),
+)
+def test_weighted_median_minimizes_objective(values, seed):
+    """Property: no other input value achieves a lower weighted L1 cost."""
+    values = np.asarray(values, dtype=float)
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.1, 3.0, size=len(values))
+    best = weighted_median(values, weights)
+    best_cost = abs_objective(best, values, weights)
+    for candidate in values:
+        assert best_cost <= abs_objective(candidate, values, weights) + 1e-9
+
+
+class TestWeightedMedianRows:
+    def test_matches_scalar_per_row(self, rng):
+        values = rng.uniform(-10, 10, size=(5, 6))
+        weights = rng.uniform(0.1, 2.0, size=(5, 6))
+        rows = weighted_median_rows(values, weights)
+        for r in range(5):
+            assert rows[r] == weighted_median(values[r], weights[r])
+
+    def test_nan_masking(self):
+        values = np.array([[1.0, np.nan, 5.0, 7.0]])
+        weights = np.ones((1, 4))
+        assert weighted_median_rows(values, weights)[0] == 5.0
+
+    def test_zero_weight_masking(self):
+        values = np.array([[1.0, 2.0, 100.0]])
+        weights = np.array([[1.0, 1.0, 0.0]])
+        assert weighted_median_rows(values, weights)[0] in (1.0, 2.0)
+
+    def test_all_masked_row_is_nan(self):
+        values = np.array([[np.nan, np.nan]])
+        weights = np.ones((1, 2))
+        assert np.isnan(weighted_median_rows(values, weights)[0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_median_rows(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_median_rows(np.ones(3), np.ones(3))

@@ -1,0 +1,86 @@
+"""Tests for path-wise frequency stepping (the baseline method)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tester.freqstep import pathwise_frequency_stepping, required_iterations
+
+
+class TestRequiredIterations:
+    def test_powers_of_two(self):
+        assert required_iterations(np.array([8.0]), 1.0)[0] == 3
+
+    def test_already_narrow(self):
+        assert required_iterations(np.array([0.5]), 1.0)[0] == 0
+
+    def test_non_power(self):
+        assert required_iterations(np.array([10.0]), 1.0)[0] == 4
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            required_iterations(np.array([1.0]), 0.0)
+
+
+class TestPathwiseStepping:
+    def test_bounds_converge_around_truth(self):
+        true = np.array([[100.0, 90.0]])
+        means = np.array([100.0, 95.0])
+        stds = np.array([5.0, 5.0])
+        res = pathwise_frequency_stepping(true, means, stds, epsilon=0.1)
+        assert np.all(res.upper - res.lower < 0.1 + 1e-12)
+        # truth within [mu-3s, mu+3s], so bounds bracket it
+        assert np.all(res.lower <= true + 1e-9)
+        assert np.all(true <= res.upper + 1e-9)
+
+    def test_iteration_count_formula(self):
+        stds = np.array([5.0, 10.0])
+        means = np.array([0.0, 0.0])
+        res = pathwise_frequency_stepping(
+            np.zeros((1, 2)), means, stds, epsilon=0.1
+        )
+        expected = np.ceil(np.log2(6.0 * stds / 0.1)).astype(int)
+        np.testing.assert_array_equal(res.iterations_per_path, expected)
+        assert res.total_iterations == expected.sum()
+
+    def test_out_of_prior_truth_converges_to_boundary(self):
+        true = np.array([[200.0]])  # way above mu+3s
+        res = pathwise_frequency_stepping(
+            true, np.array([100.0]), np.array([5.0]), epsilon=0.1
+        )
+        assert res.upper[0, 0] == pytest.approx(115.0, abs=0.2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pathwise_frequency_stepping(
+                np.zeros((1, 2)), np.zeros(3), np.ones(3), 0.1
+            )
+
+    def test_mean_iterations_per_path(self):
+        res = pathwise_frequency_stepping(
+            np.zeros((2, 2)), np.zeros(2), np.ones(2), epsilon=0.5
+        )
+        assert res.mean_iterations_per_path == pytest.approx(
+            res.iterations_per_path.mean()
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    truth_sigma=st.floats(-2.9, 2.9),
+    sigma=st.floats(0.5, 20.0),
+    epsilon_frac=st.floats(0.001, 0.2),
+)
+def test_stepping_always_brackets_in_prior(truth_sigma, sigma, epsilon_frac):
+    """Property: when the true delay lies within the +-3 sigma prior, the
+    final range brackets it and is narrower than epsilon."""
+    mean = 100.0
+    true_value = mean + truth_sigma * sigma
+    epsilon = epsilon_frac * sigma
+    res = pathwise_frequency_stepping(
+        np.array([[true_value]]), np.array([mean]), np.array([sigma]), epsilon
+    )
+    assert res.upper[0, 0] - res.lower[0, 0] < epsilon + 1e-9
+    assert res.lower[0, 0] <= true_value + 1e-9
+    assert true_value <= res.upper[0, 0] + 1e-9

@@ -1,0 +1,104 @@
+"""Tests for tester jitter modelling and guard-banding."""
+
+import numpy as np
+import pytest
+
+from repro.tester.noise import (
+    NoisyChipOracle,
+    guard_banded_bounds,
+    verdict_error_probability,
+)
+
+
+class TestNoisyChipOracle:
+    def test_zero_jitter_matches_exact(self):
+        oracle = NoisyChipOracle(np.array([5.0, 7.0]), jitter_sigma=0.0, seed=1)
+        out = oracle.measure(np.array([0, 1]), np.zeros(2), 6.0)
+        assert out.tolist() == [True, False]
+
+    def test_far_from_threshold_is_stable(self):
+        oracle = NoisyChipOracle(np.array([5.0]), jitter_sigma=0.01, seed=2)
+        verdicts = [
+            oracle.measure(np.array([0]), np.zeros(1), 6.0)[0]
+            for _ in range(50)
+        ]
+        assert all(verdicts)
+
+    def test_near_threshold_flips_sometimes(self):
+        oracle = NoisyChipOracle(np.array([6.0]), jitter_sigma=0.5, seed=3)
+        verdicts = [
+            bool(oracle.measure(np.array([0]), np.zeros(1), 6.05)[0])
+            for _ in range(200)
+        ]
+        assert 0.05 < np.mean(verdicts) < 0.95
+
+    def test_iteration_counter(self):
+        oracle = NoisyChipOracle(np.array([5.0]), jitter_sigma=0.1, seed=4)
+        for _ in range(3):
+            oracle.measure(np.array([0]), np.zeros(1), 6.0)
+        assert oracle.iterations == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoisyChipOracle(np.array([1.0]), jitter_sigma=-1.0)
+        with pytest.raises(ValueError):
+            NoisyChipOracle(np.zeros((2, 2)), jitter_sigma=0.1)
+
+    def test_shared_jitter_across_batch(self):
+        """Two identical paths must always receive identical verdicts."""
+        oracle = NoisyChipOracle(
+            np.array([6.0, 6.0]), jitter_sigma=1.0, seed=5
+        )
+        for _ in range(30):
+            out = oracle.measure(np.array([0, 1]), np.zeros(2), 6.0)
+            assert out[0] == out[1]
+
+
+class TestGuardBanding:
+    def test_widens_both_sides(self):
+        lo, hi = guard_banded_bounds(
+            np.array([10.0]), np.array([11.0]), 0.25
+        )
+        assert lo[0] == 9.75 and hi[0] == 11.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            guard_banded_bounds(np.zeros(1), np.ones(1), -0.1)
+
+    def test_restores_bracketing_under_jitter(self):
+        """Jitter-corrupted binary search + guard band still brackets."""
+        rng = np.random.default_rng(6)
+        jitter = 0.05
+        misses = 0
+        for _ in range(50):
+            true = float(rng.uniform(95.0, 105.0))
+            oracle = NoisyChipOracle(
+                np.array([true]), jitter_sigma=jitter,
+                seed=int(rng.integers(2**31)),
+            )
+            lower, upper = 85.0, 115.0
+            for _ in range(10):
+                period = 0.5 * (lower + upper)
+                if oracle.measure(np.array([0]), np.zeros(1), period)[0]:
+                    upper = period
+                else:
+                    lower = period
+            glo, ghi = guard_banded_bounds(
+                np.array([lower]), np.array([upper]), 4 * jitter
+            )
+            if not (glo[0] <= true <= ghi[0]):
+                misses += 1
+        assert misses <= 2  # ~4 sigma guard band: rare escapes only
+
+
+class TestVerdictErrorProbability:
+    def test_at_threshold_half(self):
+        assert verdict_error_probability(np.array([0.0]), 0.1)[0] == pytest.approx(0.5)
+
+    def test_decays_with_margin(self):
+        p = verdict_error_probability(np.array([0.1, 0.5, 2.0]), 0.5)
+        assert p[0] > p[1] > p[2]
+
+    def test_zero_jitter(self):
+        p = verdict_error_probability(np.array([0.0, 1.0]), 0.0)
+        assert p.tolist() == [0.5, 0.0]

@@ -1,0 +1,52 @@
+"""Tests for the ATE pass/fail oracle."""
+
+import numpy as np
+import pytest
+
+from repro.tester.oracle import ChipOracle, shifted_slack_pass
+
+
+class TestShiftedSlackPass:
+    def test_basic(self):
+        out = shifted_slack_pass(
+            np.array([5.0, 6.0]), np.array([0.0, 0.0]), 5.5
+        )
+        assert out.tolist() == [True, False]
+
+    def test_shift_moves_verdict(self):
+        delays = np.array([5.0])
+        assert shifted_slack_pass(delays, np.array([1.0]), 5.5)[0] == False  # noqa: E712
+        assert shifted_slack_pass(delays, np.array([-1.0]), 5.5)[0] == True  # noqa: E712
+
+    def test_broadcast_chips(self):
+        delays = np.array([[1.0, 2.0], [3.0, 4.0]])
+        periods = np.array([[1.5], [3.5]])
+        out = shifted_slack_pass(delays, 0.0, periods)
+        assert out.tolist() == [[True, False], [True, False]]
+
+
+class TestChipOracle:
+    def test_counts_iterations(self):
+        oracle = ChipOracle(np.array([5.0, 7.0]))
+        oracle.measure(np.array([0]), np.array([0.0]), 6.0)
+        oracle.measure(np.array([0, 1]), np.array([0.0, 0.0]), 6.0)
+        assert oracle.iterations == 2
+
+    def test_measure_verdicts(self):
+        oracle = ChipOracle(np.array([5.0, 7.0]))
+        out = oracle.measure(np.array([0, 1]), np.array([0.0, 0.0]), 6.0)
+        assert out.tolist() == [True, False]
+
+    def test_shift_alignment_required(self):
+        oracle = ChipOracle(np.array([5.0]))
+        with pytest.raises(ValueError):
+            oracle.measure(np.array([0]), np.array([0.0, 1.0]), 6.0)
+
+    def test_one_dimensional_delays_required(self):
+        with pytest.raises(ValueError):
+            ChipOracle(np.zeros((2, 2)))
+
+    def test_boundary_is_pass(self):
+        oracle = ChipOracle(np.array([6.0]))
+        out = oracle.measure(np.array([0]), np.array([0.0]), 6.0)
+        assert out[0] == True  # noqa: E712

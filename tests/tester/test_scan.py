@@ -1,0 +1,56 @@
+"""Tests for the scan-chain cost model."""
+
+import pytest
+
+from repro.tester.scan import ScanCostModel
+from repro.tester.scan import tester_time_summary as time_summary
+
+
+class TestScanCostModel:
+    def test_seconds_per_iteration(self):
+        model = ScanCostModel(
+            chain_length_bits=1000,
+            shift_frequency_hz=1e6,
+            config_bits=0,
+            capture_overhead_s=0.0,
+        )
+        assert model.seconds_per_iteration == pytest.approx(1e-3)
+
+    def test_config_bits_add_cost(self):
+        base = ScanCostModel(1000, shift_frequency_hz=1e6, capture_overhead_s=0)
+        extra = ScanCostModel(
+            1000, shift_frequency_hz=1e6, config_bits=500, capture_overhead_s=0
+        )
+        assert extra.seconds_per_iteration > base.seconds_per_iteration
+
+    def test_total_scales_linearly(self):
+        model = ScanCostModel(100)
+        assert model.total_seconds(10) == pytest.approx(
+            10 * model.seconds_per_iteration
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanCostModel(0)
+        with pytest.raises(ValueError):
+            ScanCostModel(10, shift_frequency_hz=0)
+        with pytest.raises(ValueError):
+            ScanCostModel(10, config_bits=-1)
+        with pytest.raises(ValueError):
+            ScanCostModel(10).total_seconds(-1)
+
+
+class TestSummary:
+    def test_speedup_reflects_iterations(self):
+        out = time_summary(
+            iterations_effitest=40,
+            iterations_pathwise=700,
+            chain_length_bits=211,
+            config_bits=2 * 5,
+        )
+        assert out["effitest_s"] < out["pathwise_s"]
+        assert out["speedup"] > 10.0
+
+    def test_keys(self):
+        out = time_summary(1, 1, 100, 0)
+        assert set(out) == {"effitest_s", "pathwise_s", "speedup"}

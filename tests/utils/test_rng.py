@@ -1,0 +1,86 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    choice_without_replacement,
+    derive_seed,
+    spawn_rngs,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).standard_normal(8)
+        b = as_generator(42).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).standard_normal(8)
+        b = as_generator(2).standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(7, 5)) == 5
+
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(7, 2)
+        a = streams[0].standard_normal(100)
+        b = streams[1].standard_normal(100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.35
+
+    def test_deterministic_across_calls(self):
+        a = spawn_rngs(7, 3)[2].standard_normal(4)
+        b = spawn_rngs(7, 3)[2].standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(7, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(7, 0) == []
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(3, "a", "b") == derive_seed(3, "a", "b")
+
+    def test_labels_matter(self):
+        assert derive_seed(3, "a") != derive_seed(3, "b")
+
+    def test_base_matters(self):
+        assert derive_seed(3, "a") != derive_seed(4, "a")
+
+    def test_in_valid_range(self):
+        seed = derive_seed(12345, "circuit", 9)
+        assert 0 <= seed < 2**63
+
+    def test_none_base_ok(self):
+        assert isinstance(derive_seed(None, "x"), int)
+
+
+class TestChoiceWithoutReplacement:
+    def test_distinct(self, rng):
+        chosen = choice_without_replacement(rng, range(10), 5)
+        assert len(set(chosen)) == 5
+
+    def test_subset(self, rng):
+        pool = ["a", "b", "c", "d"]
+        chosen = choice_without_replacement(rng, pool, 2)
+        assert set(chosen) <= set(pool)
+
+    def test_too_many_raises(self, rng):
+        with pytest.raises(ValueError):
+            choice_without_replacement(rng, [1, 2], 3)

@@ -1,0 +1,65 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.utils.tables import Table, format_float
+
+
+class TestFormatFloat:
+    def test_none_is_dash(self):
+        assert format_float(None) == "-"
+
+    def test_string_passthrough(self):
+        assert format_float("x") == "x"
+
+    def test_int(self):
+        assert format_float(7) == "7"
+
+    def test_float_digits(self):
+        assert format_float(3.14159, digits=3) == "3.142"
+
+    def test_bool(self):
+        assert format_float(True) == "yes"
+        assert format_float(False) == "no"
+
+    def test_integer_float_zero_digits(self):
+        assert format_float(5.0, digits=0) == "5"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(["name", "value"])
+        t.add_row(["a", 1.5])
+        t.add_row(["longer", 22.25])
+        lines = t.render().splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_wrong_arity_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_markdown(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2])
+        md = t.render_markdown()
+        assert md.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2 |" in md
+
+    def test_csv(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2.5])
+        assert t.render_csv() == "a,b\n1,2.50"
+
+    def test_digits_override_per_row(self):
+        t = Table(["x"], digits=2)
+        t.add_row([1.23456], digits=4)
+        assert t.rows[0][0] == "1.2346"
+
+    def test_header_in_render(self):
+        t = Table(["circuit", "yield"])
+        t.add_row(["s9234", 0.77])
+        out = t.render()
+        assert "circuit" in out and "s9234" in out

@@ -1,0 +1,49 @@
+"""Tests for the phase stopwatch."""
+
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            pass
+        with sw.measure("a"):
+            pass
+        assert sw.count("a") == 2
+        assert sw.total("a") >= 0.0
+
+    def test_unknown_phase_zero(self):
+        sw = Stopwatch()
+        assert sw.total("nope") == 0.0
+        assert sw.count("nope") == 0
+        assert sw.mean("nope") == 0.0
+
+    def test_add_manual(self):
+        sw = Stopwatch()
+        sw.add("x", 1.5)
+        sw.add("x", 0.5)
+        assert sw.total("x") == 2.0
+        assert sw.mean("x") == 1.0
+
+    def test_phases_order(self):
+        sw = Stopwatch()
+        sw.add("b", 1.0)
+        sw.add("a", 1.0)
+        assert sw.phases() == ["b", "a"]
+
+    def test_as_dict_snapshot(self):
+        sw = Stopwatch()
+        sw.add("a", 2.0)
+        snap = sw.as_dict()
+        sw.add("a", 1.0)
+        assert snap == {"a": 2.0}
+
+    def test_exception_still_recorded(self):
+        sw = Stopwatch()
+        try:
+            with sw.measure("err"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert sw.count("err") == 1

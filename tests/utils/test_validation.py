@@ -1,0 +1,84 @@
+"""Tests for argument validators."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_lengths_match,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+    check_symmetric,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestCheckInRange:
+    def test_accepts_boundary(self):
+        assert check_in_range(1.0, 1.0, 2.0, "v") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.5, 1.0, 2.0, "v")
+
+
+class TestCheckFinite:
+    def test_accepts(self):
+        out = check_finite([1.0, 2.0], "a")
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    @pytest.mark.parametrize("bad", [[np.nan], [np.inf], [-np.inf]])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_finite(bad, "a")
+
+
+class TestMatrixCheckers:
+    def test_square_ok(self):
+        check_square_matrix(np.eye(3), "m")
+
+    def test_square_rejects_rect(self):
+        with pytest.raises(ValueError):
+            check_square_matrix(np.zeros((2, 3)), "m")
+
+    def test_square_rejects_vector(self):
+        with pytest.raises(ValueError):
+            check_square_matrix(np.zeros(3), "m")
+
+    def test_symmetric_ok(self):
+        check_symmetric(np.array([[1.0, 0.5], [0.5, 2.0]]), "m")
+
+    def test_symmetric_rejects(self):
+        with pytest.raises(ValueError):
+            check_symmetric(np.array([[1.0, 0.4], [0.5, 2.0]]), "m")
+
+
+class TestLengthsMatch:
+    def test_match(self):
+        check_lengths_match([1, 2], (3, 4), "a", "b")
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="a and b"):
+            check_lengths_match([1], [1, 2], "a", "b")

@@ -1,0 +1,166 @@
+"""Tests for canonical delay forms: algebra, covariance and Clark max."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.variation.canonical import (
+    CanonicalForm,
+    covariance_matrix,
+    loading_matrix,
+)
+
+
+def sample_form(form: CanonicalForm, z: np.ndarray, r: np.ndarray) -> np.ndarray:
+    out = np.full(len(r), form.mean)
+    for idx, coeff in form.sensitivities.items():
+        out += coeff * z[:, idx]
+    return out + form.independent * r
+
+
+class TestMoments:
+    def test_variance(self):
+        f = CanonicalForm(5.0, {0: 3.0, 2: 4.0}, 0.0)
+        assert f.variance == pytest.approx(25.0)
+        assert f.std == pytest.approx(5.0)
+
+    def test_independent_term_counts(self):
+        f = CanonicalForm(0.0, {}, 2.0)
+        assert f.variance == pytest.approx(4.0)
+
+    def test_covariance_shared_factors_only(self):
+        a = CanonicalForm(0.0, {0: 1.0, 1: 2.0}, 5.0)
+        b = CanonicalForm(0.0, {1: 3.0, 2: 1.0}, 7.0)
+        assert a.covariance(b) == pytest.approx(6.0)
+
+    def test_correlation_bounds(self):
+        a = CanonicalForm(0.0, {0: 1.0}, 0.0)
+        b = CanonicalForm(0.0, {0: -1.0}, 0.0)
+        assert a.correlation(b) == pytest.approx(-1.0)
+
+    def test_correlation_zero_variance(self):
+        a = CanonicalForm(1.0)
+        b = CanonicalForm(2.0, {0: 1.0})
+        assert a.correlation(b) == 0.0
+
+    def test_quantile(self):
+        f = CanonicalForm(10.0, {0: 2.0})
+        assert f.quantile(0.5) == pytest.approx(10.0)
+        assert f.quantile(0.8413) == pytest.approx(12.0, abs=1e-2)
+
+
+class TestAlgebra:
+    def test_add_constant(self):
+        f = CanonicalForm(1.0, {0: 1.0}) + 2.5
+        assert f.mean == 3.5
+
+    def test_add_merges_sensitivities(self):
+        a = CanonicalForm(1.0, {0: 1.0, 1: 1.0}, 3.0)
+        b = CanonicalForm(2.0, {1: 2.0}, 4.0)
+        c = a + b
+        assert c.mean == 3.0
+        assert c.sensitivities == {0: 1.0, 1: 3.0}
+        assert c.independent == pytest.approx(5.0)  # hypot(3,4)
+
+    def test_radd_for_sum(self):
+        forms = [CanonicalForm(1.0), CanonicalForm(2.0)]
+        assert sum(forms, CanonicalForm(0.0)).mean == 3.0
+
+    def test_scaled(self):
+        f = CanonicalForm(2.0, {0: 1.0}, 1.0).scaled(-2.0)
+        assert f.mean == -4.0
+        assert f.sensitivities[0] == -2.0
+        assert f.independent == 2.0  # magnitude
+
+    def test_add_variance_is_sum_plus_cross(self):
+        a = CanonicalForm(0.0, {0: 1.0}, 1.0)
+        b = CanonicalForm(0.0, {0: 2.0}, 2.0)
+        c = a + b
+        expected = a.variance + b.variance + 2 * a.covariance(b)
+        assert c.variance == pytest.approx(expected)
+
+
+class TestClarkMax:
+    def test_max_mean_at_least_operands(self):
+        a = CanonicalForm(10.0, {0: 1.0})
+        b = CanonicalForm(12.0, {1: 1.0})
+        m = a.maximum(b)
+        assert m.mean >= 12.0
+
+    def test_identical_forms(self):
+        a = CanonicalForm(5.0, {0: 2.0})
+        m = a.maximum(CanonicalForm(5.0, {0: 2.0}))
+        assert m.mean == pytest.approx(5.0)
+        assert m.std == pytest.approx(2.0)
+
+    def test_dominant_operand_wins(self):
+        a = CanonicalForm(100.0, {0: 1.0})
+        b = CanonicalForm(0.0, {0: 1.0})
+        m = a.maximum(b)
+        assert m.mean == pytest.approx(100.0, abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        mu_a=st.floats(-5, 5), mu_b=st.floats(-5, 5),
+        sa=st.floats(0.5, 2.0), sb=st.floats(0.5, 2.0),
+        seed=st.integers(0, 2**31),
+    )
+    def test_clark_matches_monte_carlo(self, mu_a, mu_b, sa, sb, seed):
+        """Property: Clark mean/std within sampling error of empirical max."""
+        a = CanonicalForm(mu_a, {0: sa})
+        b = CanonicalForm(mu_b, {1: sb})
+        m = a.maximum(b)
+        rng = np.random.default_rng(seed)
+        n = 40000
+        z = rng.standard_normal((n, 2))
+        empirical = np.maximum(mu_a + sa * z[:, 0], mu_b + sb * z[:, 1])
+        assert m.mean == pytest.approx(empirical.mean(), abs=0.08)
+        assert m.std == pytest.approx(empirical.std(), abs=0.1)
+
+    def test_preserves_correlation_to_third_party(self):
+        shared = {0: 1.0}
+        a = CanonicalForm(10.0, shared)
+        b = CanonicalForm(10.0, {1: 1.0})
+        c = CanonicalForm(0.0, shared)
+        m = a.maximum(b)
+        # m retains about half of a's loading on factor 0 (tightness 0.5).
+        assert m.covariance(c) == pytest.approx(0.5, abs=0.05)
+
+
+class TestMatrices:
+    def test_covariance_matrix(self):
+        forms = [
+            CanonicalForm(0.0, {0: 1.0}, 1.0),
+            CanonicalForm(0.0, {0: 2.0}, 0.0),
+        ]
+        cov = covariance_matrix(forms)
+        np.testing.assert_allclose(cov, [[2.0, 2.0], [2.0, 4.0]])
+
+    def test_loading_matrix_explicit_width(self):
+        forms = [CanonicalForm(0.0, {1: 3.0})]
+        mat = loading_matrix(forms, n_factors=4)
+        assert mat.shape == (1, 4)
+        assert mat[0, 1] == 3.0
+
+    def test_loading_matrix_width_too_small(self):
+        forms = [CanonicalForm(0.0, {5: 1.0})]
+        with pytest.raises(ValueError):
+            loading_matrix(forms, n_factors=2)
+
+    def test_covariance_matches_pairwise(self, rng):
+        forms = [
+            CanonicalForm(0.0, {int(i): float(rng.uniform(-1, 1))
+                                for i in rng.integers(0, 6, size=3)},
+                          float(rng.uniform(0, 1)))
+            for _ in range(4)
+        ]
+        cov = covariance_matrix(forms)
+        for i in range(4):
+            for j in range(4):
+                if i == j:
+                    assert cov[i, i] == pytest.approx(forms[i].variance)
+                else:
+                    assert cov[i, j] == pytest.approx(
+                        forms[i].covariance(forms[j])
+                    )

@@ -1,0 +1,128 @@
+"""Tests for the joint Gaussian path-delay model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.variation.canonical import CanonicalForm
+from repro.variation.correlation import PathDelayModel
+
+
+def demo_model() -> PathDelayModel:
+    means = np.array([10.0, 12.0, 8.0])
+    loadings = np.array([[1.0, 0.0], [0.8, 0.6], [0.0, 1.0]])
+    independent = np.array([0.1, 0.2, 0.3])
+    return PathDelayModel(means, loadings, independent)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PathDelayModel(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            PathDelayModel(np.zeros(2), np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            PathDelayModel(np.zeros(2), np.zeros((2, 2)), np.zeros(3))
+
+    def test_negative_independent_rejected(self):
+        with pytest.raises(ValueError):
+            PathDelayModel(np.zeros(1), np.zeros((1, 1)), np.array([-1.0]))
+
+    def test_from_canonical_forms(self):
+        forms = [CanonicalForm(3.0, {0: 1.0}, 0.5), CanonicalForm(4.0, {1: 2.0})]
+        model = PathDelayModel.from_canonical_forms(forms)
+        assert model.n_paths == 2
+        assert model.means.tolist() == [3.0, 4.0]
+        assert model.independent.tolist() == [0.5, 0.0]
+
+
+class TestStatistics:
+    def test_covariance_structure(self):
+        model = demo_model()
+        cov = model.covariance()
+        assert cov[0, 0] == pytest.approx(1.0 + 0.01)
+        assert cov[0, 1] == pytest.approx(0.8)
+        assert cov[0, 2] == pytest.approx(0.0)
+
+    def test_covariance_is_psd(self):
+        eigvals = np.linalg.eigvalsh(demo_model().covariance())
+        assert eigvals.min() >= -1e-10
+
+    def test_correlation_diagonal_one(self):
+        corr = demo_model().correlation()
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_variances_match_covariance_diag(self):
+        model = demo_model()
+        np.testing.assert_allclose(
+            model.variances(), np.diag(model.covariance())
+        )
+
+    def test_subset(self):
+        model = demo_model().subset([2, 0])
+        assert model.means.tolist() == [8.0, 10.0]
+        assert model.n_factors == 2
+
+
+class TestInflation:
+    def test_total_sigma_scaled(self):
+        model = demo_model()
+        inflated = model.inflate_randomness(1.1)
+        np.testing.assert_allclose(inflated.stds(), 1.1 * model.stds())
+
+    def test_cross_covariances_unchanged(self):
+        model = demo_model()
+        inflated = model.inflate_randomness(1.1)
+        base = model.covariance()
+        new = inflated.covariance()
+        off_diag = ~np.eye(3, dtype=bool)
+        np.testing.assert_allclose(new[off_diag], base[off_diag])
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            demo_model().inflate_randomness(0.9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(factor=st.floats(1.0, 2.0))
+    def test_correlations_weakly_decrease(self, factor):
+        """Property: pure-random inflation can only lower correlations."""
+        model = demo_model()
+        base = model.correlation()
+        new = model.inflate_randomness(factor).correlation()
+        off = ~np.eye(3, dtype=bool)
+        assert np.all(np.abs(new[off]) <= np.abs(base[off]) + 1e-12)
+
+
+class TestSampling:
+    def test_shapes(self):
+        out = demo_model().sample(50, seed=1)
+        assert out.shape == (50, 3)
+
+    def test_deterministic_given_seed(self):
+        a = demo_model().sample(10, seed=3)
+        b = demo_model().sample(10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_moments_match(self):
+        model = demo_model()
+        samples = model.sample(60000, seed=5)
+        np.testing.assert_allclose(samples.mean(axis=0), model.means, atol=0.05)
+        np.testing.assert_allclose(
+            np.cov(samples.T), model.covariance(), atol=0.05
+        )
+
+    def test_sample_with_factors_validates(self):
+        model = demo_model()
+        with pytest.raises(ValueError):
+            model.sample_with_factors(np.zeros((5, 3)), np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            model.sample_with_factors(np.zeros((5, 2)), np.zeros((4, 3)))
+
+    def test_shared_factors_reproduce(self):
+        model = demo_model()
+        z = np.zeros((1, 2))
+        e = np.zeros((1, 3))
+        np.testing.assert_allclose(
+            model.sample_with_factors(z, e)[0], model.means
+        )

@@ -1,0 +1,52 @@
+"""Tests for process parameter definitions."""
+
+import pytest
+
+from repro.variation.parameters import (
+    PAPER_PARAMETERS,
+    ProcessParameter,
+    ProcessSpace,
+)
+
+
+class TestProcessParameter:
+    def test_paper_sigmas(self):
+        by_name = {p.name: p for p in PAPER_PARAMETERS}
+        assert by_name["transistor_length"].sigma_fraction == 0.157
+        assert by_name["oxide_thickness"].sigma_fraction == 0.053
+        assert by_name["threshold_voltage"].sigma_fraction == 0.044
+
+    def test_nonpositive_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParameter("bad", 0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_PARAMETERS[0].sigma_fraction = 0.5  # type: ignore[misc]
+
+
+class TestProcessSpace:
+    def test_default_is_paper_set(self):
+        assert ProcessSpace().parameters == PAPER_PARAMETERS
+
+    def test_len_and_iter(self):
+        space = ProcessSpace()
+        assert len(space) == 3
+        assert [p.name for p in space] == [p.name for p in PAPER_PARAMETERS]
+
+    def test_index_of(self):
+        space = ProcessSpace()
+        assert space.index_of("oxide_thickness") == 1
+
+    def test_index_of_unknown(self):
+        with pytest.raises(KeyError):
+            ProcessSpace().index_of("nope")
+
+    def test_duplicates_rejected(self):
+        p = ProcessParameter("x", 0.1)
+        with pytest.raises(ValueError):
+            ProcessSpace((p, p))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessSpace(())

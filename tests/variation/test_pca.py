@@ -1,0 +1,90 @@
+"""Tests for PCA and representative-path selection."""
+
+import numpy as np
+import pytest
+
+from repro.variation.pca import pca, select_representatives
+
+
+def cluster_covariance(n: int, rho: float) -> np.ndarray:
+    return rho * np.ones((n, n)) + (1 - rho) * np.eye(n)
+
+
+class TestPCA:
+    def test_eigen_reconstruction(self, rng):
+        a = rng.normal(size=(4, 4))
+        cov = a @ a.T
+        result = pca(cov)
+        recon = (
+            result.eigenvectors
+            @ np.diag(result.eigenvalues)
+            @ result.eigenvectors.T
+        )
+        np.testing.assert_allclose(recon, cov, atol=1e-8)
+
+    def test_sorted_descending(self, rng):
+        a = rng.normal(size=(5, 5))
+        result = pca(a @ a.T)
+        diffs = np.diff(result.eigenvalues)
+        assert np.all(diffs <= 1e-10)
+
+    def test_tight_cluster_one_significant(self):
+        result = pca(cluster_covariance(20, 0.95), variance_fraction=0.9)
+        assert result.n_significant == 1
+
+    def test_identity_needs_many(self):
+        result = pca(np.eye(10), variance_fraction=0.95)
+        assert result.n_significant == 10
+
+    def test_explained_fraction_monotone(self):
+        result = pca(cluster_covariance(5, 0.6))
+        fracs = [result.explained_fraction(k) for k in range(1, 6)]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_loadings_square_sum(self):
+        cov = cluster_covariance(4, 0.5)
+        result = pca(cov)
+        np.testing.assert_allclose(
+            np.sum(result.loadings**2, axis=1), np.diag(cov), atol=1e-8
+        )
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            pca(np.array([[1.0, 0.2], [0.3, 1.0]]))
+
+    def test_zero_matrix(self):
+        result = pca(np.zeros((3, 3)))
+        assert result.n_significant == 0
+
+
+class TestSelectRepresentatives:
+    def test_count_default_significant(self):
+        result = pca(cluster_covariance(10, 0.9), variance_fraction=0.5)
+        chosen = select_representatives(result)
+        assert len(chosen) == result.n_significant
+
+    def test_distinct(self):
+        result = pca(cluster_covariance(6, 0.3))
+        chosen = select_representatives(result, count=4)
+        assert len(set(chosen)) == 4
+
+    def test_block_structure_picks_one_per_block(self):
+        # Two independent tight clusters: selection must hit both.
+        cov = np.zeros((8, 8))
+        cov[:4, :4] = cluster_covariance(4, 0.95)
+        cov[4:, 4:] = cluster_covariance(4, 0.95) * 2.0
+        result = pca(cov)
+        chosen = select_representatives(result, count=2)
+        assert any(c < 4 for c in chosen) and any(c >= 4 for c in chosen)
+
+    def test_count_capped_at_size(self):
+        result = pca(np.eye(3))
+        chosen = select_representatives(result, count=10)
+        assert len(chosen) == 3
+
+    def test_strongest_variable_chosen_first(self):
+        cov = np.diag([1.0, 5.0, 2.0])
+        result = pca(cov)
+        chosen = select_representatives(result, count=1)
+        assert chosen == [1]

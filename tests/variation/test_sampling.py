@@ -1,0 +1,82 @@
+"""Tests for Monte-Carlo chip sampling (shared process factors)."""
+
+import numpy as np
+import pytest
+
+from repro.variation.correlation import PathDelayModel
+from repro.variation.sampling import (
+    ChipPopulation,
+    sample_correlated,
+    sample_population,
+)
+
+
+def make_model(loading_col: float) -> PathDelayModel:
+    return PathDelayModel(
+        means=np.array([5.0, 6.0]),
+        loadings=np.array([[loading_col, 0.0], [loading_col, 0.0]]),
+        independent=np.array([0.01, 0.01]),
+    )
+
+
+class TestSampleCorrelated:
+    def test_shared_factors_correlate_models(self):
+        a = make_model(1.0)
+        b = make_model(1.0)
+        out_a, out_b = sample_correlated([a, b], 4000, seed=1)
+        rho = np.corrcoef(out_a[:, 0], out_b[:, 0])[0, 1]
+        assert rho > 0.99
+
+    def test_mismatched_factor_spaces_rejected(self):
+        a = make_model(1.0)
+        b = PathDelayModel(np.zeros(1), np.zeros((1, 3)), np.zeros(1))
+        with pytest.raises(ValueError):
+            sample_correlated([a, b], 10, seed=0)
+
+    def test_empty_models_list(self):
+        assert sample_correlated([], 5, seed=0) == []
+
+    def test_nonpositive_chips_rejected(self):
+        with pytest.raises(ValueError):
+            sample_correlated([make_model(1.0)], 0, seed=0)
+
+    def test_deterministic(self):
+        a1 = sample_correlated([make_model(1.0)], 8, seed=42)[0]
+        a2 = sample_correlated([make_model(1.0)], 8, seed=42)[0]
+        np.testing.assert_array_equal(a1, a2)
+
+
+class TestSamplePopulation:
+    def test_shapes(self):
+        pop = sample_population(make_model(1.0), 16, make_model(0.5), seed=2)
+        assert pop.max_delays.shape == (16, 2)
+        assert pop.min_delays.shape == (16, 2)
+
+    def test_without_min_model(self):
+        pop = sample_population(make_model(1.0), 8, seed=2)
+        assert pop.min_delays is None
+
+    def test_long_short_share_process(self):
+        pop = sample_population(make_model(1.0), 4000, make_model(1.0), seed=3)
+        rho = np.corrcoef(pop.max_delays[:, 0], pop.min_delays[:, 0])[0, 1]
+        assert rho > 0.99
+
+
+class TestChipPopulation:
+    def test_accessors(self):
+        pop = ChipPopulation(np.arange(6.0).reshape(3, 2))
+        assert pop.n_chips == 3
+        assert pop.n_paths == 2
+        np.testing.assert_array_equal(pop.chip(1), [2.0, 3.0])
+
+    def test_subset(self):
+        pop = ChipPopulation(np.arange(6.0).reshape(3, 2))
+        sub = pop.subset([0, 2])
+        assert sub.n_chips == 2
+        np.testing.assert_array_equal(sub.max_delays[1], [4.0, 5.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ChipPopulation(np.zeros(3))
+        with pytest.raises(ValueError):
+            ChipPopulation(np.zeros((3, 2)), np.zeros((4, 2)))

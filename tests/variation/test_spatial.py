@@ -1,0 +1,108 @@
+"""Tests for the multi-level grid spatial correlation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.variation.spatial import SpatialModel
+
+unit = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestShares:
+    def test_default_matches_paper(self):
+        m = SpatialModel()
+        assert m.global_share == 0.25
+
+    def test_shares_sum_to_one(self):
+        m = SpatialModel()
+        total = m.global_share + m.levels * m.level_share + m.independent_share
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_shares_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialModel(global_share=0.9, independent_share=0.2)
+
+    def test_levels_bounds(self):
+        with pytest.raises(ValueError):
+            SpatialModel(levels=0)
+
+
+class TestFactorBookkeeping:
+    def test_factors_per_parameter(self):
+        m = SpatialModel(levels=2)
+        assert m.factors_per_parameter == 1 + 4 + 16
+
+    def test_n_factors_counts_parameters(self):
+        m = SpatialModel(levels=2)
+        assert m.n_factors == 3 * (1 + 4 + 16)
+
+    def test_cell_index_corners(self):
+        m = SpatialModel()
+        assert m.cell_index(1, 0.0, 0.0) == 0
+        assert m.cell_index(1, 0.99, 0.0) == 1
+        assert m.cell_index(1, 0.0, 0.99) == 2
+        assert m.cell_index(1, 0.99, 0.99) == 3
+
+    def test_cell_index_clamps_at_one(self):
+        m = SpatialModel()
+        assert m.cell_index(2, 1.0, 1.0) == 15
+
+
+class TestFactorProfile:
+    def test_profile_norm_is_one(self):
+        m = SpatialModel()
+        idx, coeffs, indep = m.factor_profile(0.3, 0.7)
+        assert np.sum(coeffs**2) + indep**2 == pytest.approx(1.0)
+
+    def test_profile_indices_unique(self):
+        m = SpatialModel()
+        idx, _, _ = m.factor_profile(0.5, 0.5)
+        assert len(set(idx.tolist())) == len(idx)
+
+    def test_profile_rejects_outside_die(self):
+        with pytest.raises(ValueError):
+            SpatialModel().factor_profile(1.2, 0.5)
+
+    def test_same_location_same_profile(self):
+        m = SpatialModel()
+        a = m.factor_profile(0.4, 0.4)
+        b = m.factor_profile(0.4, 0.4)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestCorrelation:
+    def test_colocated_is_one_minus_independent(self):
+        m = SpatialModel(independent_share=0.0)
+        assert m.correlation(0.3, 0.3, 0.3, 0.3) == pytest.approx(1.0)
+
+    def test_far_apart_is_global(self):
+        m = SpatialModel()
+        assert m.correlation(0.01, 0.01, 0.99, 0.99) == pytest.approx(0.25)
+
+    def test_side_by_side_near_one(self):
+        m = SpatialModel(independent_share=0.0)
+        rho = m.correlation(0.30, 0.30, 0.301, 0.301)
+        assert rho == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ax=unit, ay=unit, bx=unit, by=unit)
+    def test_correlation_bounds(self, ax, ay, bx, by):
+        """Property: correlation lies in [global_share, 1]."""
+        m = SpatialModel()
+        rho = m.correlation(ax, ay, bx, by)
+        assert m.global_share - 1e-12 <= rho <= 1.0 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(ax=unit, ay=unit, bx=unit, by=unit)
+    def test_correlation_matches_profile_dot(self, ax, ay, bx, by):
+        """Property: correlation equals the factor-profile inner product."""
+        m = SpatialModel()
+        ia, ca, _ = m.factor_profile(ax, ay)
+        ib, cb, _ = m.factor_profile(bx, by)
+        dot = 0.0
+        lookup = dict(zip(ia.tolist(), ca.tolist()))
+        for idx, coeff in zip(ib.tolist(), cb.tolist()):
+            dot += lookup.get(idx, 0.0) * coeff
+        assert dot == pytest.approx(m.correlation(ax, ay, bx, by), abs=1e-12)

@@ -1,0 +1,93 @@
+"""Tests for block-based SSTA on combinational DAGs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.variation.canonical import CanonicalForm
+from repro.variation.ssta import statistical_max, topological_arrival_times
+
+
+def chain_graph():
+    g = nx.DiGraph()
+    g.add_edges_from([("a", "b"), ("b", "c")])
+    return g
+
+
+class TestArrivalTimes:
+    def test_chain_sums_delays(self):
+        delays = {
+            "b": CanonicalForm(2.0),
+            "c": CanonicalForm(3.0),
+        }
+        arrivals = topological_arrival_times(chain_graph(), delays, ["a"])
+        assert arrivals["c"].mean == pytest.approx(5.0)
+
+    def test_diamond_takes_max(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("s", "fast"), ("s", "slow"), ("fast", "t"), ("slow", "t")])
+        delays = {
+            "fast": CanonicalForm(1.0),
+            "slow": CanonicalForm(10.0),
+            "t": CanonicalForm(1.0),
+        }
+        arrivals = topological_arrival_times(g, delays, ["s"])
+        # max(1, 10) through the branches plus t's own delay of 1.
+        assert arrivals["t"].mean == pytest.approx(11.0, abs=1e-6)
+
+    def test_source_arrival_offsets(self):
+        delays = {"b": CanonicalForm(1.0), "c": CanonicalForm(1.0)}
+        arrivals = topological_arrival_times(
+            chain_graph(), delays, ["a"], {"a": CanonicalForm(5.0)}
+        )
+        assert arrivals["c"].mean == pytest.approx(7.0)
+
+    def test_unreachable_nodes_absent(self):
+        g = chain_graph()
+        g.add_node("island")
+        arrivals = topological_arrival_times(g, {}, ["a"])
+        assert "island" not in arrivals
+
+    def test_cyclic_rejected(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            topological_arrival_times(g, {}, ["a"])
+
+    def test_correlated_branches_keep_variance(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        shared = {0: 2.0}
+        delays = {
+            "x": CanonicalForm(5.0, dict(shared)),
+            "y": CanonicalForm(5.0, dict(shared)),
+            "t": CanonicalForm(0.0),
+        }
+        arrivals = topological_arrival_times(g, delays, ["s"])
+        # Perfectly correlated equal branches: max == either branch.
+        assert arrivals["t"].std == pytest.approx(2.0, abs=1e-6)
+
+
+class TestStatisticalMax:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            statistical_max([])
+
+    def test_single(self):
+        f = CanonicalForm(4.0)
+        assert statistical_max([f]) is f
+
+    def test_dominant(self):
+        forms = [CanonicalForm(float(i), {i: 0.5}) for i in range(5)]
+        forms.append(CanonicalForm(100.0, {9: 0.5}))
+        m = statistical_max(forms)
+        assert m.mean == pytest.approx(100.0, abs=0.01)
+
+    def test_matches_monte_carlo(self):
+        forms = [CanonicalForm(10.0, {i: 1.0}) for i in range(4)]
+        m = statistical_max(forms)
+        rng = np.random.default_rng(0)
+        samples = 10.0 + rng.standard_normal((50000, 4))
+        empirical = samples.max(axis=1)
+        assert m.mean == pytest.approx(empirical.mean(), abs=0.05)
+        assert m.std == pytest.approx(empirical.std(), abs=0.08)

@@ -16,8 +16,10 @@ from repro.core.alignment import (
     solve_alignment,
     solve_alignment_milp,
 )
-from repro.core.framework import EffiTest, EffiTestConfig
-from repro.experiments.context import DEFAULT_CONFIG, build_context
+from dataclasses import replace
+
+from repro.api import OnlineConfig
+from repro.experiments.context import DEFAULT_OFFLINE, build_context
 
 
 def random_batch(rng, m=6, n_buffers=3):
@@ -97,16 +99,15 @@ def test_alignment_milp_speed_and_gap(benchmark, formulation):
 
 
 @pytest.mark.parametrize("align", [True, False], ids=["aligned", "unaligned"])
-def test_flow_alignment_ablation(benchmark, align):
-    context = build_context("s13207", n_chips=60, seed=20160605)
-    cfg = EffiTestConfig(
-        relative_threshold=DEFAULT_CONFIG.relative_threshold, align=align
+def test_flow_alignment_ablation(benchmark, bench_engine, align):
+    # Alignment is an online knob: both parametrizations share one
+    # preparation through the session engine's cache.
+    context = build_context(
+        "s13207", n_chips=60, seed=20160605, engine=bench_engine
     )
-    framework = EffiTest(context.circuit, cfg)
-    prep = framework.prepare(context.t1)
 
     run = benchmark.pedantic(
-        lambda: framework.run(context.population, context.t1, prep),
+        lambda: context.run(context.t1, online=OnlineConfig(align=align)),
         rounds=1, iterations=1,
     )
     benchmark.extra_info.update({
@@ -117,20 +118,18 @@ def test_flow_alignment_ablation(benchmark, align):
 
 
 @pytest.mark.parametrize("affinity", [False, True], ids=["first-fit", "affinity"])
-def test_flow_batching_ablation(benchmark, affinity):
-    context = build_context("s13207", n_chips=60, seed=20160605)
-    cfg = EffiTestConfig(
-        relative_threshold=DEFAULT_CONFIG.relative_threshold,
-        batch_affinity=affinity,
+def test_flow_batching_ablation(benchmark, bench_engine, affinity):
+    context = build_context(
+        "s13207", n_chips=60, seed=20160605,
+        offline=replace(DEFAULT_OFFLINE, batch_affinity=affinity),
+        engine=bench_engine,
     )
-    framework = EffiTest(context.circuit, cfg)
-    prep = framework.prepare(context.t1)
     run = benchmark.pedantic(
-        lambda: framework.run(context.population, context.t1, prep),
+        lambda: context.run(context.t1),
         rounds=1, iterations=1,
     )
     benchmark.extra_info.update({
         "affinity": affinity,
-        "n_batches": prep.plan.n_batches,
+        "n_batches": context.preparation.plan.n_batches,
         "ta": round(run.mean_iterations, 2),
     })

@@ -8,7 +8,6 @@
    for the statistical prediction input.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.configuration import configure_chip_milp, configure_chips
@@ -17,11 +16,11 @@ from repro.experiments.context import build_context
 
 
 @pytest.fixture(scope="module")
-def setup():
-    context = build_context("s9234", n_chips=120, seed=20160605)
-    run = context.framework.run(
-        context.population, context.t1, context.preparation
+def setup(bench_engine):
+    context = build_context(
+        "s9234", n_chips=120, seed=20160605, engine=bench_engine
     )
+    run = context.run(context.t1)
     return context, run
 
 

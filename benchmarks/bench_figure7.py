@@ -12,9 +12,11 @@ from repro.experiments.figure7 import run_circuit
 
 
 @pytest.mark.parametrize("name", BENCH_CIRCUITS)
-def test_figure7_inflated_randomness(benchmark, name):
+def test_figure7_inflated_randomness(benchmark, bench_engine, name):
     row = benchmark.pedantic(
-        lambda: run_circuit(name, n_chips=BENCH_CHIPS, seed=20160605),
+        lambda: run_circuit(
+            name, n_chips=BENCH_CHIPS, seed=20160605, engine=bench_engine
+        ),
         rounds=1,
         iterations=1,
     )

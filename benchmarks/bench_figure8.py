@@ -12,9 +12,11 @@ FIG8_CHIPS = 25
 
 
 @pytest.mark.parametrize("name", FIG8_CIRCUITS)
-def test_figure8_modes(benchmark, name):
+def test_figure8_modes(benchmark, bench_engine, name):
     row = benchmark.pedantic(
-        lambda: run_circuit(name, n_chips=FIG8_CHIPS, seed=20160605),
+        lambda: run_circuit(
+            name, n_chips=FIG8_CHIPS, seed=20160605, engine=bench_engine
+        ),
         rounds=1,
         iterations=1,
     )

@@ -17,9 +17,7 @@ def test_table1_effitest(benchmark, contexts, name):
     context = contexts[name]
 
     def flow():
-        return context.framework.run(
-            context.population, context.t1, context.preparation
-        )
+        return context.run(context.t1)
 
     result = benchmark.pedantic(flow, rounds=1, iterations=1)
     row = run_circuit(context)
@@ -44,7 +42,7 @@ def test_table1_pathwise_baseline(benchmark, contexts, name):
     context = contexts[name]
 
     def baseline():
-        return context.framework.pathwise_baseline(context.population)
+        return context.pathwise_baseline()
 
     result = benchmark.pedantic(baseline, rounds=1, iterations=1)
     paper = PAPER_BY_NAME[name]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import Engine
 from repro.experiments.context import build_context
 
 #: Circuits exercised by the benchmark harness (small/medium/large).
@@ -22,9 +23,18 @@ BENCH_CHIPS = 100
 
 
 @pytest.fixture(scope="session")
-def contexts():
-    """One prepared context per benchmark circuit."""
+def bench_engine():
+    """One staged-pipeline engine for the whole benchmark session, so every
+    module sees the same preparation cache."""
+    return Engine()
+
+
+@pytest.fixture(scope="session")
+def contexts(bench_engine):
+    """One prepared context per benchmark circuit, sharing the engine."""
     return {
-        name: build_context(name, n_chips=BENCH_CHIPS, seed=20160605)
+        name: build_context(
+            name, n_chips=BENCH_CHIPS, seed=20160605, engine=bench_engine
+        )
         for name in BENCH_CIRCUITS
     }

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import EffiTest, ideal_yield, no_buffer_yield, operating_periods, \
+from repro import Engine, ideal_yield, no_buffer_yield, operating_periods, \
     sample_circuit
 from repro.circuit import Netlist, read_bench, save_bench
 from repro.circuit.from_netlist import circuit_from_netlist
@@ -93,12 +93,12 @@ def main() -> None:
 
     calibration = sample_circuit(circuit, 3000, seed=2)
     t1, _ = operating_periods(calibration)
-    framework = EffiTest(circuit)
-    prep = framework.prepare(clock_period=t1)
+    engine = Engine()
+    prep = engine.prepare(circuit, clock_period=t1)
 
     chips = sample_circuit(circuit, 500, seed=3)
-    run = framework.run(chips, t1, prep)
-    baseline = framework.pathwise_baseline(chips)
+    run = engine.run(circuit, chips, t1, preparation=prep)
+    baseline = engine.pathwise_baseline(circuit, chips)
 
     print(f"\nat T1 = {t1:.0f} ps:")
     print(f"  iterations/chip: {run.mean_iterations:.1f} EffiTest vs "

@@ -16,16 +16,15 @@ import sys
 
 import numpy as np
 
-from repro import EffiTest, sample_circuit
+from repro import sample_circuit
 from repro.experiments import build_context
 from repro.utils.tables import Table
 
 
-def evaluate(circuit, config, t1, n_chips, seed):
-    framework = EffiTest(circuit, config)
-    prep = framework.prepare(clock_period=t1)
+def evaluate(circuit, engine, t1, n_chips, seed):
+    prep = engine.prepare(circuit, clock_period=t1)
     pop = sample_circuit(circuit, n_chips, seed=seed)
-    run = framework.run(pop, t1, prep)
+    run = engine.run(circuit, pop, t1, preparation=prep)
 
     predictor = prep.predictor
     predicted_idx = predictor.predicted_idx
@@ -66,7 +65,7 @@ def main(name: str, n_chips: int) -> None:
             else context.circuit.with_inflated_randomness(factor)
         )
         stats = evaluate(
-            circuit, context.framework.config, context.t1, n_chips, seed=11
+            circuit, context.engine, context.t1, n_chips, seed=11
         )
         table.add_row([
             label,

@@ -15,7 +15,7 @@ Run:  python examples/quickstart.py
 
 from repro import (
     CircuitSpec,
-    EffiTest,
+    Engine,
     generate_circuit,
     ideal_yield,
     no_buffer_yield,
@@ -52,8 +52,8 @@ def full_flow() -> None:
     print(f"operating points: T1 = {t1:.1f} ps (no-buffer yield 50%), "
           f"T2 = {t2:.1f} ps (84.13%)")
 
-    framework = EffiTest(circuit)
-    prep = framework.prepare(clock_period=t1)
+    engine = Engine()
+    prep = engine.prepare(circuit, clock_period=t1)
     print(f"offline preparation: {len(prep.plan.selected)} paths selected by "
           f"PCA, {len(prep.plan.fills)} idle-slot fills, "
           f"{prep.plan.n_batches} test batches, "
@@ -61,8 +61,8 @@ def full_flow() -> None:
           f"(test resolution eps = {prep.epsilon:.2f} ps)")
 
     chips = sample_circuit(circuit, 1000, seed=3)
-    run = framework.run(chips, t1, prep)
-    baseline = framework.pathwise_baseline(chips)
+    run = engine.run(circuit, chips, t1, preparation=prep)
+    baseline = engine.pathwise_baseline(circuit, chips)
 
     ta, ta_prime = run.mean_iterations, baseline.total_iterations
     print(f"\ntester iterations per chip: EffiTest {ta:.1f} vs "

@@ -11,30 +11,31 @@ Run:  python examples/test_cost_study.py [circuit] [n_chips]
 import sys
 from dataclasses import replace
 
-from repro import EffiTest, EffiTestConfig
-from repro.experiments import build_context
-from repro.experiments.context import DEFAULT_CONFIG
+from repro.experiments import DEFAULT_OFFLINE, build_context
 from repro.tester import ScanCostModel
 from repro.utils.tables import Table
 
 
 def study(name: str, n_chips: int) -> None:
     print(f"== {name}: tester cost per chip ({n_chips} chips) ==\n")
-    all_paths_cfg = replace(DEFAULT_CONFIG, test_all_paths=True)
-    context = build_context(name, n_chips=n_chips, config=all_paths_cfg)
+    all_paths = replace(DEFAULT_OFFLINE, test_all_paths=True)
+    context = build_context(name, n_chips=n_chips, offline=all_paths)
     circuit, pop = context.circuit, context.population
     n_paths = circuit.paths.n_paths
 
     # -- Fig. 8 modes: no statistical prediction ---------------------------
-    pathwise = context.framework.pathwise_baseline(pop)
-    aligned_all = context.framework.run(pop, context.t1, context.preparation)
-    mux_framework = EffiTest(circuit, replace(all_paths_cfg, align=False))
-    mux_all = mux_framework.run(pop, context.t1, context.preparation)
+    pathwise = context.pathwise_baseline(pop)
+    aligned_all = context.run(context.t1, pop)
+    # alignment is an online knob — same preparation, different test stage
+    mux_all = context.run(
+        context.t1, pop, online=replace(context.online, align=False)
+    )
 
     # -- full EffiTest: prediction + multiplexing + alignment --------------
-    effitest = EffiTest(circuit, DEFAULT_CONFIG)
-    prep = effitest.prepare(clock_period=context.t1)
-    full = effitest.run(pop, context.t1, prep)
+    prep = context.engine.prepare(circuit, context.t1, DEFAULT_OFFLINE)
+    full = context.engine.run(
+        circuit, pop, context.t1, preparation=prep
+    )
 
     # ATE time: scan chain ~ one bit per flip-flop; EffiTest scans buffer
     # configuration bits along with each vector (5 bits per buffer setting).

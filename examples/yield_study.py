@@ -15,9 +15,8 @@ Run:  python examples/yield_study.py [circuit] [n_chips]
 
 import sys
 
-import numpy as np
 
-from repro import EffiTest, ideal_yield, no_buffer_yield, sample_circuit
+from repro import ideal_yield, no_buffer_yield, sample_circuit
 from repro.experiments import build_context
 from repro.utils.tables import Table
 
@@ -32,7 +31,7 @@ def yield_curves(name: str, n_chips: int) -> None:
                    "EffiTest %", "drop y_r %"])
     for factor in (0.97, 1.00, 1.03, 1.06, 1.10):
         period = context.t1 * factor
-        run = context.framework.run(pop, period, prep)
+        run = context.run(period, pop)
         yi = ideal_yield(circuit, pop, prep.structure, period)
         table.add_row([
             f"{factor:.2f}",
@@ -45,10 +44,11 @@ def yield_curves(name: str, n_chips: int) -> None:
 
     print("\n== same circuit, randomness inflated by 10% (Fig. 7 case) ==")
     inflated = circuit.with_inflated_randomness(1.1)
-    framework = EffiTest(inflated, context.framework.config)
-    prep_inflated = framework.prepare(clock_period=context.t1)
+    prep_inflated = context.engine.prepare(inflated, context.t1)
     pop_inflated = sample_circuit(inflated, n_chips, seed=77)
-    run = framework.run(pop_inflated, context.t1, prep_inflated)
+    run = context.engine.run(
+        inflated, pop_inflated, context.t1, preparation=prep_inflated
+    )
     yi = ideal_yield(inflated, pop_inflated, prep_inflated.structure, context.t1)
     rows = [
         ("no buffers", no_buffer_yield(pop_inflated, context.t1)),

@@ -2,29 +2,48 @@
 configuring post-silicon tunable buffers.
 
 Full reproduction of G. L. Zhang, B. Li, U. Schlichtmann, DAC 2016
-(DOI 10.1145/2897937.2898017).
+(DOI 10.1145/2897937.2898017), built around a staged pipeline API.
 
-Quickstart::
+Quickstart — the staged engine (see ``docs/api.md``)::
 
     from repro import (
-        CircuitSpec, generate_circuit, EffiTest,
+        CircuitSpec, Engine, Scenario, generate_circuit,
         sample_circuit, operating_periods,
     )
 
     circuit = generate_circuit(CircuitSpec("demo", 211, 5597, 2, 80), seed=1)
     chips = sample_circuit(circuit, 1000, seed=2)
     t1, t2 = operating_periods(chips)
+
+    engine = Engine()
+    result = engine.run(circuit, chips, period=t1)       # offline stage cached
+    print(result.mean_iterations, result.yield_fraction)
+
+    # Batch serving: scenarios sharing a circuit + offline knobs reuse the
+    # cached preparation; the offline stage runs once for all three.
+    records = engine.run_many([
+        Scenario(circuit, period=t1, n_chips=500, seed=3, clock_period=t1),
+        Scenario(circuit, period=t2, n_chips=500, seed=4, clock_period=t1),
+        Scenario(circuit, period=1.05 * t1, n_chips=500, seed=5, clock_period=t1),
+    ])
+
+The legacy facade still works (one engine per instance)::
+
+    from repro import EffiTest
     framework = EffiTest(circuit)
     prep = framework.prepare(clock_period=t1)
     result = framework.run(chips, t1, prep)
-    print(result.mean_iterations, result.yield_fraction)
 
 Subpackages
 -----------
+``repro.api``
+    The staged pipeline: ``OfflineStage -> TestStage -> PredictStage ->
+    ConfigureStage -> VerifyStage``, the offline/online config split, the
+    content-addressed preparation cache and the batch-serving ``Engine``.
 ``repro.core``
     The paper's contribution: statistical prediction, grouping/selection,
     test multiplexing, aligned delay test, buffer configuration, hold
-    bounds, yields, end-to-end framework.
+    bounds, yields, and the legacy ``EffiTest`` facade.
 ``repro.circuit``
     Circuit substrate: cell library, netlists/.bench, placement, FF-to-FF
     paths, tunable buffers, calibrated synthetic benchmark generator.
@@ -38,7 +57,8 @@ Subpackages
     Optimization substrate: LP/MILP modelling + solvers, difference
     constraints (Bellman–Ford), maximum mean cycle, weighted medians.
 ``repro.experiments``
-    Reproduction harness for Table 1, Table 2, Figure 7 and Figure 8.
+    Reproduction harness for Table 1, Table 2, Figure 7 and Figure 8,
+    driven through ``repro.api``.
 """
 
 from repro.circuit import (
@@ -63,9 +83,17 @@ from repro.core import (
     operating_periods,
     sample_circuit,
 )
+from repro.api import (
+    Engine,
+    OfflineConfig,
+    OnlineConfig,
+    PreparationCache,
+    RunRecord,
+    Scenario,
+)
 from repro.variation import PathDelayModel, SpatialModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BufferPlan",
@@ -73,12 +101,18 @@ __all__ = [
     "CircuitSpec",
     "EffiTest",
     "EffiTestConfig",
+    "Engine",
     "Library",
     "Netlist",
+    "OfflineConfig",
+    "OnlineConfig",
     "PathDelayModel",
     "PathSet",
     "PopulationRunResult",
     "Preparation",
+    "PreparationCache",
+    "RunRecord",
+    "Scenario",
     "SpatialModel",
     "TunableBuffer",
     "default_library",

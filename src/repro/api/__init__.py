@@ -1,0 +1,67 @@
+"""Staged pipeline API — the production surface of the reproduction.
+
+The paper's flow splits into an expensive offline stage and cheap online
+stages; this package makes that split first-class:
+
+* :class:`~repro.api.config.OfflineConfig` / :class:`~repro.api.config.OnlineConfig`
+  — the configuration split along the cache seam,
+* :mod:`repro.api.stages` — explicit stage objects with typed artifacts
+  (``OfflineStage -> TestStage -> PredictStage -> ConfigureStage ->
+  VerifyStage``),
+* :class:`~repro.api.cache.PreparationCache` — content-addressed sharing of
+  offline work across runs,
+* :class:`~repro.api.engine.Engine` — wires it all, with
+  :meth:`~repro.api.engine.Engine.run_many` batch serving over
+  :class:`~repro.api.engine.Scenario` specs.
+
+See ``docs/api.md`` for the stage graph and the migration path from the
+legacy ``EffiTest`` facade.
+"""
+
+from repro.api.cache import (
+    CacheStats,
+    PreparationCache,
+    PreparationKey,
+    fingerprint_circuit,
+)
+from repro.api.config import OfflineConfig, OnlineConfig
+from repro.api.engine import Engine, RunRecord, Scenario, records_table
+from repro.api.stages import (
+    AlignedTestStage,
+    BoundsArtifact,
+    ConfigArtifact,
+    ConfigureStage,
+    OfflineRequest,
+    OfflineStage,
+    PathwiseTestStage,
+    PredictStage,
+    TestArtifact,
+    TestStage,
+    VerifyArtifact,
+    VerifyStage,
+)
+
+__all__ = [
+    "AlignedTestStage",
+    "BoundsArtifact",
+    "CacheStats",
+    "ConfigArtifact",
+    "ConfigureStage",
+    "Engine",
+    "OfflineConfig",
+    "OfflineRequest",
+    "OfflineStage",
+    "OnlineConfig",
+    "PathwiseTestStage",
+    "PredictStage",
+    "PreparationCache",
+    "PreparationKey",
+    "RunRecord",
+    "Scenario",
+    "TestArtifact",
+    "TestStage",
+    "VerifyArtifact",
+    "VerifyStage",
+    "fingerprint_circuit",
+    "records_table",
+]

@@ -1,0 +1,189 @@
+"""Content-addressed preparation cache.
+
+Offline preparation is the expensive stage of the flow (grouping,
+multiplexing, hold-bound Monte-Carlo, predictor factorization).  Its output
+is fully determined by three inputs:
+
+1. the circuit — fingerprinted over exactly the data the offline stage
+   consumes (path endpoints, the joint delay model, hold requirements,
+   mutual exclusions, buffer sites),
+2. the design clock period that sizes the buffer ranges, and
+3. the :class:`~repro.api.config.OfflineConfig` field tuple.
+
+:class:`PreparationCache` maps that key to a computed
+:class:`~repro.core.framework.Preparation` so runs that differ only in
+online knobs (operating period, population, alignment, xi tolerance) share
+one preparation.  The cache is thread-safe and LRU-bounded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.api.config import OfflineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.circuit.generator import Circuit
+    from repro.core.framework import Preparation
+
+
+def _update_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    arr = np.ascontiguousarray(array)
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+
+
+#: Memoized fingerprints keyed by object id; weakref callbacks evict dead
+#: entries and an identity check guards against id reuse.
+_fingerprint_memo: dict[int, tuple["weakref.ref[Circuit]", str]] = {}
+
+
+def fingerprint_circuit(circuit: "Circuit") -> str:
+    """Hex digest over everything the offline stage reads from a circuit.
+
+    Two circuits with equal fingerprints yield identical preparations under
+    equal configs; anything that changes delay statistics (e.g.
+    :meth:`Circuit.with_inflated_randomness`) changes the fingerprint.
+    Circuits are immutable, so the digest is memoized per object — repeat
+    runs and scenario batches hash the arrays once, not per call.
+    """
+    memo_key = id(circuit)
+    entry = _fingerprint_memo.get(memo_key)
+    if entry is not None and entry[0]() is circuit:
+        return entry[1]
+    fingerprint = _compute_fingerprint(circuit)
+    ref = weakref.ref(
+        circuit, lambda _ref: _fingerprint_memo.pop(memo_key, None)
+    )
+    _fingerprint_memo[memo_key] = (ref, fingerprint)
+    return fingerprint
+
+
+def _compute_fingerprint(circuit: "Circuit") -> str:
+    digest = hashlib.sha256()
+    digest.update(circuit.name.encode())
+    digest.update(repr(astuple(circuit.spec)).encode())
+    digest.update("\x1f".join(circuit.ff_names).encode())
+    digest.update("\x1f".join(circuit.buffered_ffs).encode())
+    for path_set in (circuit.paths, circuit.short_paths, circuit.background):
+        _update_array(digest, path_set.source_idx)
+        _update_array(digest, path_set.sink_idx)
+        _update_array(digest, path_set.model.means)
+        _update_array(digest, path_set.model.loadings)
+        _update_array(digest, path_set.model.independent)
+    digest.update(repr(sorted(circuit.mutual_exclusions)).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class PreparationKey:
+    """Cache key: circuit content, design period, offline knobs."""
+
+    circuit_fingerprint: str
+    clock_period: float
+    offline_fields: tuple
+
+    @staticmethod
+    def build(
+        circuit: "Circuit", clock_period: float, config: OfflineConfig
+    ) -> "PreparationKey":
+        return PreparationKey(
+            circuit_fingerprint=fingerprint_circuit(circuit),
+            clock_period=float(clock_period),
+            offline_fields=config.cache_fields(),
+        )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters exposed for tests and capacity planning."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def computes(self) -> int:
+        """Number of times the offline stage actually ran."""
+        return self.misses
+
+
+class PreparationCache:
+    """Thread-safe LRU cache of offline preparations.
+
+    ``max_entries`` bounds memory: preparations hold dense predictor
+    weights, so long-lived engines serving many circuits should keep the
+    default bound rather than growing without limit.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[PreparationKey, "Preparation"] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PreparationKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses, size=len(self._entries)
+            )
+
+    def get_or_compute(
+        self, key: PreparationKey, compute: Callable[[], "Preparation"]
+    ) -> "Preparation":
+        """Return the cached preparation for ``key``, computing on miss.
+
+        The compute callable runs outside the lock (offline preparation can
+        take seconds); concurrent misses on the same key may compute twice,
+        but the first stored value wins so callers always share one object
+        afterwards.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+        value = compute()
+        with self._lock:
+            if key in self._entries:  # lost the race: reuse the winner
+                self._entries.move_to_end(key)
+                self._misses += 1
+                return self._entries[key]
+            self._entries[key] = value
+            self._misses += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+__all__ = [
+    "CacheStats",
+    "PreparationCache",
+    "PreparationKey",
+    "fingerprint_circuit",
+]

@@ -1,0 +1,76 @@
+"""Configuration split along the paper's offline/online seam.
+
+The DAC 2016 flow has a natural two-phase structure: an expensive offline
+stage (``Tp``: path selection §3.1, test multiplexing §3.2, hold bounds
+§3.5) that depends only on the circuit and a handful of knobs, and a cheap
+online stage (``Tt``/``Ts``: aligned test §3.3, prediction + configuration
+§3.4) that varies per population and operating period.
+
+:class:`OfflineConfig` holds every knob that changes the offline
+preparation — its field tuple is part of the preparation-cache key (see
+:mod:`repro.api.cache`).  :class:`OnlineConfig` holds the knobs that can
+change between runs *without* invalidating a cached preparation.
+
+The legacy composite ``EffiTestConfig`` (``repro.core.framework``) is kept
+as a deprecated shim; its ``offline`` / ``online`` properties project onto
+these two classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class OfflineConfig:
+    """Knobs consumed by the offline preparation (the paper's ``Tp``).
+
+    Two instances with equal fields produce byte-identical preparations for
+    the same circuit and design period, which is what makes the preparation
+    cache sound.
+    """
+
+    # §3.1 grouping / selection
+    start_threshold: float = 0.95
+    threshold_step: float = 0.05
+    floor_threshold: float = 0.50
+    pc_criterion: str = "largest"
+    relative_threshold: float = 0.03
+    variance_fraction: float = 0.95
+    # §3.2 multiplexing
+    fill_slots: bool = True
+    fill_sigma_fraction: float = 0.5  # fill only still-poorly-predicted paths
+    max_fill_factor: float = 1.0  # fills <= factor * |selected|
+    batch_affinity: bool = False  # extension: mean-affinity batch packing
+    # §3.3 test resolution (epsilon is baked into the preparation)
+    epsilon: float | None = None  # None -> calibrated from pathwise target
+    pathwise_iterations_target: int = 9
+    sigma_window: float = 3.0
+    # §3.5 hold bounds
+    hold_yield: float = 0.99
+    hold_samples: int = 1000
+    # buffer policy (Table 1 setup: tau = T/8, 20 discrete steps)
+    range_fraction: float = 1.0 / 8.0
+    n_steps: int = 20
+    # misc
+    test_all_paths: bool = False  # Fig. 8 mode: skip statistical prediction
+    seed: int = 20160605
+
+    def cache_fields(self) -> tuple:
+        """The hashable field tuple used in preparation-cache keys."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Knobs that vary per run without invalidating cached preparations."""
+
+    # §3.3 aligned test
+    align: bool = True
+    k0: float = 1000.0
+    kd: float = 1.0
+    # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
+    xi_tolerance: float | None = None
+
+
+__all__ = ["OfflineConfig", "OnlineConfig"]

@@ -1,0 +1,419 @@
+"""The staged pipeline engine: cached preparations, single and batch runs.
+
+:class:`Engine` is the production entry point of the reproduction.  It owns
+a content-addressed :class:`~repro.api.cache.PreparationCache` and wires
+the stage objects of :mod:`repro.api.stages`::
+
+    engine = Engine()
+    prep = engine.prepare(circuit, clock_period=t1)          # cached
+    result = engine.run(circuit, population, period=t1)       # full flow
+
+Batch serving goes through :class:`Scenario` specs::
+
+    records = engine.run_many([
+        Scenario(circuit, period=t1, n_chips=500, seed=1),
+        Scenario(circuit, period=t2, n_chips=500, seed=2),
+    ])
+
+Scenarios sharing a circuit and offline knobs share one preparation — the
+offline stage runs exactly once per distinct cache key.  Population runs
+can fan out over a :class:`concurrent.futures.ProcessPoolExecutor` with
+``max_workers``; preparations are computed in the parent so workers never
+repeat offline work.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.api.cache import CacheStats, PreparationCache, PreparationKey
+from repro.api.config import OfflineConfig, OnlineConfig
+from repro.api.stages import (
+    AlignedTestStage,
+    ConfigureStage,
+    OfflineRequest,
+    OfflineStage,
+    PredictStage,
+    TestStage,
+    VerifyStage,
+)
+from repro.circuit.generator import Circuit
+from repro.core.framework import PopulationRunResult, Preparation
+from repro.core.yields import CircuitPopulation, sample_circuit
+from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One batch-run specification: which silicon, tested how, at what period.
+
+    ``population`` overrides ``n_chips``/``seed`` when an explicit chip
+    sample must be shared across scenarios; otherwise the engine samples
+    ``n_chips`` chips with a seed derived from ``seed``.  ``clock_period``
+    is the design period sizing the buffer ranges and defaults to
+    ``period`` — pass it explicitly when sweeping ``period`` so the sweep
+    shares one preparation.
+    """
+
+    circuit: Circuit
+    period: float
+    n_chips: int = 1000
+    offline: OfflineConfig | None = None
+    online: OnlineConfig | None = None
+    seed: int = 20160605
+    clock_period: float | None = None
+    population: CircuitPopulation | None = None
+    label: str = ""
+
+    @property
+    def design_period(self) -> float:
+        return self.period if self.clock_period is None else self.clock_period
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One tidy result row of :meth:`Engine.run_many`."""
+
+    label: str
+    circuit: str
+    period: float
+    n_chips: int
+    seed: int
+    yield_fraction: float
+    mean_iterations: float
+    iterations_per_tested_path: float
+    n_tested: int
+    offline_seconds: float
+    tester_seconds_per_chip: float
+    config_seconds_per_chip: float
+    cache_hit: bool
+    result: PopulationRunResult = field(repr=False)
+
+    def as_dict(self) -> dict:
+        """Scalar columns only — ready for a table or a dataframe."""
+        return {
+            "label": self.label,
+            "circuit": self.circuit,
+            "period": self.period,
+            "n_chips": self.n_chips,
+            "seed": self.seed,
+            "yield_fraction": self.yield_fraction,
+            "mean_iterations": self.mean_iterations,
+            "iterations_per_tested_path": self.iterations_per_tested_path,
+            "n_tested": self.n_tested,
+            "offline_seconds": self.offline_seconds,
+            "tester_seconds_per_chip": self.tester_seconds_per_chip,
+            "config_seconds_per_chip": self.config_seconds_per_chip,
+            "cache_hit": self.cache_hit,
+        }
+
+
+def _run_prepared(
+    circuit: Circuit,
+    population: CircuitPopulation,
+    period: float,
+    preparation: Preparation,
+    online: OnlineConfig,
+    test_stage: TestStage | None = None,
+) -> PopulationRunResult:
+    """Execute the online stages against one preparation.
+
+    Module-level so process-pool workers can run it without shipping the
+    engine (and its cache) to every worker.
+    """
+    tested = (test_stage or AlignedTestStage(online)).run(preparation, population)
+    bounds = PredictStage().run(preparation, tested)
+    configured = ConfigureStage(online).run(preparation, bounds, period)
+    verified = VerifyStage().run(circuit, population, configured, period)
+    return PopulationRunResult(
+        period=period,
+        test=tested.test,
+        bounds_lower=bounds.lower,
+        bounds_upper=bounds.upper,
+        configuration=configured.configuration,
+        passed=verified.passed,
+        tester_seconds_per_chip=tested.tester_seconds_per_chip,
+        # The paper's Ts is the whole off-tester stage: prediction + config.
+        config_seconds_per_chip=(
+            bounds.predict_seconds_per_chip + configured.config_seconds_per_chip
+        ),
+    )
+
+
+#: Per-worker tables of the distinct circuits/preparations for one run_many
+#: call, installed by the pool initializer so each heavy object is serialized
+#: once per worker instead of once per scenario.  Only ever set in worker
+#: processes — the parent resolves indices directly.
+_WORKER_CIRCUITS: list[Circuit] = []
+_WORKER_PREPARATIONS: list[Preparation] = []
+
+
+def _init_worker(
+    circuits: list[Circuit], preparations: list[Preparation]
+) -> None:
+    global _WORKER_CIRCUITS, _WORKER_PREPARATIONS
+    _WORKER_CIRCUITS = circuits
+    _WORKER_PREPARATIONS = preparations
+
+
+def _run_scenario_task(
+    payload: tuple[int, CircuitPopulation, float, int, OnlineConfig],
+) -> PopulationRunResult:
+    circuit_index, population, period, prep_index, online = payload
+    return _run_prepared(
+        _WORKER_CIRCUITS[circuit_index],
+        population,
+        period,
+        _WORKER_PREPARATIONS[prep_index],
+        online,
+    )
+
+
+class Engine:
+    """Staged pipeline engine with a shared preparation cache."""
+
+    def __init__(
+        self,
+        offline: OfflineConfig | None = None,
+        online: OnlineConfig | None = None,
+        cache: PreparationCache | None = None,
+        offline_stage_factory: Callable[[OfflineConfig], OfflineStage] | None = None,
+    ):
+        self.offline = offline or OfflineConfig()
+        self.online = online or OnlineConfig()
+        self.cache = cache or PreparationCache()
+        # Injection point for tests (counting stubs) and future backends.
+        self._offline_stage_factory = offline_stage_factory or OfflineStage
+
+    # -- offline ---------------------------------------------------------------
+
+    def preparation_key(
+        self,
+        circuit: Circuit,
+        clock_period: float,
+        offline: OfflineConfig | None = None,
+    ) -> PreparationKey:
+        return PreparationKey.build(
+            circuit, clock_period, offline or self.offline
+        )
+
+    def prepare(
+        self,
+        circuit: Circuit,
+        clock_period: float,
+        offline: OfflineConfig | None = None,
+    ) -> Preparation:
+        """Run (or fetch) the offline stage for a circuit/design period."""
+        config = offline or self.offline
+        key = self.preparation_key(circuit, clock_period, config)
+        stage = self._offline_stage_factory(config)
+        return self.cache.get_or_compute(
+            key, lambda: stage.run(OfflineRequest(circuit, clock_period))
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    # -- single runs -----------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        population: CircuitPopulation,
+        period: float,
+        *,
+        preparation: Preparation | None = None,
+        clock_period: float | None = None,
+        offline: OfflineConfig | None = None,
+        online: OnlineConfig | None = None,
+        test_stage: TestStage | None = None,
+    ) -> PopulationRunResult:
+        """Test, predict, configure and pass/fail every chip at ``period``.
+
+        Without an explicit ``preparation`` the cached offline stage for
+        ``clock_period`` (default: ``period``) is used.  ``test_stage``
+        swaps the measurement strategy (e.g.
+        :class:`~repro.api.stages.PathwiseTestStage`).
+        """
+        prep = preparation or self.prepare(
+            circuit, clock_period if clock_period is not None else period, offline
+        )
+        return _run_prepared(
+            circuit, population, period, prep, online or self.online, test_stage
+        )
+
+    def pathwise_baseline(
+        self,
+        circuit: Circuit,
+        population: CircuitPopulation,
+        offline: OfflineConfig | None = None,
+    ) -> PathwiseResult:
+        """The comparison method of [2, 6, 8, 9]: per-path binary search
+        over all required paths at the same resolution ``epsilon``."""
+        from repro.core.calibration import calibrate_epsilon
+
+        config = offline or self.offline
+        model = circuit.paths.model
+        epsilon = calibrate_epsilon(config, model.stds())
+        return pathwise_frequency_stepping(
+            population.required,
+            model.means,
+            model.stds(),
+            epsilon,
+            sigma_window=config.sigma_window,
+        )
+
+    # -- batch runs ------------------------------------------------------------
+
+    def _scenario_population(self, scenario: Scenario) -> CircuitPopulation:
+        if scenario.population is not None:
+            return scenario.population
+        return sample_circuit(
+            scenario.circuit,
+            scenario.n_chips,
+            seed=derive_seed(scenario.seed, scenario.circuit.name, "population"),
+        )
+
+    def run_scenario(self, scenario: Scenario) -> RunRecord:
+        """Run one scenario through the cached pipeline."""
+        return self.run_many([scenario])[0]
+
+    def run_many(
+        self,
+        scenarios: Iterable[Scenario],
+        max_workers: int | None = None,
+    ) -> list[RunRecord]:
+        """Fan a batch of scenarios across cached preparations.
+
+        Preparations are resolved first (in scenario order, deduplicated by
+        cache key) so the offline stage runs once per distinct key; the
+        per-population online stages then execute serially or, with
+        ``max_workers > 1``, on a process pool.  Records come back in input
+        order.
+        """
+        scenarios = list(scenarios)
+        unique_preps: list[Preparation] = []
+        prep_indices: list[int] = []
+        cache_hits: list[bool] = []
+        seen: dict[PreparationKey, int] = {}
+        unique_circuits: list[Circuit] = []
+        circuit_indices: list[int] = []
+        circuits_seen: dict[int, int] = {}
+        for scenario in scenarios:
+            offline = scenario.offline or self.offline
+            if id(scenario.circuit) not in circuits_seen:
+                circuits_seen[id(scenario.circuit)] = len(unique_circuits)
+                unique_circuits.append(scenario.circuit)
+            circuit_indices.append(circuits_seen[id(scenario.circuit)])
+            key = self.preparation_key(
+                scenario.circuit, scenario.design_period, offline
+            )
+            if key in seen:
+                prep_indices.append(seen[key])
+                cache_hits.append(True)
+                continue
+            hit = key in self.cache
+            prep = self.prepare(scenario.circuit, scenario.design_period, offline)
+            seen[key] = len(unique_preps)
+            prep_indices.append(len(unique_preps))
+            unique_preps.append(prep)
+            cache_hits.append(hit)
+
+        payloads = [
+            (
+                circuit_index,
+                self._scenario_population(scenario),
+                scenario.period,
+                prep_index,
+                scenario.online or self.online,
+            )
+            for scenario, circuit_index, prep_index in zip(
+                scenarios, circuit_indices, prep_indices
+            )
+        ]
+
+        if max_workers is not None and max_workers > 1 and len(payloads) > 1:
+            # Each distinct circuit/preparation is shipped once per worker
+            # via the initializer, not once per scenario.
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(unique_circuits, unique_preps),
+            ) as pool:
+                results = list(pool.map(_run_scenario_task, payloads))
+        else:
+            results = [
+                _run_prepared(
+                    unique_circuits[circuit_index],
+                    population,
+                    period,
+                    unique_preps[prep_index],
+                    online,
+                )
+                for circuit_index, population, period, prep_index, online
+                in payloads
+            ]
+
+        return [
+            self._record(
+                scenario, payload[1], result, unique_preps[payload[3]], hit
+            )
+            for scenario, payload, result, hit in zip(
+                scenarios, payloads, results, cache_hits
+            )
+        ]
+
+    @staticmethod
+    def _record(
+        scenario: Scenario,
+        population: CircuitPopulation,
+        result: PopulationRunResult,
+        preparation: Preparation,
+        cache_hit: bool,
+    ) -> RunRecord:
+        return RunRecord(
+            label=scenario.label or scenario.circuit.name,
+            circuit=scenario.circuit.name,
+            period=scenario.period,
+            n_chips=population.n_chips,
+            seed=scenario.seed,
+            yield_fraction=result.yield_fraction,
+            mean_iterations=result.mean_iterations,
+            iterations_per_tested_path=result.iterations_per_tested_path,
+            n_tested=result.n_tested,
+            offline_seconds=preparation.offline_seconds,
+            tester_seconds_per_chip=result.tester_seconds_per_chip,
+            config_seconds_per_chip=result.config_seconds_per_chip,
+            cache_hit=cache_hit,
+            result=result,
+        )
+
+
+def records_table(records: Sequence[RunRecord]) -> str:
+    """Render batch records as the repo's plain-text table format."""
+    from repro.utils.tables import Table
+
+    table = Table([
+        "label", "circuit", "period", "chips", "yield",
+        "ta", "tv", "npt", "cache",
+    ])
+    for record in records:
+        table.add_row([
+            record.label,
+            record.circuit,
+            round(record.period, 2),
+            record.n_chips,
+            round(record.yield_fraction, 3),
+            round(record.mean_iterations, 1),
+            round(record.iterations_per_tested_path, 2),
+            record.n_tested,
+            "hit" if record.cache_hit else "miss",
+        ])
+    return table.render()
+
+
+__all__ = ["Engine", "RunRecord", "Scenario", "records_table"]

@@ -1,0 +1,372 @@
+"""Explicit pipeline stages with typed artifacts.
+
+The flow of Fig. 4 decomposes into five stages, each a small object with a
+``run`` method consuming and producing typed artifact dataclasses::
+
+    OfflineStage   (circuit, clock_period)        -> Preparation
+    TestStage      (preparation, population)      -> TestArtifact
+    PredictStage   (preparation, TestArtifact)    -> BoundsArtifact
+    ConfigureStage (preparation, BoundsArtifact)  -> ConfigArtifact
+    VerifyStage    (circuit, pop, ConfigArtifact) -> VerifyArtifact
+
+Mode switches that the monolithic framework threaded through config flags
+become stage swaps: the Fig. 8 test-all-paths mode is an
+:class:`OfflineStage` whose config selects every path (the predict stage
+then has nothing to predict), and the path-wise baseline of [2, 6, 8, 9] is
+:class:`PathwiseTestStage` slotted in place of :class:`AlignedTestStage`.
+
+:class:`~repro.api.engine.Engine` wires the stages and caches
+:class:`OfflineStage` outputs; the stages themselves are engine-agnostic
+and can be composed by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.api.config import OfflineConfig, OnlineConfig
+from repro.circuit.generator import Circuit
+from repro.circuit.insertion import plan_buffers
+from repro.core.alignment import build_batch_alignment
+from repro.core.calibration import calibrate_epsilon
+from repro.core.configuration import ConfigurationResult, build_config_structure, configure_chips
+from repro.core.framework import Preparation
+from repro.core.grouping import group_and_select
+from repro.core.holdtime import compute_hold_bounds, hold_feasible_settings
+from repro.core.multiplexing import plan_multiplexing
+from repro.core.population import PopulationTestResult, test_population
+from repro.core.prediction import build_predictor
+from repro.core.yields import CircuitPopulation, configured_pass
+from repro.tester.freqstep import pathwise_frequency_stepping
+from repro.utils.rng import derive_seed
+from repro.utils.timing import Stopwatch
+
+# ----------------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OfflineRequest:
+    """Input of the offline stage: what to prepare, sized for what period."""
+
+    circuit: Circuit
+    clock_period: float  # design period sizing the buffer ranges
+
+
+@dataclass(frozen=True)
+class TestArtifact:
+    """On-tester outcome: measured delay ranges for every chip."""
+
+    test: PopulationTestResult
+    tester_seconds_per_chip: float
+
+
+@dataclass(frozen=True)
+class BoundsArtifact:
+    """Dense ``(n_chips, n_paths)`` delay bounds: tested + predicted.
+
+    Prediction time counts toward the paper's ``Ts`` (off-tester work),
+    alongside the configuration time.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    predict_seconds_per_chip: float = 0.0
+
+
+@dataclass(frozen=True)
+class ConfigArtifact:
+    """Per-chip buffer configuration from the minimax-xi search."""
+
+    configuration: ConfigurationResult
+    config_seconds_per_chip: float
+
+
+@dataclass(frozen=True)
+class VerifyArtifact:
+    """Final pass/fail of every configured chip at the operating period."""
+
+    passed: np.ndarray
+
+    @property
+    def yield_fraction(self) -> float:
+        return float(self.passed.mean())
+
+
+# ----------------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------------
+
+
+class OfflineStage:
+    """The paper's ``Tp``: everything computed before any chip is touched."""
+
+    def __init__(self, config: OfflineConfig | None = None):
+        self.config = config or OfflineConfig()
+
+    def run(self, request: OfflineRequest) -> Preparation:
+        cfg = self.config
+        circuit = request.circuit
+        watch = Stopwatch()
+
+        with watch.measure("offline"):
+            buffer_plan = plan_buffers(
+                list(circuit.buffered_ffs),
+                request.clock_period,
+                range_fraction=cfg.range_fraction,
+                n_steps=cfg.n_steps,
+            )
+
+            model = circuit.paths.model
+            prior_means = model.means
+            prior_stds = model.stds()
+
+            if cfg.test_all_paths:
+                grouping = None
+                selected = np.arange(circuit.paths.n_paths, dtype=np.intp)
+                fill = False
+            else:
+                grouping = group_and_select(
+                    model,
+                    start_threshold=cfg.start_threshold,
+                    threshold_step=cfg.threshold_step,
+                    floor_threshold=cfg.floor_threshold,
+                    pc_criterion=cfg.pc_criterion,
+                    variance_fraction=cfg.variance_fraction,
+                    relative_threshold=cfg.relative_threshold,
+                )
+                selected = grouping.tested_indices
+                fill = cfg.fill_slots
+
+            plan = plan_multiplexing(
+                circuit.paths,
+                selected,
+                mutual_exclusions=circuit.mutual_exclusions,
+                fill_slots=fill,
+                affinity=cfg.batch_affinity,
+                fill_sigma_fraction=cfg.fill_sigma_fraction,
+                max_fill_factor=cfg.max_fill_factor,
+            )
+
+            hold_bounds = compute_hold_bounds(
+                circuit.short_paths,
+                buffer_plan,
+                target_yield=cfg.hold_yield,
+                n_samples=cfg.hold_samples,
+                seed=derive_seed(cfg.seed, circuit.name, "hold"),
+            )
+            default_settings = hold_feasible_settings(
+                buffer_plan, hold_bounds, circuit.ff_names
+            )
+
+            specs = []
+            x_inits = []
+            for batch in plan.batches:
+                spec = build_batch_alignment(
+                    batch.path_indices,
+                    circuit.paths.source_idx,
+                    circuit.paths.sink_idx,
+                    circuit.ff_names,
+                    buffer_plan,
+                    hold_pairs=hold_bounds.pairs,
+                    hold_lambdas=hold_bounds.lambdas,
+                    default_settings=default_settings,
+                )
+                specs.append(spec)
+                x_inits.append(
+                    np.array([default_settings[name] for name in spec.buffer_names])
+                )
+
+            predictor = None
+            if plan.n_measured < circuit.paths.n_paths:
+                predictor = build_predictor(model, plan.measured)
+
+            structure = build_config_structure(
+                circuit.paths, buffer_plan, hold_bounds
+            )
+
+            epsilon = calibrate_epsilon(cfg, prior_stds)
+
+        return Preparation(
+            buffer_plan=buffer_plan,
+            grouping=grouping,
+            plan=plan,
+            specs=specs,
+            x_inits=x_inits,
+            hold_bounds=hold_bounds,
+            default_settings=default_settings,
+            predictor=predictor,
+            structure=structure,
+            epsilon=epsilon,
+            prior_means=prior_means,
+            prior_stds=prior_stds,
+            offline_seconds=watch.total("offline"),
+            sigma_window=cfg.sigma_window,
+        )
+
+
+class TestStage(Protocol):
+    """Any on-tester measurement strategy producing delay ranges."""
+
+    def run(
+        self, preparation: Preparation, population: CircuitPopulation
+    ) -> TestArtifact:  # pragma: no cover - protocol
+        ...
+
+
+class AlignedTestStage:
+    """§3.3: multiplexed frequency stepping with delay alignment."""
+
+    def __init__(self, online: OnlineConfig | None = None):
+        self.online = online or OnlineConfig()
+
+    def run(
+        self, preparation: Preparation, population: CircuitPopulation
+    ) -> TestArtifact:
+        watch = Stopwatch()
+        with watch.measure("tester"):
+            test = test_population(
+                population.required,
+                preparation.plan,
+                preparation.specs,
+                preparation.prior_means,
+                preparation.prior_stds,
+                preparation.epsilon,
+                sigma_window=preparation.sigma_window,
+                k0=self.online.k0,
+                kd=self.online.kd,
+                align=self.online.align,
+                x_inits=preparation.x_inits,
+            )
+        return TestArtifact(
+            test=test,
+            tester_seconds_per_chip=watch.total("tester") / population.n_chips,
+        )
+
+
+class PathwiseTestStage:
+    """The baseline of [2, 6, 8, 9]: every required path stepped alone.
+
+    A drop-in :class:`TestStage`: its artifact covers *all* paths (each path
+    is its own batch), so the downstream stages run unchanged with nothing
+    left to predict.
+    """
+
+    def run(
+        self, preparation: Preparation, population: CircuitPopulation
+    ) -> TestArtifact:
+        watch = Stopwatch()
+        with watch.measure("tester"):
+            result = pathwise_frequency_stepping(
+                population.required,
+                preparation.prior_means,
+                preparation.prior_stds,
+                preparation.epsilon,
+                sigma_window=preparation.sigma_window,
+            )
+            n_chips, n_paths = result.lower.shape
+            test = PopulationTestResult(
+                measured_indices=np.arange(n_paths, dtype=np.intp),
+                lower=result.lower,
+                upper=result.upper,
+                iterations=np.full(n_chips, result.total_iterations, dtype=int),
+                iterations_per_batch=np.tile(
+                    result.iterations_per_path, (n_chips, 1)
+                ),
+            )
+        return TestArtifact(
+            test=test,
+            tester_seconds_per_chip=watch.total("tester") / population.n_chips,
+        )
+
+
+class PredictStage:
+    """§3.4 input assembly: tested ranges + conditional predictions."""
+
+    def run(
+        self, preparation: Preparation, tested: TestArtifact
+    ) -> BoundsArtifact:
+        test = tested.test
+        n_chips = test.n_chips
+        n_paths = len(preparation.prior_means)
+        watch = Stopwatch()
+        with watch.measure("predict"):
+            lower = np.empty((n_chips, n_paths))
+            upper = np.empty((n_chips, n_paths))
+            lower[:, test.measured_indices] = test.lower
+            upper[:, test.measured_indices] = test.upper
+
+            predictor = preparation.predictor
+            if predictor is not None and test.n_measured < n_paths:
+                # Conservative conditioning on measured *upper* bounds (§3.4).
+                pred_lower, pred_upper = predictor.predict_intervals(
+                    test.upper, sigma_window=preparation.sigma_window
+                )
+                lower[:, predictor.predicted_idx] = pred_lower
+                upper[:, predictor.predicted_idx] = pred_upper
+        return BoundsArtifact(
+            lower=lower,
+            upper=upper,
+            predict_seconds_per_chip=watch.total("predict") / n_chips,
+        )
+
+
+class ConfigureStage:
+    """§3.4: minimax-xi buffer configuration per chip."""
+
+    def __init__(self, online: OnlineConfig | None = None):
+        self.online = online or OnlineConfig()
+
+    def run(
+        self, preparation: Preparation, bounds: BoundsArtifact, period: float
+    ) -> ConfigArtifact:
+        watch = Stopwatch()
+        with watch.measure("config"):
+            configuration = configure_chips(
+                preparation.structure,
+                bounds.lower,
+                bounds.upper,
+                period,
+                xi_tolerance=self.online.xi_tolerance,
+            )
+        n_chips = bounds.lower.shape[0]
+        return ConfigArtifact(
+            configuration=configuration,
+            config_seconds_per_chip=watch.total("config") / n_chips,
+        )
+
+
+class VerifyStage:
+    """Final pass/fail test of the configured chips."""
+
+    def run(
+        self,
+        circuit: Circuit,
+        population: CircuitPopulation,
+        configured: ConfigArtifact,
+        period: float,
+    ) -> VerifyArtifact:
+        passed = configured_pass(
+            circuit, population, configured.configuration, period
+        )
+        return VerifyArtifact(passed=passed)
+
+
+__all__ = [
+    "AlignedTestStage",
+    "BoundsArtifact",
+    "ConfigArtifact",
+    "ConfigureStage",
+    "OfflineRequest",
+    "OfflineStage",
+    "PathwiseTestStage",
+    "PredictStage",
+    "TestArtifact",
+    "TestStage",
+    "VerifyArtifact",
+    "VerifyStage",
+]

@@ -13,7 +13,7 @@ from repro.circuit.generator import Circuit, CircuitSpec
 from repro.circuit.insertion import select_buffered_ffs
 from repro.circuit.library import Library, default_library
 from repro.circuit.netlist import Netlist
-from repro.circuit.paths import PathSet, ShortPathSet, extract_ff_paths
+from repro.circuit.paths import ShortPathSet, extract_ff_paths
 from repro.circuit.placement import relaxed_placement
 from repro.utils.rng import RandomState
 from repro.variation.spatial import SpatialModel

@@ -6,6 +6,7 @@ Procedure 2), buffer configuration (§3.4), hold-time tuning bounds (§3.5),
 yield evaluation and the end-to-end framework (Fig. 4).
 """
 
+from repro.core.calibration import calibrate_epsilon
 from repro.core.alignment import (
     BatchAlignment,
     build_batch_alignment,
@@ -90,6 +91,7 @@ __all__ = [
     "build_batch_alignment",
     "build_config_structure",
     "build_predictor",
+    "calibrate_epsilon",
     "center_sorted_weights",
     "compute_hold_bounds",
     "conditional_stds_if_tested",

@@ -1,0 +1,30 @@
+"""Test-resolution calibration shared by every flow entry point.
+
+The paper fixes the frequency-stepping resolution ``epsilon`` so that the
+path-wise baseline needs a target number of binary-search iterations
+(Table 1 uses 9) on the median prior width.  Both the EffiTest preparation
+and the path-wise comparison must use the *same* resolution, otherwise the
+reported reduction ratios are meaningless — hence one shared helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def calibrate_epsilon(config, stds: np.ndarray) -> float:
+    """Resolve the test resolution for a config against prior path sigmas.
+
+    ``config`` is any object with ``epsilon``, ``sigma_window`` and
+    ``pathwise_iterations_target`` attributes (``OfflineConfig`` or the
+    legacy composite ``EffiTestConfig``).  An explicit ``epsilon`` wins;
+    otherwise the median prior width ``2 * sigma_window * sigma`` halved
+    ``pathwise_iterations_target`` times is used.
+    """
+    if config.epsilon is not None:
+        return float(config.epsilon)
+    widths = 2.0 * config.sigma_window * np.asarray(stds, dtype=float)
+    return float(np.median(widths) / 2**config.pathwise_iterations_target)
+
+
+__all__ = ["calibrate_epsilon"]

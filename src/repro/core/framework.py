@@ -1,54 +1,58 @@
-"""EffiTest end-to-end framework (Fig. 4 of the paper).
+"""Legacy EffiTest facade over the staged pipeline (Fig. 4 of the paper).
 
-Offline (once per circuit design, the paper's ``Tp``):
+The flow itself lives in :mod:`repro.api`: the offline stage (the paper's
+``Tp``: path selection §3.1, multiplexing §3.2, hold bounds §3.5) is
+:class:`repro.api.stages.OfflineStage`, the on-tester / off-tester stages
+(``Tt``/``Ts``: aligned test §3.3, prediction eqs. 4–5, configuration
+§3.4) are the online stages, and :class:`repro.api.engine.Engine` wires
+them behind a content-addressed preparation cache.
 
-1. path selection for prediction (§3.1, Procedure 1),
-2. path test multiplexing + slot filling (§3.2),
-3. hold-time tuning bounds (§3.5),
-4. alignment structures and the configuration constraint skeleton.
+This module keeps the original surface:
 
-On the tester (per chip, ``Tt``): scan test with delay alignment
-(§3.3, Procedure 2).  Off the tester (``Ts``): statistical prediction of
-untested delays (eqs. 4–5) and buffer configuration (§3.4), then the final
-pass/fail test.
-
-:class:`EffiTest` wires the pieces; :meth:`EffiTest.run` executes the whole
-flow over a Monte-Carlo population and reports the Table 1/Table 2
-quantities.
+* :class:`EffiTestConfig` — the **deprecated** composite of what is now
+  :class:`repro.api.OfflineConfig` + :class:`repro.api.OnlineConfig`,
+* :class:`Preparation` / :class:`PopulationRunResult` — the artifact types
+  shared by the facade and the engine,
+* :class:`EffiTest` — a thin facade binding one circuit to a private
+  engine; new code should use :class:`repro.api.Engine` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.circuit.buffers import BufferPlan
 from repro.circuit.generator import Circuit
-from repro.circuit.insertion import plan_buffers
-from repro.core.alignment import BatchAlignment, build_batch_alignment
-from repro.core.configuration import (
-    ConfigStructure,
-    ConfigurationResult,
-    build_config_structure,
-    configure_chips,
-)
-from repro.core.grouping import GroupingResult, group_and_select
-from repro.core.holdtime import HoldBounds, compute_hold_bounds, hold_feasible_settings
-from repro.core.multiplexing import MultiplexPlan, plan_multiplexing
-from repro.core.population import PopulationTestResult, test_population
-from repro.core.prediction import ConditionalPredictor, build_predictor
+from repro.core.alignment import BatchAlignment
+from repro.core.configuration import ConfigStructure, ConfigurationResult
+from repro.core.grouping import GroupingResult
+from repro.core.holdtime import HoldBounds
+from repro.core.multiplexing import MultiplexPlan
+from repro.core.population import PopulationTestResult
+from repro.core.prediction import ConditionalPredictor
 from repro.core.testflow import ChipTestResult, test_chip
-from repro.core.yields import CircuitPopulation, configured_pass
-from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
+from repro.core.yields import CircuitPopulation
+from repro.tester.freqstep import PathwiseResult
 from repro.tester.oracle import ChipOracle
-from repro.utils.rng import derive_seed
-from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.config import OfflineConfig, OnlineConfig
 
 
 @dataclass(frozen=True)
 class EffiTestConfig:
-    """All knobs of the framework, defaulted to the paper's setup."""
+    """All knobs of the framework, defaulted to the paper's setup.
+
+    .. deprecated::
+        This is the composite shim over the offline/online split.  New code
+        should pass :class:`repro.api.OfflineConfig` and
+        :class:`repro.api.OnlineConfig` to :class:`repro.api.Engine`; the
+        :attr:`offline` / :attr:`online` properties and :meth:`from_parts`
+        bridge the two worlds.
+    """
 
     # §3.1 grouping / selection
     start_threshold: float = 0.95
@@ -81,6 +85,35 @@ class EffiTestConfig:
     test_all_paths: bool = False  # Fig. 8 mode: skip statistical prediction
     seed: int = 20160605
 
+    @property
+    def offline(self) -> "OfflineConfig":
+        """Projection onto the cache-keyed offline knobs."""
+        from repro.api.config import OfflineConfig
+
+        # Field names are identical by construction (asserted in tests), so
+        # the projection is derived rather than hand-maintained.
+        return OfflineConfig(**{
+            f.name: getattr(self, f.name) for f in fields(OfflineConfig)
+        })
+
+    @property
+    def online(self) -> "OnlineConfig":
+        """Projection onto the per-run knobs."""
+        from repro.api.config import OnlineConfig
+
+        return OnlineConfig(**{
+            f.name: getattr(self, f.name) for f in fields(OnlineConfig)
+        })
+
+    @classmethod
+    def from_parts(
+        cls, offline: "OfflineConfig", online: "OnlineConfig"
+    ) -> "EffiTestConfig":
+        """Recompose the legacy composite from the split configs."""
+        values = {f.name: getattr(offline, f.name) for f in fields(offline)}
+        values.update({f.name: getattr(online, f.name) for f in fields(online)})
+        return cls(**values)
+
 
 @dataclass
 class Preparation:
@@ -99,6 +132,7 @@ class Preparation:
     prior_means: np.ndarray
     prior_stds: np.ndarray
     offline_seconds: float
+    sigma_window: float = 3.0
 
     @property
     def n_tested(self) -> int:
@@ -120,14 +154,20 @@ class PopulationRunResult:
     config_seconds_per_chip: float
 
     @property
+    def n_tested(self) -> int:
+        """Paths actually measured in this run (== the plan's ``n_pt``)."""
+        return self.test.n_measured
+
+    @property
     def mean_iterations(self) -> float:
         """The paper's ``t_a``."""
         return self.test.mean_iterations
 
     @property
     def iterations_per_tested_path(self) -> float:
-        """The paper's ``t_v = t_a / n_pt``."""
-        return self.test.mean_iterations / max(len(self.test.measured_indices), 1)
+        """The paper's ``t_v = t_a / n_pt`` (0 when nothing was tested)."""
+        n_tested = self.n_tested
+        return self.test.mean_iterations / n_tested if n_tested else 0.0
 
     @property
     def yield_fraction(self) -> float:
@@ -136,118 +176,37 @@ class PopulationRunResult:
 
 
 class EffiTest:
-    """The EffiTest framework bound to one circuit."""
+    """The EffiTest framework bound to one circuit.
+
+    .. deprecated::
+        Thin facade over :class:`repro.api.Engine`; kept so existing
+        callers and the published quickstart keep working.  Each instance
+        owns a private engine, so preparations are cached per facade.
+    """
 
     def __init__(self, circuit: Circuit, config: EffiTestConfig | None = None):
+        from repro.api.engine import Engine
+
         self.circuit = circuit
         self.config = config or EffiTestConfig()
+        self._engine = Engine(
+            offline=self.config.offline, online=self.config.online
+        )
+
+    @property
+    def engine(self):
+        """The underlying :class:`repro.api.Engine` (shared cache)."""
+        return self._engine
 
     # -- offline ---------------------------------------------------------------
 
     def prepare(self, clock_period: float) -> Preparation:
         """Run the offline flow; ``clock_period`` sizes the buffer ranges
         (the design's original period) and anchors nothing else."""
-        cfg = self.config
-        circuit = self.circuit
-        watch = Stopwatch()
-
-        with watch.measure("offline"):
-            buffer_plan = plan_buffers(
-                list(circuit.buffered_ffs),
-                clock_period,
-                range_fraction=cfg.range_fraction,
-                n_steps=cfg.n_steps,
-            )
-
-            model = circuit.paths.model
-            prior_means = model.means
-            prior_stds = model.stds()
-
-            if cfg.test_all_paths:
-                grouping = None
-                selected = np.arange(circuit.paths.n_paths, dtype=np.intp)
-                fill = False
-            else:
-                grouping = group_and_select(
-                    model,
-                    start_threshold=cfg.start_threshold,
-                    threshold_step=cfg.threshold_step,
-                    floor_threshold=cfg.floor_threshold,
-                    pc_criterion=cfg.pc_criterion,
-                    variance_fraction=cfg.variance_fraction,
-                    relative_threshold=cfg.relative_threshold,
-                )
-                selected = grouping.tested_indices
-                fill = cfg.fill_slots
-
-            plan = plan_multiplexing(
-                circuit.paths,
-                selected,
-                mutual_exclusions=circuit.mutual_exclusions,
-                fill_slots=fill,
-                affinity=cfg.batch_affinity,
-                fill_sigma_fraction=cfg.fill_sigma_fraction,
-                max_fill_factor=cfg.max_fill_factor,
-            )
-
-            hold_bounds = compute_hold_bounds(
-                circuit.short_paths,
-                buffer_plan,
-                target_yield=cfg.hold_yield,
-                n_samples=cfg.hold_samples,
-                seed=derive_seed(cfg.seed, circuit.name, "hold"),
-            )
-            default_settings = hold_feasible_settings(
-                buffer_plan, hold_bounds, circuit.ff_names
-            )
-
-            specs = []
-            x_inits = []
-            for batch in plan.batches:
-                spec = build_batch_alignment(
-                    batch.path_indices,
-                    circuit.paths.source_idx,
-                    circuit.paths.sink_idx,
-                    circuit.ff_names,
-                    buffer_plan,
-                    hold_pairs=hold_bounds.pairs,
-                    hold_lambdas=hold_bounds.lambdas,
-                    default_settings=default_settings,
-                )
-                specs.append(spec)
-                x_inits.append(
-                    np.array([default_settings[name] for name in spec.buffer_names])
-                )
-
-            predictor = None
-            if plan.n_measured < circuit.paths.n_paths:
-                predictor = build_predictor(model, plan.measured)
-
-            structure = build_config_structure(
-                circuit.paths, buffer_plan, hold_bounds
-            )
-
-            epsilon = cfg.epsilon
-            if epsilon is None:
-                widths = 2.0 * cfg.sigma_window * prior_stds
-                epsilon = float(
-                    np.median(widths) / 2**cfg.pathwise_iterations_target
-                )
-
-        return Preparation(
-            buffer_plan=buffer_plan,
-            grouping=grouping,
-            plan=plan,
-            specs=specs,
-            x_inits=x_inits,
-            hold_bounds=hold_bounds,
-            default_settings=default_settings,
-            predictor=predictor,
-            structure=structure,
-            epsilon=epsilon,
-            prior_means=prior_means,
-            prior_stds=prior_stds,
-            offline_seconds=watch.total("offline"),
+        # Project the config per call: the public `config` attribute is
+        # mutable and some legacy callers reassign it after construction.
+        return self._engine.prepare(
+            self.circuit, clock_period, self.config.offline
         )
 
     # -- per-population ----------------------------------------------------------
@@ -260,46 +219,14 @@ class EffiTest:
         clock_period: float | None = None,
     ) -> PopulationRunResult:
         """Test, predict, configure and pass/fail every chip at ``period``."""
-        prep = preparation or self.prepare(clock_period or period)
-        cfg = self.config
-        watch = Stopwatch()
-        n_chips = population.n_chips
-
-        with watch.measure("tester"):
-            test = test_population(
-                population.required,
-                prep.plan,
-                prep.specs,
-                prep.prior_means,
-                prep.prior_stds,
-                prep.epsilon,
-                sigma_window=cfg.sigma_window,
-                k0=cfg.k0,
-                kd=cfg.kd,
-                align=cfg.align,
-                x_inits=prep.x_inits,
-            )
-
-        with watch.measure("config"):
-            lower, upper = self._full_bounds(population, prep, test)
-            configuration = configure_chips(
-                prep.structure,
-                lower,
-                upper,
-                period,
-                xi_tolerance=cfg.xi_tolerance,
-            )
-        passed = configured_pass(self.circuit, population, configuration, period)
-
-        return PopulationRunResult(
-            period=period,
-            test=test,
-            bounds_lower=lower,
-            bounds_upper=upper,
-            configuration=configuration,
-            passed=passed,
-            tester_seconds_per_chip=watch.total("tester") / n_chips,
-            config_seconds_per_chip=watch.total("config") / n_chips,
+        return self._engine.run(
+            self.circuit,
+            population,
+            period,
+            preparation=preparation,
+            clock_period=clock_period,
+            offline=self.config.offline,
+            online=self.config.online,
         )
 
     def run_chip(
@@ -324,44 +251,6 @@ class EffiTest:
     def pathwise_baseline(self, population: CircuitPopulation) -> PathwiseResult:
         """The comparison method of [2, 6, 8, 9]: per-path binary search
         over all required paths with the same resolution ``epsilon``."""
-        cfg = self.config
-        model = self.circuit.paths.model
-        epsilon = cfg.epsilon
-        if epsilon is None:
-            widths = 2.0 * cfg.sigma_window * model.stds()
-            epsilon = float(np.median(widths) / 2**cfg.pathwise_iterations_target)
-        return pathwise_frequency_stepping(
-            population.required,
-            model.means,
-            model.stds(),
-            epsilon,
-            sigma_window=cfg.sigma_window,
+        return self._engine.pathwise_baseline(
+            self.circuit, population, self.config.offline
         )
-
-    # -- helpers -------------------------------------------------------------------
-
-    def _full_bounds(
-        self,
-        population: CircuitPopulation,
-        prep: Preparation,
-        test: PopulationTestResult,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Dense (n_chips, n_paths) bounds: tested ranges + predictions."""
-        n_chips = population.n_chips
-        n_paths = self.circuit.paths.n_paths
-        lower = np.empty((n_chips, n_paths))
-        upper = np.empty((n_chips, n_paths))
-        lower[:, test.measured_indices] = test.lower
-        upper[:, test.measured_indices] = test.upper
-
-        if prep.predictor is not None:
-            # Conservative conditioning on measured *upper* bounds (§3.4).
-            measured_upper = test.upper
-            pred_lower, pred_upper = prep.predictor.predict_intervals(
-                measured_upper, sigma_window=self.config.sigma_window
-            )
-            lower[:, prep.predictor.predicted_idx] = pred_lower
-            upper[:, prep.predictor.predicted_idx] = pred_upper
-        return lower, upper
-
-

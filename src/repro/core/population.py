@@ -43,6 +43,11 @@ class PopulationTestResult:
         return self.lower.shape[0]
 
     @property
+    def n_measured(self) -> int:
+        """Paths covered by this test — the single source for ``n_pt``."""
+        return int(len(self.measured_indices))
+
+    @property
     def mean_iterations(self) -> float:
         """The paper's ``t_a``: average iterations per chip."""
         return float(self.iterations.mean())

@@ -16,7 +16,12 @@ from repro.experiments.benchdata import (
     all_benchmark_specs,
     benchmark_spec,
 )
-from repro.experiments.context import CircuitContext, build_context
+from repro.experiments.context import (
+    DEFAULT_OFFLINE,
+    DEFAULT_ONLINE,
+    CircuitContext,
+    build_context,
+)
 from repro.experiments.figure7 import Figure7Row, render_figure7, run_figure7
 from repro.experiments.figure8 import Figure8Row, render_figure8, run_figure8
 from repro.experiments.table1 import Table1Row, render_table1, run_table1
@@ -25,6 +30,8 @@ from repro.experiments.table2 import Table2Row, render_table2, run_table2
 __all__ = [
     "BENCHMARK_NAMES",
     "CircuitContext",
+    "DEFAULT_OFFLINE",
+    "DEFAULT_ONLINE",
     "Figure7Row",
     "Figure8Row",
     "PAPER_BY_NAME",

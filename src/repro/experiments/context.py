@@ -1,28 +1,34 @@
-"""Shared per-circuit experiment context.
+"""Shared per-circuit experiment context, driven by the staged engine.
 
 Every experiment needs the same artefacts for a circuit: the generated
 instance, the calibrated operating periods T1/T2 (no-buffer yield 50 % /
 84.13 %, from a dedicated calibration population), the offline preparation
-and an evaluation population.  Building them once per circuit keeps the
-experiment drivers small and guarantees Table 1, Table 2 and the figures
-all describe the same silicon.
+and an evaluation population.  Contexts run through one shared
+:class:`repro.api.Engine`, so experiments that revisit a circuit (or a
+period sweep over one) reuse the cached preparation instead of re-paying
+the offline stage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import Engine, OfflineConfig, OnlineConfig
 from repro.circuit.generator import Circuit, generate_circuit
-from repro.core.framework import EffiTest, EffiTestConfig, Preparation
+from repro.core.framework import PopulationRunResult, Preparation
 from repro.core.yields import CircuitPopulation, operating_periods, sample_circuit
 from repro.experiments.benchdata import benchmark_spec
+from repro.tester.freqstep import PathwiseResult
 from repro.utils.rng import derive_seed
 
 #: Calibration sample size for the T1/T2 quantiles.
 CALIBRATION_CHIPS = 4096
 
-#: Defaults shared by all experiment drivers.
-DEFAULT_CONFIG = EffiTestConfig(relative_threshold=0.015)
+#: Offline defaults shared by all experiment drivers.
+DEFAULT_OFFLINE = OfflineConfig(relative_threshold=0.015)
+
+#: Online defaults shared by all experiment drivers.
+DEFAULT_ONLINE = OnlineConfig()
 
 
 @dataclass
@@ -32,26 +38,58 @@ class CircuitContext:
     circuit: Circuit
     t1: float
     t2: float
-    framework: EffiTest
-    preparation: Preparation
+    engine: Engine
+    offline: OfflineConfig
+    online: OnlineConfig
+    preparation: Preparation | None
     population: CircuitPopulation
 
     @property
     def name(self) -> str:
         return self.circuit.name
 
+    def run(
+        self,
+        period: float | None = None,
+        population: CircuitPopulation | None = None,
+        online: OnlineConfig | None = None,
+    ) -> PopulationRunResult:
+        """Full pipeline run against this context's cached preparation."""
+        return self.engine.run(
+            self.circuit,
+            population if population is not None else self.population,
+            period if period is not None else self.t1,
+            preparation=self.preparation,
+            clock_period=self.t1,
+            offline=self.offline,
+            online=online or self.online,
+        )
+
+    def pathwise_baseline(
+        self, population: CircuitPopulation | None = None
+    ) -> PathwiseResult:
+        """Path-wise frequency stepping at this context's resolution."""
+        return self.engine.pathwise_baseline(
+            self.circuit,
+            population if population is not None else self.population,
+            offline=self.offline,
+        )
+
 
 def build_context(
     name: str,
     n_chips: int = 1000,
     seed: int = 20160605,
-    config: EffiTestConfig | None = None,
+    offline: OfflineConfig | None = None,
+    online: OnlineConfig | None = None,
     prepare: bool = True,
+    engine: Engine | None = None,
 ) -> CircuitContext:
     """Generate, calibrate and prepare one benchmark circuit.
 
     Seeds are derived per purpose (generation / calibration / evaluation),
-    so enlarging the evaluation population does not move T1/T2.
+    so enlarging the evaluation population does not move T1/T2.  Pass a
+    shared ``engine`` to pool preparations across contexts.
     """
     spec = benchmark_spec(name)
     circuit = generate_circuit(spec, seed=derive_seed(seed, name, "circuit"))
@@ -61,8 +99,10 @@ def build_context(
     )
     t1, t2 = operating_periods(calibration)
 
-    framework = EffiTest(circuit, config or DEFAULT_CONFIG)
-    preparation = framework.prepare(clock_period=t1) if prepare else None
+    offline = offline or DEFAULT_OFFLINE
+    online = online or DEFAULT_ONLINE
+    engine = engine or Engine(offline=offline, online=online)
+    preparation = engine.prepare(circuit, t1, offline) if prepare else None
 
     population = sample_circuit(
         circuit, n_chips, seed=derive_seed(seed, name, "evaluation")
@@ -71,7 +111,9 @@ def build_context(
         circuit=circuit,
         t1=t1,
         t2=t2,
-        framework=framework,
+        engine=engine,
+        offline=offline,
+        online=online,
         preparation=preparation,
         population=population,
     )

@@ -17,10 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.framework import EffiTest
 from repro.core.yields import ideal_yield, no_buffer_yield, sample_circuit
 from repro.experiments.benchdata import BENCHMARK_NAMES
-from repro.experiments.context import DEFAULT_CONFIG, build_context
+from repro.experiments.context import build_context
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 
@@ -41,6 +40,7 @@ def run_circuit(
     n_chips: int = 1000,
     seed: int = 20160605,
     inflation: float = 1.1,
+    engine=None,
 ) -> Figure7Row:
     """Measure Fig. 7 bars for one circuit.
 
@@ -48,15 +48,18 @@ def run_circuit(
     drawn from the inflated model, and the whole EffiTest flow (grouping,
     prediction, test, configuration) runs against the inflated statistics.
     """
-    base = build_context(name, n_chips=8, seed=seed, prepare=False)
+    base = build_context(name, n_chips=8, seed=seed, prepare=False, engine=engine)
     inflated = base.circuit.with_inflated_randomness(inflation)
-    framework = EffiTest(inflated, DEFAULT_CONFIG)
-    preparation = framework.prepare(clock_period=base.t1)
+    # The inflated model changes the circuit fingerprint, so this is a
+    # distinct cache entry from the base circuit's preparation.
+    preparation = base.engine.prepare(inflated, base.t1, base.offline)
     population = sample_circuit(
         inflated, n_chips, seed=derive_seed(seed, name, "figure7")
     )
 
-    run = framework.run(population, base.t1, preparation)
+    run = base.engine.run(
+        inflated, population, base.t1, preparation=preparation
+    )
     return Figure7Row(
         name=name,
         period=base.t1,
@@ -71,9 +74,12 @@ def run_figure7(
     n_chips: int = 1000,
     seed: int = 20160605,
     inflation: float = 1.1,
+    engine=None,
 ) -> list[Figure7Row]:
     return [
-        run_circuit(name, n_chips=n_chips, seed=seed, inflation=inflation)
+        run_circuit(
+            name, n_chips=n_chips, seed=seed, inflation=inflation, engine=engine
+        )
         for name in circuits
     ]
 

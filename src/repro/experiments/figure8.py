@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.framework import EffiTest
 from repro.experiments.benchdata import BENCHMARK_NAMES
-from repro.experiments.context import DEFAULT_CONFIG, build_context
+from repro.experiments.context import DEFAULT_OFFLINE, build_context
 from repro.utils.tables import Table
 
 
@@ -36,6 +35,7 @@ def run_circuit(
     name: str,
     n_chips: int = 200,
     seed: int = 20160605,
+    engine=None,
 ) -> Figure8Row:
     """Measure the three bars for one circuit.
 
@@ -43,18 +43,20 @@ def run_circuit(
     exactly the cost explosion the paper argues against, so this is the
     most expensive experiment.
     """
-    config = replace(DEFAULT_CONFIG, test_all_paths=True)
-    context = build_context(name, n_chips=n_chips, seed=seed, config=config)
-    framework = context.framework
-    prep = context.preparation
+    offline = replace(DEFAULT_OFFLINE, test_all_paths=True)
+    context = build_context(
+        name, n_chips=n_chips, seed=seed, offline=offline, engine=engine
+    )
     n_paths = context.circuit.paths.n_paths
 
-    baseline = framework.pathwise_baseline(context.population)
+    baseline = context.pathwise_baseline()
 
-    aligned = framework.run(context.population, context.t1, prep)
+    aligned = context.run(context.t1)
 
-    no_align = EffiTest(context.circuit, replace(config, align=False))
-    unaligned = no_align.run(context.population, context.t1, prep)
+    # Alignment is an online knob: the same cached preparation serves both.
+    unaligned = context.run(
+        context.t1, online=replace(context.online, align=False)
+    )
 
     return Figure8Row(
         name=name,
@@ -68,8 +70,12 @@ def run_figure8(
     circuits: tuple[str, ...] = BENCHMARK_NAMES,
     n_chips: int = 200,
     seed: int = 20160605,
+    engine=None,
 ) -> list[Figure8Row]:
-    return [run_circuit(name, n_chips=n_chips, seed=seed) for name in circuits]
+    return [
+        run_circuit(name, n_chips=n_chips, seed=seed, engine=engine)
+        for name in circuits
+    ]
 
 
 def render_figure8(rows: list[Figure8Row]) -> str:

@@ -18,6 +18,7 @@ import argparse
 import sys
 import time
 
+from repro.api import Engine
 from repro.experiments.benchdata import BENCHMARK_NAMES, QUICK_NAMES
 from repro.experiments.figure7 import render_figure7, run_figure7
 from repro.experiments.figure8 import render_figure8, run_figure8
@@ -67,30 +68,54 @@ def _circuits(args: argparse.Namespace) -> tuple[str, ...]:
     return QUICK_NAMES if args.quick else BENCHMARK_NAMES
 
 
-def run_one(name: str, args: argparse.Namespace) -> str:
+def run_one(
+    name: str, args: argparse.Namespace, engine: Engine | None = None
+) -> str:
+    """Regenerate one artefact; a shared ``engine`` pools preparations
+    (``all`` pays the offline stage once per circuit, not per experiment)."""
     circuits = _circuits(args)
     chips = args.chips
+    engine = engine or Engine()
+    before = engine.cache_stats
     start = time.perf_counter()
     if name == "table1":
-        text = render_table1(run_table1(circuits, chips or (300 if args.quick else 1000), args.seed))
+        text = render_table1(run_table1(
+            circuits, chips or (300 if args.quick else 1000), args.seed,
+            engine=engine,
+        ))
     elif name == "table2":
-        text = render_table2(run_table2(circuits, chips or (300 if args.quick else 1000), args.seed))
+        text = render_table2(run_table2(
+            circuits, chips or (300 if args.quick else 1000), args.seed,
+            engine=engine,
+        ))
     elif name == "figure7":
-        text = render_figure7(run_figure7(circuits, chips or (300 if args.quick else 1000), args.seed))
+        text = render_figure7(run_figure7(
+            circuits, chips or (300 if args.quick else 1000), args.seed,
+            engine=engine,
+        ))
     elif name == "figure8":
-        text = render_figure8(run_figure8(circuits, chips or (50 if args.quick else 200), args.seed))
+        text = render_figure8(run_figure8(
+            circuits, chips or (50 if args.quick else 200), args.seed,
+            engine=engine,
+        ))
     else:  # pragma: no cover - guarded by argparse choices
         raise ValueError(name)
     elapsed = time.perf_counter() - start
-    header = f"== {name} ({', '.join(circuits)}; {elapsed:.1f}s) =="
+    stats = engine.cache_stats
+    header = (
+        f"== {name} ({', '.join(circuits)}; {elapsed:.1f}s; "
+        f"prep cache {stats.hits - before.hits} hits / "
+        f"{stats.misses - before.misses} misses) =="
+    )
     return f"{header}\n{text}"
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    engine = Engine()
     for name in names:
-        print(run_one(name, args))
+        print(run_one(name, args, engine=engine))
         print()
     return 0
 

@@ -43,12 +43,12 @@ def run_circuit(context: CircuitContext) -> Table1Row:
     """Measure one circuit's Table 1 row at its T1 operating point."""
     circuit = context.circuit
     prep = context.preparation
-    result = context.framework.run(context.population, context.t1, prep)
-    baseline = context.framework.pathwise_baseline(context.population)
+    result = context.run(context.t1)
+    baseline = context.pathwise_baseline()
 
     ta = result.mean_iterations
-    npt = prep.n_tested
-    tv = ta / max(npt, 1)
+    npt = result.n_tested
+    tv = result.iterations_per_tested_path
     ta_p = float(baseline.total_iterations)
     tv_p = baseline.mean_iterations_per_path
     return Table1Row(
@@ -74,11 +74,16 @@ def run_table1(
     circuits: tuple[str, ...] = BENCHMARK_NAMES,
     n_chips: int = 1000,
     seed: int = 20160605,
+    engine=None,
 ) -> list[Table1Row]:
-    """Measure Table 1 rows for the requested circuits."""
+    """Measure Table 1 rows for the requested circuits.
+
+    A shared ``engine`` lets other experiments on the same circuits reuse
+    the offline preparations computed here.
+    """
     rows = []
     for name in circuits:
-        context = build_context(name, n_chips=n_chips, seed=seed)
+        context = build_context(name, n_chips=n_chips, seed=seed, engine=engine)
         rows.append(run_circuit(context))
     return rows
 

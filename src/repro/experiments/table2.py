@@ -48,7 +48,7 @@ def run_circuit(context: CircuitContext) -> Table2Row:
 
     values = {}
     for label, period in (("t1", context.t1), ("t2", context.t2)):
-        run = context.framework.run(pop, period, prep)
+        run = context.run(period, pop)
         values[f"yt_{label}"] = 100.0 * run.yield_fraction
         values[f"yi_{label}"] = 100.0 * ideal_yield(
             circuit, pop, prep.structure, period
@@ -62,10 +62,11 @@ def run_table2(
     circuits: tuple[str, ...] = BENCHMARK_NAMES,
     n_chips: int = 1000,
     seed: int = 20160605,
+    engine=None,
 ) -> list[Table2Row]:
     rows = []
     for name in circuits:
-        context = build_context(name, n_chips=n_chips, seed=seed)
+        context = build_context(name, n_chips=n_chips, seed=seed, engine=engine)
         rows.append(run_circuit(context))
     return rows
 

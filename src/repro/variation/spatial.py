@@ -82,7 +82,7 @@ class SpatialModel:
     def _level_offset(self, level: int) -> int:
         """Index of the first cell factor of ``level`` within one parameter
         block (level 0 is the global factor at offset 0)."""
-        return 1 + sum(4**l for l in range(1, level))
+        return 1 + sum(4**lv for lv in range(1, level))
 
     def cell_index(self, level: int, x: float, y: float) -> int:
         """Grid-cell ordinal of location ``(x, y)`` at ``level``."""

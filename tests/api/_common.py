@@ -1,0 +1,10 @@
+"""Shared constants for the API tests (imported by conftest and modules)."""
+
+from repro.api import OfflineConfig
+from repro.core.framework import EffiTestConfig
+
+#: Offline defaults for the tiny circuit (cheap hold-bound sampling).
+TINY_OFFLINE = OfflineConfig(hold_samples=400)
+
+#: The same knobs through the legacy composite shim.
+TINY_COMPOSITE = EffiTestConfig(hold_samples=400)

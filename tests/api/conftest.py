@@ -1,0 +1,43 @@
+"""Fixtures for the staged pipeline API tests.
+
+A counting offline-stage factory is the probe for every cache test: it
+wraps the real stage and records each compute, so tests can assert the
+expensive offline stage ran exactly as often as the cache contract says.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Engine, OfflineStage
+
+from _common import TINY_OFFLINE
+
+
+class CountingOfflineStage(OfflineStage):
+    """Offline stage that appends each compute to a shared log."""
+
+    def __init__(self, config, log):
+        super().__init__(config)
+        self._log = log
+
+    def run(self, request):
+        self._log.append((request.circuit.name, request.clock_period))
+        return super().run(request)
+
+
+@pytest.fixture()
+def offline_computes():
+    """The shared compute log, one entry per offline-stage execution."""
+    return []
+
+
+@pytest.fixture()
+def counting_engine(offline_computes):
+    """Engine whose offline stage records every compute."""
+    return Engine(
+        offline=TINY_OFFLINE,
+        offline_stage_factory=lambda cfg: CountingOfflineStage(
+            cfg, offline_computes
+        ),
+    )

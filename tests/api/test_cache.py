@@ -1,0 +1,143 @@
+"""Preparation cache: fingerprints, keying, hit/miss contract."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import OfflineConfig, OnlineConfig, PreparationCache, PreparationKey
+from repro.api.cache import fingerprint_circuit
+from repro.core import sample_circuit
+
+from _common import TINY_OFFLINE
+
+
+class TestFingerprint:
+    def test_deterministic(self, tiny_circuit):
+        assert fingerprint_circuit(tiny_circuit) == fingerprint_circuit(
+            tiny_circuit
+        )
+
+    def test_inflated_randomness_changes_fingerprint(self, tiny_circuit):
+        inflated = tiny_circuit.with_inflated_randomness(1.1)
+        assert fingerprint_circuit(inflated) != fingerprint_circuit(
+            tiny_circuit
+        )
+
+    def test_different_circuit_changes_fingerprint(self, tiny_circuit):
+        from repro.circuit import generate_circuit
+
+        other = generate_circuit(tiny_circuit.spec, seed=4321)
+        assert fingerprint_circuit(other) != fingerprint_circuit(tiny_circuit)
+
+
+class TestPreparationKey:
+    def test_equal_inputs_equal_keys(self, tiny_circuit):
+        a = PreparationKey.build(tiny_circuit, 100.0, TINY_OFFLINE)
+        b = PreparationKey.build(tiny_circuit, 100.0, OfflineConfig(hold_samples=400))
+        assert a == b
+
+    def test_clock_period_part_of_key(self, tiny_circuit):
+        a = PreparationKey.build(tiny_circuit, 100.0, TINY_OFFLINE)
+        b = PreparationKey.build(tiny_circuit, 101.0, TINY_OFFLINE)
+        assert a != b
+
+    def test_offline_fields_part_of_key(self, tiny_circuit):
+        base = PreparationKey.build(tiny_circuit, 100.0, TINY_OFFLINE)
+        for change in ({"n_steps": 10}, {"hold_yield": 0.9},
+                       {"test_all_paths": True}):
+            other = PreparationKey.build(
+                tiny_circuit, 100.0, replace(TINY_OFFLINE, **change)
+            )
+            assert other != base, change
+
+
+class TestPreparationCache:
+    def test_single_compute_per_key(self, tiny_circuit):
+        cache = PreparationCache()
+        key = PreparationKey.build(tiny_circuit, 100.0, TINY_OFFLINE)
+        computes = []
+
+        def compute():
+            computes.append(1)
+            return object()
+
+        first = cache.get_or_compute(key, compute)
+        second = cache.get_or_compute(key, compute)
+        assert first is second
+        assert len(computes) == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.computes == 1
+
+    def test_lru_eviction(self, tiny_circuit):
+        cache = PreparationCache(max_entries=2)
+        keys = [
+            PreparationKey.build(tiny_circuit, float(period), TINY_OFFLINE)
+            for period in (1, 2, 3)
+        ]
+        for key in keys:
+            cache.get_or_compute(key, object)
+        assert len(cache) == 2
+        assert keys[0] not in cache
+        assert keys[1] in cache and keys[2] in cache
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            PreparationCache(max_entries=0)
+
+    def test_clear_resets_stats(self, tiny_circuit):
+        cache = PreparationCache()
+        key = PreparationKey.build(tiny_circuit, 1.0, TINY_OFFLINE)
+        cache.get_or_compute(key, object)
+        cache.clear()
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+
+class TestEngineCaching:
+    """The satellite contract: offline reuse across online-knob changes."""
+
+    def test_same_offline_config_hits(
+        self, counting_engine, offline_computes, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        first = counting_engine.prepare(tiny_circuit, t1)
+        second = counting_engine.prepare(tiny_circuit, t1)
+        assert first is second
+        assert len(offline_computes) == 1
+
+    def test_changed_n_steps_misses(
+        self, counting_engine, offline_computes, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        counting_engine.prepare(tiny_circuit, t1)
+        counting_engine.prepare(
+            tiny_circuit, t1, replace(TINY_OFFLINE, n_steps=10)
+        )
+        assert len(offline_computes) == 2
+
+    def test_changed_hold_yield_misses(
+        self, counting_engine, offline_computes, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        counting_engine.prepare(tiny_circuit, t1)
+        counting_engine.prepare(
+            tiny_circuit, t1, replace(TINY_OFFLINE, hold_yield=0.95)
+        )
+        assert len(offline_computes) == 2
+
+    def test_period_and_align_are_online_knobs(
+        self, counting_engine, offline_computes, tiny_circuit, tiny_periods
+    ):
+        """Changing only the operating period or alignment reuses the
+        preparation — the whole point of the offline/online split."""
+        t1, t2 = tiny_periods
+        population = sample_circuit(tiny_circuit, 16, seed=3)
+        counting_engine.run(tiny_circuit, population, t1, clock_period=t1)
+        counting_engine.run(tiny_circuit, population, t2, clock_period=t1)
+        counting_engine.run(
+            tiny_circuit, population, t1, clock_period=t1,
+            online=OnlineConfig(align=False),
+        )
+        assert len(offline_computes) == 1
+        assert counting_engine.cache_stats.hits == 2

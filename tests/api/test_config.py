@@ -1,0 +1,113 @@
+"""Config split, composite shim, and shared epsilon calibration."""
+
+from dataclasses import fields
+
+import numpy as np
+import pytest
+
+from repro.api import OfflineConfig, OnlineConfig
+from repro.core.calibration import calibrate_epsilon
+from repro.core.configuration import ConfigurationResult
+from repro.core.framework import EffiTestConfig, PopulationRunResult
+from repro.core.population import PopulationTestResult
+
+
+class TestConfigSplit:
+    def test_every_composite_field_is_covered(self):
+        composite = {f.name for f in fields(EffiTestConfig)}
+        split = {f.name for f in fields(OfflineConfig)} | {
+            f.name for f in fields(OnlineConfig)
+        }
+        assert composite == split
+
+    def test_offline_and_online_do_not_overlap(self):
+        offline = {f.name for f in fields(OfflineConfig)}
+        online = {f.name for f in fields(OnlineConfig)}
+        assert not offline & online
+
+    def test_defaults_agree(self):
+        composite = EffiTestConfig()
+        assert composite.offline == OfflineConfig()
+        assert composite.online == OnlineConfig()
+
+    def test_roundtrip_through_parts(self):
+        composite = EffiTestConfig(
+            n_steps=12, hold_yield=0.95, align=False, xi_tolerance=0.01,
+            epsilon=0.25, seed=7,
+        )
+        rebuilt = EffiTestConfig.from_parts(composite.offline, composite.online)
+        assert rebuilt == composite
+
+    def test_cache_fields_track_changes(self):
+        base = OfflineConfig()
+        assert base.cache_fields() == OfflineConfig().cache_fields()
+        assert (
+            OfflineConfig(n_steps=10).cache_fields() != base.cache_fields()
+        )
+
+
+class TestCalibrateEpsilon:
+    def test_explicit_epsilon_wins(self):
+        config = OfflineConfig(epsilon=0.5)
+        assert calibrate_epsilon(config, np.array([1.0, 2.0])) == 0.5
+
+    def test_median_width_halved_to_target(self):
+        config = OfflineConfig(sigma_window=3.0, pathwise_iterations_target=9)
+        stds = np.array([1.0, 2.0, 3.0])
+        expected = (2.0 * 3.0 * 2.0) / 2**9
+        assert calibrate_epsilon(config, stds) == pytest.approx(expected)
+
+    def test_accepts_legacy_composite(self):
+        stds = np.array([1.0, 4.0])
+        assert calibrate_epsilon(
+            EffiTestConfig(), stds
+        ) == calibrate_epsilon(OfflineConfig(), stds)
+
+    def test_preparation_and_baseline_share_epsilon(
+        self, tiny_framework, tiny_preparation
+    ):
+        """One resolution for both flows — the reduction ratios depend on it."""
+        stds = tiny_framework.circuit.paths.model.stds()
+        assert tiny_preparation.epsilon == pytest.approx(
+            calibrate_epsilon(tiny_framework.config, stds)
+        )
+
+
+class TestIterationsPerTestedPath:
+    """Satellite fix: the ``n_pt == 0`` guard reads from one source."""
+
+    @staticmethod
+    def _result(n_chips: int, measured: np.ndarray) -> PopulationRunResult:
+        n_measured = len(measured)
+        test = PopulationTestResult(
+            measured_indices=measured,
+            lower=np.zeros((n_chips, n_measured)),
+            upper=np.zeros((n_chips, n_measured)),
+            iterations=np.full(n_chips, 6, dtype=int),
+            iterations_per_batch=np.zeros((n_chips, 0), dtype=int),
+        )
+        return PopulationRunResult(
+            period=1.0,
+            test=test,
+            bounds_lower=np.zeros((n_chips, n_measured)),
+            bounds_upper=np.zeros((n_chips, n_measured)),
+            configuration=ConfigurationResult(
+                feasible=np.ones(n_chips, dtype=bool),
+                settings=np.zeros((n_chips, 0)),
+                xi=np.zeros(n_chips),
+                buffer_names=(),
+            ),
+            passed=np.ones(n_chips, dtype=bool),
+            tester_seconds_per_chip=0.0,
+            config_seconds_per_chip=0.0,
+        )
+
+    def test_zero_tested_paths_guarded(self):
+        result = self._result(4, np.array([], dtype=np.intp))
+        assert result.n_tested == 0
+        assert result.iterations_per_tested_path == 0.0
+
+    def test_n_tested_comes_from_measured_indices(self):
+        result = self._result(4, np.array([0, 2, 5], dtype=np.intp))
+        assert result.n_tested == result.test.n_measured == 3
+        assert result.iterations_per_tested_path == pytest.approx(6 / 3)

@@ -1,0 +1,181 @@
+"""Engine pipeline: legacy equivalence, batch runs, stage swaps."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Engine,
+    PathwiseTestStage,
+    Scenario,
+    records_table,
+)
+from repro.core import sample_circuit
+from repro.core.framework import EffiTest
+
+from _common import TINY_COMPOSITE, TINY_OFFLINE
+
+
+class TestLegacyEquivalence:
+    """Satellite regression: engine pipeline == EffiTest facade."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        population = sample_circuit(tiny_circuit, 48, seed=17)
+
+        engine = Engine(offline=TINY_OFFLINE)
+        via_engine = engine.run(
+            tiny_circuit, population, t1, clock_period=t1
+        )
+
+        framework = EffiTest(tiny_circuit, TINY_COMPOSITE)
+        preparation = framework.prepare(t1)
+        via_facade = framework.run(population, t1, preparation)
+        return via_engine, via_facade
+
+    def test_yield_identical(self, runs):
+        via_engine, via_facade = runs
+        assert via_engine.yield_fraction == via_facade.yield_fraction
+
+    def test_iterations_identical(self, runs):
+        via_engine, via_facade = runs
+        assert via_engine.mean_iterations == via_facade.mean_iterations
+        np.testing.assert_array_equal(
+            via_engine.test.iterations, via_facade.test.iterations
+        )
+
+    def test_buffer_settings_identical(self, runs):
+        via_engine, via_facade = runs
+        np.testing.assert_array_equal(
+            via_engine.configuration.feasible, via_facade.configuration.feasible
+        )
+        np.testing.assert_array_equal(
+            via_engine.configuration.settings, via_facade.configuration.settings
+        )
+
+    def test_bounds_identical(self, runs):
+        via_engine, via_facade = runs
+        np.testing.assert_array_equal(
+            via_engine.bounds_lower, via_facade.bounds_lower
+        )
+        np.testing.assert_array_equal(
+            via_engine.bounds_upper, via_facade.bounds_upper
+        )
+
+
+class TestRunMany:
+    def test_offline_runs_once_across_scenarios(
+        self, counting_engine, offline_computes, tiny_circuit, tiny_periods
+    ):
+        """The acceptance contract: >= 3 scenarios sharing one circuit pay
+        the offline stage exactly once."""
+        t1, t2 = tiny_periods
+        records = counting_engine.run_many([
+            Scenario(tiny_circuit, period=t1, n_chips=12, seed=1,
+                     clock_period=t1),
+            Scenario(tiny_circuit, period=t2, n_chips=12, seed=2,
+                     clock_period=t1),
+            Scenario(tiny_circuit, period=1.05 * t1, n_chips=12, seed=3,
+                     clock_period=t1),
+        ])
+        assert len(offline_computes) == 1
+        assert counting_engine.cache_stats.computes == 1
+        assert [record.cache_hit for record in records] == [False, True, True]
+
+    def test_records_in_input_order(self, tiny_circuit, tiny_periods):
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        records = engine.run_many([
+            Scenario(tiny_circuit, period=t1, n_chips=8, seed=1,
+                     clock_period=t1, label="a"),
+            Scenario(tiny_circuit, period=t2, n_chips=8, seed=2,
+                     clock_period=t1, label="b"),
+        ])
+        assert [record.label for record in records] == ["a", "b"]
+        assert records[0].period == t1 and records[1].period == t2
+
+    def test_explicit_population_shared(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        population = sample_circuit(tiny_circuit, 24, seed=9)
+        engine = Engine(offline=TINY_OFFLINE)
+        a, b = engine.run_many([
+            Scenario(tiny_circuit, period=t1, clock_period=t1,
+                     population=population, seed=1),
+            Scenario(tiny_circuit, period=t1, clock_period=t1,
+                     population=population, seed=2),
+        ])
+        assert a.n_chips == b.n_chips == 24
+        # Same chips, same preparation, same period -> identical outcome.
+        assert a.yield_fraction == b.yield_fraction
+        assert a.mean_iterations == b.mean_iterations
+
+    def test_parallel_matches_serial(self, tiny_circuit, tiny_periods):
+        t1, t2 = tiny_periods
+        scenarios = [
+            Scenario(tiny_circuit, period=period, n_chips=10, seed=seed,
+                     clock_period=t1)
+            for seed, period in enumerate((t1, t2))
+        ]
+        engine = Engine(offline=TINY_OFFLINE)
+        serial = engine.run_many(scenarios)
+        parallel = engine.run_many(scenarios, max_workers=2)
+        for s, p in zip(serial, parallel):
+            assert s.yield_fraction == p.yield_fraction
+            assert s.mean_iterations == p.mean_iterations
+
+    def test_record_matches_result(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        (record,) = engine.run_many([
+            Scenario(tiny_circuit, period=t1, n_chips=12, seed=5,
+                     clock_period=t1),
+        ])
+        result = record.result
+        assert record.yield_fraction == result.yield_fraction
+        assert record.mean_iterations == result.mean_iterations
+        assert record.n_tested == result.n_tested
+        assert record.iterations_per_tested_path == (
+            result.iterations_per_tested_path
+        )
+        assert set(record.as_dict()) >= {
+            "circuit", "period", "yield_fraction", "cache_hit"
+        }
+
+    def test_records_table_renders(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        records = engine.run_many([
+            Scenario(tiny_circuit, period=t1, n_chips=8, seed=1,
+                     clock_period=t1),
+        ])
+        text = records_table(records)
+        assert "tiny" in text and "miss" in text
+
+
+class TestStageSwaps:
+    def test_pathwise_stage_tests_every_path(
+        self, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        population = sample_circuit(tiny_circuit, 16, seed=11)
+        engine = Engine(offline=TINY_OFFLINE)
+        run = engine.run(
+            tiny_circuit, population, t1, clock_period=t1,
+            test_stage=PathwiseTestStage(),
+        )
+        n_paths = tiny_circuit.paths.n_paths
+        assert run.n_tested == n_paths
+        baseline = engine.pathwise_baseline(tiny_circuit, population)
+        assert run.mean_iterations == float(baseline.total_iterations)
+
+    def test_pathwise_stage_beats_nothing(self, tiny_circuit, tiny_periods):
+        """Aligned multiplexed testing must cost less than the baseline."""
+        t1, _ = tiny_periods
+        population = sample_circuit(tiny_circuit, 16, seed=11)
+        engine = Engine(offline=TINY_OFFLINE)
+        aligned = engine.run(tiny_circuit, population, t1, clock_period=t1)
+        pathwise = engine.run(
+            tiny_circuit, population, t1, clock_period=t1,
+            test_stage=PathwiseTestStage(),
+        )
+        assert aligned.mean_iterations < pathwise.mean_iterations

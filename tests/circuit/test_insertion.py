@@ -1,6 +1,5 @@
 """Tests for criticality-driven buffer insertion."""
 
-import numpy as np
 import pytest
 
 from repro.circuit.insertion import (

@@ -1,6 +1,5 @@
 """Tests for PathSet containers and gate-level path extraction."""
 
-import numpy as np
 import pytest
 
 from repro.circuit.library import default_library

@@ -5,8 +5,6 @@ way the paper's model says it must (wider buffers / longer periods can only
 help; more variation and fewer measurements can only hurt).
 """
 
-import numpy as np
-import pytest
 
 from repro.circuit import plan_buffers
 from repro.core import (

@@ -1,7 +1,6 @@
 """Tests for test multiplexing (batch formation + slot filling)."""
 
 import numpy as np
-import pytest
 
 from repro.circuit.paths import PathSet, TimedPath
 from repro.core.multiplexing import form_batches, plan_multiplexing

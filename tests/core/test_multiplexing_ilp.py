@@ -1,7 +1,6 @@
 """Tests for the exact ILP batch-formation alternative."""
 
 import numpy as np
-import pytest
 
 from repro.circuit.paths import PathSet, TimedPath
 from repro.core.multiplexing import form_batches, form_batches_ilp

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.configuration import ConfigurationResult, ideal_feasibility
+from repro.core.configuration import ConfigurationResult
 from repro.core.yields import (
-    CircuitPopulation,
     configured_pass,
     ideal_yield,
     no_buffer_yield,

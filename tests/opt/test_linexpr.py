@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.opt.linexpr import Constraint, LinExpr, Sense
+from repro.opt.linexpr import LinExpr, Sense
 
 x = LinExpr.variable("x")
 y = LinExpr.variable("y")

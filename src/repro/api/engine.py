@@ -28,6 +28,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 from repro.api.cache import CacheStats, PreparationCache, PreparationKey
 from repro.api.config import OfflineConfig, OnlineConfig
 from repro.api.stages import (
@@ -40,7 +42,9 @@ from repro.api.stages import (
     VerifyStage,
 )
 from repro.circuit.generator import Circuit
+from repro.core.configuration import ConfigurationResult
 from repro.core.framework import PopulationRunResult, Preparation
+from repro.core.population import concat_population_test_results
 from repro.core.yields import CircuitPopulation, sample_circuit
 from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
 from repro.utils.rng import derive_seed
@@ -170,6 +174,59 @@ def _run_scenario_task(
         _WORKER_PREPARATIONS[prep_index],
         online,
     )
+
+
+def _merge_shard_runs(parts: list[PopulationRunResult]) -> PopulationRunResult:
+    """Reassemble one scenario's result from its chip-shard runs.
+
+    Chips are independent through every online stage, so concatenating the
+    per-shard arrays reproduces the unsharded result exactly; the per-chip
+    timing figures recombine as chip-weighted means.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    n_chips = np.array([p.passed.shape[0] for p in parts], dtype=float)
+    total = n_chips.sum()
+    configuration = ConfigurationResult(
+        feasible=np.concatenate([p.configuration.feasible for p in parts]),
+        settings=np.vstack([p.configuration.settings for p in parts]),
+        xi=np.concatenate([p.configuration.xi for p in parts]),
+        buffer_names=parts[0].configuration.buffer_names,
+    )
+    return PopulationRunResult(
+        period=parts[0].period,
+        test=concat_population_test_results([p.test for p in parts]),
+        bounds_lower=np.vstack([p.bounds_lower for p in parts]),
+        bounds_upper=np.vstack([p.bounds_upper for p in parts]),
+        configuration=configuration,
+        passed=np.concatenate([p.passed for p in parts]),
+        tester_seconds_per_chip=float(
+            (n_chips * [p.tester_seconds_per_chip for p in parts]).sum() / total
+        ),
+        config_seconds_per_chip=float(
+            (n_chips * [p.config_seconds_per_chip for p in parts]).sum() / total
+        ),
+    )
+
+
+def _shard_payload(
+    payload: tuple[int, CircuitPopulation, float, int, OnlineConfig],
+) -> list[tuple[int, CircuitPopulation, float, int, OnlineConfig]]:
+    """Split one scenario payload into per-shard payloads (or keep whole)."""
+    circuit_index, population, period, prep_index, online = payload
+    shard = online.chip_shard_size
+    if shard is None or population.n_chips <= shard:
+        return [payload]
+    return [
+        (
+            circuit_index,
+            population.subset(range(start, min(start + shard, population.n_chips))),
+            period,
+            prep_index,
+            online,
+        )
+        for start in range(0, population.n_chips, shard)
+    ]
 
 
 class Engine:
@@ -336,7 +393,20 @@ class Engine:
             )
         ]
 
-        if max_workers is not None and max_workers > 1 and len(payloads) > 1:
+        # With a pool, scenarios whose OnlineConfig sets chip_shard_size fan
+        # out as one task per chip shard — a single huge population spreads
+        # across all workers — and reassemble afterwards.  Chips are
+        # independent through every online stage, so sharded and unsharded
+        # runs are identical.  Shard copies are only materialized on the
+        # pool path; the serial path streams shards inside AlignedTestStage
+        # instead, without duplicating the population.
+        sharded = (
+            [_shard_payload(payload) for payload in payloads]
+            if max_workers is not None and max_workers > 1
+            else [[payload] for payload in payloads]
+        )
+        tasks = [task for shards in sharded for task in shards]
+        if max_workers is not None and max_workers > 1 and len(tasks) > 1:
             # Each distinct circuit/preparation is shipped once per worker
             # via the initializer, not once per scenario.
             with ProcessPoolExecutor(
@@ -344,7 +414,14 @@ class Engine:
                 initializer=_init_worker,
                 initargs=(unique_circuits, unique_preps),
             ) as pool:
-                results = list(pool.map(_run_scenario_task, payloads))
+                task_results = list(pool.map(_run_scenario_task, tasks))
+            results = []
+            cursor = 0
+            for shards in sharded:
+                results.append(
+                    _merge_shard_runs(task_results[cursor : cursor + len(shards)])
+                )
+                cursor += len(shards)
         else:
             results = [
                 _run_prepared(

@@ -219,7 +219,12 @@ class TestStage(Protocol):
 
 
 class AlignedTestStage:
-    """§3.3: multiplexed frequency stepping with delay alignment."""
+    """§3.3: multiplexed frequency stepping with delay alignment.
+
+    ``OnlineConfig.chip_shard_size`` streams the population through the
+    test engine in memory-bounded chip shards (identical results for any
+    shard size — chips are independent).
+    """
 
     def __init__(self, online: OnlineConfig | None = None):
         self.online = online or OnlineConfig()
@@ -241,6 +246,7 @@ class AlignedTestStage:
                 kd=self.online.kd,
                 align=self.online.align,
                 x_inits=preparation.x_inits,
+                chip_shard_size=self.online.chip_shard_size,
             )
         return TestArtifact(
             test=test,

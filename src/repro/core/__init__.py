@@ -50,6 +50,7 @@ from repro.core.multiplexing import (
 )
 from repro.core.population import (
     PopulationTestResult,
+    concat_population_test_results,
     run_batch_population,
     test_population,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "calibrate_epsilon",
     "center_sorted_weights",
     "compute_hold_bounds",
+    "concat_population_test_results",
     "conditional_stds_if_tested",
     "configure_chip_milp",
     "configure_chips",

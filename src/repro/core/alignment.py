@@ -85,9 +85,12 @@ class BatchAlignment:
     def feasible_default(self) -> np.ndarray:
         """A hold-feasible starting point: per-buffer value closest to 0.
 
-        Assumes the static bounds admit such a point and that pairwise
-        ``lambda`` constraints hold at it (guaranteed by the offline
-        hold-bound computation, which validates the default settings).
+        The static bounds are assumed to admit such a point (guaranteed by
+        the offline hold-bound computation, which validates the default
+        settings).  Pairwise ``lambda`` constraints are *checked*, not
+        assumed: a start that violates ``x[a] - x[b] >= lambda`` would send
+        the coordinate-descent solver through hold-infeasible settings, so
+        a violation raises instead of being silently returned.
         """
         out = np.empty(self.n_buffers)
         for b, grid in enumerate(self.grids):
@@ -97,6 +100,18 @@ class BatchAlignment:
             ]
             pool = feasible if feasible.size else grid
             out[b] = pool[np.argmin(np.abs(pool))]
+        for a, b, lam in self.pair_lower:
+            if out[a] - out[b] < lam - 1e-9:
+                name_a = self.buffer_names[a] if self.buffer_names else str(a)
+                name_b = self.buffer_names[b] if self.buffer_names else str(b)
+                raise ValueError(
+                    "feasible_default is hold-infeasible: "
+                    f"x[{name_a}] - x[{name_b}] = {out[a] - out[b]:g} "
+                    f"violates the pair constraint >= {lam:g}; the offline "
+                    "hold bounds do not cover this batch's default settings "
+                    "— pass explicit x_inits (e.g. from "
+                    "hold_feasible_settings) instead"
+                )
         return out
 
 
@@ -331,6 +346,14 @@ def _improve_buffer(
 # ----------------------------------------------------------------------------
 
 
+def _is_uniform_grid(grid: np.ndarray) -> bool:
+    """Whether all grid steps are (numerically) equal."""
+    if len(grid) < 3:
+        return True
+    steps = np.diff(np.asarray(grid, dtype=float))
+    return bool(np.allclose(steps, steps[0], rtol=1e-9, atol=1e-12))
+
+
 def _alignment_model(
     spec: BatchAlignment,
     centers: np.ndarray,
@@ -343,9 +366,24 @@ def _alignment_model(
 
     x_exprs: list[LinExpr] = []
     for b, grid in enumerate(spec.grids):
-        step = grid[1] - grid[0] if len(grid) > 1 else 1.0
-        k = model.add_var(f"k{b}", 0, len(grid) - 1, VarType.INTEGER)
-        x_exprs.append(k * float(step) + float(grid[0]))
+        if _is_uniform_grid(grid):
+            # Uniform lattice: one integer step count is exact and keeps the
+            # branch & bound tree small.
+            step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+            k = model.add_var(f"k{b}", 0, len(grid) - 1, VarType.INTEGER)
+            x_exprs.append(k * float(step) + float(grid[0]))
+        else:
+            # Non-uniform grid: affine step encoding would silently round to
+            # off-grid values, so select the value with one-hot binaries.
+            selectors = [
+                model.add_binary(f"z{b}_{j}") for j in range(len(grid))
+            ]
+            model.add_constraint(LinExpr.sum(selectors).equals(1))
+            x_exprs.append(
+                LinExpr.sum(
+                    float(v) * z for v, z in zip(grid.tolist(), selectors)
+                )
+            )
 
     # Static bounds (hold vs fixed environment) and pair constraints.
     for b in range(spec.n_buffers):
@@ -401,12 +439,14 @@ def solve_alignment_milp(
     Raises ``RuntimeError`` when the solver fails (e.g. inconsistent hold
     bounds), since alignment infeasibility indicates a configuration bug.
     """
-    model, _ = _alignment_model(spec, centers, weights, formulation)
+    model, x_exprs = _alignment_model(spec, centers, weights, formulation)
     solution = solve(model, backend=backend)
     if not solution.ok:
         raise RuntimeError(f"alignment MILP failed: {solution.status}")
     x = np.empty(spec.n_buffers)
     for b, grid in enumerate(spec.grids):
-        step = grid[1] - grid[0] if len(grid) > 1 else 1.0
-        x[b] = grid[0] + step * round(solution[f"k{b}"])
+        # Evaluate the buffer's encoding (integer step or one-hot selection)
+        # and snap to the nearest grid value to undo solver round-off.
+        value = x_exprs[b].evaluate(solution.values)
+        x[b] = grid[int(np.argmin(np.abs(grid - value)))]
     return float(solution["T"]), x, solution

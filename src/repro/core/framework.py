@@ -73,6 +73,7 @@ class EffiTestConfig:
     k0: float = 1000.0
     kd: float = 1.0
     align: bool = True
+    chip_shard_size: int | None = None  # population-engine shard streaming
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
     # §3.5 hold bounds

@@ -8,6 +8,24 @@ alignment (weighted medians and coordinate descent are row-vectorized) and
 updates its own bounds — producing, per chip, exactly the trace the scalar
 :mod:`repro.core.testflow` engine produces, hundreds of times faster.
 
+Two scaling mechanisms keep very large populations cheap:
+
+* **Active-set compaction** (default): every per-chip computation is
+  row-independent, so each iteration the working arrays are compacted to
+  the chips that still have an unresolved path
+  (``np.flatnonzero(chip_active)``), and a chip's bounds are scattered back
+  into the full result arrays when it retires.  Late iterations — where
+  only a few straggler chips remain — touch a handful of rows instead of
+  the whole population, with bit-identical results (``compact=False``
+  keeps the all-rows sweep for A/B checks and benchmarks).
+* **Chip sharding**: :func:`test_population` accepts ``chip_shard_size``
+  and streams the population through in chip shards, bounding the
+  population-proportional working set — the per-batch ``(n_chips, m)``
+  bound/center/weight arrays and their sort workspaces — independently of
+  the population size (the candidate sweep in ``_improve_buffer`` is
+  already chunked at 1024 chips).  Chips are mutually independent, so any
+  shard size produces identical results.
+
 Iteration accounting matches the paper's: a chip pays one iteration for a
 batch whenever at least one of its paths in that batch is still unresolved.
 """
@@ -15,6 +33,7 @@ batch whenever at least one of its paths in that batch is still unresolved.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -53,35 +72,57 @@ class PopulationTestResult:
         return float(self.iterations.mean())
 
 
-def run_batch_population(
+def concat_population_test_results(
+    parts: Sequence[PopulationTestResult],
+) -> PopulationTestResult:
+    """Stack per-shard results back into one population-sized result.
+
+    All parts must cover the same measured paths (chip shards of one
+    population always do).
+    """
+    if not parts:
+        raise ValueError("need at least one result to concatenate")
+    first = parts[0]
+    for part in parts[1:]:
+        if not np.array_equal(part.measured_indices, first.measured_indices):
+            raise ValueError("shard results cover different measured paths")
+    if len(parts) == 1:
+        return first
+    return PopulationTestResult(
+        measured_indices=first.measured_indices,
+        lower=np.vstack([p.lower for p in parts]),
+        upper=np.vstack([p.upper for p in parts]),
+        iterations=np.concatenate([p.iterations for p in parts]),
+        iterations_per_batch=np.vstack([p.iterations_per_batch for p in parts]),
+    )
+
+
+def _batch_max_iterations(
+    prior_lower: np.ndarray, prior_upper: np.ndarray, epsilon: float, m: int
+) -> int:
+    widths = np.maximum(prior_upper - prior_lower, epsilon)
+    return int(m * (np.ceil(np.log2(widths / epsilon)).max() + 2))
+
+
+def _sweep_all_rows(
     true_delays: np.ndarray,
     spec: BatchAlignment,
-    prior_lower: np.ndarray,
-    prior_upper: np.ndarray,
-    x_init: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    x: np.ndarray,
     epsilon: float,
-    k0: float = 1000.0,
-    kd: float = 1.0,
-    align: bool = True,
-    max_iterations: int | None = None,
+    k0: float,
+    kd: float,
+    align: bool,
+    max_iterations: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Test one batch across all chips.
+    """The pre-compaction reference sweep: every iteration touches all rows.
 
-    ``true_delays`` is ``(n_chips, m)`` for the batch's paths; priors are
-    per path.  Returns per-chip bounds and iteration counts.
+    Kept verbatim as the bit-identity baseline for the active-set engine
+    (tests and ``benchmarks/bench_population_scaling.py`` run both).
     """
-    true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
-    n_chips, m = true_delays.shape
-    if epsilon <= 0:
-        raise ValueError("epsilon must be positive")
-    lower = np.tile(np.asarray(prior_lower, dtype=float), (n_chips, 1))
-    upper = np.tile(np.asarray(prior_upper, dtype=float), (n_chips, 1))
-    x = np.tile(np.asarray(x_init, dtype=float), (n_chips, 1))
+    n_chips = true_delays.shape[0]
     iterations = np.zeros(n_chips, dtype=int)
-    if max_iterations is None:
-        widths = np.maximum(upper[0] - lower[0], epsilon)
-        max_iterations = int(m * (np.ceil(np.log2(widths / epsilon)).max() + 2))
-
     for _ in range(max_iterations):
         active = (upper - lower) >= epsilon
         chip_active = active.any(axis=1)
@@ -102,8 +143,160 @@ def run_batch_population(
         upper = np.where(tighten_upper, np.minimum(upper, bound), upper)
         lower = np.where(tighten_lower, np.maximum(lower, bound), lower)
         iterations += chip_active.astype(int)
-
     return lower, upper, iterations
+
+
+def _sweep_active_set(
+    true_delays: np.ndarray,
+    spec: BatchAlignment,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    x: np.ndarray,
+    epsilon: float,
+    k0: float,
+    kd: float,
+    align: bool,
+    max_iterations: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Active-set sweep: compact to still-active chips, scatter on retire.
+
+    Every per-chip operation in the loop body (weights, alignment, oracle,
+    bound tightening) is row-independent, so dropping retired rows changes
+    nothing about the rows that remain — the trace is bit-identical to
+    :func:`_sweep_all_rows`, but late iterations only pay for stragglers.
+    """
+    n_chips = true_delays.shape[0]
+    out_lower, out_upper = lower, upper
+    iterations = np.zeros(n_chips, dtype=int)
+    active_idx = np.arange(n_chips, dtype=np.intp)
+    delays = true_delays
+
+    for _ in range(max_iterations):
+        active = (upper - lower) >= epsilon
+        row_active = active.any(axis=1)
+        if not row_active.all():
+            # Retire converged chips: scatter their final bounds into the
+            # full arrays and compact the working set to survivors.
+            retired = np.flatnonzero(~row_active)
+            out_lower[active_idx[retired]] = lower[retired]
+            out_upper[active_idx[retired]] = upper[retired]
+            keep = np.flatnonzero(row_active)
+            active_idx = active_idx[keep]
+            lower = lower[keep]
+            upper = upper[keep]
+            x = x[keep]
+            delays = delays[keep]
+            active = active[keep]
+        if active_idx.size == 0:
+            break
+
+        centers = np.where(active, 0.5 * (lower + upper), np.nan)
+        weights = center_sorted_weights(centers, k0, kd)
+        if align and spec.n_buffers:
+            period, x = solve_alignment(spec, centers, weights, x)
+        else:
+            period = weighted_median_rows(centers + spec.shift(x), weights)
+
+        shift = spec.shift(x)
+        passed = shifted_slack_pass(delays, shift, period[:, None])
+        bound = period[:, None] - shift
+        upper = np.where(active & passed, np.minimum(upper, bound), upper)
+        lower = np.where(active & ~passed, np.maximum(lower, bound), lower)
+        iterations[active_idx] += 1
+
+    # Rows that ran out of iterations (or never compacted) scatter here.
+    out_lower[active_idx] = lower
+    out_upper[active_idx] = upper
+    return out_lower, out_upper, iterations
+
+
+def run_batch_population(
+    true_delays: np.ndarray,
+    spec: BatchAlignment,
+    prior_lower: np.ndarray,
+    prior_upper: np.ndarray,
+    x_init: np.ndarray,
+    epsilon: float,
+    k0: float = 1000.0,
+    kd: float = 1.0,
+    align: bool = True,
+    max_iterations: int | None = None,
+    compact: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Test one batch across all chips.
+
+    ``true_delays`` is ``(n_chips, m)`` for the batch's paths; priors are
+    per path.  Returns per-chip bounds and iteration counts.  ``compact``
+    selects the active-set engine (default) or the all-rows reference
+    sweep; both produce bit-identical results.
+    """
+    true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
+    n_chips, m = true_delays.shape
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    lower = np.tile(np.asarray(prior_lower, dtype=float), (n_chips, 1))
+    upper = np.tile(np.asarray(prior_upper, dtype=float), (n_chips, 1))
+    x = np.tile(np.asarray(x_init, dtype=float), (n_chips, 1))
+    if max_iterations is None:
+        max_iterations = _batch_max_iterations(
+            prior_lower, prior_upper, epsilon, m
+        )
+    sweep = _sweep_active_set if compact else _sweep_all_rows
+    return sweep(
+        true_delays, spec, lower, upper, x, epsilon, k0, kd, align,
+        max_iterations,
+    )
+
+
+def _test_shard(
+    true_delays: np.ndarray,
+    plan: MultiplexPlan,
+    specs: list[BatchAlignment],
+    prior_means: np.ndarray,
+    prior_stds: np.ndarray,
+    epsilon: float,
+    sigma_window: float,
+    k0: float,
+    kd: float,
+    align: bool,
+    x_inits: list[np.ndarray] | None,
+    compact: bool,
+    column_of: dict[int, int],
+) -> PopulationTestResult:
+    """Run every batch over one chip shard."""
+    n_chips = true_delays.shape[0]
+    measured = plan.measured
+    lower_full = np.empty((n_chips, len(measured)))
+    upper_full = np.empty((n_chips, len(measured)))
+    per_batch = np.zeros((n_chips, plan.n_batches), dtype=int)
+
+    for b, (batch, spec) in enumerate(zip(plan.batches, specs)):
+        idx = batch.path_indices
+        x_init = x_inits[b] if x_inits is not None else spec.feasible_default()
+        lower, upper, iters = run_batch_population(
+            true_delays[:, idx],
+            spec,
+            prior_means[idx] - sigma_window * prior_stds[idx],
+            prior_means[idx] + sigma_window * prior_stds[idx],
+            x_init,
+            epsilon,
+            k0=k0,
+            kd=kd,
+            align=align,
+            compact=compact,
+        )
+        cols = np.array([column_of[int(p)] for p in idx], dtype=np.intp)
+        lower_full[:, cols] = lower
+        upper_full[:, cols] = upper
+        per_batch[:, b] = iters
+
+    return PopulationTestResult(
+        measured_indices=measured,
+        lower=lower_full,
+        upper=upper_full,
+        iterations=per_batch.sum(axis=1),
+        iterations_per_batch=per_batch,
+    )
 
 
 def test_population(
@@ -118,46 +311,43 @@ def test_population(
     kd: float = 1.0,
     align: bool = True,
     x_inits: list[np.ndarray] | None = None,
+    chip_shard_size: int | None = None,
+    compact: bool = True,
 ) -> PopulationTestResult:
     """Aligned delay test of every batch over every chip.
 
     ``true_delays_full`` is ``(n_chips, n_paths_total)`` over the *global*
-    path indexing used by the plan's batches.
+    path indexing used by the plan's batches.  With ``chip_shard_size`` the
+    population streams through in shards of at most that many chips,
+    bounding peak memory; chips are independent, so any shard size yields
+    identical results.
     """
     if len(specs) != plan.n_batches:
         raise ValueError("one alignment spec per batch required")
+    if chip_shard_size is not None and chip_shard_size < 1:
+        raise ValueError("chip_shard_size must be >= 1")
     true_delays_full = np.atleast_2d(np.asarray(true_delays_full, dtype=float))
     n_chips = true_delays_full.shape[0]
+    column_of = {int(p): k for k, p in enumerate(plan.measured)}
 
-    measured = plan.measured
-    column_of = {int(p): k for k, p in enumerate(measured)}
-    lower_full = np.empty((n_chips, len(measured)))
-    upper_full = np.empty((n_chips, len(measured)))
-    per_batch = np.zeros((n_chips, plan.n_batches), dtype=int)
-
-    for b, (batch, spec) in enumerate(zip(plan.batches, specs)):
-        idx = batch.path_indices
-        x_init = x_inits[b] if x_inits is not None else spec.feasible_default()
-        lower, upper, iters = run_batch_population(
-            true_delays_full[:, idx],
-            spec,
-            prior_means[idx] - sigma_window * prior_stds[idx],
-            prior_means[idx] + sigma_window * prior_stds[idx],
-            x_init,
+    shard = chip_shard_size if chip_shard_size is not None else n_chips
+    shard = max(shard, 1)
+    parts = [
+        _test_shard(
+            true_delays_full[start : start + shard],
+            plan,
+            specs,
+            prior_means,
+            prior_stds,
             epsilon,
-            k0=k0,
-            kd=kd,
-            align=align,
+            sigma_window,
+            k0,
+            kd,
+            align,
+            x_inits,
+            compact,
+            column_of,
         )
-        cols = np.array([column_of[int(p)] for p in idx], dtype=np.intp)
-        lower_full[:, cols] = lower
-        upper_full[:, cols] = upper
-        per_batch[:, b] = iters
-
-    return PopulationTestResult(
-        measured_indices=measured,
-        lower=lower_full,
-        upper=upper_full,
-        iterations=per_batch.sum(axis=1),
-        iterations_per_batch=per_batch,
-    )
+        for start in range(0, max(n_chips, 1), shard)
+    ]
+    return concat_population_test_results(parts)

@@ -17,6 +17,12 @@ def weighted_median(values: np.ndarray, weights: np.ndarray) -> float:
     """Smallest ``v`` in ``values`` minimizing ``sum(w * |v - values|)``.
 
     Ignores entries with zero weight; raises if total weight is zero.
+
+    Delegates to :func:`weighted_median_rows` so the scalar and vectorized
+    paths share one tie-breaking rule bit for bit — the scalar ``testflow``
+    engine and the population engine must pick the same median even when
+    cumulative-weight rounding puts an entry within one ulp of half the
+    total weight.
     """
     values = np.asarray(values, dtype=float)
     weights = np.asarray(weights, dtype=float)
@@ -24,14 +30,9 @@ def weighted_median(values: np.ndarray, weights: np.ndarray) -> float:
         raise ValueError("values and weights must be 1-D arrays of equal shape")
     if np.any(weights < 0):
         raise ValueError("weights must be non-negative")
-    total = weights.sum()
-    if total <= 0:
+    if weights.sum() <= 0:
         raise ValueError("total weight must be positive")
-    order = np.argsort(values, kind="stable")
-    sorted_values = values[order]
-    cumulative = np.cumsum(weights[order])
-    idx = int(np.searchsorted(cumulative, 0.5 * total))
-    return float(sorted_values[idx])
+    return float(weighted_median_rows(values[None, :], weights[None, :])[0])
 
 
 def weighted_median_rows(values: np.ndarray, weights: np.ndarray) -> np.ndarray:

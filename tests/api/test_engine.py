@@ -5,6 +5,7 @@ import pytest
 
 from repro.api import (
     Engine,
+    OnlineConfig,
     PathwiseTestStage,
     Scenario,
     records_table,
@@ -150,6 +151,73 @@ class TestRunMany:
         ])
         text = records_table(records)
         assert "tiny" in text and "miss" in text
+
+
+class TestShardedRunMany:
+    """chip_shard_size: identical results, streamed or fanned out."""
+
+    @pytest.fixture(scope="class")
+    def shard_setup(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        population = sample_circuit(tiny_circuit, 24, seed=31)
+        engine = Engine(offline=TINY_OFFLINE)
+        (reference,) = engine.run_many([
+            Scenario(tiny_circuit, period=t1, clock_period=t1,
+                     population=population),
+        ])
+        return engine, tiny_circuit, t1, population, reference.result
+
+    @staticmethod
+    def _assert_same_run(a, b):
+        np.testing.assert_array_equal(a.test.lower, b.test.lower)
+        np.testing.assert_array_equal(a.test.upper, b.test.upper)
+        np.testing.assert_array_equal(a.test.iterations, b.test.iterations)
+        np.testing.assert_array_equal(
+            a.test.iterations_per_batch, b.test.iterations_per_batch
+        )
+        np.testing.assert_array_equal(a.bounds_lower, b.bounds_lower)
+        np.testing.assert_array_equal(a.bounds_upper, b.bounds_upper)
+        np.testing.assert_array_equal(
+            a.configuration.settings, b.configuration.settings
+        )
+        np.testing.assert_array_equal(a.passed, b.passed)
+
+    def test_streamed_shards_match_unsharded(self, shard_setup):
+        engine, circuit, t1, population, reference = shard_setup
+        (sharded,) = engine.run_many([
+            Scenario(circuit, period=t1, clock_period=t1,
+                     population=population,
+                     online=OnlineConfig(chip_shard_size=7)),
+        ])
+        self._assert_same_run(sharded.result, reference)
+        assert sharded.n_chips == population.n_chips
+
+    def test_pool_fanout_matches_unsharded(self, shard_setup):
+        """One scenario spreads across workers as one task per shard."""
+        engine, circuit, t1, population, reference = shard_setup
+        (fanned,) = engine.run_many(
+            [
+                Scenario(circuit, period=t1, clock_period=t1,
+                         population=population,
+                         online=OnlineConfig(chip_shard_size=7)),
+            ],
+            max_workers=2,
+        )
+        self._assert_same_run(fanned.result, reference)
+        assert fanned.n_chips == population.n_chips
+
+    def test_engine_default_online_shards(self, shard_setup):
+        """chip_shard_size threads through the engine-level OnlineConfig."""
+        _, circuit, t1, population, reference = shard_setup
+        engine = Engine(
+            offline=TINY_OFFLINE, online=OnlineConfig(chip_shard_size=5)
+        )
+        run = engine.run(circuit, population, t1, clock_period=t1)
+        self._assert_same_run(run, reference)
+
+    def test_shard_size_validated(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(chip_shard_size=0)
 
 
 class TestStageSwaps:

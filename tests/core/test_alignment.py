@@ -174,6 +174,66 @@ class TestMilpCrossChecks:
             )
 
 
+def nonuniform_spec(grid_values) -> BatchAlignment:
+    """One buffer, one in/out path pair, explicit (non-uniform) grid."""
+    grid = np.asarray(grid_values, dtype=float)
+    return BatchAlignment(
+        src_buffer=np.array([-1, 0], dtype=np.intp),
+        snk_buffer=np.array([0, -1], dtype=np.intp),
+        base_shift=np.zeros(2),
+        grids=(grid,),
+        lower_bounds=np.array([grid.min()]),
+        upper_bounds=np.array([grid.max()]),
+        buffer_names=("B0",),
+    )
+
+
+class TestMilpNonUniformGrid:
+    """Regression: the MILP used an affine step encoding that silently
+    produced off-grid buffer values on non-uniform grids."""
+
+    @pytest.mark.parametrize("formulation", ["compact", "paper"])
+    def test_setting_stays_on_grid(self, formulation):
+        # Affine extrapolation of the first step would offer -1.8, which is
+        # not a grid value and beats every real candidate.
+        spec = nonuniform_spec([-2.0, -1.9, 1.0])
+        centers = np.array([10.0, 12.0])
+        weights = np.array([1.0, 1.0])
+        t, x, sol = solve_alignment_milp(
+            spec, centers, weights, formulation=formulation
+        )
+        assert x[0] in spec.grids[0]
+        # Ideal x is -1.0; the best *grid* value is -1.9 at cost 1.8.
+        assert x[0] == pytest.approx(-1.9)
+        assert sol.objective == pytest.approx(1.8, abs=1e-6)
+
+    def test_cross_check_against_heuristic(self):
+        """The exact MILP and the grid-sweeping heuristic agree on a
+        non-uniform grid (the heuristic always stayed on-grid)."""
+        spec = nonuniform_spec([-2.0, -0.7, 0.0, 0.4, 1.3])
+        centers = np.array([10.0, 12.6])
+        weights = np.array([1.0, 2.0])
+        _, x_milp, milp = solve_alignment_milp(spec, centers, weights)
+        period, x_h = solve_alignment(
+            spec, centers[None, :], weights[None, :], np.zeros((1, 1))
+        )
+        assert x_milp[0] in spec.grids[0]
+        assert x_h[0, 0] in spec.grids[0]
+        heuristic_obj = objective(
+            spec, centers[None, :], weights[None, :], period[0], x_h[0]
+        )
+        assert milp.objective == pytest.approx(heuristic_obj, abs=1e-6)
+
+    def test_uniform_grid_unchanged(self):
+        """Uniform grids keep the (exact) integer-step encoding."""
+        spec = make_spec(n_buffers=1, src=(-1, 0), snk=(0, -1))
+        centers = np.array([10.0, 12.0])
+        weights = np.array([1.0, 1.0])
+        _, x, sol = solve_alignment_milp(spec, centers, weights)
+        assert x[0] in spec.grids[0]
+        assert sol.objective == pytest.approx(0.0, abs=1e-6)
+
+
 class TestFeasibleDefault:
     def test_within_bounds(self):
         spec = make_spec(grid=(-2.0, 2.0, 9))
@@ -183,6 +243,17 @@ class TestFeasibleDefault:
 
     def test_prefers_zero(self):
         spec = make_spec()
+        assert np.allclose(spec.feasible_default(), 0.0)
+
+    def test_pair_constraint_violation_raises(self):
+        """Regression: a default violating x[a] - x[b] >= lambda used to be
+        returned silently, seeding the solver hold-infeasibly."""
+        spec = make_spec(pair_lower=((0, 1, 1.0),))
+        with pytest.raises(ValueError, match="hold-infeasible"):
+            spec.feasible_default()
+
+    def test_pair_constraint_satisfied_ok(self):
+        spec = make_spec(pair_lower=((0, 1, -1.0),))
         assert np.allclose(spec.feasible_default(), 0.0)
 
     def test_shift_computation(self):

@@ -7,7 +7,10 @@ trace of the scalar Procedure-2 reference implementation.
 import numpy as np
 import pytest
 
-from repro.core.population import run_batch_population
+from repro.core.population import (
+    concat_population_test_results,
+    run_batch_population,
+)
 from repro.core.population import test_population as run_test_population
 from repro.core.testflow import run_batch
 from repro.tester.oracle import ChipOracle
@@ -62,6 +65,153 @@ class TestRunBatchPopulation:
         )
         assert np.isfinite(upper).all()
         assert iters[0] > 0
+
+
+class TestActiveSetCompaction:
+    """The compacted engine must be bit-identical to the all-rows sweep."""
+
+    def test_bit_identical_to_all_rows_sweep(self):
+        rng = np.random.default_rng(11)
+        spec = simple_spec()
+        prior_lower = np.array([85.0, 88.0])
+        prior_upper = np.array([115.0, 118.0])
+        # Spread of alignabilities -> chips retire at different iterations.
+        true = rng.uniform(87.0, 116.0, size=(60, 2))
+        results = {
+            compact: run_batch_population(
+                true, spec, prior_lower, prior_upper, np.zeros(1),
+                epsilon=0.1, compact=compact,
+            )
+            for compact in (True, False)
+        }
+        for compacted, reference in zip(results[True], results[False]):
+            np.testing.assert_array_equal(compacted, reference)
+
+    def test_bit_identical_with_alignment_off(self):
+        rng = np.random.default_rng(3)
+        true = rng.uniform(90.0, 112.0, size=(30, 2))
+        results = {
+            compact: run_batch_population(
+                true, simple_spec(), np.array([85.0, 85.0]),
+                np.array([115.0, 115.0]), np.zeros(1), epsilon=0.2,
+                align=False, compact=compact,
+            )
+            for compact in (True, False)
+        }
+        for compacted, reference in zip(results[True], results[False]):
+            np.testing.assert_array_equal(compacted, reference)
+
+    def test_retirement_accounting_unchanged(
+        self, tiny_preparation, tiny_population
+    ):
+        """Per-chip, per-batch iteration counts are exactly the all-rows
+        engine's — retiring a chip early must not change what it paid."""
+        prep = tiny_preparation
+        runs = {
+            compact: run_test_population(
+                tiny_population.required,
+                prep.plan,
+                prep.specs,
+                prep.prior_means,
+                prep.prior_stds,
+                prep.epsilon,
+                x_inits=prep.x_inits,
+                compact=compact,
+            )
+            for compact in (True, False)
+        }
+        np.testing.assert_array_equal(
+            runs[True].iterations_per_batch, runs[False].iterations_per_batch
+        )
+        np.testing.assert_array_equal(runs[True].lower, runs[False].lower)
+        np.testing.assert_array_equal(runs[True].upper, runs[False].upper)
+
+    def test_empty_active_set_exits_without_iterations(self):
+        """Priors already narrower than epsilon: no tester work at all."""
+        prior_lower = np.array([99.9, 102.9])
+        prior_upper = np.array([100.0, 103.0])
+        true = np.array([[100.0, 103.0], [99.95, 102.95]])
+        for compact in (True, False):
+            lower, upper, iters = run_batch_population(
+                true, simple_spec(), prior_lower, prior_upper, np.zeros(1),
+                epsilon=1.0, compact=compact,
+            )
+            np.testing.assert_array_equal(iters, 0)
+            np.testing.assert_array_equal(lower, np.tile(prior_lower, (2, 1)))
+            np.testing.assert_array_equal(upper, np.tile(prior_upper, (2, 1)))
+
+    def test_max_iterations_cap_with_stragglers(self):
+        """Chips still active at the cap scatter their partial bounds."""
+        true = np.array([[100.0, 104.0], [95.0, 111.0]])
+        lower, upper, iters = run_batch_population(
+            true, simple_spec(), np.array([85.0, 85.0]),
+            np.array([115.0, 115.0]), np.zeros(1), epsilon=0.01,
+            max_iterations=3, compact=True,
+        )
+        np.testing.assert_array_equal(iters, 3)
+        assert np.all(np.isfinite(lower)) and np.all(np.isfinite(upper))
+        assert np.all(lower <= upper)
+
+
+class TestChipSharding:
+    def _run(self, prep, population, **kwargs):
+        return run_test_population(
+            population.required,
+            prep.plan,
+            prep.specs,
+            prep.prior_means,
+            prep.prior_stds,
+            prep.epsilon,
+            x_inits=prep.x_inits,
+            **kwargs,
+        )
+
+    def test_shard_boundary_parity(self, tiny_preparation, tiny_population):
+        """Shard sizes 1, n-1 and > n all reproduce the unsharded run."""
+        prep = tiny_preparation
+        population = tiny_population.subset(range(12))
+        reference = self._run(prep, population)
+        for shard in (1, population.n_chips - 1, population.n_chips + 5):
+            sharded = self._run(prep, population, chip_shard_size=shard)
+            np.testing.assert_array_equal(sharded.lower, reference.lower)
+            np.testing.assert_array_equal(sharded.upper, reference.upper)
+            np.testing.assert_array_equal(
+                sharded.iterations_per_batch, reference.iterations_per_batch
+            )
+            np.testing.assert_array_equal(
+                sharded.measured_indices, reference.measured_indices
+            )
+
+    def test_invalid_shard_size_rejected(self, tiny_preparation, tiny_population):
+        with pytest.raises(ValueError):
+            self._run(tiny_preparation, tiny_population, chip_shard_size=0)
+
+    def test_concat_requires_matching_paths(self, tiny_preparation, tiny_population):
+        prep = tiny_preparation
+        part = self._run(prep, tiny_population.subset(range(4)))
+        mismatched = type(part)(
+            measured_indices=part.measured_indices[:-1],
+            lower=part.lower[:, :-1],
+            upper=part.upper[:, :-1],
+            iterations=part.iterations,
+            iterations_per_batch=part.iterations_per_batch,
+        )
+        with pytest.raises(ValueError):
+            concat_population_test_results([part, mismatched])
+        with pytest.raises(ValueError):
+            concat_population_test_results([])
+
+    def test_concat_stacks_chips(self, tiny_preparation, tiny_population):
+        prep = tiny_preparation
+        a = self._run(prep, tiny_population.subset(range(5)))
+        b = self._run(prep, tiny_population.subset(range(5, 8)))
+        whole = concat_population_test_results([a, b])
+        assert whole.n_chips == 8
+        np.testing.assert_array_equal(whole.lower[:5], a.lower)
+        np.testing.assert_array_equal(whole.lower[5:], b.lower)
+        np.testing.assert_array_equal(
+            whole.iterations, np.concatenate([a.iterations, b.iterations])
+        )
 
 
 class TestTestPopulation:

@@ -54,6 +54,42 @@ def test_weighted_median_minimizes_objective(values, seed):
         assert best_cost <= abs_objective(candidate, values, weights) + 1e-9
 
 
+class TestTieBreakingUnified:
+    """Scalar and row engines must pick the same median at half-weight ties.
+
+    The old scalar rule (``searchsorted`` with no tolerance) and the row
+    rule (``cumulative >= target - 1e-15``) disagreed whenever float
+    rounding left a cumulative weight within one ulp below half the total
+    — exactly the case below, where ``cumsum`` hits 0.6 against a half
+    total of 0.6000000000000001.
+    """
+
+    def test_rounded_half_weight_regression(self):
+        values = np.array([3.0, 4.0, 5.0, 7.0, 8.0])
+        weights = np.array([0.1, 0.4, 0.1, 0.2, 0.4])
+        scalar = weighted_median(values, weights)
+        rows = weighted_median_rows(values[None, :], weights[None, :])[0]
+        assert scalar == rows == 5.0
+
+    def test_exact_half_weight_tie(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        weights = np.ones(4)
+        scalar = weighted_median(values, weights)
+        rows = weighted_median_rows(values[None, :], weights[None, :])[0]
+        assert scalar == rows == 2.0
+
+    def test_agreement_on_adversarial_tenths(self, rng):
+        """Sweep weights drawn from {0.1..0.4} — the grid that triggers
+        cumulative-rounding ties — and demand elementwise agreement."""
+        for _ in range(500):
+            n = int(rng.integers(2, 7))
+            values = np.sort(rng.integers(0, 10, size=n).astype(float))
+            weights = rng.integers(1, 5, size=n) * 0.1
+            scalar = weighted_median(values, weights)
+            row = weighted_median_rows(values[None, :], weights[None, :])[0]
+            assert scalar == row
+
+
 class TestWeightedMedianRows:
     def test_matches_scalar_per_row(self, rng):
         values = rng.uniform(-10, 10, size=(5, 6))

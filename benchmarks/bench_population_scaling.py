@@ -1,4 +1,4 @@
-"""Population-engine scaling benchmark: active-set compaction vs all-rows.
+"""Population-engine scaling benchmark: compaction, sharding, streaming.
 
 The population test engine retires chips as their paths converge; the
 compacted engine (``compact=True``, the default) drops retired rows from
@@ -13,11 +13,22 @@ Run it directly::
 
     python benchmarks/bench_population_scaling.py            # full sweep
     python benchmarks/bench_population_scaling.py --smoke    # CI smoke mode
+    python benchmarks/bench_population_scaling.py --streamed # out-of-core
 
 Full mode sweeps population sizes and reports wall-clock for both engines
 plus the shard-streamed variant (``chip_shard_size``); smoke mode runs one
 tiny scenario so perf-path regressions (shape errors, identity breaks)
 fail fast in CI.
+
+``--streamed`` exercises the out-of-core population substrate: a
+:class:`~repro.core.yields.ChipSource` streams a six-figure (or, with
+``--chips 1000000``, seven-figure) chip population through a yield run in
+fixed-size shards under an enforced memory ceiling.  The dense path —
+materializing the full ``(n_chips, n_paths)`` delay matrices — cannot fit
+under the same ceiling; the streamed path must, so this mode fails if the
+dense path ever sneaks back into the streamed pipeline.  Peak allocation
+is measured with :mod:`tracemalloc` (numpy registers its buffers there),
+and the streamed and dense yields are required to be bit-identical.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import tracemalloc
 
 import numpy as np
 
@@ -112,11 +124,146 @@ def bench_size(n_chips: int, spec: BatchAlignment) -> dict:
     }
 
 
+# ----------------------------------------------------------------------------
+# Streamed out-of-core mode
+# ----------------------------------------------------------------------------
+
+#: Shard size of the streamed yield run; the streamed peak is O(this).
+STREAM_SHARD = 4096
+
+
+def stream_circuit():
+    """A small circuit whose dense population matrices dominate memory."""
+    from repro.circuit import CircuitSpec, generate_circuit
+
+    spec = CircuitSpec(
+        name="bench-stream",
+        n_flipflops=40,
+        n_gates=800,
+        n_buffers=2,
+        n_paths=48,
+    )
+    return generate_circuit(spec, seed=7)
+
+
+def streamed_yield_run(source, period: float, shard_size: int) -> tuple[int, int]:
+    """No-buffer yield over a streamed population: O(shard) peak memory."""
+    passed = 0
+    for _start, _stop, shard in source.iter_shards(shard_size):
+        from repro.core.yields import no_buffer_yield
+
+        passed += round(no_buffer_yield(shard, period) * shard.n_chips)
+    return passed, source.n_chips
+
+
+def dense_yield_run(source, period: float) -> tuple[int, int]:
+    """The same yield run with the whole population materialized at once."""
+    from repro.core.yields import no_buffer_yield
+
+    population = source.realize()
+    return round(no_buffer_yield(population, period) * population.n_chips), (
+        population.n_chips
+    )
+
+
+def _traced(fn) -> tuple[object, int]:
+    """Run ``fn`` and report its tracemalloc peak in bytes."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def run_streamed(n_chips: int, cap_mb: float, dense_limit: int) -> int:
+    from repro.core.yields import chip_source, operating_periods
+
+    circuit = stream_circuit()
+    source = chip_source(circuit, n_chips, seed=11)
+    # Calibrate the operating period on a prefix shard: chips are stable
+    # under population growth, so this is the same period at every size.
+    period = operating_periods(source.realize(0, min(4096, n_chips)))[0]
+    cap_bytes = int(cap_mb * 2**20)
+
+    (streamed, total), streamed_peak = _traced(
+        lambda: streamed_yield_run(source, period, STREAM_SHARD)
+    )
+    print(
+        f"streamed: {total} chips in shards of {STREAM_SHARD}, "
+        f"yield {streamed / total:.4f}, peak {streamed_peak / 2**20:.1f} MiB "
+        f"(cap {cap_mb:.0f} MiB)"
+    )
+
+    ok = True
+    if streamed_peak > cap_bytes:
+        print(
+            f"FAIL: streamed peak {streamed_peak / 2**20:.1f} MiB exceeds the "
+            f"{cap_mb:.0f} MiB ceiling — the dense path has sneaked back in"
+        )
+        ok = False
+
+    if n_chips <= dense_limit:
+        (dense, _), dense_peak = _traced(lambda: dense_yield_run(source, period))
+        print(
+            f"dense:    same run fully materialized, peak "
+            f"{dense_peak / 2**20:.1f} MiB"
+        )
+        if dense != streamed:
+            print(f"FAIL: streamed yield {streamed} != dense yield {dense}")
+            ok = False
+        if dense_peak <= cap_bytes:
+            print(
+                f"FAIL: dense peak {dense_peak / 2**20:.1f} MiB fits under the "
+                f"{cap_mb:.0f} MiB cap — the ceiling no longer separates the "
+                "two paths; lower it or grow --chips"
+            )
+            ok = False
+        if ok:
+            print(
+                f"PASS: streamed path fits the cap the dense path exceeds "
+                f"({streamed_peak / 2**20:.1f} vs {dense_peak / 2**20:.1f} MiB), "
+                "identical yields"
+            )
+    else:
+        # Seven-figure runs: the dense working set is shown arithmetically
+        # instead of allocated (that is the point of streaming).
+        models = source.models
+        dense_bytes = 8 * n_chips * (
+            sum(m.n_paths for m in models) + models[0].n_factors
+        )
+        print(
+            f"dense:    not run above --dense-limit {dense_limit}; its output "
+            f"arrays + factors alone need {dense_bytes / 2**20:.0f} MiB"
+        )
+        if ok:
+            print(f"PASS: streamed {total}-chip run under the cap")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true",
         help="one tiny scenario: verify identity, skip the speedup gate",
+    )
+    parser.add_argument(
+        "--streamed", action="store_true",
+        help="out-of-core mode: stream a large population under a memory cap",
+    )
+    parser.add_argument(
+        "--chips", type=int, default=150_000,
+        help="population size for --streamed",
+    )
+    parser.add_argument(
+        "--mem-cap-mb", type=float, default=64.0,
+        help="enforced ceiling on the streamed run's peak allocation",
+    )
+    parser.add_argument(
+        "--dense-limit", type=int, default=300_000,
+        help="largest --chips for which the dense comparison actually runs",
     )
     parser.add_argument(
         "--sizes", type=int, nargs="+",
@@ -128,6 +275,9 @@ def main(argv: list[str] | None = None) -> int:
         help="required compacted speedup at the largest size (full mode)",
     )
     args = parser.parse_args(argv)
+
+    if args.streamed:
+        return run_streamed(args.chips, args.mem_cap_mb, args.dense_limit)
 
     spec = scaling_spec()
     sizes = [200] if args.smoke else args.sizes

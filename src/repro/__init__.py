@@ -74,10 +74,12 @@ from repro.circuit import (
     plan_buffers,
 )
 from repro.core import (
+    ChipSource,
     EffiTest,
     EffiTestConfig,
     PopulationRunResult,
     Preparation,
+    chip_source,
     ideal_yield,
     no_buffer_yield,
     operating_periods,
@@ -97,6 +99,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BufferPlan",
+    "ChipSource",
     "Circuit",
     "CircuitSpec",
     "EffiTest",
@@ -115,6 +118,7 @@ __all__ = [
     "Scenario",
     "SpatialModel",
     "TunableBuffer",
+    "chip_source",
     "default_library",
     "generate_circuit",
     "ideal_yield",

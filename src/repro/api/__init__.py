@@ -29,6 +29,7 @@ from repro.api.engine import Engine, RunRecord, Scenario, records_table
 from repro.api.stages import (
     AlignedTestStage,
     BoundsArtifact,
+    Chips,
     ConfigArtifact,
     ConfigureStage,
     OfflineRequest,
@@ -45,6 +46,7 @@ __all__ = [
     "AlignedTestStage",
     "BoundsArtifact",
     "CacheStats",
+    "Chips",
     "ConfigArtifact",
     "ConfigureStage",
     "Engine",

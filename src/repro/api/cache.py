@@ -13,74 +13,35 @@ is fully determined by three inputs:
 :class:`PreparationCache` maps that key to a computed
 :class:`~repro.core.framework.Preparation` so runs that differ only in
 online knobs (operating period, population, alignment, xi tolerance) share
-one preparation.  The cache is thread-safe and LRU-bounded.
+one preparation.  The in-memory tier is thread-safe and LRU-bounded; an
+optional second, on-disk tier (``disk_dir``) persists serialized
+preparations under the same content-addressed key, so cold processes and
+repeat experiment runs skip the offline stage entirely.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import tempfile
 import threading
-import weakref
 from collections import OrderedDict
-from dataclasses import astuple, dataclass
+from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
-import numpy as np
-
 from repro.api.config import OfflineConfig
+from repro.circuit.fingerprint import fingerprint_circuit
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.circuit.generator import Circuit
     from repro.core.framework import Preparation
 
 
-def _update_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
-    arr = np.ascontiguousarray(array)
-    digest.update(str(arr.dtype).encode())
-    digest.update(str(arr.shape).encode())
-    digest.update(arr.tobytes())
-
-
-#: Memoized fingerprints keyed by object id; weakref callbacks evict dead
-#: entries and an identity check guards against id reuse.
-_fingerprint_memo: dict[int, tuple["weakref.ref[Circuit]", str]] = {}
-
-
-def fingerprint_circuit(circuit: "Circuit") -> str:
-    """Hex digest over everything the offline stage reads from a circuit.
-
-    Two circuits with equal fingerprints yield identical preparations under
-    equal configs; anything that changes delay statistics (e.g.
-    :meth:`Circuit.with_inflated_randomness`) changes the fingerprint.
-    Circuits are immutable, so the digest is memoized per object — repeat
-    runs and scenario batches hash the arrays once, not per call.
-    """
-    memo_key = id(circuit)
-    entry = _fingerprint_memo.get(memo_key)
-    if entry is not None and entry[0]() is circuit:
-        return entry[1]
-    fingerprint = _compute_fingerprint(circuit)
-    ref = weakref.ref(
-        circuit, lambda _ref: _fingerprint_memo.pop(memo_key, None)
-    )
-    _fingerprint_memo[memo_key] = (ref, fingerprint)
-    return fingerprint
-
-
-def _compute_fingerprint(circuit: "Circuit") -> str:
-    digest = hashlib.sha256()
-    digest.update(circuit.name.encode())
-    digest.update(repr(astuple(circuit.spec)).encode())
-    digest.update("\x1f".join(circuit.ff_names).encode())
-    digest.update("\x1f".join(circuit.buffered_ffs).encode())
-    for path_set in (circuit.paths, circuit.short_paths, circuit.background):
-        _update_array(digest, path_set.source_idx)
-        _update_array(digest, path_set.sink_idx)
-        _update_array(digest, path_set.model.means)
-        _update_array(digest, path_set.model.loadings)
-        _update_array(digest, path_set.model.independent)
-    digest.update(repr(sorted(circuit.mutual_exclusions)).encode())
-    return digest.hexdigest()
+#: Bump when the on-disk payload layout (or anything entering the digest)
+#: changes; old artifacts are then simply never matched again.
+DISK_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -101,6 +62,22 @@ class PreparationKey:
             offline_fields=config.cache_fields(),
         )
 
+    def digest(self) -> str:
+        """Stable hex name for the disk tier.
+
+        ``clock_period`` enters as its exact ``float.hex`` bits and the
+        offline fields as their repr (ints, floats, bools, strs, None —
+        all round-trip stably), so equal keys name equal files on every
+        platform and process.
+        """
+        payload = repr((
+            DISK_FORMAT_VERSION,
+            self.circuit_fingerprint,
+            self.clock_period.hex(),
+            self.offline_fields,
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -109,6 +86,7 @@ class CacheStats:
     hits: int
     misses: int
     size: int
+    disk_hits: int = 0
 
     @property
     def computes(self) -> int:
@@ -117,44 +95,137 @@ class CacheStats:
 
 
 class PreparationCache:
-    """Thread-safe LRU cache of offline preparations.
+    """Two-tier cache of offline preparations.
 
-    ``max_entries`` bounds memory: preparations hold dense predictor
-    weights, so long-lived engines serving many circuits should keep the
-    default bound rather than growing without limit.
+    Tier 1 is a thread-safe in-memory LRU; ``max_entries`` bounds memory
+    (preparations hold dense predictor weights, so long-lived engines
+    serving many circuits should keep the default bound rather than growing
+    without limit).  Tier 2, enabled with ``disk_dir``, persists each
+    preparation as a pickle named by the content-addressed key digest:
+    every process pointed at the directory — cold restarts, pool workers,
+    repeat experiment runs — loads instead of recomputing.  Treat the
+    directory as trusted (pickles execute on load) and delete it to
+    invalidate.  ``max_disk_entries`` prunes the oldest artifacts (by
+    modification time) past the bound; ``None`` keeps everything.
     """
 
-    def __init__(self, max_entries: int = 64):
+    def __init__(
+        self,
+        max_entries: int = 64,
+        disk_dir: str | Path | None = None,
+        max_disk_entries: int | None = None,
+    ):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if max_disk_entries is not None and max_disk_entries <= 0:
+            raise ValueError("max_disk_entries must be positive")
         self.max_entries = max_entries
+        self.max_disk_entries = max_disk_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[PreparationKey, "Preparation"] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: PreparationKey) -> bool:
+        """True when either tier can serve ``key`` without computing."""
         with self._lock:
-            return key in self._entries
+            if key in self._entries:
+                return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
 
     @property
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
-                hits=self._hits, misses=self._misses, size=len(self._entries)
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                disk_hits=self._disk_hits,
             )
+
+    # -- disk tier -------------------------------------------------------------
+
+    def _disk_path(self, key: PreparationKey) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"prep-{key.digest()}.pkl"
+
+    def _disk_load(self, key: PreparationKey) -> "Preparation | None":
+        """Fetch from the disk tier; any failure degrades to a miss."""
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated write, version skew, unpicklable garbage: drop the
+            # artifact and recompute rather than failing the run.
+            path.unlink(missing_ok=True)
+            return None
+
+    def _disk_store(self, key: PreparationKey, value: "Preparation") -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        tmp = None
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: readers see whole files only
+            tmp = None
+        except Exception:
+            # Full/read-only disk, an unpicklable preparation variant —
+            # a failed store never fails the computation it was caching.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return
+        self._disk_prune()
+
+    def _disk_prune(self) -> None:
+        if self.disk_dir is None or self.max_disk_entries is None:
+            return
+        # Other processes share the directory and may delete artifacts
+        # between glob and stat; treat every step as best-effort.
+        aged = []
+        for artifact in self.disk_dir.glob("prep-*.pkl"):
+            try:
+                aged.append((artifact.stat().st_mtime, artifact))
+            except OSError:
+                continue
+        aged.sort(key=lambda pair: pair[0])
+        for _, stale in aged[: max(0, len(aged) - self.max_disk_entries)]:
+            try:
+                stale.unlink(missing_ok=True)
+            except OSError:
+                continue
+
+    # -- lookup ----------------------------------------------------------------
 
     def get_or_compute(
         self, key: PreparationKey, compute: Callable[[], "Preparation"]
     ) -> "Preparation":
         """Return the cached preparation for ``key``, computing on miss.
 
-        The compute callable runs outside the lock (offline preparation can
-        take seconds); concurrent misses on the same key may compute twice,
-        but the first stored value wins so callers always share one object
+        Lookup order: memory, disk, compute.  A disk hit is promoted into
+        the memory tier; a compute is written through to both.  Compute and
+        disk I/O run outside the lock (offline preparation can take
+        seconds); concurrent misses on the same key may compute twice, but
+        the first stored value wins so callers always share one object
         afterwards.
         """
         with self._lock:
@@ -162,23 +233,37 @@ class PreparationCache:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 return self._entries[key]
-        value = compute()
+        loaded = self._disk_load(key)
+        value = loaded if loaded is not None else compute()
         with self._lock:
             if key in self._entries:  # lost the race: reuse the winner
                 self._entries.move_to_end(key)
-                self._misses += 1
+                if loaded is not None:
+                    self._disk_hits += 1
+                else:
+                    self._misses += 1
                 return self._entries[key]
             self._entries[key] = value
-            self._misses += 1
+            if loaded is not None:
+                self._disk_hits += 1
+            else:
+                self._misses += 1
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+        if loaded is None:
+            self._disk_store(key, value)
         return value
 
-    def clear(self) -> None:
+    def clear(self, disk: bool = False) -> None:
+        """Reset the memory tier (and, with ``disk=True``, the disk tier)."""
         with self._lock:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._disk_hits = 0
+        if disk and self.disk_dir is not None:
+            for artifact in self.disk_dir.glob("prep-*.pkl"):
+                artifact.unlink(missing_ok=True)
 
 
 __all__ = [

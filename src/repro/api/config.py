@@ -69,11 +69,14 @@ class OnlineConfig:
     align: bool = True
     k0: float = 1000.0
     kd: float = 1.0
-    # Population-engine scaling: stream chips through the test engine in
-    # shards of at most this many chips (None -> one shard).  Bounds peak
-    # memory; results are independent of the shard size.  With a process
-    # pool, :meth:`repro.api.engine.Engine.run_many` also fans shards
-    # across workers.
+    # Population-engine scaling: stream chips through the test and verify
+    # stages in shards of at most this many chips (None -> one shard).
+    # Bounds peak memory; results are independent of the shard size.  With
+    # a lazy :class:`~repro.core.yields.ChipSource` population each shard's
+    # delay matrices are materialized on demand and dropped afterwards, so
+    # the dense (n_chips, n_paths) matrices never exist in the process.
+    # With a process pool, :meth:`repro.api.engine.Engine.run_many` also
+    # fans shards across workers (sources travel as lightweight specs).
     chip_shard_size: int | None = None
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.api.cache import CacheStats, PreparationCache, PreparationKey
 from repro.api.config import OfflineConfig, OnlineConfig
 from repro.api.stages import (
     AlignedTestStage,
+    Chips,
     ConfigureStage,
     OfflineRequest,
     OfflineStage,
@@ -45,7 +47,7 @@ from repro.circuit.generator import Circuit
 from repro.core.configuration import ConfigurationResult
 from repro.core.framework import PopulationRunResult, Preparation
 from repro.core.population import concat_population_test_results
-from repro.core.yields import CircuitPopulation, sample_circuit
+from repro.core.yields import ChipSource, CircuitPopulation
 from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
 from repro.utils.rng import derive_seed
 
@@ -55,11 +57,13 @@ class Scenario:
     """One batch-run specification: which silicon, tested how, at what period.
 
     ``population`` overrides ``n_chips``/``seed`` when an explicit chip
-    sample must be shared across scenarios; otherwise the engine samples
-    ``n_chips`` chips with a seed derived from ``seed``.  ``clock_period``
-    is the design period sizing the buffer ranges and defaults to
-    ``period`` — pass it explicitly when sweeping ``period`` so the sweep
-    shares one preparation.
+    sample (dense, or a lazy :class:`~repro.core.yields.ChipSource` — even
+    one drawn from a different circuit variant, as in Fig. 7) must be
+    shared across scenarios; otherwise the engine derives a lazy source of
+    ``n_chips`` chips from ``seed``.  ``clock_period`` is the design
+    period sizing the buffer ranges and defaults to ``period`` — pass it
+    explicitly when sweeping ``period`` so the sweep shares one
+    preparation.
     """
 
     circuit: Circuit
@@ -69,7 +73,7 @@ class Scenario:
     online: OnlineConfig | None = None
     seed: int = 20160605
     clock_period: float | None = None
-    population: CircuitPopulation | None = None
+    population: CircuitPopulation | ChipSource | None = None
     label: str = ""
 
     @property
@@ -117,7 +121,7 @@ class RunRecord:
 
 def _run_prepared(
     circuit: Circuit,
-    population: CircuitPopulation,
+    population: Chips,
     period: float,
     preparation: Preparation,
     online: OnlineConfig,
@@ -125,13 +129,18 @@ def _run_prepared(
 ) -> PopulationRunResult:
     """Execute the online stages against one preparation.
 
-    Module-level so process-pool workers can run it without shipping the
-    engine (and its cache) to every worker.
+    ``population`` is a dense :class:`CircuitPopulation` or a lazy
+    :class:`ChipSource`; with a source the test and verify stages stream
+    ``online.chip_shard_size`` chips at a time, so this process's peak
+    delay-matrix memory is one shard.  Module-level so process-pool workers
+    can run it without shipping the engine (and its cache) to every worker.
     """
     tested = (test_stage or AlignedTestStage(online)).run(preparation, population)
     bounds = PredictStage().run(preparation, tested)
     configured = ConfigureStage(online).run(preparation, bounds, period)
-    verified = VerifyStage().run(circuit, population, configured, period)
+    verified = VerifyStage(online.chip_shard_size).run(
+        circuit, population, configured, period
+    )
     return PopulationRunResult(
         period=period,
         test=tested.test,
@@ -163,10 +172,36 @@ def _init_worker(
     _WORKER_PREPARATIONS = preparations
 
 
+@dataclass(frozen=True)
+class _SourceShard:
+    """Lightweight pool-task spec: one chip shard of one lazy population.
+
+    Ships (seed, range) instead of pickled delay matrices; the worker
+    rebuilds the :class:`ChipSource` from its per-worker circuit table and
+    materializes exactly its own shard.
+    """
+
+    circuit_index: int
+    n_chips: int
+    seed: int
+    start: int
+    stop: int
+
+    def resolve(self, circuits: list[Circuit]) -> CircuitPopulation:
+        source = ChipSource(circuits[self.circuit_index], self.n_chips, self.seed)
+        return source.realize(self.start, self.stop)
+
+
+#: What the population slot of a pool task can carry.
+_TaskChips = CircuitPopulation | _SourceShard
+
+
 def _run_scenario_task(
-    payload: tuple[int, CircuitPopulation, float, int, OnlineConfig],
+    payload: tuple[int, _TaskChips, float, int, OnlineConfig],
 ) -> PopulationRunResult:
     circuit_index, population, period, prep_index, online = payload
+    if isinstance(population, _SourceShard):
+        population = population.resolve(_WORKER_CIRCUITS)
     return _run_prepared(
         _WORKER_CIRCUITS[circuit_index],
         population,
@@ -210,11 +245,39 @@ def _merge_shard_runs(parts: list[PopulationRunResult]) -> PopulationRunResult:
 
 
 def _shard_payload(
-    payload: tuple[int, CircuitPopulation, float, int, OnlineConfig],
-) -> list[tuple[int, CircuitPopulation, float, int, OnlineConfig]]:
-    """Split one scenario payload into per-shard payloads (or keep whole)."""
+    payload: tuple[int, Chips, float, int, OnlineConfig],
+    source_circuit_index: int,
+) -> list[tuple[int, _TaskChips, float, int, OnlineConfig]]:
+    """Split one scenario payload into per-shard pool tasks.
+
+    Lazy sources always become :class:`_SourceShard` specs (one per chip
+    shard, or one for the whole population without ``chip_shard_size``) so
+    the parent never materializes nor pickles their delay matrices; dense
+    populations are sliced into shard copies as before.
+    ``source_circuit_index`` locates the *source's* circuit in the worker
+    table — for an explicit source it may differ from the scenario circuit
+    the pipeline prepares and verifies against.
+    """
     circuit_index, population, period, prep_index, online = payload
     shard = online.chip_shard_size
+    if isinstance(population, ChipSource):
+        step = population.n_chips if shard is None else shard
+        return [
+            (
+                circuit_index,
+                _SourceShard(
+                    source_circuit_index,
+                    population.n_chips,
+                    population.seed,
+                    start,
+                    min(start + step, population.n_chips),
+                ),
+                period,
+                prep_index,
+                online,
+            )
+            for start in range(0, population.n_chips, step)
+        ]
     if shard is None or population.n_chips <= shard:
         return [payload]
     return [
@@ -230,7 +293,14 @@ def _shard_payload(
 
 
 class Engine:
-    """Staged pipeline engine with a shared preparation cache."""
+    """Staged pipeline engine with a shared two-tier preparation cache.
+
+    ``cache_dir`` enables the persistent on-disk cache tier: preparations
+    are serialized under their content-addressed key, so cold processes and
+    repeat experiment runs skip the offline stage entirely.  Pass either
+    ``cache`` (a fully configured :class:`PreparationCache`) or
+    ``cache_dir``, not both.
+    """
 
     def __init__(
         self,
@@ -238,10 +308,17 @@ class Engine:
         online: OnlineConfig | None = None,
         cache: PreparationCache | None = None,
         offline_stage_factory: Callable[[OfflineConfig], OfflineStage] | None = None,
+        cache_dir: str | Path | None = None,
     ):
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
         self.offline = offline or OfflineConfig()
         self.online = online or OnlineConfig()
-        self.cache = cache or PreparationCache()
+        # Not `cache or ...`: an empty cache has len() 0 and is falsy, and
+        # must still be honored (it may own a disk tier).
+        self.cache = (
+            cache if cache is not None else PreparationCache(disk_dir=cache_dir)
+        )
         # Injection point for tests (counting stubs) and future backends.
         self._offline_stage_factory = offline_stage_factory or OfflineStage
 
@@ -280,7 +357,7 @@ class Engine:
     def run(
         self,
         circuit: Circuit,
-        population: CircuitPopulation,
+        population: Chips,
         period: float,
         *,
         preparation: Preparation | None = None,
@@ -291,9 +368,13 @@ class Engine:
     ) -> PopulationRunResult:
         """Test, predict, configure and pass/fail every chip at ``period``.
 
-        Without an explicit ``preparation`` the cached offline stage for
-        ``clock_period`` (default: ``period``) is used.  ``test_stage``
-        swaps the measurement strategy (e.g.
+        ``population`` may be a dense :class:`CircuitPopulation` or a lazy
+        :class:`ChipSource` — with a source plus
+        ``OnlineConfig.chip_shard_size`` the delay matrices stream through
+        the stages one shard at a time.  Without an explicit
+        ``preparation`` the cached offline stage for ``clock_period``
+        (default: ``period``) is used.  ``test_stage`` swaps the
+        measurement strategy (e.g.
         :class:`~repro.api.stages.PathwiseTestStage`).
         """
         prep = preparation or self.prepare(
@@ -306,7 +387,7 @@ class Engine:
     def pathwise_baseline(
         self,
         circuit: Circuit,
-        population: CircuitPopulation,
+        population: Chips,
         offline: OfflineConfig | None = None,
     ) -> PathwiseResult:
         """The comparison method of [2, 6, 8, 9]: per-path binary search
@@ -316,8 +397,13 @@ class Engine:
         config = offline or self.offline
         model = circuit.paths.model
         epsilon = calibrate_epsilon(config, model.stds())
+        required = (
+            population.required_shard()
+            if isinstance(population, ChipSource)
+            else population.required
+        )
         return pathwise_frequency_stepping(
-            population.required,
+            required,
             model.means,
             model.stds(),
             epsilon,
@@ -326,13 +412,19 @@ class Engine:
 
     # -- batch runs ------------------------------------------------------------
 
-    def _scenario_population(self, scenario: Scenario) -> CircuitPopulation:
+    def _scenario_chips(self, scenario: Scenario) -> Chips:
+        """An explicit population passes through; otherwise a lazy source.
+
+        Implicit populations stay recipes end to end: the serial path
+        streams them through the stages, the pool path ships per-shard
+        specs, and only workers (or shard loops) materialize delays.
+        """
         if scenario.population is not None:
             return scenario.population
-        return sample_circuit(
+        return ChipSource(
             scenario.circuit,
             scenario.n_chips,
-            seed=derive_seed(scenario.seed, scenario.circuit.name, "population"),
+            derive_seed(scenario.seed, scenario.circuit.name, "population"),
         )
 
     def run_scenario(self, scenario: Scenario) -> RunRecord:
@@ -380,28 +472,44 @@ class Engine:
             unique_preps.append(prep)
             cache_hits.append(hit)
 
-        payloads = [
-            (
+        payloads = []
+        source_circuit_indices: list[int] = []
+        for scenario, circuit_index, prep_index in zip(
+            scenarios, circuit_indices, prep_indices
+        ):
+            chips = self._scenario_chips(scenario)
+            # A lazy source samples from *its own* circuit, which an
+            # explicit Fig. 7-style population may draw from a different
+            # variant than the one being prepared/verified — register it
+            # separately so pool workers rebuild the source correctly.
+            if isinstance(chips, ChipSource):
+                if id(chips.circuit) not in circuits_seen:
+                    circuits_seen[id(chips.circuit)] = len(unique_circuits)
+                    unique_circuits.append(chips.circuit)
+                source_circuit_indices.append(circuits_seen[id(chips.circuit)])
+            else:
+                source_circuit_indices.append(circuit_index)
+            payloads.append((
                 circuit_index,
-                self._scenario_population(scenario),
+                chips,
                 scenario.period,
                 prep_index,
                 scenario.online or self.online,
-            )
-            for scenario, circuit_index, prep_index in zip(
-                scenarios, circuit_indices, prep_indices
-            )
-        ]
+            ))
 
         # With a pool, scenarios whose OnlineConfig sets chip_shard_size fan
         # out as one task per chip shard — a single huge population spreads
         # across all workers — and reassemble afterwards.  Chips are
         # independent through every online stage, so sharded and unsharded
-        # runs are identical.  Shard copies are only materialized on the
-        # pool path; the serial path streams shards inside AlignedTestStage
-        # instead, without duplicating the population.
+        # runs are identical.  Lazy sources travel as _SourceShard specs
+        # (the parent never holds their delay matrices); explicit dense
+        # populations are sliced into shard copies on the pool path only —
+        # the serial path streams shards inside the stages instead.
         sharded = (
-            [_shard_payload(payload) for payload in payloads]
+            [
+                _shard_payload(payload, source_ci)
+                for payload, source_ci in zip(payloads, source_circuit_indices)
+            ]
             if max_workers is not None and max_workers > 1
             else [[payload] for payload in payloads]
         )
@@ -447,7 +555,7 @@ class Engine:
     @staticmethod
     def _record(
         scenario: Scenario,
-        population: CircuitPopulation,
+        population: Chips,
         result: PopulationRunResult,
         preparation: Preparation,
         cache_hit: bool,

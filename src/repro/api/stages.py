@@ -37,12 +37,18 @@ from repro.core.framework import Preparation
 from repro.core.grouping import group_and_select
 from repro.core.holdtime import compute_hold_bounds, hold_feasible_settings
 from repro.core.multiplexing import plan_multiplexing
-from repro.core.population import PopulationTestResult, test_population
+from repro.core.population import PopulationTestResult, test_population_lazy
 from repro.core.prediction import build_predictor
-from repro.core.yields import CircuitPopulation, configured_pass
+from repro.core.yields import ChipSource, CircuitPopulation, configured_pass
 from repro.tester.freqstep import pathwise_frequency_stepping
 from repro.utils.rng import derive_seed
 from repro.utils.timing import Stopwatch
+
+#: Stages consuming chips accept either a dense realized population or the
+#: lazy recipe; :class:`~repro.core.yields.ChipSource` inputs are streamed
+#: shard by shard so the full delay matrices never exist in this process.
+Chips = CircuitPopulation | ChipSource
+
 
 # ----------------------------------------------------------------------------
 # Artifacts
@@ -213,7 +219,7 @@ class TestStage(Protocol):
     """Any on-tester measurement strategy producing delay ranges."""
 
     def run(
-        self, preparation: Preparation, population: CircuitPopulation
+        self, preparation: Preparation, population: Chips
     ) -> TestArtifact:  # pragma: no cover - protocol
         ...
 
@@ -223,19 +229,26 @@ class AlignedTestStage:
 
     ``OnlineConfig.chip_shard_size`` streams the population through the
     test engine in memory-bounded chip shards (identical results for any
-    shard size — chips are independent).
+    shard size — chips are independent).  With a lazy
+    :class:`~repro.core.yields.ChipSource` each shard's required-path
+    delays are materialized on demand and dropped after testing, so the
+    dense ``(n_chips, n_paths)`` matrix never exists in this process.
     """
 
     def __init__(self, online: OnlineConfig | None = None):
         self.online = online or OnlineConfig()
 
-    def run(
-        self, preparation: Preparation, population: CircuitPopulation
-    ) -> TestArtifact:
+    def run(self, preparation: Preparation, population: Chips) -> TestArtifact:
         watch = Stopwatch()
         with watch.measure("tester"):
-            test = test_population(
-                population.required,
+            if isinstance(population, ChipSource):
+                delays_of_shard = population.required_shard
+            else:
+                dense = population.required
+                delays_of_shard = lambda start, stop: dense[start:stop]  # noqa: E731
+            test = test_population_lazy(
+                delays_of_shard,
+                population.n_chips,
                 preparation.plan,
                 preparation.specs,
                 preparation.prior_means,
@@ -259,16 +272,20 @@ class PathwiseTestStage:
 
     A drop-in :class:`TestStage`: its artifact covers *all* paths (each path
     is its own batch), so the downstream stages run unchanged with nothing
-    left to predict.
+    left to predict.  A lazy source is realized eagerly here — the baseline
+    exists for comparison runs, not for out-of-core scale.
     """
 
-    def run(
-        self, preparation: Preparation, population: CircuitPopulation
-    ) -> TestArtifact:
+    def run(self, preparation: Preparation, population: Chips) -> TestArtifact:
         watch = Stopwatch()
         with watch.measure("tester"):
+            required = (
+                population.required_shard()
+                if isinstance(population, ChipSource)
+                else population.required
+            )
             result = pathwise_frequency_stepping(
-                population.required,
+                required,
                 preparation.prior_means,
                 preparation.prior_stds,
                 preparation.epsilon,
@@ -347,24 +364,44 @@ class ConfigureStage:
 
 
 class VerifyStage:
-    """Final pass/fail test of the configured chips."""
+    """Final pass/fail test of the configured chips.
+
+    With a lazy :class:`~repro.core.yields.ChipSource` the population is
+    re-materialized shard by shard (``chip_shard_size`` chips at a time)
+    and checked against the matching rows of the configuration — recompute
+    over storage, so verification stays O(shard) too.
+    """
+
+    def __init__(self, chip_shard_size: int | None = None):
+        self.chip_shard_size = chip_shard_size
 
     def run(
         self,
         circuit: Circuit,
-        population: CircuitPopulation,
+        population: Chips,
         configured: ConfigArtifact,
         period: float,
     ) -> VerifyArtifact:
-        passed = configured_pass(
-            circuit, population, configured.configuration, period
-        )
+        result = configured.configuration
+        if isinstance(population, ChipSource):
+            passed = np.empty(population.n_chips, dtype=bool)
+            for start, stop, shard in population.iter_shards(self.chip_shard_size):
+                rows = ConfigurationResult(
+                    feasible=result.feasible[start:stop],
+                    settings=result.settings[start:stop],
+                    xi=result.xi[start:stop],
+                    buffer_names=result.buffer_names,
+                )
+                passed[start:stop] = configured_pass(circuit, shard, rows, period)
+        else:
+            passed = configured_pass(circuit, population, result, period)
         return VerifyArtifact(passed=passed)
 
 
 __all__ = [
     "AlignedTestStage",
     "BoundsArtifact",
+    "Chips",
     "ConfigArtifact",
     "ConfigureStage",
     "OfflineRequest",

@@ -15,6 +15,7 @@ from repro.circuit.bench_io import (
 )
 from repro.circuit.buffers import BufferPlan, TunableBuffer, uniform_buffer_plan
 from repro.circuit.delays import gate_delay_form, total_sigma_fraction
+from repro.circuit.fingerprint import fingerprint_circuit
 from repro.circuit.from_netlist import circuit_from_netlist
 from repro.circuit.generator import Circuit, CircuitSpec, generate_circuit
 from repro.circuit.insertion import (
@@ -52,6 +53,7 @@ __all__ = [
     "criticality_scores",
     "default_library",
     "extract_ff_paths",
+    "fingerprint_circuit",
     "gate_delay_form",
     "generate_circuit",
     "parse_bench",

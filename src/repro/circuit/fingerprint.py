@@ -1,0 +1,75 @@
+"""Content fingerprint of a circuit.
+
+One sha256 digest over everything the downstream algorithms read from a
+:class:`~repro.circuit.generator.Circuit`: spec, flip-flop names, buffer
+sites, path endpoints, the joint delay models and mutual exclusions.  Two
+circuits with equal fingerprints behave identically through the offline
+preparation and chip sampling; anything that changes delay statistics
+(e.g. :meth:`Circuit.with_inflated_randomness`) changes the digest.
+
+Lives in the circuit layer so both the core data substrate (lazy
+:class:`~repro.core.yields.ChipSource` identities) and the API layer's
+content-addressed :mod:`repro.api.cache` can key on it without upward
+imports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from dataclasses import astuple
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.circuit.generator import Circuit
+
+
+def _update_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    arr = np.ascontiguousarray(array)
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+
+
+#: Memoized fingerprints keyed by object id; weakref callbacks evict dead
+#: entries and an identity check guards against id reuse.
+_fingerprint_memo: dict[int, tuple["weakref.ref[Circuit]", str]] = {}
+
+
+def fingerprint_circuit(circuit: "Circuit") -> str:
+    """Hex digest over everything the offline stage reads from a circuit.
+
+    Circuits are immutable, so the digest is memoized per object — repeat
+    runs and scenario batches hash the arrays once, not per call.
+    """
+    memo_key = id(circuit)
+    entry = _fingerprint_memo.get(memo_key)
+    if entry is not None and entry[0]() is circuit:
+        return entry[1]
+    fingerprint = _compute_fingerprint(circuit)
+    ref = weakref.ref(
+        circuit, lambda _ref: _fingerprint_memo.pop(memo_key, None)
+    )
+    _fingerprint_memo[memo_key] = (ref, fingerprint)
+    return fingerprint
+
+
+def _compute_fingerprint(circuit: "Circuit") -> str:
+    digest = hashlib.sha256()
+    digest.update(circuit.name.encode())
+    digest.update(repr(astuple(circuit.spec)).encode())
+    digest.update("\x1f".join(circuit.ff_names).encode())
+    digest.update("\x1f".join(circuit.buffered_ffs).encode())
+    for path_set in (circuit.paths, circuit.short_paths, circuit.background):
+        _update_array(digest, path_set.source_idx)
+        _update_array(digest, path_set.sink_idx)
+        _update_array(digest, path_set.model.means)
+        _update_array(digest, path_set.model.loadings)
+        _update_array(digest, path_set.model.independent)
+    digest.update(repr(sorted(circuit.mutual_exclusions)).encode())
+    return digest.hexdigest()
+
+
+__all__ = ["fingerprint_circuit"]

@@ -61,8 +61,10 @@ from repro.core.prediction import (
 )
 from repro.core.testflow import ChipTestResult, run_batch, test_chip
 from repro.core.yields import (
+    ChipSource,
     CircuitPopulation,
     YieldComparison,
+    chip_source,
     configured_pass,
     ideal_yield,
     no_buffer_yield,
@@ -74,6 +76,7 @@ from repro.core.yields import (
 __all__ = [
     "Batch",
     "BatchAlignment",
+    "ChipSource",
     "ChipTestResult",
     "ConditionalPredictor",
     "ConfigStructure",
@@ -94,6 +97,7 @@ __all__ = [
     "build_predictor",
     "calibrate_epsilon",
     "center_sorted_weights",
+    "chip_source",
     "compute_hold_bounds",
     "concat_population_test_results",
     "conditional_stds_if_tested",

@@ -19,6 +19,7 @@ This module keeps the original surface:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING
 
@@ -85,6 +86,14 @@ class EffiTestConfig:
     # misc
     test_all_paths: bool = False  # Fig. 8 mode: skip statistical prediction
     seed: int = 20160605
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "EffiTestConfig is deprecated; pass repro.api.OfflineConfig and "
+            "repro.api.OnlineConfig to repro.api.Engine instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
     @property
     def offline(self) -> "OfflineConfig":
@@ -188,8 +197,19 @@ class EffiTest:
     def __init__(self, circuit: Circuit, config: EffiTestConfig | None = None):
         from repro.api.engine import Engine
 
+        warnings.warn(
+            "EffiTest is deprecated; use repro.api.Engine directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.circuit = circuit
-        self.config = config or EffiTestConfig()
+        if config is None:
+            with warnings.catch_warnings():
+                # The caller was already warned above; the composite we
+                # default-construct on their behalf should not warn twice.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                config = EffiTestConfig()
+        self.config = config
         self._engine = Engine(
             offline=self.config.offline, online=self.config.online
         )

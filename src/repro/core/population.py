@@ -33,7 +33,7 @@ batch whenever at least one of its paths in that batch is still unresolved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -322,19 +322,67 @@ def test_population(
     bounding peak memory; chips are independent, so any shard size yields
     identical results.
     """
+    true_delays_full = np.atleast_2d(np.asarray(true_delays_full, dtype=float))
+    n_chips = true_delays_full.shape[0]
+    return test_population_lazy(
+        lambda start, stop: true_delays_full[start:stop],
+        n_chips,
+        plan,
+        specs,
+        prior_means,
+        prior_stds,
+        epsilon,
+        sigma_window=sigma_window,
+        k0=k0,
+        kd=kd,
+        align=align,
+        x_inits=x_inits,
+        chip_shard_size=chip_shard_size,
+        compact=compact,
+    )
+
+
+def test_population_lazy(
+    delays_of_shard: Callable[[int, int], np.ndarray],
+    n_chips: int,
+    plan: MultiplexPlan,
+    specs: list[BatchAlignment],
+    prior_means: np.ndarray,
+    prior_stds: np.ndarray,
+    epsilon: float,
+    sigma_window: float = 3.0,
+    k0: float = 1000.0,
+    kd: float = 1.0,
+    align: bool = True,
+    x_inits: list[np.ndarray] | None = None,
+    chip_shard_size: int | None = None,
+    compact: bool = True,
+) -> PopulationTestResult:
+    """Out-of-core variant of :func:`test_population`.
+
+    ``delays_of_shard(start, stop)`` materializes the ``(stop - start,
+    n_paths_total)`` true-delay matrix of one chip shard on demand (for
+    example :meth:`repro.core.yields.ChipSource.required_shard`), so the
+    full ``(n_chips, n_paths_total)`` matrix never exists in this process:
+    the peak delay-matrix working set is one shard.  Chips are independent,
+    so results are bit-identical to the dense path for any shard size.
+    """
     if len(specs) != plan.n_batches:
         raise ValueError("one alignment spec per batch required")
     if chip_shard_size is not None and chip_shard_size < 1:
         raise ValueError("chip_shard_size must be >= 1")
-    true_delays_full = np.atleast_2d(np.asarray(true_delays_full, dtype=float))
-    n_chips = true_delays_full.shape[0]
     column_of = {int(p): k for k, p in enumerate(plan.measured)}
 
     shard = chip_shard_size if chip_shard_size is not None else n_chips
     shard = max(shard, 1)
     parts = [
         _test_shard(
-            true_delays_full[start : start + shard],
+            np.atleast_2d(
+                np.asarray(
+                    delays_of_shard(start, min(start + shard, max(n_chips, 1))),
+                    dtype=float,
+                )
+            ),
             plan,
             specs,
             prior_means,

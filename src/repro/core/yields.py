@@ -20,6 +20,7 @@ the buffers are configured" the paper assumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -30,8 +31,8 @@ from repro.core.configuration import (
     ConfigurationResult,
     ideal_feasibility,
 )
-from repro.utils.rng import RandomState
-from repro.variation.sampling import sample_correlated
+from repro.utils.rng import RandomState, canonical_seed
+from repro.variation.sampling import sample_correlated_shard
 
 _EPS = 1e-7
 
@@ -60,16 +61,109 @@ class CircuitPopulation:
         )
 
 
+@dataclass(frozen=True)
+class ChipSource:
+    """A chip population as a *recipe*, not an array.
+
+    The population is fully described by (circuit, ``seed``, ``n_chips``):
+    any chip shard ``[start, stop)`` materializes deterministically and
+    independently of every other shard via the counter-based block streams
+    of :func:`repro.variation.sampling.sample_correlated_shard`.  The same
+    chips come out whether the population is realized in one block, shard
+    by shard, or in another process — which is what lets pool workers
+    materialize their own shards from a lightweight spec instead of
+    receiving pickled dense delay matrices, and keeps the parent process at
+    O(shard) instead of O(n_chips) peak memory.
+
+    ``seed`` must be a plain int (see
+    :func:`repro.utils.rng.canonical_seed`); :func:`chip_source` normalizes
+    any seed-like input.
+    """
+
+    circuit: Circuit
+    n_chips: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_chips <= 0:
+            raise ValueError(f"n_chips must be positive, got {self.n_chips}")
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError(
+                "ChipSource.seed must be a non-negative int (use "
+                f"repro.utils.rng.canonical_seed), got {self.seed!r}"
+            )
+
+    @property
+    def models(self) -> list:
+        """The correlated delay models, in stream order."""
+        return [
+            self.circuit.paths.model,
+            self.circuit.background.model,
+            self.circuit.short_paths.model,
+        ]
+
+    def describe(self) -> tuple[str, int, int]:
+        """Content identity: (circuit fingerprint, n_chips, seed)."""
+        from repro.circuit.fingerprint import fingerprint_circuit
+
+        return (fingerprint_circuit(self.circuit), self.n_chips, self.seed)
+
+    def _range(self, start: int, stop: int | None) -> tuple[int, int]:
+        stop = self.n_chips if stop is None else stop
+        if not 0 <= start <= stop <= self.n_chips:
+            raise ValueError(
+                f"chip range [{start}, {stop}) outside [0, {self.n_chips})"
+            )
+        return start, stop
+
+    def realize(self, start: int = 0, stop: int | None = None) -> CircuitPopulation:
+        """Materialize chips ``[start, stop)`` as a dense population."""
+        start, stop = self._range(start, stop)
+        required, background, hold = sample_correlated_shard(
+            self.models, self.seed, start, stop
+        )
+        return CircuitPopulation(required, background, hold)
+
+    def required_shard(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Materialize only the required-path delays of ``[start, stop)``.
+
+        Same bits as ``realize(start, stop).required`` without evaluating
+        the background/hold models — the test stages only read this matrix.
+        """
+        start, stop = self._range(start, stop)
+        return sample_correlated_shard(
+            self.models, self.seed, start, stop, only=[0]
+        )[0]
+
+    def iter_shards(
+        self, shard_size: int | None = None
+    ) -> Iterator[tuple[int, int, CircuitPopulation]]:
+        """Stream the population as ``(start, stop, shard)`` triples."""
+        shard = self.n_chips if shard_size is None else shard_size
+        if shard < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        for start in range(0, self.n_chips, shard):
+            stop = min(start + shard, self.n_chips)
+            yield start, stop, self.realize(start, stop)
+
+
+def chip_source(
+    circuit: Circuit, n_chips: int, seed: RandomState = None
+) -> ChipSource:
+    """Describe (without sampling) a population of ``n_chips`` chips."""
+    return ChipSource(circuit, n_chips, canonical_seed(seed))
+
+
 def sample_circuit(
     circuit: Circuit, n_chips: int, seed: RandomState = None
 ) -> CircuitPopulation:
-    """Draw ``n_chips`` manufactured instances of ``circuit``."""
-    required, background, hold = sample_correlated(
-        [circuit.paths.model, circuit.background.model, circuit.short_paths.model],
-        n_chips,
-        seed=seed,
-    )
-    return CircuitPopulation(required, background, hold)
+    """Draw ``n_chips`` manufactured instances of ``circuit``.
+
+    The eager path: one dense realization of the whole
+    :class:`ChipSource`.  Slicing this result at any shard boundary is
+    bit-identical to materializing the shards individually.
+    """
+    return chip_source(circuit, n_chips, seed).realize()
 
 
 def operating_periods(

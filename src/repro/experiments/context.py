@@ -16,7 +16,13 @@ from dataclasses import dataclass
 from repro.api import Engine, OfflineConfig, OnlineConfig
 from repro.circuit.generator import Circuit, generate_circuit
 from repro.core.framework import PopulationRunResult, Preparation
-from repro.core.yields import CircuitPopulation, operating_periods, sample_circuit
+from repro.core.yields import (
+    ChipSource,
+    CircuitPopulation,
+    chip_source,
+    operating_periods,
+    sample_circuit,
+)
 from repro.experiments.benchdata import benchmark_spec
 from repro.tester.freqstep import PathwiseResult
 from repro.utils.rng import derive_seed
@@ -43,6 +49,11 @@ class CircuitContext:
     online: OnlineConfig
     preparation: Preparation | None
     population: CircuitPopulation
+    #: The evaluation population as a recipe: experiments that need to
+    #: re-materialize chips (scaling studies, shard sweeps) derive from
+    #: this instead of copying the dense arrays.  ``population`` is its
+    #: eager realization — bit-identical rows by construction.
+    population_source: ChipSource | None = None
 
     @property
     def name(self) -> str:
@@ -104,7 +115,7 @@ def build_context(
     engine = engine or Engine(offline=offline, online=online)
     preparation = engine.prepare(circuit, t1, offline) if prepare else None
 
-    population = sample_circuit(
+    source = chip_source(
         circuit, n_chips, seed=derive_seed(seed, name, "evaluation")
     )
     return CircuitContext(
@@ -115,5 +126,6 @@ def build_context(
         offline=offline,
         online=online,
         preparation=preparation,
-        population=population,
+        population=source.realize(),
+        population_source=source,
     )

@@ -15,12 +15,21 @@ from repro.opt.simplex import LPResult, LPStatus
 
 
 def _status_from_scipy(status_code: int, success: bool) -> LPStatus:
+    """Map HiGHS status codes (shared by linprog and milp) onto LPStatus.
+
+    0 = optimal, 1 = iteration/time limit, 2 = infeasible, 3 = unbounded,
+    4 = numerical difficulties.  Code 4 used to be folded into
+    ``ITERATION_LIMIT``, which mislabeled genuinely ill-conditioned models
+    as budget problems; it now surfaces as ``LPStatus.NUMERICAL``.
+    """
     if success:
         return LPStatus.OPTIMAL
     if status_code == 2:
         return LPStatus.INFEASIBLE
     if status_code == 3:
         return LPStatus.UNBOUNDED
+    if status_code == 4:
+        return LPStatus.NUMERICAL
     return LPStatus.ITERATION_LIMIT
 
 
@@ -69,8 +78,4 @@ def solve_milp_scipy(form: MatrixForm) -> LPResult:
         # HiGHS can return near-integral values; snap them for stability.
         x[form.integer] = np.round(x[form.integer])
         return LPResult(LPStatus.OPTIMAL, x, form.objective_value(x))
-    if res.status == 2:
-        return LPResult(LPStatus.INFEASIBLE, None, None)
-    if res.status == 3:
-        return LPResult(LPStatus.UNBOUNDED, None, None)
-    return LPResult(LPStatus.ITERATION_LIMIT, None, None)
+    return LPResult(_status_from_scipy(res.status, False), None, None)

@@ -32,6 +32,10 @@ class LPStatus(Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
+    #: The solver gave up for numerical reasons (HiGHS status 4): neither a
+    #: proof of infeasibility nor an iteration budget problem — retrying
+    #: with a rescaled model can succeed where more iterations cannot.
+    NUMERICAL = "numerical_difficulties"
 
 
 @dataclass

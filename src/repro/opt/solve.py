@@ -29,6 +29,17 @@ class Solution:
     def ok(self) -> bool:
         return self.status is LPStatus.OPTIMAL
 
+    @property
+    def failure_reason(self) -> str | None:
+        """Human-readable reason when not ``ok`` (``None`` on success).
+
+        Distinguishes ``"numerical_difficulties"`` (HiGHS gave up on an
+        ill-conditioned model — rescale and retry) from
+        ``"iteration_limit"`` (raise the budget) and the infeasible /
+        unbounded verdicts.
+        """
+        return None if self.ok else self.status.value
+
     def __getitem__(self, name: str) -> float:
         return self.values[name]
 

@@ -45,6 +45,25 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
     ]
 
 
+def canonical_seed(seed: RandomState = None) -> int:
+    """Collapse any seed-like input to one plain non-negative ``int``.
+
+    Counter-based shard sampling (:mod:`repro.variation.sampling`) and the
+    lazy :class:`~repro.core.yields.ChipSource` need a seed that pickles
+    losslessly and derives the same per-block streams in every process.
+    An ``int`` passes through, ``None`` draws fresh OS entropy (one random
+    population per call, as before), and a generator is collapsed by
+    drawing a single integer from it.
+    """
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return int(seed)
+    if seed is None:
+        return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    return int(as_generator(seed).integers(0, 2**63 - 1))
+
+
 def derive_seed(seed: RandomState, *labels: str | int) -> int:
     """Derive a stable child seed from ``seed`` and a sequence of labels.
 

@@ -18,11 +18,18 @@ from repro.variation.parameters import (
     ProcessSpace,
 )
 from repro.variation.pca import PCAResult, pca, select_representatives
-from repro.variation.sampling import ChipPopulation, sample_population
+from repro.variation.sampling import (
+    CHIP_BLOCK,
+    ChipPopulation,
+    sample_correlated,
+    sample_correlated_shard,
+    sample_population,
+)
 from repro.variation.spatial import SpatialModel
 from repro.variation.ssta import statistical_max, topological_arrival_times
 
 __all__ = [
+    "CHIP_BLOCK",
     "CanonicalForm",
     "ChipPopulation",
     "OXIDE_THICKNESS",
@@ -37,6 +44,8 @@ __all__ = [
     "covariance_matrix",
     "loading_matrix",
     "pca",
+    "sample_correlated",
+    "sample_correlated_shard",
     "sample_population",
     "select_representatives",
     "statistical_max",

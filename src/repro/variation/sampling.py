@@ -86,6 +86,81 @@ def sample_correlated(
     return out
 
 
+#: Chips are drawn in fixed-size blocks, each from its own seed-derived
+#: stream.  The block — not the population — is the unit of randomness, so
+#: any shard ``[start, stop)`` materializes to the same bits no matter how
+#: the population is cut, in which order the shards are produced, or which
+#: process produces them.  Changing this constant changes every sampled
+#: population; it is part of the sampling format.
+CHIP_BLOCK = 1024
+
+
+def _block_generator(seed: int, block: int) -> np.random.Generator:
+    """Independent generator for one chip block of one population seed.
+
+    ``SeedSequence(seed, spawn_key=(block,))`` gives each block its own
+    statistically independent PCG64 stream, addressable in O(1) — no draws
+    from earlier blocks are ever consumed, which is what makes shard
+    materialization independent of shard size and process boundary.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(block,)))
+
+
+def sample_correlated_shard(
+    models: list[PathDelayModel],
+    seed: int,
+    start: int,
+    stop: int,
+    only: list[int] | None = None,
+) -> list[np.ndarray | None]:
+    """Materialize chips ``[start, stop)`` of the blocked population ``seed``.
+
+    The counter-based sibling of :func:`sample_correlated`: all models share
+    one correlated factor vector ``z`` per chip, but chips come from
+    per-block streams, so the returned rows are identical whether the range
+    is materialized in one call, per shard, or in another process.  Chip
+    indices are absolute — a population's chip ``i`` is the same chip for
+    every caller — and chips are stable under growing the population.
+
+    Within a block the draw order is ``z`` then one residue matrix per
+    model, and the delays are always evaluated for the *full* block before
+    slicing: ``z @ loadings.T`` is a BLAS product whose low bits depend on
+    the operand shapes, so fixing the shape at ``CHIP_BLOCK`` rows is what
+    makes every cut bit-identical.  ``only`` (indices into ``models``)
+    skips the delay evaluation of unwanted models without perturbing the
+    stream; their slots come back as ``None``.
+    """
+    if not 0 <= start <= stop:
+        raise ValueError(f"invalid chip range [{start}, {stop})")
+    if not models:
+        return []
+    n_factors = models[0].n_factors
+    for m in models[1:]:
+        if m.n_factors != n_factors:
+            raise ValueError("all models must share one factor space")
+    wanted = set(range(len(models)) if only is None else only)
+    # Residues for models *before* a wanted one must still be drawn to keep
+    # the stream layout fixed, but nothing reads the generator after the
+    # last wanted model — stop there instead of draining the block.
+    last_wanted = max(wanted, default=-1)
+    chunks: list[list[np.ndarray]] = [[] for _ in models]
+    for block in range(start // CHIP_BLOCK, -(-stop // CHIP_BLOCK)):
+        rng = _block_generator(seed, block)
+        z = rng.standard_normal((CHIP_BLOCK, n_factors))
+        lo = max(start - block * CHIP_BLOCK, 0)
+        hi = min(stop - block * CHIP_BLOCK, CHIP_BLOCK)
+        for k, m in enumerate(models[: last_wanted + 1]):
+            e = rng.standard_normal((CHIP_BLOCK, m.n_paths))
+            if k in wanted:
+                chunks[k].append(m.sample_with_factors(z, e)[lo:hi])
+    empty = np.empty((0, 0))
+    return [
+        (np.concatenate(chunks[k]) if chunks[k] else
+         empty.reshape(0, m.n_paths)) if k in wanted else None
+        for k, m in enumerate(models)
+    ]
+
+
 def sample_population(
     max_model: PathDelayModel,
     n_chips: int,

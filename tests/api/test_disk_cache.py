@@ -1,0 +1,202 @@
+"""The persistent disk tier of the preparation cache.
+
+The contract: a preparation serialized under its content-addressed key is
+picked up instead of recomputed by any process pointed at the directory —
+warm engines, fresh engines, and cold Python processes — and runs driven
+from a disk-loaded preparation are bit-identical to the in-memory path.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, PreparationCache, PreparationKey
+from repro.core import chip_source
+
+from _common import TINY_OFFLINE
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def counting_engine(cache, log):
+    from repro.api import OfflineStage
+
+    class Counting(OfflineStage):
+        def run(self, request):
+            log.append((request.circuit.name, request.clock_period))
+            return super().run(request)
+
+    return Engine(offline=TINY_OFFLINE, cache=cache, offline_stage_factory=Counting)
+
+
+class TestDiskTier:
+    def test_cold_engine_loads_instead_of_computing(
+        self, tmp_path, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        warm_log, cold_log = [], []
+        warm = counting_engine(PreparationCache(disk_dir=tmp_path), warm_log)
+        first = warm.prepare(tiny_circuit, t1)
+        assert len(warm_log) == 1
+        assert warm.cache_stats.misses == 1
+
+        cold = counting_engine(PreparationCache(disk_dir=tmp_path), cold_log)
+        second = cold.prepare(tiny_circuit, t1)
+        assert cold_log == []  # offline stage never ran
+        stats = cold.cache_stats
+        assert (stats.misses, stats.disk_hits) == (0, 1)
+        np.testing.assert_array_equal(first.prior_means, second.prior_means)
+        assert first.epsilon == second.epsilon
+
+    def test_run_from_disk_preparation_is_bit_identical(
+        self, tmp_path, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        source = chip_source(tiny_circuit, 20, seed=5)
+        warm = Engine(offline=TINY_OFFLINE, cache_dir=tmp_path)
+        reference = warm.run(tiny_circuit, source, t1, clock_period=t1)
+
+        cold = Engine(offline=TINY_OFFLINE, cache_dir=tmp_path)
+        replay = cold.run(tiny_circuit, source, t1, clock_period=t1)
+        assert cold.cache_stats.disk_hits == 1
+        np.testing.assert_array_equal(replay.passed, reference.passed)
+        np.testing.assert_array_equal(
+            replay.bounds_lower, reference.bounds_lower
+        )
+        np.testing.assert_array_equal(
+            replay.configuration.settings, reference.configuration.settings
+        )
+
+    def test_contains_sees_disk_entries(self, tmp_path, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        Engine(offline=TINY_OFFLINE, cache_dir=tmp_path).prepare(tiny_circuit, t1)
+        fresh = PreparationCache(disk_dir=tmp_path)
+        key = PreparationKey.build(tiny_circuit, t1, TINY_OFFLINE)
+        assert key in fresh
+        assert len(fresh) == 0  # memory tier still empty
+
+    def test_corrupt_artifact_degrades_to_recompute(
+        self, tmp_path, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        Engine(offline=TINY_OFFLINE, cache_dir=tmp_path).prepare(tiny_circuit, t1)
+        (artifact,) = tmp_path.glob("prep-*.pkl")
+        artifact.write_bytes(b"not a pickle")
+
+        log = []
+        engine = counting_engine(PreparationCache(disk_dir=tmp_path), log)
+        engine.prepare(tiny_circuit, t1)
+        assert len(log) == 1  # recomputed, no crash
+        assert engine.cache_stats.misses == 1
+
+    def test_disk_pruning_keeps_newest(self, tmp_path, tiny_circuit):
+        cache = PreparationCache(disk_dir=tmp_path, max_disk_entries=2)
+        for period in (1.0, 2.0, 3.0):
+            key = PreparationKey.build(tiny_circuit, period, TINY_OFFLINE)
+            cache.get_or_compute(key, lambda: object())
+            newest = cache._disk_path(key)
+            os.utime(newest, (period, period))  # deterministic mtime order
+        remaining = sorted(p.stat().st_mtime for p in tmp_path.glob("prep-*.pkl"))
+        assert len(remaining) == 2
+
+    def test_clear_disk_removes_artifacts(self, tmp_path, tiny_circuit):
+        cache = PreparationCache(disk_dir=tmp_path)
+        key = PreparationKey.build(tiny_circuit, 1.0, TINY_OFFLINE)
+        cache.get_or_compute(key, lambda: object())
+        assert list(tmp_path.glob("prep-*.pkl"))
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("prep-*.pkl"))
+        assert key not in cache
+
+    def test_cache_and_cache_dir_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            Engine(cache=PreparationCache(), cache_dir=tmp_path)
+
+    def test_key_digest_stable_and_discriminating(self, tiny_circuit):
+        from dataclasses import replace
+
+        a = PreparationKey.build(tiny_circuit, 100.0, TINY_OFFLINE)
+        assert a.digest() == PreparationKey.build(
+            tiny_circuit, 100.0, TINY_OFFLINE
+        ).digest()
+        assert a.digest() != PreparationKey.build(
+            tiny_circuit, 101.0, TINY_OFFLINE
+        ).digest()
+        assert a.digest() != PreparationKey.build(
+            tiny_circuit, 100.0, replace(TINY_OFFLINE, n_steps=10)
+        ).digest()
+
+
+#: Runs the full pipeline in a *cold* interpreter against a shared disk
+#: cache dir and reports what happened.  The circuit and population are
+#: reconstructed from seeds — determinism across processes is exactly what
+#: the substrate guarantees.
+_COLD_SCRIPT = """
+import json, sys
+from repro.api import Engine, OfflineConfig, OfflineStage, PreparationCache
+from repro.circuit import CircuitSpec, generate_circuit
+from repro.core import chip_source
+
+spec = CircuitSpec(name="tiny", n_flipflops=40, n_gates=800, n_buffers=2,
+                   n_paths=24)
+circuit = generate_circuit(spec, seed=1234)
+period = float(sys.argv[2])
+
+computes = []
+class Counting(OfflineStage):
+    def run(self, request):
+        computes.append(1)
+        return super().run(request)
+
+engine = Engine(
+    offline=OfflineConfig(hold_samples=400),
+    cache=PreparationCache(disk_dir=sys.argv[1]),
+    offline_stage_factory=Counting,
+)
+result = engine.run(circuit, chip_source(circuit, 20, seed=5), period,
+                    clock_period=period)
+print(json.dumps({
+    "computes": len(computes),
+    "disk_hits": engine.cache_stats.disk_hits,
+    "passed": result.passed.tolist(),
+    "mean_iterations": result.mean_iterations,
+    "settings_sum": float(result.configuration.settings[
+        result.configuration.feasible].sum()),
+}))
+"""
+
+
+class TestColdProcess:
+    def test_cold_process_hits_disk_and_matches(
+        self, tmp_path, tiny_circuit, tiny_periods
+    ):
+        """A brand-new interpreter skips the offline stage via the disk
+        tier and reproduces the warm process's run bit-for-bit."""
+        t1, _ = tiny_periods
+        warm = Engine(offline=TINY_OFFLINE, cache_dir=tmp_path)
+        reference = warm.run(
+            tiny_circuit, chip_source(tiny_circuit, 20, seed=5), t1,
+            clock_period=t1,
+        )
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _COLD_SCRIPT, str(tmp_path), repr(t1)],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["computes"] == 0
+        assert report["disk_hits"] == 1
+        assert report["passed"] == reference.passed.tolist()
+        assert report["mean_iterations"] == reference.mean_iterations
+        assert report["settings_sum"] == pytest.approx(
+            float(reference.configuration.settings[
+                reference.configuration.feasible].sum()), abs=0.0,
+        )

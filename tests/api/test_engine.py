@@ -10,8 +10,9 @@ from repro.api import (
     Scenario,
     records_table,
 )
-from repro.core import sample_circuit
+from repro.core import ChipSource, chip_source, sample_circuit
 from repro.core.framework import EffiTest
+from repro.utils.rng import derive_seed
 
 from _common import TINY_COMPOSITE, TINY_OFFLINE
 
@@ -218,6 +219,110 @@ class TestShardedRunMany:
     def test_shard_size_validated(self):
         with pytest.raises(ValueError):
             OnlineConfig(chip_shard_size=0)
+
+
+class TestChipSourceRuns:
+    """Lazy populations: streamed and fanned-out runs == dense in-memory."""
+
+    @pytest.fixture(scope="class")
+    def source_setup(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        source = chip_source(tiny_circuit, 26, seed=13)
+        dense = sample_circuit(tiny_circuit, 26, seed=13)
+        engine = Engine(offline=TINY_OFFLINE)
+        reference = engine.run(tiny_circuit, dense, t1, clock_period=t1)
+        return engine, tiny_circuit, t1, source, reference
+
+    @staticmethod
+    def _assert_same_run(a, b):
+        np.testing.assert_array_equal(a.test.lower, b.test.lower)
+        np.testing.assert_array_equal(a.test.upper, b.test.upper)
+        np.testing.assert_array_equal(a.test.iterations, b.test.iterations)
+        np.testing.assert_array_equal(a.bounds_lower, b.bounds_lower)
+        np.testing.assert_array_equal(a.bounds_upper, b.bounds_upper)
+        np.testing.assert_array_equal(
+            a.configuration.settings, b.configuration.settings
+        )
+        np.testing.assert_array_equal(a.passed, b.passed)
+
+    def test_source_run_matches_dense(self, source_setup):
+        engine, circuit, t1, source, reference = source_setup
+        run = engine.run(circuit, source, t1, clock_period=t1)
+        self._assert_same_run(run, reference)
+
+    def test_streamed_source_run_matches_dense(self, source_setup):
+        """chip_shard_size streams the source through test AND verify."""
+        engine, circuit, t1, source, reference = source_setup
+        run = engine.run(
+            circuit, source, t1, clock_period=t1,
+            online=OnlineConfig(chip_shard_size=7),
+        )
+        self._assert_same_run(run, reference)
+
+    def test_implicit_population_is_a_source(self, source_setup):
+        """run_many's implicit populations sample the same chips a dense
+        sample_circuit call with the derived seed produces."""
+        engine, circuit, t1, _, _ = source_setup
+        seed = 13
+        dense = sample_circuit(
+            circuit, 26, seed=derive_seed(seed, circuit.name, "population")
+        )
+        (implicit,), (explicit,) = (
+            engine.run_many([
+                Scenario(circuit, period=t1, n_chips=26, seed=seed,
+                         clock_period=t1),
+            ]),
+            engine.run_many([
+                Scenario(circuit, period=t1, clock_period=t1,
+                         population=dense, seed=seed),
+            ]),
+        )
+        self._assert_same_run(implicit.result, explicit.result)
+
+    def test_pool_fanout_of_source_matches_serial(self, source_setup):
+        """Workers materialize their own shards from _SourceShard specs;
+        the reassembled result is bit-identical to the serial streamed
+        run and the dense reference."""
+        engine, circuit, t1, _, _ = source_setup
+        scenario = Scenario(
+            circuit, period=t1, n_chips=26, seed=13, clock_period=t1,
+            online=OnlineConfig(chip_shard_size=9),
+        )
+        (serial,) = engine.run_many([scenario])
+        (fanned,) = engine.run_many([scenario], max_workers=2)
+        self._assert_same_run(fanned.result, serial.result)
+        assert fanned.n_chips == 26
+
+    def test_pool_fanout_of_foreign_source(self, tiny_circuit, tiny_periods):
+        """An explicit source drawn from a circuit *variant* (Fig. 7
+        style) samples from its own circuit in pool workers too — not
+        from the scenario circuit it is prepared and verified against."""
+        t1, _ = tiny_periods
+        inflated = tiny_circuit.with_inflated_randomness(1.2)
+        source = chip_source(inflated, 21, seed=23)
+        engine = Engine(offline=TINY_OFFLINE)
+        scenario = Scenario(
+            tiny_circuit, period=t1, clock_period=t1, population=source,
+            online=OnlineConfig(chip_shard_size=8),
+        )
+        (serial,) = engine.run_many([scenario])
+        (fanned,) = engine.run_many([scenario], max_workers=2)
+        self._assert_same_run(fanned.result, serial.result)
+        dense = engine.run(
+            tiny_circuit, source.realize(), t1, clock_period=t1
+        )
+        self._assert_same_run(serial.result, dense)
+
+    def test_pathwise_baseline_accepts_source(self, source_setup):
+        engine, circuit, t1, source, _ = source_setup
+        dense = engine.pathwise_baseline(circuit, source.realize())
+        lazy = engine.pathwise_baseline(circuit, source)
+        np.testing.assert_array_equal(lazy.lower, dense.lower)
+        np.testing.assert_array_equal(lazy.upper, dense.upper)
+
+    def test_source_validates_bounds(self, tiny_circuit):
+        with pytest.raises(ValueError):
+            ChipSource(tiny_circuit, 10, seed=-1)
 
 
 class TestStageSwaps:

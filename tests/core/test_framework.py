@@ -7,6 +7,36 @@ from repro.core.framework import EffiTest, EffiTestConfig
 from repro.core.yields import ideal_yield, no_buffer_yield, sample_circuit
 
 
+class TestDeprecation:
+    """The legacy facade warns loudly (and exactly once per construction)."""
+
+    def test_effitest_config_warns(self):
+        with pytest.warns(DeprecationWarning, match="EffiTestConfig is deprecated"):
+            EffiTestConfig()
+
+    def test_effitest_warns(self, tiny_circuit):
+        with pytest.warns(DeprecationWarning, match="EffiTest is deprecated"):
+            EffiTest(tiny_circuit)
+
+    def test_default_config_does_not_double_warn(self, tiny_circuit):
+        with pytest.warns(DeprecationWarning) as caught:
+            EffiTest(tiny_circuit)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_from_parts_still_round_trips(self):
+        from repro.api import OfflineConfig, OnlineConfig
+
+        with pytest.warns(DeprecationWarning):
+            composite = EffiTestConfig.from_parts(
+                OfflineConfig(hold_samples=400), OnlineConfig(align=False)
+            )
+        assert composite.hold_samples == 400
+        assert composite.align is False
+
+
 class TestPreparation:
     def test_buffer_plan_covers_buffered_ffs(
         self, tiny_circuit, tiny_preparation

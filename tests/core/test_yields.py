@@ -5,6 +5,8 @@ import pytest
 
 from repro.core.configuration import ConfigurationResult
 from repro.core.yields import (
+    ChipSource,
+    chip_source,
     configured_pass,
     ideal_yield,
     no_buffer_yield,
@@ -34,6 +36,72 @@ class TestSampleCircuit:
         np.testing.assert_array_equal(
             sub.required[0], tiny_population.required[1]
         )
+
+
+class TestChipSource:
+    """The lazy population recipe: shards are bit-identical to the dense
+    realization no matter how the population is cut."""
+
+    def test_realize_matches_sample_circuit(self, tiny_circuit):
+        source = chip_source(tiny_circuit, 50, seed=6)
+        dense = sample_circuit(tiny_circuit, 50, seed=6)
+        pop = source.realize()
+        np.testing.assert_array_equal(pop.required, dense.required)
+        np.testing.assert_array_equal(pop.background, dense.background)
+        np.testing.assert_array_equal(
+            pop.hold_requirements, dense.hold_requirements
+        )
+
+    def test_shard_equals_dense_slice(self, tiny_circuit):
+        source = chip_source(tiny_circuit, 60, seed=6)
+        dense = source.realize()
+        shard = source.realize(17, 43)
+        np.testing.assert_array_equal(shard.required, dense.required[17:43])
+        np.testing.assert_array_equal(
+            shard.hold_requirements, dense.hold_requirements[17:43]
+        )
+
+    def test_iter_shards_covers_population_exactly(self, tiny_circuit):
+        source = chip_source(tiny_circuit, 25, seed=2)
+        dense = source.realize()
+        pieces = list(source.iter_shards(8))
+        assert [(a, b) for a, b, _ in pieces] == [
+            (0, 8), (8, 16), (16, 24), (24, 25)
+        ]
+        np.testing.assert_array_equal(
+            np.vstack([p.required for _, _, p in pieces]), dense.required
+        )
+
+    def test_required_shard_skips_nothing(self, tiny_circuit):
+        source = chip_source(tiny_circuit, 30, seed=4)
+        np.testing.assert_array_equal(
+            source.required_shard(5, 20), source.realize().required[5:20]
+        )
+
+    def test_range_validated(self, tiny_circuit):
+        source = chip_source(tiny_circuit, 10, seed=1)
+        with pytest.raises(ValueError):
+            source.realize(0, 11)
+        with pytest.raises(ValueError):
+            source.realize(-1, 5)
+        with pytest.raises(ValueError):
+            list(source.iter_shards(0))
+
+    def test_seed_must_be_canonical(self, tiny_circuit):
+        with pytest.raises(ValueError):
+            ChipSource(tiny_circuit, 10, seed=-3)
+        with pytest.raises(ValueError):
+            ChipSource(tiny_circuit, 10, seed=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            ChipSource(tiny_circuit, 0, seed=1)
+
+    def test_describe_is_content_identity(self, tiny_circuit):
+        a = chip_source(tiny_circuit, 10, seed=1).describe()
+        b = chip_source(tiny_circuit, 10, seed=1).describe()
+        assert a == b
+        assert a != chip_source(tiny_circuit, 10, seed=2).describe()
+        inflated = tiny_circuit.with_inflated_randomness(1.1)
+        assert a != chip_source(inflated, 10, seed=1).describe()
 
 
 class TestOperatingPeriods:

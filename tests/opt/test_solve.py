@@ -3,8 +3,9 @@
 import pytest
 
 from repro.opt.model import Model, ObjectiveSense, VarType
+from repro.opt.scipy_backend import _status_from_scipy
 from repro.opt.simplex import LPStatus
-from repro.opt.solve import solve
+from repro.opt.solve import Solution, solve
 
 
 def lp_model():
@@ -55,3 +56,30 @@ class TestDispatch:
         assert s.status is LPStatus.INFEASIBLE
         assert s.values == {}
         assert not s.ok
+
+
+class TestScipyStatusMapping:
+    """HiGHS status codes must map faithfully — in particular status 4
+    (numerical difficulties) is not an iteration-limit problem."""
+
+    def test_success_wins(self):
+        assert _status_from_scipy(0, True) is LPStatus.OPTIMAL
+
+    def test_infeasible_and_unbounded(self):
+        assert _status_from_scipy(2, False) is LPStatus.INFEASIBLE
+        assert _status_from_scipy(3, False) is LPStatus.UNBOUNDED
+
+    def test_iteration_limit(self):
+        assert _status_from_scipy(1, False) is LPStatus.ITERATION_LIMIT
+
+    def test_numerical_difficulties_not_mislabeled(self):
+        status = _status_from_scipy(4, False)
+        assert status is LPStatus.NUMERICAL
+        assert status is not LPStatus.ITERATION_LIMIT
+
+    def test_solution_surfaces_failure_reason(self):
+        failed = Solution(LPStatus.NUMERICAL, {}, None)
+        assert not failed.ok
+        assert failed.failure_reason == "numerical_difficulties"
+        ok = Solution(LPStatus.OPTIMAL, {"x": 1.0}, 1.0)
+        assert ok.failure_reason is None

@@ -5,6 +5,7 @@ import pytest
 
 from repro.utils.rng import (
     as_generator,
+    canonical_seed,
     choice_without_replacement,
     derive_seed,
     spawn_rngs,
@@ -51,6 +52,29 @@ class TestSpawnRngs:
 
     def test_zero_count(self):
         assert spawn_rngs(7, 0) == []
+
+
+class TestCanonicalSeed:
+    def test_int_passes_through(self):
+        assert canonical_seed(1234) == 1234
+
+    def test_numpy_int_accepted(self):
+        assert canonical_seed(np.int64(7)) == 7
+        assert isinstance(canonical_seed(np.int64(7)), int)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_seed(-1)
+
+    def test_none_draws_entropy(self):
+        a, b = canonical_seed(None), canonical_seed(None)
+        assert isinstance(a, int) and a >= 0
+        assert a != b  # 64-bit entropy: same draw twice is a real bug
+
+    def test_generator_collapsed_deterministically(self):
+        a = canonical_seed(np.random.default_rng(5))
+        b = canonical_seed(np.random.default_rng(5))
+        assert a == b and a >= 0
 
 
 class TestDeriveSeed:

@@ -1,0 +1,134 @@
+"""Counter-based shard sampling: the out-of-core determinism contract.
+
+These pin the substrate the lazy ``ChipSource`` population layer stands
+on: a chip shard materializes to the same bits no matter how the
+population is cut, in which order the shards are produced, or which
+process produces them.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.variation.correlation import PathDelayModel
+from repro.variation.sampling import (
+    CHIP_BLOCK,
+    sample_correlated,
+    sample_correlated_shard,
+)
+
+
+def make_model(scale: float, n_paths: int = 5, n_factors: int = 3) -> PathDelayModel:
+    rng = np.random.default_rng(int(scale * 10))
+    return PathDelayModel(
+        means=np.full(n_paths, 10.0 * scale),
+        loadings=scale * rng.uniform(0.1, 0.5, size=(n_paths, n_factors)),
+        independent=np.full(n_paths, 0.2 * scale),
+    )
+
+
+MODELS = [make_model(1.0), make_model(0.5)]
+
+
+def _shard_in_subprocess(args):
+    """Top-level so a spawned pool worker can run it."""
+    seed, start, stop = args
+    return sample_correlated_shard(MODELS, seed, start, stop)
+
+
+class TestShardInvariance:
+    def test_cuts_do_not_change_chips(self):
+        full = sample_correlated_shard(MODELS, 42, 0, 257)
+        for step in (1, 7, 64, 256, 300):
+            parts = [
+                sample_correlated_shard(MODELS, 42, s, min(s + step, 257))
+                for s in range(0, 257, step)
+            ]
+            for k in range(len(MODELS)):
+                np.testing.assert_array_equal(
+                    np.concatenate([p[k] for p in parts]), full[k]
+                )
+
+    def test_cuts_across_block_boundaries(self):
+        lo, hi = CHIP_BLOCK - 3, CHIP_BLOCK + 5
+        window = sample_correlated_shard(MODELS, 9, lo, hi)
+        full = sample_correlated_shard(MODELS, 9, 0, hi)
+        for k in range(len(MODELS)):
+            np.testing.assert_array_equal(window[k], full[k][lo:])
+
+    def test_chips_stable_under_population_growth(self):
+        small = sample_correlated_shard(MODELS, 3, 0, 100)
+        grown = sample_correlated_shard(MODELS, 3, 0, 2 * CHIP_BLOCK)
+        for k in range(len(MODELS)):
+            np.testing.assert_array_equal(grown[k][:100], small[k])
+
+    def test_shards_independent_of_production_order(self):
+        late_first = sample_correlated_shard(MODELS, 8, 200, 250)
+        early = sample_correlated_shard(MODELS, 8, 0, 50)
+        late_again = sample_correlated_shard(MODELS, 8, 200, 250)
+        for k in range(len(MODELS)):
+            np.testing.assert_array_equal(late_first[k], late_again[k])
+        assert not np.array_equal(early[0], late_first[0])
+
+    def test_process_boundary_is_invisible(self):
+        """A spawned pool worker materializes the identical shard bits."""
+        here = [
+            sample_correlated_shard(MODELS, 17, s, s + 40)
+            for s in (0, 40, 80)
+        ]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            there = list(
+                pool.map(_shard_in_subprocess, [(17, 0, 40), (17, 40, 80), (17, 80, 120)])
+            )
+        for local, remote in zip(here, there):
+            for k in range(len(MODELS)):
+                np.testing.assert_array_equal(local[k], remote[k])
+
+
+class TestSharedFactors:
+    def test_models_share_z_per_chip(self):
+        """Correlated models stay correlated within each chip row."""
+        a = make_model(1.0, n_paths=1, n_factors=2)
+        b = make_model(1.0, n_paths=1, n_factors=2)
+        out_a, out_b = sample_correlated_shard([a, b], 1, 0, 4000)
+        corr = np.corrcoef(out_a[:, 0], out_b[:, 0])[0, 1]
+        assert corr > 0.5  # same loadings, same z -> strongly correlated
+
+    def test_mismatched_factor_spaces_rejected(self):
+        with pytest.raises(ValueError):
+            sample_correlated_shard(
+                [make_model(1.0, n_factors=3), make_model(1.0, n_factors=4)],
+                0, 0, 8,
+            )
+
+
+class TestOnlySelection:
+    def test_selected_model_bits_unchanged(self):
+        """Skipping models skips work, never draws — bits are identical."""
+        full = sample_correlated_shard(MODELS, 5, 10, 90)
+        only_last = sample_correlated_shard(MODELS, 5, 10, 90, only=[1])
+        assert only_last[0] is None
+        np.testing.assert_array_equal(only_last[1], full[1])
+
+
+class TestEdges:
+    def test_empty_models(self):
+        assert sample_correlated_shard([], 0, 0, 10) == []
+
+    def test_empty_range(self):
+        out = sample_correlated_shard(MODELS, 0, 5, 5)
+        assert out[0].shape == (0, MODELS[0].n_paths)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            sample_correlated_shard(MODELS, 0, 10, 5)
+        with pytest.raises(ValueError):
+            sample_correlated_shard(MODELS, 0, -1, 5)
+
+    def test_statistics_match_eager_sampler(self):
+        """Blocked and single-stream draws agree in distribution."""
+        blocked = sample_correlated_shard([make_model(1.0)], 1, 0, 4000)[0]
+        eager = sample_correlated([make_model(1.0)], 4000, seed=1)[0]
+        assert abs(blocked.mean() - eager.mean()) < 0.05
+        assert abs(blocked.std() - eager.std()) < 0.05

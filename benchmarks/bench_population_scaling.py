@@ -29,6 +29,21 @@ under the same ceiling; the streamed path must, so this mode fails if the
 dense path ever sneaks back into the streamed pipeline.  Peak allocation
 is measured with :mod:`tracemalloc` (numpy registers its buffers there),
 and the streamed and dense yields are required to be bit-identical.
+
+``--streamed`` also runs the *whole EffiTest pipeline* (test, predict,
+configure, verify) in summary mode (``OnlineConfig(artifacts="summary")``)
+at two population sizes and asserts the peak traced memory stays flat as
+``n_chips`` grows — the output-side counterpart of the input-side memory
+ceiling: with streaming reduction no per-chip artifact survives a shard.
+A dense-retention run at the small size cross-checks that summary-mode
+statistics match the dense pipeline exactly.  ``--engine-chips`` sizes
+this phase separately from the yield stream (CI uses a smaller size).
+
+``--sweep-smoke`` exercises resumable sweeps end to end: a three-period
+``ScenarioGrid`` swept into a fresh ``RunStore``, one record deleted, the
+sweep resumed (recomputing exactly the missing scenario), then re-run
+fully warm — asserting zero online-stage executions and bit-identical
+records.
 """
 
 from __future__ import annotations
@@ -178,6 +193,103 @@ def _traced(fn) -> tuple[object, int]:
     return result, peak
 
 
+def _summary_engine_run(engine, circuit, preparation, n_chips, period):
+    """The full pipeline over a lazy source, summary retention, O(shard)."""
+    from repro.core.yields import chip_source
+
+    source = chip_source(circuit, n_chips, seed=11)
+    run = engine.run(circuit, source, period, preparation=preparation)
+    return run.summary
+
+
+def run_summary_engine(n_chips: int, cap_mb: float) -> int:
+    """Flat-memory assertion for the output side of the pipeline.
+
+    Runs the whole EffiTest flow in summary mode at ``n_chips // 4`` and
+    ``n_chips`` chips; with streaming reduction the peak traced allocation
+    must be O(shard), i.e. essentially independent of the population size.
+    A dense-retention run at a small size cross-checks the statistics.
+    """
+    from repro.api import Engine, OnlineConfig
+    from repro.core.yields import chip_source, operating_periods
+
+    circuit = stream_circuit()
+    period = operating_periods(
+        chip_source(circuit, 4096, seed=11).realize()
+    )[0]
+    online = OnlineConfig(chip_shard_size=STREAM_SHARD, artifacts="summary")
+    engine = Engine(online=online)
+    # The preparation is shared state, not per-run output — computed (and
+    # its memory allocated) before tracing starts.
+    preparation = engine.prepare(circuit, period)
+
+    small = max(STREAM_SHARD * 2, n_chips // 4)
+    peaks = {}
+    summaries = {}
+    for size in (small, n_chips):
+        summaries[size], peaks[size] = _traced(
+            lambda size=size: _summary_engine_run(
+                engine, circuit, preparation, size, period
+            )
+        )
+        s = summaries[size]
+        print(
+            f"summary-mode pipeline: {size} chips, yield "
+            f"{s.yield_fraction:.4f}, ta {s.mean_iterations:.1f}, peak "
+            f"{peaks[size] / 2**20:.1f} MiB"
+        )
+
+    ok = True
+    growth = peaks[n_chips] / max(peaks[small], 1)
+    scale = n_chips / small
+    if growth > 1.5:
+        print(
+            f"FAIL: summary-mode peak grew {growth:.2f}x when the "
+            f"population grew {scale:.1f}x — per-chip artifacts are "
+            "surviving the shard reduction"
+        )
+        ok = False
+    cap_bytes = int(cap_mb * 2**20)
+    if peaks[n_chips] > cap_bytes:
+        print(
+            f"FAIL: summary-mode peak {peaks[n_chips] / 2**20:.1f} MiB "
+            f"exceeds the {cap_mb:.0f} MiB ceiling"
+        )
+        ok = False
+
+    # Cross-check: summary-mode statistics == the dense pipeline's, on the
+    # same chips (dense retention is the historical result surface).
+    check = STREAM_SHARD * 2
+    from dataclasses import replace as dc_replace
+
+    dense = engine.run(
+        circuit,
+        chip_source(circuit, check, seed=11),
+        period,
+        preparation=preparation,
+        online=dc_replace(online, artifacts="dense"),
+    )
+    summary = _summary_engine_run(engine, circuit, preparation, check, period)
+    if (
+        summary.n_passed != int(dense.passed.sum())
+        or summary.n_chips != dense.n_chips
+        or abs(summary.mean_iterations - dense.mean_iterations) > 1e-9
+    ):
+        print(
+            f"FAIL: summary-mode stats diverge from the dense pipeline at "
+            f"{check} chips ({summary.n_passed} vs {int(dense.passed.sum())} "
+            f"passed, ta {summary.mean_iterations} vs {dense.mean_iterations})"
+        )
+        ok = False
+    if ok:
+        print(
+            f"PASS: summary-mode peak flat ({growth:.2f}x memory for "
+            f"{scale:.1f}x chips, {peaks[n_chips] / 2**20:.1f} MiB at "
+            f"{n_chips} chips), stats match the dense pipeline"
+        )
+    return 0 if ok else 1
+
+
 def run_streamed(n_chips: int, cap_mb: float, dense_limit: int) -> int:
     from repro.core.yields import chip_source, operating_periods
 
@@ -243,6 +355,88 @@ def run_streamed(n_chips: int, cap_mb: float, dense_limit: int) -> int:
     return 0 if ok else 1
 
 
+def run_sweep_smoke() -> int:
+    """Resumable-sweep smoke: compute, interrupt, resume, reload warm."""
+    import tempfile
+    from pathlib import Path
+
+    import repro.api.engine as engine_module
+    from repro.api import Engine, OnlineConfig, ScenarioGrid
+    from repro.core.yields import chip_source, operating_periods
+    from repro.results import RunStore
+
+    circuit = stream_circuit()
+    t1, t2 = operating_periods(chip_source(circuit, 2048, seed=11).realize())
+    grid = ScenarioGrid(
+        circuit,
+        periods=[t1, 0.5 * (t1 + t2), t2],
+        n_chips=600,
+        clock_period=t1,
+        online=OnlineConfig(chip_shard_size=256, artifacts="compact"),
+    )
+
+    online_runs = []
+    real_run_prepared = engine_module._run_prepared
+
+    def counting_run_prepared(*args, **kwargs):
+        online_runs.append(1)
+        return real_run_prepared(*args, **kwargs)
+
+    engine_module._run_prepared = counting_run_prepared
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = RunStore(Path(tmp) / "runs")
+            engine = Engine()
+            first = list(engine.sweep(grid, store=store))
+            cold_runs = len(online_runs)
+
+            # Interrupt: one record disappears; the resume recomputes
+            # exactly that scenario and reloads the other two.
+            sorted(store.root.glob("run-*.json"))[0].unlink()
+            online_runs.clear()
+            resumed = list(engine.sweep(grid, store=store))
+            resumed_runs = len(online_runs)
+            reloaded = sum(record.from_store for record in resumed)
+
+            # Fully warm: zero online stages.
+            online_runs.clear()
+            warm = list(engine.sweep(grid, store=store))
+            warm_runs = len(online_runs)
+    finally:
+        engine_module._run_prepared = real_run_prepared
+
+    ok = True
+    if cold_runs != len(grid):
+        print(f"FAIL: cold sweep ran {cold_runs} online stages, expected {len(grid)}")
+        ok = False
+    if resumed_runs != 1 or reloaded != len(grid) - 1:
+        print(
+            f"FAIL: resume ran {resumed_runs} online stages and reloaded "
+            f"{reloaded} records; expected 1 and {len(grid) - 1}"
+        )
+        ok = False
+    if warm_runs != 0 or not all(r.from_store for r in warm):
+        print(f"FAIL: warm re-run executed {warm_runs} online stages (expected 0)")
+        ok = False
+    for a, b, c in zip(first, resumed, warm):
+        same = (
+            a.yield_fraction == b.yield_fraction == c.yield_fraction
+            and a.mean_iterations == b.mean_iterations == c.mean_iterations
+            and (a.summary.passed == c.summary.passed).all()
+            and (a.summary.iterations == c.summary.iterations).all()
+        )
+        if not same:
+            print(f"FAIL: resumed/warm records diverge at {a.label}")
+            ok = False
+    if ok:
+        print(
+            f"PASS: sweep of {len(grid)} scenarios resumed after losing a "
+            "record (1 recomputed, 2 reloaded) and re-ran fully warm with "
+            "0 online stages, bit-identical records"
+        )
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -254,8 +448,17 @@ def main(argv: list[str] | None = None) -> int:
         help="out-of-core mode: stream a large population under a memory cap",
     )
     parser.add_argument(
+        "--sweep-smoke", action="store_true",
+        help="resumable-sweep smoke: compute, interrupt, resume, reload",
+    )
+    parser.add_argument(
         "--chips", type=int, default=150_000,
         help="population size for --streamed",
+    )
+    parser.add_argument(
+        "--engine-chips", type=int, default=None,
+        help="population size for the summary-mode full-pipeline phase of "
+        "--streamed (default: --chips)",
     )
     parser.add_argument(
         "--mem-cap-mb", type=float, default=64.0,
@@ -276,8 +479,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.sweep_smoke:
+        return run_sweep_smoke()
     if args.streamed:
-        return run_streamed(args.chips, args.mem_cap_mb, args.dense_limit)
+        status = run_streamed(args.chips, args.mem_cap_mb, args.dense_limit)
+        if status:
+            return status
+        print()
+        return run_summary_engine(
+            args.engine_chips or args.chips, args.mem_cap_mb
+        )
 
     spec = scaling_spec()
     sizes = [200] if args.smoke else args.sizes

@@ -79,6 +79,7 @@ from repro.core import (
     EffiTestConfig,
     PopulationRunResult,
     Preparation,
+    RunSummary,
     chip_source,
     ideal_yield,
     no_buffer_yield,
@@ -92,7 +93,9 @@ from repro.api import (
     PreparationCache,
     RunRecord,
     Scenario,
+    ScenarioGrid,
 )
+from repro.results import RunStore
 from repro.variation import PathDelayModel, SpatialModel
 
 __version__ = "1.1.0"
@@ -115,7 +118,10 @@ __all__ = [
     "Preparation",
     "PreparationCache",
     "RunRecord",
+    "RunStore",
+    "RunSummary",
     "Scenario",
+    "ScenarioGrid",
     "SpatialModel",
     "TunableBuffer",
     "chip_source",

@@ -25,7 +25,13 @@ from repro.api.cache import (
     fingerprint_circuit,
 )
 from repro.api.config import OfflineConfig, OnlineConfig
-from repro.api.engine import Engine, RunRecord, Scenario, records_table
+from repro.api.engine import (
+    Engine,
+    RunRecord,
+    Scenario,
+    ScenarioGrid,
+    records_table,
+)
 from repro.api.stages import (
     AlignedTestStage,
     BoundsArtifact,
@@ -60,6 +66,7 @@ __all__ = [
     "PreparationKey",
     "RunRecord",
     "Scenario",
+    "ScenarioGrid",
     "TestArtifact",
     "TestStage",
     "VerifyArtifact",

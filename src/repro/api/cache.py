@@ -22,9 +22,7 @@ repeat experiment runs skip the offline stage entirely.
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
-import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -33,6 +31,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.api.config import OfflineConfig
 from repro.circuit.fingerprint import fingerprint_circuit
+from repro.utils.diskio import prune_by_mtime, write_atomic
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.circuit.generator import Circuit
@@ -178,41 +177,23 @@ class PreparationCache:
         path = self._disk_path(key)
         if path is None:
             return
-        tmp = None
         try:
-            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic: readers see whole files only
-            tmp = None
+            write_atomic(
+                path,
+                lambda handle: pickle.dump(
+                    value, handle, protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            )
         except Exception:
             # Full/read-only disk, an unpicklable preparation variant —
             # a failed store never fails the computation it was caching.
-            if tmp is not None:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
             return
         self._disk_prune()
 
     def _disk_prune(self) -> None:
-        if self.disk_dir is None or self.max_disk_entries is None:
+        if self.disk_dir is None:
             return
-        # Other processes share the directory and may delete artifacts
-        # between glob and stat; treat every step as best-effort.
-        aged = []
-        for artifact in self.disk_dir.glob("prep-*.pkl"):
-            try:
-                aged.append((artifact.stat().st_mtime, artifact))
-            except OSError:
-                continue
-        aged.sort(key=lambda pair: pair[0])
-        for _, stale in aged[: max(0, len(aged) - self.max_disk_entries)]:
-            try:
-                stale.unlink(missing_ok=True)
-            except OSError:
-                continue
+        prune_by_mtime(self.disk_dir, "prep-*.pkl", self.max_disk_entries)
 
     # -- lookup ----------------------------------------------------------------
 

@@ -80,10 +80,39 @@ class OnlineConfig:
     chip_shard_size: int | None = None
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
+    # Output retention: what a run keeps per chip.
+    #   "dense"   — the historical full artifacts (test result, (n_chips,
+    #               n_paths) bounds, per-chip configuration).  The default,
+    #               so direct runs keep their pre-streaming surface.
+    #   "compact" — population statistics plus two small per-chip columns
+    #               (pass bitmap, uint16 iteration counts): ~3 bytes/chip.
+    #   "summary" — population statistics only; combined with
+    #               chip_shard_size, a run's peak memory is O(shard) on the
+    #               output side too, independent of the population size.
+    # Results are identical across modes — the knob only selects what is
+    # *retained*, never what is computed.
+    artifacts: str = "dense"
 
     def __post_init__(self) -> None:
+        from repro.core.reduction import artifacts_rank
+
         if self.chip_shard_size is not None and self.chip_shard_size < 1:
             raise ValueError("chip_shard_size must be >= 1")
+        artifacts_rank(self.artifacts)
+
+    def result_fields(self) -> tuple:
+        """The knobs that determine a run's *numbers*.
+
+        Used in result-store keys (:mod:`repro.results`): shard size and
+        retention are excluded because they never change what is computed
+        — counts, yields and per-chip columns are bit-identical across
+        both by contract.  (One caveat: floating-point *moments* with no
+        retained column — iteration moments in pure ``"summary"``
+        retention, xi moments everywhere below ``"dense"`` — merge in
+        shard order, so two shard sizes can differ in the final ulp;
+        moments with a retained column are recomputed exactly.)
+        """
+        return (self.align, self.k0, self.kd, self.xi_tolerance)
 
 
 __all__ = ["OfflineConfig", "OnlineConfig"]

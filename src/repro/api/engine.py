@@ -1,4 +1,4 @@
-"""The staged pipeline engine: cached preparations, single and batch runs.
+"""The staged pipeline engine: cached preparations, batch runs, sweeps.
 
 :class:`Engine` is the production entry point of the reproduction.  It owns
 a content-addressed :class:`~repro.api.cache.PreparationCache` and wires
@@ -20,16 +20,27 @@ offline stage runs exactly once per distinct cache key.  Population runs
 can fan out over a :class:`concurrent.futures.ProcessPoolExecutor` with
 ``max_workers``; preparations are computed in the parent so workers never
 repeat offline work.
+
+Large scenario grids go through :meth:`Engine.sweep`: it expands a
+:class:`ScenarioGrid` (or takes scenarios directly), *skips every scenario
+already present in a persistent* :class:`~repro.results.RunStore`, fans the
+remainder across the process pool, and yields :class:`RunRecord` rows
+incrementally — interrupting and re-running a sweep only ever pays for the
+scenarios that are still missing.
+
+On the output side the online stages stream chip shards through a
+:class:`~repro.core.reduction.RunReducer`; ``OnlineConfig.artifacts``
+selects what each run retains (``"summary"`` statistics, ``"compact"``
+per-chip columns, or the historical ``"dense"`` arrays — the default).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from itertools import product
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.api.cache import CacheStats, PreparationCache, PreparationKey
 from repro.api.config import OfflineConfig, OnlineConfig
@@ -43,13 +54,16 @@ from repro.api.stages import (
     TestStage,
     VerifyStage,
 )
+from repro.circuit.fingerprint import fingerprint_circuit
 from repro.circuit.generator import Circuit
-from repro.core.configuration import ConfigurationResult
 from repro.core.framework import PopulationRunResult, Preparation
-from repro.core.population import concat_population_test_results
+from repro.core.reduction import RunReducer, RunSummary, merge_run_summaries
 from repro.core.yields import ChipSource, CircuitPopulation
 from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
 from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results.store import RunKey, RunStore
 
 
 @dataclass(frozen=True)
@@ -76,14 +90,151 @@ class Scenario:
     population: CircuitPopulation | ChipSource | None = None
     label: str = ""
 
+    def __post_init__(self) -> None:
+        if self.population is None:
+            if self.n_chips < 1:
+                raise ValueError(
+                    f"Scenario needs at least one chip, got n_chips="
+                    f"{self.n_chips}: an empty population has no yield or "
+                    "iteration statistics"
+                )
+        elif self.population.n_chips == 0:
+            raise ValueError(
+                "Scenario population is empty (0 chips): an empty "
+                "population has no yield or iteration statistics"
+            )
+
     @property
     def design_period(self) -> float:
         return self.period if self.clock_period is None else self.clock_period
 
+    def chip_source(self) -> CircuitPopulation | ChipSource:
+        """The chips this scenario runs on.
+
+        An explicit ``population`` passes through unchanged; otherwise the
+        scenario describes a lazy :class:`ChipSource` of ``n_chips`` chips
+        whose seed is derived from ``seed`` and the circuit name — the
+        exact chips :func:`repro.core.yields.sample_circuit` would draw
+        with that derived seed.
+        """
+        if self.population is not None:
+            return self.population
+        return ChipSource(
+            self.circuit,
+            self.n_chips,
+            derive_seed(self.seed, self.circuit.name, "population"),
+        )
+
+
+class ScenarioGrid:
+    """Cartesian expansion of a scenario sweep.
+
+    Axes: ``circuits`` x ``periods`` x ``n_chips`` x ``seeds`` x
+    ``online`` configs; scalars describe singleton axes.  ``clock_period``
+    defaults to the *first* period of the grid so the whole period axis of
+    one circuit shares a single preparation (pass ``clock_period``
+    explicitly to override, e.g. with a circuit's calibrated T1).
+
+    ``ScenarioGrid`` is what :meth:`Engine.sweep` expands; it is also an
+    iterable of :class:`Scenario`, so ``run_many(grid)`` works too.
+    """
+
+    def __init__(
+        self,
+        circuits: Circuit | Iterable[Circuit],
+        periods: float | Iterable[float],
+        *,
+        n_chips: int | Iterable[int] = 1000,
+        seeds: int | Iterable[int] = 20160605,
+        online: OnlineConfig | Iterable[OnlineConfig | None] | None = None,
+        offline: OfflineConfig | None = None,
+        clock_period: float | None = None,
+        label: str = "",
+    ):
+        self.circuits = (
+            (circuits,) if isinstance(circuits, Circuit) else tuple(circuits)
+        )
+        self.periods = tuple(
+            (float(periods),)
+            if isinstance(periods, (int, float))
+            else (float(p) for p in periods)
+        )
+        self.n_chips = (
+            (int(n_chips),) if isinstance(n_chips, int) else tuple(n_chips)
+        )
+        self.seeds = (int(seeds),) if isinstance(seeds, int) else tuple(seeds)
+        self.online = (
+            (online,)
+            if online is None or isinstance(online, OnlineConfig)
+            else tuple(online)
+        )
+        self.offline = offline
+        self.clock_period = clock_period
+        self.label = label
+        for name, axis in (
+            ("circuits", self.circuits),
+            ("periods", self.periods),
+            ("n_chips", self.n_chips),
+            ("seeds", self.seeds),
+            ("online", self.online),
+        ):
+            if not axis:
+                raise ValueError(f"ScenarioGrid axis {name!r} is empty")
+
+    def __len__(self) -> int:
+        return (
+            len(self.circuits)
+            * len(self.periods)
+            * len(self.n_chips)
+            * len(self.seeds)
+            * len(self.online)
+        )
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios())
+
+    def _label(
+        self, circuit: Circuit, period: float, n: int, seed: int,
+        online_index: int,
+    ) -> str:
+        parts = [self.label or circuit.name, f"T={period:g}"]
+        if self.label and len(self.circuits) > 1:
+            parts.insert(1, circuit.name)
+        if len(self.n_chips) > 1:
+            parts.append(f"n={n}")
+        if len(self.seeds) > 1:
+            parts.append(f"seed={seed}")
+        if len(self.online) > 1:
+            parts.append(f"online={online_index}")
+        return " ".join(parts)
+
+    def scenarios(self) -> list[Scenario]:
+        """Expand the grid, in row-major axis order."""
+        clock = (
+            self.clock_period if self.clock_period is not None
+            else self.periods[0]
+        )
+        return [
+            Scenario(
+                circuit,
+                period=period,
+                n_chips=n,
+                seed=seed,
+                offline=self.offline,
+                online=online,
+                clock_period=clock,
+                label=self._label(circuit, period, n, seed, online_index),
+            )
+            for circuit, period, n, seed, (online_index, online) in product(
+                self.circuits, self.periods, self.n_chips, self.seeds,
+                enumerate(self.online),
+            )
+        ]
+
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One tidy result row of :meth:`Engine.run_many`."""
+    """One tidy result row of :meth:`Engine.run_many` / :meth:`Engine.sweep`."""
 
     label: str
     circuit: str
@@ -99,6 +250,12 @@ class RunRecord:
     config_seconds_per_chip: float
     cache_hit: bool
     result: PopulationRunResult = field(repr=False)
+    from_store: bool = False
+
+    @property
+    def summary(self) -> RunSummary:
+        """The reduced run outcome (always present, every retention mode)."""
+        return self.result.summary
 
     def as_dict(self) -> dict:
         """Scalar columns only — ready for a table or a dataframe."""
@@ -116,7 +273,32 @@ class RunRecord:
             "tester_seconds_per_chip": self.tester_seconds_per_chip,
             "config_seconds_per_chip": self.config_seconds_per_chip,
             "cache_hit": self.cache_hit,
+            "from_store": self.from_store,
         }
+
+
+def _iter_population_shards(
+    population: Chips, shard_size: int | None
+) -> Iterator[CircuitPopulation]:
+    """Realized chip shards of a population, in chip order.
+
+    A lazy :class:`ChipSource` materializes one shard at a time (and the
+    shard is dropped after the loop body), so the caller's peak
+    delay-matrix memory is O(shard); a dense population is sliced by view.
+    """
+    if isinstance(population, ChipSource):
+        for _start, _stop, shard in population.iter_shards(shard_size):
+            yield shard
+        return
+    n = population.n_chips
+    step = n if shard_size is None else shard_size
+    for start in range(0, n, max(step, 1)):
+        stop = min(start + step, n)
+        yield CircuitPopulation(
+            population.required[start:stop],
+            population.background[start:stop],
+            population.hold_requirements[start:stop],
+        )
 
 
 def _run_prepared(
@@ -126,37 +308,49 @@ def _run_prepared(
     preparation: Preparation,
     online: OnlineConfig,
     test_stage: TestStage | None = None,
-) -> PopulationRunResult:
-    """Execute the online stages against one preparation.
+) -> RunSummary:
+    """Execute the online stages against one preparation, shard by shard.
 
-    ``population`` is a dense :class:`CircuitPopulation` or a lazy
-    :class:`ChipSource`; with a source the test and verify stages stream
-    ``online.chip_shard_size`` chips at a time, so this process's peak
-    delay-matrix memory is one shard.  Module-level so process-pool workers
-    can run it without shipping the engine (and its cache) to every worker.
+    Each chip shard runs the whole online pipeline (test, predict,
+    configure, verify) and is reduced into a
+    :class:`~repro.core.reduction.RunReducer`; with
+    ``online.artifacts="summary"`` the dense per-shard arrays are dropped
+    as soon as the shard is reduced, so peak memory is O(shard) on the
+    output side as well as the input side.  Chips are independent through
+    every stage, so results are bit-identical for any shard size.
+
+    A custom ``test_stage`` sees the population in one piece (its
+    iteration accounting may aggregate across chips, as the path-wise
+    baseline's does); only the default aligned stage is shard-driven.
+    Module-level so process-pool workers can run it without shipping the
+    engine (and its cache) to every worker.
     """
-    tested = (test_stage or AlignedTestStage(online)).run(preparation, population)
-    bounds = PredictStage().run(preparation, tested)
-    configured = ConfigureStage(online).run(preparation, bounds, period)
-    verified = VerifyStage(online.chip_shard_size).run(
-        circuit, population, configured, period
-    )
-    return PopulationRunResult(
-        period=period,
-        test=tested.test,
-        bounds_lower=bounds.lower,
-        bounds_upper=bounds.upper,
-        configuration=configured.configuration,
-        passed=verified.passed,
-        tester_seconds_per_chip=tested.tester_seconds_per_chip,
-        # The paper's Ts is the whole off-tester stage: prediction + config.
-        config_seconds_per_chip=(
-            bounds.predict_seconds_per_chip + configured.config_seconds_per_chip
-        ),
-    )
+    stage = test_stage or AlignedTestStage(online)
+    verify = VerifyStage(online.chip_shard_size)
+    configure = ConfigureStage(online)
+    predict = PredictStage()
+    shard_size = online.chip_shard_size if test_stage is None else None
+    reducer = RunReducer(period, online.artifacts)
+    for shard in _iter_population_shards(population, shard_size):
+        tested = stage.run(preparation, shard)
+        bounds = predict.run(preparation, tested)
+        configured = configure.run(preparation, bounds, period)
+        verified = verify.run(circuit, shard, configured, period)
+        reducer.add_shard(
+            tested.test,
+            bounds.lower,
+            bounds.upper,
+            configured.configuration,
+            verified.passed,
+            tested.tester_seconds_per_chip,
+            # The paper's Ts is the whole off-tester stage: prediction
+            # + configuration.
+            bounds.predict_seconds_per_chip + configured.config_seconds_per_chip,
+        )
+    return reducer.finalize()
 
 
-#: Per-worker tables of the distinct circuits/preparations for one run_many
+#: Per-worker tables of the distinct circuits/preparations for one batch
 #: call, installed by the pool initializer so each heavy object is serialized
 #: once per worker instead of once per scenario.  Only ever set in worker
 #: processes — the parent resolves indices directly.
@@ -198,7 +392,7 @@ _TaskChips = CircuitPopulation | _SourceShard
 
 def _run_scenario_task(
     payload: tuple[int, _TaskChips, float, int, OnlineConfig],
-) -> PopulationRunResult:
+) -> RunSummary:
     circuit_index, population, period, prep_index, online = payload
     if isinstance(population, _SourceShard):
         population = population.resolve(_WORKER_CIRCUITS)
@@ -208,39 +402,6 @@ def _run_scenario_task(
         period,
         _WORKER_PREPARATIONS[prep_index],
         online,
-    )
-
-
-def _merge_shard_runs(parts: list[PopulationRunResult]) -> PopulationRunResult:
-    """Reassemble one scenario's result from its chip-shard runs.
-
-    Chips are independent through every online stage, so concatenating the
-    per-shard arrays reproduces the unsharded result exactly; the per-chip
-    timing figures recombine as chip-weighted means.
-    """
-    if len(parts) == 1:
-        return parts[0]
-    n_chips = np.array([p.passed.shape[0] for p in parts], dtype=float)
-    total = n_chips.sum()
-    configuration = ConfigurationResult(
-        feasible=np.concatenate([p.configuration.feasible for p in parts]),
-        settings=np.vstack([p.configuration.settings for p in parts]),
-        xi=np.concatenate([p.configuration.xi for p in parts]),
-        buffer_names=parts[0].configuration.buffer_names,
-    )
-    return PopulationRunResult(
-        period=parts[0].period,
-        test=concat_population_test_results([p.test for p in parts]),
-        bounds_lower=np.vstack([p.bounds_lower for p in parts]),
-        bounds_upper=np.vstack([p.bounds_upper for p in parts]),
-        configuration=configuration,
-        passed=np.concatenate([p.passed for p in parts]),
-        tester_seconds_per_chip=float(
-            (n_chips * [p.tester_seconds_per_chip for p in parts]).sum() / total
-        ),
-        config_seconds_per_chip=float(
-            (n_chips * [p.config_seconds_per_chip for p in parts]).sum() / total
-        ),
     )
 
 
@@ -290,6 +451,29 @@ def _shard_payload(
         )
         for start in range(0, population.n_chips, shard)
     ]
+
+
+class _CircuitTable:
+    """Distinct circuits of one batch, deduplicated by *content*.
+
+    Keyed by :func:`fingerprint_circuit`, not ``id()``: two structurally
+    identical circuits loaded separately collapse to one slot, so the pool
+    initializer serializes each distinct circuit to every worker exactly
+    once.
+    """
+
+    def __init__(self) -> None:
+        self.circuits: list[Circuit] = []
+        self._index: dict[str, int] = {}
+
+    def index(self, circuit: Circuit) -> int:
+        fingerprint = fingerprint_circuit(circuit)
+        slot = self._index.get(fingerprint)
+        if slot is None:
+            slot = len(self.circuits)
+            self._index[fingerprint] = slot
+            self.circuits.append(circuit)
+        return slot
 
 
 class Engine:
@@ -371,18 +555,21 @@ class Engine:
         ``population`` may be a dense :class:`CircuitPopulation` or a lazy
         :class:`ChipSource` — with a source plus
         ``OnlineConfig.chip_shard_size`` the delay matrices stream through
-        the stages one shard at a time.  Without an explicit
-        ``preparation`` the cached offline stage for ``clock_period``
-        (default: ``period``) is used.  ``test_stage`` swaps the
-        measurement strategy (e.g.
+        the stages one shard at a time, and
+        ``OnlineConfig(artifacts="summary")`` additionally drops the
+        per-chip outputs as each shard is reduced (peak memory O(shard) end
+        to end).  Without an explicit ``preparation`` the cached offline
+        stage for ``clock_period`` (default: ``period``) is used.
+        ``test_stage`` swaps the measurement strategy (e.g.
         :class:`~repro.api.stages.PathwiseTestStage`).
         """
         prep = preparation or self.prepare(
             circuit, clock_period if clock_period is not None else period, offline
         )
-        return _run_prepared(
+        summary = _run_prepared(
             circuit, population, period, prep, online or self.online, test_stage
         )
+        return PopulationRunResult.from_summary(summary)
 
     def pathwise_baseline(
         self,
@@ -410,7 +597,7 @@ class Engine:
             sigma_window=config.sigma_window,
         )
 
-    # -- batch runs ------------------------------------------------------------
+    # -- batch runs and sweeps -------------------------------------------------
 
     def _scenario_chips(self, scenario: Scenario) -> Chips:
         """An explicit population passes through; otherwise a lazy source.
@@ -419,13 +606,7 @@ class Engine:
         streams them through the stages, the pool path ships per-shard
         specs, and only workers (or shard loops) materialize delays.
         """
-        if scenario.population is not None:
-            return scenario.population
-        return ChipSource(
-            scenario.circuit,
-            scenario.n_chips,
-            derive_seed(scenario.seed, scenario.circuit.name, "population"),
-        )
+        return scenario.chip_source()
 
     def run_scenario(self, scenario: Scenario) -> RunRecord:
         """Run one scenario through the cached pipeline."""
@@ -433,7 +614,7 @@ class Engine:
 
     def run_many(
         self,
-        scenarios: Iterable[Scenario],
+        scenarios: Iterable[Scenario] | ScenarioGrid,
         max_workers: int | None = None,
     ) -> list[RunRecord]:
         """Fan a batch of scenarios across cached preparations.
@@ -442,60 +623,194 @@ class Engine:
         cache key) so the offline stage runs once per distinct key; the
         per-population online stages then execute serially or, with
         ``max_workers > 1``, on a process pool.  Records come back in input
-        order.
+        order.  ``run_many`` is :meth:`sweep` without a result store —
+        every scenario is computed.
         """
-        scenarios = list(scenarios)
-        unique_preps: list[Preparation] = []
-        prep_indices: list[int] = []
-        cache_hits: list[bool] = []
+        return list(self.sweep(scenarios, max_workers=max_workers))
+
+    def run_key(self, scenario: Scenario) -> "RunKey | None":
+        """The content-addressed result-store key of a scenario.
+
+        ``None`` when the scenario is not storable: an explicit *dense*
+        population has no compact content identity, so such scenarios are
+        always recomputed.  Lazy sources (explicit or derived) key on their
+        ``(circuit fingerprint, n_chips, seed)`` recipe.
+        """
+        from repro.results.store import RunKey
+
+        chips = self._scenario_chips(scenario)
+        if not isinstance(chips, ChipSource):
+            return None
+        return RunKey.build(
+            circuit=scenario.circuit,
+            source=chips,
+            period=scenario.period,
+            clock_period=scenario.design_period,
+            offline=scenario.offline or self.offline,
+            online=scenario.online or self.online,
+        )
+
+    def sweep(
+        self,
+        scenarios: Iterable[Scenario] | ScenarioGrid,
+        *,
+        store: "RunStore | None" = None,
+        max_workers: int | None = None,
+    ) -> Iterator[RunRecord]:
+        """Run a scenario sweep, resumably, yielding records incrementally.
+
+        With a :class:`~repro.results.RunStore`, scenarios whose results
+        are already stored are *loaded* (bit-identically, no offline or
+        online stage runs) and every computed result is written back —
+        interrupting a sweep and re-running it only pays for the scenarios
+        that are still missing, and re-running a completed sweep executes
+        zero online stages.  The remaining scenarios run exactly like
+        :meth:`run_many` (shared preparations; optional process-pool
+        fan-out with one task per chip shard).  Records are yielded in
+        input order, each as soon as its scenario completes.  When a
+        pooled sweep is abandoned mid-iteration (consumer ``break``,
+        Ctrl+C), scenarios whose shards already finished in the workers
+        are still salvaged into the store, and tasks that never started
+        are cancelled rather than waited for.
+        """
+        expanded = (
+            scenarios.scenarios()
+            if isinstance(scenarios, ScenarioGrid)
+            else list(scenarios)
+        )
+        return self._sweep_iter(expanded, store, max_workers)
+
+    def _sweep_iter(
+        self,
+        scenarios: list[Scenario],
+        store: "RunStore | None",
+        max_workers: int | None,
+    ) -> Iterator[RunRecord]:
+        # 1. Probe what the store already has — before any offline work, so
+        # a fully warm sweep never touches the preparation cache either.
+        # Probing reads only each record's metadata; the payload is loaded
+        # lazily when the record is yielded, so a warm sweep holds one
+        # record at a time, not the whole sweep's artifacts.
+        keys: list["RunKey | None"] = [None] * len(scenarios)
+        stored_hits: set[int] = set()
+        if store is not None:
+            for i, scenario in enumerate(scenarios):
+                keys[i] = self.run_key(scenario)
+                if keys[i] is None:
+                    continue
+                online = scenario.online or self.online
+                if store.probe(keys[i], artifacts=online.artifacts):
+                    stored_hits.add(i)
+        pending = [i for i in range(len(scenarios)) if i not in stored_hits]
+
+        # 2. Resolve preparations for the missing scenarios (deduplicated
+        # by cache key: the offline stage runs once per distinct key).
+        preps: list[Preparation] = []
+        prep_index: dict[int, int] = {}
+        cache_hit: dict[int, bool] = {}
         seen: dict[PreparationKey, int] = {}
-        unique_circuits: list[Circuit] = []
-        circuit_indices: list[int] = []
-        circuits_seen: dict[int, int] = {}
-        for scenario in scenarios:
+        for i in pending:
+            scenario = scenarios[i]
             offline = scenario.offline or self.offline
-            if id(scenario.circuit) not in circuits_seen:
-                circuits_seen[id(scenario.circuit)] = len(unique_circuits)
-                unique_circuits.append(scenario.circuit)
-            circuit_indices.append(circuits_seen[id(scenario.circuit)])
             key = self.preparation_key(
                 scenario.circuit, scenario.design_period, offline
             )
             if key in seen:
-                prep_indices.append(seen[key])
-                cache_hits.append(True)
+                prep_index[i] = seen[key]
+                cache_hit[i] = True
                 continue
             hit = key in self.cache
             prep = self.prepare(scenario.circuit, scenario.design_period, offline)
-            seen[key] = len(unique_preps)
-            prep_indices.append(len(unique_preps))
-            unique_preps.append(prep)
-            cache_hits.append(hit)
+            seen[key] = len(preps)
+            prep_index[i] = seen[key]
+            preps.append(prep)
+            cache_hit[i] = hit
 
-        payloads = []
-        source_circuit_indices: list[int] = []
-        for scenario, circuit_index, prep_index in zip(
-            scenarios, circuit_indices, prep_indices
-        ):
+        # 3. Build payloads.  Circuits are deduplicated by *fingerprint*,
+        # so structurally identical circuits ship to workers once.
+        table = _CircuitTable()
+        payloads: dict[int, tuple] = {}
+        source_circuit_index: dict[int, int] = {}
+        for i in pending:
+            scenario = scenarios[i]
             chips = self._scenario_chips(scenario)
+            circuit_index = table.index(scenario.circuit)
             # A lazy source samples from *its own* circuit, which an
             # explicit Fig. 7-style population may draw from a different
             # variant than the one being prepared/verified — register it
             # separately so pool workers rebuild the source correctly.
-            if isinstance(chips, ChipSource):
-                if id(chips.circuit) not in circuits_seen:
-                    circuits_seen[id(chips.circuit)] = len(unique_circuits)
-                    unique_circuits.append(chips.circuit)
-                source_circuit_indices.append(circuits_seen[id(chips.circuit)])
-            else:
-                source_circuit_indices.append(circuit_index)
-            payloads.append((
+            source_circuit_index[i] = (
+                table.index(chips.circuit)
+                if isinstance(chips, ChipSource)
+                else circuit_index
+            )
+            payloads[i] = (
                 circuit_index,
                 chips,
                 scenario.period,
-                prep_index,
+                prep_index[i],
                 scenario.online or self.online,
-            ))
+            )
+
+        # 4. Execute the missing scenarios and yield everything in input
+        # order, each record as soon as its scenario completes.
+        def stored_record(i: int) -> RunRecord:
+            """Load a probed record at its yield point (one at a time)."""
+            scenario = scenarios[i]
+            online = scenario.online or self.online
+            stored = store.load(keys[i], artifacts=online.artifacts)
+            if stored is not None:
+                return self._record(
+                    scenario,
+                    stored.summary,
+                    offline_seconds=stored.offline_seconds,
+                    cache_hit=True,
+                    from_store=True,
+                )
+            # Late miss: the record's payload went bad between probe and
+            # load (and was dropped).  Compute this one on the spot.
+            offline = scenario.offline or self.offline
+            hit = (
+                self.preparation_key(
+                    scenario.circuit, scenario.design_period, offline
+                )
+                in self.cache
+            )
+            prep = self.prepare(
+                scenario.circuit, scenario.design_period, offline
+            )
+            summary = _run_prepared(
+                scenario.circuit,
+                self._scenario_chips(scenario),
+                scenario.period,
+                prep,
+                online,
+            )
+            if keys[i] is not None:
+                store.store(
+                    keys[i], summary, offline_seconds=prep.offline_seconds
+                )
+            return self._record(
+                scenario,
+                summary,
+                offline_seconds=prep.offline_seconds,
+                cache_hit=hit,
+                from_store=False,
+            )
+
+        def finish(i: int, summary: RunSummary) -> RunRecord:
+            prep = preps[prep_index[i]]
+            if store is not None and keys[i] is not None:
+                store.store(
+                    keys[i], summary, offline_seconds=prep.offline_seconds
+                )
+            return self._record(
+                scenarios[i],
+                summary,
+                offline_seconds=prep.offline_seconds,
+                cache_hit=cache_hit[i],
+                from_store=False,
+            )
 
         # With a pool, scenarios whose OnlineConfig sets chip_shard_size fan
         # out as one task per chip shard — a single huge population spreads
@@ -505,76 +820,99 @@ class Engine:
         # (the parent never holds their delay matrices); explicit dense
         # populations are sliced into shard copies on the pool path only —
         # the serial path streams shards inside the stages instead.
-        sharded = (
-            [
-                _shard_payload(payload, source_ci)
-                for payload, source_ci in zip(payloads, source_circuit_indices)
+        sharded: list[list[tuple]] = []
+        if max_workers is not None and max_workers > 1:
+            sharded = [
+                _shard_payload(payloads[i], source_circuit_index[i])
+                for i in pending
             ]
-            if max_workers is not None and max_workers > 1
-            else [[payload] for payload in payloads]
-        )
         tasks = [task for shards in sharded for task in shards]
-        if max_workers is not None and max_workers > 1 and len(tasks) > 1:
+        if len(tasks) > 1:
             # Each distinct circuit/preparation is shipped once per worker
             # via the initializer, not once per scenario.
-            with ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_init_worker,
-                initargs=(unique_circuits, unique_preps),
-            ) as pool:
-                task_results = list(pool.map(_run_scenario_task, tasks))
-            results = []
-            cursor = 0
-            for shards in sharded:
-                results.append(
-                    _merge_shard_runs(task_results[cursor : cursor + len(shards)])
-                )
-                cursor += len(shards)
+                initargs=(table.circuits, preps),
+            )
+            futures = {
+                i: [pool.submit(_run_scenario_task, task) for task in shards]
+                for i, shards in zip(pending, sharded)
+            }
+            finished: set[int] = set()
+            try:
+                for i in range(len(scenarios)):
+                    if i in stored_hits:
+                        yield stored_record(i)
+                        continue
+                    parts = [future.result() for future in futures[i]]
+                    record = finish(i, merge_run_summaries(parts))
+                    finished.add(i)
+                    yield record
+            finally:
+                # Abandoned mid-sweep (consumer break, Ctrl+C, error):
+                # salvage every scenario whose shards all completed into the
+                # store — those results are paid for — then cancel what
+                # never started so shutdown only waits on in-flight shards.
+                if store is not None:
+                    for i, shard_futures in futures.items():
+                        if i in finished or keys[i] is None:
+                            continue
+                        if not all(
+                            f.done() and not f.cancelled()
+                            and f.exception() is None
+                            for f in shard_futures
+                        ):
+                            continue
+                        try:
+                            store.store(
+                                keys[i],
+                                merge_run_summaries(
+                                    [f.result() for f in shard_futures]
+                                ),
+                                offline_seconds=(
+                                    preps[prep_index[i]].offline_seconds
+                                ),
+                            )
+                        except Exception:
+                            pass
+                pool.shutdown(wait=False, cancel_futures=True)
         else:
-            results = [
-                _run_prepared(
-                    unique_circuits[circuit_index],
-                    population,
-                    period,
-                    unique_preps[prep_index],
-                    online,
+            for i in range(len(scenarios)):
+                if i in stored_hits:
+                    yield stored_record(i)
+                    continue
+                circuit_index, chips, period, p_index, online = payloads[i]
+                summary = _run_prepared(
+                    table.circuits[circuit_index], chips, period,
+                    preps[p_index], online,
                 )
-                for circuit_index, population, period, prep_index, online
-                in payloads
-            ]
-
-        return [
-            self._record(
-                scenario, payload[1], result, unique_preps[payload[3]], hit
-            )
-            for scenario, payload, result, hit in zip(
-                scenarios, payloads, results, cache_hits
-            )
-        ]
+                yield finish(i, summary)
 
     @staticmethod
     def _record(
         scenario: Scenario,
-        population: Chips,
-        result: PopulationRunResult,
-        preparation: Preparation,
+        summary: RunSummary,
+        offline_seconds: float,
         cache_hit: bool,
+        from_store: bool = False,
     ) -> RunRecord:
         return RunRecord(
             label=scenario.label or scenario.circuit.name,
             circuit=scenario.circuit.name,
             period=scenario.period,
-            n_chips=population.n_chips,
+            n_chips=summary.n_chips,
             seed=scenario.seed,
-            yield_fraction=result.yield_fraction,
-            mean_iterations=result.mean_iterations,
-            iterations_per_tested_path=result.iterations_per_tested_path,
-            n_tested=result.n_tested,
-            offline_seconds=preparation.offline_seconds,
-            tester_seconds_per_chip=result.tester_seconds_per_chip,
-            config_seconds_per_chip=result.config_seconds_per_chip,
+            yield_fraction=summary.yield_fraction,
+            mean_iterations=summary.mean_iterations,
+            iterations_per_tested_path=summary.iterations_per_tested_path,
+            n_tested=summary.n_tested,
+            offline_seconds=offline_seconds,
+            tester_seconds_per_chip=summary.tester_seconds_per_chip,
+            config_seconds_per_chip=summary.config_seconds_per_chip,
             cache_hit=cache_hit,
-            result=result,
+            result=PopulationRunResult.from_summary(summary),
+            from_store=from_store,
         )
 
 
@@ -596,9 +934,16 @@ def records_table(records: Sequence[RunRecord]) -> str:
             round(record.mean_iterations, 1),
             round(record.iterations_per_tested_path, 2),
             record.n_tested,
-            "hit" if record.cache_hit else "miss",
+            "store" if record.from_store
+            else ("hit" if record.cache_hit else "miss"),
         ])
     return table.render()
 
 
-__all__ = ["Engine", "RunRecord", "Scenario", "records_table"]
+__all__ = [
+    "Engine",
+    "RunRecord",
+    "Scenario",
+    "ScenarioGrid",
+    "records_table",
+]

@@ -59,6 +59,16 @@ from repro.core.prediction import (
     build_predictor,
     conditional_stds_if_tested,
 )
+from repro.core.reduction import (
+    ARTIFACT_MODES,
+    ArtifactsNotRetained,
+    DenseArtifacts,
+    Moments,
+    RunReducer,
+    RunSummary,
+    merge_run_summaries,
+    summarize_shard,
+)
 from repro.core.testflow import ChipTestResult, run_batch, test_chip
 from repro.core.yields import (
     ChipSource,
@@ -74,6 +84,8 @@ from repro.core.yields import (
 )
 
 __all__ = [
+    "ARTIFACT_MODES",
+    "ArtifactsNotRetained",
     "Batch",
     "BatchAlignment",
     "ChipSource",
@@ -82,15 +94,19 @@ __all__ = [
     "ConfigStructure",
     "ConfigurationResult",
     "CircuitPopulation",
+    "DenseArtifacts",
     "EffiTest",
     "EffiTestConfig",
     "GroupingResult",
     "HoldBounds",
+    "Moments",
     "MultiplexPlan",
     "PathGroup",
     "PopulationRunResult",
     "PopulationTestResult",
     "Preparation",
+    "RunReducer",
+    "RunSummary",
     "YieldComparison",
     "build_batch_alignment",
     "build_config_structure",
@@ -111,6 +127,7 @@ __all__ = [
     "hold_feasible_settings",
     "ideal_feasibility",
     "ideal_yield",
+    "merge_run_summaries",
     "no_buffer_yield",
     "operating_periods",
     "path_shifts",
@@ -122,6 +139,7 @@ __all__ = [
     "solve_alignment",
     "solve_alignment_milp",
     "solve_hold_bounds_milp",
+    "summarize_shard",
     "test_chip",
     "test_population",
 ]

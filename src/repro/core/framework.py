@@ -34,6 +34,11 @@ from repro.core.holdtime import HoldBounds
 from repro.core.multiplexing import MultiplexPlan
 from repro.core.population import PopulationTestResult
 from repro.core.prediction import ConditionalPredictor
+from repro.core.reduction import (
+    ArtifactsNotRetained,
+    RunSummary,
+    summarize_shard,
+)
 from repro.core.testflow import ChipTestResult, test_chip
 from repro.core.yields import CircuitPopulation
 from repro.tester.freqstep import PathwiseResult
@@ -75,6 +80,7 @@ class EffiTestConfig:
     kd: float = 1.0
     align: bool = True
     chip_shard_size: int | None = None  # population-engine shard streaming
+    artifacts: str = "dense"  # per-chip output retention (see OnlineConfig)
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
     # §3.5 hold bounds
@@ -150,39 +156,159 @@ class Preparation:
         return self.plan.n_measured
 
 
-@dataclass
 class PopulationRunResult:
-    """Outcome of the full flow over a chip population at one period."""
+    """Outcome of the full flow over a chip population at one period.
 
-    period: float
-    test: PopulationTestResult
-    bounds_lower: np.ndarray  # (n_chips, n_paths) full required-path bounds
-    bounds_upper: np.ndarray
-    configuration: ConfigurationResult
-    passed: np.ndarray
-    tester_seconds_per_chip: float
-    config_seconds_per_chip: float
+    Since the streaming-reduction refactor this is a *view* over a
+    :class:`~repro.core.reduction.RunSummary`: the population statistics
+    (``yield_fraction``, ``mean_iterations``, ``n_tested``, per-chip
+    timings) are always available, while the dense per-chip artifacts
+    (``test``, ``bounds_lower``/``bounds_upper``, ``configuration``) exist
+    only when the run retained them (``OnlineConfig(artifacts="dense")``,
+    the default for direct runs) and raise
+    :class:`~repro.core.reduction.ArtifactsNotRetained` otherwise.
+
+    The legacy keyword construction from dense stage artifacts still works
+    and produces a dense-mode summary.
+    """
+
+    def __init__(
+        self,
+        period: float | None = None,
+        test: PopulationTestResult | None = None,
+        bounds_lower: np.ndarray | None = None,
+        bounds_upper: np.ndarray | None = None,
+        configuration: ConfigurationResult | None = None,
+        passed: np.ndarray | None = None,
+        tester_seconds_per_chip: float = 0.0,
+        config_seconds_per_chip: float = 0.0,
+        *,
+        summary: RunSummary | None = None,
+    ):
+        if summary is None:
+            if (
+                period is None
+                or test is None
+                or bounds_lower is None
+                or bounds_upper is None
+                or configuration is None
+                or passed is None
+            ):
+                raise TypeError(
+                    "pass either summary= or ALL dense stage artifacts "
+                    "(period, test, bounds_lower, bounds_upper, "
+                    "configuration, passed)"
+                )
+            summary = summarize_shard(
+                period,
+                test,
+                bounds_lower,
+                bounds_upper,
+                configuration,
+                passed,
+                tester_seconds_per_chip,
+                config_seconds_per_chip,
+                artifacts="dense",
+            )
+        self.summary = summary
+
+    @classmethod
+    def from_summary(cls, summary: RunSummary) -> "PopulationRunResult":
+        return cls(summary=summary)
+
+    def _dense(self):
+        dense = self.summary.dense
+        if dense is None:
+            raise ArtifactsNotRetained(
+                "this run kept artifacts="
+                f"{self.summary.artifacts!r}; re-run with "
+                "OnlineConfig(artifacts='dense') to keep the per-chip test "
+                "result, delay bounds and configuration"
+            )
+        return dense
+
+    # -- identity / scalars (every retention mode) -----------------------------
+
+    @property
+    def period(self) -> float:
+        return self.summary.period
+
+    @property
+    def n_chips(self) -> int:
+        return self.summary.n_chips
+
+    @property
+    def artifacts(self) -> str:
+        """Retention mode of this run ("summary" | "compact" | "dense")."""
+        return self.summary.artifacts
+
+    @property
+    def tester_seconds_per_chip(self) -> float:
+        return self.summary.tester_seconds_per_chip
+
+    @property
+    def config_seconds_per_chip(self) -> float:
+        return self.summary.config_seconds_per_chip
 
     @property
     def n_tested(self) -> int:
         """Paths actually measured in this run (== the plan's ``n_pt``)."""
-        return self.test.n_measured
+        return self.summary.n_measured
 
     @property
     def mean_iterations(self) -> float:
         """The paper's ``t_a``."""
-        return self.test.mean_iterations
+        return self.summary.mean_iterations
 
     @property
     def iterations_per_tested_path(self) -> float:
         """The paper's ``t_v = t_a / n_pt`` (0 when nothing was tested)."""
-        n_tested = self.n_tested
-        return self.test.mean_iterations / n_tested if n_tested else 0.0
+        return self.summary.iterations_per_tested_path
 
     @property
     def yield_fraction(self) -> float:
         """The paper's ``y_t``."""
-        return float(self.passed.mean())
+        return self.summary.yield_fraction
+
+    # -- per-chip columns ("compact" and "dense") ------------------------------
+
+    @property
+    def passed(self) -> np.ndarray:
+        if self.summary.passed is None:
+            raise ArtifactsNotRetained(
+                "per-chip pass flags were not retained; re-run with "
+                "OnlineConfig(artifacts='compact') or 'dense'"
+            )
+        return self.summary.passed
+
+    @property
+    def iterations(self) -> np.ndarray:
+        """Per-chip iteration counts (compact column)."""
+        if self.summary.iterations is None:
+            raise ArtifactsNotRetained(
+                "per-chip iteration counts were not retained; re-run with "
+                "OnlineConfig(artifacts='compact') or 'dense'"
+            )
+        return self.summary.iterations
+
+    # -- dense artifacts ("dense" only) ----------------------------------------
+
+    @property
+    def test(self) -> PopulationTestResult:
+        return self._dense().test
+
+    @property
+    def bounds_lower(self) -> np.ndarray:
+        """(n_chips, n_paths) full required-path lower bounds."""
+        return self._dense().bounds_lower
+
+    @property
+    def bounds_upper(self) -> np.ndarray:
+        return self._dense().bounds_upper
+
+    @property
+    def configuration(self) -> ConfigurationResult:
+        return self._dense().configuration
 
 
 class EffiTest:

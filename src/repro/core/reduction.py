@@ -1,0 +1,409 @@
+"""Streaming reduction of population-run artifacts.
+
+The paper's deliverables are population *statistics* — yield ``y_t``, mean
+test iterations ``t_a``, per-chip test cost — yet the pipeline's natural
+artifacts are dense per-chip arrays (``(n_chips, n_paths)`` delay bounds,
+per-chip buffer settings).  This module is the output-side counterpart of
+the lazy :class:`~repro.core.yields.ChipSource` input substrate: the online
+stages run shard by shard and feed each shard's artifacts into a
+:class:`RunReducer`, which keeps only what the caller asked to retain:
+
+* ``"summary"`` — scalars only: yield counts, Welford iteration moments,
+  xi/feasibility stats, chip-weighted timing.  Peak memory is O(shard),
+  independent of the population size.
+* ``"compact"`` — the summary plus two small per-chip columns: the pass
+  bitmap (1 byte/chip) and the iteration counts (``uint16``, 2 bytes/chip).
+* ``"dense"`` — everything the pre-streaming pipeline produced: the full
+  test result, the ``(n_chips, n_paths)`` delay bounds and the per-chip
+  configuration.  Bit-identical to the historical dense path.
+
+The same :func:`merge_run_summaries` that the reducer uses to finalize also
+reassembles one scenario's result from per-shard pool runs — shard loops
+and process fan-out share a single reduction code path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.configuration import ConfigurationResult
+from repro.core.population import (
+    PopulationTestResult,
+    concat_population_test_results,
+)
+
+#: Retention modes, weakest to strongest: every mode carries everything the
+#: weaker modes carry, so a dense summary can always serve a compact or
+#: summary request (the :mod:`repro.results` store relies on this order).
+ARTIFACT_MODES = ("summary", "compact", "dense")
+
+_MODE_RANK = {mode: rank for rank, mode in enumerate(ARTIFACT_MODES)}
+
+
+def artifacts_rank(mode: str) -> int:
+    """Position of ``mode`` in the retention order (raises on unknown)."""
+    try:
+        return _MODE_RANK[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown artifacts mode {mode!r}; expected one of {ARTIFACT_MODES}"
+        ) from None
+
+
+class ArtifactsNotRetained(ValueError):
+    """A dense (or compact) artifact was requested from a slimmer run.
+
+    Raised by the back-compat accessors of
+    :class:`~repro.core.framework.PopulationRunResult` when the run was
+    executed with a retention mode that dropped the requested artifact —
+    re-run with ``OnlineConfig(artifacts="dense")`` (or ``"compact"`` for
+    the per-chip columns) to keep it.
+    """
+
+
+@dataclass(frozen=True)
+class Moments:
+    """Streaming first/second moments plus extrema (Welford/Chan form).
+
+    ``m2`` is the sum of squared deviations from the mean, so the
+    population variance is ``m2 / count``.  Empty moments merge as the
+    identity.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    @staticmethod
+    def from_values(values: np.ndarray) -> "Moments":
+        """Exact moments of a realized sample (numpy-summed, not streamed)."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return Moments()
+        mean = float(values.mean())
+        return Moments(
+            count=int(values.size),
+            mean=mean,
+            m2=float(((values - mean) ** 2).sum()),
+            min=float(values.min()),
+            max=float(values.max()),
+        )
+
+    def merge(self, other: "Moments") -> "Moments":
+        """Chan's parallel combination of two disjoint samples' moments."""
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        return Moments(
+            count=count,
+            mean=self.mean + delta * other.count / count,
+            m2=self.m2 + other.m2 + delta * delta * self.count * other.count / count,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for empty or singleton samples)."""
+        return self.m2 / self.count if self.count > 0 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+@dataclass
+class DenseArtifacts:
+    """The full per-chip payload of a run, kept only in ``"dense"`` mode."""
+
+    test: PopulationTestResult
+    bounds_lower: np.ndarray  # (n_chips, n_paths)
+    bounds_upper: np.ndarray
+    configuration: ConfigurationResult
+
+
+@dataclass
+class RunSummary:
+    """Reduced outcome of the full flow over a chip population at one period.
+
+    Always present: the paper's population statistics (``y_t`` via
+    ``n_passed``, ``t_a`` via ``iteration_moments``, ``n_pt`` via
+    ``n_measured``) and the per-chip stage timings.  ``passed`` and
+    ``iterations`` are the compact per-chip columns (``"compact"`` and
+    ``"dense"`` modes); ``dense`` carries the historical full artifacts
+    (``"dense"`` mode only).
+    """
+
+    period: float
+    n_chips: int
+    n_measured: int
+    n_passed: int
+    n_feasible: int
+    iteration_moments: Moments
+    xi_moments: Moments
+    tester_seconds_per_chip: float
+    config_seconds_per_chip: float
+    artifacts: str = "summary"
+    passed: np.ndarray | None = None  # (n_chips,) bool
+    iterations: np.ndarray | None = None  # (n_chips,) uint16/uint32
+    dense: DenseArtifacts | None = None
+
+    def __post_init__(self) -> None:
+        artifacts_rank(self.artifacts)
+
+    def retains(self, mode: str) -> bool:
+        """True when this summary carries at least ``mode``'s artifacts."""
+        return artifacts_rank(self.artifacts) >= artifacts_rank(mode)
+
+    # -- the paper's population statistics -------------------------------------
+
+    @property
+    def n_tested(self) -> int:
+        """Paths actually measured in this run (the plan's ``n_pt``)."""
+        return self.n_measured
+
+    @property
+    def yield_fraction(self) -> float:
+        """The paper's ``y_t``."""
+        return self.n_passed / self.n_chips if self.n_chips else 0.0
+
+    @property
+    def feasible_fraction(self) -> float:
+        return self.n_feasible / self.n_chips if self.n_chips else 0.0
+
+    @property
+    def mean_iterations(self) -> float:
+        """The paper's ``t_a``."""
+        return self.iteration_moments.mean
+
+    @property
+    def iterations_per_tested_path(self) -> float:
+        """The paper's ``t_v = t_a / n_pt`` (0 when nothing was tested)."""
+        return self.mean_iterations / self.n_measured if self.n_measured else 0.0
+
+    def scalars(self) -> dict:
+        """The scalar row every retention mode can provide."""
+        return {
+            "period": self.period,
+            "n_chips": self.n_chips,
+            "n_tested": self.n_tested,
+            "yield_fraction": self.yield_fraction,
+            "feasible_fraction": self.feasible_fraction,
+            "mean_iterations": self.mean_iterations,
+            "iterations_std": self.iteration_moments.std,
+            "iterations_per_tested_path": self.iterations_per_tested_path,
+            "tester_seconds_per_chip": self.tester_seconds_per_chip,
+            "config_seconds_per_chip": self.config_seconds_per_chip,
+        }
+
+
+def _compact_iterations(iterations: np.ndarray) -> np.ndarray:
+    """Per-chip iteration counts as the narrowest sufficient unsigned dtype."""
+    iterations = np.asarray(iterations)
+    if iterations.size and int(iterations.max()) >= 2**16:
+        return iterations.astype(np.uint32)
+    return iterations.astype(np.uint16)
+
+
+def summarize_shard(
+    period: float,
+    test: PopulationTestResult,
+    bounds_lower: np.ndarray,
+    bounds_upper: np.ndarray,
+    configuration: ConfigurationResult,
+    passed: np.ndarray,
+    tester_seconds_per_chip: float,
+    config_seconds_per_chip: float,
+    artifacts: str = "summary",
+) -> RunSummary:
+    """Reduce one chip shard's stage artifacts to a :class:`RunSummary`."""
+    rank = artifacts_rank(artifacts)
+    passed = np.asarray(passed, dtype=bool)
+    n_chips = int(passed.shape[0])
+    feasible = np.asarray(configuration.feasible, dtype=bool)
+    xi = np.asarray(configuration.xi, dtype=float)
+    finite_xi = xi[feasible & np.isfinite(xi)]
+    return RunSummary(
+        period=float(period),
+        n_chips=n_chips,
+        n_measured=test.n_measured,
+        n_passed=int(passed.sum()),
+        n_feasible=int(feasible.sum()),
+        iteration_moments=Moments.from_values(test.iterations),
+        xi_moments=Moments.from_values(finite_xi),
+        tester_seconds_per_chip=float(tester_seconds_per_chip),
+        config_seconds_per_chip=float(config_seconds_per_chip),
+        artifacts=artifacts,
+        passed=passed if rank >= 1 else None,
+        iterations=_compact_iterations(test.iterations) if rank >= 1 else None,
+        dense=DenseArtifacts(
+            test=test,
+            bounds_lower=bounds_lower,
+            bounds_upper=bounds_upper,
+            configuration=configuration,
+        )
+        if rank >= 2
+        else None,
+    )
+
+
+def _merge_dense(parts: Sequence[DenseArtifacts]) -> DenseArtifacts:
+    first = parts[0].configuration
+    return DenseArtifacts(
+        test=concat_population_test_results([p.test for p in parts]),
+        bounds_lower=np.vstack([p.bounds_lower for p in parts]),
+        bounds_upper=np.vstack([p.bounds_upper for p in parts]),
+        configuration=ConfigurationResult(
+            feasible=np.concatenate([p.configuration.feasible for p in parts]),
+            settings=np.vstack([p.configuration.settings for p in parts]),
+            xi=np.concatenate([p.configuration.xi for p in parts]),
+            buffer_names=first.buffer_names,
+        ),
+    )
+
+
+def merge_run_summaries(parts: Sequence[RunSummary]) -> RunSummary:
+    """Combine chip-shard summaries of one scenario, in chip order.
+
+    Chips are independent through every online stage, so concatenating the
+    per-shard columns reproduces the unsharded run exactly; counts add, the
+    per-chip timing figures recombine as chip-weighted means, and the
+    iteration moments are recomputed exactly from the concatenated column
+    when it was retained (Welford-merged otherwise).
+    """
+    if not parts:
+        raise ValueError("need at least one summary to merge")
+    first = parts[0]
+    if len(parts) == 1:
+        return first
+    for part in parts[1:]:
+        if part.artifacts != first.artifacts:
+            raise ValueError("shard summaries retain different artifact modes")
+        if part.n_measured != first.n_measured:
+            raise ValueError("shard summaries cover different measured paths")
+        if part.period != first.period:
+            raise ValueError("shard summaries ran at different periods")
+
+    n_chips = np.array([p.n_chips for p in parts], dtype=float)
+    total = n_chips.sum()
+    dense = (
+        _merge_dense([p.dense for p in parts])
+        if first.dense is not None
+        else None
+    )
+    if dense is not None:
+        # Recompute from the full column: bit-identical to the dense path.
+        iteration_moments = Moments.from_values(dense.test.iterations)
+        xi = np.asarray(dense.configuration.xi, dtype=float)
+        feasible = np.asarray(dense.configuration.feasible, dtype=bool)
+        xi_moments = Moments.from_values(xi[feasible & np.isfinite(xi)])
+    else:
+        iteration_moments = Moments()
+        xi_moments = Moments()
+        for part in parts:
+            iteration_moments = iteration_moments.merge(part.iteration_moments)
+            xi_moments = xi_moments.merge(part.xi_moments)
+        if first.iterations is not None:
+            # The compact column is exact; prefer it for the mean/extrema.
+            iteration_moments = Moments.from_values(
+                np.concatenate([p.iterations for p in parts])
+            )
+    return RunSummary(
+        period=first.period,
+        n_chips=int(total),
+        n_measured=first.n_measured,
+        n_passed=sum(p.n_passed for p in parts),
+        n_feasible=sum(p.n_feasible for p in parts),
+        iteration_moments=iteration_moments,
+        xi_moments=xi_moments,
+        tester_seconds_per_chip=float(
+            (n_chips * [p.tester_seconds_per_chip for p in parts]).sum() / total
+        ),
+        config_seconds_per_chip=float(
+            (n_chips * [p.config_seconds_per_chip for p in parts]).sum() / total
+        ),
+        artifacts=first.artifacts,
+        passed=(
+            np.concatenate([p.passed for p in parts])
+            if first.passed is not None
+            else None
+        ),
+        iterations=(
+            np.concatenate([p.iterations for p in parts])
+            if first.iterations is not None
+            else None
+        ),
+        dense=dense,
+    )
+
+
+class RunReducer:
+    """Accumulates per-shard stage artifacts into one :class:`RunSummary`.
+
+    The engine's shard loop calls :meth:`add_shard` once per chip shard (in
+    chip order) and :meth:`finalize` at the end.  In ``"summary"`` mode the
+    reducer holds scalars only, so the run's peak memory is O(shard); the
+    stronger modes append exactly the columns they retain.
+    """
+
+    def __init__(self, period: float, artifacts: str = "summary"):
+        artifacts_rank(artifacts)
+        self.period = float(period)
+        self.artifacts = artifacts
+        self._parts: list[RunSummary] = []
+
+    @property
+    def n_chips(self) -> int:
+        return sum(part.n_chips for part in self._parts)
+
+    def add_shard(
+        self,
+        test: PopulationTestResult,
+        bounds_lower: np.ndarray,
+        bounds_upper: np.ndarray,
+        configuration: ConfigurationResult,
+        passed: np.ndarray,
+        tester_seconds_per_chip: float,
+        config_seconds_per_chip: float,
+    ) -> RunSummary:
+        """Reduce one shard; returns the shard's own summary."""
+        part = summarize_shard(
+            self.period,
+            test,
+            bounds_lower,
+            bounds_upper,
+            configuration,
+            passed,
+            tester_seconds_per_chip,
+            config_seconds_per_chip,
+            artifacts=self.artifacts,
+        )
+        self._parts.append(part)
+        return part
+
+    def finalize(self) -> RunSummary:
+        if not self._parts:
+            raise ValueError("cannot summarize an empty population (no shards)")
+        return merge_run_summaries(self._parts)
+
+
+__all__ = [
+    "ARTIFACT_MODES",
+    "ArtifactsNotRetained",
+    "DenseArtifacts",
+    "Moments",
+    "RunReducer",
+    "RunSummary",
+    "artifacts_rank",
+    "merge_run_summaries",
+    "summarize_shard",
+]

@@ -11,9 +11,9 @@ the offline stage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.api import Engine, OfflineConfig, OnlineConfig
+from repro.api import Engine, OfflineConfig, OnlineConfig, Scenario
 from repro.circuit.generator import Circuit, generate_circuit
 from repro.core.framework import PopulationRunResult, Preparation
 from repro.core.yields import (
@@ -58,6 +58,50 @@ class CircuitContext:
     @property
     def name(self) -> str:
         return self.circuit.name
+
+    def require_preparation(self) -> Preparation:
+        """The offline preparation, computed (or cache-loaded) on demand.
+
+        Experiments that only need sweep records never call this, so a
+        warm store-backed re-run skips the offline stage entirely; the
+        ones that do (ideal-yield comparisons read the configuration
+        structure) pay it lazily.
+        """
+        if self.preparation is None:
+            self.preparation = self.engine.prepare(
+                self.circuit, self.t1, self.offline
+            )
+        return self.preparation
+
+    def scenario(
+        self,
+        period: float | None = None,
+        online: OnlineConfig | None = None,
+        label: str = "",
+        artifacts: str | None = "summary",
+    ) -> Scenario:
+        """One sweep scenario over this context's evaluation population.
+
+        The population rides along as the lazy ``population_source``
+        recipe, so the scenario is storable in a
+        :class:`~repro.results.RunStore` and re-runs load instead of
+        recompute.  Experiments keep ``artifacts="summary"`` — the tables
+        and figures only consume population statistics (pass ``None`` to
+        inherit the online config's retention).
+        """
+        online = online or self.online
+        if artifacts is not None and online.artifacts != artifacts:
+            online = replace(online, artifacts=artifacts)
+        period = period if period is not None else self.t1
+        return Scenario(
+            self.circuit,
+            period=period,
+            offline=self.offline,
+            online=online,
+            clock_period=self.t1,
+            population=self.population_source or self.population,
+            label=label or f"{self.name}@{period:g}",
+        )
 
     def run(
         self,

@@ -15,13 +15,18 @@ grows (eq. 5's conditional variance stays larger).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
-from repro.core.yields import ideal_yield, no_buffer_yield, sample_circuit
+from repro.api import Scenario
+from repro.core.yields import chip_source, ideal_yield, no_buffer_yield
 from repro.experiments.benchdata import BENCHMARK_NAMES
 from repro.experiments.context import build_context
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results import RunStore
 
 
 @dataclass(frozen=True)
@@ -41,30 +46,42 @@ def run_circuit(
     seed: int = 20160605,
     inflation: float = 1.1,
     engine=None,
+    store: "RunStore | None" = None,
 ) -> Figure7Row:
     """Measure Fig. 7 bars for one circuit.
 
     The operating period is the *original* circuit's T1; the population is
     drawn from the inflated model, and the whole EffiTest flow (grouping,
     prediction, test, configuration) runs against the inflated statistics.
+    The EffiTest bar goes through :meth:`~repro.api.Engine.sweep` (the
+    inflated model changes the circuit fingerprint, so both the run key
+    and the preparation key are distinct from the base circuit's).
     """
     base = build_context(name, n_chips=8, seed=seed, prepare=False, engine=engine)
     inflated = base.circuit.with_inflated_randomness(inflation)
-    # The inflated model changes the circuit fingerprint, so this is a
-    # distinct cache entry from the base circuit's preparation.
-    preparation = base.engine.prepare(inflated, base.t1, base.offline)
-    population = sample_circuit(
+    source = chip_source(
         inflated, n_chips, seed=derive_seed(seed, name, "figure7")
     )
 
-    run = base.engine.run(
-        inflated, population, base.t1, preparation=preparation
+    scenario = Scenario(
+        inflated,
+        period=base.t1,
+        clock_period=base.t1,
+        population=source,
+        offline=base.offline,
+        online=replace(base.online, artifacts="summary"),
+        label=f"{name}@fig7",
     )
+    (record,) = base.engine.sweep([scenario], store=store)
+
+    # The comparison bars are local evaluations over the same chips.
+    population = source.realize()
+    preparation = base.engine.prepare(inflated, base.t1, base.offline)
     return Figure7Row(
         name=name,
         period=base.t1,
         no_buffer=no_buffer_yield(population, base.t1),
-        effitest=run.yield_fraction,
+        effitest=record.yield_fraction,
         ideal=ideal_yield(inflated, population, preparation.structure, base.t1),
     )
 
@@ -75,10 +92,12 @@ def run_figure7(
     seed: int = 20160605,
     inflation: float = 1.1,
     engine=None,
+    store: "RunStore | None" = None,
 ) -> list[Figure7Row]:
     return [
         run_circuit(
-            name, n_chips=n_chips, seed=seed, inflation=inflation, engine=engine
+            name, n_chips=n_chips, seed=seed, inflation=inflation,
+            engine=engine, store=store,
         )
         for name in circuits
     ]

@@ -15,10 +15,14 @@ ordering path-wise > multiplexing > proposed for every circuit.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.experiments.benchdata import BENCHMARK_NAMES
 from repro.experiments.context import DEFAULT_OFFLINE, build_context
 from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results import RunStore
 
 
 @dataclass(frozen=True)
@@ -36,26 +40,36 @@ def run_circuit(
     n_chips: int = 200,
     seed: int = 20160605,
     engine=None,
+    store: "RunStore | None" = None,
 ) -> Figure8Row:
     """Measure the three bars for one circuit.
 
     Smaller default populations than Table 1: testing *all* paths is
     exactly the cost explosion the paper argues against, so this is the
-    most expensive experiment.
+    most expensive experiment — which makes its two engine runs (aligned
+    and unaligned multiplexing) the most valuable ones to resume from a
+    :class:`~repro.results.RunStore`.  Alignment is an online knob, so
+    both scenarios share one cached preparation.
     """
     offline = replace(DEFAULT_OFFLINE, test_all_paths=True)
     context = build_context(
-        name, n_chips=n_chips, seed=seed, offline=offline, engine=engine
+        name, n_chips=n_chips, seed=seed, offline=offline, engine=engine,
+        prepare=False,
     )
     n_paths = context.circuit.paths.n_paths
 
     baseline = context.pathwise_baseline()
 
-    aligned = context.run(context.t1)
-
-    # Alignment is an online knob: the same cached preparation serves both.
-    unaligned = context.run(
-        context.t1, online=replace(context.online, align=False)
+    aligned, unaligned = context.engine.sweep(
+        [
+            context.scenario(context.t1, label=f"{name}@aligned"),
+            context.scenario(
+                context.t1,
+                online=replace(context.online, align=False),
+                label=f"{name}@unaligned",
+            ),
+        ],
+        store=store,
     )
 
     return Figure8Row(
@@ -71,9 +85,10 @@ def run_figure8(
     n_chips: int = 200,
     seed: int = 20160605,
     engine=None,
+    store: "RunStore | None" = None,
 ) -> list[Figure8Row]:
     return [
-        run_circuit(name, n_chips=n_chips, seed=seed, engine=engine)
+        run_circuit(name, n_chips=n_chips, seed=seed, engine=engine, store=store)
         for name in circuits
     ]
 

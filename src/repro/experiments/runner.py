@@ -10,6 +10,13 @@ Usage::
 
 ``--chips`` trades precision for runtime; the paper used 10 000 chips per
 circuit (pass ``--chips 10000`` to match; defaults are smaller).
+
+Runs are **interrupt-safe**: every completed scenario lands in a
+persistent :class:`~repro.results.RunStore` under ``--store`` (default
+``.effitest-store/``; preparations persist next to it), so a killed run
+resumes where it stopped and an unchanged re-run reloads every record
+without executing a single online stage.  Pass ``--no-store`` to force a
+fully fresh computation.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.api import Engine
 from repro.experiments.benchdata import BENCHMARK_NAMES, QUICK_NAMES
@@ -24,8 +32,12 @@ from repro.experiments.figure7 import render_figure7, run_figure7
 from repro.experiments.figure8 import render_figure8, run_figure8
 from repro.experiments.table1 import render_table1, run_table1
 from repro.experiments.table2 import render_table2, run_table2
+from repro.results import RunStore
 
 _EXPERIMENTS = ("table1", "table2", "figure7", "figure8")
+
+#: Default persistent store directory (relative to the working directory).
+DEFAULT_STORE = ".effitest-store"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="restrict to three small circuits and fewer chips",
     )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help="directory of the persistent run store + preparation cache "
+        f"(default: {DEFAULT_STORE})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run fully fresh: no persistent results or preparations",
+    )
     return parser
 
 
@@ -68,35 +91,56 @@ def _circuits(args: argparse.Namespace) -> tuple[str, ...]:
     return QUICK_NAMES if args.quick else BENCHMARK_NAMES
 
 
+def build_store(args: argparse.Namespace) -> RunStore | None:
+    """The persistent run store selected by ``--store`` / ``--no-store``."""
+    if getattr(args, "no_store", False):
+        return None
+    root = getattr(args, "store", None) or DEFAULT_STORE
+    return RunStore(Path(root) / "runs")
+
+
+def build_engine(args: argparse.Namespace) -> Engine:
+    """An engine whose preparation cache persists next to the run store."""
+    if getattr(args, "no_store", False):
+        return Engine()
+    root = getattr(args, "store", None) or DEFAULT_STORE
+    return Engine(cache_dir=Path(root) / "preparations")
+
+
 def run_one(
-    name: str, args: argparse.Namespace, engine: Engine | None = None
+    name: str,
+    args: argparse.Namespace,
+    engine: Engine | None = None,
+    store: RunStore | None = None,
 ) -> str:
     """Regenerate one artefact; a shared ``engine`` pools preparations
-    (``all`` pays the offline stage once per circuit, not per experiment)."""
+    (``all`` pays the offline stage once per circuit, not per experiment)
+    and a ``store`` reloads scenarios completed by earlier runs."""
     circuits = _circuits(args)
     chips = args.chips
     engine = engine or Engine()
     before = engine.cache_stats
+    store_before = store.stats if store is not None else None
     start = time.perf_counter()
     if name == "table1":
         text = render_table1(run_table1(
             circuits, chips or (300 if args.quick else 1000), args.seed,
-            engine=engine,
+            engine=engine, store=store,
         ))
     elif name == "table2":
         text = render_table2(run_table2(
             circuits, chips or (300 if args.quick else 1000), args.seed,
-            engine=engine,
+            engine=engine, store=store,
         ))
     elif name == "figure7":
         text = render_figure7(run_figure7(
             circuits, chips or (300 if args.quick else 1000), args.seed,
-            engine=engine,
+            engine=engine, store=store,
         ))
     elif name == "figure8":
         text = render_figure8(run_figure8(
             circuits, chips or (50 if args.quick else 200), args.seed,
-            engine=engine,
+            engine=engine, store=store,
         ))
     else:  # pragma: no cover - guarded by argparse choices
         raise ValueError(name)
@@ -105,17 +149,25 @@ def run_one(
     header = (
         f"== {name} ({', '.join(circuits)}; {elapsed:.1f}s; "
         f"prep cache {stats.hits - before.hits} hits / "
-        f"{stats.misses - before.misses} misses) =="
+        f"{stats.misses - before.misses} misses"
     )
+    if store is not None and store_before is not None:
+        after = store.stats
+        header += (
+            f"; run store {after.hits - store_before.hits} loaded / "
+            f"{after.stores - store_before.stores} computed"
+        )
+    header += ") =="
     return f"{header}\n{text}"
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
-    engine = Engine()
+    engine = build_engine(args)
+    store = build_store(args)
     for name in names:
-        print(run_one(name, args, engine=engine))
+        print(run_one(name, args, engine=engine, store=store))
         print()
     return 0
 

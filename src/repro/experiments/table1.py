@@ -12,10 +12,14 @@ and ``t'v``, the reduction ratios ``ra`` and ``rv``, and the runtimes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.experiments.benchdata import BENCHMARK_NAMES, PAPER_BY_NAME
 from repro.experiments.context import CircuitContext, build_context
 from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results import RunStore
 
 
 @dataclass(frozen=True)
@@ -39,16 +43,23 @@ class Table1Row:
     ts_seconds: float
 
 
-def run_circuit(context: CircuitContext) -> Table1Row:
-    """Measure one circuit's Table 1 row at its T1 operating point."""
+def run_circuit(
+    context: CircuitContext, store: "RunStore | None" = None
+) -> Table1Row:
+    """Measure one circuit's Table 1 row at its T1 operating point.
+
+    The EffiTest run goes through :meth:`~repro.api.Engine.sweep`: with a
+    ``store`` a previously completed row reloads its record instead of
+    re-testing the population (the path-wise baseline, the comparison
+    column, is recomputed — it is not an engine scenario).
+    """
     circuit = context.circuit
-    prep = context.preparation
-    result = context.run(context.t1)
+    (record,) = context.engine.sweep([context.scenario(context.t1)], store=store)
     baseline = context.pathwise_baseline()
 
-    ta = result.mean_iterations
-    npt = result.n_tested
-    tv = result.iterations_per_tested_path
+    ta = record.mean_iterations
+    npt = record.n_tested
+    tv = record.iterations_per_tested_path
     ta_p = float(baseline.total_iterations)
     tv_p = baseline.mean_iterations_per_path
     return Table1Row(
@@ -64,9 +75,9 @@ def run_circuit(context: CircuitContext) -> Table1Row:
         tv_pathwise=tv_p,
         ra_percent=100.0 * (ta_p - ta) / ta_p if ta_p else 0.0,
         rv_percent=100.0 * (tv_p - tv) / tv_p if tv_p else 0.0,
-        tp_seconds=prep.offline_seconds,
-        tt_seconds=result.tester_seconds_per_chip,
-        ts_seconds=result.config_seconds_per_chip,
+        tp_seconds=record.offline_seconds,
+        tt_seconds=record.tester_seconds_per_chip,
+        ts_seconds=record.config_seconds_per_chip,
     )
 
 
@@ -75,16 +86,20 @@ def run_table1(
     n_chips: int = 1000,
     seed: int = 20160605,
     engine=None,
+    store: "RunStore | None" = None,
 ) -> list[Table1Row]:
     """Measure Table 1 rows for the requested circuits.
 
     A shared ``engine`` lets other experiments on the same circuits reuse
-    the offline preparations computed here.
+    the offline preparations computed here; a ``store`` makes the run
+    resumable (and warm on re-runs).
     """
     rows = []
     for name in circuits:
-        context = build_context(name, n_chips=n_chips, seed=seed, engine=engine)
-        rows.append(run_circuit(context))
+        context = build_context(
+            name, n_chips=n_chips, seed=seed, engine=engine, prepare=False
+        )
+        rows.append(run_circuit(context, store=store))
     return rows
 
 

@@ -10,11 +10,15 @@ percentage points).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.yields import ideal_yield, no_buffer_yield
 from repro.experiments.benchdata import BENCHMARK_NAMES, PAPER_BY_NAME
 from repro.experiments.context import CircuitContext, build_context
 from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results import RunStore
 
 
 @dataclass(frozen=True)
@@ -40,18 +44,33 @@ class Table2Row:
         return self.yi_t2 - self.yt_t2
 
 
-def run_circuit(context: CircuitContext) -> Table2Row:
-    """Measure one circuit's Table 2 row."""
+def run_circuit(
+    context: CircuitContext, store: "RunStore | None" = None
+) -> Table2Row:
+    """Measure one circuit's Table 2 row.
+
+    The two EffiTest yield runs (T1, T2) go through one
+    :meth:`~repro.api.Engine.sweep`; the T1 scenario is keyed identically
+    to Table 1's, so ``python -m repro.experiments all`` pays it once.
+    The ideal/no-buffer comparisons are cheap local evaluations over the
+    same dense population.
+    """
     circuit = context.circuit
-    prep = context.preparation
     pop = context.population
 
+    scenarios = [
+        context.scenario(period) for period in (context.t1, context.t2)
+    ]
+    records = list(context.engine.sweep(scenarios, store=store))
+
     values = {}
-    for label, period in (("t1", context.t1), ("t2", context.t2)):
-        run = context.run(period, pop)
-        values[f"yt_{label}"] = 100.0 * run.yield_fraction
+    structure = context.require_preparation().structure
+    for label, period, record in zip(
+        ("t1", "t2"), (context.t1, context.t2), records
+    ):
+        values[f"yt_{label}"] = 100.0 * record.yield_fraction
         values[f"yi_{label}"] = 100.0 * ideal_yield(
-            circuit, pop, prep.structure, period
+            circuit, pop, structure, period
         )
         values[f"no_buffer_{label}"] = 100.0 * no_buffer_yield(pop, period)
 
@@ -63,11 +82,14 @@ def run_table2(
     n_chips: int = 1000,
     seed: int = 20160605,
     engine=None,
+    store: "RunStore | None" = None,
 ) -> list[Table2Row]:
     rows = []
     for name in circuits:
-        context = build_context(name, n_chips=n_chips, seed=seed, engine=engine)
-        rows.append(run_circuit(context))
+        context = build_context(
+            name, n_chips=n_chips, seed=seed, engine=engine, prepare=False
+        )
+        rows.append(run_circuit(context, store=store))
     return rows
 
 

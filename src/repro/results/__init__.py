@@ -1,0 +1,43 @@
+"""Persistent results subsystem: reduced run summaries on disk.
+
+The pipeline's output-side counterpart of the preparation cache:
+
+* :class:`~repro.results.store.RunKey` — content identity of one scenario
+  run (circuit + population fingerprints, population recipe, periods,
+  offline/online knobs),
+* :class:`~repro.results.store.RunStore` — a content-addressed on-disk
+  store (JSON summary + NPZ columns, atomic writes, mtime pruning) that
+  makes :meth:`repro.api.Engine.sweep` resumable: interrupted sweeps
+  restart where they stopped, completed sweeps reload bit-identically
+  without executing a single online stage.
+
+The stored payload is a :class:`~repro.core.reduction.RunSummary`; what a
+record can serve depends on the run's ``OnlineConfig.artifacts`` retention
+mode (``"summary"`` | ``"compact"`` | ``"dense"``).
+"""
+
+from repro.core.reduction import (
+    ARTIFACT_MODES,
+    ArtifactsNotRetained,
+    Moments,
+    RunSummary,
+)
+from repro.results.store import (
+    DISK_FORMAT_VERSION,
+    RunKey,
+    RunStore,
+    StoreStats,
+    StoredRun,
+)
+
+__all__ = [
+    "ARTIFACT_MODES",
+    "ArtifactsNotRetained",
+    "DISK_FORMAT_VERSION",
+    "Moments",
+    "RunKey",
+    "RunStore",
+    "StoreStats",
+    "StoredRun",
+    "RunSummary",
+]

@@ -1,0 +1,448 @@
+"""Content-addressed persistent store of reduced run results.
+
+The input side of the pipeline caches *preparations*
+(:class:`repro.api.cache.PreparationCache`); this module is its output-side
+sibling: a :class:`RunStore` persists each scenario's reduced
+:class:`~repro.core.reduction.RunSummary` under a content-addressed
+:class:`RunKey`, so interrupted scenario sweeps resume where they stopped
+and completed sweeps reload without executing a single online stage.
+
+A run's numbers are fully determined by
+
+1. the circuit being prepared/verified and the circuit the population is
+   sampled from (both as content fingerprints — usually the same, but a
+   Fig. 7-style stress population draws from a variant),
+2. the population recipe ``(n_chips, seed)`` of the lazy
+   :class:`~repro.core.yields.ChipSource`,
+3. the operating ``period`` and the design ``clock_period``,
+4. the offline config (everything in the preparation-cache key) and the
+   *result-determining* online knobs (``OnlineConfig.result_fields()`` —
+   shard size and artifact retention are excluded because results are
+   bit-identical across them by contract).
+
+Each record is one JSON file (scalars, moments, metadata) plus, when the
+run retained per-chip columns, one NPZ file next to it — both written
+atomically (temp file + rename), so readers only ever see whole records.
+Corrupt or version-skewed artifacts are deleted and recomputed; the store
+can only ever *save* work, never fail a run.  ``max_entries`` prunes the
+oldest records by modification time, mirroring the preparation cache's
+disk tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.configuration import ConfigurationResult
+from repro.core.population import PopulationTestResult
+from repro.core.reduction import (
+    DenseArtifacts,
+    Moments,
+    RunSummary,
+    artifacts_rank,
+)
+from repro.utils.diskio import prune_by_mtime, write_atomic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids upward imports
+    from repro.api.config import OfflineConfig, OnlineConfig
+    from repro.circuit.generator import Circuit
+    from repro.core.yields import ChipSource
+
+
+#: Bump when the on-disk payload layout (or anything entering the digest)
+#: changes; old records are then simply never matched again.
+DISK_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Content identity of one scenario run."""
+
+    circuit_fingerprint: str
+    population_fingerprint: str
+    n_chips: int
+    population_seed: int
+    period: float
+    clock_period: float
+    offline_fields: tuple
+    online_fields: tuple
+
+    @staticmethod
+    def build(
+        circuit: "Circuit",
+        source: "ChipSource",
+        period: float,
+        clock_period: float,
+        offline: "OfflineConfig",
+        online: "OnlineConfig",
+    ) -> "RunKey":
+        from repro.circuit.fingerprint import fingerprint_circuit
+
+        return RunKey(
+            circuit_fingerprint=fingerprint_circuit(circuit),
+            population_fingerprint=fingerprint_circuit(source.circuit),
+            n_chips=int(source.n_chips),
+            population_seed=int(source.seed),
+            period=float(period),
+            clock_period=float(clock_period),
+            offline_fields=offline.cache_fields(),
+            online_fields=online.result_fields(),
+        )
+
+    def digest(self) -> str:
+        """Stable hex name for the on-disk record.
+
+        Periods enter as their exact ``float.hex`` bits and the config
+        fields as their repr (ints, floats, bools, strs, None — all
+        round-trip stably), so equal keys name equal files on every
+        platform and process.
+        """
+        payload = repr((
+            DISK_FORMAT_VERSION,
+            self.circuit_fingerprint,
+            self.population_fingerprint,
+            self.n_chips,
+            self.population_seed,
+            self.period.hex(),
+            self.clock_period.hex(),
+            self.offline_fields,
+            self.online_fields,
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One loaded record: the summary plus its original offline cost."""
+
+    summary: RunSummary
+    offline_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters exposed for tests and capacity planning."""
+
+    hits: int
+    misses: int
+    stores: int
+
+
+# ----------------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------------
+
+#: NPZ array names of the compact per-chip columns.
+_COMPACT_ARRAYS = ("passed", "iterations")
+
+
+def _moments_json(moments: Moments) -> dict:
+    """Strict-JSON form of moments: empty extrema become null, not inf."""
+    return {
+        "count": moments.count,
+        "mean": moments.mean,
+        "m2": moments.m2,
+        "min": None if moments.count == 0 else moments.min,
+        "max": None if moments.count == 0 else moments.max,
+    }
+
+
+def _moments_from_json(payload: dict) -> Moments:
+    if payload["count"] == 0:
+        return Moments()
+    return Moments(**payload)
+
+
+def _summary_payload(summary: RunSummary) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a summary into its JSON scalars and its NPZ arrays."""
+    arrays: dict[str, np.ndarray] = {}
+    if summary.passed is not None:
+        arrays["passed"] = summary.passed
+    if summary.iterations is not None:
+        arrays["iterations"] = summary.iterations
+    if summary.dense is not None:
+        dense = summary.dense
+        arrays["measured_indices"] = dense.test.measured_indices
+        arrays["test_lower"] = dense.test.lower
+        arrays["test_upper"] = dense.test.upper
+        arrays["test_iterations"] = dense.test.iterations
+        arrays["iterations_per_batch"] = dense.test.iterations_per_batch
+        arrays["bounds_lower"] = dense.bounds_lower
+        arrays["bounds_upper"] = dense.bounds_upper
+        arrays["feasible"] = np.asarray(dense.configuration.feasible)
+        arrays["settings"] = dense.configuration.settings
+        arrays["xi"] = dense.configuration.xi
+        arrays["buffer_names"] = np.asarray(
+            dense.configuration.buffer_names, dtype=np.str_
+        )
+    meta = {
+        "period": summary.period,
+        "n_chips": summary.n_chips,
+        "n_measured": summary.n_measured,
+        "n_passed": summary.n_passed,
+        "n_feasible": summary.n_feasible,
+        "iteration_moments": _moments_json(summary.iteration_moments),
+        "xi_moments": _moments_json(summary.xi_moments),
+        "tester_seconds_per_chip": summary.tester_seconds_per_chip,
+        "config_seconds_per_chip": summary.config_seconds_per_chip,
+        "artifacts": summary.artifacts,
+        "arrays": sorted(arrays),
+    }
+    return meta, arrays
+
+
+def _payload_summary(
+    meta: dict, arrays: dict[str, np.ndarray], mode: str
+) -> RunSummary:
+    """Rebuild a summary at retention ``mode`` from its stored payload.
+
+    ``mode`` may be weaker than the stored record's retention — the caller
+    then only loaded (and we only rebuild) the artifacts that mode needs.
+    """
+    dense = None
+    if mode == "dense":
+        dense = DenseArtifacts(
+            test=PopulationTestResult(
+                measured_indices=arrays["measured_indices"],
+                lower=arrays["test_lower"],
+                upper=arrays["test_upper"],
+                iterations=arrays["test_iterations"],
+                iterations_per_batch=arrays["iterations_per_batch"],
+            ),
+            bounds_lower=arrays["bounds_lower"],
+            bounds_upper=arrays["bounds_upper"],
+            configuration=ConfigurationResult(
+                feasible=arrays["feasible"],
+                settings=arrays["settings"],
+                xi=arrays["xi"],
+                buffer_names=tuple(str(n) for n in arrays["buffer_names"]),
+            ),
+        )
+    return RunSummary(
+        period=float(meta["period"]),
+        n_chips=int(meta["n_chips"]),
+        n_measured=int(meta["n_measured"]),
+        n_passed=int(meta["n_passed"]),
+        n_feasible=int(meta["n_feasible"]),
+        iteration_moments=_moments_from_json(meta["iteration_moments"]),
+        xi_moments=_moments_from_json(meta["xi_moments"]),
+        tester_seconds_per_chip=float(meta["tester_seconds_per_chip"]),
+        config_seconds_per_chip=float(meta["config_seconds_per_chip"]),
+        artifacts=mode,
+        passed=arrays.get("passed"),
+        iterations=arrays.get("iterations"),
+        dense=dense,
+    )
+
+
+class RunStore:
+    """Persistent content-addressed store of reduced run results.
+
+    Records are plain files under ``root`` (``run-<digest>.json`` +
+    optional ``run-<digest>.npz``); every process pointed at the directory
+    shares them.  Unlike the preparation cache's pickles the payload is
+    JSON + NPZ — safe to load from an untrusted directory, diffable, and
+    readable by any numpy.  ``max_entries`` prunes the oldest records by
+    modification time; ``None`` keeps everything.
+    """
+
+    def __init__(self, root: str | Path, max_entries: int | None = None):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("run-*.json"))
+
+    def __contains__(self, key: RunKey) -> bool:
+        return self._json_path(key).exists()
+
+    @property
+    def stats(self) -> StoreStats:
+        with self._lock:
+            return StoreStats(
+                hits=self._hits, misses=self._misses, stores=self._stores
+            )
+
+    # -- paths -----------------------------------------------------------------
+
+    def _json_path(self, key: RunKey) -> Path:
+        return self.root / f"run-{key.digest()}.json"
+
+    def _npz_path(self, key: RunKey) -> Path:
+        return self.root / f"run-{key.digest()}.npz"
+
+    def _drop(self, key: RunKey) -> None:
+        for path in (self._json_path(key), self._npz_path(key)):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def probe(self, key: RunKey, artifacts: str = "summary") -> bool:
+        """Cheap hit test: can a later :meth:`load` likely serve ``key``?
+
+        Reads only the (kB-sized) JSON metadata — version and retention
+        rank are validated, array payloads are not touched, and no
+        hit/miss counters move.  A record that probes ``True`` can still
+        fail its full ``load`` (arrays corrupted or deleted in between);
+        callers treat that as a late miss.  Unreadable metadata is dropped
+        here, exactly as ``load`` would drop it.
+        """
+        try:
+            with open(self._json_path(key), "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except FileNotFoundError:
+            return False
+        except (OSError, ValueError):
+            self._drop(key)
+            return False
+        try:
+            return meta["version"] == DISK_FORMAT_VERSION and (
+                artifacts_rank(meta["artifacts"]) >= artifacts_rank(artifacts)
+            )
+        except Exception:
+            self._drop(key)
+            return False
+
+    def load(self, key: RunKey, artifacts: str = "summary") -> StoredRun | None:
+        """Fetch the record for ``key``, or ``None`` on a miss.
+
+        ``artifacts`` is the retention the caller needs: a stored record
+        serves the request only when it retains *at least* that much (a
+        dense record answers summary requests; a summary record cannot
+        answer a dense one and counts as a miss).  The loaded summary is
+        *downgraded* to the requested retention — a summary request
+        against a dense record reads no arrays at all, so warm sweeps stay
+        O(1) per record regardless of how richly it was stored.  Any
+        unreadable or version-skewed record is deleted and reported as a
+        miss — the caller recomputes and overwrites it.
+        """
+        path = self._json_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except FileNotFoundError:
+            self._count("_misses")
+            return None
+        except (OSError, ValueError):
+            self._drop(key)
+            self._count("_misses")
+            return None
+        try:
+            if meta["version"] != DISK_FORMAT_VERSION:
+                raise ValueError(f"version skew: {meta['version']}")
+            rank = artifacts_rank(artifacts)
+            if artifacts_rank(meta["artifacts"]) < rank:
+                # Not corrupt — just slimmer than requested.  Keep it (a
+                # later summary request can still use it) but miss now.
+                self._count("_misses")
+                return None
+            if rank == 0:
+                needed = []
+            elif rank == 1:
+                needed = list(_COMPACT_ARRAYS)
+            else:
+                needed = meta.get("arrays", [])
+            arrays: dict[str, np.ndarray] = {}
+            if needed:
+                with np.load(self._npz_path(key)) as payload:
+                    arrays = {name: payload[name] for name in needed}
+            run = StoredRun(
+                summary=_payload_summary(meta, arrays, artifacts),
+                offline_seconds=float(meta.get("offline_seconds", 0.0)),
+            )
+        except Exception:
+            # Truncated write, missing npz, schema drift: drop the record
+            # and recompute rather than failing the sweep.
+            self._drop(key)
+            self._count("_misses")
+            return None
+        self._count("_hits")
+        return run
+
+    def store(
+        self, key: RunKey, summary: RunSummary, offline_seconds: float = 0.0
+    ) -> None:
+        """Persist one record atomically (best-effort; never raises)."""
+        meta, arrays = _summary_payload(summary)
+        meta["version"] = DISK_FORMAT_VERSION
+        meta["offline_seconds"] = float(offline_seconds)
+        meta["key"] = {
+            "circuit_fingerprint": key.circuit_fingerprint,
+            "population_fingerprint": key.population_fingerprint,
+            "n_chips": key.n_chips,
+            "population_seed": key.population_seed,
+            "period": key.period,
+            "clock_period": key.clock_period,
+        }
+        try:
+            # Arrays land first, the JSON record last: a record is visible
+            # only once its whole payload is.  allow_nan=False keeps the
+            # records strict RFC 8259 JSON, readable by any tooling.
+            if arrays:
+                write_atomic(
+                    self._npz_path(key),
+                    lambda handle: np.savez(handle, **arrays),
+                )
+            else:
+                # A slimmer re-store must not leave a stale array file.
+                self._npz_path(key).unlink(missing_ok=True)
+            write_atomic(
+                self._json_path(key),
+                lambda handle: handle.write(
+                    json.dumps(meta, indent=1, allow_nan=False).encode()
+                ),
+            )
+        except Exception:
+            self._drop(key)
+            return
+        self._count("_stores")
+        self.prune()
+
+    def prune(self) -> None:
+        """Delete the oldest records past ``max_entries`` (by mtime)."""
+        prune_by_mtime(
+            self.root,
+            "run-*.json",
+            self.max_entries,
+            companions=lambda record: (record.with_suffix(".npz"),),
+        )
+
+    def clear(self) -> None:
+        """Delete every record (counters included)."""
+        for record in self.root.glob("run-*.json"):
+            record.unlink(missing_ok=True)
+            record.with_suffix(".npz").unlink(missing_ok=True)
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._stores = 0
+
+
+__all__ = [
+    "DISK_FORMAT_VERSION",
+    "RunKey",
+    "RunStore",
+    "StoreStats",
+    "StoredRun",
+]

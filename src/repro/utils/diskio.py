@@ -1,0 +1,68 @@
+"""Shared best-effort disk primitives for the persistent cache tiers.
+
+Both content-addressed stores — the preparation cache's disk tier
+(:mod:`repro.api.cache`) and the results store (:mod:`repro.results.store`)
+— need the same two operations: crash-safe single-file writes (temp file +
+atomic rename, so concurrent readers only ever see whole files) and
+oldest-first pruning by modification time.  They live here so the
+filesystem-hardening logic exists exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Iterable
+
+__all__ = ["prune_by_mtime", "write_atomic"]
+
+
+def write_atomic(path: Path, write: Callable[[object], None]) -> None:
+    """Write ``path`` via a temp file in the same directory + rename.
+
+    ``write`` receives the open binary file object.  On any failure the
+    temp file is removed and the exception propagates — the destination is
+    either fully written or untouched, never truncated.
+    """
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+        os.replace(tmp, path)  # atomic: readers see whole files only
+    except Exception:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def prune_by_mtime(
+    root: Path,
+    pattern: str,
+    max_entries: int | None,
+    companions: Callable[[Path], Iterable[Path]] | None = None,
+) -> None:
+    """Delete the oldest ``pattern`` files past ``max_entries`` (by mtime).
+
+    ``companions`` maps a pruned file to sibling payload files deleted
+    with it.  Other processes may share the directory and delete files
+    between glob and stat, so every step is best-effort.
+    """
+    if max_entries is None:
+        return
+    aged = []
+    for artifact in root.glob(pattern):
+        try:
+            aged.append((artifact.stat().st_mtime, artifact))
+        except OSError:
+            continue
+    aged.sort(key=lambda pair: pair[0])
+    for _, stale in aged[: max(0, len(aged) - max_entries)]:
+        doomed = [stale, *(companions(stale) if companions else ())]
+        for path in doomed:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue

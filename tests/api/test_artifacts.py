@@ -1,0 +1,154 @@
+"""Output retention modes and the new engine satellites.
+
+Covers the ``OnlineConfig.artifacts`` knob end to end (summary == compact
+== dense statistics, bit for bit where columns exist), the empty-population
+guards, and the fingerprint-based circuit dedupe of batch runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, OnlineConfig, Scenario
+from repro.api.engine import _CircuitTable
+from repro.core import ArtifactsNotRetained, ChipSource
+from repro.core.yields import chip_source, sample_circuit
+from repro.circuit import generate_circuit
+
+from _common import TINY_OFFLINE
+
+
+class TestArtifactsModes:
+    @pytest.fixture(scope="class")
+    def runs(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        source = chip_source(tiny_circuit, 26, seed=13)
+        engine = Engine(offline=TINY_OFFLINE)
+        prep = engine.prepare(tiny_circuit, t1, TINY_OFFLINE)
+        return {
+            mode: engine.run(
+                tiny_circuit, source, t1, preparation=prep,
+                online=OnlineConfig(artifacts=mode, chip_shard_size=7),
+            )
+            for mode in ("summary", "compact", "dense")
+        }
+
+    def test_statistics_identical_across_modes(self, runs):
+        dense = runs["dense"]
+        for mode in ("summary", "compact"):
+            run = runs[mode]
+            assert run.yield_fraction == dense.yield_fraction
+            assert run.mean_iterations == dense.mean_iterations
+            assert run.n_tested == dense.n_tested
+            assert (
+                run.iterations_per_tested_path
+                == dense.iterations_per_tested_path
+            )
+
+    def test_compact_columns_match_dense(self, runs):
+        np.testing.assert_array_equal(
+            runs["compact"].passed, runs["dense"].passed
+        )
+        np.testing.assert_array_equal(
+            runs["compact"].iterations, runs["dense"].test.iterations
+        )
+        assert runs["compact"].iterations.dtype == np.uint16
+
+    def test_retention_guards(self, runs):
+        with pytest.raises(ArtifactsNotRetained):
+            runs["summary"].passed
+        with pytest.raises(ArtifactsNotRetained):
+            runs["summary"].bounds_lower
+        with pytest.raises(ArtifactsNotRetained):
+            runs["compact"].test
+        assert runs["summary"].artifacts == "summary"
+
+    def test_dense_default_untouched(self, tiny_circuit, tiny_periods):
+        """Direct runs keep the historical dense surface by default."""
+        t1, _ = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        run = engine.run(
+            tiny_circuit, sample_circuit(tiny_circuit, 10, seed=5), t1,
+            clock_period=t1,
+        )
+        assert run.artifacts == "dense"
+        assert run.bounds_lower.shape == (10, tiny_circuit.paths.n_paths)
+
+    def test_summary_mode_sharded_pool_matches_serial(
+        self, tiny_circuit, tiny_periods
+    ):
+        t1, _ = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        scenario = Scenario(
+            tiny_circuit, period=t1, n_chips=26, seed=13, clock_period=t1,
+            offline=TINY_OFFLINE,
+            online=OnlineConfig(artifacts="summary", chip_shard_size=9),
+        )
+        (serial,) = engine.run_many([scenario])
+        (fanned,) = engine.run_many([scenario], max_workers=2)
+        assert fanned.yield_fraction == serial.yield_fraction
+        assert fanned.n_chips == serial.n_chips == 26
+        assert fanned.summary.n_passed == serial.summary.n_passed
+        # Welford merge order is the shard order in both paths.
+        assert fanned.mean_iterations == serial.mean_iterations
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(artifacts="everything")
+
+
+class TestEmptyPopulationGuards:
+    """Satellite: empty populations fail at construction, not as NaNs."""
+
+    def test_scenario_rejects_zero_chips(self, tiny_circuit):
+        with pytest.raises(ValueError, match="at least one chip"):
+            Scenario(tiny_circuit, period=100.0, n_chips=0)
+
+    def test_scenario_rejects_negative_chips(self, tiny_circuit):
+        with pytest.raises(ValueError, match="at least one chip"):
+            Scenario(tiny_circuit, period=100.0, n_chips=-5)
+
+    def test_scenario_rejects_empty_explicit_population(self, tiny_circuit):
+        population = sample_circuit(tiny_circuit, 4, seed=1).subset([])
+        with pytest.raises(ValueError, match="empty"):
+            Scenario(tiny_circuit, period=100.0, population=population)
+
+    def test_chip_source_rejects_zero_chips(self, tiny_circuit):
+        with pytest.raises(ValueError, match="positive"):
+            ChipSource(tiny_circuit, 0, seed=1)
+
+
+class TestCircuitDedupe:
+    """Satellite: batch circuits dedupe by content, not object identity."""
+
+    def test_structural_twins_share_one_slot(self, tiny_spec):
+        table = _CircuitTable()
+        a = generate_circuit(tiny_spec, seed=1234)
+        b = generate_circuit(tiny_spec, seed=1234)
+        assert a is not b
+        assert table.index(a) == table.index(b) == 0
+        assert len(table.circuits) == 1
+
+    def test_distinct_circuits_get_distinct_slots(self, tiny_spec):
+        table = _CircuitTable()
+        a = generate_circuit(tiny_spec, seed=1234)
+        b = generate_circuit(tiny_spec, seed=4321)
+        assert table.index(a) != table.index(b)
+        assert len(table.circuits) == 2
+
+    def test_run_many_with_twin_circuits(self, tiny_spec, tiny_periods):
+        """Two scenarios over separately loaded twins: one preparation,
+        identical records, and the pool path works off one shipped copy."""
+        t1, _ = tiny_periods
+        a = generate_circuit(tiny_spec, seed=1234)
+        b = generate_circuit(tiny_spec, seed=1234)
+        engine = Engine(offline=TINY_OFFLINE)
+        records = engine.run_many(
+            [
+                Scenario(a, period=t1, n_chips=8, seed=2, clock_period=t1),
+                Scenario(b, period=t1, n_chips=8, seed=2, clock_period=t1),
+            ],
+            max_workers=2,
+        )
+        assert engine.cache_stats.computes == 1
+        assert records[0].yield_fraction == records[1].yield_fraction
+        assert records[0].mean_iterations == records[1].mean_iterations

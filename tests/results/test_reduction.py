@@ -1,0 +1,260 @@
+"""Streaming reduction substrate: moments, shard summaries, merges."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import ConfigurationResult
+from repro.core.population import PopulationTestResult
+from repro.core.reduction import (
+    ARTIFACT_MODES,
+    ArtifactsNotRetained,
+    Moments,
+    RunReducer,
+    artifacts_rank,
+    merge_run_summaries,
+    summarize_shard,
+)
+from repro.core.framework import PopulationRunResult
+
+
+def _shard_artifacts(n_chips, seed, n_measured=3, n_paths=5, n_buffers=2):
+    """Synthetic stage artifacts for one chip shard."""
+    rng = np.random.default_rng(seed)
+    test = PopulationTestResult(
+        measured_indices=np.arange(n_measured, dtype=np.intp),
+        lower=rng.normal(10.0, 1.0, size=(n_chips, n_measured)),
+        upper=rng.normal(12.0, 1.0, size=(n_chips, n_measured)),
+        iterations=rng.integers(5, 40, size=n_chips),
+        iterations_per_batch=rng.integers(1, 9, size=(n_chips, 2)),
+    )
+    configuration = ConfigurationResult(
+        feasible=rng.random(n_chips) < 0.9,
+        settings=rng.normal(size=(n_chips, n_buffers)),
+        xi=rng.random(n_chips),
+        buffer_names=("B0", "B1"),
+    )
+    return dict(
+        period=100.0,
+        test=test,
+        bounds_lower=rng.normal(size=(n_chips, n_paths)),
+        bounds_upper=rng.normal(size=(n_chips, n_paths)),
+        configuration=configuration,
+        passed=rng.random(n_chips) < 0.7,
+        tester_seconds_per_chip=0.25,
+        config_seconds_per_chip=0.5,
+    )
+
+
+class TestMoments:
+    def test_from_values_matches_numpy(self, rng):
+        values = rng.normal(3.0, 2.0, size=257)
+        m = Moments.from_values(values)
+        assert m.count == 257
+        assert m.mean == pytest.approx(values.mean())
+        assert m.variance == pytest.approx(values.var())
+        assert (m.min, m.max) == (values.min(), values.max())
+
+    def test_merge_matches_single_pass(self, rng):
+        values = rng.normal(size=1000)
+        merged = Moments()
+        for chunk in np.array_split(values, 7):
+            merged = merged.merge(Moments.from_values(chunk))
+        whole = Moments.from_values(values)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.m2 == pytest.approx(whole.m2, rel=1e-9)
+        assert (merged.min, merged.max) == (whole.min, whole.max)
+
+    def test_empty_is_merge_identity(self):
+        m = Moments.from_values(np.array([1.0, 2.0]))
+        assert Moments().merge(m) == m
+        assert m.merge(Moments()) == m
+        assert Moments().variance == 0.0
+
+
+class TestSummarizeShard:
+    def test_mode_rank_ordering(self):
+        assert [artifacts_rank(m) for m in ARTIFACT_MODES] == [0, 1, 2]
+        with pytest.raises(ValueError):
+            artifacts_rank("everything")
+
+    @pytest.mark.parametrize("mode", ARTIFACT_MODES)
+    def test_scalars_identical_across_modes(self, mode):
+        kwargs = _shard_artifacts(40, seed=1)
+        summary = summarize_shard(**kwargs, artifacts=mode)
+        assert summary.n_chips == 40
+        assert summary.n_passed == int(kwargs["passed"].sum())
+        assert summary.yield_fraction == kwargs["passed"].mean()
+        assert summary.mean_iterations == kwargs["test"].iterations.mean()
+        assert summary.n_measured == 3
+        assert summary.retains("summary")
+
+    def test_retention_contents(self):
+        kwargs = _shard_artifacts(16, seed=2)
+        summary = summarize_shard(**kwargs, artifacts="summary")
+        compact = summarize_shard(**kwargs, artifacts="compact")
+        dense = summarize_shard(**kwargs, artifacts="dense")
+        assert summary.passed is None and summary.dense is None
+        assert compact.dense is None
+        np.testing.assert_array_equal(compact.passed, kwargs["passed"])
+        np.testing.assert_array_equal(
+            compact.iterations, kwargs["test"].iterations
+        )
+        assert compact.iterations.dtype == np.uint16
+        assert dense.dense.test is kwargs["test"]
+        assert dense.retains("compact") and not compact.retains("dense")
+
+    def test_iteration_column_upcasts_past_uint16(self):
+        kwargs = _shard_artifacts(4, seed=3)
+        kwargs["test"] = PopulationTestResult(
+            measured_indices=kwargs["test"].measured_indices,
+            lower=kwargs["test"].lower[:4],
+            upper=kwargs["test"].upper[:4],
+            iterations=np.array([1, 2, 3, 2**17]),
+            iterations_per_batch=kwargs["test"].iterations_per_batch[:4],
+        )
+        compact = summarize_shard(**kwargs, artifacts="compact")
+        assert compact.iterations.dtype == np.uint32
+        assert int(compact.iterations[-1]) == 2**17
+
+    def test_xi_moments_cover_feasible_chips_only(self):
+        kwargs = _shard_artifacts(30, seed=4)
+        feasible = np.asarray(kwargs["configuration"].feasible, dtype=bool)
+        summary = summarize_shard(**kwargs, artifacts="summary")
+        xi = np.asarray(kwargs["configuration"].xi)[feasible]
+        assert summary.xi_moments.count == int(feasible.sum())
+        assert summary.xi_moments.mean == pytest.approx(xi.mean())
+        assert summary.n_feasible == int(feasible.sum())
+
+
+class TestMerge:
+    @pytest.mark.parametrize("mode", ARTIFACT_MODES)
+    def test_merge_equals_whole(self, mode):
+        """Summarizing shards then merging == summarizing the whole."""
+        a = _shard_artifacts(24, seed=5)
+        b = _shard_artifacts(40, seed=6)
+        whole = dict(
+            period=100.0,
+            test=PopulationTestResult(
+                measured_indices=a["test"].measured_indices,
+                lower=np.vstack([a["test"].lower, b["test"].lower]),
+                upper=np.vstack([a["test"].upper, b["test"].upper]),
+                iterations=np.concatenate(
+                    [a["test"].iterations, b["test"].iterations]
+                ),
+                iterations_per_batch=np.vstack(
+                    [a["test"].iterations_per_batch,
+                     b["test"].iterations_per_batch]
+                ),
+            ),
+            bounds_lower=np.vstack([a["bounds_lower"], b["bounds_lower"]]),
+            bounds_upper=np.vstack([a["bounds_upper"], b["bounds_upper"]]),
+            configuration=ConfigurationResult(
+                feasible=np.concatenate(
+                    [a["configuration"].feasible, b["configuration"].feasible]
+                ),
+                settings=np.vstack(
+                    [a["configuration"].settings, b["configuration"].settings]
+                ),
+                xi=np.concatenate(
+                    [a["configuration"].xi, b["configuration"].xi]
+                ),
+                buffer_names=("B0", "B1"),
+            ),
+            passed=np.concatenate([a["passed"], b["passed"]]),
+            tester_seconds_per_chip=0.25,
+            config_seconds_per_chip=0.5,
+        )
+        merged = merge_run_summaries([
+            summarize_shard(**a, artifacts=mode),
+            summarize_shard(**b, artifacts=mode),
+        ])
+        reference = summarize_shard(**whole, artifacts=mode)
+        assert merged.n_chips == reference.n_chips == 64
+        assert merged.n_passed == reference.n_passed
+        assert merged.n_feasible == reference.n_feasible
+        assert merged.mean_iterations == pytest.approx(
+            reference.mean_iterations, rel=1e-12
+        )
+        assert merged.tester_seconds_per_chip == pytest.approx(0.25)
+        if mode != "summary":
+            # Column modes recompute moments exactly, bit for bit.
+            assert merged.mean_iterations == reference.mean_iterations
+            np.testing.assert_array_equal(merged.passed, reference.passed)
+            np.testing.assert_array_equal(
+                merged.iterations, reference.iterations
+            )
+        if mode == "dense":
+            np.testing.assert_array_equal(
+                merged.dense.bounds_lower, reference.dense.bounds_lower
+            )
+            np.testing.assert_array_equal(
+                merged.dense.configuration.settings,
+                reference.dense.configuration.settings,
+            )
+
+    def test_single_part_passes_through(self):
+        part = summarize_shard(**_shard_artifacts(8, seed=7))
+        assert merge_run_summaries([part]) is part
+
+    def test_mixed_modes_rejected(self):
+        kwargs = _shard_artifacts(8, seed=8)
+        with pytest.raises(ValueError, match="artifact modes"):
+            merge_run_summaries([
+                summarize_shard(**kwargs, artifacts="summary"),
+                summarize_shard(**kwargs, artifacts="dense"),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_run_summaries([])
+
+
+class TestRunReducer:
+    def test_empty_population_rejected(self):
+        reducer = RunReducer(100.0, "summary")
+        with pytest.raises(ValueError, match="empty population"):
+            reducer.finalize()
+
+    def test_shard_loop_accumulates(self):
+        reducer = RunReducer(100.0, "compact")
+        for seed, n in ((1, 10), (2, 20)):
+            reducer.add_shard(**{
+                k: v
+                for k, v in _shard_artifacts(n, seed=seed).items()
+                if k != "period"
+            })
+        final = reducer.finalize()
+        assert final.n_chips == 30
+        assert final.passed.shape == (30,)
+
+
+class TestPopulationRunResultView:
+    def test_legacy_dense_construction(self):
+        kwargs = _shard_artifacts(12, seed=9)
+        result = PopulationRunResult(**kwargs)
+        assert result.artifacts == "dense"
+        assert result.n_chips == 12
+        assert result.yield_fraction == kwargs["passed"].mean()
+        np.testing.assert_array_equal(
+            result.bounds_lower, kwargs["bounds_lower"]
+        )
+        assert result.test is kwargs["test"]
+
+    def test_slim_modes_guard_dense_accessors(self):
+        kwargs = _shard_artifacts(12, seed=10)
+        summary_only = PopulationRunResult.from_summary(
+            summarize_shard(**kwargs, artifacts="summary")
+        )
+        compact = PopulationRunResult.from_summary(
+            summarize_shard(**kwargs, artifacts="compact")
+        )
+        assert summary_only.mean_iterations == kwargs["test"].iterations.mean()
+        for accessor in ("test", "bounds_lower", "bounds_upper", "configuration"):
+            with pytest.raises(ArtifactsNotRetained):
+                getattr(summary_only, accessor)
+            with pytest.raises(ArtifactsNotRetained):
+                getattr(compact, accessor)
+        with pytest.raises(ArtifactsNotRetained):
+            summary_only.passed
+        np.testing.assert_array_equal(compact.passed, kwargs["passed"])

@@ -1,0 +1,246 @@
+"""RunStore: keying, bit-identical round-trips, corruption recovery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import ConfigurationResult
+from repro.core.population import PopulationTestResult
+from repro.core.reduction import ARTIFACT_MODES, summarize_shard
+from repro.results import DISK_FORMAT_VERSION, RunKey, RunStore
+
+
+def _key(**overrides) -> RunKey:
+    base = dict(
+        circuit_fingerprint="c" * 64,
+        population_fingerprint="c" * 64,
+        n_chips=100,
+        population_seed=7,
+        period=100.0,
+        clock_period=100.0,
+        offline_fields=(1, 2.5, "largest", None, True),
+        online_fields=(True, 1000.0, 1.0, None),
+    )
+    base.update(overrides)
+    return RunKey(**base)
+
+
+def _summary(n_chips=20, seed=3, artifacts="compact"):
+    rng = np.random.default_rng(seed)
+    n_measured = 4
+    test = PopulationTestResult(
+        measured_indices=np.arange(n_measured, dtype=np.intp),
+        lower=rng.normal(size=(n_chips, n_measured)),
+        upper=rng.normal(size=(n_chips, n_measured)),
+        iterations=rng.integers(1, 50, size=n_chips),
+        iterations_per_batch=rng.integers(0, 9, size=(n_chips, 2)),
+    )
+    configuration = ConfigurationResult(
+        feasible=rng.random(n_chips) < 0.9,
+        settings=rng.normal(size=(n_chips, 2)),
+        xi=rng.random(n_chips),
+        buffer_names=("B0", "B1"),
+    )
+    return summarize_shard(
+        period=101.25,
+        test=test,
+        bounds_lower=rng.normal(size=(n_chips, 6)),
+        bounds_upper=rng.normal(size=(n_chips, 6)),
+        configuration=configuration,
+        passed=rng.random(n_chips) < 0.6,
+        tester_seconds_per_chip=0.125,
+        config_seconds_per_chip=0.0625,
+        artifacts=artifacts,
+    )
+
+
+class TestRunKey:
+    def test_equal_keys_equal_digests(self):
+        assert _key().digest() == _key().digest()
+
+    @pytest.mark.parametrize("field,value", [
+        ("circuit_fingerprint", "d" * 64),
+        ("population_fingerprint", "d" * 64),
+        ("n_chips", 101),
+        ("population_seed", 8),
+        ("period", 100.0000001),
+        ("clock_period", 99.0),
+        ("offline_fields", (1, 2.5, "largest", None, False)),
+        ("online_fields", (False, 1000.0, 1.0, None)),
+    ])
+    def test_any_field_changes_digest(self, field, value):
+        assert _key().digest() != _key(**{field: value}).digest()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ARTIFACT_MODES)
+    def test_bit_identical_reload(self, tmp_path, mode):
+        store = RunStore(tmp_path)
+        summary = _summary(artifacts=mode)
+        key = _key()
+        store.store(key, summary, offline_seconds=1.5)
+        assert key in store and len(store) == 1
+
+        stored = store.load(key, artifacts=mode)
+        loaded = stored.summary
+        assert stored.offline_seconds == 1.5
+        assert loaded.period == summary.period
+        assert loaded.n_chips == summary.n_chips
+        assert loaded.n_passed == summary.n_passed
+        assert loaded.n_feasible == summary.n_feasible
+        assert loaded.iteration_moments == summary.iteration_moments
+        assert loaded.xi_moments == summary.xi_moments
+        assert loaded.tester_seconds_per_chip == summary.tester_seconds_per_chip
+        assert loaded.artifacts == mode
+        if mode == "summary":
+            assert loaded.passed is None and loaded.dense is None
+            return
+        np.testing.assert_array_equal(loaded.passed, summary.passed)
+        assert loaded.passed.dtype == summary.passed.dtype
+        np.testing.assert_array_equal(loaded.iterations, summary.iterations)
+        assert loaded.iterations.dtype == summary.iterations.dtype
+        if mode == "dense":
+            for name in ("measured_indices", "lower", "upper", "iterations",
+                         "iterations_per_batch"):
+                np.testing.assert_array_equal(
+                    getattr(loaded.dense.test, name),
+                    getattr(summary.dense.test, name),
+                )
+            np.testing.assert_array_equal(
+                loaded.dense.bounds_lower, summary.dense.bounds_lower
+            )
+            np.testing.assert_array_equal(
+                loaded.dense.bounds_upper, summary.dense.bounds_upper
+            )
+            np.testing.assert_array_equal(
+                loaded.dense.configuration.settings,
+                summary.dense.configuration.settings,
+            )
+            assert (
+                loaded.dense.configuration.buffer_names
+                == summary.dense.configuration.buffer_names
+            )
+
+    def test_retention_rank_serving(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = _key()
+        store.store(key, _summary(artifacts="compact"))
+        # A compact record serves summary and compact requests...
+        assert store.load(key, artifacts="summary") is not None
+        assert store.load(key, artifacts="compact") is not None
+        # ...but not dense, and the slim record survives the miss.
+        assert store.load(key, artifacts="dense") is None
+        assert key in store
+
+    def test_load_downgrades_to_requested_retention(self, tmp_path):
+        """A summary request against a dense record reads no arrays."""
+        store = RunStore(tmp_path)
+        key = _key()
+        dense = _summary(artifacts="dense")
+        store.store(key, dense)
+
+        slim = store.load(key, artifacts="summary").summary
+        assert slim.artifacts == "summary"
+        assert slim.passed is None and slim.dense is None
+        assert slim.n_passed == dense.n_passed
+        assert slim.iteration_moments == dense.iteration_moments
+
+        compact = store.load(key, artifacts="compact").summary
+        assert compact.artifacts == "compact" and compact.dense is None
+        np.testing.assert_array_equal(compact.passed, dense.passed)
+        np.testing.assert_array_equal(compact.iterations, dense.iterations)
+
+    def test_records_are_strict_json(self, tmp_path):
+        """Even empty moments (inf extrema) serialize as strict RFC 8259."""
+        store = RunStore(tmp_path)
+        key = _key()
+        from repro.core.reduction import Moments
+
+        summary = _summary(artifacts="summary")
+        # No feasible chip: xi moments are empty (min=inf, max=-inf).
+        summary.xi_moments = Moments()
+        store.store(key, summary)
+
+        def reject_constants(value):  # Infinity/NaN tokens -> parse error
+            raise ValueError(f"non-standard JSON constant {value!r}")
+
+        text = store._json_path(key).read_text(encoding="utf-8")
+        meta = json.loads(text, parse_constant=reject_constants)
+        assert meta["xi_moments"]["min"] is None
+        loaded = store.load(key).summary
+        assert loaded.xi_moments == Moments()
+
+    def test_dense_restore_replaces_slim_record(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = _key()
+        store.store(key, _summary(artifacts="summary"))
+        store.store(key, _summary(artifacts="dense"))
+        assert store.load(key, artifacts="dense") is not None
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.load(_key()) is None
+        assert store.stats.misses == 1 and store.stats.hits == 0
+
+
+class TestCorruption:
+    def test_corrupt_json_dropped_and_missed(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = _key()
+        store.store(key, _summary())
+        store._json_path(key).write_text("{ truncated", encoding="utf-8")
+        assert store.load(key) is None
+        assert not store._json_path(key).exists()
+        assert not store._npz_path(key).exists()
+
+    def test_corrupt_npz_dropped_and_missed(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = _key()
+        store.store(key, _summary(artifacts="compact"))
+        store._npz_path(key).write_bytes(b"not an npz")
+        assert store.load(key, artifacts="compact") is None
+        assert key not in store
+
+    def test_version_skew_dropped(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = _key()
+        store.store(key, _summary())
+        meta = json.loads(store._json_path(key).read_text())
+        meta["version"] = DISK_FORMAT_VERSION + 1
+        store._json_path(key).write_text(json.dumps(meta))
+        assert store.load(key) is None
+        assert key not in store
+
+
+class TestHousekeeping:
+    def test_prune_drops_oldest(self, tmp_path):
+        import os
+
+        store = RunStore(tmp_path, max_entries=2)
+        keys = [_key(population_seed=s) for s in range(4)]
+        for age, key in enumerate(keys):
+            store.store(key, _summary())
+            # Distinct mtimes regardless of filesystem resolution.
+            stamp = 1_000_000 + age
+            os.utime(store._json_path(key), (stamp, stamp))
+        store.prune()
+        assert len(store) == 2
+        assert keys[0] not in store and keys[1] not in store
+        assert keys[2] in store and keys[3] in store
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.store(_key(), _summary(artifacts="compact"))
+        store.clear()
+        assert len(store) == 0
+        assert list(tmp_path.glob("run-*")) == []
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.store(_key(), _summary(artifacts="dense"))
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_invalid_max_entries(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunStore(tmp_path, max_entries=0)

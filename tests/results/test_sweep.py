@@ -1,0 +1,280 @@
+"""Engine.sweep: grids, store integration, interrupted-sweep resume."""
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, OfflineConfig, OnlineConfig, Scenario, ScenarioGrid
+from repro.results import RunStore
+
+import repro.api.engine as engine_module
+
+TINY_OFFLINE = OfflineConfig(hold_samples=400)
+
+#: Compact retention so records carry per-chip columns to compare bits on.
+COMPACT = OnlineConfig(artifacts="compact", chip_shard_size=7)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(tmp_path / "runs")
+
+
+@pytest.fixture()
+def counting_runs(monkeypatch):
+    """Log of online-stage executions (one entry per _run_prepared call)."""
+    calls = []
+    real = engine_module._run_prepared
+
+    def wrapper(*args, **kwargs):
+        calls.append(args[2])  # the period
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine_module, "_run_prepared", wrapper)
+    return calls
+
+
+def _grid(circuit, t1, t2, online=COMPACT) -> ScenarioGrid:
+    return ScenarioGrid(
+        circuit,
+        periods=[t1, 0.5 * (t1 + t2), t2, 1.02 * t2],
+        n_chips=18,
+        clock_period=t1,
+        offline=TINY_OFFLINE,
+        online=online,
+    )
+
+
+def _assert_records_equal(a, b):
+    assert a.label == b.label and a.period == b.period
+    assert a.n_chips == b.n_chips
+    assert a.yield_fraction == b.yield_fraction
+    assert a.mean_iterations == b.mean_iterations
+    assert a.iterations_per_tested_path == b.iterations_per_tested_path
+    assert a.n_tested == b.n_tested
+    assert a.summary.iteration_moments == b.summary.iteration_moments
+    assert a.summary.xi_moments == b.summary.xi_moments
+    np.testing.assert_array_equal(a.summary.passed, b.summary.passed)
+    np.testing.assert_array_equal(a.summary.iterations, b.summary.iterations)
+
+
+class TestScenarioGrid:
+    def test_cartesian_expansion(self, tiny_circuit, tiny_periods):
+        t1, t2 = tiny_periods
+        grid = ScenarioGrid(
+            tiny_circuit, [t1, t2], n_chips=[10, 20], seeds=[1, 2, 3],
+            clock_period=t1,
+        )
+        scenarios = grid.scenarios()
+        assert len(grid) == len(scenarios) == 12
+        assert {s.period for s in scenarios} == {t1, t2}
+        assert {s.n_chips for s in scenarios} == {10, 20}
+        assert {s.seed for s in scenarios} == {1, 2, 3}
+        assert all(s.clock_period == t1 for s in scenarios)
+        # Labels disambiguate the non-singleton axes.
+        assert len({s.label for s in scenarios}) == 12
+
+    def test_scalar_axes_and_default_clock(self, tiny_circuit, tiny_periods):
+        t1, t2 = tiny_periods
+        grid = ScenarioGrid(tiny_circuit, [t2, t1], n_chips=9)
+        scenarios = grid.scenarios()
+        assert len(scenarios) == 2
+        # clock_period defaults to the first period listed: one preparation
+        # for the whole sweep.
+        assert all(s.clock_period == t2 for s in scenarios)
+
+    def test_online_axis_disambiguates_labels(self, tiny_circuit):
+        grid = ScenarioGrid(
+            tiny_circuit, 100.0,
+            online=[OnlineConfig(align=True), OnlineConfig(align=False)],
+        )
+        labels = [s.label for s in grid.scenarios()]
+        assert len(set(labels)) == 2
+
+    def test_empty_axis_rejected(self, tiny_circuit):
+        with pytest.raises(ValueError, match="periods"):
+            ScenarioGrid(tiny_circuit, [])
+
+    def test_grid_feeds_run_many(self, tiny_circuit, tiny_periods):
+        t1, _ = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        records = engine.run_many(
+            ScenarioGrid(tiny_circuit, t1, n_chips=8, offline=TINY_OFFLINE)
+        )
+        assert len(records) == 1 and records[0].period == t1
+
+
+class TestSweepStore:
+    def test_cold_sweep_populates_store(
+        self, tiny_circuit, tiny_periods, store
+    ):
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        records = list(engine.sweep(grid, store=store))
+        assert len(records) == 4
+        assert not any(r.from_store for r in records)
+        assert len(store) == 4
+        assert store.stats.stores == 4
+
+    def test_warm_sweep_runs_zero_stages(
+        self, tiny_circuit, tiny_periods, store, counting_runs
+    ):
+        """The acceptance contract: a completed sweep re-run against a warm
+        store executes zero offline and zero online stages."""
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        first = list(engine.sweep(grid, store=store))
+        assert len(counting_runs) == 4
+
+        counting_runs.clear()
+        warm_engine = Engine(offline=TINY_OFFLINE)  # fresh prep cache too
+        warm = list(warm_engine.sweep(grid, store=store))
+        assert counting_runs == []
+        assert warm_engine.cache_stats.computes == 0
+        assert all(r.from_store for r in warm)
+        for a, b in zip(first, warm):
+            _assert_records_equal(a, b)
+
+    def test_interrupted_sweep_resumes(
+        self, tiny_circuit, tiny_periods, store, counting_runs
+    ):
+        """Satellite: drop half the records and corrupt one of the rest —
+        completed scenarios load bit-identically, the missing and the
+        corrupt ones recompute."""
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        first = list(engine.sweep(grid, store=store))
+        counting_runs.clear()
+
+        # Interrupt: two of four records vanish...
+        records_on_disk = sorted(store.root.glob("run-*.json"))
+        assert len(records_on_disk) == 4
+        for path in records_on_disk[:2]:
+            path.with_suffix(".npz").unlink()
+            path.unlink()
+        # ...and one survivor's array payload is corrupted.
+        corrupt = records_on_disk[2]
+        corrupt.with_suffix(".npz").write_bytes(b"garbage")
+
+        resumed = list(engine.sweep(grid, store=store))
+        # Exactly the 3 missing/corrupt scenarios recomputed, 1 loaded.
+        assert len(counting_runs) == 3
+        assert sum(r.from_store for r in resumed) == 1
+        for a, b in zip(first, resumed):
+            _assert_records_equal(a, b)
+
+        # The store healed: a final pass is fully warm.
+        counting_runs.clear()
+        healed = list(engine.sweep(grid, store=store))
+        assert counting_runs == [] and all(r.from_store for r in healed)
+        for a, b in zip(first, healed):
+            _assert_records_equal(a, b)
+
+    def test_pool_sweep_matches_serial(
+        self, tiny_circuit, tiny_periods, store
+    ):
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        serial = list(engine.sweep(grid))
+        fanned = list(engine.sweep(grid, store=store, max_workers=2))
+        for a, b in zip(serial, fanned):
+            _assert_records_equal(a, b)
+        # The pool sweep populated the store; a serial re-run is warm.
+        warm = list(engine.sweep(grid, store=store))
+        assert all(r.from_store for r in warm)
+        for a, b in zip(serial, warm):
+            _assert_records_equal(a, b)
+
+    def test_abandoned_pool_sweep_salvages_completed_results(
+        self, tiny_circuit, tiny_periods, store
+    ):
+        """Breaking out of a pooled sweep still banks finished scenarios:
+        the shutdown path stores every scenario whose shards completed, so
+        the paid-for work survives the interrupt."""
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        sweep = engine.sweep(grid, store=store, max_workers=2)
+        first = next(sweep)
+        sweep.close()  # abandon mid-iteration (as a consumer break would)
+        assert not first.from_store
+        # At minimum the consumed scenario was stored; fast remaining
+        # shards may have been salvaged too.
+        assert 1 <= len(store) <= len(grid)
+        warm = list(engine.sweep(grid, store=store))
+        assert warm[0].from_store
+        _assert_records_equal(first, warm[0])
+
+    def test_sweep_yields_incrementally(
+        self, tiny_circuit, tiny_periods, store
+    ):
+        """Records arrive one by one, each stored before the next runs."""
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        sweep = engine.sweep(_grid(tiny_circuit, t1, t2), store=store)
+        first = next(sweep)
+        assert first.period == t1
+        assert len(store) == 1  # stored as soon as it completed
+        rest = list(sweep)
+        assert len(rest) == 3 and len(store) == 4
+
+    def test_summary_record_does_not_serve_denser_request(
+        self, tiny_circuit, tiny_periods, store
+    ):
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        summary_online = OnlineConfig(artifacts="summary")
+        scenario = Scenario(
+            tiny_circuit, period=t1, n_chips=12, clock_period=t1,
+            offline=TINY_OFFLINE, online=summary_online,
+        )
+        (slim,) = engine.sweep([scenario], store=store)
+        # Same scenario, dense retention: the slim record cannot serve it.
+        dense_scenario = Scenario(
+            tiny_circuit, period=t1, n_chips=12, clock_period=t1,
+            offline=TINY_OFFLINE, online=OnlineConfig(artifacts="dense"),
+        )
+        (dense,) = engine.sweep([dense_scenario], store=store)
+        assert not dense.from_store
+        assert dense.result.bounds_lower.shape[0] == 12
+        assert dense.yield_fraction == slim.yield_fraction
+        # The dense record now serves both retentions.
+        (warm_slim,) = engine.sweep([scenario], store=store)
+        (warm_dense,) = engine.sweep([dense_scenario], store=store)
+        assert warm_slim.from_store and warm_dense.from_store
+
+    def test_explicit_dense_population_is_not_stored(
+        self, tiny_circuit, tiny_periods, store
+    ):
+        from repro.core.yields import sample_circuit
+
+        t1, _ = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        population = sample_circuit(tiny_circuit, 10, seed=3)
+        scenario = Scenario(
+            tiny_circuit, period=t1, clock_period=t1, population=population,
+            offline=TINY_OFFLINE,
+        )
+        assert engine.run_key(scenario) is None
+        (record,) = engine.sweep([scenario], store=store)
+        assert len(store) == 0 and not record.from_store
+
+    def test_explicit_source_population_is_stored(
+        self, tiny_circuit, tiny_periods, store
+    ):
+        from repro.core.yields import chip_source
+
+        t1, _ = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        source = chip_source(tiny_circuit, 10, seed=3)
+        scenario = Scenario(
+            tiny_circuit, period=t1, clock_period=t1, population=source,
+            offline=TINY_OFFLINE,
+        )
+        key = engine.run_key(scenario)
+        assert key is not None and key.population_seed == 3
+        list(engine.sweep([scenario], store=store))
+        assert key in store

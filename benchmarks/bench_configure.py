@@ -1,0 +1,252 @@
+"""Configure/verify-stage kernel benchmark: old vs new relaxation engines.
+
+The configure stage's minimax-xi binary search and the verify stage's
+``ideal_feasibility`` both reduce to batched difference-constraint solves.
+This benchmark times :func:`repro.core.configuration.configure_chips` and
+:func:`repro.core.configuration.ideal_feasibility` with the two relaxation
+engines on the same inputs:
+
+* ``kernel="reference"`` — the pre-rework per-edge Python sweep, with the
+  edge list and per-buffer reductions rebuilt on every feasibility call;
+* ``kernel="vectorized"`` — the precompiled :class:`ConfigGraph` +
+  :class:`~repro.opt.diffconstraints.RelaxKernel` path (xi-affine weight
+  decomposition, level-scheduled segmented relaxation, binary-search
+  active-set compaction)
+
+and asserts the resulting ``ConfigurationResult``s are **bit-identical**
+(feasible mask, settings, xi — NaNs matching) on every scenario.
+
+Run it directly::
+
+    python benchmarks/bench_configure.py           # full sweep + JSON + gate
+    python benchmarks/bench_configure.py --smoke   # tiny scenario, CI mode
+
+Full mode sweeps population sizes and circuit scales, writes the result
+trajectory to ``benchmarks/BENCH_configure.json`` (``--json`` overrides the
+path, ``--no-json`` skips it) and fails unless the vectorized engine is at
+least ``--min-speedup`` (default 10x) faster on the headline scenario — a
+>= 2000-chip population over the largest circuit.  Smoke mode runs one
+small scenario and only checks the identity, so CI fails fast on kernel
+divergence without paying benchmark wall-clock.
+
+Scenario realism: circuits come from :func:`repro.circuit.generate_circuit`
+(buffer counts in the range of the paper's ISCAS89 testcases), populations
+from the correlated Monte-Carlo sampler, the operating period from the
+population's period distribution, and the per-path ranges mimic post-test
+bounds — a measurement window around each chip's true delay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_configure.json"
+
+#: (label, n_flipflops, n_buffers, n_paths); gates scale with flip-flops.
+CIRCUITS = [
+    ("small", 40, 20, 80),
+    ("medium", 120, 60, 240),
+    ("large", 200, 100, 400),
+]
+
+SMOKE_CIRCUIT = ("smoke", 16, 8, 32)
+
+
+def build_scenario(
+    circuit_spec: tuple[str, int, int, int], n_chips: int, seed: int = 11
+):
+    """A configure-stage problem: structure + post-test-style delay ranges."""
+    from repro.circuit import CircuitSpec, generate_circuit
+    from repro.circuit.insertion import plan_buffers
+    from repro.core.configuration import build_config_structure
+    from repro.core.holdtime import compute_hold_bounds
+    from repro.core.yields import chip_source, operating_periods
+
+    label, n_ffs, n_buffers, n_paths = circuit_spec
+    spec = CircuitSpec(
+        name=f"bench-configure-{label}",
+        n_flipflops=n_ffs,
+        n_gates=n_ffs * 20,
+        n_buffers=n_buffers,
+        n_paths=n_paths,
+    )
+    circuit = generate_circuit(spec, seed=7)
+    population = chip_source(circuit, n_chips, seed=seed).realize()
+    period = operating_periods(population)[0]
+    plan = plan_buffers(list(circuit.buffered_ffs), period)
+    hold = compute_hold_bounds(circuit.short_paths, plan, seed=3)
+    structure = build_config_structure(circuit.paths, plan, hold)
+
+    delays = population.required
+    rng = np.random.default_rng(seed + 1)
+    window = rng.uniform(0.01, 0.15, size=delays.shape) * np.abs(delays).mean()
+    return structure, delays - window, delays + window, delays, period
+
+
+def identical_results(a, b) -> bool:
+    return (
+        np.array_equal(a.feasible, b.feasible)
+        and np.array_equal(a.settings, b.settings, equal_nan=True)
+        and np.array_equal(a.xi, b.xi, equal_nan=True)
+    )
+
+
+def bench_scenario(circuit_spec, n_chips: int) -> dict:
+    """Time both engines on one scenario and verify bit-identity."""
+    from repro.core.configuration import configure_chips, ideal_feasibility
+
+    structure, lower, upper, delays, period = build_scenario(circuit_spec, n_chips)
+
+    start = time.perf_counter()
+    cfg_ref = configure_chips(structure, lower, upper, period, kernel="reference")
+    cfg_ref_s = time.perf_counter() - start
+    start = time.perf_counter()
+    cfg_new = configure_chips(structure, lower, upper, period)
+    cfg_new_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ideal_ref = ideal_feasibility(structure, delays, period, kernel="reference")
+    ideal_ref_s = time.perf_counter() - start
+    start = time.perf_counter()
+    ideal_new = ideal_feasibility(structure, delays, period)
+    ideal_new_s = time.perf_counter() - start
+
+    return {
+        "circuit": circuit_spec[0],
+        "n_buffers": structure.n_buffers,
+        "n_chips": n_chips,
+        "feasible_fraction": float(cfg_ref.feasible.mean()),
+        "ideal_yield_fraction": float(ideal_ref.feasible.mean()),
+        "configure_seconds_reference": cfg_ref_s,
+        "configure_seconds_vectorized": cfg_new_s,
+        "configure_speedup": cfg_ref_s / max(cfg_new_s, 1e-12),
+        "ideal_seconds_reference": ideal_ref_s,
+        "ideal_seconds_vectorized": ideal_new_s,
+        "ideal_speedup": ideal_ref_s / max(ideal_new_s, 1e-12),
+        "configure_identical": identical_results(cfg_ref, cfg_new),
+        "ideal_identical": identical_results(ideal_ref, ideal_new),
+    }
+
+
+def print_row(row: dict) -> None:
+    print(
+        f"{row['circuit']:>7} {row['n_buffers']:>5} {row['n_chips']:>7} "
+        f"{row['configure_seconds_reference']:>10.3f} "
+        f"{row['configure_seconds_vectorized']:>11.3f} "
+        f"{row['configure_speedup']:>8.1f}x "
+        f"{row['ideal_speedup']:>7.1f}x "
+        f"{'yes' if row['configure_identical'] and row['ideal_identical'] else 'NO':>9}"
+    )
+
+
+def run_smoke() -> int:
+    """CI mode: one tiny scenario, identity-checked old vs new."""
+    row = bench_scenario(SMOKE_CIRCUIT, 64)
+    ok = row["configure_identical"] and row["ideal_identical"]
+    if not ok:
+        print(
+            "FAIL: vectorized kernel diverged from the reference kernel on "
+            "the smoke scenario (configure identical: "
+            f"{row['configure_identical']}, ideal identical: "
+            f"{row['ideal_identical']})"
+        )
+        return 1
+    print(
+        f"PASS: configure + verify kernels bit-identical on the smoke "
+        f"scenario ({row['n_chips']} chips, {row['n_buffers']} buffers, "
+        f"feasible fraction {row['feasible_fraction']:.2f}); speedup gate "
+        "skipped in smoke mode"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one tiny scenario: verify old-vs-new identity, skip the gate",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[512, 2048],
+        help="population sizes to sweep per circuit scale",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=10.0,
+        help="required configure_chips speedup on the headline scenario "
+        "(largest circuit, >= 2000 chips)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=DEFAULT_JSON,
+        help=f"result trajectory path (default {DEFAULT_JSON.name})",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    header = (
+        f"{'circuit':>7} {'bufs':>5} {'chips':>7} {'cfg ref[s]':>10} "
+        f"{'cfg vec[s]':>11} {'cfg spd':>9} {'idl spd':>8} {'identical':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for circuit_spec in CIRCUITS:
+        for n_chips in args.sizes:
+            row = bench_scenario(circuit_spec, n_chips)
+            rows.append(row)
+            print_row(row)
+
+    if not args.no_json:
+        payload = {
+            "benchmark": "configure-kernel",
+            "sizes": args.sizes,
+            "scenarios": rows,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+
+    broken = [r for r in rows if not (r["configure_identical"] and r["ideal_identical"])]
+    if broken:
+        for r in broken:
+            print(
+                f"FAIL: kernels diverge on {r['circuit']}/{r['n_chips']} chips"
+            )
+        return 1
+    print("results bit-identical across kernels: yes")
+
+    headline = [
+        r for r in rows
+        if r["circuit"] == CIRCUITS[-1][0] and r["n_chips"] >= 2000
+    ]
+    if not headline:
+        print("FAIL: no >= 2000-chip scenario on the largest circuit was run")
+        return 1
+    final = max(headline, key=lambda r: r["n_chips"])
+    if final["configure_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: configure speedup {final['configure_speedup']:.1f}x on "
+            f"{final['circuit']}/{final['n_chips']} chips is below the "
+            f"required {args.min_speedup:.1f}x"
+        )
+        return 1
+    print(
+        f"PASS: vectorized configure kernel is {final['configure_speedup']:.1f}x "
+        f"faster on {final['circuit']} at {final['n_chips']} chips "
+        f"(>= {args.min_speedup:.1f}x required), ideal_feasibility "
+        f"{final['ideal_speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

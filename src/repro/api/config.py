@@ -80,6 +80,19 @@ class OnlineConfig:
     chip_shard_size: int | None = None
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
+    # Relaxation engine for the configure stage's feasibility solves:
+    #   "vectorized" — the precompiled ConfigGraph + RelaxKernel path
+    #                  (the default; orders of magnitude faster at scale).
+    #   "reference"  — the historical per-edge Python sweep, kept for A/B
+    #                  identity checks and benchmarks.
+    # Both engines produce bit-identical ConfigurationResults (pinned by
+    # tests and benchmarks/bench_configure.py), so like `artifacts` this
+    # knob is excluded from result_fields().  (Caveat, mirroring the
+    # moments one below: on continuous-mode problems — no shared buffer
+    # lattice — witness settings can differ below the solver epsilon when
+    # two constraint chains tie within 1e-9; lattice-mode results re-snap
+    # and are immune.  See repro.opt.diffconstraints.)
+    configure_kernel: str = "vectorized"
     # Output retention: what a run keeps per chip.
     #   "dense"   — the historical full artifacts (test result, (n_chips,
     #               n_paths) bounds, per-chip configuration).  The default,
@@ -94,11 +107,17 @@ class OnlineConfig:
     artifacts: str = "dense"
 
     def __post_init__(self) -> None:
+        from repro.core.configuration import KERNELS
         from repro.core.reduction import artifacts_rank
 
         if self.chip_shard_size is not None and self.chip_shard_size < 1:
             raise ValueError("chip_shard_size must be >= 1")
         artifacts_rank(self.artifacts)
+        if self.configure_kernel not in KERNELS:
+            raise ValueError(
+                f"configure_kernel must be one of {KERNELS}, "
+                f"got {self.configure_kernel!r}"
+            )
 
     def result_fields(self) -> tuple:
         """The knobs that determine a run's *numbers*.

@@ -355,6 +355,7 @@ class ConfigureStage:
                 bounds.upper,
                 period,
                 xi_tolerance=self.online.xi_tolerance,
+                kernel=self.online.configure_kernel,
             )
         n_chips = bounds.lower.shape[0]
         return ConfigArtifact(

@@ -15,6 +15,7 @@ from repro.core.alignment import (
     solve_alignment_milp,
 )
 from repro.core.configuration import (
+    ConfigGraph,
     ConfigStructure,
     ConfigurationResult,
     build_config_structure,
@@ -91,6 +92,7 @@ __all__ = [
     "ChipSource",
     "ChipTestResult",
     "ConditionalPredictor",
+    "ConfigGraph",
     "ConfigStructure",
     "ConfigurationResult",
     "CircuitPopulation",

@@ -10,9 +10,20 @@ as feasibility allows: minimize the largest optimism ``xi`` with
 Key structural fact: for a candidate ``xi`` the problem reduces to a
 *difference-constraint system* — eliminate ``D'`` and each path contributes
 ``x_j - x_i >= max(l, u - xi) - Td``.  The minimal ``xi`` is found by
-binary search with (chip-batched, lattice-exact) Bellman–Ford feasibility,
+binary search with (chip-batched, lattice-exact) min-plus feasibility,
 replacing the paper's per-chip Gurobi LP at a fraction of the cost; a MILP
 formulation is kept for cross-checking.
+
+Performance structure: the constraint graph is chip-independent and every
+dynamic edge weight is *xi-affine* — either a constant or ``min(c, Td -
+max(L, U - xi))`` with ``L``/``U`` xi-independent per-chip path maxima.
+:class:`ConfigGraph` precompiles the graph (one
+:class:`~repro.opt.diffconstraints.RelaxKernel`) and hoists those maxima
+once per (structure, chip shard), so each binary-search step is pure
+elementwise work on preallocated buffers plus one vectorized relaxation
+solve; the search itself compacts to still-searching chips each step.  The
+historical per-edge Python path is retained behind ``kernel="reference"``
+for bit-identity tests and ``benchmarks/bench_configure.py``.
 
 Parallel paths between the same buffer pair collapse exactly:
 ``max_p max(l_p, u_p - xi) = max(max_p l_p, max_p u_p - xi)``.
@@ -27,11 +38,18 @@ import numpy as np
 from repro.circuit.buffers import BufferPlan
 from repro.circuit.paths import PathSet
 from repro.core.holdtime import HoldBounds
-from repro.opt.diffconstraints import bellman_ford
+from repro.opt.diffconstraints import RelaxKernel, bellman_ford_reference
 from repro.opt.model import Model, ObjectiveSense, VarType
 from repro.opt.solve import solve
 
 _EPS = 1e-9
+
+#: Relaxation engines accepted by :func:`configure_chips` and
+#: :func:`ideal_feasibility`.  "vectorized" is the precompiled
+#: :class:`ConfigGraph` path; "reference" rebuilds the edge list and runs
+#: the per-edge Python sweep every step, exactly as before the kernel
+#: rework (kept for A/B identity checks and benchmarks).
+KERNELS = ("vectorized", "reference")
 
 
 @dataclass(frozen=True)
@@ -139,17 +157,156 @@ class ConfigurationResult:
     buffer_names: tuple[str, ...]
 
 
-def _feasibility(
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+class ConfigGraph:
+    """Precompiled configure/verify problem for one chip shard.
+
+    Everything that does not depend on ``xi`` is computed once: the edge
+    arrays (compiled into a destination-grouped
+    :class:`~repro.opt.diffconstraints.RelaxKernel`), the static weight
+    caps, and the per-chip path-group maxima ``L``/``U``.  Every dynamic
+    edge weight then has the xi-affine form
+
+        w_e(xi) = min(c_e, Td - max(L_e, U_e - xi))
+
+    — buffer-range edges cap at the static bound, hold edges are pure
+    constants (``L = U = -inf``), and pair edges are uncapped (``c =
+    +inf``) — so :meth:`weights` is five elementwise operations on a
+    preallocated ``(n_chips, n_edges)`` buffer and :meth:`feasibility` is
+    one kernel solve.  ``take`` compacts the shard to a row subset for the
+    binary search's active set.
+    """
+
+    def __init__(
+        self,
+        structure: ConfigStructure,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        period: float,
+    ) -> None:
+        lower = np.atleast_2d(np.asarray(lower, dtype=float))
+        upper = np.atleast_2d(np.asarray(upper, dtype=float))
+        nb = structure.n_buffers
+        ref = nb
+        n_chips = lower.shape[0]
+
+        edges_u: list[int] = []
+        edges_v: list[int] = []
+        const: list[float] = []
+        seg_l: list[np.ndarray | None] = []
+        seg_u: list[np.ndarray | None] = []
+
+        def add_edge(u, v, cap, path_idx):
+            edges_u.append(u)
+            edges_v.append(v)
+            const.append(cap)
+            if path_idx is None or not len(path_idx):
+                seg_l.append(None)
+                seg_u.append(None)
+            else:
+                seg_l.append(lower[:, path_idx].max(axis=1))
+                seg_u.append(upper[:, path_idx].max(axis=1))
+
+        for b in range(nb):
+            # x_b <= dyn_upper  (ref -> b); x_b >= dyn_lower (b -> ref),
+            # encoded as weight -dyn_lower.  -max(s, need - Td) is exactly
+            # min(-s, Td - need), which fits the shared affine form.
+            add_edge(ref, b, float(structure.static_upper[b]), structure.from_paths[b])
+            add_edge(b, ref, -float(structure.static_lower[b]), structure.into_paths[b])
+        for a, b, lam in structure.hold_edges:
+            # x_a - x_b >= lam  <=>  x_b - x_a <= -lam
+            add_edge(a, b, -lam, None)
+        for sb, tb, path_idx in structure.pair_edges:
+            # x_snk - x_src >= need - Td  <=>  x_src - x_snk <= Td - need
+            add_edge(tb, sb, _POS_INF, path_idx)
+
+        self.structure = structure
+        self.period = float(period)
+        self.step = structure.step
+        self.n_chips = n_chips
+        self.n_buffers = nb
+        self.kernel = RelaxKernel(
+            nb + 1,
+            np.array(edges_u, dtype=np.intp),
+            np.array(edges_v, dtype=np.intp),
+        )
+        n_edges = self.kernel.n_edges
+        # Store per-chip arrays as (n_chips, n_edges) *in the kernel's
+        # destination-grouped edge order*, so weights() writes the buffer
+        # solve_rows consumes directly and take() slices contiguous rows.
+        order = self.kernel.order
+        self._const = np.array(const, dtype=float)[order][None, :]
+        lmat = np.full((n_chips, n_edges), _NEG_INF)
+        umat = np.full((n_chips, n_edges), _NEG_INF)
+        for e, (lcol, ucol) in enumerate(zip(seg_l, seg_u)):
+            if lcol is not None:
+                lmat[:, e] = lcol
+                umat[:, e] = ucol
+        self._lmax = np.ascontiguousarray(lmat[:, order])
+        self._umax = np.ascontiguousarray(umat[:, order])
+        self._wbuf = np.empty((n_chips, n_edges))
+
+    def take(self, rows: np.ndarray) -> "ConfigGraph":
+        """Row-compacted copy for ``rows`` (local chip indices)."""
+        clone = object.__new__(ConfigGraph)
+        clone.structure = self.structure
+        clone.period = self.period
+        clone.step = self.step
+        clone.n_buffers = self.n_buffers
+        clone.kernel = self.kernel
+        clone._const = self._const
+        clone._lmax = self._lmax[rows]
+        clone._umax = self._umax[rows]
+        clone.n_chips = clone._lmax.shape[0]
+        clone._wbuf = np.empty_like(clone._lmax)
+        return clone
+
+    def weights(self, xi: np.ndarray) -> np.ndarray:
+        """Edge weights at per-chip optimism ``xi``, destination-grouped.
+
+        Pure elementwise work into the preallocated buffer; with a shared
+        lattice the weights are floored to multiples of the step, which
+        keeps the discrete problem exact (see
+        :mod:`repro.opt.diffconstraints`).
+        """
+        out = self._wbuf
+        np.subtract(self._umax, xi[:, None], out=out)
+        np.maximum(out, self._lmax, out=out)
+        np.subtract(self.period, out, out=out)
+        np.minimum(out, self._const, out=out)
+        if self.step:
+            out /= self.step
+            out += _EPS
+            np.floor(out, out=out)
+            out *= self.step
+        return out
+
+    def feasibility(self, xi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched feasibility at ``xi``: (feasible mask, witness settings)."""
+        dist, infeasible = self.kernel.solve_rows(self.weights(xi))
+        nb = self.n_buffers
+        x = dist[:, :nb] - dist[:, nb : nb + 1]
+        if self.step:
+            with np.errstate(invalid="ignore"):
+                x = np.round(x / self.step) * self.step
+        return ~infeasible, x
+
+
+def _feasibility_reference(
     structure: ConfigStructure,
     lower: np.ndarray,
     upper: np.ndarray,
     xi: np.ndarray,
     period: float,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Batched Bellman–Ford feasibility at per-chip optimism ``xi``.
+    """The pre-kernel feasibility step, kept verbatim for A/B runs.
 
-    Returns (feasible mask, witness settings).  ``lower``/``upper`` are
-    (n_chips, n_paths); fixed paths must be pre-checked by the caller.
+    Rebuilds the Python edge list and the per-buffer reductions on every
+    call and relaxes with the per-edge reference sweep.  Returns (feasible
+    mask, witness settings); ``lower``/``upper`` are (n_chips, n_paths).
     """
     n_chips = lower.shape[0]
     nb = structure.n_buffers
@@ -200,7 +357,7 @@ def _feasibility(
         weight_matrix = (
             np.floor(weight_matrix / structure.step + _EPS) * structure.step
         )
-    result = bellman_ford(
+    result = bellman_ford_reference(
         nb + 1,
         np.array(edges_u, dtype=np.intp),
         np.array(edges_v, dtype=np.intp),
@@ -214,19 +371,38 @@ def _feasibility(
     return np.asarray(result.feasible, dtype=bool), x
 
 
+def _check_kernel(kernel: str) -> None:
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+
+
 def configure_chips(
     structure: ConfigStructure,
     lower: np.ndarray,
     upper: np.ndarray,
     period: float,
     xi_tolerance: float | None = None,
+    *,
+    kernel: str = "vectorized",
+    compact: bool = True,
 ) -> ConfigurationResult:
     """Minimax-``xi`` configuration of every chip (binary search).
 
     ``lower``/``upper`` are ``(n_chips, n_paths)`` delay ranges over the
     full required path set (measured bounds for tested paths, ``mu' ± 3
     sigma'`` for predicted ones).
+
+    Each chip's interval halves until it is within tolerance, so chips
+    converge independently: ``compact=True`` (the default) compacts the
+    working arrays — including the precompiled
+    :class:`ConfigGraph` — to still-searching chips each step and scatters
+    converged rows back, exactly like the population test engine's
+    active-set sweep; infeasible and converged-at-floor chips never pay
+    for another solve.  ``kernel`` selects the relaxation engine (see
+    :data:`KERNELS`); both kernels and both ``compact`` modes produce
+    bit-identical results.
     """
+    _check_kernel(kernel)
     lower = np.atleast_2d(np.asarray(lower, dtype=float))
     upper = np.atleast_2d(np.asarray(upper, dtype=float))
     n_chips = lower.shape[0]
@@ -247,19 +423,31 @@ def configure_chips(
         xi = np.where(feasible, xi_floor, np.nan)
         return ConfigurationResult(feasible, settings, xi, structure.buffer_names)
 
+    graph = None
+    if kernel == "vectorized":
+        graph = ConfigGraph(structure, lower, upper, period)
+
+        def feas_all(xi):
+            return graph.feasibility(xi)
+
+    else:
+
+        def feas_all(xi):
+            return _feasibility_reference(structure, lower, upper, xi, period)
+
     span = float(
         np.max(upper - period, initial=0.0)
         + (structure.static_upper - structure.static_lower).max(initial=0.0) * 2.0
         + 1.0
     )
     xi_hi = np.maximum(xi_floor + span, xi_floor)
-    ok_hi, x_hi = _feasibility(structure, lower, upper, xi_hi, period)
+    ok_hi, x_hi = feas_all(xi_hi)
     feasible &= ok_hi
 
     lo = xi_floor.copy()
     hi = xi_hi.copy()
     best_x = x_hi
-    ok_lo, x_lo = _feasibility(structure, lower, upper, lo, period)
+    ok_lo, x_lo = feas_all(lo)
     done_at_floor = ok_lo & feasible
     hi = np.where(done_at_floor, lo, hi)
     best_x = np.where(done_at_floor[:, None], x_lo, best_x)
@@ -269,18 +457,51 @@ def configure_chips(
         tolerance = (structure.step / 4.0) if structure.step else span * 1e-4
     search = feasible & ~done_at_floor
     max_steps = int(np.ceil(np.log2(max(span / tolerance, 2.0)))) + 1
-    for _ in range(max_steps):
-        if not search.any():
-            break
-        mid = 0.5 * (lo + hi)
-        ok_mid, x_mid = _feasibility(structure, lower, upper, mid, period)
-        go_down = search & ok_mid
-        go_up = search & ~ok_mid
-        hi = np.where(go_down, mid, hi)
-        best_x = np.where(go_down[:, None], x_mid, best_x)
-        lo = np.where(go_up, mid, lo)
-        if (hi - lo).max(initial=0.0) <= tolerance:
-            break
+
+    # Binary search with per-chip convergence: a chip leaves the search as
+    # soon as its own interval is within tolerance (the pre-rework code
+    # tested `(hi - lo).max()` over *all* rows — including infeasible ones
+    # whose interval never shrinks — so its break could never fire).
+    # Row-independence makes compaction a pure perf knob.
+    if compact and graph is not None:
+        active_idx = np.flatnonzero(search)
+        g = graph.take(active_idx)
+        lo_a = lo[active_idx]
+        hi_a = hi[active_idx]
+        for _ in range(max_steps):
+            if active_idx.size == 0:
+                break
+            mid = 0.5 * (lo_a + hi_a)
+            ok_mid, x_mid = g.feasibility(mid)
+            down = np.flatnonzero(ok_mid)
+            best_x[active_idx[down]] = x_mid[down]
+            hi_a = np.where(ok_mid, mid, hi_a)
+            lo_a = np.where(ok_mid, lo_a, mid)
+            converged = (hi_a - lo_a) <= tolerance
+            if converged.any():
+                done = np.flatnonzero(converged)
+                hi[active_idx[done]] = hi_a[done]
+                lo[active_idx[done]] = lo_a[done]
+                keep = np.flatnonzero(~converged)
+                active_idx = active_idx[keep]
+                lo_a = lo_a[keep]
+                hi_a = hi_a[keep]
+                g = g.take(keep)
+        hi[active_idx] = hi_a
+        lo[active_idx] = lo_a
+    else:
+        active = search.copy()
+        for _ in range(max_steps):
+            if not active.any():
+                break
+            mid = 0.5 * (lo + hi)
+            ok_mid, x_mid = feas_all(mid)
+            go_down = active & ok_mid
+            go_up = active & ~ok_mid
+            hi = np.where(go_down, mid, hi)
+            best_x = np.where(go_down[:, None], x_mid, best_x)
+            lo = np.where(go_up, mid, lo)
+            active &= (hi - lo) > tolerance
 
     settings = np.where(feasible[:, None], best_x, np.nan)
     xi = np.where(feasible, hi, np.nan)
@@ -291,12 +512,16 @@ def ideal_feasibility(
     structure: ConfigStructure,
     true_delays: np.ndarray,
     period: float,
+    *,
+    kernel: str = "vectorized",
 ) -> ConfigurationResult:
     """Configurability with *exact* delay knowledge (the paper's ``y_i``).
 
     With ``l = u = D`` the optimism ``xi`` drops out and the problem is a
-    single feasibility check.
+    single feasibility check — one :class:`ConfigGraph` build plus one
+    vectorized relaxation solve over the whole shard.
     """
+    _check_kernel(kernel)
     true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
     n_chips = true_delays.shape[0]
     feasible = np.ones(n_chips, dtype=bool)
@@ -311,9 +536,13 @@ def ideal_feasibility(
             np.zeros(n_chips),
             structure.buffer_names,
         )
-    ok, x = _feasibility(
-        structure, true_delays, true_delays, np.zeros(n_chips), period
-    )
+    if kernel == "vectorized":
+        graph = ConfigGraph(structure, true_delays, true_delays, period)
+        ok, x = graph.feasibility(np.zeros(n_chips))
+    else:
+        ok, x = _feasibility_reference(
+            structure, true_delays, true_delays, np.zeros(n_chips), period
+        )
     feasible &= ok
     settings = np.where(feasible[:, None], x, np.nan)
     return ConfigurationResult(

@@ -83,6 +83,7 @@ class EffiTestConfig:
     artifacts: str = "dense"  # per-chip output retention (see OnlineConfig)
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
+    configure_kernel: str = "vectorized"  # relaxation engine (see OnlineConfig)
     # §3.5 hold bounds
     hold_yield: float = 0.99
     hold_samples: int = 1000

@@ -132,10 +132,11 @@ def _sweep_all_rows(
         weights = center_sorted_weights(centers, k0, kd)
         if align and spec.n_buffers:
             period, x = solve_alignment(spec, centers, weights, x)
+            shift = spec.shift(x)
         else:
-            period = weighted_median_rows(centers + spec.shift(x), weights)
+            shift = spec.shift(x)
+            period = weighted_median_rows(centers + shift, weights)
 
-        shift = spec.shift(x)
         passed = shifted_slack_pass(true_delays, shift, period[:, None])
         bound = period[:, None] - shift
         tighten_upper = active & passed & chip_active[:, None]
@@ -194,10 +195,11 @@ def _sweep_active_set(
         weights = center_sorted_weights(centers, k0, kd)
         if align and spec.n_buffers:
             period, x = solve_alignment(spec, centers, weights, x)
+            shift = spec.shift(x)
         else:
-            period = weighted_median_rows(centers + spec.shift(x), weights)
+            shift = spec.shift(x)
+            period = weighted_median_rows(centers + shift, weights)
 
-        shift = spec.shift(x)
         passed = shifted_slack_pass(delays, shift, period[:, None])
         bound = period[:, None] - shift
         upper = np.where(active & passed, np.minimum(upper, bound), upper)

@@ -268,7 +268,15 @@ def ideal_yield(
     population: CircuitPopulation,
     structure: ConfigStructure,
     period: float,
+    *,
+    kernel: str = "vectorized",
 ) -> float:
-    """The paper's ``y_i``: yield with perfect per-chip delay knowledge."""
-    result = ideal_feasibility(structure, population.required, period)
+    """The paper's ``y_i``: yield with perfect per-chip delay knowledge.
+
+    ``kernel`` selects the relaxation engine of the underlying
+    :func:`~repro.core.configuration.ideal_feasibility` solve (both
+    engines produce bit-identical yields; see
+    :data:`~repro.core.configuration.KERNELS`).
+    """
+    result = ideal_feasibility(structure, population.required, period, kernel=kernel)
     return float(configured_pass(circuit, population, result, period).mean())

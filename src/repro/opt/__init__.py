@@ -18,7 +18,13 @@ from repro.opt.cycles import (
     min_clock_period_bounded,
     min_clock_period_unbounded,
 )
-from repro.opt.diffconstraints import DifferenceSystem, DiffResult, bellman_ford
+from repro.opt.diffconstraints import (
+    DifferenceSystem,
+    DiffResult,
+    RelaxKernel,
+    bellman_ford,
+    bellman_ford_reference,
+)
 from repro.opt.linexpr import Constraint, LinExpr, Sense
 from repro.opt.model import Model, ObjectiveSense, VarType
 from repro.opt.simplex import LPResult, LPStatus, solve_lp
@@ -35,10 +41,12 @@ __all__ = [
     "MILPResult",
     "Model",
     "ObjectiveSense",
+    "RelaxKernel",
     "Sense",
     "Solution",
     "VarType",
     "bellman_ford",
+    "bellman_ford_reference",
     "maximum_mean_cycle",
     "min_clock_period_bounded",
     "min_clock_period_unbounded",

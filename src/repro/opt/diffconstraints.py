@@ -1,4 +1,4 @@
-"""Difference-constraint systems and (batched) Bellman–Ford feasibility.
+"""Difference-constraint systems and (batched) min-plus feasibility.
 
 Most of EffiTest's optimization problems have *network* structure: every
 constraint is of the form ``x_v - x_u <= w``.  Setup constraints
@@ -10,13 +10,38 @@ produces a witness assignment — this is how the library checks per-chip
 configurability ("ideal yield") and solves the buffer-configuration problem
 (§3.4) orders of magnitude faster than a generic MILP.
 
-Two layers:
+Three layers:
 
-* :func:`bellman_ford` — the array-level workhorse.  Edge weights may carry a
-  leading *batch* axis so one call resolves feasibility for thousands of
-  Monte-Carlo chips simultaneously.
+* :class:`RelaxKernel` — a precompiled graph.  Edges are sorted and grouped
+  by destination node once at construction; each relaxation sweep is then a
+  single gather (``dist[:, edge_u] + weights``) plus a segmented min
+  (``np.minimum.reduceat``) and one masked column update — no Python loop
+  over edges.  Batch rows that stop improving retire immediately and the
+  surviving rows are compacted, so late sweeps only pay for stragglers.
+* :func:`bellman_ford` — functional entry point; compiles a kernel per
+  call.  Edge weights may carry a trailing *batch* axis so one call
+  resolves feasibility for thousands of Monte-Carlo chips simultaneously.
+  (:func:`bellman_ford_reference` keeps the historical per-edge Python
+  sweep as the bit-identity baseline for tests and benchmarks.)
 * :class:`DifferenceSystem` — a small convenience builder with named bounds
-  and a distinguished reference node.
+  and a distinguished reference node; it compiles its graph once and
+  reuses the kernel across :meth:`~DifferenceSystem.solve` and
+  :meth:`~DifferenceSystem.solve_on_lattice`.
+
+Both kernels run epsilon-thresholded relaxation from the all-zeros state
+(a virtual source) to the same shortest-path fixed point: relaxation order
+— in-place per edge versus simultaneous per sweep — only reorders which
+improving chain is applied first, and accepted values are always path
+sums, so the quiescent states agree (pinned bit-exactly by the old-vs-new
+tests in ``tests/opt/test_diffconstraints.py``).  One caveat: when two
+path sums into the same node tie within ``_EPS`` (duplicated constraints,
+algebraically equal weights rounded differently), the vectorized kernel
+keeps the exact group minimum while the reference keeps whichever
+candidate its edge order accepted first, so witnesses can differ below
+the epsilon threshold.  Lattice-floored systems are immune in practice —
+distinct path sums there differ by a full step, and the configure stage
+re-snaps witnesses to the lattice — and generic continuous weights make
+sub-epsilon ties measure-zero.
 
 Discrete buffers: when every variable lives on a shared lattice
 ``{offset + k * step}``, flooring each weight to a multiple of ``step``
@@ -45,6 +70,235 @@ class DiffResult:
 
     feasible: np.ndarray | bool
     x: np.ndarray
+
+
+class RelaxKernel:
+    """Precompiled min-plus relaxation kernel for one constraint graph.
+
+    The graph (``x[v] - x[u] <= w`` edges over ``n_nodes`` variables) is
+    fixed at construction; only the weights vary between solves.  Edges
+    are argsorted by destination once, so a relaxation sweep is three
+    array operations over the whole edge set:
+
+    1. gather:   ``cand = dist[:, edge_u] + weights``
+    2. segment:  ``np.minimum.reduceat(cand, group_starts)`` — the best
+       candidate per destination node
+    3. update:   compare against the current ``dist`` column block and
+       write back where the improvement exceeds the epsilon threshold
+
+    Rows converge independently: a row with no accepted update retires
+    from the sweep loop (it is at the fixed point), and surviving rows are
+    compacted so the per-sweep cost tracks the straggler count.  Rows
+    still improving after ``n_nodes`` sweeps contain a negative cycle.
+    """
+
+    def __init__(self, n_nodes: int, edge_u: np.ndarray, edge_v: np.ndarray):
+        edge_u = np.asarray(edge_u, dtype=np.intp)
+        edge_v = np.asarray(edge_v, dtype=np.intp)
+        if edge_u.shape != edge_v.shape or edge_u.ndim != 1:
+            raise ValueError("edge_u and edge_v must be 1-D arrays of equal length")
+        if edge_u.size and np.any(
+            (edge_u < 0) | (edge_u >= n_nodes) | (edge_v < 0) | (edge_v >= n_nodes)
+        ):
+            raise ValueError("edge endpoints out of range")
+        self.n_nodes = int(n_nodes)
+        self.n_edges = len(edge_u)
+        if self.n_edges == 0:
+            self.order = np.zeros(0, dtype=np.intp)
+            self._u = self.order
+            self._starts = self.order
+            self._targets = self.order
+            self._levels = []
+            return
+
+        # Group edges by destination, then order the groups along an
+        # approximate topological order (reverse DFS postorder) and batch
+        # consecutive dependency-free groups into *levels*.  Distances
+        # update between levels, so one sweep propagates a whole forward
+        # chain instead of a single hop; only back edges (cycles) need
+        # further sweeps.  The schedule is pure acceleration — any
+        # relaxation order reaches the same fixed point.
+        by_dest = np.argsort(edge_v, kind="stable")
+        v_sorted = edge_v[by_dest]
+        bounds = np.flatnonzero(np.r_[True, v_sorted[1:] != v_sorted[:-1]])
+        bounds = np.r_[bounds, self.n_edges]
+        group_targets = v_sorted[bounds[:-1]]
+        rank = self._reverse_postorder(edge_u, edge_v)
+        schedule = np.argsort(rank[group_targets], kind="stable")
+
+        parts = [np.arange(bounds[g], bounds[g + 1], dtype=np.intp) for g in schedule]
+        self.order = by_dest[np.concatenate(parts)]
+        self._u = edge_u[self.order]
+        sizes = np.array([len(p) for p in parts], dtype=np.intp)
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1])).astype(np.intp)
+        self._starts = starts  # per-group edge start, kernel order
+        self._targets = group_targets[schedule]
+
+        # Greedy leveling: a group whose sources include a target already
+        # placed in the current level must start a new one (its reads would
+        # otherwise miss that in-level update).
+        self._levels = []
+        level_start = 0
+        placed: set[int] = set()
+        for g in range(len(schedule)):
+            sources = self._u[starts[g] : starts[g] + sizes[g]]
+            if any(int(s) in placed for s in sources):
+                self._append_level(level_start, g, starts, sizes)
+                level_start = g
+                placed = set()
+            placed.add(int(self._targets[g]))
+        self._append_level(level_start, len(schedule), starts, sizes)
+
+    def _append_level(
+        self, gs: int, ge: int, starts: np.ndarray, sizes: np.ndarray
+    ) -> None:
+        if ge <= gs:
+            return
+        es = int(starts[gs])
+        ee = int(starts[ge - 1] + sizes[ge - 1])
+        self._levels.append(
+            (es, ee, self._targets[gs:ge], (starts[gs:ge] - es).astype(np.intp))
+        )
+
+    @staticmethod
+    def _reverse_postorder(edge_u: np.ndarray, edge_v: np.ndarray) -> np.ndarray:
+        """Quasi-topological node ranks (iterative DFS finish times)."""
+        n = int(max(edge_u.max(), edge_v.max())) + 1 if len(edge_u) else 0
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for u, v in zip(edge_u.tolist(), edge_v.tolist()):
+            adj[u].append(v)
+        visited = [False] * n
+        post: list[int] = []
+        for root in range(n):
+            if visited[root]:
+                continue
+            visited[root] = True
+            stack = [(root, 0)]
+            while stack:
+                node, i = stack.pop()
+                targets = adj[node]
+                while i < len(targets) and visited[targets[i]]:
+                    i += 1
+                if i < len(targets):
+                    stack.append((node, i + 1))
+                    visited[targets[i]] = True
+                    stack.append((targets[i], 0))
+                else:
+                    post.append(node)
+        rank = np.empty(n, dtype=np.intp)
+        rank[post] = np.arange(n - 1, -1, -1)
+        return rank
+
+    def solve(self, weights: np.ndarray, n_batch: int | None = None) -> DiffResult:
+        """Feasibility + witness; ``weights`` in original edge order.
+
+        ``weights`` is ``(n_edges,)`` for a scalar system or ``(n_edges,
+        n_batch)`` for a batched one.  Matches :func:`bellman_ford`.
+        """
+        weights = np.asarray(weights, dtype=float)
+        batched = weights.ndim == 2
+        if batched:
+            if n_batch is None or weights.shape != (self.n_edges, n_batch):
+                raise ValueError(
+                    f"weights shape {weights.shape} does not match "
+                    f"({self.n_edges}, n_batch={n_batch})"
+                )
+            rows = weights[self.order].T
+        else:
+            if weights.shape != (self.n_edges,):
+                raise ValueError(
+                    f"weights shape {weights.shape} does not match ({self.n_edges},)"
+                )
+            rows = weights[self.order].reshape(1, -1)
+        dist, infeasible = self.solve_rows(np.ascontiguousarray(rows))
+        if batched:
+            return DiffResult(~infeasible, dist)
+        return DiffResult(bool(~infeasible[0]), dist[0])
+
+    def solve_rows(
+        self, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Core solve on destination-grouped ``(rows, n_edges)`` weights.
+
+        The fast path for callers that precompute weights directly in the
+        kernel's edge order (see
+        :class:`repro.core.configuration.ConfigGraph`).  Returns ``(dist,
+        infeasible)``; infeasible rows of ``dist`` contain NaN.
+        """
+        n_rows = weights.shape[0]
+        dist = np.zeros((n_rows, self.n_nodes))
+        infeasible = np.zeros(n_rows, dtype=bool)
+        if self.n_edges == 0 or n_rows == 0:
+            return dist, infeasible
+
+        u = self._u
+        # Working set: rows still making >eps improvements.  `d`/`w` are
+        # compacted copies; retired rows scatter back through `active_idx`.
+        active_idx = np.arange(n_rows, dtype=np.intp)
+        d = dist
+        w = weights
+        cand = np.empty((n_rows, self.n_edges))
+
+        # Early negative-cycle cut: a distance is always the weight of some
+        # relaxation walk from the all-zeros source, and a walk that repeats
+        # no edge weighs at least sum(min(w, 0)).  A row dipping below that
+        # (minus float dust) has traversed a negative cycle and can retire
+        # as infeasible immediately instead of burning all n_nodes sweeps —
+        # the workload is dominated by infeasible rows otherwise, since
+        # feasible rows quiesce within a few scheduled sweeps.
+        floor_bound = np.minimum(w, 0.0).sum(axis=1)
+        floor_bound -= 1e-6 + 1e-9 * np.abs(w).sum(axis=1)
+
+        # The virtual source with 0-weight edges to all nodes is encoded by
+        # the all-zeros initial distances, so at most n_nodes sweeps are
+        # needed; rows still improving afterwards contain a negative cycle.
+        for _ in range(self.n_nodes):
+            rows = d.shape[0]
+            changed = np.zeros(rows, dtype=bool)
+            for es, ee, tgts, lstarts in self._levels:
+                buf = cand[:rows, es:ee]
+                np.take(d, u[es:ee], axis=1, out=buf)
+                buf += w[:, es:ee]
+                grouped = np.minimum.reduceat(buf, lstarts, axis=1)
+                cur = d[:, tgts]
+                better = grouped < cur - _EPS
+                improved = better.any(axis=1)
+                if improved.any():
+                    d[:, tgts] = np.where(better, grouped, cur)
+                    changed |= improved
+            diverged = changed & (d.min(axis=1) < floor_bound)
+            retire = ~changed | diverged
+            if retire.any():
+                if diverged.any():
+                    infeasible[active_idx[np.flatnonzero(diverged)]] = True
+                keep = np.flatnonzero(~retire)
+                if d is dist:
+                    # First retirement: switch to compacted copies so the
+                    # full array keeps the retired rows' final values.
+                    d = d[keep]
+                else:
+                    quiesced = np.flatnonzero(~changed)
+                    dist[active_idx[quiesced]] = d[quiesced]
+                    d = d[keep]
+                w = w[keep]
+                floor_bound = floor_bound[keep]
+                active_idx = active_idx[keep]
+                if active_idx.size == 0:
+                    dist[infeasible] = np.nan
+                    return dist, infeasible
+
+        # One extra quiescence check over the whole edge set: rows that can
+        # still relax against their final distances contain a negative cycle.
+        buf = cand[: d.shape[0]]
+        np.take(d, u, axis=1, out=buf)
+        buf += w
+        grouped = np.minimum.reduceat(buf, self._starts, axis=1)
+        bad = (grouped < d[:, self._targets] - _EPS).any(axis=1)
+        if d is not dist:
+            dist[active_idx] = d
+        infeasible[active_idx[bad]] = True
+        dist[infeasible] = np.nan
+        return dist, infeasible
 
 
 def bellman_ford(
@@ -76,6 +330,34 @@ def bellman_ford(
         connected to every node with weight 0; it is the *component-wise
         largest* solution bounded above by 0 on each node's tightest chain.
         Any uniform shift of a row is also feasible.
+
+    This is a thin wrapper that compiles a :class:`RelaxKernel` per call;
+    hot loops that solve the same graph repeatedly should compile once and
+    call :meth:`RelaxKernel.solve` (or precompute destination-grouped
+    weights and call :meth:`RelaxKernel.solve_rows`).
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim == 2 and n_batch is None:
+        raise ValueError(
+            f"weights shape {weights.shape} does not match "
+            f"({len(np.atleast_1d(edge_u))}, n_batch=None)"
+        )
+    return RelaxKernel(n_nodes, edge_u, edge_v).solve(weights, n_batch=n_batch)
+
+
+def bellman_ford_reference(
+    n_nodes: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    weights: np.ndarray,
+    n_batch: int | None = None,
+) -> DiffResult:
+    """The historical per-edge Python relaxation sweep, kept verbatim.
+
+    Same contract as :func:`bellman_ford`.  Retained as the bit-identity
+    baseline: the randomized suite asserts exact witness equality against
+    the vectorized kernel, and ``benchmarks/bench_configure.py`` times the
+    configure stage on both.
     """
     edge_u = np.asarray(edge_u, dtype=np.intp)
     edge_v = np.asarray(edge_v, dtype=np.intp)
@@ -100,9 +382,6 @@ def bellman_ford(
     if np.any((edge_u < 0) | (edge_u >= n_nodes) | (edge_v < 0) | (edge_v >= n_nodes)):
         raise ValueError("edge endpoints out of range")
 
-    # Virtual source with 0-weight edges to all nodes is encoded by the
-    # all-zeros initial distances, so at most n_nodes relaxation sweeps are
-    # needed; rows still improving afterwards contain a negative cycle.
     rows = dist.shape[0]
     for _ in range(n_nodes):
         if not active.any():
@@ -119,7 +398,6 @@ def bellman_ford(
                     changed |= improve
         active &= changed
 
-    # One extra sweep: rows that can still relax are infeasible.
     infeasible = np.zeros(rows, dtype=bool)
     if active.any():
         for e in range(n_edges):
@@ -159,6 +437,7 @@ class DifferenceSystem:
         self._edges_u: list[int] = []
         self._edges_v: list[int] = []
         self._weights: list[np.ndarray | float] = []
+        self._compiled: tuple[int, RelaxKernel] | None = None
 
     def _check_weight(self, weight) -> np.ndarray | float:
         if np.ndim(weight) == 0:
@@ -178,8 +457,7 @@ class DifferenceSystem:
 
     def add_ge(self, u: int, v: int, weight) -> None:
         """Add ``x_v - x_u >= weight`` (stored as ``x_u - x_v <= -weight``)."""
-        w = self._check_weight(weight)
-        self.add_le(v, u, -w if isinstance(w, np.ndarray) else -w)
+        self.add_le(v, u, -self._check_weight(weight))
 
     def add_upper_bound(self, v: int, bound) -> None:
         """Add ``x_v <= bound``."""
@@ -187,8 +465,7 @@ class DifferenceSystem:
 
     def add_lower_bound(self, v: int, bound) -> None:
         """Add ``x_v >= bound``."""
-        w = self._check_weight(bound)
-        self.add_le(v, self._ref, -w if isinstance(w, np.ndarray) else -w)
+        self.add_le(v, self._ref, -self._check_weight(bound))
 
     def add_bounds(self, v: int, lower, upper) -> None:
         """Add ``lower <= x_v <= upper``."""
@@ -203,16 +480,24 @@ class DifferenceSystem:
         ]
         return np.array(rows) if rows else np.zeros((0, self.n_batch))
 
+    def _kernel(self) -> RelaxKernel:
+        """The compiled graph, rebuilt only when edges were added."""
+        n_edges = len(self._edges_u)
+        if self._compiled is None or self._compiled[0] != n_edges:
+            self._compiled = (
+                n_edges,
+                RelaxKernel(
+                    self.n_nodes + 1,
+                    np.array(self._edges_u, dtype=np.intp),
+                    np.array(self._edges_v, dtype=np.intp),
+                ),
+            )
+        return self._compiled[1]
+
     def solve(self) -> DiffResult:
         """Solve the system; witness values are normalized to reference = 0."""
         weights = self._weight_matrix()
-        result = bellman_ford(
-            self.n_nodes + 1,
-            np.array(self._edges_u, dtype=np.intp),
-            np.array(self._edges_v, dtype=np.intp),
-            weights,
-            n_batch=self.n_batch,
-        )
+        result = self._kernel().solve(weights, n_batch=self.n_batch)
         return self._normalize(result)
 
     def solve_on_lattice(self, step: float) -> DiffResult:
@@ -225,13 +510,7 @@ class DifferenceSystem:
             raise ValueError(f"step must be positive, got {step}")
         weights = self._weight_matrix()
         floored = np.floor(weights / step + _EPS) * step
-        result = bellman_ford(
-            self.n_nodes + 1,
-            np.array(self._edges_u, dtype=np.intp),
-            np.array(self._edges_v, dtype=np.intp),
-            floored,
-            n_batch=self.n_batch,
-        )
+        result = self._kernel().solve(floored, n_batch=self.n_batch)
         normalized = self._normalize(result)
         # Re-snap: normalization subtracts a lattice value from lattice
         # values, so this only removes floating-point dust.

@@ -45,6 +45,21 @@ class TestConfigSplit:
             OfflineConfig(n_steps=10).cache_fields() != base.cache_fields()
         )
 
+    def test_configure_kernel_validated(self):
+        assert OnlineConfig(configure_kernel="reference").configure_kernel == (
+            "reference"
+        )
+        with pytest.raises(ValueError, match="configure_kernel"):
+            OnlineConfig(configure_kernel="gurobi")
+
+    def test_configure_kernel_excluded_from_result_fields(self):
+        # Both kernels produce bit-identical results (pinned by the
+        # configuration tests), so result-store keys must not fork on it.
+        assert (
+            OnlineConfig(configure_kernel="reference").result_fields()
+            == OnlineConfig().result_fields()
+        )
+
 
 class TestCalibrateEpsilon:
     def test_explicit_epsilon_wins(self):

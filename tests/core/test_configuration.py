@@ -6,11 +6,13 @@ import pytest
 from repro.circuit.buffers import BufferPlan, TunableBuffer
 from repro.circuit.paths import PathSet, TimedPath
 from repro.core.configuration import (
+    ConfigGraph,
     build_config_structure,
     configure_chip_milp,
     configure_chips,
     ideal_feasibility,
 )
+from repro.core.holdtime import HoldBounds
 from repro.variation.canonical import CanonicalForm
 
 
@@ -176,6 +178,209 @@ class TestIdealFeasibility:
         y1 = ideal_feasibility(structure, true, period=10.0).feasible.mean()
         y2 = ideal_feasibility(structure, true, period=10.8).feasible.mean()
         assert y2 >= y1
+
+
+def random_problem(seed, uniform_grid=True, with_holds=True):
+    """A random configuration problem: structure + chip delay ranges."""
+    rng = np.random.default_rng(seed)
+    n_ffs = int(rng.integers(4, 9))
+    ff_names = [f"F{i}" for i in range(n_ffs)]
+    n_buffered = int(rng.integers(2, n_ffs + 1))
+    buffered = [ff_names[i] for i in rng.choice(n_ffs, n_buffered, replace=False)]
+    if uniform_grid:
+        buffers = {name: TunableBuffer(name, -1.0, 2.0, 20) for name in buffered}
+    else:
+        # Different steps per buffer -> no shared lattice -> continuous mode.
+        buffers = {
+            name: TunableBuffer(name, -0.5 - 0.25 * i, 1.0 + 0.3 * i, 10)
+            for i, name in enumerate(buffered)
+        }
+    plan = BufferPlan(buffers)
+
+    n_paths = int(rng.integers(4, 14))
+    paths = [
+        TimedPath(
+            ff_names[int(rng.integers(n_ffs))],
+            ff_names[int(rng.integers(n_ffs))],
+            CanonicalForm(float(rng.uniform(8.0, 11.0)), {p: 1.0}),
+        )
+        for p in range(n_paths)
+    ]
+    pathset = PathSet.from_timed_paths(paths, ff_names)
+
+    hold_bounds = None
+    if with_holds:
+        n_pairs = int(rng.integers(1, 4))
+        pairs = tuple(
+            (int(rng.integers(n_ffs)), int(rng.integers(n_ffs)))
+            for _ in range(n_pairs)
+        )
+        hold_bounds = HoldBounds(
+            pairs=pairs,
+            lambdas=rng.uniform(-0.5, 0.3, size=n_pairs),
+            achieved_yield=1.0,
+            target_yield=0.99,
+        )
+
+    structure = build_config_structure(pathset, plan, hold_bounds)
+    n_chips = int(rng.integers(2, 30))
+    lower = rng.uniform(7.5, 10.5, size=(n_chips, n_paths))
+    upper = lower + rng.uniform(0.05, 1.2, size=(n_chips, n_paths))
+    return structure, lower, upper, 10.0
+
+
+def assert_identical(a, b):
+    np.testing.assert_array_equal(a.feasible, b.feasible)
+    np.testing.assert_array_equal(a.settings, b.settings)  # NaNs compare equal
+    np.testing.assert_array_equal(a.xi, b.xi)
+
+
+class TestKernelEquivalence:
+    """configure_chips / ideal_feasibility: old vs new kernel, bit-exact."""
+
+    def test_configure_random_lattice_problems(self):
+        mixed = 0
+        for seed in range(25):
+            structure, lower, upper, period = random_problem(seed)
+            assert structure.step is not None
+            ref = configure_chips(structure, lower, upper, period, kernel="reference")
+            new = configure_chips(structure, lower, upper, period)
+            assert_identical(ref, new)
+            mixed += bool(ref.feasible.any() and not ref.feasible.all())
+        assert mixed >= 3  # the sweep must exercise both verdicts together
+
+    def test_configure_random_non_uniform_grids(self):
+        for seed in range(25):
+            structure, lower, upper, period = random_problem(
+                100 + seed, uniform_grid=False
+            )
+            assert structure.step is None
+            ref = configure_chips(structure, lower, upper, period, kernel="reference")
+            new = configure_chips(structure, lower, upper, period)
+            assert_identical(ref, new)
+
+    def test_configure_without_hold_edges(self):
+        for seed in range(10):
+            structure, lower, upper, period = random_problem(
+                200 + seed, with_holds=False
+            )
+            ref = configure_chips(structure, lower, upper, period, kernel="reference")
+            new = configure_chips(structure, lower, upper, period)
+            assert_identical(ref, new)
+
+    def test_ideal_feasibility_random_problems(self):
+        for seed in range(15):
+            structure, lower, _upper, period = random_problem(300 + seed)
+            ref = ideal_feasibility(structure, lower, period, kernel="reference")
+            new = ideal_feasibility(structure, lower, period)
+            assert_identical(ref, new)
+
+    def test_compact_modes_identical(self):
+        for seed in range(10):
+            structure, lower, upper, period = random_problem(400 + seed)
+            compacted = configure_chips(structure, lower, upper, period)
+            dense = configure_chips(structure, lower, upper, period, compact=False)
+            assert_identical(compacted, dense)
+
+    def test_unknown_kernel_rejected(self, structure):
+        lower = np.full((1, 4), 8.0)
+        with pytest.raises(ValueError, match="kernel"):
+            configure_chips(structure, lower, lower + 0.5, 10.0, kernel="gurobi")
+        with pytest.raises(ValueError, match="kernel"):
+            ideal_feasibility(structure, lower, 10.0, kernel="gurobi")
+
+
+class TestConfigGraph:
+    def test_weights_match_reference_construction(self, structure):
+        """ConfigGraph's xi-affine weights == the per-call reference build."""
+        from repro.core.configuration import _feasibility_reference
+
+        rng = np.random.default_rng(17)
+        lower = rng.uniform(8.0, 10.0, size=(12, 4))
+        upper = lower + rng.uniform(0.1, 1.0, size=(12, 4))
+        graph = ConfigGraph(structure, lower, upper, period=10.3)
+        for xi_value in (0.0, 0.7, 5.0):
+            xi = np.full(12, xi_value)
+            ok, x = graph.feasibility(xi)
+            ok_ref, x_ref = _feasibility_reference(
+                structure, lower, upper, xi, 10.3
+            )
+            np.testing.assert_array_equal(ok, ok_ref)
+            np.testing.assert_array_equal(x, x_ref)
+
+    def test_take_compacts_rows(self, structure):
+        rng = np.random.default_rng(23)
+        lower = rng.uniform(8.0, 10.0, size=(8, 4))
+        upper = lower + 0.5
+        graph = ConfigGraph(structure, lower, upper, period=10.0)
+        rows = np.array([1, 4, 6])
+        sub = graph.take(rows)
+        assert sub.n_chips == 3
+        ok_all, x_all = graph.feasibility(np.zeros(8))
+        ok_sub, x_sub = sub.feasibility(np.zeros(3))
+        np.testing.assert_array_equal(ok_sub, ok_all[rows])
+        np.testing.assert_array_equal(x_sub, x_all[rows])
+
+
+class TestBinarySearchConvergence:
+    """The per-chip tolerance break (the pre-rework global break was dead)."""
+
+    def _count_solves(self, monkeypatch, structure, lower, upper, **kwargs):
+        from repro.opt.diffconstraints import RelaxKernel
+
+        calls = []
+        original = RelaxKernel.solve_rows
+
+        def counting(self, weights):
+            calls.append(weights.shape[0])
+            return original(self, weights)
+
+        monkeypatch.setattr(RelaxKernel, "solve_rows", counting)
+        result = configure_chips(structure, lower, upper, 10.0, **kwargs)
+        monkeypatch.undo()
+        return result, calls
+
+    def test_infeasible_chips_do_not_prolong_the_search(
+        self, structure, monkeypatch
+    ):
+        """An infeasible chip must not add feasibility solves (it used to
+        pin the old global `(hi - lo).max()` break at the full span)."""
+        rng = np.random.default_rng(31)
+        lower = rng.uniform(9.5, 10.5, size=(6, 4))
+        upper = lower + 0.4
+        # Fixed-path violation (untunable path over the period) that keeps
+        # the global search span unchanged: reuse the existing max upper.
+        upper[0, 3] = upper[1:].max()
+        lower[0, 3] = upper[0, 3] - 0.01
+        assert lower[0, 3] > 10.0
+        _, calls_mixed = self._count_solves(monkeypatch, structure, lower, upper)
+        _, calls_clean = self._count_solves(
+            monkeypatch, structure, lower[1:], upper[1:]
+        )
+        assert len(calls_mixed) == len(calls_clean)
+
+    def test_looser_tolerance_means_fewer_solves(self, structure, monkeypatch):
+        rng = np.random.default_rng(37)
+        lower = rng.uniform(9.5, 10.8, size=(8, 4))
+        upper = lower + 0.4
+        _, tight = self._count_solves(
+            monkeypatch, structure, lower, upper, xi_tolerance=1e-4
+        )
+        _, loose = self._count_solves(
+            monkeypatch, structure, lower, upper, xi_tolerance=0.5
+        )
+        assert len(loose) < len(tight)
+
+    def test_converged_chips_leave_the_active_set(self, structure, monkeypatch):
+        """Solve row counts must shrink once chips retire, not stay flat."""
+        rng = np.random.default_rng(41)
+        lower = rng.uniform(9.0, 10.8, size=(40, 4))
+        upper = lower + rng.uniform(0.1, 0.6, size=(40, 4))
+        result, calls = self._count_solves(monkeypatch, structure, lower, upper)
+        searching = calls[2:]  # after the xi_hi and floor evaluations
+        if searching:
+            assert searching[-1] <= searching[0]
+            assert searching[0] <= 40
 
 
 class TestNoBuffers:

@@ -1,8 +1,10 @@
-"""Tests for difference-constraint systems and batched Bellman-Ford.
+"""Tests for difference-constraint systems and batched min-plus relaxation.
 
 Feasibility answers are cross-checked against the LP layer on randomized
-systems, and the lattice mode is checked to be exact for shared-step
-discrete variables.
+systems, the lattice mode is checked to be exact for shared-step discrete
+variables, and the vectorized :class:`RelaxKernel` is pinned bit-exactly —
+feasibility verdicts *and* witnesses — against the retained per-edge
+reference sweep on randomized graphs.
 """
 
 import numpy as np
@@ -10,9 +12,29 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.opt.diffconstraints import DifferenceSystem, bellman_ford
+from repro.opt.diffconstraints import (
+    DifferenceSystem,
+    RelaxKernel,
+    bellman_ford,
+    bellman_ford_reference,
+)
 from repro.opt.model import Model
 from repro.opt.solve import solve
+
+
+def random_graph(rng, max_nodes=10, max_edges=24):
+    n = int(rng.integers(2, max_nodes))
+    n_edges = int(rng.integers(1, max_edges))
+    edge_u = rng.integers(0, n, size=n_edges)
+    edge_v = rng.integers(0, n, size=n_edges)
+    return n, edge_u, edge_v
+
+
+def assert_same_result(got, want):
+    np.testing.assert_array_equal(
+        np.asarray(got.feasible), np.asarray(want.feasible)
+    )
+    np.testing.assert_array_equal(got.x, want.x)  # NaNs compare equal here
 
 
 class TestBellmanFord:
@@ -156,6 +178,154 @@ def _lp_feasible(n, constraints, bounds):
         m.add_constraint(exprs[v] - exprs[u] <= w)
     m.set_objective(0 * exprs[0])
     return solve(m).ok
+
+
+class TestRelaxKernelVsReference:
+    """The vectorized kernel must reproduce the per-edge sweep bit-exactly."""
+
+    def test_randomized_continuous_equivalence(self):
+        for seed in range(150):
+            rng = np.random.default_rng(seed)
+            n, edge_u, edge_v = random_graph(rng)
+            n_batch = int(rng.integers(1, 7))
+            weights = rng.uniform(-2.0, 2.0, size=(len(edge_u), n_batch))
+            got = bellman_ford(n, edge_u, edge_v, weights, n_batch=n_batch)
+            want = bellman_ford_reference(n, edge_u, edge_v, weights, n_batch=n_batch)
+            assert_same_result(got, want)
+
+    def test_randomized_lattice_equivalence(self):
+        """Lattice-floored weights: the configure stage's discrete mode."""
+        step = 0.1
+        for seed in range(150):
+            rng = np.random.default_rng(1_000_000 + seed)
+            n, edge_u, edge_v = random_graph(rng)
+            n_batch = int(rng.integers(1, 7))
+            raw = rng.uniform(-2.0, 2.0, size=(len(edge_u), n_batch))
+            weights = np.floor(raw / step + 1e-9) * step
+            got = bellman_ford(n, edge_u, edge_v, weights, n_batch=n_batch)
+            want = bellman_ford_reference(n, edge_u, edge_v, weights, n_batch=n_batch)
+            assert_same_result(got, want)
+
+    def test_randomized_scalar_equivalence(self):
+        for seed in range(100):
+            rng = np.random.default_rng(2_000_000 + seed)
+            n, edge_u, edge_v = random_graph(rng)
+            weights = rng.uniform(-2.0, 2.0, size=len(edge_u))
+            got = bellman_ford(n, edge_u, edge_v, weights)
+            want = bellman_ford_reference(n, edge_u, edge_v, weights)
+            assert bool(got.feasible) == bool(want.feasible)
+            np.testing.assert_array_equal(got.x, want.x)
+
+    def test_scalar_vs_batched_agreement(self):
+        """A batched solve is exactly n_batch independent scalar solves."""
+        for seed in range(60):
+            rng = np.random.default_rng(3_000_000 + seed)
+            n, edge_u, edge_v = random_graph(rng)
+            n_batch = int(rng.integers(2, 6))
+            weights = rng.uniform(-2.0, 2.0, size=(len(edge_u), n_batch))
+            kernel = RelaxKernel(n, edge_u, edge_v)
+            batched = kernel.solve(weights, n_batch=n_batch)
+            for j in range(n_batch):
+                single = kernel.solve(weights[:, j])
+                assert bool(batched.feasible[j]) == bool(single.feasible)
+                np.testing.assert_array_equal(batched.x[j], single.x)
+
+    def test_negative_cycle_rows_nan(self):
+        weights = np.array([[-1.0, -1.0], [1.5, -2.0]])
+        kernel = RelaxKernel(2, np.array([0, 1]), np.array([1, 0]))
+        res = kernel.solve(weights, n_batch=2)
+        assert res.feasible.tolist() == [True, False]
+        assert np.isfinite(res.x[0]).all()
+        assert np.isnan(res.x[1]).all()
+
+    def test_strongly_negative_cycle_detected_early(self):
+        """The divergence cut must agree with the sweep-cap criterion."""
+        rng = np.random.default_rng(4)
+        # A long cycle 0 -> 1 -> ... -> n-1 -> 0 with very negative total
+        # weight plus random chords: dist dives below sum(min(w, 0)) fast.
+        n = 40
+        edge_u = np.r_[np.arange(n), rng.integers(0, n, 30)]
+        edge_v = np.r_[np.roll(np.arange(n), -1), rng.integers(0, n, 30)]
+        weights = np.r_[np.full(n, -5.0), rng.uniform(0.0, 3.0, 30)]
+        weights = np.tile(weights[:, None], (1, 3))
+        got = bellman_ford(n, edge_u, edge_v, weights, n_batch=3)
+        want = bellman_ford_reference(n, edge_u, edge_v, weights, n_batch=3)
+        assert not got.feasible.any()
+        assert_same_result(got, want)
+
+    def test_kernel_reuse_across_weight_sets(self):
+        """One compiled graph serves many weight vectors unchanged."""
+        kernel = RelaxKernel(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+        feasible = kernel.solve(np.array([1.0, 1.0, -1.5]))
+        infeasible = kernel.solve(np.array([-1.0, -1.0, -1.5]))
+        again = kernel.solve(np.array([1.0, 1.0, -1.5]))
+        assert feasible.feasible and not infeasible.feasible
+        np.testing.assert_array_equal(feasible.x, again.x)
+
+    def test_no_edges(self):
+        kernel = RelaxKernel(4, np.array([], dtype=int), np.array([], dtype=int))
+        res = kernel.solve(np.zeros((0, 2)), n_batch=2)
+        assert res.feasible.tolist() == [True, True]
+        np.testing.assert_array_equal(res.x, np.zeros((2, 4)))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            RelaxKernel(2, np.array([0]), np.array([1, 0]))
+        with pytest.raises(ValueError):
+            RelaxKernel(2, np.array([0]), np.array([5]))
+        kernel = RelaxKernel(2, np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            kernel.solve(np.zeros((1, 3)), n_batch=2)
+        with pytest.raises(ValueError):
+            kernel.solve(np.zeros(2))
+        with pytest.raises(ValueError):
+            bellman_ford(2, np.array([0]), np.array([1]), np.zeros((1, 3)))
+
+
+class TestDifferenceSystemKernelReuse:
+    def test_kernel_recompiled_when_edges_added(self):
+        sys_ = DifferenceSystem(2)
+        sys_.add_bounds(0, -1.0, 1.0)
+        sys_.add_bounds(1, -1.0, 1.0)
+        assert sys_.solve().feasible
+        # New constraint after a solve must invalidate the compiled graph.
+        sys_.add_ge(0, 1, 5.0)  # x1 - x0 >= 5 contradicts the boxes
+        assert not sys_.solve().feasible
+
+    def test_solve_and_lattice_share_graph(self):
+        sys_ = DifferenceSystem(2)
+        sys_.add_le(0, 1, 0.34)
+        sys_.add_bounds(0, -1.0, 1.0)
+        sys_.add_bounds(1, -1.0, 1.0)
+        cont = sys_.solve()
+        lat = sys_.solve_on_lattice(0.1)
+        assert cont.feasible and lat.feasible
+        assert sys_._compiled is not None
+
+    def test_matches_reference_on_lattice_solves(self):
+        for seed in range(60):
+            rng = np.random.default_rng(5_000_000 + seed)
+            n = int(rng.integers(2, 6))
+            sys_ = DifferenceSystem(n)
+            for i in range(n):
+                sys_.add_bounds(i, -5.0, 5.0)
+            for _ in range(int(rng.integers(1, 8))):
+                sys_.add_le(
+                    int(rng.integers(n)), int(rng.integers(n)),
+                    float(rng.uniform(-2.0, 2.0)),
+                )
+            res = sys_.solve_on_lattice(0.25)
+            weights = np.floor(sys_._weight_matrix() / 0.25 + 1e-9) * 0.25
+            want = bellman_ford_reference(
+                n + 1,
+                np.array(sys_._edges_u, dtype=np.intp),
+                np.array(sys_._edges_v, dtype=np.intp),
+                weights,
+            )
+            assert bool(res.feasible) == bool(want.feasible)
+            if res.feasible:
+                for v in res.x:
+                    assert abs(v / 0.25 - round(v / 0.25)) < 1e-9
 
 
 @settings(max_examples=40, deadline=None)

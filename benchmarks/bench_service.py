@@ -1,0 +1,290 @@
+"""Service daemon load benchmark: tier latencies and coalescing ratio.
+
+Drives an **in-process** :class:`~repro.service.daemon.EffiTestDaemon`
+(real HTTP over a loopback socket, ephemeral port) through the three
+serving tiers and measures what the serving layer promises:
+
+* **cold misses** — distinct RunKeys served sequentially; each pays one
+  engine run (preparation shared: every request pins ``clock_period``, so
+  the offline stage runs once and stays warm),
+* **duplicate bursts** — for each of B fresh keys, K barrier-synchronized
+  clients fire the identical request concurrently; the coalescing table
+  must collapse each burst to ~1 engine run (ratio target
+  ``0.9 * (K-1)/K``),
+* **warm hits** — every key re-requested; all must come from the store
+  tier with **zero** additional engine runs (and zero offline work).
+
+Reports p50/p99 latency per tier, the measured coalescing ratio, and the
+preparation cache's warm hit rate, and writes the numbers to
+``benchmarks/BENCH_service.json`` (``--json`` overrides, ``--no-json``
+skips).
+
+Run it directly::
+
+    python benchmarks/bench_service.py           # full load run + JSON + gates
+    python benchmarks/bench_service.py --smoke   # tiny mix, CI mode
+
+Smoke mode shrinks every axis and gates only on correctness (coalescing
+happened at all, engine runs == unique keys, warm requests computed
+nothing, clean shutdown) so CI fails fast on serving-layer regressions
+without paying benchmark wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_service.json"
+
+#: The benchmark circuit: tiny-circuit scale — service latency is dominated
+#: by the pipeline, and the tiers' *relative* costs are scale-free.
+SPEC = {
+    "name": "bench-service",
+    "n_flipflops": 40,
+    "n_gates": 800,
+    "n_buffers": 2,
+    "n_paths": 24,
+}
+OFFLINE = {"hold_samples": 400}
+
+
+def percentile_ms(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples) * 1e3, q))
+
+
+def tier_row(latencies: dict[str, list[float]], tier: str) -> dict:
+    samples = latencies.get(tier, [])
+    if not samples:
+        return {"n": 0, "p50_ms": None, "p99_ms": None}
+    return {
+        "n": len(samples),
+        "p50_ms": round(percentile_ms(samples, 50), 3),
+        "p99_ms": round(percentile_ms(samples, 99), 3),
+    }
+
+
+def build_requests(n_unique: int, n_chips: int) -> list[dict]:
+    """Distinct-key requests sharing one circuit and one preparation."""
+    from repro.circuit import CircuitSpec, generate_circuit
+    from repro.core.yields import chip_source, operating_periods
+
+    circuit = generate_circuit(CircuitSpec(**SPEC), seed=7)
+    population = chip_source(circuit, 2000, seed=3).realize()
+    t1, t2 = operating_periods(population)
+    periods = np.linspace(t1, t2, n_unique)
+    return [
+        {
+            "circuit": {"spec": SPEC, "seed": 7},
+            "period": float(period),
+            "clock_period": float(t1),  # one shared preparation
+            "n_chips": n_chips,
+            "seed": 11,
+            "offline": OFFLINE,
+            "online": {"chip_shard_size": max(4, n_chips // 4)},
+        }
+        for period in periods
+    ]
+
+
+def run_load(
+    n_unique: int, burst_keys: int, burst_k: int, n_chips: int
+) -> dict:
+    """The full three-tier mix against one in-process daemon."""
+    from repro.api import Engine, OfflineConfig
+    from repro.results.store import RunStore, store_layout
+    from repro.service import EffiTestDaemon, ServiceClient, ServiceCore
+
+    workspace = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    runs, preparations = store_layout(workspace)
+    core = ServiceCore(
+        RunStore(runs),
+        engine=Engine(
+            offline=OfflineConfig(**OFFLINE), cache_dir=preparations
+        ),
+        n_workers=max(2, burst_keys),
+    )
+    daemon = EffiTestDaemon(core, port=0).start()
+    host, port = daemon.address
+    client = ServiceClient(host, port)
+    assert client.healthy(), "daemon failed to come up"
+
+    requests = build_requests(n_unique + burst_keys, n_chips)
+    cold_requests = requests[:n_unique]
+    burst_requests = requests[n_unique:]
+    latencies: dict[str, list[float]] = {}
+    outcome: dict = {"config": {
+        "unique_cold_keys": n_unique,
+        "burst_keys": burst_keys,
+        "burst_k": burst_k,
+        "n_chips": n_chips,
+    }}
+
+    def timed(c: ServiceClient, payload: dict) -> tuple[str, float]:
+        start = time.perf_counter()
+        result = c.run(payload)
+        elapsed = time.perf_counter() - start
+        latencies.setdefault(result.tier, []).append(elapsed)
+        return result.tier, elapsed
+
+    try:
+        # Phase 1 — cold misses, distinct keys, shared preparation.
+        cold_tiers = [timed(client, payload)[0] for payload in cold_requests]
+        assert cold_tiers == ["miss"] * n_unique, cold_tiers
+        prep_after_cold = client.stats()["preparations"]
+
+        # Phase 2 — duplicate bursts: K synchronized clients per fresh key.
+        runs_before_burst = client.stats()["engine_runs"]
+        burst_tiers: list[str] = []
+        for payload in burst_requests:
+            barrier = threading.Barrier(burst_k)
+            tiers = [None] * burst_k
+
+            def fire(i: int) -> None:
+                c = ServiceClient(host, port)
+                barrier.wait()  # all K requests hit the socket together
+                tiers[i], _ = timed(c, payload)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,))
+                for i in range(burst_k)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            burst_tiers.extend(tiers)
+        burst_runs = client.stats()["engine_runs"] - runs_before_burst
+        burst_total = burst_keys * burst_k
+        coalescing_ratio = 1.0 - burst_runs / burst_total
+        target_ratio = 0.9 * (burst_k - 1) / burst_k
+
+        # Phase 3 — warm hits: every key again, all from the store tier.
+        runs_before_warm = client.stats()["engine_runs"]
+        warm_tiers = [timed(client, payload)[0] for payload in requests]
+        warm_runs = client.stats()["engine_runs"] - runs_before_warm
+
+        stats = client.stats()
+        outcome.update({
+            "tiers": {
+                tier: tier_row(latencies, tier)
+                for tier in ("store", "inflight", "miss")
+            },
+            "coalescing": {
+                "burst_requests": burst_total,
+                "burst_engine_runs": burst_runs,
+                "measured_ratio": round(coalescing_ratio, 4),
+                "target_ratio": round(target_ratio, 4),
+                "burst_tiers": {
+                    tier: burst_tiers.count(tier)
+                    for tier in ("miss", "inflight", "store")
+                },
+            },
+            "warm": {
+                "requests": len(warm_tiers),
+                "store_tier": warm_tiers.count("store"),
+                "engine_runs": warm_runs,
+            },
+            "engine_runs_total": stats["engine_runs"],
+            "unique_keys": len(requests),
+            "preparations": {
+                "computes_after_cold": prep_after_cold["computes"],
+                "computes": stats["preparations"]["computes"],
+                "hit_rate": round(stats["preparations"]["hit_rate"], 4),
+            },
+            "store": stats["store"],
+        })
+    finally:
+        try:
+            client.shutdown()
+        except Exception:
+            pass
+        daemon.stop()
+        outcome["clean_shutdown"] = True
+    return outcome
+
+
+def gate(outcome: dict, smoke: bool) -> list[str]:
+    """Hard checks; returns the list of violated contracts."""
+    failures = []
+    coalescing = outcome["coalescing"]
+    if smoke:
+        if not coalescing["measured_ratio"] > 0.0:
+            failures.append(
+                f"no coalescing at all: ratio {coalescing['measured_ratio']}"
+            )
+    elif coalescing["measured_ratio"] < coalescing["target_ratio"]:
+        failures.append(
+            f"coalescing ratio {coalescing['measured_ratio']} below target "
+            f"{coalescing['target_ratio']}"
+        )
+    if outcome["engine_runs_total"] != outcome["unique_keys"]:
+        failures.append(
+            f"engine runs {outcome['engine_runs_total']} != unique keys "
+            f"{outcome['unique_keys']} (coalescing or store tier leaked work)"
+        )
+    warm = outcome["warm"]
+    if warm["engine_runs"] != 0 or warm["store_tier"] != warm["requests"]:
+        failures.append(f"warm phase was not free: {warm}")
+    # The shared clock_period means exactly one offline compute ever.
+    if outcome["preparations"]["computes"] != 1:
+        failures.append(
+            f"expected 1 preparation compute, saw "
+            f"{outcome['preparations']['computes']}"
+        )
+    if not outcome.get("clean_shutdown"):
+        failures.append("daemon did not shut down cleanly")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny CI mix")
+    parser.add_argument("--unique", type=int, default=None,
+                        help="distinct cold keys (default 6; smoke 2)")
+    parser.add_argument("--burst-keys", type=int, default=None,
+                        help="keys hit by duplicate bursts (default 3; smoke 1)")
+    parser.add_argument("--burst-k", type=int, default=None,
+                        help="concurrent duplicates per burst (default 8; smoke 4)")
+    parser.add_argument("--chips", type=int, default=None,
+                        help="chips per scenario (default 64; smoke 16)")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    parser.add_argument("--no-json", action="store_true")
+    args = parser.parse_args(argv)
+
+    n_unique = args.unique or (2 if args.smoke else 6)
+    burst_keys = args.burst_keys or (1 if args.smoke else 3)
+    burst_k = args.burst_k or (4 if args.smoke else 8)
+    n_chips = args.chips or (16 if args.smoke else 64)
+
+    outcome = run_load(n_unique, burst_keys, burst_k, n_chips)
+    print(json.dumps(outcome, indent=2))
+
+    if not args.smoke and not args.no_json:
+        args.json.write_text(json.dumps(outcome, indent=2) + "\n")
+        print(f"\nwrote {args.json}", file=sys.stderr)
+
+    failures = gate(outcome, smoke=args.smoke)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        mode = "smoke" if args.smoke else "full"
+        print(f"\n{mode} gates passed: coalescing ratio "
+              f"{outcome['coalescing']['measured_ratio']}, "
+              f"{outcome['engine_runs_total']} engine runs for "
+              f"{outcome['unique_keys']} unique keys, warm phase free",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,12 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.api.config import OfflineConfig
 from repro.circuit.fingerprint import fingerprint_circuit
-from repro.utils.diskio import prune_by_mtime, write_atomic
+from repro.utils.diskio import (
+    LockTimeout,
+    file_lock,
+    prune_by_mtime,
+    write_atomic,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.circuit.generator import Circuit
@@ -91,6 +96,22 @@ class CacheStats:
     def computes(self) -> int:
         """Number of times the offline stage actually ran."""
         return self.misses
+
+    @property
+    def warm_lookups(self) -> int:
+        """Lookups served without running the offline stage (any tier)."""
+        return self.hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Warm fraction of all lookups (0.0 when nothing was looked up).
+
+        The long-lived service reports this as its *prep warmth*: a
+        coalescing daemon serving near-duplicate traffic should converge
+        toward 1.0 as its preparation tiers fill.
+        """
+        total = self.hits + self.disk_hits + self.misses
+        return self.warm_lookups / total if total else 0.0
 
 
 class PreparationCache:
@@ -178,12 +199,23 @@ class PreparationCache:
         if path is None:
             return
         try:
-            write_atomic(
-                path,
-                lambda handle: pickle.dump(
-                    value, handle, protocol=pickle.HIGHEST_PROTOCOL
-                ),
-            )
+            # Serialize racing writers (daemons, pool workers sharing one
+            # cache directory) on a per-key lease and double-check under
+            # it: preparations are content-addressed, so if the artifact
+            # exists the race is already won and rewriting multi-MB
+            # pickles is pure waste.  A contended lease means the holder
+            # is writing this very artifact — skip, don't wait long.
+            with file_lock(path.with_suffix(".lock"), timeout=5.0):
+                if path.exists():
+                    return
+                write_atomic(
+                    path,
+                    lambda handle: pickle.dump(
+                        value, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                )
+        except LockTimeout:
+            return
         except Exception:
             # Full/read-only disk, an unpicklable preparation variant —
             # a failed store never fails the computation it was caching.

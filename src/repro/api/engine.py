@@ -301,29 +301,27 @@ def _iter_population_shards(
         )
 
 
-def _run_prepared(
+def iter_shard_summaries(
     circuit: Circuit,
     population: Chips,
     period: float,
     preparation: Preparation,
     online: OnlineConfig,
     test_stage: TestStage | None = None,
-) -> RunSummary:
-    """Execute the online stages against one preparation, shard by shard.
+) -> Iterator[RunSummary]:
+    """Online pipeline as a *stream*: one reduced summary per chip shard.
 
     Each chip shard runs the whole online pipeline (test, predict,
-    configure, verify) and is reduced into a
-    :class:`~repro.core.reduction.RunReducer`; with
-    ``online.artifacts="summary"`` the dense per-shard arrays are dropped
-    as soon as the shard is reduced, so peak memory is O(shard) on the
-    output side as well as the input side.  Chips are independent through
-    every stage, so results are bit-identical for any shard size.
+    configure, verify) and its reduced :class:`RunSummary` is yielded as
+    soon as the shard completes — the seam the serving layer
+    (:mod:`repro.service`) streams results through while a run is still in
+    flight.  Merging the yielded parts with
+    :func:`~repro.core.reduction.merge_run_summaries` reproduces the
+    unsharded run exactly (chips are independent through every stage).
 
     A custom ``test_stage`` sees the population in one piece (its
     iteration accounting may aggregate across chips, as the path-wise
     baseline's does); only the default aligned stage is shard-driven.
-    Module-level so process-pool workers can run it without shipping the
-    engine (and its cache) to every worker.
     """
     stage = test_stage or AlignedTestStage(online)
     verify = VerifyStage(online.chip_shard_size)
@@ -336,7 +334,7 @@ def _run_prepared(
         bounds = predict.run(preparation, tested)
         configured = configure.run(preparation, bounds, period)
         verified = verify.run(circuit, shard, configured, period)
-        reducer.add_shard(
+        yield reducer.add_shard(
             tested.test,
             bounds.lower,
             bounds.upper,
@@ -347,7 +345,33 @@ def _run_prepared(
             # + configuration.
             bounds.predict_seconds_per_chip + configured.config_seconds_per_chip,
         )
-    return reducer.finalize()
+
+
+def _run_prepared(
+    circuit: Circuit,
+    population: Chips,
+    period: float,
+    preparation: Preparation,
+    online: OnlineConfig,
+    test_stage: TestStage | None = None,
+) -> RunSummary:
+    """Execute the online stages against one preparation, shard by shard.
+
+    The collected form of :func:`iter_shard_summaries`: with
+    ``online.artifacts="summary"`` the dense per-shard arrays are dropped
+    as soon as each shard is reduced, so peak memory is O(shard) on the
+    output side as well as the input side.  Module-level so process-pool
+    workers can run it without shipping the engine (and its cache) to
+    every worker.
+    """
+    parts = list(
+        iter_shard_summaries(
+            circuit, population, period, preparation, online, test_stage
+        )
+    )
+    if not parts:
+        raise ValueError("cannot summarize an empty population (no shards)")
+    return merge_run_summaries(parts)
 
 
 #: Per-worker tables of the distinct circuits/preparations for one batch
@@ -654,14 +678,18 @@ class Engine:
         self,
         scenarios: Iterable[Scenario] | ScenarioGrid,
         *,
-        store: "RunStore | None" = None,
+        store: "RunStore | str | Path | None" = None,
         max_workers: int | None = None,
     ) -> Iterator[RunRecord]:
         """Run a scenario sweep, resumably, yielding records incrementally.
 
-        With a :class:`~repro.results.RunStore`, scenarios whose results
-        are already stored are *loaded* (bit-identically, no offline or
-        online stage runs) and every computed result is written back —
+        ``store`` may be an already-open :class:`~repro.results.RunStore`
+        or a directory path (one is opened there); both are normalized
+        through :func:`repro.results.ensure_store`, so callers never
+        duplicate default-path logic.  With a store, scenarios whose
+        results are already stored are *loaded* (bit-identically, no
+        offline or online stage runs) and every computed result is written
+        back —
         interrupting a sweep and re-running it only pays for the scenarios
         that are still missing, and re-running a completed sweep executes
         zero online stages.  The remaining scenarios run exactly like
@@ -673,12 +701,14 @@ class Engine:
         are still salvaged into the store, and tasks that never started
         are cancelled rather than waited for.
         """
+        from repro.results.store import ensure_store
+
         expanded = (
             scenarios.scenarios()
             if isinstance(scenarios, ScenarioGrid)
             else list(scenarios)
         )
-        return self._sweep_iter(expanded, store, max_workers)
+        return self._sweep_iter(expanded, ensure_store(store), max_workers)
 
     def _sweep_iter(
         self,
@@ -945,5 +975,6 @@ __all__ = [
     "RunRecord",
     "Scenario",
     "ScenarioGrid",
+    "iter_shard_summaries",
     "records_table",
 ]

@@ -24,7 +24,6 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from pathlib import Path
 
 from repro.api import Engine
 from repro.experiments.benchdata import BENCHMARK_NAMES, QUICK_NAMES
@@ -32,7 +31,7 @@ from repro.experiments.figure7 import render_figure7, run_figure7
 from repro.experiments.figure8 import render_figure8, run_figure8
 from repro.experiments.table1 import render_table1, run_table1
 from repro.experiments.table2 import render_table2, run_table2
-from repro.results import RunStore
+from repro.results import RunStore, store_layout
 
 _EXPERIMENTS = ("table1", "table2", "figure7", "figure8")
 
@@ -96,7 +95,8 @@ def build_store(args: argparse.Namespace) -> RunStore | None:
     if getattr(args, "no_store", False):
         return None
     root = getattr(args, "store", None) or DEFAULT_STORE
-    return RunStore(Path(root) / "runs")
+    runs, _preparations = store_layout(root)
+    return RunStore(runs)
 
 
 def build_engine(args: argparse.Namespace) -> Engine:
@@ -104,7 +104,8 @@ def build_engine(args: argparse.Namespace) -> Engine:
     if getattr(args, "no_store", False):
         return Engine()
     root = getattr(args, "store", None) or DEFAULT_STORE
-    return Engine(cache_dir=Path(root) / "preparations")
+    _runs, preparations = store_layout(root)
+    return Engine(cache_dir=preparations)
 
 
 def run_one(

@@ -28,6 +28,8 @@ from repro.results.store import (
     RunStore,
     StoreStats,
     StoredRun,
+    ensure_store,
+    store_layout,
 )
 
 __all__ = [
@@ -40,4 +42,6 @@ __all__ = [
     "StoreStats",
     "StoredRun",
     "RunSummary",
+    "ensure_store",
+    "store_layout",
 ]

@@ -27,16 +27,29 @@ Corrupt or version-skewed artifacts are deleted and recomputed; the store
 can only ever *save* work, never fail a run.  ``max_entries`` prunes the
 oldest records by modification time, mirroring the preparation cache's
 disk tier.
+
+The store is safe for *multiple concurrent writers* — racing daemons,
+batch sweeps and pool workers pointed at one directory.  Readers need no
+locks (rename-atomic writes mean they only ever see whole records); each
+write takes a per-key lease file and re-checks the store under the lease
+(double-checked locking), so two processes computing the same key produce
+exactly one record and a loser never tears the winner's files.  A writer
+killed hard leaves its lease and temp files behind; :meth:`RunStore.recover`
+(run automatically on open) reaps them once they age past
+``stale_after``, alongside orphaned array payloads whose JSON half never
+landed.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -48,7 +61,14 @@ from repro.core.reduction import (
     RunSummary,
     artifacts_rank,
 )
-from repro.utils.diskio import prune_by_mtime, write_atomic
+from repro.utils.diskio import (
+    DEFAULT_STALE_AFTER,
+    LockTimeout,
+    file_lock,
+    prune_by_mtime,
+    reap_stale_files,
+    write_atomic,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids upward imports
     from repro.api.config import OfflineConfig, OnlineConfig
@@ -128,11 +148,17 @@ class StoredRun:
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Counters exposed for tests and capacity planning."""
+    """Counters exposed for tests and capacity planning.
+
+    ``skipped`` counts writes elided by double-checked locking: the lease
+    holder found an equivalent (or richer) record already on disk — i.e.
+    another writer won the race and this process wrote nothing.
+    """
 
     hits: int
     misses: int
     stores: int
+    skipped: int = 0
 
 
 # ----------------------------------------------------------------------------
@@ -160,8 +186,13 @@ def _moments_from_json(payload: dict) -> Moments:
     return Moments(**payload)
 
 
-def _summary_payload(summary: RunSummary) -> tuple[dict, dict[str, np.ndarray]]:
-    """Split a summary into its JSON scalars and its NPZ arrays."""
+def summary_payload(summary: RunSummary) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a summary into its JSON scalars and its NPZ arrays.
+
+    Public because the service wire protocol (:mod:`repro.service.protocol`)
+    reuses exactly this decomposition — one serialization schema, two
+    transports (files here, JSON-lines there).
+    """
     arrays: dict[str, np.ndarray] = {}
     if summary.passed is not None:
         arrays["passed"] = summary.passed
@@ -198,7 +229,7 @@ def _summary_payload(summary: RunSummary) -> tuple[dict, dict[str, np.ndarray]]:
     return meta, arrays
 
 
-def _payload_summary(
+def payload_summary(
     meta: dict, arrays: dict[str, np.ndarray], mode: str
 ) -> RunSummary:
     """Rebuild a summary at retention ``mode`` from its stored payload.
@@ -251,18 +282,37 @@ class RunStore:
     JSON + NPZ — safe to load from an untrusted directory, diffable, and
     readable by any numpy.  ``max_entries`` prunes the oldest records by
     modification time; ``None`` keeps everything.
+
+    Writes serialize per key on a ``run-<digest>.lock`` lease file and
+    double-check the store under the lease, so any number of processes may
+    write concurrently: the first writer of a key lands the record, later
+    racers skip (counted in ``stats.skipped``).  ``lock_timeout`` bounds
+    how long a writer waits for a contended lease before giving up the
+    (best-effort) write; ``stale_after`` is the age past which leases and
+    temp files of crashed writers are broken/reaped.  Opening a store runs
+    one :meth:`recover` pass.
     """
 
-    def __init__(self, root: str | Path, max_entries: int | None = None):
+    def __init__(
+        self,
+        root: str | Path,
+        max_entries: int | None = None,
+        lock_timeout: float = 30.0,
+        stale_after: float = DEFAULT_STALE_AFTER,
+    ):
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
+        self.lock_timeout = lock_timeout
+        self.stale_after = stale_after
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
+        self._skipped = 0
+        self.recover()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("run-*.json"))
@@ -274,7 +324,10 @@ class RunStore:
     def stats(self) -> StoreStats:
         with self._lock:
             return StoreStats(
-                hits=self._hits, misses=self._misses, stores=self._stores
+                hits=self._hits,
+                misses=self._misses,
+                stores=self._stores,
+                skipped=self._skipped,
             )
 
     # -- paths -----------------------------------------------------------------
@@ -284,6 +337,9 @@ class RunStore:
 
     def _npz_path(self, key: RunKey) -> Path:
         return self.root / f"run-{key.digest()}.npz"
+
+    def _lock_path(self, key: RunKey) -> Path:
+        return self.root / f"run-{key.digest()}.lock"
 
     def _drop(self, key: RunKey) -> None:
         for path in (self._json_path(key), self._npz_path(key)):
@@ -368,7 +424,7 @@ class RunStore:
                 with np.load(self._npz_path(key)) as payload:
                     arrays = {name: payload[name] for name in needed}
             run = StoredRun(
-                summary=_payload_summary(meta, arrays, artifacts),
+                summary=payload_summary(meta, arrays, artifacts),
                 offline_seconds=float(meta.get("offline_seconds", 0.0)),
             )
         except Exception:
@@ -380,11 +436,82 @@ class RunStore:
         self._count("_hits")
         return run
 
+    @contextlib.contextmanager
+    def lease(self, key: RunKey) -> Iterator[None]:
+        """Hold ``key``'s cross-process writer lease for the block.
+
+        Serializes writers of one key across *processes* (the coalescing
+        daemon uses it around compute-and-store so two daemons sharing a
+        store directory never duplicate a run).  Raises
+        :class:`~repro.utils.diskio.LockTimeout` past ``lock_timeout``;
+        leases older than ``stale_after`` are treated as crashed and
+        broken.
+        """
+        with file_lock(
+            self._lock_path(key),
+            timeout=self.lock_timeout,
+            stale_after=self.stale_after,
+        ):
+            yield
+
     def store(
         self, key: RunKey, summary: RunSummary, offline_seconds: float = 0.0
     ) -> None:
-        """Persist one record atomically (best-effort; never raises)."""
-        meta, arrays = _summary_payload(summary)
+        """Persist one record atomically (best-effort; never raises).
+
+        Concurrent-writer safe: the write happens under ``key``'s lease
+        file, and the store is re-checked under the lease — if an
+        equivalent (or richer) record landed while we raced, nothing is
+        written (``stats.skipped``), so N racing writers produce exactly
+        one record and never tear each other's files.  A lease contended
+        past ``lock_timeout`` skips the write too: the holder is writing
+        this very record.
+        """
+        try:
+            with self.lease(key):
+                if self.probe(key, artifacts=summary.artifacts):
+                    # Double-check under the lock: another writer already
+                    # landed a record at least this rich.
+                    self._count("_skipped")
+                    return
+                self._store_locked(key, summary, offline_seconds)
+        except LockTimeout:
+            self._count("_skipped")
+            return
+        except Exception:
+            self._drop(key)
+            return
+        self._count("_stores")
+        self.prune()
+
+    def store_under_lease(
+        self, key: RunKey, summary: RunSummary, offline_seconds: float = 0.0
+    ) -> None:
+        """Persist a record while *already holding* ``key``'s lease.
+
+        :meth:`store` acquires the lease itself; callers that compute under
+        :meth:`lease` (the service daemon's leader path) use this variant
+        instead — the lease file is not reentrant, so calling ``store``
+        inside the block would stall until ``lock_timeout`` and then skip.
+        Same semantics otherwise: double-checked against the store,
+        best-effort, counters and pruning included.
+        """
+        try:
+            if self.probe(key, artifacts=summary.artifacts):
+                self._count("_skipped")
+                return
+            self._store_locked(key, summary, offline_seconds)
+        except Exception:
+            self._drop(key)
+            return
+        self._count("_stores")
+        self.prune()
+
+    def _store_locked(
+        self, key: RunKey, summary: RunSummary, offline_seconds: float
+    ) -> None:
+        """The actual record write; caller holds ``key``'s lease."""
+        meta, arrays = summary_payload(summary)
         meta["version"] = DISK_FORMAT_VERSION
         meta["offline_seconds"] = float(offline_seconds)
         meta["key"] = {
@@ -395,29 +522,23 @@ class RunStore:
             "period": key.period,
             "clock_period": key.clock_period,
         }
-        try:
-            # Arrays land first, the JSON record last: a record is visible
-            # only once its whole payload is.  allow_nan=False keeps the
-            # records strict RFC 8259 JSON, readable by any tooling.
-            if arrays:
-                write_atomic(
-                    self._npz_path(key),
-                    lambda handle: np.savez(handle, **arrays),
-                )
-            else:
-                # A slimmer re-store must not leave a stale array file.
-                self._npz_path(key).unlink(missing_ok=True)
+        # Arrays land first, the JSON record last: a record is visible
+        # only once its whole payload is.  allow_nan=False keeps the
+        # records strict RFC 8259 JSON, readable by any tooling.
+        if arrays:
             write_atomic(
-                self._json_path(key),
-                lambda handle: handle.write(
-                    json.dumps(meta, indent=1, allow_nan=False).encode()
-                ),
+                self._npz_path(key),
+                lambda handle: np.savez(handle, **arrays),
             )
-        except Exception:
-            self._drop(key)
-            return
-        self._count("_stores")
-        self.prune()
+        else:
+            # A slimmer re-store must not leave a stale array file.
+            self._npz_path(key).unlink(missing_ok=True)
+        write_atomic(
+            self._json_path(key),
+            lambda handle: handle.write(
+                json.dumps(meta, indent=1, allow_nan=False).encode()
+            ),
+        )
 
     def prune(self) -> None:
         """Delete the oldest records past ``max_entries`` (by mtime)."""
@@ -428,15 +549,83 @@ class RunStore:
             companions=lambda record: (record.with_suffix(".npz"),),
         )
 
+    def recover(self, stale_after: float | None = None) -> int:
+        """Clean up what a killed writer can leave behind; returns count.
+
+        Three kinds of debris (all invisible to ``load``, which only ever
+        follows whole ``.json`` records, but each wastes space or blocks
+        writers):
+
+        * ``*.tmp`` — ``write_atomic`` staging files that never reached
+          their rename,
+        * ``run-*.npz`` without a ``run-*.json`` sibling — array payloads
+          whose metadata half never landed (arrays are written first),
+        * ``run-*.lock`` — abandoned writer leases (the mtime-based
+          stale-lease reaper; a live writer's young lease survives).
+
+        Only files older than ``stale_after`` (default: the store's) are
+        touched, so in-flight writers are never disturbed.  Runs on store
+        open; call it explicitly in long-lived daemons.
+        """
+        horizon = self.stale_after if stale_after is None else stale_after
+        reaped = reap_stale_files(self.root, "*.tmp", horizon)
+        reaped += reap_stale_files(self.root, "run-*.lock", horizon)
+        for orphan in self.root.glob("run-*.npz"):
+            if orphan.with_suffix(".json").exists():
+                continue
+            try:
+                age = time.time() - orphan.stat().st_mtime
+            except OSError:
+                continue
+            if age <= horizon:
+                continue  # a writer may be mid-record: npz lands first
+            try:
+                orphan.unlink(missing_ok=True)
+            except OSError:
+                continue
+            reaped += 1
+        return reaped
+
     def clear(self) -> None:
         """Delete every record (counters included)."""
         for record in self.root.glob("run-*.json"):
             record.unlink(missing_ok=True)
-            record.with_suffix(".npz").unlink(missing_ok=True)
+        for debris in ("run-*.npz", "run-*.lock", "*.tmp"):
+            for path in self.root.glob(debris):
+                path.unlink(missing_ok=True)
         with self._lock:
             self._hits = 0
             self._misses = 0
             self._stores = 0
+            self._skipped = 0
+
+
+def store_layout(root: str | Path) -> tuple[Path, Path]:
+    """Canonical sub-directories of one persistent workspace ``root``.
+
+    Returns ``(runs_dir, preparations_dir)`` — where the
+    :class:`RunStore` and the engine's disk preparation tier live under a
+    workspace such as ``.effitest-store``.  The experiment runner and the
+    service daemon both derive their paths here, so a daemon pointed at an
+    experiment workspace serves its records (and vice versa) instead of
+    silently maintaining a parallel tree.
+    """
+    base = Path(root).expanduser()
+    return base / "runs", base / "preparations"
+
+
+def ensure_store(store: "RunStore | str | Path | None") -> "RunStore | None":
+    """Normalize the ``store=`` argument every consumer accepts.
+
+    ``None`` passes through (no persistence), an open :class:`RunStore` is
+    used as-is, and a path opens one at that directory.  The single place
+    where "store or path" becomes a store — :meth:`repro.api.Engine.sweep`,
+    the experiment runner, and the service daemon all call this instead of
+    re-implementing default-path logic.
+    """
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store)
 
 
 __all__ = [
@@ -445,4 +634,8 @@ __all__ = [
     "RunStore",
     "StoreStats",
     "StoredRun",
+    "ensure_store",
+    "payload_summary",
+    "store_layout",
+    "summary_payload",
 ]

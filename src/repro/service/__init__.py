@@ -1,0 +1,61 @@
+"""The serving layer: a long-lived EffiTest daemon over the RunStore.
+
+Batch experiments (:mod:`repro.experiments`) pay for every scenario when
+the sweep runs; this package serves scenarios *on request*, continuously,
+from one persistent workspace.  Three tiers, in order:
+
+1. **store** — the :class:`~repro.results.RunStore` record already
+   exists: load it (zero offline/online work),
+2. **inflight** — the same :class:`~repro.results.store.RunKey` is being
+   computed right now: attach and stream the same shards
+   (:mod:`repro.service.coalesce` — N concurrent duplicates, one engine
+   run),
+3. **miss** — compute on a persistent worker pool whose
+   :class:`~repro.api.cache.PreparationCache` stays warm across requests.
+
+Entry points:
+
+* :class:`~repro.service.daemon.EffiTestDaemon` /
+  :class:`~repro.service.daemon.ServiceCore` — the server
+  (``python -m repro.service serve`` / ``jobs``),
+* :class:`~repro.service.client.ServiceClient` — the stdlib HTTP client,
+* :mod:`repro.service.protocol` — the strict-JSON wire schema shared by
+  both.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, ServiceResult
+from repro.service.coalesce import (
+    CoalesceStats,
+    CoalescingTable,
+    InFlightRun,
+    RunFailed,
+)
+from repro.service.daemon import EffiTestDaemon, ServiceCore
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    TIER_INFLIGHT,
+    TIER_MISS,
+    TIER_STORE,
+    CircuitRegistry,
+    ProtocolError,
+    RunRequest,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CircuitRegistry",
+    "CoalesceStats",
+    "CoalescingTable",
+    "EffiTestDaemon",
+    "InFlightRun",
+    "ProtocolError",
+    "RunFailed",
+    "RunRequest",
+    "ServiceClient",
+    "ServiceCore",
+    "ServiceError",
+    "ServiceResult",
+    "TIER_INFLIGHT",
+    "TIER_MISS",
+    "TIER_STORE",
+]

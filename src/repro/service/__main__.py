@@ -1,0 +1,170 @@
+"""Command-line entry points of the EffiTest service.
+
+Usage::
+
+    python -m repro.service serve [--root DIR] [--host H] [--port P]
+                                  [--workers N] [--verbose]
+    python -m repro.service jobs  [--root DIR] [--workers N]
+                                  [--input FILE] [--output FILE]
+
+``serve`` runs the long-lived HTTP daemon; ``jobs`` is the queue mode —
+one JSON request per input line (default stdin), protocol events streamed
+as JSON lines to the output (default stdout), each tagged with the
+zero-based ``job`` index of the request it answers.  Duplicate requests in
+a job file coalesce exactly like concurrent HTTP requests do: the store
+tier answers repeats of anything already computed.
+
+Both modes share the experiment runner's workspace layout
+(:func:`repro.results.store.store_layout`): point ``--root`` at an
+existing ``.effitest-store`` and the daemon serves the records your batch
+sweeps already computed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api import Engine
+from repro.results.store import RunStore, store_layout
+from repro.service.daemon import EffiTestDaemon, ServiceCore
+
+#: The experiment runner's default workspace, shared deliberately.
+DEFAULT_ROOT = ".effitest-store"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve EffiTest scenario runs from a persistent store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--root",
+            default=DEFAULT_ROOT,
+            help="workspace directory: run store + preparation cache "
+            f"(default: {DEFAULT_ROOT})",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=2,
+            help="persistent computation threads (default: 2)",
+        )
+
+    serve = commands.add_parser("serve", help="run the HTTP daemon")
+    common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8940,
+        help="listen port; 0 binds an ephemeral one (default: 8940)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    jobs = commands.add_parser(
+        "jobs", help="answer a queue of JSON-line requests"
+    )
+    common(jobs)
+    jobs.add_argument(
+        "--input",
+        default="-",
+        help="request file, one JSON object per line (default: stdin)",
+    )
+    jobs.add_argument(
+        "--output",
+        default="-",
+        help="event destination, JSON lines (default: stdout)",
+    )
+    return parser
+
+
+def build_core(root: str, workers: int) -> ServiceCore:
+    """A service core on the shared workspace layout under ``root``."""
+    runs, preparations = store_layout(root)
+    return ServiceCore(
+        RunStore(runs),
+        engine=Engine(cache_dir=preparations),
+        n_workers=workers,
+    )
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    core = build_core(args.root, args.workers)
+    daemon = EffiTestDaemon(
+        core, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = daemon.address
+    print(
+        f"effitest daemon on http://{host}:{port} "
+        f"(store: {args.root}, workers: {args.workers})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.server.server_close()
+        core.close()
+    return 0
+
+
+def run_jobs(args: argparse.Namespace) -> int:
+    core = build_core(args.root, args.workers)
+    source = (
+        sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
+    )
+    sink = (
+        sys.stdout
+        if args.output == "-"
+        else open(args.output, "w", encoding="utf-8")
+    )
+    failed = 0
+    try:
+        job = 0
+        for line in source:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as exc:
+                payload = None
+                error = f"malformed request line: {exc}"
+            if payload is None:
+                events = iter(({"event": "error", "error": error, "kind": "protocol"},))
+            else:
+                events = core.handle(payload)
+            for event in events:
+                if event.get("event") == "error":
+                    failed += 1
+                sink.write(json.dumps({"job": job, **event}, allow_nan=False))
+                sink.write("\n")
+                sink.flush()
+            job += 1
+    finally:
+        if source is not sys.stdin:
+            source.close()
+        if sink is not sys.stdout:
+            sink.close()
+        core.close()
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return run_serve(args)
+    return run_jobs(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Client for the EffiTest daemon: stream events, reassemble summaries.
+
+Stdlib-only (:mod:`http.client`), matching the daemon's stdlib-only server.
+:meth:`ServiceClient.run` is the high-level call — POST the request, read
+the ndjson event stream as the daemon flushes it, decode the shard
+summaries and merge them with
+:func:`~repro.core.reduction.merge_run_summaries`, exactly like the
+engine's own shard reduction — so a streamed run reassembles
+bit-identically to a local one.  :meth:`ServiceClient.stream` exposes the
+raw event iterator for callers that want per-shard progress (first shard
+statistics arrive while later shards still compute).
+
+One connection per request; a client object is cheap and *not* shared
+across threads (concurrent load generators build one client per thread).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.reduction import merge_run_summaries
+from repro.service.protocol import (
+    EVENT_ACCEPTED,
+    EVENT_DONE,
+    EVENT_ERROR,
+    EVENT_SHARD,
+    RunRequest,
+    decode_event,
+    decode_summary,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reduction import RunSummary
+
+
+class ServiceError(RuntimeError):
+    """The daemon refused or failed the request (terminal error event)."""
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One completed run as seen from the client side."""
+
+    tier: str
+    digest: str
+    summary: "RunSummary"
+    n_shards: int
+    offline_seconds: float
+    elapsed_seconds: float
+
+    @property
+    def coalesced(self) -> bool:
+        """True when this request attached to another's computation."""
+        return self.tier == "inflight"
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.daemon.EffiTestDaemon`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8940, timeout: float = 300.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _json_call(self, method: str, path: str) -> dict:
+        conn = self._connect()
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            if response.status != 200:
+                raise ServiceError(
+                    payload.get("error", f"HTTP {response.status} on {path}")
+                )
+            return payload
+        finally:
+            conn.close()
+
+    def healthy(self) -> bool:
+        """True when the daemon answers ``/healthz``."""
+        try:
+            return bool(self._json_call("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError, ValueError):
+            return False
+
+    def stats(self) -> dict:
+        """The daemon's ``/stats`` payload (tiers, coalescing, warmth)."""
+        return self._json_call("GET", "/stats")
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop serving (it drains and exits)."""
+        self._json_call("POST", "/shutdown")
+
+    def stream(self, request: RunRequest | dict) -> Iterator[dict]:
+        """POST one request; yield protocol events as the daemon sends them.
+
+        The stream is lazy end to end — each ``shard`` event is yielded as
+        its chunk arrives, while the daemon is still computing later
+        shards.  A non-200 response (schema violation) raises
+        :class:`ServiceError` before the first event.
+        """
+        payload = (
+            request.to_json() if isinstance(request, RunRequest) else request
+        )
+        body = json.dumps(payload, allow_nan=False).encode()
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST",
+                "/run",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", raw.decode())
+                except ValueError:
+                    message = raw.decode(errors="replace")
+                raise ServiceError(message)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                yield decode_event(line)
+        finally:
+            conn.close()
+
+    def run(self, request: RunRequest | dict) -> ServiceResult:
+        """Execute one request and reassemble the merged summary.
+
+        Raises :class:`ServiceError` on a terminal ``error`` event (a
+        failed run propagates the leader's failure to every coalesced
+        client) or a truncated stream.
+        """
+        tier = digest = None
+        shards: list["RunSummary"] = []
+        done: dict | None = None
+        for event in self.stream(request):
+            name = event["event"]
+            if name == EVENT_ACCEPTED:
+                tier = event["tier"]
+                digest = event["digest"]
+            elif name == EVENT_SHARD:
+                shards.append(decode_summary(event["summary"]))
+            elif name == EVENT_ERROR:
+                raise ServiceError(event.get("error", "run failed"))
+            elif name == EVENT_DONE:
+                done = event
+        if done is None or tier is None or digest is None or not shards:
+            raise ServiceError(
+                "stream ended without a terminal done event (daemon died?)"
+            )
+        summary = (
+            shards[0] if len(shards) == 1 else merge_run_summaries(shards)
+        )
+        return ServiceResult(
+            tier=tier,
+            digest=digest,
+            summary=summary,
+            n_shards=int(done["n_shards"]),
+            offline_seconds=float(done["offline_seconds"]),
+            elapsed_seconds=float(done["elapsed_seconds"]),
+        )
+
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceResult"]

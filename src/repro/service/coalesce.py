@@ -1,0 +1,205 @@
+"""RunKey request coalescing: N concurrent requests, one computation.
+
+The serving layer's middle tier.  The first request for a
+:class:`~repro.results.store.RunKey` becomes the *leader* — it computes
+the run; every request arriving while that computation is in flight
+becomes a *follower* and attaches to the same :class:`InFlightRun`.  The
+entry is a broadcast log of reduced shard summaries: the leader publishes
+each shard as the pipeline finishes it, and every watcher (leader's own
+response stream included) replays the log and then follows the live tail,
+so followers stream results at the same cadence as the leader instead of
+waiting for the end.
+
+Lifecycle contract (what the tests pin):
+
+* exactly one leader per key at a time — N concurrent requests for one
+  key run the engine once,
+* every watcher sees the identical shard sequence, so client-side merges
+  are bit-identical across all N responses,
+* a failed run propagates its exception to *every* watcher, and the entry
+  is evicted **before** watchers are woken — a retry after a failure
+  always recomputes (failures are never cached),
+* a finished entry is evicted too: the next request for the key is served
+  from the :class:`~repro.results.RunStore` the leader just wrote.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reduction import RunSummary
+
+
+class RunFailed(RuntimeError):
+    """The leader's computation raised; re-raised to every follower."""
+
+
+@dataclass(frozen=True)
+class CoalesceStats:
+    """Counters exposed for tests and the daemon's ``/stats`` endpoint."""
+
+    leaders: int
+    followers: int
+    failures: int
+
+    @property
+    def requests(self) -> int:
+        return self.leaders + self.followers
+
+    @property
+    def coalesced_fraction(self) -> float:
+        """Fraction of requests that attached instead of computing."""
+        return self.followers / self.requests if self.requests else 0.0
+
+
+class InFlightRun:
+    """Broadcast log of one in-flight computation, keyed by digest.
+
+    The leader appends via :meth:`publish` and terminates with
+    :meth:`finish` or :meth:`fail`; any number of threads iterate
+    :meth:`watch` concurrently.  Publishing after termination is a
+    programming error and raises.
+    """
+
+    def __init__(self, digest: str):
+        self.digest = digest
+        #: The leader's offline-stage cost, set before the first publish;
+        #: watchers report it in their terminal ``done`` event.
+        self.offline_seconds = 0.0
+        self._cond = threading.Condition()
+        self._shards: list["RunSummary"] = []
+        self._done = False
+        self._error: BaseException | None = None
+
+    def publish(self, shard: "RunSummary") -> None:
+        with self._cond:
+            if self._done:
+                raise RuntimeError("publish() after the run terminated")
+            self._shards.append(shard)
+            self._cond.notify_all()
+
+    def finish(self) -> None:
+        with self._cond:
+            self._done = True
+            self._cond.notify_all()
+
+    def fail(self, error: BaseException) -> None:
+        with self._cond:
+            self._error = error
+            self._done = True
+            self._cond.notify_all()
+
+    @property
+    def failed(self) -> bool:
+        with self._cond:
+            return self._error is not None
+
+    def watch(self) -> Iterator["RunSummary"]:
+        """Yield every shard, replay-then-follow; raise if the run failed.
+
+        Shards already published are yielded immediately; the live tail
+        blocks until the leader publishes or terminates.  On failure the
+        original exception is wrapped in :class:`RunFailed` (each watcher
+        gets its own raise site; the leader's traceback is the cause).
+        """
+        index = 0
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: len(self._shards) > index or self._done
+                )
+                shards = self._shards[index:]
+                done = self._done and len(self._shards) == index + len(shards)
+                error = self._error
+            for shard in shards:  # yield outside the lock
+                yield shard
+                index += 1
+            if done:
+                if error is not None:
+                    raise RunFailed(
+                        f"in-flight run {self.digest[:12]} failed: {error}"
+                    ) from error
+                return
+
+    def summaries(self) -> list["RunSummary"]:
+        """Block until termination; all shards (or raise on failure)."""
+        return list(self.watch())
+
+
+class CoalescingTable:
+    """The in-flight tier: digest → :class:`InFlightRun`, with leases.
+
+    :meth:`lease` is the only admission point: it returns the entry plus
+    whether the caller leads it.  Entries leave the table through
+    :meth:`complete` — called by the leader exactly once, *before* the
+    entry's watchers are released, so the eviction-before-wakeup ordering
+    (retries after failures recompute; successes fall through to the
+    store) holds by construction.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, InFlightRun] = {}
+        self._leaders = 0
+        self._followers = 0
+        self._failures = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> CoalesceStats:
+        with self._lock:
+            return CoalesceStats(
+                leaders=self._leaders,
+                followers=self._followers,
+                failures=self._failures,
+            )
+
+    def lease(self, digest: str) -> tuple[InFlightRun, bool]:
+        """Join (or start) the in-flight run for ``digest``.
+
+        Returns ``(entry, leader)``: the first caller for a digest leads
+        and must eventually :meth:`complete` the entry; later callers
+        follow and just :meth:`InFlightRun.watch` it.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._followers += 1
+                return entry, False
+            entry = InFlightRun(digest)
+            self._entries[digest] = entry
+            self._leaders += 1
+            return entry, True
+
+    def complete(
+        self, entry: InFlightRun, error: BaseException | None = None
+    ) -> None:
+        """Evict ``entry`` and terminate it (leader-only; call once).
+
+        The table slot is released *before* watchers wake: any request
+        arriving after this point starts fresh — from the store on
+        success, recomputing on failure.
+        """
+        with self._lock:
+            if self._entries.get(entry.digest) is entry:
+                del self._entries[entry.digest]
+            if error is not None:
+                self._failures += 1
+        if error is not None:
+            entry.fail(error)
+        else:
+            entry.finish()
+
+
+__all__ = [
+    "CoalesceStats",
+    "CoalescingTable",
+    "InFlightRun",
+    "RunFailed",
+]

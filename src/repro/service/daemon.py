@@ -1,0 +1,458 @@
+"""The long-lived EffiTest daemon: three serving tiers over one RunStore.
+
+:class:`ServiceCore` is the transport-independent heart — the HTTP front
+end below and the job-queue mode of ``python -m repro.service`` both drive
+it.  A request is normalized to a content-addressed
+:class:`~repro.results.store.RunKey` and served through the first tier
+that can answer it:
+
+1. **store** — the :class:`~repro.results.RunStore` already holds the
+   record: load it, zero offline/online work.
+2. **inflight** — another request for the same key is computing right
+   now: attach to its :class:`~repro.service.coalesce.InFlightRun` and
+   stream the same shards (N concurrent duplicates cost one engine run).
+3. **miss** — lead a fresh computation on the persistent worker pool.
+   Workers share the engine's two-tier
+   :class:`~repro.api.cache.PreparationCache`, so preparations stay warm
+   across requests: the first request for a circuit pays the offline
+   stage, every later one — at any period, any population — reuses it.
+
+A miss computes under the store's cross-process writer lease with a
+double-checked read: two *daemons* (or a daemon racing a batch sweep)
+sharing one store directory never duplicate a run either — the loser of
+the lease race finds the winner's record and serves it.
+
+Every response is a stream of protocol events (accepted → shard* →
+done/error); shard summaries are published as the pipeline reduces them,
+so clients see first results while later shards still compute.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.api.config import OnlineConfig
+from repro.api.engine import Engine, Scenario, iter_shard_summaries
+from repro.core.reduction import merge_run_summaries
+from repro.results.store import RunKey, RunStore, ensure_store
+from repro.service.coalesce import CoalescingTable, InFlightRun, RunFailed
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    TIER_INFLIGHT,
+    TIER_MISS,
+    TIER_STORE,
+    CircuitRegistry,
+    ProtocolError,
+    RunRequest,
+    accepted_event,
+    done_event,
+    encode_event,
+    error_event,
+    shard_event,
+)
+from repro.utils.diskio import LockTimeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reduction import RunSummary
+
+
+class ServiceCore:
+    """Transport-independent request dispatch over one engine + store.
+
+    ``n_workers`` sizes the persistent computation pool (requests
+    themselves are handled on their transport's threads; only leader
+    computations occupy pool slots).  The engine defaults to one whose
+    preparation cache persists next to the store
+    (``<store root>/../preparations``) when the store was given as a
+    path — pass an explicit :class:`~repro.api.Engine` to control
+    configuration and cache placement.
+    """
+
+    def __init__(
+        self,
+        store: RunStore | str | Path,
+        engine: Engine | None = None,
+        n_workers: int = 2,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.store = ensure_store(store)
+        self.engine = engine or Engine()
+        self.registry = CircuitRegistry()
+        self.table = CoalescingTable()
+        self.pool = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="effitest-worker"
+        )
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._tier_counts = {TIER_STORE: 0, TIER_INFLIGHT: 0, TIER_MISS: 0}
+        self._engine_runs = 0
+        self._failures = 0
+        self._closed = False
+
+    # -- accounting ------------------------------------------------------------
+
+    def _count_tier(self, tier: str) -> None:
+        with self._lock:
+            self._requests += 1
+            self._tier_counts[tier] += 1
+
+    @property
+    def engine_runs(self) -> int:
+        """Times the online pipeline actually executed (the miss cost)."""
+        with self._lock:
+            return self._engine_runs
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: tiers, coalescing, store, prep warmth."""
+        cache = self.engine.cache_stats
+        coalesce = self.table.stats
+        store = self.store.stats
+        with self._lock:
+            tiers = dict(self._tier_counts)
+            requests = self._requests
+            engine_runs = self._engine_runs
+            failures = self._failures
+        return {
+            "version": PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started,
+            "requests": requests,
+            "tiers": tiers,
+            "engine_runs": engine_runs,
+            "failures": failures,
+            "coalescing": {
+                "leaders": coalesce.leaders,
+                "followers": coalesce.followers,
+                "failures": coalesce.failures,
+                "coalesced_fraction": coalesce.coalesced_fraction,
+            },
+            "store": {
+                "hits": store.hits,
+                "misses": store.misses,
+                "stores": store.stores,
+                "skipped": store.skipped,
+                "records": len(self.store),
+            },
+            "preparations": {
+                "hits": cache.hits,
+                "disk_hits": cache.disk_hits,
+                "computes": cache.computes,
+                "hit_rate": cache.hit_rate,
+            },
+        }
+
+    # -- request handling ------------------------------------------------------
+
+    def handle(self, payload: dict) -> Iterator[dict]:
+        """Serve one request payload as a stream of protocol events.
+
+        Never raises for request-shaped problems: schema violations and
+        failed runs become a terminal ``error`` event (transports map the
+        pre-stream ones to 4xx).  The generator is lazy — events are
+        produced as shards complete, so transports can flush them
+        incrementally.
+        """
+        start = time.perf_counter()
+        try:
+            request = RunRequest.from_json(payload)
+            scenario = request.resolve(self.registry)
+            key = self.engine.run_key(scenario)
+            online = scenario.online or self.engine.online
+        except ProtocolError as exc:
+            yield error_event(str(exc), kind="protocol")
+            return
+        except Exception as exc:
+            # A schema-valid request the domain rejects (e.g. a circuit
+            # spec the generator refuses) is still the requester's problem.
+            yield error_event(f"invalid request: {exc}", kind="protocol")
+            return
+        assert key is not None  # requests always describe lazy populations
+        yield from self._serve(scenario, key, online, start)
+
+    def _serve(
+        self,
+        scenario: Scenario,
+        key: RunKey,
+        online: OnlineConfig,
+        start: float,
+    ) -> Iterator[dict]:
+        # Tier 1: the store already holds the record.
+        stored = (
+            self.store.load(key, artifacts=online.artifacts)
+            if self.store.probe(key, artifacts=online.artifacts)
+            else None
+        )
+        if stored is not None:
+            self._count_tier(TIER_STORE)
+            yield accepted_event(TIER_STORE, key.digest())
+            yield shard_event(0, stored.summary)
+            yield done_event(
+                n_shards=1,
+                offline_seconds=stored.offline_seconds,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+            return
+
+        # Tier 2/3: join the in-flight run, or lead a fresh one.
+        entry, leader = self.table.lease(key.digest())
+        tier = TIER_MISS if leader else TIER_INFLIGHT
+        self._count_tier(tier)
+        if leader:
+            if self._closed:
+                self.table.complete(
+                    entry, error=RuntimeError("service shutting down")
+                )
+            else:
+                self.pool.submit(self._compute, entry, scenario, key, online)
+        yield accepted_event(tier, key.digest())
+        index = 0
+        try:
+            for shard in entry.watch():
+                yield shard_event(index, shard)
+                index += 1
+        except RunFailed as exc:
+            with self._lock:
+                self._failures += 1
+            yield error_event(str(exc), kind="run")
+            return
+        yield done_event(
+            n_shards=index,
+            offline_seconds=entry.offline_seconds,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _compute(
+        self,
+        entry: InFlightRun,
+        scenario: Scenario,
+        key: RunKey,
+        online: OnlineConfig,
+    ) -> None:
+        """Leader body, on a pool worker: compute, publish, store.
+
+        Runs under the store's cross-process lease with a double-checked
+        read, so concurrent daemons on one store directory coalesce too.
+        If the lease stays contended past the store's timeout we compute
+        anyway — duplicated work in a pathological stall, never a wrong
+        or torn record (the eventual ``store`` call double-checks again).
+        """
+        error: BaseException | None = None
+        try:
+            try:
+                with self.store.lease(key):
+                    self._compute_locked(entry, scenario, key, online)
+            except LockTimeout:
+                self._compute_locked(entry, scenario, key, online, lock=False)
+        except BaseException as exc:  # propagate to every waiter
+            error = exc
+        finally:
+            self.table.complete(entry, error=error)
+
+    def _compute_locked(
+        self,
+        entry: InFlightRun,
+        scenario: Scenario,
+        key: RunKey,
+        online: OnlineConfig,
+        lock: bool = True,
+    ) -> None:
+        # Double-checked read under the lease: another process may have
+        # landed the record while we waited for the lock.
+        stored = self.store.load(key, artifacts=online.artifacts)
+        if stored is not None:
+            entry.offline_seconds = stored.offline_seconds
+            entry.publish(stored.summary)
+            return
+        prep = self.engine.prepare(
+            scenario.circuit,
+            scenario.design_period,
+            scenario.offline or self.engine.offline,
+        )
+        entry.offline_seconds = prep.offline_seconds
+        with self._lock:
+            self._engine_runs += 1
+        parts: list["RunSummary"] = []
+        for shard in iter_shard_summaries(
+            scenario.circuit,
+            scenario.chip_source(),
+            scenario.period,
+            prep,
+            online,
+        ):
+            parts.append(shard)
+            entry.publish(shard)
+        summary = merge_run_summaries(parts)
+        if lock:
+            # Already under the lease: store() would contend with our own
+            # lease file, so use the caller-holds-the-lease variant.
+            self.store.store_under_lease(
+                key, summary, offline_seconds=prep.offline_seconds
+            )
+        else:
+            self.store.store(
+                key, summary, offline_seconds=prep.offline_seconds
+            )
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting leaders and drain the worker pool."""
+        self._closed = True
+        self.pool.shutdown(wait=wait)
+
+
+# ----------------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------------
+
+
+def _write_chunk(wfile, data: bytes) -> None:
+    wfile.write(f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n")
+
+
+def _end_chunks(wfile) -> None:
+    wfile.write(b"0\r\n\r\n")
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """HTTP/1.1 handler: ``POST /run`` streams ndjson events, chunked.
+
+    The server object carries the :class:`ServiceCore` (``server.core``);
+    one handler thread per connection (``ThreadingHTTPServer``), so a
+    slow consumer never blocks other requests — and a leader's
+    computation lives on the core's pool, not on this thread.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"EffiTest/{PROTOCOL_VERSION}"
+
+    @property
+    def core(self) -> ServiceCore:
+        return self.server.core  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, allow_nan=False).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True, "version": PROTOCOL_VERSION})
+        elif self.path == "/stats":
+            self._send_json(200, self.core.stats())
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/shutdown":
+            self._send_json(200, {"ok": True, "shutting_down": True})
+            threading.Thread(
+                target=self.server.shutdown, daemon=True
+            ).start()
+            return
+        if self.path != "/run":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length))
+        except (ValueError, TypeError) as exc:
+            self._send_json(400, {"error": f"malformed request body: {exc}"})
+            return
+        events = self.core.handle(payload)
+        # Peek the first event before committing to a 200: a protocol
+        # error becomes a clean 400 instead of an error inside a stream.
+        first = next(events, None)
+        if first is None or (
+            first.get("event") == "error" and first.get("kind") == "protocol"
+        ):
+            self._send_json(
+                400, {"error": (first or {}).get("error", "empty response")}
+            )
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            _write_chunk(self.wfile, encode_event(first))
+            self.wfile.flush()
+            for event in events:
+                _write_chunk(self.wfile, encode_event(event))
+                self.wfile.flush()
+            _end_chunks(self.wfile)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-stream; the leader's computation (if
+            # any) finishes on the pool and lands in the store regardless.
+            events.close()
+
+
+class EffiTestDaemon:
+    """The long-lived HTTP daemon wrapping one :class:`ServiceCore`.
+
+    ``port=0`` binds an ephemeral port (read it back from ``address``).
+    Use :meth:`start` for a background server (tests, benchmarks, the
+    job-queue CLI's hybrid mode) and :meth:`serve_forever` to occupy the
+    calling thread (the ``python -m repro.service serve`` entry point).
+    """
+
+    def __init__(
+        self,
+        core: ServiceCore,
+        host: str = "127.0.0.1",
+        port: int = 8940,
+        verbose: bool = False,
+    ):
+        self.core = core
+        self.server = ThreadingHTTPServer((host, port), _ServiceHandler)
+        self.server.daemon_threads = True
+        self.server.core = core  # type: ignore[attr-defined]
+        self.server.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "EffiTestDaemon":
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="effitest-daemon",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever()
+
+    def stop(self, wait: bool = True) -> None:
+        """Shut down the HTTP server and drain the core's worker pool."""
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.core.close(wait=wait)
+
+    def __enter__(self) -> "EffiTestDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["EffiTestDaemon", "ServiceCore"]

@@ -1,0 +1,367 @@
+"""Wire protocol of the EffiTest service.
+
+Everything that crosses the daemon boundary is strict RFC 8259 JSON:
+
+* a :class:`RunRequest` — one scenario, described by value (a circuit
+  *reference*, the operating period, a population recipe and config
+  overrides), so the server can normalize it to a content-addressed
+  :class:`~repro.results.store.RunKey` and coalesce duplicates,
+* a stream of *events*, one JSON object per line (``application/x-ndjson``
+  over HTTP, plain lines in job-queue mode): one ``accepted`` event naming
+  the serving tier, then one ``shard`` event per reduced chip shard as it
+  completes, then a terminal ``done`` or ``error`` event.
+
+Shard payloads reuse the :class:`~repro.core.reduction.RunSummary`
+decomposition of the results store (:func:`repro.results.store.summary_payload`)
+with arrays JSON-encoded as ``{dtype, shape, data}`` — one serialization
+schema whether a summary travels to disk or over a socket.  The client
+merges shard summaries with
+:func:`~repro.core.reduction.merge_run_summaries`, exactly like the
+engine's own shard reduction, so a streamed run reassembles bit-identically.
+
+Circuits travel as references, not payloads: either a paper benchmark name
+(``{"bench": "s9234"}`` — the Table 1 generator specs) or an explicit
+generator spec (``{"spec": {...CircuitSpec fields...}}``).  Generation is
+deterministic in the seed, so a reference *is* a content address; the
+daemon memoizes materialized circuits in a :class:`CircuitRegistry`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field, fields
+
+import numpy as np
+
+from repro.api.config import OfflineConfig, OnlineConfig
+from repro.api.engine import Scenario
+from repro.circuit.generator import Circuit, CircuitSpec, generate_circuit
+from repro.core.reduction import RunSummary
+from repro.results.store import payload_summary, summary_payload
+from repro.utils.rng import derive_seed
+
+#: Bump on any incompatible change to requests or events.
+PROTOCOL_VERSION = 1
+
+#: Event names, in stream order.
+EVENT_ACCEPTED = "accepted"
+EVENT_SHARD = "shard"
+EVENT_DONE = "done"
+EVENT_ERROR = "error"
+
+#: Serving tiers reported by the ``accepted`` event.
+TIER_STORE = "store"      # loaded from the RunStore, nothing computed
+TIER_INFLIGHT = "inflight"  # attached to another request's computation
+TIER_MISS = "miss"        # this request leads a fresh computation
+
+
+class ProtocolError(ValueError):
+    """A request (or event) violates the wire schema."""
+
+
+# ----------------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------------
+
+
+def _config_overrides(cls, payload: dict, what: str):
+    """Build a config dataclass from a JSON override dict, strictly."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{what} overrides must be an object")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ProtocolError(f"unknown {what} fields: {unknown}")
+    try:
+        return cls(**payload)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid {what} overrides: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One scenario request, fully described by value.
+
+    ``circuit`` is a reference (see :class:`CircuitRegistry`); ``offline``
+    and ``online`` are sparse override dicts applied on top of the config
+    defaults.  The service's default retention is ``"summary"`` — the
+    population statistics every consumer needs — unless the request's
+    ``online`` overrides ask for more (wire payloads grow accordingly).
+    Two requests that normalize to the same :class:`RunKey` are the same
+    run to the daemon, whatever their labels.
+    """
+
+    circuit: dict
+    period: float
+    n_chips: int = 1000
+    seed: int = 20160605
+    clock_period: float | None = None
+    offline: dict = field(default_factory=dict)
+    online: dict = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.circuit, dict):
+            raise ProtocolError("circuit must be a reference object")
+        if not self.period > 0.0:
+            raise ProtocolError(f"period must be positive, got {self.period}")
+        if self.n_chips < 1:
+            raise ProtocolError(f"n_chips must be >= 1, got {self.n_chips}")
+
+    @staticmethod
+    def from_json(payload: dict) -> "RunRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request must be a JSON object")
+        known = {f.name for f in fields(RunRequest)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ProtocolError(f"unknown request fields: {unknown}")
+        if "circuit" not in payload or "period" not in payload:
+            raise ProtocolError("request needs at least circuit and period")
+        try:
+            return RunRequest(**payload)
+        except TypeError as exc:
+            raise ProtocolError(f"malformed request: {exc}") from exc
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    def configs(self) -> tuple[OfflineConfig, OnlineConfig]:
+        offline = _config_overrides(OfflineConfig, self.offline, "offline")
+        online = _config_overrides(
+            OnlineConfig, {"artifacts": "summary", **self.online}, "online"
+        )
+        return offline, online
+
+    def resolve(self, registry: "CircuitRegistry") -> Scenario:
+        """Normalize to a :class:`Scenario` (lazy population — storable)."""
+        offline, online = self.configs()
+        return Scenario(
+            registry.resolve(self.circuit),
+            period=float(self.period),
+            n_chips=int(self.n_chips),
+            seed=int(self.seed),
+            offline=offline,
+            online=online,
+            clock_period=(
+                None if self.clock_period is None else float(self.clock_period)
+            ),
+            label=self.label,
+        )
+
+
+# ----------------------------------------------------------------------------
+# Circuit references
+# ----------------------------------------------------------------------------
+
+
+class CircuitRegistry:
+    """Materializes circuit references, memoized by content.
+
+    Two reference forms:
+
+    * ``{"bench": "s9234", "seed": 20160605}`` — one of the paper's
+      Table 1 circuits via :func:`repro.experiments.benchdata.benchmark_spec`;
+      the generator seed is derived exactly as the experiment contexts
+      derive it, so service runs share store records with batch runs.
+    * ``{"spec": {"name": ..., "n_flipflops": ..., ...}, "seed": 1234}`` —
+      an explicit :class:`~repro.circuit.generator.CircuitSpec`; the seed
+      is used verbatim.
+
+    Generation is deterministic, so the LRU is keyed by the resolved
+    ``(spec, seed)`` — aliases of the same circuit share one entry.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, Circuit] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _parse(ref: dict) -> tuple[CircuitSpec, int]:
+        if not isinstance(ref, dict):
+            raise ProtocolError("circuit reference must be an object")
+        if ("bench" in ref) == ("spec" in ref):
+            raise ProtocolError(
+                "circuit reference needs exactly one of 'bench' or 'spec'"
+            )
+        extras = sorted(set(ref) - {"bench", "spec", "seed"})
+        if extras:
+            raise ProtocolError(f"unknown circuit reference fields: {extras}")
+        if "bench" in ref:
+            from repro.experiments.benchdata import benchmark_spec
+
+            name = ref["bench"]
+            try:
+                spec = benchmark_spec(name)
+            except KeyError as exc:
+                raise ProtocolError(str(exc)) from exc
+            # The experiment-context derivation: bench circuits generated
+            # through the service are bit-identical to batch ones, so both
+            # hit the same store records.
+            seed = derive_seed(int(ref.get("seed", 20160605)), name, "circuit")
+            return spec, seed
+        spec_payload = ref["spec"]
+        if not isinstance(spec_payload, dict):
+            raise ProtocolError("circuit spec must be an object")
+        known = {f.name for f in fields(CircuitSpec)}
+        unknown = sorted(set(spec_payload) - known)
+        if unknown:
+            raise ProtocolError(f"unknown circuit spec fields: {unknown}")
+        try:
+            spec = CircuitSpec(**spec_payload)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid circuit spec: {exc}") from exc
+        return spec, int(ref.get("seed", 1234))
+
+    def resolve(self, ref: dict) -> Circuit:
+        spec, seed = self._parse(ref)
+        key = (spec, seed)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                return cached
+        circuit = generate_circuit(spec, seed=seed)
+        with self._lock:
+            self._entries[key] = circuit
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return circuit
+
+
+# ----------------------------------------------------------------------------
+# Summary codec
+# ----------------------------------------------------------------------------
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """JSON form of one ndarray: dtype string, shape, base64 raw bytes.
+
+    Raw bytes (not ``tolist()``) keep the round trip *bit-identical* for
+    every dtype — including non-finite floats (an infeasible chip's xi is
+    ``inf``), which strict JSON number syntax cannot carry — and stay
+    ~3x smaller than decimal text.
+    """
+    array = np.ascontiguousarray(array)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    try:
+        raw = base64.b64decode(payload["data"].encode("ascii"))
+        flat = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        # frombuffer views are read-only; records are mutable downstream.
+        return flat.reshape(payload["shape"]).copy()
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed array payload: {exc}") from exc
+
+
+def encode_summary(summary: RunSummary) -> dict:
+    """Wire form of one :class:`RunSummary` (any retention mode)."""
+    meta, arrays = summary_payload(summary)
+    return {
+        "meta": meta,
+        "arrays": {name: encode_array(array) for name, array in arrays.items()},
+    }
+
+
+def decode_summary(payload: dict) -> RunSummary:
+    try:
+        meta = payload["meta"]
+        arrays = {
+            name: decode_array(array)
+            for name, array in payload["arrays"].items()
+        }
+        return payload_summary(meta, arrays, meta["artifacts"])
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed summary payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------------
+
+
+def accepted_event(tier: str, digest: str) -> dict:
+    return {
+        "event": EVENT_ACCEPTED,
+        "version": PROTOCOL_VERSION,
+        "tier": tier,
+        "digest": digest,
+    }
+
+
+def shard_event(index: int, summary: RunSummary) -> dict:
+    return {
+        "event": EVENT_SHARD,
+        "index": index,
+        "summary": encode_summary(summary),
+    }
+
+
+def done_event(
+    n_shards: int, offline_seconds: float, elapsed_seconds: float
+) -> dict:
+    return {
+        "event": EVENT_DONE,
+        "n_shards": n_shards,
+        "offline_seconds": offline_seconds,
+        "elapsed_seconds": elapsed_seconds,
+    }
+
+
+def error_event(message: str, kind: str = "error") -> dict:
+    return {"event": EVENT_ERROR, "error": message, "kind": kind}
+
+
+def encode_event(event: dict) -> bytes:
+    """One event as one JSON line (strict JSON, newline-terminated)."""
+    return json.dumps(event, allow_nan=False).encode() + b"\n"
+
+
+def decode_event(line: bytes | str) -> dict:
+    try:
+        event = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed event line: {exc}") from exc
+    if not isinstance(event, dict) or "event" not in event:
+        raise ProtocolError(f"not an event object: {event!r}")
+    return event
+
+
+__all__ = [
+    "EVENT_ACCEPTED",
+    "EVENT_DONE",
+    "EVENT_ERROR",
+    "EVENT_SHARD",
+    "PROTOCOL_VERSION",
+    "CircuitRegistry",
+    "ProtocolError",
+    "RunRequest",
+    "TIER_INFLIGHT",
+    "TIER_MISS",
+    "TIER_STORE",
+    "accepted_event",
+    "decode_array",
+    "decode_event",
+    "decode_summary",
+    "done_event",
+    "encode_array",
+    "encode_event",
+    "encode_summary",
+    "error_event",
+    "shard_event",
+]

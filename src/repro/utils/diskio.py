@@ -2,20 +2,51 @@
 
 Both content-addressed stores — the preparation cache's disk tier
 (:mod:`repro.api.cache`) and the results store (:mod:`repro.results.store`)
-— need the same two operations: crash-safe single-file writes (temp file +
-atomic rename, so concurrent readers only ever see whole files) and
-oldest-first pruning by modification time.  They live here so the
-filesystem-hardening logic exists exactly once.
+— need the same operations: crash-safe single-file writes (temp file +
+atomic rename, so concurrent readers only ever see whole files),
+oldest-first pruning by modification time, and cooperative cross-process
+*lease files* so racing writers — daemons, batch sweeps, pool workers
+pointed at one shared directory — serialize per key instead of duplicating
+work.  They live here so the filesystem-hardening logic exists exactly
+once.
+
+Leases are plain ``O_CREAT | O_EXCL`` lock files (the only primitive that
+is atomic on every local filesystem and NFS): whoever creates the file
+holds the lease, and deleting it releases.  A holder killed hard
+(``SIGKILL``, power loss) leaves the file behind, so every acquire path
+treats a lease older than ``stale_after`` seconds (by mtime) as abandoned
+and breaks it; :func:`reap_stale_files` is the standalone sweep of the
+same rule for startup recovery passes.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
 
-__all__ = ["prune_by_mtime", "write_atomic"]
+__all__ = [
+    "LockTimeout",
+    "file_lock",
+    "prune_by_mtime",
+    "reap_stale_files",
+    "try_acquire_lock",
+    "release_lock",
+    "write_atomic",
+]
+
+
+#: Default age (seconds) past which a lease/temp file counts as abandoned.
+#: Generous against the longest plausible single-record write, tiny against
+#: a daemon's lifetime.
+DEFAULT_STALE_AFTER = 300.0
+
+
+class LockTimeout(TimeoutError):
+    """A lease file stayed held past the caller's acquisition deadline."""
 
 
 def write_atomic(path: Path, write: Callable[[object], None]) -> None:
@@ -66,3 +97,121 @@ def prune_by_mtime(
                 path.unlink(missing_ok=True)
             except OSError:
                 continue
+
+
+# ----------------------------------------------------------------------------
+# Cross-process lease files
+# ----------------------------------------------------------------------------
+
+
+def _age_seconds(path: Path) -> float | None:
+    """Seconds since ``path``'s last mtime, or ``None`` if it vanished."""
+    try:
+        return time.time() - path.stat().st_mtime
+    except OSError:
+        return None
+
+
+def _break_stale(path: Path, stale_after: float | None) -> bool:
+    """Delete ``path`` if it is older than ``stale_after``.  True if broken.
+
+    Racing breakers may both unlink (one no-ops); the subsequent exclusive
+    create still admits exactly one winner, so breaking is always safe.
+    """
+    if stale_after is None:
+        return False
+    age = _age_seconds(path)
+    if age is None:
+        return True  # already gone — treat as broken
+    if age <= stale_after:
+        return False
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        return False
+    return True
+
+
+def try_acquire_lock(
+    path: Path, stale_after: float | None = DEFAULT_STALE_AFTER
+) -> bool:
+    """One non-blocking attempt to take the lease at ``path``.
+
+    The lease body records ``pid`` and acquisition time for post-mortem
+    debugging; nothing parses it — identity lives in the file's existence
+    and staleness in its mtime.
+    """
+    flags = os.O_CREAT | os.O_EXCL | os.O_WRONLY
+    for _attempt in (0, 1):
+        try:
+            fd = os.open(path, flags)
+        except FileExistsError:
+            if not _break_stale(path, stale_after):
+                return False
+            continue  # broke a stale lease — retry the exclusive create
+        except OSError:
+            return False
+        try:
+            os.write(fd, f"pid={os.getpid()} t={time.time():.3f}\n".encode())
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+        return True
+    return False
+
+
+def release_lock(path: Path) -> None:
+    """Release the lease at ``path`` (idempotent, best-effort)."""
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
+@contextlib.contextmanager
+def file_lock(
+    path: Path,
+    timeout: float | None = 30.0,
+    poll: float = 0.02,
+    stale_after: float | None = DEFAULT_STALE_AFTER,
+) -> Iterator[None]:
+    """Hold the lease file at ``path`` for the duration of the block.
+
+    Blocks up to ``timeout`` seconds (``None`` waits forever), polling
+    every ``poll`` seconds; raises :class:`LockTimeout` when the deadline
+    passes.  A lease whose mtime is older than ``stale_after`` is broken
+    on sight — a ``SIGKILL``-ed holder therefore delays waiters by at most
+    the stale window, never forever.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while not try_acquire_lock(path, stale_after):
+        if deadline is not None and time.monotonic() > deadline:
+            raise LockTimeout(f"lease {path} still held after {timeout:g}s")
+        time.sleep(poll)
+    try:
+        yield
+    finally:
+        release_lock(path)
+
+
+def reap_stale_files(
+    root: Path, pattern: str, stale_after: float = DEFAULT_STALE_AFTER
+) -> int:
+    """Delete ``pattern`` files under ``root`` older than ``stale_after``.
+
+    The recovery sweep for artifacts that only a *crashed* writer leaves
+    behind: lease files and orphaned temp files.  Young files are an
+    in-flight writer's and survive.  Returns the number of files removed.
+    """
+    reaped = 0
+    for stale in root.glob(pattern):
+        age = _age_seconds(stale)
+        if age is None or age <= stale_after:
+            continue
+        try:
+            stale.unlink(missing_ok=True)
+        except OSError:
+            continue
+        reaped += 1
+    return reaped

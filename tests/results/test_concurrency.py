@@ -1,0 +1,268 @@
+"""RunStore under concurrency: racing writers, readers, crashed writers."""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from argparse import Namespace
+
+import numpy as np
+
+from repro.core.configuration import ConfigurationResult
+from repro.core.population import PopulationTestResult
+from repro.core.reduction import summarize_shard
+from repro.results import RunKey, RunStore, ensure_store, store_layout
+from repro.utils.diskio import try_acquire_lock
+
+#: Forked children share the parent's imports — fast, and module-level
+#: helpers need no pickling gymnastics (linux-only repo, like the seed).
+_FORK = multiprocessing.get_context("fork")
+
+
+def _key(**overrides) -> RunKey:
+    base = dict(
+        circuit_fingerprint="c" * 64,
+        population_fingerprint="c" * 64,
+        n_chips=100,
+        population_seed=7,
+        period=100.0,
+        clock_period=100.0,
+        offline_fields=(1, 2.5, "largest", None, True),
+        online_fields=(True, 1000.0, 1.0, None),
+    )
+    base.update(overrides)
+    return RunKey(**base)
+
+
+def _summary(n_chips=20, seed=3, artifacts="compact"):
+    """Deterministic in ``seed``: racing writers produce identical bytes."""
+    rng = np.random.default_rng(seed)
+    n_measured = 4
+    test = PopulationTestResult(
+        measured_indices=np.arange(n_measured, dtype=np.intp),
+        lower=rng.normal(size=(n_chips, n_measured)),
+        upper=rng.normal(size=(n_chips, n_measured)),
+        iterations=rng.integers(1, 50, size=n_chips),
+        iterations_per_batch=rng.integers(0, 9, size=(n_chips, 2)),
+    )
+    configuration = ConfigurationResult(
+        feasible=rng.random(n_chips) < 0.9,
+        settings=rng.normal(size=(n_chips, 2)),
+        xi=rng.random(n_chips),
+        buffer_names=("B0", "B1"),
+    )
+    return summarize_shard(
+        period=101.25,
+        test=test,
+        bounds_lower=rng.normal(size=(n_chips, 6)),
+        bounds_upper=rng.normal(size=(n_chips, 6)),
+        configuration=configuration,
+        passed=rng.random(n_chips) < 0.6,
+        tester_seconds_per_chip=0.125,
+        config_seconds_per_chip=0.0625,
+        artifacts=artifacts,
+    )
+
+
+def _race_writer(root, barrier):
+    """Child body: open the shared store and write the canonical record."""
+    store = RunStore(root)
+    summary = _summary()
+    barrier.wait()  # maximize overlap: both writers fire together
+    store.store(_key(), summary, offline_seconds=2.0)
+
+
+def _crash_writer(root):
+    """Child body: take the lease, stage a temp file, die without cleanup."""
+    store = RunStore(root)
+    assert try_acquire_lock(store._lock_path(_key()), stale_after=None)
+    fd, _tmp = __import__("tempfile").mkstemp(dir=store.root, suffix=".tmp")
+    os.write(fd, b"partial payload")
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestRacingWriters:
+    def test_two_processes_write_exactly_one_record(self, tmp_path):
+        root = tmp_path / "runs"
+        barrier = _FORK.Barrier(2)
+        writers = [
+            _FORK.Process(target=_race_writer, args=(root, barrier))
+            for _ in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in writers)
+
+        # Exactly one whole record, no leases or staging debris left.
+        assert len(list(root.glob("run-*.json"))) == 1
+        assert not list(root.glob("run-*.lock"))
+        assert not list(root.glob("*.tmp"))
+
+        # Bit-identical to a serial write of the same summary: the JSON
+        # halves byte-compare; the NPZ halves array-compare (zip headers
+        # carry timestamps, the payload must not differ).
+        serial_root = tmp_path / "serial"
+        RunStore(serial_root).store(_key(), _summary(), offline_seconds=2.0)
+        (raced_json,) = root.glob("run-*.json")
+        (serial_json,) = serial_root.glob("run-*.json")
+        assert raced_json.read_bytes() == serial_json.read_bytes()
+        with np.load(raced_json.with_suffix(".npz")) as raced, np.load(
+            serial_json.with_suffix(".npz")
+        ) as serial:
+            assert sorted(raced.files) == sorted(serial.files)
+            for name in raced.files:
+                np.testing.assert_array_equal(raced[name], serial[name])
+                assert raced[name].dtype == serial[name].dtype
+
+    def test_duplicate_store_is_skipped_not_rewritten(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.store(_key(), _summary(), offline_seconds=1.0)
+        store.store(_key(), _summary(), offline_seconds=1.0)
+        assert store.stats.stores == 1
+        assert store.stats.skipped == 1
+        assert len(store) == 1
+
+    def test_contended_lease_skips_the_write(self, tmp_path):
+        holder = RunStore(tmp_path)
+        key = _key()
+        with holder.lease(key):
+            rival = RunStore(tmp_path, lock_timeout=0.2)
+            rival.store(key, _summary())
+            assert rival.stats.skipped == 1
+            assert rival.stats.stores == 0
+            assert key not in rival
+
+    def test_store_under_lease_writes_and_counts(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = _key()
+        with store.lease(key):
+            store.store_under_lease(key, _summary(), offline_seconds=1.5)
+        assert key in store
+        assert store.stats.stores == 1
+        loaded = store.load(key, artifacts="compact")
+        assert loaded is not None and loaded.offline_seconds == 1.5
+        with store.lease(key):
+            store.store_under_lease(key, _summary())
+        assert store.stats.skipped == 1
+
+
+class TestReaderWriterRace:
+    def test_reader_never_sees_a_torn_record(self, tmp_path):
+        """A racing reader gets either a whole record or a miss — never a
+        truncated or mixed one (rename-atomic writes, no reader locks)."""
+        root = tmp_path / "runs"
+        writer = RunStore(root)
+        reader = RunStore(root)
+        key, reference = _key(), _summary()
+        stop = threading.Event()
+        whole_reads = []
+        torn = []
+
+        def read_loop():
+            while not stop.is_set():
+                stored = reader.load(key, artifacts="compact")
+                if stored is None:
+                    continue
+                try:
+                    loaded = stored.summary
+                    assert loaded.n_passed == reference.n_passed
+                    assert loaded.iteration_moments == reference.iteration_moments
+                    np.testing.assert_array_equal(
+                        loaded.passed, reference.passed
+                    )
+                    np.testing.assert_array_equal(
+                        loaded.iterations, reference.iterations
+                    )
+                    whole_reads.append(True)
+                except AssertionError as exc:  # pragma: no cover - failure path
+                    torn.append(exc)
+                    return
+
+        thread = threading.Thread(target=read_loop)
+        thread.start()
+        try:
+            for _ in range(25):
+                writer.store(key, reference, offline_seconds=1.0)
+                writer._drop(key)  # churn: create/delete under the reader
+            writer.store(key, reference, offline_seconds=1.0)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not torn
+        assert whole_reads  # the reader did observe the record
+
+
+class TestCrashRecovery:
+    def test_sigkilled_writer_is_reaped_then_key_is_writable(self, tmp_path):
+        root = tmp_path / "runs"
+        RunStore(root)  # create the directory
+        crasher = _FORK.Process(target=_crash_writer, args=(root,))
+        crasher.start()
+        crasher.join(timeout=30)
+        assert crasher.exitcode == -signal.SIGKILL
+        locks = list(root.glob("run-*.lock"))
+        tmps = list(root.glob("*.tmp"))
+        assert locks and tmps  # the crash left its debris behind
+
+        # Young debris survives recovery — it could be a live writer's.
+        store = RunStore(root)  # open runs one recover() pass
+        assert list(root.glob("run-*.lock")) and list(root.glob("*.tmp"))
+
+        # Past the stale horizon the reaper clears all of it...
+        backdated = time.time() - 10 * store.stale_after
+        for debris in locks + tmps:
+            os.utime(debris, (backdated, backdated))
+        assert store.recover() >= 2
+        assert not list(root.glob("run-*.lock"))
+        assert not list(root.glob("*.tmp"))
+
+        # ...and the key writes immediately (no lease wait, no timeout).
+        store.store(_key(), _summary())
+        assert _key() in store
+
+    def test_stale_lease_is_broken_by_the_next_writer(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = _key()
+        lock = store._lock_path(key)
+        lock.write_text("pid=0 t=0\n")  # a crashed holder's leftover
+        backdated = time.time() - 10 * store.stale_after
+        os.utime(lock, (backdated, backdated))
+        store.store(key, _summary())  # breaks the stale lease, no timeout
+        assert key in store and store.stats.stores == 1
+        assert not lock.exists()
+
+    def test_orphaned_npz_is_reaped(self, tmp_path):
+        store = RunStore(tmp_path)
+        orphan = store.root / ("run-" + "a" * 64 + ".npz")
+        orphan.write_bytes(b"arrays whose json half never landed")
+        backdated = time.time() - 10 * store.stale_after
+        os.utime(orphan, (backdated, backdated))
+        assert store.recover() == 1
+        assert not orphan.exists()
+
+
+class TestWorkspaceLayout:
+    def test_store_layout_names_the_shared_subdirectories(self, tmp_path):
+        runs, preparations = store_layout(tmp_path / "ws")
+        assert runs == tmp_path / "ws" / "runs"
+        assert preparations == tmp_path / "ws" / "preparations"
+
+    def test_runner_builders_use_the_shared_layout(self, tmp_path):
+        from repro.experiments.runner import build_engine, build_store
+
+        args = Namespace(no_store=False, store=str(tmp_path / "ws"))
+        runs, preparations = store_layout(tmp_path / "ws")
+        assert build_store(args).root == runs
+        assert build_engine(args).cache.disk_dir == preparations
+
+    def test_ensure_store_normalizes_every_form(self, tmp_path):
+        assert ensure_store(None) is None
+        opened = RunStore(tmp_path / "runs")
+        assert ensure_store(opened) is opened
+        from_path = ensure_store(tmp_path / "elsewhere")
+        assert isinstance(from_path, RunStore)
+        assert from_path.root == tmp_path / "elsewhere"

@@ -262,6 +262,25 @@ class TestSweepStore:
         (record,) = engine.sweep([scenario], store=store)
         assert len(store) == 0 and not record.from_store
 
+    def test_sweep_accepts_a_path_or_an_open_store(
+        self, tiny_circuit, tiny_periods, tmp_path, counting_runs
+    ):
+        """Satellite: ``store=`` takes a directory path or an open RunStore
+        interchangeably — a path-seeded sweep warms an open-store re-run."""
+        t1, t2 = tiny_periods
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        root = tmp_path / "runs"
+        first = list(engine.sweep(grid, store=root))  # path form
+        assert len(counting_runs) == 4
+
+        counting_runs.clear()
+        warm = list(engine.sweep(grid, store=RunStore(root)))  # open form
+        assert counting_runs == []
+        assert all(r.from_store for r in warm)
+        for a, b in zip(first, warm):
+            _assert_records_equal(a, b)
+
     def test_explicit_source_population_is_stored(
         self, tiny_circuit, tiny_periods, store
     ):

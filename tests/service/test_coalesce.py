@@ -1,0 +1,118 @@
+"""Coalescing table: one leader, identical broadcasts, failure eviction."""
+
+import threading
+
+import pytest
+
+from repro.service.coalesce import CoalescingTable, InFlightRun, RunFailed
+
+
+class TestInFlightRun:
+    def test_replay_then_follow(self):
+        entry = InFlightRun("d" * 64)
+        entry.publish("s0")
+        entry.publish("s1")
+        seen = []
+        started = threading.Event()
+
+        def follow():
+            for shard in entry.watch():
+                seen.append(shard)
+                started.set()
+
+        watcher = threading.Thread(target=follow)
+        watcher.start()
+        assert started.wait(timeout=10)  # replay arrived before termination
+        entry.publish("s2")
+        entry.finish()
+        watcher.join(timeout=10)
+        assert seen == ["s0", "s1", "s2"]
+
+    def test_watch_after_finish_replays_everything(self):
+        entry = InFlightRun("d" * 64)
+        entry.publish("a")
+        entry.finish()
+        assert entry.summaries() == ["a"]
+
+    def test_publish_after_termination_raises(self):
+        entry = InFlightRun("d" * 64)
+        entry.finish()
+        with pytest.raises(RuntimeError, match="after the run terminated"):
+            entry.publish("late")
+
+    def test_failure_propagates_with_cause(self):
+        entry = InFlightRun("d" * 64)
+        entry.publish("partial")
+        entry.fail(ValueError("boom"))
+        assert entry.failed
+        with pytest.raises(RunFailed, match="boom") as excinfo:
+            entry.summaries()
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestCoalescingTable:
+    def test_n_watchers_one_leader_identical_streams(self):
+        table = CoalescingTable()
+        entry, leader = table.lease("k")
+        assert leader
+        followers = [table.lease("k") for _ in range(5)]
+        assert all(not led for _, led in followers)
+        assert all(shared is entry for shared, _ in followers)
+
+        streams = [[] for _ in followers]
+        watchers = [
+            threading.Thread(target=lambda out=out, e=shared: out.extend(e.watch()))
+            for out, (shared, _) in zip(streams, followers)
+        ]
+        for watcher in watchers:
+            watcher.start()
+        entry.publish("a")
+        entry.publish("b")
+        table.complete(entry)
+        for watcher in watchers:
+            watcher.join(timeout=10)
+        assert all(stream == ["a", "b"] for stream in streams)
+
+        stats = table.stats
+        assert stats.leaders == 1 and stats.followers == 5
+        assert stats.requests == 6
+        assert stats.coalesced_fraction == pytest.approx(5 / 6)
+
+    def test_completion_evicts_the_entry(self):
+        table = CoalescingTable()
+        entry, _ = table.lease("k")
+        assert len(table) == 1
+        table.complete(entry)
+        assert len(table) == 0
+        # The next request starts a fresh run (served by the store IRL).
+        _fresh, leader = table.lease("k")
+        assert leader
+
+    def test_failure_evicts_before_watchers_wake(self):
+        """A watcher woken by the failure re-leases *immediately* and must
+        lead a fresh computation — failures are never cached."""
+        table = CoalescingTable()
+        entry, _ = table.lease("k")
+        outcome = {}
+
+        def watch_then_retry():
+            try:
+                entry.summaries()
+            except RunFailed:
+                outcome["raised"] = True
+            _retry, leader = table.lease("k")
+            outcome["retry_leads"] = leader
+
+        watcher = threading.Thread(target=watch_then_retry)
+        watcher.start()
+        table.complete(entry, error=RuntimeError("exploded"))
+        watcher.join(timeout=10)
+        assert outcome == {"raised": True, "retry_leads": True}
+        assert table.stats.failures == 1
+
+    def test_distinct_digests_do_not_coalesce(self):
+        table = CoalescingTable()
+        _, first_leads = table.lease("k1")
+        _, second_leads = table.lease("k2")
+        assert first_leads and second_leads
+        assert len(table) == 2

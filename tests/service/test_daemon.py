@@ -1,0 +1,323 @@
+"""ServiceCore tiers and the HTTP daemon, end to end.
+
+The coalescing acceptance contract lives here: N concurrent requests for
+one RunKey run the engine exactly once, every response is identical, a
+failing run propagates to every waiter and is never cached, and a warm
+store serves with zero offline/online work.
+"""
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import asdict
+
+import pytest
+
+import repro.service.daemon as daemon_module
+from repro.api import Engine, OfflineConfig
+from repro.results import RunStore
+from repro.service import (
+    EffiTestDaemon,
+    ServiceClient,
+    ServiceCore,
+    ServiceError,
+)
+
+pytestmark = pytest.mark.usefixtures("tiny_circuit")
+
+
+def _request(tiny_spec, period, **overrides) -> dict:
+    payload = {
+        "circuit": {"spec": asdict(tiny_spec), "seed": 1234},
+        "period": float(period),
+        "n_chips": 16,
+        "seed": 7,
+        "offline": {"hold_samples": 400},
+        "online": {"chip_shard_size": 5},
+    }
+    payload.update(overrides)
+    return payload
+
+
+@pytest.fixture()
+def core(tmp_path):
+    core = ServiceCore(
+        RunStore(tmp_path / "runs"),
+        engine=Engine(offline=OfflineConfig(hold_samples=400)),
+        n_workers=2,
+    )
+    yield core
+    core.close()
+
+
+def _events(core, payload):
+    return list(core.handle(payload))
+
+
+def _shards(events):
+    return [event for event in events if event["event"] == "shard"]
+
+
+class TestServiceCoreTiers:
+    def test_miss_then_store_tier(self, core, tiny_spec, tiny_periods):
+        payload = _request(tiny_spec, tiny_periods[0])
+        first = _events(core, payload)
+        assert first[0]["event"] == "accepted" and first[0]["tier"] == "miss"
+        assert first[-1]["event"] == "done"
+        assert len(_shards(first)) == 4  # 16 chips / shard size 5
+        assert core.engine_runs == 1
+
+        second = _events(core, payload)
+        assert second[0]["tier"] == "store"
+        assert second[-1]["event"] == "done"
+        assert core.engine_runs == 1  # zero new offline/online work
+        # The stored record preserves the leader's offline cost.
+        assert second[-1]["offline_seconds"] == first[-1]["offline_seconds"]
+        # Identical reduced results, modulo shard granularity: the store
+        # tier returns the merged record as one shard.
+        assert len(_shards(second)) == 1
+
+    def test_concurrent_duplicates_run_the_engine_once(
+        self, core, monkeypatch, tiny_spec, tiny_periods
+    ):
+        gate = threading.Event()
+        engine_calls = []
+        real = daemon_module.iter_shard_summaries
+
+        def gated(*args, **kwargs):
+            engine_calls.append(1)
+            assert gate.wait(timeout=30)
+            yield from real(*args, **kwargs)
+
+        monkeypatch.setattr(daemon_module, "iter_shard_summaries", gated)
+        payload = _request(tiny_spec, tiny_periods[0])
+        n_requests = 6
+        responses = [None] * n_requests
+
+        def fire(i):
+            responses[i] = _events(core, payload)
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(n_requests)
+        ]
+        for thread in threads:
+            thread.start()
+        # Hold the gate until every request has been admitted to a tier, so
+        # the burst genuinely overlaps one in-flight computation.
+        deadline = time.monotonic() + 30
+        while core.stats()["requests"] < n_requests:
+            assert time.monotonic() < deadline, "requests never admitted"
+            time.sleep(0.005)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert len(engine_calls) == 1  # the acceptance contract
+        assert core.engine_runs == 1
+        tiers = sorted(r[0]["tier"] for r in responses)
+        assert tiers == ["inflight"] * (n_requests - 1) + ["miss"]
+        # Every response carries the identical shard stream, byte for byte.
+        reference = _shards(responses[0])
+        assert len(reference) == 4
+        for response in responses[1:]:
+            assert _shards(response) == reference
+        stats = core.stats()
+        assert stats["coalescing"]["followers"] == n_requests - 1
+        assert stats["coalescing"]["coalesced_fraction"] == pytest.approx(
+            (n_requests - 1) / n_requests
+        )
+
+    def test_failed_run_propagates_to_every_waiter_and_evicts(
+        self, core, monkeypatch, tiny_spec, tiny_periods
+    ):
+        gate = threading.Event()
+
+        def exploding(*args, **kwargs):
+            assert gate.wait(timeout=30)
+            raise RuntimeError("exploded in the pipeline")
+            yield  # pragma: no cover - marks this a generator
+
+        monkeypatch.setattr(daemon_module, "iter_shard_summaries", exploding)
+        payload = _request(tiny_spec, tiny_periods[0])
+        n_requests = 4
+        responses = [None] * n_requests
+
+        def fire(i):
+            responses[i] = _events(core, payload)
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(n_requests)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 30
+        while core.stats()["requests"] < n_requests:
+            assert time.monotonic() < deadline, "requests never admitted"
+            time.sleep(0.005)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        for response in responses:
+            assert response[-1]["event"] == "error"
+            assert response[-1]["kind"] == "run"
+            assert "exploded" in response[-1]["error"]
+        assert core.stats()["failures"] == n_requests
+        assert core.stats()["coalescing"]["failures"] == 1
+        assert len(core.store) == 0  # failures are never stored...
+
+        # ...nor cached in flight: a retry recomputes and succeeds.
+        monkeypatch.undo()
+        retry = _events(core, payload)
+        assert retry[0]["tier"] == "miss"
+        assert retry[-1]["event"] == "done"
+        assert len(core.store) == 1
+
+    def test_schema_violation_yields_protocol_error(self, core):
+        (event,) = _events(core, {"circuit": {"bench": "s9234"}})
+        assert event["event"] == "error" and event["kind"] == "protocol"
+        (event,) = _events(core, {"bogus": 1})
+        assert event["kind"] == "protocol"
+        assert core.stats()["requests"] == 0  # rejected before any tier
+
+    def test_richer_stored_record_serves_slimmer_request(
+        self, core, tiny_spec, tiny_periods
+    ):
+        dense = _request(
+            tiny_spec,
+            tiny_periods[0],
+            online={"chip_shard_size": 5, "artifacts": "dense"},
+        )
+        assert _events(core, dense)[0]["tier"] == "miss"
+        slim = _request(tiny_spec, tiny_periods[0])
+        assert _events(core, slim)[0]["tier"] == "store"
+        assert core.engine_runs == 1
+
+
+class TestHTTPDaemon:
+    @pytest.fixture()
+    def daemon(self, core):
+        daemon = EffiTestDaemon(core, port=0).start()
+        yield daemon
+        daemon.stop()
+
+    def test_end_to_end_over_http(self, daemon, tiny_spec, tiny_periods):
+        host, port = daemon.address
+        client = ServiceClient(host, port)
+        assert client.healthy()
+
+        payload = _request(tiny_spec, tiny_periods[0])
+        first = client.run(payload)
+        assert first.tier == "miss" and first.n_shards == 4
+        assert first.summary.n_chips == 16
+
+        warm = client.run(payload)
+        assert warm.tier == "store"
+        assert warm.summary.yield_fraction == first.summary.yield_fraction
+        assert warm.summary.iteration_moments == first.summary.iteration_moments
+
+        # A concurrent duplicate burst over real sockets: exactly one new
+        # engine run; stragglers that arrive after completion hit the store.
+        burst_payload = _request(tiny_spec, tiny_periods[1])
+        results = [None] * 5
+
+        def fire(i):
+            results[i] = ServiceClient(host, port).run(burst_payload)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        tiers = [r.tier for r in results]
+        assert tiers.count("miss") == 1
+        assert set(tiers) <= {"miss", "inflight", "store"}
+        assert len({r.summary.yield_fraction for r in results}) == 1
+
+        stats = client.stats()
+        assert stats["engine_runs"] == 2
+        assert stats["tiers"]["store"] >= 1
+        assert stats["store"]["records"] == 2
+
+    def test_streaming_arrives_incrementally(
+        self, daemon, tiny_spec, tiny_periods
+    ):
+        host, port = daemon.address
+        client = ServiceClient(host, port)
+        kinds = [
+            event["event"]
+            for event in client.stream(_request(tiny_spec, tiny_periods[0]))
+        ]
+        assert kinds[0] == "accepted"
+        assert kinds[-1] == "done"
+        assert kinds.count("shard") == 4
+
+    def test_bad_request_is_a_clean_400(self, daemon):
+        host, port = daemon.address
+        client = ServiceClient(host, port)
+        with pytest.raises(ServiceError, match="circuit and period"):
+            client.run({"period": 1.0})
+
+    def test_unknown_endpoint_404(self, daemon):
+        host, port = daemon.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("GET", "/nope")
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+        finally:
+            connection.close()
+
+
+class TestJobsMode:
+    def test_job_queue_coalesces_repeats_through_the_store(
+        self, tmp_path, tiny_spec, tiny_periods
+    ):
+        from repro.service.__main__ import main
+
+        payload = _request(tiny_spec, tiny_periods[0])
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(
+            json.dumps(payload) + "\n" + "# a comment\n"
+            + json.dumps(payload) + "\n"
+        )
+        events_file = tmp_path / "events.jsonl"
+        code = main([
+            "jobs",
+            "--root", str(tmp_path / "ws"),
+            "--input", str(requests_file),
+            "--output", str(events_file),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in events_file.read_text().splitlines()
+        ]
+        accepted = [e for e in events if e["event"] == "accepted"]
+        assert [e["job"] for e in accepted] == [0, 1]
+        assert accepted[0]["tier"] == "miss"
+        assert accepted[1]["tier"] == "store"  # the repeat cost nothing
+        assert all(
+            e["event"] in {"accepted", "shard", "done"} for e in events
+        )
+
+    def test_malformed_job_line_reports_error_and_exit_code(self, tmp_path):
+        from repro.service.__main__ import main
+
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text("{not json\n")
+        events_file = tmp_path / "events.jsonl"
+        code = main([
+            "jobs",
+            "--root", str(tmp_path / "ws"),
+            "--input", str(requests_file),
+            "--output", str(events_file),
+        ])
+        assert code == 1
+        (event,) = [
+            json.loads(line)
+            for line in events_file.read_text().splitlines()
+        ]
+        assert event["event"] == "error" and event["job"] == 0

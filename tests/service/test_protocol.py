@@ -1,0 +1,236 @@
+"""Wire protocol: strict requests, bit-identical codecs, event framing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuit.generator import CircuitSpec, generate_circuit
+from repro.core.configuration import ConfigurationResult
+from repro.core.population import PopulationTestResult
+from repro.core.reduction import ARTIFACT_MODES, summarize_shard
+from repro.service.protocol import (
+    CircuitRegistry,
+    ProtocolError,
+    RunRequest,
+    decode_array,
+    decode_event,
+    decode_summary,
+    done_event,
+    encode_array,
+    encode_event,
+    encode_summary,
+    shard_event,
+)
+from repro.utils.rng import derive_seed
+
+_SPEC_REF = {
+    "spec": {
+        "name": "wire",
+        "n_flipflops": 12,
+        "n_gates": 60,
+        "n_buffers": 2,
+        "n_paths": 8,
+    },
+    "seed": 42,
+}
+
+
+def _summary(n_chips=12, seed=5, artifacts="compact"):
+    rng = np.random.default_rng(seed)
+    n_measured = 3
+    test = PopulationTestResult(
+        measured_indices=np.arange(n_measured, dtype=np.intp),
+        lower=rng.normal(size=(n_chips, n_measured)),
+        upper=rng.normal(size=(n_chips, n_measured)),
+        iterations=rng.integers(1, 50, size=n_chips),
+        iterations_per_batch=rng.integers(0, 9, size=(n_chips, 2)),
+    )
+    configuration = ConfigurationResult(
+        feasible=rng.random(n_chips) < 0.9,
+        settings=rng.normal(size=(n_chips, 2)),
+        xi=rng.random(n_chips),
+        buffer_names=("B0", "B1"),
+    )
+    return summarize_shard(
+        period=101.25,
+        test=test,
+        bounds_lower=rng.normal(size=(n_chips, 5)),
+        bounds_upper=rng.normal(size=(n_chips, 5)),
+        configuration=configuration,
+        passed=rng.random(n_chips) < 0.6,
+        tester_seconds_per_chip=0.125,
+        config_seconds_per_chip=0.0625,
+        artifacts=artifacts,
+    )
+
+
+class TestRunRequest:
+    def test_round_trip(self):
+        request = RunRequest(
+            circuit={"bench": "s9234"},
+            period=2.0,
+            n_chips=50,
+            seed=11,
+            online={"artifacts": "compact"},
+            label="probe",
+        )
+        assert RunRequest.from_json(request.to_json()) == request
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request fields"):
+            RunRequest.from_json(
+                {"circuit": {"bench": "s9234"}, "period": 1.0, "chips": 5}
+            )
+
+    def test_circuit_and_period_required(self):
+        with pytest.raises(ProtocolError, match="circuit and period"):
+            RunRequest.from_json({"period": 1.0})
+
+    @pytest.mark.parametrize("period", [0.0, -1.0])
+    def test_nonpositive_period_rejected(self, period):
+        with pytest.raises(ProtocolError, match="period"):
+            RunRequest(circuit={"bench": "s9234"}, period=period)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ProtocolError, match="n_chips"):
+            RunRequest(circuit={"bench": "s9234"}, period=1.0, n_chips=0)
+
+    def test_unknown_override_fields_rejected(self):
+        request = RunRequest(
+            circuit={"bench": "s9234"}, period=1.0, online={"turbo": True}
+        )
+        with pytest.raises(ProtocolError, match="unknown online fields"):
+            request.configs()
+
+    def test_default_retention_is_summary(self):
+        _, online = RunRequest(circuit=_SPEC_REF, period=1.0).configs()
+        assert online.artifacts == "summary"
+        _, dense = RunRequest(
+            circuit=_SPEC_REF, period=1.0, online={"artifacts": "dense"}
+        ).configs()
+        assert dense.artifacts == "dense"
+
+    def test_resolve_builds_a_storable_scenario(self):
+        registry = CircuitRegistry()
+        request = RunRequest(circuit=_SPEC_REF, period=1.5, n_chips=9, seed=3)
+        scenario = request.resolve(registry)
+        assert scenario.period == 1.5
+        assert scenario.n_chips == 9
+        assert scenario.population is None  # lazy source → storable key
+
+
+class TestCircuitRegistry:
+    def test_spec_reference_is_deterministic_and_memoized(self):
+        registry = CircuitRegistry()
+        first = registry.resolve(_SPEC_REF)
+        assert first is registry.resolve(dict(_SPEC_REF))  # memoized
+        spec = CircuitSpec(**_SPEC_REF["spec"])
+        expected = generate_circuit(spec, seed=42)
+        from repro.circuit.fingerprint import fingerprint_circuit
+
+        assert fingerprint_circuit(first) == fingerprint_circuit(expected)
+
+    def test_bench_seed_matches_the_experiment_derivation(self):
+        # Bench circuits must share store records with batch experiment
+        # contexts, which derive the generator seed this exact way.
+        _spec, seed = CircuitRegistry._parse({"bench": "s9234", "seed": 11})
+        assert seed == derive_seed(11, "s9234", "circuit")
+
+    @pytest.mark.parametrize(
+        "ref,match",
+        [
+            ({"bench": "s9234", "spec": {}}, "exactly one"),
+            ({}, "exactly one"),
+            ({"bench": "s9234", "flavor": "mild"}, "unknown circuit reference"),
+            ({"bench": "nope-such-bench"}, "nope-such-bench"),
+            ({"spec": {"bogus_field": 1}}, "unknown circuit spec"),
+            ({"spec": "s9234"}, "spec must be an object"),
+        ],
+    )
+    def test_bad_references_rejected(self, ref, match):
+        with pytest.raises(ProtocolError, match=match):
+            CircuitRegistry._parse(ref)
+
+    def test_lru_bound(self):
+        registry = CircuitRegistry(max_entries=1)
+        registry.resolve(_SPEC_REF)
+        other = {"spec": dict(_SPEC_REF["spec"], name="wire2"), "seed": 42}
+        registry.resolve(other)
+        assert len(registry._entries) == 1
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.array([1.5, -0.25, np.inf, -np.inf, np.nan]),
+            np.arange(12, dtype=np.intp).reshape(3, 4),
+            np.array([True, False, True]),
+            np.array([], dtype=np.float32),
+        ],
+    )
+    def test_bit_identical_round_trip(self, array):
+        payload = encode_array(array)
+        json.dumps(payload, allow_nan=False)  # strict-JSON safe, inf included
+        decoded = decode_array(payload)
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        np.testing.assert_array_equal(decoded, array)
+
+    def test_decoded_arrays_are_writable(self):
+        decoded = decode_array(encode_array(np.arange(4.0)))
+        decoded[0] = 7.0  # frombuffer views are read-only; copies must not be
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_array({"dtype": "float64", "shape": [2]})  # no data
+        with pytest.raises(ProtocolError):
+            decode_array({"dtype": "float64", "shape": [999], "data": "AAAA"})
+
+
+class TestSummaryCodec:
+    @pytest.mark.parametrize("mode", ARTIFACT_MODES)
+    def test_round_trip_every_retention(self, mode):
+        summary = _summary(artifacts=mode)
+        payload = encode_summary(summary)
+        # The whole event must be strict JSON — this is what crosses HTTP.
+        line = encode_event(shard_event(0, summary))
+        assert decode_event(line)["index"] == 0
+        loaded = decode_summary(payload)
+        assert loaded.artifacts == mode
+        assert loaded.n_chips == summary.n_chips
+        assert loaded.n_passed == summary.n_passed
+        assert loaded.iteration_moments == summary.iteration_moments
+        assert loaded.xi_moments == summary.xi_moments
+        if mode == "summary":
+            assert loaded.passed is None and loaded.dense is None
+            return
+        np.testing.assert_array_equal(loaded.passed, summary.passed)
+        np.testing.assert_array_equal(loaded.iterations, summary.iterations)
+        if mode == "dense":
+            np.testing.assert_array_equal(
+                loaded.dense.configuration.settings,
+                summary.dense.configuration.settings,
+            )
+            np.testing.assert_array_equal(
+                loaded.dense.bounds_lower, summary.dense.bounds_lower
+            )
+
+    def test_malformed_summary_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_summary({"meta": {}})  # no arrays key
+
+
+class TestEvents:
+    def test_event_lines_round_trip(self):
+        event = done_event(3, offline_seconds=1.5, elapsed_seconds=0.25)
+        line = encode_event(event)
+        assert line.endswith(b"\n")
+        assert decode_event(line) == event
+
+    def test_bad_lines_raise(self):
+        with pytest.raises(ProtocolError):
+            decode_event(b"not json at all{")
+        with pytest.raises(ProtocolError):
+            decode_event(b'{"no_event_field": 1}')

@@ -1,0 +1,47 @@
+"""effilint — the project-invariant static analyzer.
+
+The PR 3–6 architecture (content-addressed :class:`~repro.api.cache.PreparationCache`,
+:class:`~repro.results.RunStore` records, RunKey request coalescing) is only
+sound if a handful of hand-maintained invariants hold:
+
+* every result-affecting config knob appears in ``cache_fields()`` /
+  ``result_fields()`` / the ``RunKey`` digest (**EFT001**),
+* every sampling path uses seeded, counter-based RNG — no ambient entropy,
+  no wall clocks in result paths (**EFT002**),
+* every store-directory write goes through the :mod:`repro.utils.diskio`
+  atomic helpers (**EFT003**),
+* lease files are consumed and held correctly (**EFT004**),
+* the relaxation kernels stay pure outside the preallocated-buffer seam
+  (**EFT005**).
+
+None of these is enforced by the type system or by generic linters; one
+forgotten field in ``OnlineConfig.result_fields()`` silently serves stale
+records.  This package is an AST-based rule engine that machine-checks
+them: a shared parse + import-resolution pass (:mod:`repro.analysis.resolve`),
+a rule registry (:mod:`repro.analysis.registry`), per-line
+``# effilint: disable=RULE -- reason`` pragmas (:mod:`repro.analysis.pragmas`),
+a shrink-only JSON baseline (:mod:`repro.analysis.baseline`) and text/JSON
+reporters (:mod:`repro.analysis.report`).
+
+Run it as ``python -m repro.analysis [paths...]`` (installed alias:
+``effilint``).  Exit code 0 means no new findings, 1 means findings (or a
+stale baseline entry — the ratchet), 2 means usage error.  See
+``docs/analysis.md`` for the rule catalog and the pragma/baseline workflow.
+
+The package is deliberately stdlib-only (``ast`` + ``tokenize``), so the
+lint runs anywhere a bare Python runs.
+"""
+
+from repro.analysis.engine import AnalysisResult, analyze_paths, build_context
+from repro.analysis.registry import Finding, ModuleContext, Rule, all_rules, get_rule
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "build_context",
+    "get_rule",
+]

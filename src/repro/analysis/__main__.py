@@ -1,0 +1,187 @@
+"""CLI entry point: ``python -m repro.analysis`` / ``effilint``.
+
+Usage::
+
+    python -m repro.analysis [paths...]
+        [--select EFT001,EFT003] [--format text|json] [--verbose]
+        [--baseline FILE] [--no-baseline] [--write-baseline]
+        [--ratchet-against OLD] [--root DIR] [--list-rules]
+
+Exit codes: **0** clean (no new findings, no stale baseline entries),
+**1** findings / stale baseline / ratchet growth, **2** usage error.
+
+The baseline defaults to ``<root>/.effilint-baseline.json`` (``--root``
+defaults to the current directory); findings recorded there are reported
+as *baselined* and do not fail the run, but entries that no longer fire do
+— the shrink-only ratchet.  ``--ratchet-against OLD`` additionally fails
+when the current baseline file contains fingerprints ``OLD`` did not (CI
+compares against the base branch's copy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    fingerprint_findings,
+    load_baseline,
+    ratchet_violations,
+    write_baseline,
+)
+from repro.analysis.engine import analyze_paths
+from repro.analysis.registry import all_rules
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="effilint",
+        description="Project-invariant static analyzer for the EffiTest codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="root for relative paths in findings and baselines (default: cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--ratchet-against",
+        default=None,
+        metavar="OLD",
+        help="fail if the baseline file gained entries relative to OLD "
+        "(typically the base branch's copy)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also report baselined and pragma-suppressed findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+            if rule.scope:
+                print(f"        scope: {', '.join(rule.scope)}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"effilint: root {root} is not a directory", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"effilint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        result = analyze_paths(args.paths, root=root, select=select)
+    except KeyError as exc:  # unknown --select id
+        print(f"effilint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    pairs = fingerprint_findings(result.findings, result.line_text)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, pairs)
+        print(
+            f"effilint: wrote {len(pairs)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    stale: list[str] = []
+    if args.no_baseline:
+        baseline = None
+    else:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"effilint: {exc}", file=sys.stderr)
+            return 2
+
+    if baseline is None:
+        new_findings = [finding for finding, _ in pairs]
+        baselined: list = []
+    else:
+        current = {fingerprint for _, fingerprint in pairs}
+        new_findings = [f for f, fp in pairs if fp not in baseline.fingerprints]
+        baselined = [f for f, fp in pairs if fp in baseline.fingerprints]
+        stale = sorted(baseline.fingerprints - current)
+
+    grew: list[str] = []
+    if args.ratchet_against is not None:
+        try:
+            old = load_baseline(Path(args.ratchet_against))
+            current_baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"effilint: {exc}", file=sys.stderr)
+            return 2
+        grew = ratchet_violations(current_baseline, old)
+        for fingerprint in grew:
+            entry = current_baseline.entries[fingerprint]
+            print(
+                f"effilint: baseline grew: {entry.get('rule')} at "
+                f"{entry.get('path')} ({fingerprint}) is not in "
+                f"{args.ratchet_against} — fix the finding instead of "
+                "baselining it",
+                file=sys.stderr,
+            )
+
+    render = render_text if args.format == "text" else render_json
+    render(
+        result,
+        new_findings,
+        baselined,
+        stale,
+        sys.stdout,
+        verbose=args.verbose,
+    )
+    return 1 if new_findings or stale or grew else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""The shrink-only finding baseline (``.effilint-baseline.json``).
+
+A baseline lets the analyzer land on a codebase with pre-existing findings
+without blocking CI on day one: known findings are recorded once (with
+``--write-baseline``) and suppressed on later runs, while *new* findings
+still fail.  Two properties make it a ratchet rather than a dumping ground:
+
+* **stale entries are an error** — a baselined finding that no longer
+  fires must be removed from the file (``--write-baseline`` again), so the
+  file can only track reality, never accumulate fiction;
+* **CI asserts shrink-only** — ``--ratchet-against OLD`` fails when the
+  current baseline contains a fingerprint the old one did not, so the only
+  way to add debt is an explicit, reviewable baseline regeneration.
+
+Fingerprints hash the rule id, the path and the *normalized source line
+text* plus an occurrence index — stable under unrelated edits that shift
+line numbers, unique across repeated identical lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.registry import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".effilint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or violates the ratchet."""
+
+
+def _fingerprint(rule: str, path: str, line_text: str, occurrence: int) -> str:
+    payload = f"{rule}\x00{path}\x00{line_text.strip()}\x00{occurrence}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding], line_text: Callable[[str, int], str]
+) -> list[tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    ``line_text(path, line)`` returns the source line the finding anchors
+    to.  Repeated identical (rule, path, line-text) triples disambiguate by
+    occurrence index in (line, col) order.
+    """
+    seen: Counter[tuple[str, str, str]] = Counter()
+    pairs: list[tuple[Finding, str]] = []
+    for finding in sorted(findings):
+        text = line_text(finding.path, finding.line)
+        key = (finding.rule, finding.path, text.strip())
+        pairs.append((finding, _fingerprint(*key, seen[key])))
+        seen[key] += 1
+    return pairs
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The parsed baseline: fingerprint -> recorded entry."""
+
+    entries: dict[str, dict]
+
+    @property
+    def fingerprints(self) -> frozenset[str]:
+        return frozenset(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Baseline({})
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+        )
+    entries: dict[str, dict] = {}
+    for entry in payload.get("findings", []):
+        entries[str(entry["fingerprint"])] = entry
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: Path, pairs: Iterable[tuple[Finding, str]]
+) -> None:
+    """Serialize the current findings as the new baseline (sorted, stable)."""
+    findings = [
+        {
+            "fingerprint": fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding, fingerprint in sorted(pairs)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+
+def ratchet_violations(current: Baseline, old: Baseline) -> list[str]:
+    """Fingerprints present now but absent from ``old`` — growth, an error."""
+    return sorted(current.fingerprints - old.fingerprints)

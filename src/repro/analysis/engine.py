@@ -1,0 +1,159 @@
+"""File collection, the shared parse pass, and rule execution.
+
+One :class:`~repro.analysis.registry.ModuleContext` is built per file
+(source read, ``ast.parse``, import resolution, pragma scan); every selected
+rule whose scope matches then runs over that context.  The engine itself
+owns rule **EFT000**: syntax errors and malformed pragmas — problems with
+the *analysis inputs* rather than the analyzed code — which can never be
+suppressed.
+
+Pragma filtering happens here, uniformly: a finding whose anchor line
+carries (or whose preceding standalone comment carries) a
+``# effilint: disable=<rule> -- reason`` pragma is moved from ``findings``
+to ``suppressed`` — visible in verbose output, invisible to exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.registry import (
+    Finding,
+    ModuleContext,
+    Rule,
+    select_rules,
+)
+from repro.analysis.resolve import Resolver
+
+__all__ = ["AnalysisResult", "analyze_paths", "build_context", "iter_python_files"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".effitest-store"}
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS or any(
+                    part.startswith(".") and part not in (".", "..")
+                    for part in candidate.parts
+                ):
+                    continue
+                out.add(candidate.resolve())
+    return sorted(out)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def build_context(path: Path, root: Path) -> tuple[ModuleContext | None, list[Finding]]:
+    """The shared parse pass for one file.
+
+    Returns ``(context, engine_findings)``; an unparseable file yields
+    ``(None, [EFT000 finding])`` and malformed pragmas yield EFT000
+    findings alongside a usable context.
+    """
+    relpath = _relpath(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, [Finding(relpath, 1, 0, "EFT000", f"unreadable file: {exc}")]
+    pragmas = parse_pragmas(source)
+    engine_findings = [
+        Finding(relpath, pragma.line, 0, "EFT000", pragma.error)
+        for pragma in pragmas.malformed
+    ]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        engine_findings.append(
+            Finding(relpath, exc.lineno or 1, 0, "EFT000", f"syntax error: {exc.msg}")
+        )
+        return None, engine_findings
+    ctx = ModuleContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        resolver=Resolver(tree),
+        pragmas=pragmas,
+    )
+    return ctx, engine_findings
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced (before baseline application)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+    #: relpath -> source lines, for baseline fingerprinting and reporting.
+    sources: dict[str, list[str]] = field(default_factory=dict)
+    n_files: int = 0
+
+    def line_text(self, relpath: str, line: int) -> str:
+        lines = self.sources.get(relpath, [])
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+    select: Iterable[str] | None = None,
+) -> AnalysisResult:
+    """Run the selected rules over every Python file under ``paths``.
+
+    ``root`` anchors the relpaths used in findings, scopes and baselines
+    (default: the current working directory).  Findings are sorted by
+    (path, line, col, rule); pragma-suppressed ones land in
+    ``result.suppressed`` with their pragma reason.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    rules: tuple[Rule, ...] = select_rules(select)
+    result = AnalysisResult()
+    for path in iter_python_files([Path(p) for p in paths]):
+        ctx, engine_findings = build_context(path, root)
+        result.n_files += 1
+        result.findings.extend(engine_findings)  # EFT000: never suppressible
+        if ctx is None:
+            continue
+        result.sources[ctx.relpath] = ctx.lines
+        for rule in rules:
+            if not rule.applies_to(ctx.relpath):
+                continue
+            for finding in rule.check(ctx):
+                if ctx.pragmas.suppresses(finding.rule, finding.line):
+                    reasons = [
+                        pragma.reason
+                        for pragma in ctx.pragmas.pragmas
+                        if finding.rule in pragma.rules
+                        and pragma.error is None
+                        and (
+                            pragma.line == finding.line
+                            or (pragma.standalone and pragma.line + 1 == finding.line)
+                        )
+                    ]
+                    result.suppressed.append(
+                        (finding, reasons[0] if reasons else "")
+                    )
+                else:
+                    result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result

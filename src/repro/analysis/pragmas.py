@@ -1,0 +1,144 @@
+"""Per-line suppression pragmas: ``# effilint: disable=RULE -- reason``.
+
+Grammar (one comment, same line as the finding or a standalone comment line
+directly above it)::
+
+    # effilint: disable=EFT001 -- why this exclusion is intentional
+    # effilint: disable=EFT002,EFT003 -- one reason covering both
+
+The ``-- reason`` part is **mandatory**: a pragma is a machine-checked
+design decision, and a decision without a recorded rationale is exactly the
+silent drift this tool exists to prevent.  A pragma with no reason, an
+empty reason, or an unknown rule id is itself reported as **EFT000**
+(which cannot be disabled).
+
+Pragmas are parsed from the token stream (:mod:`tokenize`), never from the
+AST, so they work on any line — including lines whose statement spans
+multiple physical lines (the pragma goes on the physical line the finding
+is anchored to, i.e. where the offending call starts).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Pragma", "PragmaSet", "parse_pragmas"]
+
+#: Anything that looks like an effilint pragma comment (validated further).
+_PRAGMA_RE = re.compile(r"#\s*effilint\s*:\s*(?P<body>.*)$")
+#: The well-formed body: disable=IDS [-- reason]
+_BODY_RE = re.compile(
+    r"^disable\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>.*))?$"
+)
+_ID_RE = re.compile(r"^EFT\d{3}$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed pragma comment."""
+
+    line: int  # physical line of the comment (1-based)
+    rules: frozenset[str]
+    reason: str
+    standalone: bool  # comment-only line: applies to the next code line
+    error: str | None = None  # malformed: why (rules/reason best-effort)
+
+
+def _parse_comment(text: str, line: int, standalone: bool) -> Pragma | None:
+    match = _PRAGMA_RE.search(text)
+    if match is None:
+        return None
+    body = match.group("body").strip()
+    parsed = _BODY_RE.match(body)
+    if parsed is None:
+        return Pragma(
+            line,
+            frozenset(),
+            "",
+            standalone,
+            error=f"malformed pragma {body!r} (expected 'disable=EFTnnn -- reason')",
+        )
+    ids = frozenset(part.strip() for part in parsed.group("ids").split(",") if part.strip())
+    reason = (parsed.group("reason") or "").strip()
+    bad = sorted(rule for rule in ids if not _ID_RE.match(rule))
+    if bad:
+        return Pragma(
+            line, ids, reason, standalone, error=f"unknown rule id(s) {', '.join(bad)}"
+        )
+    if not reason:
+        return Pragma(
+            line,
+            ids,
+            reason,
+            standalone,
+            error="pragma has no reason (append ' -- why this is intentional')",
+        )
+    return Pragma(line, ids, reason, standalone)
+
+
+class PragmaSet:
+    """All pragmas of one module, indexed by the code line they cover."""
+
+    def __init__(self, pragmas: list[Pragma]):
+        self.pragmas = pragmas
+        self._by_line: dict[int, set[str]] = {}
+        for pragma in pragmas:
+            if pragma.error is not None:
+                continue
+            target = pragma.line + 1 if pragma.standalone else pragma.line
+            self._by_line.setdefault(target, set()).update(pragma.rules)
+
+    def disabled_at(self, line: int) -> set[str]:
+        """Rule ids suppressed on the given 1-based code line."""
+        return self._by_line.get(line, set())
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        return rule in self.disabled_at(line)
+
+    @property
+    def malformed(self) -> list[Pragma]:
+        return [pragma for pragma in self.pragmas if pragma.error is not None]
+
+
+def parse_pragmas(source: str) -> PragmaSet:
+    """Scan ``source`` for effilint pragma comments.
+
+    Tolerates files :mod:`tokenize` rejects (the engine reports the syntax
+    error separately) by falling back to a line-based scan.
+    """
+    pragmas: list[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            stripped = text.strip()
+            if not stripped.startswith("#"):
+                continue
+            pragma = _parse_comment(stripped, lineno, standalone=True)
+            if pragma is not None:
+                pragmas.append(pragma)
+        return PragmaSet(pragmas)
+
+    code_lines: set[int] = set()
+    comments: list[tuple[int, str]] = []
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comments.append((token.start[0], token.string))
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            for lineno in range(token.start[0], token.end[0] + 1):
+                code_lines.add(lineno)
+    for lineno, text in comments:
+        pragma = _parse_comment(text, lineno, standalone=lineno not in code_lines)
+        if pragma is not None:
+            pragmas.append(pragma)
+    return PragmaSet(pragmas)

@@ -1,0 +1,154 @@
+"""Rule registry and the shared per-module analysis context.
+
+A rule is a class with an ``id`` (``EFTnnn``), a one-line ``summary``, an
+optional path ``scope`` (fnmatch patterns against the posix relpath; ``None``
+applies everywhere) and a ``check(ctx)`` generator of :class:`Finding`\\ s.
+Rules register themselves via the :func:`register` decorator at import time
+(:mod:`repro.analysis.rules` imports every rule module), so the engine and
+the CLI discover them from one place.
+
+The :class:`ModuleContext` is the shared parse pass: one source read, one
+``ast.parse``, one import/symbol resolution and one pragma scan per file —
+every rule consumes the same context instead of re-parsing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.pragmas import PragmaSet
+from repro.analysis.resolve import Resolver
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation at a source location."""
+
+    path: str  # posix relpath from the analysis root
+    line: int  # 1-based
+    col: int  # 0-based, ast convention
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs about one parsed module."""
+
+    path: Path  # absolute path on disk
+    relpath: str  # posix, relative to the analysis root
+    source: str
+    lines: list[str] = field(repr=False)
+    tree: ast.Module = field(repr=False)
+    resolver: Resolver = field(repr=False)
+    pragmas: PragmaSet = field(repr=False)
+
+    def finding(
+        self, rule: str, node: ast.AST | int, message: str, col: int = 0
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` (or a line number)."""
+        if isinstance(node, int):
+            return Finding(self.relpath, node, col, rule, message)
+        return Finding(
+            self.relpath,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            rule,
+            message,
+        )
+
+    def line_text(self, line: int) -> str:
+        """The 1-based source line, or ``""`` past the end."""
+        return self.lines[line - 1] if 1 <= line <= len(self.lines) else ""
+
+
+class Rule:
+    """Base class for effilint rules; subclasses override :meth:`check`."""
+
+    id: str = "EFT000"
+    name: str = "unnamed"
+    summary: str = ""
+    #: fnmatch patterns against the posix relpath; ``None`` = every file.
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(_path_matches(relpath, pattern) for pattern in self.scope)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _path_matches(relpath: str, pattern: str) -> bool:
+    """fnmatch with tolerance for a missing leading directory.
+
+    ``*`` in :func:`fnmatch.fnmatch` crosses ``/`` so ``*/service/*.py``
+    matches ``src/repro/service/daemon.py``; the stripped variant also
+    matches when the scoped directory sits at the analysis root (fixture
+    trees in tests).
+    """
+    if fnmatch(relpath, pattern):
+        return True
+    return pattern.startswith("*/") and fnmatch(relpath, pattern[2:])
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id (imports the rule package)."""
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    return tuple(rule for _, rule in sorted(_RULES.items()))
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None
+
+
+def known_rule_ids() -> frozenset[str]:
+    """Registered ids plus the engine's own EFT000 (pragma/parse errors)."""
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    return frozenset(_RULES) | {"EFT000"}
+
+
+def select_rules(select: Iterable[str] | None) -> tuple[Rule, ...]:
+    """The rules to run: all of them, or the ``--select`` subset."""
+    if select is None:
+        return all_rules()
+    return tuple(get_rule(rule_id) for rule_id in select)
+
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "known_rule_ids",
+    "register",
+    "select_rules",
+]

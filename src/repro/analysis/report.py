@@ -1,0 +1,81 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.registry import Finding, all_rules
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    result: AnalysisResult,
+    new_findings: list[Finding],
+    baselined: list[Finding],
+    stale: list[str],
+    stream: IO[str],
+    verbose: bool = False,
+) -> None:
+    """Human-oriented report: one line per finding plus a summary."""
+    for finding in new_findings:
+        stream.write(finding.format() + "\n")
+        text = result.line_text(finding.path, finding.line).strip()
+        if text:
+            stream.write(f"    | {text}\n")
+    if verbose and baselined:
+        stream.write("\nbaselined (suppressed by the baseline file):\n")
+        for finding in baselined:
+            stream.write("  " + finding.format() + "\n")
+    if verbose and result.suppressed:
+        stream.write("\npragma-suppressed:\n")
+        for finding, reason in result.suppressed:
+            stream.write(f"  {finding.format()}  [{reason}]\n")
+    for fingerprint in stale:
+        stream.write(
+            f"stale baseline entry {fingerprint}: finding no longer fires — "
+            "regenerate the baseline with --write-baseline (the ratchet "
+            "requires the file to shrink)\n"
+        )
+    stream.write(
+        f"effilint: {result.n_files} files, "
+        f"{len(new_findings)} finding(s), "
+        f"{len(baselined)} baselined, "
+        f"{len(result.suppressed)} pragma-suppressed, "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}\n"
+    )
+
+
+def render_json(
+    result: AnalysisResult,
+    new_findings: list[Finding],
+    baselined: list[Finding],
+    stale: list[str],
+    stream: IO[str],
+    verbose: bool = False,
+) -> None:
+    """Machine-oriented report: everything text reports, as one object."""
+
+    def encode(finding: Finding) -> dict:
+        return {
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule,
+            "message": finding.message,
+        }
+
+    payload = {
+        "files": result.n_files,
+        "rules": {rule.id: rule.summary for rule in all_rules()},
+        "findings": [encode(f) for f in new_findings],
+        "baselined": [encode(f) for f in baselined],
+        "suppressed": [
+            {**encode(f), "reason": reason} for f, reason in result.suppressed
+        ],
+        "stale_baseline": list(stale),
+    }
+    json.dump(payload, stream, indent=1)
+    stream.write("\n")

@@ -1,0 +1,75 @@
+"""Import and symbol resolution — the shared pass behind every rule.
+
+Rules reason about *canonical dotted names* ("this call is
+``numpy.random.default_rng``", "this is ``repro.utils.diskio.write_atomic``"),
+not surface spellings (``np.random.default_rng``, ``default_rng`` after a
+``from``-import, an aliased module...).  :class:`Resolver` scans a module's
+``import`` / ``from ... import`` statements once (including function-local
+imports — a deliberate over-approximation: a name imported anywhere in the
+file resolves file-wide) and maps expression ASTs back to those canonical
+names.
+
+Resolution is best-effort and *syntactic*: attribute chains rooted in an
+unknown name (``self.store.lease``) resolve to ``None`` and rules fall back
+to attribute-name heuristics where that matters.  Builtins (``open``)
+resolve to ``builtins.<name>`` unless shadowed by an import.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+__all__ = ["Resolver"]
+
+
+class Resolver:
+    """Maps names/attribute chains of one module to canonical dotted names."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: alias -> module path, from ``import x.y as z`` (and ``import x``).
+        self.modules: dict[str, str] = {}
+        #: alias -> fully qualified origin, from ``from m import n as a``.
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: origin module unknown
+                    continue
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.names[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of an expression, or ``None``.
+
+        ``Name`` nodes resolve through the import maps, then through
+        builtins; ``Attribute`` chains resolve their base and append.  Any
+        unresolvable base (a local variable, ``self``, a call result) makes
+        the whole chain ``None``.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.names:
+                return self.names[node.id]
+            if node.id in self.modules:
+                return self.modules[node.id]
+            if hasattr(builtins, node.id):
+                return f"builtins.{node.id}"
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call's callee, or ``None``."""
+        return self.resolve(node.func)

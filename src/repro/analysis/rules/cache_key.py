@@ -1,0 +1,181 @@
+"""EFT001 — cache-key drift.
+
+The caching architecture keys everything on three hand-maintained tuples:
+
+* ``OfflineConfig.cache_fields()`` — the preparation-cache key,
+* ``OnlineConfig.result_fields()`` — the result-determining online knobs,
+* ``RunKey`` / ``PreparationKey`` dataclass fields folded into ``digest()``.
+
+A config knob added without updating its key method makes two *different*
+configurations share a cache entry: the store silently serves stale
+records.  This rule machine-checks the invariant structurally, so the
+check travels with the *shape* of the code, not with hard-coded paths:
+
+1. any dataclass defining ``cache_fields`` / ``result_fields`` must fold
+   **every** field into it — a field iterated via ``dataclasses.fields``
+   counts as covered; a field deliberately excluded must carry an
+   ``# effilint: disable=EFT001 -- reason`` pragma on its definition line
+   (the machine-verified design decision);
+2. any dataclass defining ``digest()`` must reference every field inside
+   it (a key field that doesn't enter the digest names colliding files);
+3. a ``build`` method that populates ``offline_fields`` /
+   ``online_fields`` style members must derive them via ``cache_fields()``
+   / ``result_fields()`` — not by open-coding a subset.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.registry import Finding, ModuleContext, Rule, register
+
+#: method name -> the field-tuple contract it implements
+KEY_METHODS = ("cache_fields", "result_fields")
+
+
+def _is_dataclass(node: ast.ClassDef, ctx: ModuleContext) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        resolved = ctx.resolver.resolve(target)
+        if resolved == "dataclasses.dataclass":
+            return True
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[tuple[str, int]]:
+    """(name, lineno) of every public annotated field of the class body."""
+    fields: list[tuple[str, int]] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((name, stmt.lineno))
+    return fields
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _self_attrs(func: ast.FunctionDef) -> set[str]:
+    """Names accessed as ``self.<name>`` anywhere in the method."""
+    out: set[str] = set()
+    for sub in ast.walk(func):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            out.add(sub.attr)
+    return out
+
+
+def _iterates_all_fields(func: ast.FunctionDef, ctx: ModuleContext) -> bool:
+    """True when the method folds ``dataclasses.fields(self)`` in."""
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Call):
+            resolved = ctx.resolver.resolve_call(sub)
+            if resolved == "dataclasses.fields":
+                return True
+            if isinstance(sub.func, ast.Name) and sub.func.id == "fields":
+                return True
+    return False
+
+
+def _called_attrs(func: ast.FunctionDef) -> set[str]:
+    """Attribute names invoked as calls anywhere in the method body."""
+    out: set[str] = set()
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            out.add(sub.func.attr)
+    return out
+
+
+#: ``build``-style member -> the config method that must produce it.
+_BUILD_CONTRACTS = {
+    "offline_fields": "cache_fields",
+    "online_fields": "result_fields",
+}
+
+
+@register
+class CacheKeyDrift(Rule):
+    id = "EFT001"
+    name = "cache-key-drift"
+    summary = (
+        "every config field must enter cache_fields()/result_fields()/digest() "
+        "or carry an explicit exclusion pragma with a reason"
+    )
+    scope = None  # structural: applies to any file defining key dataclasses
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node, ctx):
+                continue
+            fields = _dataclass_fields(node)
+            if not fields:
+                continue
+
+            for method_name in KEY_METHODS:
+                func = _method(node, method_name)
+                if func is None:
+                    continue
+                if _iterates_all_fields(func, ctx):
+                    continue  # tuple(getattr(self, f.name) for f in fields(self))
+                covered = _self_attrs(func)
+                for name, lineno in fields:
+                    if name in covered:
+                        continue
+                    yield ctx.finding(
+                        "EFT001",
+                        lineno,
+                        f"field '{name}' of {node.name} is not folded into "
+                        f"{method_name}() — two configs differing only in "
+                        f"'{name}' would share a cache key; add it to the "
+                        "tuple or annotate the exclusion with "
+                        "'# effilint: disable=EFT001 -- reason'",
+                    )
+
+            digest = _method(node, "digest")
+            if digest is not None:
+                covered = _self_attrs(digest)
+                for name, lineno in fields:
+                    if name in covered:
+                        continue
+                    yield ctx.finding(
+                        "EFT001",
+                        lineno,
+                        f"field '{name}' of {node.name} does not enter "
+                        "digest() — distinct keys would name the same "
+                        "on-disk record",
+                    )
+
+            build = _method(node, "build")
+            if build is not None:
+                field_names = {name for name, _ in fields}
+                called = _called_attrs(build)
+                for member, producer in _BUILD_CONTRACTS.items():
+                    if member in field_names and producer not in called:
+                        yield ctx.finding(
+                            "EFT001",
+                            build.lineno,
+                            f"{node.name}.build populates '{member}' without "
+                            f"calling {producer}() — open-coding the key "
+                            "tuple drifts from the config the first time a "
+                            "knob is added",
+                        )

@@ -1,0 +1,96 @@
+"""EFT002 — determinism: no ambient entropy, no wall clocks in result paths.
+
+Every stochastic component takes an explicit seed or generator
+(:mod:`repro.utils.rng`), and shard sampling is counter-based so any process
+can materialize any shard bit-identically.  One stray ``random.random()``
+or argument-less ``default_rng()`` breaks replay, cache identity and the
+store's content addressing at once — and is invisible in review.
+
+Flagged call sites (by canonical resolved name, so aliases and
+``from``-imports are seen through):
+
+* the stdlib ``random`` module (any attribute),
+* ``numpy.random.seed`` (global-state seeding),
+* ``numpy.random.default_rng()`` / ``numpy.random.SeedSequence()`` with
+  **no arguments** — OS-entropy generators (seeded calls are fine),
+* ``os.urandom``, ``uuid.uuid1``, ``uuid.uuid4``,
+* wall clocks: ``time.time``, ``datetime.datetime.now`` / ``utcnow``,
+  ``datetime.date.today`` (``time.monotonic`` / ``perf_counter`` are fine
+  — durations are not identities).
+
+Intentional sites (``canonical_seed``'s fresh-entropy branch, lease-file
+mtimes, daemon uptime) carry ``# effilint: disable=EFT002 -- reason``
+pragmas; the pragma is the audit trail.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.registry import Finding, ModuleContext, Rule, register
+
+#: Always flagged, regardless of arguments.
+_BANNED = {
+    "numpy.random.seed": "seeds numpy's *global* RNG — pass an explicit Generator",
+    "os.urandom": "raw OS entropy is unreplayable",
+    "uuid.uuid1": "uuid1 mixes host clock and MAC — unreplayable identity",
+    "uuid.uuid4": "uuid4 draws OS entropy — unreplayable identity",
+    "time.time": "wall-clock reads differ across runs and machines",
+    "datetime.datetime.now": "wall-clock reads differ across runs and machines",
+    "datetime.datetime.utcnow": "wall-clock reads differ across runs and machines",
+    "datetime.date.today": "wall-clock reads differ across runs and machines",
+}
+
+#: Flagged only when called with no arguments (no seed -> OS entropy).
+_BANNED_ARGLESS = {
+    "numpy.random.default_rng": "argument-less default_rng() draws OS entropy",
+    "numpy.random.SeedSequence": "argument-less SeedSequence() draws OS entropy",
+}
+
+
+@register
+class Determinism(Rule):
+    id = "EFT002"
+    name = "determinism"
+    summary = (
+        "no stdlib random, global numpy seeding, argument-less RNG "
+        "construction, OS entropy, or wall-clock calls outside annotated sites"
+    )
+    scope = None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolver.resolve_call(node)
+            if resolved is None:
+                continue
+            if resolved.startswith("random.") and resolved.count(".") == 1:
+                yield ctx.finding(
+                    "EFT002",
+                    node,
+                    f"call to stdlib {resolved}() — the global random module "
+                    "is unseeded shared state; use repro.utils.rng with an "
+                    "explicit seed",
+                )
+                continue
+            if resolved in _BANNED:
+                yield ctx.finding(
+                    "EFT002",
+                    node,
+                    f"call to {resolved}(): {_BANNED[resolved]}",
+                )
+                continue
+            if (
+                resolved in _BANNED_ARGLESS
+                and not node.args
+                and not node.keywords
+            ):
+                yield ctx.finding(
+                    "EFT002",
+                    node,
+                    f"{resolved}() called without a seed: "
+                    f"{_BANNED_ARGLESS[resolved]}; thread a seed through "
+                    "repro.utils.rng instead",
+                )

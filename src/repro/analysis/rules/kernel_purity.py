@@ -1,0 +1,207 @@
+"""EFT005 — kernel purity in the relaxation hot path.
+
+The vectorized configure/verify stack (:mod:`repro.opt.diffconstraints`,
+:mod:`repro.core.configuration`) is pinned **bit-identical** to the
+retained reference kernel.  Two classes of edit silently break that pin
+while passing every shape check:
+
+* **in-place mutation of function parameters** — a kernel that scribbles
+  on its caller's arrays (``weights[...] = ...``, ``np.minimum(...,
+  out=dist)`` on a parameter, ``param.sort()``) corrupts the caller's
+  state across binary-search steps and across the A/B reference runs; the
+  sanctioned pattern is writing into *preallocated buffers the function
+  owns* (``self._wbuf``, locals, or parameters that are explicitly part of
+  the buffer seam: named ``out``/``buf`` or ``*_out``/``*_buf``);
+* **dtype-narrowing** — a stray ``.astype(np.float32)`` or
+  ``dtype=np.float32`` halves precision on one side of the A/B pin and
+  shifts epsilon-threshold comparisons; the kernels are float64 end to
+  end.
+
+Scoped to the two kernel modules; fixture-covered elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.registry import Finding, ModuleContext, Rule, register
+
+#: ndarray methods that mutate their receiver in place.
+_MUTATORS = {"fill", "sort", "partition", "put", "resize", "setfield", "itemset"}
+
+#: Parameter names that *are* the preallocated-buffer seam.
+_SEAM_NAMES = {"out", "buf"}
+_SEAM_SUFFIXES = ("_out", "_buf")
+
+#: Narrow dtypes (canonical resolved names and literal spellings).
+_NARROW = {
+    "numpy.float16",
+    "numpy.float32",
+    "numpy.int8",
+    "numpy.int16",
+    "numpy.int32",
+    "numpy.uint8",
+    "numpy.uint16",
+    "numpy.uint32",
+    "numpy.half",
+    "numpy.single",
+}
+_NARROW_LITERALS = {name.split(".")[1] for name in _NARROW} | {"f2", "f4", "i1", "i2", "i4"}
+
+
+def _is_seam(name: str) -> bool:
+    return name in _SEAM_NAMES or name.endswith(_SEAM_SUFFIXES)
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = func.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return {n for n in names if n not in ("self", "cls") and not _is_seam(n)}
+
+
+def _subscript_base(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _narrow_dtype(node: ast.expr, ctx: ModuleContext) -> str | None:
+    """The narrow dtype a node names, or ``None``."""
+    resolved = ctx.resolver.resolve(node)
+    if resolved in _NARROW:
+        return resolved
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value.lower().lstrip("<>=") in _NARROW_LITERALS:
+            return node.value
+    return None
+
+
+@register
+class KernelPurity(Rule):
+    id = "EFT005"
+    name = "kernel-purity"
+    summary = (
+        "kernel functions must not mutate caller arrays in place (outside "
+        "the out=/buf= seam) or narrow dtypes below float64"
+    )
+    scope = (
+        "*/opt/diffconstraints.py",
+        "*/core/configuration.py",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_dtype(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        params = _param_names(func)
+        if not params:
+            return
+        # Rebinding (`lower = np.asarray(lower)`) is pure and severs the
+        # alias; only *mutations* of a still-parameter-bound name count.
+        rebound: set[str] = set()
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name) and target.id in params:
+                        rebound.add(target.id)
+            elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                if sub.target.id in params:
+                    rebound.add(sub.target.id)
+        live = params - rebound
+
+        for sub in ast.walk(func):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not func:
+                continue  # nested functions are visited on their own
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    elements = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for element in elements:
+                        if isinstance(element, ast.Subscript):
+                            base = _subscript_base(element)
+                            if isinstance(base, ast.Name) and base.id in live:
+                                yield ctx.finding(
+                                    "EFT005",
+                                    sub,
+                                    f"in-place write into parameter "
+                                    f"'{base.id}' — the kernel scribbles on "
+                                    "its caller's array; copy first or route "
+                                    "through a preallocated out=/buf= seam "
+                                    "parameter",
+                                )
+                        elif (
+                            isinstance(sub, ast.AugAssign)
+                            and isinstance(element, ast.Name)
+                            and element.id in live
+                        ):
+                            yield ctx.finding(
+                                "EFT005",
+                                sub,
+                                f"augmented assignment mutates parameter "
+                                f"'{element.id}' in place for array "
+                                "arguments — rebind the result of a pure "
+                                "operation instead",
+                            )
+            elif isinstance(sub, ast.Call):
+                for keyword in sub.keywords:
+                    if keyword.arg == "out":
+                        base = _subscript_base(keyword.value)
+                        if isinstance(base, ast.Name) and base.id in live:
+                            yield ctx.finding(
+                                "EFT005",
+                                sub,
+                                f"out= targets parameter '{base.id}' — the "
+                                "caller's array is overwritten; preallocate "
+                                "a buffer the kernel owns (or name the "
+                                "parameter as the seam: out/buf/*_out/*_buf)",
+                            )
+                if isinstance(sub.func, ast.Attribute) and sub.func.attr in _MUTATORS:
+                    receiver = sub.func.value
+                    if isinstance(receiver, ast.Name) and receiver.id in live:
+                        yield ctx.finding(
+                            "EFT005",
+                            sub,
+                            f".{sub.func.attr}() mutates parameter "
+                            f"'{receiver.id}' in place — operate on a copy",
+                        )
+
+    def _check_dtype(self, ctx: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            for arg in (*node.args, *[k.value for k in node.keywords if k.arg == "dtype"]):
+                narrow = _narrow_dtype(arg, ctx)
+                if narrow is not None:
+                    yield ctx.finding(
+                        "EFT005",
+                        node,
+                        f".astype({narrow}) narrows precision in the kernel "
+                        "path — the A/B bit-identity pin against the "
+                        "reference kernel requires float64 end to end",
+                    )
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                narrow = _narrow_dtype(keyword.value, ctx)
+                if narrow is not None:
+                    yield ctx.finding(
+                        "EFT005",
+                        node,
+                        f"dtype={narrow} narrows precision in the kernel "
+                        "path — the bit-identity pin requires float64",
+                    )

@@ -1,0 +1,183 @@
+"""EFT004 — lease and lock discipline.
+
+The cross-process safety story rests on three usage contracts around
+:mod:`repro.utils.diskio` and :meth:`repro.results.RunStore.lease`:
+
+1. **``try_acquire_lock`` results must be consumed.**  The call *is* the
+   acquisition — discarding the boolean means the caller proceeds whether
+   or not it holds the lease (and leaks the file when it does).
+2. **``file_lock`` / ``RunStore.lease`` only via ``with``.**  Both are
+   context managers; calling one without entering it acquires nothing (a
+   generator context manager runs no code until ``__enter__``) while
+   *looking* locked — the worst kind of bug.
+3. **Store writes vs. the lease, in the daemon.**  ``RunStore.store``
+   re-acquires the key lease internally, so calling it *inside* a ``with
+   store.lease(key)`` block deadlocks until the timeout and then skips the
+   write; the caller-holds-the-lease variant ``store_under_lease`` exists
+   for exactly that position — and conversely must only run where the
+   lease is actually held (lexically inside the ``with``, or pragma'd with
+   the holding caller named in the reason).
+
+``lease`` is matched only on store-shaped receivers (``...store.lease`` or
+``self.lease`` inside a ``*Store`` class) so unrelated methods that happen
+to be called ``lease`` — the coalescing table's in-process one — stay out
+of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.registry import Finding, ModuleContext, Rule, register
+
+
+def _is_store_lease_call(node: ast.Call, class_stack: list[str]) -> bool:
+    """``<store-shaped receiver>.lease(...)``?"""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "lease":
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        if receiver.id == "self":
+            return any("store" in name.lower() for name in class_stack)
+        return "store" in receiver.id.lower()
+    if isinstance(receiver, ast.Attribute):
+        return "store" in receiver.attr.lower()
+    return False
+
+
+def _is_file_lock_call(node: ast.Call, ctx: ModuleContext) -> bool:
+    resolved = ctx.resolver.resolve_call(node)
+    if resolved is not None:
+        return resolved.split(".")[-1] == "file_lock"
+    func = node.func
+    return isinstance(func, ast.Attribute) and func.attr == "file_lock"
+
+
+def _is_try_acquire_call(node: ast.Call, ctx: ModuleContext) -> bool:
+    resolved = ctx.resolver.resolve_call(node)
+    if resolved is not None and resolved.split(".")[-1] == "try_acquire_lock":
+        return True
+    func = node.func
+    return isinstance(func, ast.Attribute) and func.attr == "try_acquire_lock"
+
+
+@register
+class LeaseDiscipline(Rule):
+    id = "EFT004"
+    name = "lease-discipline"
+    summary = (
+        "try_acquire_lock results consumed; file_lock/store.lease only via "
+        "'with'; store() vs store_under_lease() matched to lease position"
+    )
+    scope = (
+        "*/results/*.py",
+        "*/api/cache.py",
+        "*/service/*.py",
+        "*/utils/diskio.py",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        with_items: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+        yield from self._visit(ctx, ctx.tree, with_items, [], in_lease_with=False)
+
+    def _visit(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        with_items: set[int],
+        class_stack: list[str],
+        in_lease_with: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.ClassDef):
+            class_stack = [*class_stack, node.name]
+
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            if _is_try_acquire_call(node.value, ctx):
+                yield ctx.finding(
+                    "EFT004",
+                    node,
+                    "try_acquire_lock(...) result discarded — the caller "
+                    "cannot know whether it holds the lease (and leaks the "
+                    "lock file when it does); branch on the result and "
+                    "release_lock() on the held path",
+                )
+
+        if isinstance(node, ast.Call) and id(node) not in with_items:
+            if _is_file_lock_call(node, ctx):
+                yield ctx.finding(
+                    "EFT004",
+                    node,
+                    "file_lock(...) called outside a 'with' block — a "
+                    "generator context manager acquires nothing until "
+                    "__enter__, so this looks locked but is not",
+                )
+            elif _is_store_lease_call(node, class_stack):
+                yield ctx.finding(
+                    "EFT004",
+                    node,
+                    "store lease(...) called outside a 'with' block — the "
+                    "lease is only held inside the context",
+                )
+
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "store_under_lease" and not in_lease_with:
+                yield ctx.finding(
+                    "EFT004",
+                    node,
+                    "store_under_lease(...) outside a 'with ...lease(...)' "
+                    "block — this variant *assumes* the caller holds the "
+                    "key lease; hold it here, or pragma the call naming the "
+                    "holding caller",
+                )
+            if (
+                node.func.attr == "store"
+                and in_lease_with
+                and isinstance(node.func.value, ast.Attribute)
+                and "store" in node.func.value.attr.lower()
+            ):
+                yield ctx.finding(
+                    "EFT004",
+                    node,
+                    "RunStore.store(...) inside a 'with ...lease(...)' "
+                    "block — store() re-acquires the key lease internally "
+                    "and the lease file is not reentrant (it stalls until "
+                    "the timeout, then skips the write); use "
+                    "store_under_lease() here",
+                )
+
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            enters_lease = in_lease_with or any(
+                isinstance(item.context_expr, ast.Call)
+                and (
+                    _is_store_lease_call(item.context_expr, class_stack)
+                    or _is_file_lock_call(item.context_expr, ctx)
+                )
+                for item in node.items
+            )
+            for item in node.items:
+                yield from self._visit(
+                    ctx, item.context_expr, with_items, class_stack, in_lease_with
+                )
+                if item.optional_vars is not None:
+                    yield from self._visit(
+                        ctx, item.optional_vars, with_items, class_stack, in_lease_with
+                    )
+            for stmt in node.body:
+                yield from self._visit(
+                    ctx, stmt, with_items, class_stack, enters_lease
+                )
+            return
+
+        # A nested function does not inherit the lexical lease context: it
+        # may run long after the 'with' block exited.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            in_lease_with = False
+
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, with_items, class_stack, in_lease_with)

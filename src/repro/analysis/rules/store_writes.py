@@ -1,0 +1,124 @@
+"""EFT003 — store-write discipline in the persistence layers.
+
+The :class:`~repro.results.RunStore` and the preparation cache's disk tier
+guarantee that *readers only ever see whole records* — but only because
+every write goes through :func:`repro.utils.diskio.write_atomic` (temp file
+in the same directory + ``os.replace``).  One bare ``open(path, "w")`` in
+those layers reintroduces torn reads for every concurrent process.
+
+Within the persistence scopes (``results/``, ``api/cache.py``,
+``service/``) this rule flags direct write APIs — ``open`` with a
+write/append/create mode, ``numpy.save``/``savez``/``savez_compressed``,
+``json.dump``, ``pickle.dump``, ``Path.write_text``/``write_bytes`` —
+unless the call is lexically an argument of ``write_atomic(...)`` (the
+sanctioned pattern: ``write_atomic(path, lambda handle: np.savez(handle,
+...))``).  Streaming sinks that are *contractually* append-only (the jobs
+mode's tail-followed event log) carry a pragma with the contract as the
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.registry import Finding, ModuleContext, Rule, register
+
+_WRITE_CALLS = {
+    "numpy.save": "np.save",
+    "numpy.savez": "np.savez",
+    "numpy.savez_compressed": "np.savez_compressed",
+    "json.dump": "json.dump",
+    "pickle.dump": "pickle.dump",
+}
+
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+_MODE_WRITE_CHARS = set("wax+")
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The literal write-ish mode of an ``open`` call, or ``None``."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if set(mode.value) & _MODE_WRITE_CHARS:
+            return mode.value
+        return None
+    return None  # non-literal mode: out of static reach
+
+
+@register
+class StoreWriteDiscipline(Rule):
+    id = "EFT003"
+    name = "store-write-discipline"
+    summary = (
+        "writes in the persistence layers must route through "
+        "repro.utils.diskio.write_atomic (readers must only ever see whole files)"
+    )
+    scope = (
+        "*/results/*.py",
+        "*/api/cache.py",
+        "*/service/*.py",
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._visit(ctx, ctx.tree, exempt=False)
+
+    def _visit(
+        self, ctx: ModuleContext, node: ast.AST, exempt: bool
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolver.resolve_call(node)
+            if resolved is not None and resolved.endswith(".write_atomic"):
+                # Everything inside the sanctioned helper's argument list
+                # (the writer lambda in particular) is the atomic path.
+                for child in ast.iter_child_nodes(node):
+                    yield from self._visit(ctx, child, exempt=True)
+                return
+            if not exempt:
+                yield from self._check_call(ctx, node, resolved)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, exempt)
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call, resolved: str | None
+    ) -> Iterator[Finding]:
+        if resolved == "builtins.open":
+            mode = _open_write_mode(node)
+            if mode is not None:
+                yield ctx.finding(
+                    "EFT003",
+                    node,
+                    f"bare open(..., {mode!r}) in a persistence layer — a "
+                    "crashed or concurrent writer leaves torn files; route "
+                    "the write through repro.utils.diskio.write_atomic (or "
+                    "pragma a contractually append-only stream)",
+                )
+            return
+        if resolved in _WRITE_CALLS:
+            yield ctx.finding(
+                "EFT003",
+                node,
+                f"direct {_WRITE_CALLS[resolved]}(...) in a persistence "
+                "layer — wrap it in write_atomic(path, lambda handle: ...) "
+                "so readers only ever see whole files",
+            )
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_METHODS
+        ):
+            yield ctx.finding(
+                "EFT003",
+                node,
+                f".{node.func.attr}(...) writes in place — use "
+                "repro.utils.diskio.write_atomic so the destination is "
+                "never half-written",
+            )

@@ -574,6 +574,7 @@ class RunStore:
             if orphan.with_suffix(".json").exists():
                 continue
             try:
+                # effilint: disable=EFT002 -- staleness is wall-clock by definition: mtime age vs. horizon, never a result identity
                 age = time.time() - orphan.stat().st_mtime
             except OSError:
                 continue

@@ -125,6 +125,7 @@ def run_jobs(args: argparse.Namespace) -> int:
     sink = (
         sys.stdout
         if args.output == "-"
+        # effilint: disable=EFT003 -- contractually append-only event stream: each result line is flushed as it lands so `tail -f` followers see progress live; an atomic tempfile+rename would hide every event until exit
         else open(args.output, "w", encoding="utf-8")
     )
     failed = 0

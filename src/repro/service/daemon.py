@@ -89,6 +89,7 @@ class ServiceCore:
         self.pool = ThreadPoolExecutor(
             max_workers=n_workers, thread_name_prefix="effitest-worker"
         )
+        # effilint: disable=EFT002 -- uptime accounting for /stats; never feeds a key or result
         self.started = time.time()
         self._lock = threading.Lock()
         self._requests = 0
@@ -122,6 +123,7 @@ class ServiceCore:
             failures = self._failures
         return {
             "version": PROTOCOL_VERSION,
+            # effilint: disable=EFT002 -- uptime accounting for /stats; never feeds a key or result
             "uptime_seconds": time.time() - self.started,
             "requests": requests,
             "tiers": tiers,
@@ -292,6 +294,7 @@ class ServiceCore:
         if lock:
             # Already under the lease: store() would contend with our own
             # lease file, so use the caller-holds-the-lease variant.
+            # effilint: disable=EFT004 -- lease held by the caller: _compute wraps this call in `with self.store.lease(key)` before delegating
             self.store.store_under_lease(
                 key, summary, offline_seconds=prep.offline_seconds
             )

@@ -107,6 +107,7 @@ def prune_by_mtime(
 def _age_seconds(path: Path) -> float | None:
     """Seconds since ``path``'s last mtime, or ``None`` if it vanished."""
     try:
+        # effilint: disable=EFT002 -- lease staleness is wall-clock by definition: mtime age vs. horizon, never a result identity
         return time.time() - path.stat().st_mtime
     except OSError:
         return None
@@ -152,6 +153,7 @@ def try_acquire_lock(
         except OSError:
             return False
         try:
+            # effilint: disable=EFT002 -- post-mortem debug metadata in the lease body; nothing parses it and no result depends on it
             os.write(fd, f"pid={os.getpid()} t={time.time():.3f}\n".encode())
         except OSError:
             pass

@@ -33,6 +33,13 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
     Independent streams let the parts of an experiment (circuit generation,
     chip sampling, tester noise) stay decoupled: changing how many samples
     one part draws does not perturb the others.
+
+    For non-``int`` seeds the fallback below draws the child seeds from the
+    root generator instead of a :class:`~numpy.random.SeedSequence` spawn
+    tree.  That is *intentionally* only as deterministic as the input: a
+    passed-in generator yields a reproducible spawn (same generator state,
+    same children), while ``None`` inherits the documented fresh-entropy
+    contract of :func:`as_generator` — one random family per call.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -41,6 +48,7 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
         return [np.random.default_rng(child) for child in seq.spawn(count)]
     root = as_generator(seed)
     return [
+        # effilint: disable=EFT002 -- determinism is delegated to the caller's `seed` here: generator inputs replay exactly; None opts into fresh entropy by contract
         np.random.default_rng(int(root.integers(0, 2**63 - 1))) for _ in range(count)
     ]
 
@@ -54,12 +62,20 @@ def canonical_seed(seed: RandomState = None) -> int:
     An ``int`` passes through, ``None`` draws fresh OS entropy (one random
     population per call, as before), and a generator is collapsed by
     drawing a single integer from it.
+
+    The ``None`` branch is the library's *single* sanctioned entropy
+    source: ``seed=None`` means "give me a new population" everywhere else
+    too (:func:`as_generator`), so collapsing it to a fresh-entropy int
+    here preserves that meaning while making the draw replayable from this
+    point on — the int is recorded in cache keys and store metadata, so
+    the run it names is reproducible even though its selection was not.
     """
     if isinstance(seed, (int, np.integer)):
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
         return int(seed)
     if seed is None:
+        # effilint: disable=EFT002 -- deliberate fresh entropy: seed=None contractually means "new random population"; the drawn int is recorded so everything downstream replays
         return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
     return int(as_generator(seed).integers(0, 2**63 - 1))
 

@@ -1,0 +1,46 @@
+"""Fixtures for the effilint test suite.
+
+Every rule test writes small fixture modules into ``tmp_path`` and runs the
+real engine over them — the same code path as ``python -m repro.analysis``,
+minus the CLI.  Scoped rules (EFT003/EFT004/EFT005) are exercised by
+placing fixtures under matching relative paths (``results/mod.py``,
+``opt/diffconstraints.py``, ...).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+
+@pytest.fixture()
+def lint(tmp_path):
+    """Write fixture source files and analyze them.
+
+    ``files`` is either one source string (written as ``mod.py``) or a
+    mapping of relative path -> source.  Sources are dedented, so fixtures
+    can be written as indented triple-quoted strings.
+    """
+
+    def run(files, select=None):
+        if isinstance(files, str):
+            files = {"mod.py": files}
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return analyze_paths([tmp_path], root=tmp_path, select=select)
+
+    return run
+
+
+def rules_of(result) -> list[str]:
+    """The rule ids of the (non-suppressed) findings, in report order."""
+    return [finding.rule for finding in result.findings]
+
+
+def messages_of(result) -> list[str]:
+    return [finding.message for finding in result.findings]

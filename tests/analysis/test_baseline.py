@@ -1,0 +1,84 @@
+"""Baseline ratchet semantics: suppress, stale-is-error, shrink-only."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    fingerprint_findings,
+    load_baseline,
+    ratchet_violations,
+    write_baseline,
+)
+
+BAD = """import time
+
+t = time.time()
+"""
+
+
+def _analyze(tmp_path: Path, source: str = BAD):
+    (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+    result = analyze_paths([tmp_path / "mod.py"], root=tmp_path, select=["EFT002"])
+    return result, fingerprint_findings(result.findings, result.line_text)
+
+
+class TestFingerprints:
+    def test_stable_under_line_shifts(self, tmp_path):
+        _, pairs = _analyze(tmp_path)
+        _, shifted = _analyze(tmp_path, "import time\n\n\n\n\nt = time.time()\n")
+        assert [fp for _, fp in pairs] == [fp for _, fp in shifted]
+
+    def test_distinct_for_repeated_identical_lines(self, tmp_path):
+        # Two findings on byte-identical source lines must not collide:
+        # the occurrence index disambiguates them.
+        _, pairs = _analyze(
+            tmp_path, "import time\nts = [\n    time.time(),\n    time.time(),\n]\n"
+        )
+        fingerprints = [fp for _, fp in pairs]
+        assert len(fingerprints) == 2
+        assert len(set(fingerprints)) == 2
+
+    def test_sensitive_to_rule_and_text(self, tmp_path):
+        _, pairs = _analyze(tmp_path)
+        _, other = _analyze(tmp_path, "import time\nt2 = time.time()\n")
+        assert {fp for _, fp in pairs} != {fp for _, fp in other}
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        _, pairs = _analyze(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, pairs)
+        baseline = load_baseline(baseline_path)
+        assert baseline.fingerprints == {fp for _, fp in pairs}
+        entry = baseline.entries[pairs[0][1]]
+        assert entry["rule"] == "EFT002"
+        assert entry["path"] == "mod.py"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(load_baseline(tmp_path / "nope.json")) == 0
+
+    def test_unreadable_or_wrong_version_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"version": 99, "findings": []}), encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+class TestRatchet:
+    def test_growth_is_a_violation_shrink_is_not(self):
+        old = Baseline({"aaaa": {}, "bbbb": {}})
+        shrunk = Baseline({"aaaa": {}})
+        grown = Baseline({"aaaa": {}, "bbbb": {}, "cccc": {}})
+        assert ratchet_violations(shrunk, old) == []
+        assert ratchet_violations(grown, old) == ["cccc"]

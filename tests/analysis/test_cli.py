@@ -1,0 +1,139 @@
+"""The ``python -m repro.analysis`` / ``effilint`` CLI: exit codes,
+formats, the baseline lifecycle, and — the acceptance criterion — a clean
+run over the real tree."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD = "import time\nt = time.time()\n"
+CLEAN = "import time\nt0 = time.monotonic()\n"
+
+
+def _write(tmp_path: Path, source: str) -> Path:
+    target = tmp_path / "mod.py"
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        _write(tmp_path, CLEAN)
+        assert main([str(tmp_path), "--root", str(tmp_path)]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _write(tmp_path, BAD)
+        assert main([str(tmp_path), "--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "mod.py:2" in out
+        assert "EFT002" in out
+
+    def test_usage_errors_exit_two(self, tmp_path):
+        assert main(["--root", str(tmp_path / "missing")]) == 2
+        assert main([str(tmp_path / "missing.py"), "--root", str(tmp_path)]) == 2
+        _write(tmp_path, CLEAN)
+        assert (
+            main([str(tmp_path), "--root", str(tmp_path), "--select", "EFT999"]) == 2
+        )
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("EFT001", "EFT002", "EFT003", "EFT004", "EFT005"):
+            assert rule_id in out
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        _write(tmp_path, BAD)
+        main([str(tmp_path), "--root", str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "EFT002"
+        assert finding["path"] == "mod.py"
+        assert finding["line"] == 2
+        assert payload["files"] == 1
+        assert "EFT002" in payload["rules"]
+
+
+class TestBaselineLifecycle:
+    def test_write_then_pass_then_stale(self, tmp_path, capsys):
+        target = _write(tmp_path, BAD)
+        argv = [str(tmp_path), "--root", str(tmp_path)]
+
+        # day 0: record the debt
+        assert main([*argv, "--write-baseline"]) == 0
+        capsys.readouterr()
+
+        # the baselined finding no longer fails the run
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+        # a *new* finding still fails
+        target.write_text(BAD + "u = time.time()\n", encoding="utf-8")
+        assert main(argv) == 1
+        capsys.readouterr()
+
+        # fixing everything makes the baseline stale — also a failure,
+        # until the file is regenerated (shrink-only ratchet)
+        target.write_text(CLEAN, encoding="utf-8")
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "stale" in out
+        assert main([*argv, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+
+    def test_no_baseline_flag_ignores_the_file(self, tmp_path, capsys):
+        _write(tmp_path, BAD)
+        argv = [str(tmp_path), "--root", str(tmp_path)]
+        assert main([*argv, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert main([*argv, "--no-baseline"]) == 1
+
+    def test_ratchet_against_rejects_growth(self, tmp_path, capsys):
+        _write(tmp_path, BAD)
+        old = tmp_path / "old-baseline.json"
+        old.write_text(
+            json.dumps({"version": 1, "findings": []}), encoding="utf-8"
+        )
+        argv = [str(tmp_path), "--root", str(tmp_path)]
+        assert main([*argv, "--write-baseline"]) == 0
+        capsys.readouterr()
+        # current baseline has one entry, the old one none: growth
+        assert main([*argv, "--ratchet-against", str(old)]) == 1
+        assert "baseline grew" in capsys.readouterr().err
+        # against itself: no growth (and the finding is baselined)
+        current = tmp_path / ".effilint-baseline.json"
+        assert main([*argv, "--ratchet-against", str(current)]) == 0
+
+
+class TestRealTree:
+    def test_src_is_clean(self, capsys):
+        """The PR's acceptance criterion: the shipped tree lints clean
+        (every finding fixed or pragma-annotated) against the shipped
+        (empty) baseline."""
+        assert (
+            main([str(REPO_ROOT / "src"), "--root", str(REPO_ROOT)]) == 0
+        ), capsys.readouterr().out
+
+    def test_shipped_baseline_is_empty(self):
+        payload = json.loads(
+            (REPO_ROOT / ".effilint-baseline.json").read_text(encoding="utf-8")
+        )
+        assert payload == {"version": 1, "findings": []}
+
+    def test_real_tree_suppressions_all_carry_reasons(self, capsys):
+        assert (
+            main([str(REPO_ROOT / "src"), "--root", str(REPO_ROOT), "--verbose"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pragma-suppressed" in out

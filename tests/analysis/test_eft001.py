@@ -1,0 +1,211 @@
+"""EFT001 cache-key drift: fixtures plus the real-config mutation test."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.api.config as config_module
+import repro.results.store as store_module
+from repro.analysis import analyze_paths
+
+from tests.analysis.conftest import messages_of, rules_of
+
+DATACLASS_HEADER = """
+            from dataclasses import dataclass, fields
+"""
+
+
+class TestKeyMethods:
+    def test_uncovered_field_is_flagged(self, lint):
+        result = lint(
+            DATACLASS_HEADER
+            + """
+            @dataclass(frozen=True)
+            class Config:
+                alpha: float = 1.0
+                beta: int = 2
+                gamma: str = "x"
+
+                def cache_fields(self):
+                    return (self.alpha, self.beta)
+            """,
+            select=["EFT001"],
+        )
+        assert rules_of(result) == ["EFT001"]
+        assert "'gamma'" in result.findings[0].message
+
+    def test_fully_covered_tuple_is_clean(self, lint):
+        result = lint(
+            DATACLASS_HEADER
+            + """
+            @dataclass(frozen=True)
+            class Config:
+                alpha: float = 1.0
+                beta: int = 2
+
+                def result_fields(self):
+                    return (self.alpha, self.beta)
+            """,
+            select=["EFT001"],
+        )
+        assert not result.findings
+
+    def test_fields_iteration_counts_as_full_coverage(self, lint):
+        result = lint(
+            DATACLASS_HEADER
+            + """
+            @dataclass(frozen=True)
+            class Config:
+                alpha: float = 1.0
+                beta: int = 2
+
+                def cache_fields(self):
+                    return tuple(getattr(self, f.name) for f in fields(self))
+            """,
+            select=["EFT001"],
+        )
+        assert not result.findings
+
+    def test_pragma_on_field_line_excludes_it(self, lint):
+        result = lint(
+            DATACLASS_HEADER
+            + """
+            @dataclass(frozen=True)
+            class Config:
+                alpha: float = 1.0
+                # effilint: disable=EFT001 -- display knob, never affects results
+                verbose: bool = False
+
+                def result_fields(self):
+                    return (self.alpha,)
+            """,
+            select=["EFT001"],
+        )
+        assert not result.findings
+        ((finding, reason),) = result.suppressed
+        assert "verbose" in finding.message
+        assert "display knob" in reason
+
+    def test_plain_class_without_dataclass_is_ignored(self, lint):
+        result = lint(
+            """
+            class NotAConfig:
+                alpha: float = 1.0
+
+                def cache_fields(self):
+                    return ()
+            """,
+            select=["EFT001"],
+        )
+        assert not result.findings
+
+
+class TestDigest:
+    def test_field_missing_from_digest_is_flagged(self, lint):
+        result = lint(
+            DATACLASS_HEADER
+            + """
+            import hashlib
+
+            @dataclass(frozen=True)
+            class Key:
+                circuit: str
+                period: float
+
+                def digest(self):
+                    return hashlib.sha256(repr(self.circuit).encode()).hexdigest()
+            """,
+            select=["EFT001"],
+        )
+        assert rules_of(result) == ["EFT001"]
+        assert "'period'" in result.findings[0].message
+        assert "digest()" in result.findings[0].message
+
+
+class TestBuildContract:
+    def test_open_coded_offline_fields_is_flagged(self, lint):
+        result = lint(
+            DATACLASS_HEADER
+            + """
+            @dataclass(frozen=True)
+            class Key:
+                offline_fields: tuple
+
+                @classmethod
+                def build(cls, offline):
+                    return cls(offline_fields=(offline.seed, offline.epsilon))
+            """,
+            select=["EFT001"],
+        )
+        assert any("cache_fields()" in msg for msg in messages_of(result))
+
+    def test_build_via_producer_method_is_clean(self, lint):
+        result = lint(
+            DATACLASS_HEADER
+            + """
+            @dataclass(frozen=True)
+            class Key:
+                offline_fields: tuple
+                online_fields: tuple
+
+                @classmethod
+                def build(cls, offline, online):
+                    return cls(
+                        offline_fields=offline.cache_fields(),
+                        online_fields=online.result_fields(),
+                    )
+            """,
+            select=["EFT001"],
+        )
+        assert not result.findings
+
+
+class TestRealTreeMutation:
+    """The acceptance-criterion mutation test: adding a config field without
+    registering it in the key tuple must fail lint on a copy of the *real*
+    source, and the unmutated file must be clean."""
+
+    def _mutate(self, source: str, marker: str, insertion: str) -> str:
+        assert marker in source, f"mutation anchor {marker!r} drifted"
+        return source.replace(marker, insertion + marker, 1)
+
+    def test_unregistered_online_field_fails_lint(self, tmp_path):
+        source = Path(config_module.__file__).read_text(encoding="utf-8")
+        mutated = self._mutate(
+            source,
+            "    def __post_init__(self) -> None:",
+            "    smuggled_knob: float = 0.0\n\n",
+        )
+        target = tmp_path / "config.py"
+        target.write_text(mutated, encoding="utf-8")
+        result = analyze_paths([target], root=tmp_path, select=["EFT001"])
+        assert any(
+            finding.rule == "EFT001" and "'smuggled_knob'" in finding.message
+            for finding in result.findings
+        )
+
+    def test_unregistered_runkey_field_fails_lint(self, tmp_path):
+        source = Path(store_module.__file__).read_text(encoding="utf-8")
+        mutated = self._mutate(
+            source,
+            "    @staticmethod\n    def build(",
+            "    smuggled_dimension: int = 0\n\n",
+        )
+        target = tmp_path / "store.py"
+        target.write_text(mutated, encoding="utf-8")
+        result = analyze_paths([target], root=tmp_path, select=["EFT001"])
+        assert any(
+            finding.rule == "EFT001" and "'smuggled_dimension'" in finding.message
+            for finding in result.findings
+        )
+
+    def test_unmutated_real_sources_are_clean(self, tmp_path):
+        root = Path(config_module.__file__).parent.parent
+        result = analyze_paths(
+            [Path(config_module.__file__), Path(store_module.__file__)],
+            root=root,
+            select=["EFT001"],
+        )
+        assert not result.findings
+        # ... but only because the deliberate exclusions carry pragmas
+        assert len(result.suppressed) >= 3

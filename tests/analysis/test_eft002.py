@@ -1,0 +1,150 @@
+"""EFT002 determinism: entropy and wall-clock call sites."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.utils.rng as rng_module
+from repro.analysis import analyze_paths
+
+from tests.analysis.conftest import rules_of
+
+
+class TestBannedCalls:
+    def test_stdlib_random_is_flagged(self, lint):
+        result = lint(
+            """
+            import random
+
+            def draw():
+                return random.random(), random.randint(0, 9)
+            """,
+            select=["EFT002"],
+        )
+        assert rules_of(result) == ["EFT002", "EFT002"]
+
+    def test_global_numpy_seed_is_flagged(self, lint):
+        result = lint(
+            """
+            import numpy as np
+
+            np.random.seed(1234)
+            """,
+            select=["EFT002"],
+        )
+        assert rules_of(result) == ["EFT002"]
+        assert "global" in result.findings[0].message
+
+    def test_argless_default_rng_is_flagged_seeded_is_not(self, lint):
+        result = lint(
+            """
+            import numpy as np
+
+            bad = np.random.default_rng()
+            good = np.random.default_rng(42)
+            also_good = np.random.default_rng(seed)
+            """,
+            select=["EFT002"],
+        )
+        assert rules_of(result) == ["EFT002"]
+        assert result.findings[0].line == 4
+
+    def test_argless_seed_sequence_is_flagged(self, lint):
+        result = lint(
+            """
+            import numpy as np
+
+            bad = np.random.SeedSequence()
+            good = np.random.SeedSequence(7)
+            """,
+            select=["EFT002"],
+        )
+        assert rules_of(result) == ["EFT002"]
+
+    def test_from_import_alias_is_seen_through(self, lint):
+        result = lint(
+            """
+            from numpy.random import default_rng as make_rng
+
+            rng = make_rng()
+            """,
+            select=["EFT002"],
+        )
+        assert rules_of(result) == ["EFT002"]
+
+    def test_wall_clocks_and_entropy_sources(self, lint):
+        result = lint(
+            """
+            import os
+            import time
+            import uuid
+            from datetime import datetime
+
+            a = time.time()
+            b = datetime.now()
+            c = uuid.uuid4()
+            d = os.urandom(8)
+            """,
+            select=["EFT002"],
+        )
+        assert rules_of(result) == ["EFT002"] * 4
+
+
+class TestAllowedCalls:
+    def test_monotonic_clocks_are_fine(self, lint):
+        result = lint(
+            """
+            import time
+
+            t0 = time.monotonic()
+            t1 = time.perf_counter()
+            """,
+            select=["EFT002"],
+        )
+        assert not result.findings
+
+    def test_numpy_random_module_does_not_shadow_stdlib_check(self, lint):
+        # `numpy.random.normal` is resolved as numpy.random.*, which must
+        # not trip the stdlib `random.*` prefix check.
+        result = lint(
+            """
+            import numpy as np
+
+            x = np.random.permutation(10)
+            """,
+            select=["EFT002"],
+        )
+        assert not result.findings
+
+    def test_local_name_random_is_not_the_module(self, lint):
+        result = lint(
+            """
+            def pick(random):
+                return random.choice([1, 2])
+            """,
+            select=["EFT002"],
+        )
+        assert not result.findings
+
+
+class TestRealRngModule:
+    def test_rng_module_is_clean_via_pragmas(self):
+        path = Path(rng_module.__file__)
+        result = analyze_paths([path], root=path.parent, select=["EFT002"])
+        assert not result.findings
+        # canonical_seed's deliberate fresh-entropy branch is the one
+        # suppressed *firing* site; its pragma must carry a rationale.
+        reasons = [reason for _, reason in result.suppressed]
+        assert any("entropy" in reason for reason in reasons)
+
+    def test_stripping_the_pragma_makes_it_fire(self, tmp_path):
+        source = Path(rng_module.__file__).read_text(encoding="utf-8")
+        stripped = "\n".join(
+            line
+            for line in source.splitlines()
+            if "effilint: disable=EFT002" not in line
+        )
+        target = tmp_path / "rng.py"
+        target.write_text(stripped + "\n", encoding="utf-8")
+        result = analyze_paths([target], root=tmp_path, select=["EFT002"])
+        assert "EFT002" in rules_of(result)

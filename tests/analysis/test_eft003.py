@@ -1,0 +1,127 @@
+"""EFT003 store-write discipline in the persistence scopes."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rules_of
+
+
+class TestFlagged:
+    def test_bare_open_write_in_results_scope(self, lint):
+        result = lint(
+            {
+                "results/mod.py": """
+                def save(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """
+            },
+            select=["EFT003"],
+        )
+        assert rules_of(result) == ["EFT003"]
+        assert "'w'" in result.findings[0].message
+
+    def test_append_and_exclusive_modes_are_write_modes(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                def log(path):
+                    open(path, "a").close()
+                    open(path, mode="xb").close()
+                """
+            },
+            select=["EFT003"],
+        )
+        assert rules_of(result) == ["EFT003", "EFT003"]
+
+    def test_direct_dump_calls(self, lint):
+        result = lint(
+            {
+                "api/cache.py": """
+                import json
+                import pickle
+                import numpy as np
+
+                def save(path, obj, arr):
+                    json.dump(obj, path)
+                    pickle.dump(obj, path)
+                    np.savez(path, arr=arr)
+                """
+            },
+            select=["EFT003"],
+        )
+        assert rules_of(result) == ["EFT003"] * 3
+
+    def test_pathlib_write_text(self, lint):
+        result = lint(
+            {
+                "results/mod.py": """
+                def save(path, text):
+                    path.write_text(text)
+                """
+            },
+            select=["EFT003"],
+        )
+        assert rules_of(result) == ["EFT003"]
+
+
+class TestExempt:
+    def test_reads_are_fine(self, lint):
+        result = lint(
+            {
+                "results/mod.py": """
+                def load(path):
+                    with open(path) as handle:
+                        return handle.read()
+
+                def load_binary(path):
+                    return open(path, "rb").read()
+                """
+            },
+            select=["EFT003"],
+        )
+        assert not result.findings
+
+    def test_write_atomic_argument_is_the_sanctioned_path(self, lint):
+        result = lint(
+            {
+                "results/mod.py": """
+                import json
+                import numpy as np
+                from repro.utils.diskio import write_atomic
+
+                def save(path, obj, arr):
+                    write_atomic(path, lambda handle: json.dump(obj, handle))
+                    write_atomic(path, lambda handle: np.savez(handle, arr=arr))
+                """
+            },
+            select=["EFT003"],
+        )
+        assert not result.findings
+
+    def test_outside_persistence_scopes_is_out_of_scope(self, lint):
+        result = lint(
+            {
+                "experiments/mod.py": """
+                def save(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                """
+            },
+            select=["EFT003"],
+        )
+        assert not result.findings
+
+    def test_pragma_with_contract_reason_suppresses(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                def sink(path):
+                    # effilint: disable=EFT003 -- append-only event stream, tail-followed live
+                    return open(path, "w", encoding="utf-8")
+                """
+            },
+            select=["EFT003"],
+        )
+        assert not result.findings
+        ((_, reason),) = result.suppressed
+        assert "append-only" in reason

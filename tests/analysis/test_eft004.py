@@ -1,0 +1,188 @@
+"""EFT004 lease/lock discipline in the persistence scopes."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rules_of
+
+
+class TestTryAcquire:
+    def test_discarded_result_is_flagged(self, lint):
+        result = lint(
+            {
+                "results/mod.py": """
+                from repro.utils.diskio import try_acquire_lock
+
+                def grab(path):
+                    try_acquire_lock(path)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert rules_of(result) == ["EFT004"]
+        assert "discarded" in result.findings[0].message
+
+    def test_consumed_result_is_fine(self, lint):
+        result = lint(
+            {
+                "results/mod.py": """
+                from repro.utils.diskio import release_lock, try_acquire_lock
+
+                def grab(path):
+                    if try_acquire_lock(path):
+                        release_lock(path)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert not result.findings
+
+
+class TestContextManagers:
+    def test_file_lock_outside_with_is_flagged(self, lint):
+        result = lint(
+            {
+                "api/cache.py": """
+                from repro.utils.diskio import file_lock
+
+                def guard(path):
+                    lock = file_lock(path)
+                    return lock
+                """
+            },
+            select=["EFT004"],
+        )
+        assert rules_of(result) == ["EFT004"]
+        assert "acquires nothing" in result.findings[0].message
+
+    def test_file_lock_via_with_is_fine(self, lint):
+        result = lint(
+            {
+                "api/cache.py": """
+                from repro.utils.diskio import file_lock
+
+                def guard(path):
+                    with file_lock(path):
+                        return True
+                """
+            },
+            select=["EFT004"],
+        )
+        assert not result.findings
+
+    def test_store_lease_outside_with_is_flagged(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                def hold(store, key):
+                    store.lease(key)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert rules_of(result) == ["EFT004"]
+
+    def test_non_store_lease_method_is_out_of_scope(self, lint):
+        # The coalescing table's in-process lease() is not the store lease:
+        # it returns a tuple and is *meant* to be called bare.
+        result = lint(
+            {
+                "service/mod.py": """
+                def coalesce(table, key):
+                    entry, leader = table.lease(key)
+                    return entry, leader
+                """
+            },
+            select=["EFT004"],
+        )
+        assert not result.findings
+
+
+class TestStoreVsLease:
+    def test_store_inside_lease_deadlocks(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                class Daemon:
+                    def compute(self, key, summary):
+                        with self.store.lease(key):
+                            self.store.store(key, summary)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert rules_of(result) == ["EFT004"]
+        assert "store_under_lease" in result.findings[0].message
+
+    def test_store_under_lease_inside_lease_is_the_pattern(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                class Daemon:
+                    def compute(self, key, summary):
+                        with self.store.lease(key):
+                            self.store.store_under_lease(key, summary)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert not result.findings
+
+    def test_store_under_lease_outside_lease_is_flagged(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                class Daemon:
+                    def compute(self, key, summary):
+                        self.store.store_under_lease(key, summary)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert rules_of(result) == ["EFT004"]
+
+    def test_nested_function_does_not_inherit_the_lease(self, lint):
+        # The closure may run long after the with-block exited (e.g. on a
+        # worker thread), so it must not count as lease-holding.
+        result = lint(
+            {
+                "service/mod.py": """
+                class Daemon:
+                    def compute(self, key, summary):
+                        with self.store.lease(key):
+                            def later():
+                                self.store.store_under_lease(key, summary)
+                            return later
+                """
+            },
+            select=["EFT004"],
+        )
+        assert rules_of(result) == ["EFT004"]
+
+    def test_pragma_naming_the_holding_caller_suppresses(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                class Daemon:
+                    def compute_locked(self, key, summary):
+                        # effilint: disable=EFT004 -- lease held by caller compute()
+                        self.store.store_under_lease(key, summary)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert not result.findings
+        ((_, reason),) = result.suppressed
+        assert "compute()" in reason
+
+    def test_plain_store_outside_lease_is_fine(self, lint):
+        result = lint(
+            {
+                "service/mod.py": """
+                class Daemon:
+                    def compute(self, key, summary):
+                        self.store.store(key, summary)
+                """
+            },
+            select=["EFT004"],
+        )
+        assert not result.findings

@@ -1,0 +1,193 @@
+"""EFT005 kernel purity: parameter mutation and dtype narrowing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.core.configuration as configuration_module
+import repro.opt.diffconstraints as diffconstraints_module
+from repro.analysis import analyze_paths
+
+from tests.analysis.conftest import rules_of
+
+KERNEL_PATH = "opt/diffconstraints.py"
+
+
+class TestParameterMutation:
+    def test_subscript_write_into_parameter(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                def relax(dist, weights):
+                    weights[0] = 0.0
+                    return dist
+                """
+            },
+            select=["EFT005"],
+        )
+        assert rules_of(result) == ["EFT005"]
+        assert "'weights'" in result.findings[0].message
+
+    def test_augmented_assignment_on_parameter(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                def relax(dist):
+                    dist += 1.0
+                    return dist
+                """
+            },
+            select=["EFT005"],
+        )
+        assert rules_of(result) == ["EFT005"]
+
+    def test_out_kwarg_targeting_parameter(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                import numpy as np
+
+                def relax(dist, cand):
+                    np.minimum(dist, cand, out=dist)
+                """
+            },
+            select=["EFT005"],
+        )
+        assert rules_of(result) == ["EFT005"]
+
+    def test_mutator_method_on_parameter(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                def relax(order):
+                    order.sort()
+                """
+            },
+            select=["EFT005"],
+        )
+        assert rules_of(result) == ["EFT005"]
+
+    def test_seam_parameters_are_the_sanctioned_sink(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                import numpy as np
+
+                def relax(dist, out, dist_buf):
+                    out[:] = dist
+                    np.minimum(dist, 0.0, out=dist_buf)
+                """
+            },
+            select=["EFT005"],
+        )
+        assert not result.findings
+
+    def test_rebinding_severs_the_parameter_alias(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                import numpy as np
+
+                def relax(lower):
+                    lower = np.array(lower, dtype=np.float64, copy=True)
+                    lower[0] = 0.0
+                    return lower
+                """
+            },
+            select=["EFT005"],
+        )
+        assert not result.findings
+
+    def test_locals_and_self_attributes_are_free(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                import numpy as np
+
+                class Kernel:
+                    def relax(self, n):
+                        scratch = np.zeros(n)
+                        scratch[0] = 1.0
+                        self._wbuf[:] = scratch
+                        return scratch
+                """
+            },
+            select=["EFT005"],
+        )
+        assert not result.findings
+
+
+class TestDtypeNarrowing:
+    def test_astype_narrow_is_flagged(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                import numpy as np
+
+                def narrow(x):
+                    return x.astype(np.float32)
+                """
+            },
+            select=["EFT005"],
+        )
+        assert rules_of(result) == ["EFT005"]
+        assert "float32" in result.findings[0].message
+
+    def test_dtype_kwarg_narrow_is_flagged_string_spelling_too(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                import numpy as np
+
+                def make(n):
+                    a = np.zeros(n, dtype=np.int16)
+                    b = np.zeros(n, dtype="float32")
+                    return a, b
+                """
+            },
+            select=["EFT005"],
+        )
+        assert rules_of(result) == ["EFT005", "EFT005"]
+
+    def test_float64_and_intp_are_fine(self, lint):
+        result = lint(
+            {
+                KERNEL_PATH: """
+                import numpy as np
+
+                def make(n, x):
+                    a = np.zeros(n, dtype=np.float64)
+                    b = np.zeros(n, dtype=np.intp)
+                    return a, b, x.astype(np.float64)
+                """
+            },
+            select=["EFT005"],
+        )
+        assert not result.findings
+
+
+class TestScope:
+    def test_rule_only_runs_on_kernel_modules(self, lint):
+        result = lint(
+            {
+                "experiments/mod.py": """
+                import numpy as np
+
+                def shrink(x):
+                    x[0] = 1.0
+                    return x.astype(np.float32)
+                """
+            },
+            select=["EFT005"],
+        )
+        assert not result.findings
+
+    def test_real_kernel_modules_are_clean(self):
+        paths = [
+            Path(diffconstraints_module.__file__),
+            Path(configuration_module.__file__),
+        ]
+        root = paths[0].parent.parent
+        result = analyze_paths(paths, root=root, select=["EFT005"])
+        assert not result.findings
+        assert not result.suppressed

@@ -1,0 +1,128 @@
+"""Pragma grammar, placement and the EFT000 malformed-pragma channel."""
+
+from __future__ import annotations
+
+from repro.analysis.pragmas import parse_pragmas
+
+from tests.analysis.conftest import rules_of
+
+
+class TestParsing:
+    def test_same_line_pragma_covers_its_line(self):
+        pragmas = parse_pragmas(
+            "x = 1\n"
+            "y = compute()  # effilint: disable=EFT002 -- wall clock is fine here\n"
+        )
+        assert pragmas.suppresses("EFT002", 2)
+        assert not pragmas.suppresses("EFT002", 1)
+        assert not pragmas.suppresses("EFT003", 2)
+
+    def test_standalone_pragma_covers_next_line(self):
+        pragmas = parse_pragmas(
+            "# effilint: disable=EFT001 -- excluded by design\n"
+            "field: int = 0\n"
+        )
+        assert pragmas.suppresses("EFT001", 2)
+        assert not pragmas.suppresses("EFT001", 1)
+        assert not pragmas.suppresses("EFT001", 3)
+
+    def test_multiple_rules_share_one_reason(self):
+        pragmas = parse_pragmas(
+            "do_it()  # effilint: disable=EFT002,EFT003 -- both are intentional\n"
+        )
+        assert pragmas.disabled_at(1) == {"EFT002", "EFT003"}
+        assert not pragmas.malformed
+
+    def test_reason_is_recorded(self):
+        pragmas = parse_pragmas(
+            "do_it()  # effilint: disable=EFT002 -- the audit trail\n"
+        )
+        (pragma,) = pragmas.pragmas
+        assert pragma.reason == "the audit trail"
+
+    def test_trailing_comment_after_code_is_not_standalone(self):
+        pragmas = parse_pragmas(
+            "value = f(  # effilint: disable=EFT002 -- anchored to the call line\n"
+            "    arg,\n"
+            ")\n"
+        )
+        (pragma,) = pragmas.pragmas
+        assert not pragma.standalone
+        assert pragmas.suppresses("EFT002", 1)
+
+    def test_unrelated_comments_are_ignored(self):
+        pragmas = parse_pragmas("# just a note\nx = 1  # type: ignore\n")
+        assert not pragmas.pragmas
+
+
+class TestMalformed:
+    def test_missing_reason_is_an_error(self):
+        pragmas = parse_pragmas("x = f()  # effilint: disable=EFT002\n")
+        (pragma,) = pragmas.malformed
+        assert "no reason" in pragma.error
+        assert not pragmas.suppresses("EFT002", 1)
+
+    def test_empty_reason_is_an_error(self):
+        pragmas = parse_pragmas("x = f()  # effilint: disable=EFT002 -- \n")
+        assert pragmas.malformed
+
+    def test_unknown_rule_id_is_an_error(self):
+        pragmas = parse_pragmas("x = f()  # effilint: disable=EFT9999 -- nope\n")
+        (pragma,) = pragmas.malformed
+        assert "unknown rule id" in pragma.error
+
+    def test_garbage_body_is_an_error(self):
+        pragmas = parse_pragmas("x = 1  # effilint: enable=EFT001 -- nope\n")
+        (pragma,) = pragmas.malformed
+        assert "malformed pragma" in pragma.error
+
+
+class TestEngineIntegration:
+    def test_malformed_pragma_reports_eft000(self, lint):
+        result = lint(
+            """
+            import time
+            now = time.time()  # effilint: disable=EFT002
+            """
+        )
+        assert "EFT000" in rules_of(result)
+        # the malformed pragma suppressed nothing: the EFT002 still fires
+        assert "EFT002" in rules_of(result)
+
+    def test_eft000_cannot_be_suppressed(self, lint):
+        result = lint(
+            """
+            # effilint: disable=EFT000 -- trying to silence the engine
+            x = 1  # effilint: disable=EFT002
+            """
+        )
+        assert rules_of(result).count("EFT000") == 1
+
+    def test_syntax_error_reports_eft000(self, lint):
+        result = lint("def broken(:\n    pass\n")
+        assert rules_of(result) == ["EFT000"]
+        assert "syntax error" in result.findings[0].message
+
+    def test_pragma_reason_travels_to_suppressed_list(self, lint):
+        result = lint(
+            """
+            import time
+            # effilint: disable=EFT002 -- uptime only, never a key
+            started = time.time()
+            """,
+            select=["EFT002"],
+        )
+        assert not result.findings
+        ((finding, reason),) = result.suppressed
+        assert finding.rule == "EFT002"
+        assert reason == "uptime only, never a key"
+
+    def test_pragma_for_other_rule_does_not_suppress(self, lint):
+        result = lint(
+            """
+            import time
+            now = time.time()  # effilint: disable=EFT003 -- wrong rule
+            """,
+            select=["EFT002"],
+        )
+        assert rules_of(result) == ["EFT002"]

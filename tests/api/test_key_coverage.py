@@ -1,0 +1,145 @@
+"""Runtime counterpart of the EFT001 lint rule (cache-key drift).
+
+effilint checks *statically* that every config field enters its key tuple
+or carries an exclusion pragma; this module checks the same invariant
+*dynamically*: perturbing any field must change the key, unless the field
+is on the annotated exclusion list — which is parsed from the pragmas in
+the source, so the lint rule and this test can never disagree about which
+exclusions exist.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import fields, replace
+from pathlib import Path
+
+import pytest
+
+import repro.api.config as config_module
+from repro.analysis import analyze_paths
+from repro.api.config import OfflineConfig, OnlineConfig
+from repro.results.store import RunKey
+
+#: Fields whose type or validation needs a hand-picked alternate value.
+_ALTERNATES = {
+    "chip_shard_size": 7,  # None -> a real shard bound
+    "artifacts": "summary",  # validated by artifacts_rank
+    "configure_kernel": "reference",  # validated against KERNELS
+    "epsilon": 0.5,  # None -> explicit resolution
+    "xi_tolerance": 0.5,  # None -> explicit tolerance
+    "pc_criterion": "centroid",
+}
+
+
+def _alternate(name: str, value):
+    """A valid value different from the default."""
+    if name in _ALTERNATES:
+        alt = _ALTERNATES[name]
+        assert alt != value, f"alternate for {name} equals the default"
+        return alt
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.125
+    if isinstance(value, str):
+        return value + "-alt"
+    raise AssertionError(
+        f"no alternate strategy for field {name!r} = {value!r}; extend _ALTERNATES"
+    )
+
+
+def _annotated_exclusions(cls_name: str) -> set[str]:
+    """Field names of ``cls_name`` whose EFT001 exclusion carries a pragma."""
+    path = Path(config_module.__file__)
+    result = analyze_paths([path], root=path.parent, select=["EFT001"])
+    assert not result.findings, "config.py must lint clean"
+    excluded: set[str] = set()
+    for finding, reason in result.suppressed:
+        match = re.search(rf"field '(\w+)' of {cls_name} ", finding.message)
+        if match:
+            assert reason.strip(), f"exclusion of {match.group(1)} lacks a reason"
+            excluded.add(match.group(1))
+    return excluded
+
+
+class TestOfflineConfig:
+    @pytest.mark.parametrize(
+        "name", [f.name for f in fields(OfflineConfig)]
+    )
+    def test_every_field_perturbs_the_cache_key(self, name):
+        base = OfflineConfig()
+        mutated = replace(base, **{name: _alternate(name, getattr(base, name))})
+        assert mutated.cache_fields() != base.cache_fields(), (
+            f"OfflineConfig.{name} does not enter cache_fields(): two "
+            "different configs would share a preparation-cache entry"
+        )
+
+    def test_no_annotated_exclusions(self):
+        # Every offline knob affects the preparation; the pragma list for
+        # OfflineConfig must stay empty.
+        assert _annotated_exclusions("OfflineConfig") == set()
+
+
+class TestOnlineConfig:
+    @pytest.mark.parametrize("name", [f.name for f in fields(OnlineConfig)])
+    def test_every_field_perturbs_the_key_or_is_annotated(self, name):
+        base = OnlineConfig()
+        mutated = replace(base, **{name: _alternate(name, getattr(base, name))})
+        changed = mutated.result_fields() != base.result_fields()
+        excluded = _annotated_exclusions("OnlineConfig")
+        if name in excluded:
+            assert not changed, (
+                f"OnlineConfig.{name} carries an EFT001 exclusion pragma but "
+                "*does* change result_fields() — remove the stale pragma"
+            )
+        else:
+            assert changed, (
+                f"OnlineConfig.{name} changes neither result_fields() nor "
+                "carries an exclusion pragma — cache-key drift"
+            )
+
+    def test_exclusion_list_is_exactly_the_documented_set(self):
+        assert _annotated_exclusions("OnlineConfig") == {
+            "chip_shard_size",
+            "configure_kernel",
+            "artifacts",
+        }
+
+
+class TestRunKey:
+    def _base_key(self) -> RunKey:
+        return RunKey(
+            circuit_fingerprint="c" * 16,
+            population_fingerprint="p" * 16,
+            n_chips=64,
+            population_seed=7,
+            period=1.25,
+            clock_period=1.5,
+            offline_fields=OfflineConfig().cache_fields(),
+            online_fields=OnlineConfig().result_fields(),
+        )
+
+    @pytest.mark.parametrize("name", [f.name for f in fields(RunKey)])
+    def test_every_component_perturbs_the_digest(self, name):
+        base = self._base_key()
+        value = getattr(base, name)
+        if isinstance(value, tuple):
+            alternate = (*value, "extra")
+        else:
+            alternate = _alternate(name, value)
+        mutated = replace(base, **{name: alternate})
+        assert mutated.digest() != base.digest(), (
+            f"RunKey.{name} does not enter digest(): two distinct runs "
+            "would collide on one on-disk record"
+        )
+
+    def test_config_key_tuples_feed_the_digest(self):
+        base = self._base_key()
+        shifted = replace(
+            base,
+            online_fields=replace(OnlineConfig(), k0=999.0).result_fields(),
+        )
+        assert shifted.digest() != base.digest()

@@ -45,7 +45,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 #: Bump when the on-disk payload layout (or anything entering the digest)
 #: changes; old artifacts are then simply never matched again.
-DISK_FORMAT_VERSION = 1
+#: 2: Preparation grew ``solver_stats``; OfflineConfig grew
+#: ``hold_exact``/``hold_backend`` (both enter cache_fields()).
+DISK_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)

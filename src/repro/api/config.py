@@ -49,6 +49,13 @@ class OfflineConfig:
     # §3.5 hold bounds
     hold_yield: float = 0.99
     hold_samples: int = 1000
+    # Solve the eqs. 19-20 covering MILP exactly (precompiled model through
+    # the solver portfolio) instead of the greedy drop heuristic.  Exact
+    # solves scale with the sample count, so pair it with a small
+    # ``hold_samples``; ``hold_backend`` picks the solver ("auto" routes by
+    # size/integrality and consumes warm starts across sweep variants).
+    hold_exact: bool = False
+    hold_backend: str = "auto"
     # buffer policy (Table 1 setup: tau = T/8, 20 discrete steps)
     range_fraction: float = 1.0 / 8.0
     n_steps: int = 20

@@ -59,6 +59,7 @@ from repro.circuit.generator import Circuit
 from repro.core.framework import PopulationRunResult, Preparation
 from repro.core.reduction import RunReducer, RunSummary, merge_run_summaries
 from repro.core.yields import ChipSource, CircuitPopulation
+from repro.opt.warmstart import WarmStartCache
 from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
 from repro.utils.rng import derive_seed
 
@@ -517,6 +518,7 @@ class Engine:
         cache: PreparationCache | None = None,
         offline_stage_factory: Callable[[OfflineConfig], OfflineStage] | None = None,
         cache_dir: str | Path | None = None,
+        warm_cache: WarmStartCache | None = None,
     ):
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either cache or cache_dir, not both")
@@ -527,8 +529,17 @@ class Engine:
         self.cache = (
             cache if cache is not None else PreparationCache(disk_dir=cache_dir)
         )
+        # One warm-start cache for every offline solve this engine runs:
+        # sweep variants of one circuit share model *structure*, so each
+        # preparation's MILPs start from the previous variant's basis and
+        # incumbent (values re-validated per solve; optima unchanged).
+        self.warm_cache = warm_cache if warm_cache is not None else WarmStartCache()
         # Injection point for tests (counting stubs) and future backends.
-        self._offline_stage_factory = offline_stage_factory or OfflineStage
+        # Custom factories keep the plain factory(config) signature; the
+        # default stage is handed the engine's shared warm cache.
+        self._offline_stage_factory = offline_stage_factory or (
+            lambda config: OfflineStage(config, warm_cache=self.warm_cache)
+        )
 
     # -- offline ---------------------------------------------------------------
 

@@ -35,11 +35,16 @@ from repro.core.calibration import calibrate_epsilon
 from repro.core.configuration import ConfigurationResult, build_config_structure, configure_chips
 from repro.core.framework import Preparation
 from repro.core.grouping import group_and_select
-from repro.core.holdtime import compute_hold_bounds, hold_feasible_settings
+from repro.core.holdtime import (
+    compute_hold_bounds,
+    hold_feasible_settings,
+    solve_hold_bounds_exact,
+)
 from repro.core.multiplexing import plan_multiplexing
 from repro.core.population import PopulationTestResult, test_population_lazy
 from repro.core.prediction import build_predictor
 from repro.core.yields import ChipSource, CircuitPopulation, configured_pass
+from repro.opt.warmstart import WarmStartCache
 from repro.tester.freqstep import pathwise_frequency_stepping
 from repro.utils.rng import derive_seed
 from repro.utils.timing import Stopwatch
@@ -109,10 +114,23 @@ class VerifyArtifact:
 
 
 class OfflineStage:
-    """The paper's ``Tp``: everything computed before any chip is touched."""
+    """The paper's ``Tp``: everything computed before any chip is touched.
 
-    def __init__(self, config: OfflineConfig | None = None):
+    ``warm_cache`` (normally the engine's shared
+    :class:`~repro.opt.warmstart.WarmStartCache`) threads simplex bases and
+    integer incumbents across the offline MILPs of structurally identical
+    preparations — sweep variants of one circuit warm-start each other.
+    Hints never change the attained optimum *value* — only where the
+    solver starts and, among tied optima, which vertex it reaches first.
+    """
+
+    def __init__(
+        self,
+        config: OfflineConfig | None = None,
+        warm_cache: WarmStartCache | None = None,
+    ):
         self.config = config or OfflineConfig()
+        self.warm_cache = warm_cache
 
     def run(self, request: OfflineRequest) -> Preparation:
         cfg = self.config
@@ -158,13 +176,27 @@ class OfflineStage:
                 max_fill_factor=cfg.max_fill_factor,
             )
 
-            hold_bounds = compute_hold_bounds(
-                circuit.short_paths,
-                buffer_plan,
-                target_yield=cfg.hold_yield,
-                n_samples=cfg.hold_samples,
-                seed=derive_seed(cfg.seed, circuit.name, "hold"),
-            )
+            solver_stats: list = []
+            if cfg.hold_exact:
+                hold_bounds, hold_stats = solve_hold_bounds_exact(
+                    circuit.short_paths,
+                    buffer_plan,
+                    target_yield=cfg.hold_yield,
+                    n_samples=cfg.hold_samples,
+                    seed=derive_seed(cfg.seed, circuit.name, "hold"),
+                    backend=cfg.hold_backend,
+                    warm=self.warm_cache,
+                )
+                if hold_stats is not None:
+                    solver_stats.append(hold_stats)
+            else:
+                hold_bounds = compute_hold_bounds(
+                    circuit.short_paths,
+                    buffer_plan,
+                    target_yield=cfg.hold_yield,
+                    n_samples=cfg.hold_samples,
+                    seed=derive_seed(cfg.seed, circuit.name, "hold"),
+                )
             default_settings = hold_feasible_settings(
                 buffer_plan, hold_bounds, circuit.ff_names
             )
@@ -212,6 +244,7 @@ class OfflineStage:
             prior_stds=prior_stds,
             offline_seconds=watch.total("offline"),
             sigma_window=cfg.sigma_window,
+            solver_stats=tuple(solver_stats),
         )
 
 

@@ -31,14 +31,18 @@ from repro.core.framework import (
 )
 from repro.core.grouping import (
     GroupingResult,
+    GroupingWorkspace,
     PathGroup,
     group_and_select,
+    group_and_select_reference,
     significant_components,
 )
 from repro.core.holdtime import (
+    CompiledHoldBoundModel,
     HoldBounds,
     compute_hold_bounds,
     hold_feasible_settings,
+    solve_hold_bounds_exact,
     solve_hold_bounds_milp,
 )
 from repro.core.multiplexing import (
@@ -91,6 +95,7 @@ __all__ = [
     "BatchAlignment",
     "ChipSource",
     "ChipTestResult",
+    "CompiledHoldBoundModel",
     "ConditionalPredictor",
     "ConfigGraph",
     "ConfigStructure",
@@ -100,6 +105,7 @@ __all__ = [
     "EffiTest",
     "EffiTestConfig",
     "GroupingResult",
+    "GroupingWorkspace",
     "HoldBounds",
     "Moments",
     "MultiplexPlan",
@@ -126,6 +132,7 @@ __all__ = [
     "form_batches",
     "form_batches_ilp",
     "group_and_select",
+    "group_and_select_reference",
     "hold_feasible_settings",
     "ideal_feasibility",
     "ideal_yield",
@@ -140,6 +147,7 @@ __all__ = [
     "significant_components",
     "solve_alignment",
     "solve_alignment_milp",
+    "solve_hold_bounds_exact",
     "solve_hold_bounds_milp",
     "summarize_shard",
     "test_chip",

@@ -30,8 +30,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.opt.linexpr import LinExpr
-from repro.opt.model import Model, ObjectiveSense, VarType
-from repro.opt.solve import Solution, solve
+from repro.opt.model import MatrixForm, Model, ObjectiveSense, VarType
+from repro.opt.solve import Solution, solve, solve_matrix_form
+from repro.opt.warmstart import WarmHint, WarmStartCache
 from repro.opt.weighted_median import weighted_median_rows
 
 
@@ -450,3 +451,360 @@ def solve_alignment_milp(
         value = x_exprs[b].evaluate(solution.values)
         x[b] = grid[int(np.argmin(np.abs(grid - value)))]
     return float(solution["T"]), x, solution
+
+
+class CompiledAlignmentModel:
+    """Eqs. 7–14 precompiled: build the matrix encoding once, re-solve often.
+
+    :func:`solve_alignment_milp` re-encodes the whole MILP through
+    ``Model``/``LinExpr`` objects on every call even though the *structure*
+    — variable layout, constraint sparsity, one-hot groups, which entries
+    carry the big M — depends only on the :class:`BatchAlignment`, while
+    ``centers``/``weights`` only move coefficient *values* (objective
+    entries, right-hand sides, the period bounds and the big-M magnitude).
+    This class does the PR-5 treatment for that hot path: the
+    :class:`~repro.opt.model.MatrixForm` arrays are assembled once per
+    ``(spec, formulation)`` and each :meth:`solve` rewrites just the
+    recorded value slots — no per-call object churn.
+
+    With all-finite ``centers`` the compiled arrays are *identical* to
+    ``_alignment_model(...).to_matrix_form()`` (pinned by tests), so any
+    backend produces the same answer for both encodings.  Unlike the
+    dynamic model, the compiled layout always carries **all** batch paths:
+    a NaN centre gets weight 0 and centre 0, which leaves the ``(T, x)``
+    optimum and the objective unchanged (its ``eta`` is elastic and free),
+    but keeps the matrix shape — and therefore the warm-start structure
+    fingerprint — stable across calls where different paths drop out.
+    """
+
+    def __init__(self, spec: BatchAlignment, formulation: str = "compact"):
+        if formulation not in ("compact", "paper"):
+            raise ValueError(f"unknown formulation {formulation!r}")
+        self.spec = spec
+        self.formulation = formulation
+        paper = formulation == "paper"
+        m_paths = spec.n_paths
+
+        # -- variable layout (must match _alignment_model exactly) ----------
+        names: list[str] = []
+        lower: list[float] = []
+        upper: list[float] = []
+        integer: list[bool] = []
+        self._buffer_encoding: list[tuple[str, int, np.ndarray]] = []
+        # per buffer: ("step", k_col, grid) or ("onehot", first_col, grid)
+        for b, grid in enumerate(spec.grids):
+            grid = np.asarray(grid, dtype=float)
+            if _is_uniform_grid(grid):
+                self._buffer_encoding.append(("step", len(names), grid))
+                names.append(f"k{b}")
+                lower.append(0.0)
+                upper.append(float(len(grid) - 1))
+                integer.append(True)
+            else:
+                self._buffer_encoding.append(("onehot", len(names), grid))
+                for j in range(len(grid)):
+                    names.append(f"z{b}_{j}")
+                    lower.append(0.0)
+                    upper.append(1.0)
+                    integer.append(True)
+        self._t_col = len(names)
+        names.append("T")
+        lower.append(0.0)  # per-call: [-span, span]
+        upper.append(0.0)
+        integer.append(False)
+        self._eta_cols = np.empty(m_paths, dtype=np.intp)
+        for p in range(m_paths):
+            self._eta_cols[p] = len(names)
+            names.append(f"eta{p}")
+            lower.append(0.0)
+            upper.append(np.inf)
+            integer.append(False)
+            if paper:
+                for tag in (f"zp{p}", f"zn{p}"):
+                    names.append(tag)
+                    lower.append(0.0)
+                    upper.append(1.0)
+                    integer.append(True)
+        n_vars = len(names)
+
+        # x_expr of buffer b as (columns, coefficients, constant).
+        def buffer_terms(b: int) -> tuple[np.ndarray, np.ndarray, float]:
+            kind, col, grid = self._buffer_encoding[b]
+            if kind == "step":
+                step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+                return np.array([col]), np.array([float(step)]), float(grid[0])
+            cols = np.arange(col, col + len(grid))
+            return cols, grid.copy(), 0.0
+
+        # -- equality rows: one-hot selectors sum to 1 ----------------------
+        eq_rows: list[np.ndarray] = []
+        for b in range(spec.n_buffers):
+            kind, col, grid = self._buffer_encoding[b]
+            if kind == "onehot":
+                row = np.zeros(n_vars)
+                row[col : col + len(grid)] = 1.0
+                eq_rows.append(row)
+        a_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n_vars))
+        b_eq = np.ones(len(eq_rows))
+
+        # -- inequality rows ------------------------------------------------
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []  # value with centre = 0 and M = 0
+        center_path: list[int] = []  # path contributing ±centre, or -1
+        center_sign: list[float] = []
+        m_rhs_flag: list[float] = []  # 1.0 where the rhs carries +M
+        m_entries: list[tuple[int, int, float]] = []  # (row, col, ±1) ⋅ M
+
+        def push(row: np.ndarray, rhs: float, path: int = -1, sign: float = 0.0,
+                 m_flag: float = 0.0) -> int:
+            ub_rows.append(row)
+            ub_rhs.append(rhs)
+            center_path.append(path)
+            center_sign.append(sign)
+            m_rhs_flag.append(m_flag)
+            return len(ub_rows) - 1
+
+        for b in range(spec.n_buffers):
+            cols, coeffs, const = buffer_terms(b)
+            row = np.zeros(n_vars)
+            row[cols] = -coeffs  # x >= lb, negated to <=
+            push(row, const - float(spec.lower_bounds[b]))
+            row = np.zeros(n_vars)
+            row[cols] = coeffs  # x <= ub
+            push(row, float(spec.upper_bounds[b]) - const)
+        for a, b, lam in spec.pair_lower:
+            cols_a, coeffs_a, const_a = buffer_terms(a)
+            cols_b, coeffs_b, const_b = buffer_terms(b)
+            row = np.zeros(n_vars)
+            row[cols_a] -= coeffs_a  # x_a - x_b >= lam, negated
+            row[cols_b] += coeffs_b
+            push(row, const_a - const_b - float(lam))
+
+        # Per-path constants of the gap expression, kept separate so `load`
+        # can fold the centre in with the exact same float-operation order
+        # as the dynamic LinExpr build (bit-identical right-hand sides).
+        self._path_base = np.asarray(spec.base_shift, dtype=float).copy()
+        self._path_src_const = np.zeros(m_paths)
+        self._path_snk_const = np.zeros(m_paths)
+        for p in range(m_paths):
+            gap = np.zeros(n_vars)  # variable part of T - c_p - base - x_src + x_snk
+            gap[self._t_col] = 1.0
+            if spec.src_buffer[p] >= 0:
+                cols, coeffs, const = buffer_terms(int(spec.src_buffer[p]))
+                gap[cols] -= coeffs
+                self._path_src_const[p] = const
+            if spec.snk_buffer[p] >= 0:
+                cols, coeffs, const = buffer_terms(int(spec.snk_buffer[p]))
+                gap[cols] += coeffs
+                self._path_snk_const[p] = const
+            eta = int(self._eta_cols[p])
+            if not paper:
+                row = gap.copy()  # eta >= gap, negated
+                row[eta] = -1.0
+                push(row, 0.0, path=p, sign=1.0)
+                row = -gap  # eta >= -gap, negated
+                row[eta] = -1.0
+                push(row, 0.0, path=p, sign=-1.0)
+            else:
+                zp, zn = eta + 1, eta + 2
+                row = gap.copy()  # eq. 8: gap <= M zp
+                r = push(row, 0.0, path=p, sign=1.0)
+                m_entries.append((r, zp, -1.0))
+                row = gap.copy()  # eq. 9: gap - eta <= M (1 - zp)
+                row[eta] = -1.0
+                r = push(row, 0.0, path=p, sign=1.0, m_flag=1.0)
+                m_entries.append((r, zp, 1.0))
+                row = -gap  # eq. 10: -gap + eta <= M (1 - zp)
+                row[eta] = 1.0
+                r = push(row, 0.0, path=p, sign=-1.0, m_flag=1.0)
+                m_entries.append((r, zp, 1.0))
+                row = -gap  # eq. 11: -gap <= M zn
+                r = push(row, 0.0, path=p, sign=-1.0)
+                m_entries.append((r, zn, -1.0))
+                row = -gap  # eq. 12: -gap - eta <= M (1 - zn)
+                row[eta] = -1.0
+                r = push(row, 0.0, path=p, sign=-1.0, m_flag=1.0)
+                m_entries.append((r, zn, 1.0))
+                row = gap.copy()  # eq. 13: gap + eta <= M (1 - zn)
+                row[eta] = 1.0
+                r = push(row, 0.0, path=p, sign=1.0, m_flag=1.0)
+                m_entries.append((r, zn, 1.0))
+                row = np.zeros(n_vars)  # zp + zn >= 1, negated
+                row[zp] = -1.0
+                row[zn] = -1.0
+                push(row, -1.0)
+
+        self._rhs_static = np.array(ub_rhs)
+        self._center_path = np.array(center_path, dtype=np.intp)
+        self._center_sign = np.array(center_sign)
+        self._m_rhs_flag = np.array(m_rhs_flag)
+        if m_entries:
+            rows, cols, signs = zip(*m_entries)
+            self._m_rows = np.array(rows, dtype=np.intp)
+            self._m_cols = np.array(cols, dtype=np.intp)
+            self._m_signs = np.array(signs)
+        else:
+            self._m_rows = np.empty(0, dtype=np.intp)
+            self._m_cols = np.empty(0, dtype=np.intp)
+            self._m_signs = np.empty(0)
+        self._grid_span = sum(float(np.max(np.abs(g))) for g in spec.grids)
+
+        self.form = MatrixForm(
+            variable_names=names,
+            c=np.zeros(n_vars),
+            objective_constant=0.0,
+            flip_objective=False,
+            a_ub=np.array(ub_rows) if ub_rows else np.zeros((0, n_vars)),
+            b_ub=self._rhs_static.copy(),
+            a_eq=a_eq,
+            b_eq=b_eq,
+            lower=np.array(lower),
+            upper=np.array(upper),
+            integer=np.array(integer),
+        )
+
+    def load(self, centers: np.ndarray, weights: np.ndarray) -> MatrixForm:
+        """Write one call's coefficient values into the standing arrays.
+
+        Only *values* move: objective entries (weights), the centre- and
+        big-M-dependent right-hand sides, the period bounds and the big-M
+        matrix slots.  Sparsity, shapes and integrality are untouched, so
+        the form's structure fingerprint — the warm-start cache key — is
+        invariant across calls.
+        """
+        centers = np.asarray(centers, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if centers.shape != (self.spec.n_paths,) or weights.shape != (self.spec.n_paths,):
+            raise ValueError("centers/weights must have one entry per batch path")
+        finite = np.isfinite(centers)
+        centers_eff = np.where(finite, centers, 0.0)
+        weights_eff = np.where(finite, weights, 0.0)
+        span = (
+            float(np.max(np.abs(centers_eff[finite]))) if finite.any() else 1.0
+        ) + self._grid_span + 1.0
+        big_m = 4.0 * span
+        self._loaded = (centers_eff, weights_eff, span)
+
+        form = self.form
+        form.c[self._eta_cols] = weights_eff
+        form.lower[self._t_col] = -span
+        form.upper[self._t_col] = span
+        # Gap constants folded in the dynamic model's float-operation order,
+        # so the right-hand sides are bit-identical to the LinExpr build:
+        # gc_p = ((-centre - base) - c_src) + c_snk, row rhs = -(±gc - M).
+        gap_const = ((-centers_eff) - self._path_base) - self._path_src_const
+        gap_const = gap_const + self._path_snk_const
+        rhs = self._rhs_static.copy()
+        has_center = self._center_path >= 0
+        rhs[has_center] = -(
+            self._center_sign[has_center] * gap_const[self._center_path[has_center]]
+            - big_m * self._m_rhs_flag[has_center]
+        )
+        form.b_ub[:] = rhs
+        if self._m_rows.size:
+            form.a_ub[self._m_rows, self._m_cols] = self._m_signs * big_m
+        return form
+
+    def _repair_incumbent(self, x_prev: np.ndarray) -> np.ndarray | None:
+        """Adapt a previous variant's solution to the current coefficients.
+
+        Across sweep variants only ``centers``/``weights`` move, so a stale
+        incumbent fails the solver's feasibility re-validation in exactly
+        one place: its elastic columns (``eta``, and ``zp``/``zn`` in the
+        paper formulation) no longer cover the new gaps.  The integer
+        buffer assignment, however, still satisfies every static bound and
+        pairing row — so keep it, recompute the inner optimum ``T`` (the
+        weighted median of the per-path alignment targets, eq. 7 with
+        ``x`` fixed) and rebuild the elastic columns from the new gaps.
+        The result is feasible by construction and optimal *given that
+        buffer assignment*, which is what makes it a strong pruning bound
+        for the branch & bound.  Returns ``None`` when ``x_prev`` has the
+        wrong shape for this model.
+        """
+        n_vars = len(self.form.variable_names)
+        x_prev = np.asarray(x_prev, dtype=float)
+        if x_prev.shape != (n_vars,):
+            return None
+        centers_eff, weights_eff, span = self._loaded
+        repaired = np.zeros(n_vars)
+        buffer_values = np.empty(self.spec.n_buffers)
+        for b, (kind, col, grid) in enumerate(self._buffer_encoding):
+            if kind == "step":
+                step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+                k = int(np.clip(round(x_prev[col]), 0, len(grid) - 1))
+                repaired[col] = float(k)
+                buffer_values[b] = grid[0] + step * k
+            else:
+                j = int(np.argmax(x_prev[col : col + len(grid)]))
+                repaired[col + j] = 1.0
+                buffer_values[b] = grid[j]
+        # Per-path target: T aligned to centre + base + x_src - x_snk.
+        target = centers_eff + self._path_base
+        src, snk = self.spec.src_buffer, self.spec.snk_buffer
+        has_src, has_snk = src >= 0, snk >= 0
+        target[has_src] += buffer_values[src[has_src]]
+        target[has_snk] -= buffer_values[snk[has_snk]]
+        if np.any(weights_eff > 0):
+            t_opt = float(
+                weighted_median_rows(target[None, :], weights_eff[None, :])[0]
+            )
+        else:
+            t_opt = 0.0
+        t_opt = float(np.clip(t_opt, -span, span))
+        repaired[self._t_col] = t_opt
+        gaps = t_opt - target
+        repaired[self._eta_cols] = np.abs(gaps)
+        if self.formulation == "paper":
+            repaired[self._eta_cols + 1] = (gaps >= 0).astype(float)  # zp
+            repaired[self._eta_cols + 2] = (gaps <= 0).astype(float)  # zn
+        return repaired
+
+    def solve(
+        self,
+        centers: np.ndarray,
+        weights: np.ndarray,
+        backend: str = "auto",
+        warm: WarmStartCache | None = None,
+    ) -> tuple[float, np.ndarray, Solution]:
+        """Solve eqs. 7–14 for one ``(centers, weights)``; ``(T, x, solution)``.
+
+        Matches :func:`solve_alignment_milp` (same optimum, same grid
+        snapping) while reusing the precompiled arrays; an accompanying
+        ``warm`` cache carries the basis and incumbent across calls.
+        Raises ``RuntimeError`` when the solver fails, since alignment
+        infeasibility indicates a configuration bug; a ``FEASIBLE``
+        (node-budget) incumbent is accepted as usable.
+        """
+        form = self.load(centers, weights)
+        if warm is not None and backend in ("auto", "pure"):
+            # A cached incumbent from a previous (centers, weights) variant
+            # is stale — its elastic columns cover the *old* gaps, so the
+            # solver's re-validation would rightly drop it.  Repair it for
+            # the new coefficients before the solver looks it up.
+            fingerprint = form.structure_fingerprint()
+            hint = warm.peek(fingerprint)
+            if hint is not None and hint.x is not None:
+                repaired = self._repair_incumbent(hint.x)
+                if repaired is not None:
+                    objective = float(form.c @ repaired)
+                    warm.put(
+                        fingerprint,
+                        WarmHint(hint.basis, x=repaired, objective=objective),
+                    )
+        solution = solve_matrix_form(form, backend, warm=warm)
+        if not solution.usable:
+            raise RuntimeError(f"alignment MILP failed: {solution.status}")
+        x = np.empty(self.spec.n_buffers)
+        for b, (kind, col, grid) in enumerate(self._buffer_encoding):
+            if kind == "step":
+                step = grid[1] - grid[0] if len(grid) > 1 else 1.0
+                value = grid[0] + step * solution.values[f"k{b}"]
+            else:
+                value = float(
+                    np.dot(
+                        grid,
+                        [solution.values[f"z{b}_{j}"] for j in range(len(grid))],
+                    )
+                )
+            x[b] = grid[int(np.argmin(np.abs(grid - value)))]
+        return float(solution["T"]), x, solution

@@ -87,6 +87,8 @@ class EffiTestConfig:
     # §3.5 hold bounds
     hold_yield: float = 0.99
     hold_samples: int = 1000
+    hold_exact: bool = False  # exact covering MILP instead of greedy drop
+    hold_backend: str = "auto"  # solver route for the exact hold MILP
     # buffer policy (Table 1 setup: tau = T/8, 20 discrete steps)
     range_fraction: float = 1.0 / 8.0
     n_steps: int = 20
@@ -150,6 +152,11 @@ class Preparation:
     prior_stds: np.ndarray
     offline_seconds: float
     sigma_window: float = 3.0
+    #: Per-solve observability from the offline MILPs (empty when the
+    #: greedy hold heuristic ran): :class:`~repro.opt.solve.SolveStats`
+    #: records — backend chosen, node counts, basis-reuse rate, whether a
+    #: warm hint was consumed.
+    solver_stats: tuple = ()
 
     @property
     def n_tested(self) -> int:

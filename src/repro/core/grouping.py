@@ -16,12 +16,13 @@ chaining across clusters cannot occur at high thresholds).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
 from repro.utils.validation import check_probability
 from repro.variation.correlation import PathDelayModel
-from repro.variation.pca import pca, select_representatives
+from repro.variation.pca import PCAResult, pca, select_representatives
 
 
 @dataclass(frozen=True)
@@ -54,10 +55,27 @@ class GroupingResult:
     def n_tested(self) -> int:
         return len(self.tested_indices)
 
-    def group_of(self, path: int) -> PathGroup:
+    @cached_property
+    def _group_index(self) -> np.ndarray:
+        """Path -> group position table, built on first ``group_of`` call.
+
+        Groups partition the paths, so one dense ``intp`` array answers
+        every lookup in O(1); -1 marks indices outside all groups (only
+        possible for out-of-range queries on a complete grouping).
+        """
+        size = 0
         for group in self.groups:
-            if path in group.indices:
-                return group
+            if group.indices.size:
+                size = max(size, int(group.indices.max()) + 1)
+        table = np.full(size, -1, dtype=np.intp)
+        for position, group in enumerate(self.groups):
+            table[group.indices] = position
+        return table
+
+    def group_of(self, path: int) -> PathGroup:
+        table = self._group_index
+        if 0 <= path < len(table) and table[path] >= 0:
+            return self.groups[table[path]]
         raise KeyError(f"path {path} not in any group")
 
 
@@ -117,6 +135,83 @@ def significant_components(
     raise ValueError(f"unknown criterion {criterion!r}")
 
 
+def _make_group(
+    component: np.ndarray,
+    threshold: float,
+    decomposition: PCAResult,
+    pc_criterion: str,
+    variance_fraction: float,
+    relative_threshold: float,
+) -> PathGroup:
+    """PCA-select test paths for one extracted component (shared by the
+    workspace sweep and the reference loop, so both produce bit-identical
+    groups from the same decomposition)."""
+    n_pc = significant_components(
+        decomposition.eigenvalues,
+        criterion=pc_criterion,
+        variance_fraction=variance_fraction,
+        relative_threshold=relative_threshold,
+    )
+    n_pc = max(1, min(n_pc, int(component.size)))
+    local_selected = select_representatives(decomposition, n_pc)
+    return PathGroup(
+        indices=component,
+        threshold=threshold,
+        n_components=n_pc,
+        selected=component[np.asarray(local_selected, dtype=np.intp)],
+    )
+
+
+class GroupingWorkspace:
+    """Precompiled grouping state for one :class:`PathDelayModel`.
+
+    The reference loop re-derives the thresholded correlation subgraph from
+    scratch at every rung of the threshold ladder — an O(n^2) BFS per round
+    on a matrix that never changes.  The workspace instead builds the
+    correlation/covariance matrices once, sorts the upper-triangle
+    correlation edges descending (stable, so ties keep index order), and
+    lets :func:`group_and_select` sweep the ladder with an incremental
+    union-find: each round admits only the edges whose weight just crossed
+    the current threshold.  Eigendecompositions are cached by component
+    membership, so repeated grouping calls over the same model (parameter
+    sweeps over ``pc_criterion``/``relative_threshold``, re-preparations)
+    skip the PCA entirely for components they rediscover.
+    """
+
+    def __init__(self, model: PathDelayModel):
+        self.model = model
+        self.correlation = model.correlation()
+        self.covariance = model.covariance()
+        n = model.n_paths
+        row, col = np.triu_indices(n, k=1)
+        weights = self.correlation[row, col]
+        order = np.argsort(-weights, kind="stable")
+        self._edge_u = row[order].astype(np.intp)
+        self._edge_v = col[order].astype(np.intp)
+        self._edge_w = weights[order]
+        self._pca_cache: dict[tuple[bytes, float], PCAResult] = {}
+
+    @property
+    def n_paths(self) -> int:
+        return self.model.n_paths
+
+    @property
+    def pca_cache_size(self) -> int:
+        return len(self._pca_cache)
+
+    def decompose(
+        self, component: np.ndarray, variance_fraction: float
+    ) -> PCAResult:
+        """PCA of one component's covariance block, memoized by membership."""
+        key = (component.tobytes(), float(variance_fraction))
+        decomposition = self._pca_cache.get(key)
+        if decomposition is None:
+            block = self.covariance[np.ix_(component, component)]
+            decomposition = pca(block, variance_fraction)
+            self._pca_cache[key] = decomposition
+        return decomposition
+
+
 def group_and_select(
     model: PathDelayModel,
     start_threshold: float = 0.95,
@@ -125,12 +220,102 @@ def group_and_select(
     pc_criterion: str = "largest",
     variance_fraction: float = 0.95,
     relative_threshold: float = 0.03,
+    workspace: GroupingWorkspace | None = None,
 ) -> GroupingResult:
     """Procedure 1: group paths by correlation, select test paths by PCA.
 
     A component of size >= 2 found at the current threshold becomes a group;
     singletons are retried at lower thresholds until ``floor_threshold``,
     below which every remaining path forms its own (directly tested) group.
+
+    Runs on a :class:`GroupingWorkspace` (built ad hoc when not passed):
+    edges are admitted into a union-find as the threshold descends past
+    their weight, which is equivalent to the reference per-round component
+    search because extraction is permanent — an edge skipped for touching
+    an extracted path would never connect remaining paths again.  Identical
+    output to :func:`group_and_select_reference` (asserted by tests).
+    """
+    if workspace is None:
+        workspace = GroupingWorkspace(model)
+    elif workspace.model is not model:
+        raise ValueError("workspace was built for a different delay model")
+
+    n = workspace.n_paths
+    parent = list(range(n))
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    edge_u, edge_v, edge_w = (
+        workspace._edge_u, workspace._edge_v, workspace._edge_w
+    )
+    n_edges = len(edge_w)
+    extracted = np.zeros(n, dtype=bool)
+    groups: list[PathGroup] = []
+    threshold = start_threshold
+    cursor = 0
+    n_left = n
+
+    while n_left:
+        at_floor = threshold <= floor_threshold + 1e-12
+        while cursor < n_edges and edge_w[cursor] >= threshold:
+            u, v = int(edge_u[cursor]), int(edge_v[cursor])
+            cursor += 1
+            if extracted[u] or extracted[v]:
+                continue
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[max(ru, rv)] = min(ru, rv)
+
+        members: dict[int, list[int]] = {}
+        for node in np.flatnonzero(~extracted):
+            members.setdefault(find(int(node)), []).append(int(node))
+        # Scanning unextracted nodes ascending orders components by their
+        # minimum member — the same order the reference BFS discovers them.
+        for component_nodes in members.values():
+            component = np.array(component_nodes, dtype=np.intp)
+            if component.size == 1 and not at_floor:
+                continue
+            groups.append(
+                _make_group(
+                    component,
+                    threshold,
+                    workspace.decompose(component, variance_fraction),
+                    pc_criterion,
+                    variance_fraction,
+                    relative_threshold,
+                )
+            )
+            extracted[component] = True
+            n_left -= component.size
+        if at_floor:
+            break
+        threshold = max(threshold - threshold_step, floor_threshold)
+
+    return GroupingResult(tuple(groups))
+
+
+def group_and_select_reference(
+    model: PathDelayModel,
+    start_threshold: float = 0.95,
+    threshold_step: float = 0.05,
+    floor_threshold: float = 0.50,
+    pc_criterion: str = "largest",
+    variance_fraction: float = 0.95,
+    relative_threshold: float = 0.03,
+) -> GroupingResult:
+    """The historical per-round implementation of Procedure 1.
+
+    Recomputes the thresholded subgraph's connected components from
+    scratch at every threshold (see :func:`_threshold_components`).
+    Retained as the A/B oracle for :func:`group_and_select` — the
+    equivalence tests and ``benchmarks/bench_offline.py`` assert identical
+    groupings.
     """
     corr = model.correlation()
     cov = model.covariance()
@@ -146,22 +331,17 @@ def group_and_select(
             if component.size == 1 and not at_floor:
                 leftovers.append(component)
                 continue
-            group_cov = cov[np.ix_(component, component)]
-            decomposition = pca(group_cov, variance_fraction)
-            n_pc = significant_components(
-                decomposition.eigenvalues,
-                criterion=pc_criterion,
-                variance_fraction=variance_fraction,
-                relative_threshold=relative_threshold,
+            decomposition = pca(
+                cov[np.ix_(component, component)], variance_fraction
             )
-            n_pc = max(1, min(n_pc, component.size))
-            local_selected = select_representatives(decomposition, n_pc)
             groups.append(
-                PathGroup(
-                    indices=component,
-                    threshold=threshold,
-                    n_components=n_pc,
-                    selected=component[np.asarray(local_selected, dtype=np.intp)],
+                _make_group(
+                    component,
+                    threshold,
+                    decomposition,
+                    pc_criterion,
+                    variance_fraction,
+                    relative_threshold,
                 )
             )
         if at_floor:

@@ -23,8 +23,9 @@ import numpy as np
 from repro.circuit.buffers import BufferPlan
 from repro.circuit.paths import ShortPathSet
 from repro.opt.diffconstraints import DifferenceSystem
-from repro.opt.model import Model, ObjectiveSense
-from repro.opt.solve import solve
+from repro.opt.model import MatrixForm, Model, ObjectiveSense
+from repro.opt.solve import Solution, SolveStats, solve, solve_matrix_form
+from repro.opt.warmstart import WarmStartCache
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_probability
 
@@ -197,6 +198,195 @@ def solve_hold_bounds_milp(
         achieved_yield=covered / n_samples,
         target_yield=target_yield,
     )
+
+
+class CompiledHoldBoundModel:
+    """Precompiled eqs. 19–20 covering MILP, re-solved by coefficient update.
+
+    :func:`solve_hold_bounds_milp` rebuilds the whole model — variables,
+    LinExpr constraints, matrix conversion — for every sample draw, yet the
+    *structure* depends only on the sample count ``S`` and the number of
+    tunable pairs ``J``: variables ``lam_0..lam_{J-1}, y_0..y_{S-1}``, one
+    ``-lam_j + span*y_s <= span - req[s, j]`` row per (sample, pair), and
+    one coverage row ``-sum(y) <= -Y*S``.  This class builds that
+    :class:`~repro.opt.model.MatrixForm` once and each :meth:`solve` call
+    rewrites only the per-draw numbers: the ``span`` big-M slots, the
+    requirement right-hand sides, the lambda bounds and the coverage
+    target.  Samples whose *fixed-skew* pairs already violate become
+    ``y_s`` upper bounds of 0 rather than extra constraint rows (the
+    dynamic model's ``y_s <= 0`` rows would change the sparsity pattern
+    per draw and defeat both precompilation and warm-start keying).
+
+    The structure fingerprint is invariant across draws, so a shared
+    :class:`~repro.opt.warmstart.WarmStartCache` hands each re-solve the
+    previous draw's basis and incumbent.
+    """
+
+    def __init__(self, n_samples: int, n_tunable: int):
+        if n_samples < 1:
+            raise ValueError("n_samples must be positive")
+        if n_tunable < 0:
+            raise ValueError("n_tunable must be non-negative")
+        self.n_samples = n_samples
+        self.n_tunable = n_tunable
+        names = [f"lam{j}" for j in range(n_tunable)]
+        names += [f"y{s}" for s in range(n_samples)]
+        n_vars = n_tunable + n_samples
+        n_rows = n_samples * n_tunable + 1
+
+        c = np.zeros(n_vars)
+        c[:n_tunable] = 1.0  # minimize sum(lambda)
+        a_ub = np.zeros((n_rows, n_vars))
+        rows = np.arange(n_samples * n_tunable)
+        lam_cols = np.tile(np.arange(n_tunable), n_samples)
+        y_cols = n_tunable + np.repeat(np.arange(n_samples), n_tunable)
+        a_ub[rows, lam_cols] = -1.0
+        a_ub[-1, n_tunable:] = -1.0  # coverage: -sum(y) <= -Y*S
+        self._span_rows = rows
+        self._span_cols = y_cols
+
+        integer = np.zeros(n_vars, dtype=bool)
+        integer[n_tunable:] = True
+        lower = np.zeros(n_vars)
+        upper = np.ones(n_vars)
+        self.form = MatrixForm(
+            variable_names=names,
+            c=c,
+            objective_constant=0.0,
+            flip_objective=False,
+            a_ub=a_ub,
+            b_ub=np.zeros(n_rows),
+            a_eq=np.zeros((0, n_vars)),
+            b_eq=np.zeros(0),
+            lower=lower,
+            upper=upper,
+            integer=integer,
+        )
+
+    def load(
+        self,
+        req: np.ndarray,
+        uncoverable: np.ndarray,
+        target_yield: float,
+        span: float | None = None,
+    ) -> None:
+        """Point the compiled structure at one requirement draw.
+
+        ``req`` is the ``(n_samples, n_tunable)`` tunable-pair requirement
+        block; ``uncoverable`` flags samples whose fixed-skew pairs already
+        violate (their ``y`` is pinned to 0).  ``span`` defaults to the
+        reference formula over ``req`` — pass the value computed over the
+        *full* requirement matrix to match :func:`solve_hold_bounds_milp`
+        exactly when fixed pairs exist.
+        """
+        req = np.asarray(req, dtype=float)
+        uncoverable = np.asarray(uncoverable, dtype=bool)
+        if req.shape != (self.n_samples, self.n_tunable):
+            raise ValueError(
+                f"req shape {req.shape} != "
+                f"({self.n_samples}, {self.n_tunable})"
+            )
+        if uncoverable.shape != (self.n_samples,):
+            raise ValueError("uncoverable must have one flag per sample")
+        check_probability(target_yield, "target_yield")
+        if span is None:
+            span = float(np.abs(req).max(initial=1.0)) * 2.0 + 1.0
+        form = self.form
+        J = self.n_tunable
+        form.lower[:J] = -span
+        form.upper[:J] = span
+        form.upper[J:] = np.where(uncoverable, 0.0, 1.0)
+        form.a_ub[self._span_rows, self._span_cols] = span
+        form.b_ub[:-1] = ((-req) + span).reshape(-1)
+        form.b_ub[-1] = -(target_yield * self.n_samples)
+
+    def solve(
+        self,
+        req: np.ndarray,
+        uncoverable: np.ndarray,
+        target_yield: float,
+        span: float | None = None,
+        backend: str = "auto",
+        warm: WarmStartCache | None = None,
+        node_limit: int = 20000,
+    ) -> tuple[np.ndarray, int, Solution]:
+        """Load one draw and solve; returns ``(lambdas, covered, solution)``.
+
+        ``covered`` counts the samples the optimum chose to keep hold-safe.
+        Raises unless the solution is usable (``OPTIMAL``, or ``FEASIBLE``
+        when branch & bound exhausted ``node_limit`` holding an incumbent).
+        """
+        self.load(req, uncoverable, target_yield, span=span)
+        solution = solve_matrix_form(
+            self.form, backend, warm=warm, node_limit=node_limit
+        )
+        if not solution.usable:
+            raise RuntimeError(
+                f"hold-bound MILP failed: {solution.failure_reason}"
+            )
+        lambdas = np.array(
+            [solution[f"lam{j}"] for j in range(self.n_tunable)]
+        )
+        covered = sum(
+            round(solution[f"y{s}"]) for s in range(self.n_samples)
+        )
+        return lambdas, covered, solution
+
+
+def solve_hold_bounds_exact(
+    short_paths: ShortPathSet,
+    buffer_plan: BufferPlan,
+    target_yield: float = 0.99,
+    n_samples: int = 40,
+    seed: RandomState = None,
+    backend: str = "auto",
+    warm: WarmStartCache | None = None,
+    compiled: CompiledHoldBoundModel | None = None,
+) -> tuple[HoldBounds, SolveStats | None]:
+    """Exact eqs. 19–20 through the precompiled model + solver portfolio.
+
+    Same sampling and pair collapse as :func:`solve_hold_bounds_milp` (same
+    seed ⇒ same requirement draw ⇒ same optimal ``sum(lambda)``), but the
+    MILP is encoded once in a :class:`CompiledHoldBoundModel` (pass
+    ``compiled`` to reuse one across draws) and solved through
+    :func:`~repro.opt.solve.solve_matrix_form`, so a shared ``warm`` cache
+    carries bases and incumbents across sweep variants.  Returns the bounds
+    plus the solve's :class:`~repro.opt.solve.SolveStats`.
+    """
+    samples = short_paths.model.sample(n_samples, seed=seed)
+    pairs, req = _pair_requirements(short_paths, samples)
+    buffered = {
+        i for i, name in enumerate(short_paths.ff_names)
+        if buffer_plan.has_buffer(name)
+    }
+    tunable_cols = [
+        k for k, (src, snk) in enumerate(pairs)
+        if src in buffered or snk in buffered
+    ]
+    fixed_cols = [k for k in range(len(pairs)) if k not in tunable_cols]
+
+    span = float(np.abs(req).max(initial=1.0)) * 2.0 + 1.0
+    tunable = (
+        req[:, tunable_cols] if tunable_cols
+        else np.zeros((n_samples, 0))
+    )
+    if fixed_cols:
+        uncoverable = (req[:, fixed_cols] > 0).any(axis=1)
+    else:
+        uncoverable = np.zeros(n_samples, dtype=bool)
+
+    model = compiled or CompiledHoldBoundModel(n_samples, len(tunable_cols))
+    lambdas, covered, solution = model.solve(
+        tunable, uncoverable, target_yield,
+        span=span, backend=backend, warm=warm,
+    )
+    bounds = HoldBounds(
+        pairs=tuple(pairs[k] for k in tunable_cols),
+        lambdas=lambdas,
+        achieved_yield=covered / n_samples,
+        target_yield=target_yield,
+    )
+    return bounds, solution.stats
 
 
 def hold_feasible_settings(

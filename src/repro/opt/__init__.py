@@ -27,11 +27,14 @@ from repro.opt.diffconstraints import (
 )
 from repro.opt.linexpr import Constraint, LinExpr, Sense
 from repro.opt.model import Model, ObjectiveSense, VarType
-from repro.opt.simplex import LPResult, LPStatus, solve_lp
-from repro.opt.solve import Solution, solve
+from repro.opt.reference_solver import solve_lp_reference, solve_milp_reference
+from repro.opt.simplex import Basis, LPResult, LPStatus, solve_lp
+from repro.opt.solve import Solution, SolveStats, choose_backend, solve, solve_matrix_form
+from repro.opt.warmstart import WarmHint, WarmStartCache
 from repro.opt.weighted_median import weighted_median, weighted_median_rows
 
 __all__ = [
+    "Basis",
     "Constraint",
     "DiffResult",
     "DifferenceSystem",
@@ -44,15 +47,22 @@ __all__ = [
     "RelaxKernel",
     "Sense",
     "Solution",
+    "SolveStats",
     "VarType",
+    "WarmHint",
+    "WarmStartCache",
     "bellman_ford",
     "bellman_ford_reference",
+    "choose_backend",
     "maximum_mean_cycle",
     "min_clock_period_bounded",
     "min_clock_period_unbounded",
     "solve",
     "solve_lp",
+    "solve_lp_reference",
     "solve_milp",
+    "solve_milp_reference",
+    "solve_matrix_form",
     "weighted_median",
     "weighted_median_rows",
 ]

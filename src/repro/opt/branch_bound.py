@@ -1,4 +1,4 @@
-"""Branch & bound MILP solver on top of the pure-Python simplex.
+"""Warm-started branch & bound on top of the revised simplex.
 
 Together with :mod:`repro.opt.simplex` this provides a dependency-free MILP
 capability standing in for the paper's Gurobi.  It is intended for the small
@@ -6,22 +6,39 @@ integer programs EffiTest produces (tens of variables): delay alignment
 (eqs. 7–14 of the paper) on a single test batch, buffer configuration
 (eqs. 15–18) and hold-bound selection (eqs. 19–20) on reduced instances.
 
-Branching is depth-first on the most fractional integer variable, with
-incumbent pruning.  Determinism: ties are broken by variable index, so the
-search tree (and therefore the reported optimum) is reproducible.
+Two things distinguish it from the historical solver retained in
+:mod:`repro.opt.reference_solver`:
+
+- **Warm node solves.**  A child node differs from its parent by exactly
+  one variable bound, so the parent's optimal basis is still dual feasible
+  at the child; each child LP starts from it and reoptimizes with a few
+  dual-simplex pivots instead of a cold two-phase solve.  A caller can
+  likewise seed the root (and an integer incumbent) from a previous solve
+  of a structurally identical model — the sweep-variant warm start.
+- **Best-bound node selection.**  Open nodes live in a heap keyed by
+  ``(relaxation bound, insertion counter)``; the counter makes the order —
+  and therefore the reported optimum — deterministic even among tied
+  bounds.  Branching stays on the most fractional integer variable with
+  index tie-breaking, so the search tree is reproducible.
+
+When the node budget runs out *with* an incumbent, the result is
+:attr:`LPStatus.FEASIBLE` (usable but not proven optimal) rather than the
+indistinguishable-from-dead ``ITERATION_LIMIT``.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.opt.model import MatrixForm
-from repro.opt.simplex import LPResult, LPStatus, solve_lp
+from repro.opt.simplex import Basis, LPResult, LPStatus, solve_lp
 
 _INT_TOL = 1e-6
+_FEAS_TOL = 1e-7
 
 
 @dataclass
@@ -32,42 +49,123 @@ class MILPResult:
     x: np.ndarray | None
     objective: float | None
     nodes_explored: int = 0
+    #: Total simplex pivots across every node LP (warm and cold).
+    simplex_iterations: int = 0
+    #: Node LPs solved (the basis-reuse denominator).
+    lp_solves: int = 0
+    #: Node LPs that reoptimized from a parent/caller basis.
+    basis_reuses: int = 0
+    #: True when a caller-provided warm incumbent or root basis was used.
+    warm_hint_used: bool = False
+    #: Root-relaxation basis, for warm-starting a structurally identical
+    #: solve (the next sweep variant).
+    root_basis: Basis | None = None
 
     @property
     def ok(self) -> bool:
         return self.status is LPStatus.OPTIMAL
 
+    @property
+    def usable(self) -> bool:
+        """True when ``x`` is a feasible integer point (proven optimal or not)."""
+        return self.status in (LPStatus.OPTIMAL, LPStatus.FEASIBLE)
+
+    @property
+    def basis_reuse_rate(self) -> float:
+        return self.basis_reuses / self.lp_solves if self.lp_solves else 0.0
+
 
 def _most_fractional(x: np.ndarray, integer_mask: np.ndarray) -> int | None:
-    """Index of the integer variable farthest from integrality, or None."""
-    best_idx: int | None = None
-    best_frac = _INT_TOL
-    for i in np.flatnonzero(integer_mask):
-        frac = abs(x[i] - round(x[i]))
-        if frac > best_frac:
-            best_frac = frac
-            best_idx = int(i)
-    return best_idx
+    """Index of the integer variable farthest from integrality, or None.
+
+    Vectorized; ties resolve to the smallest index (``argmax`` returns the
+    first maximum), matching the historical Python loop exactly.
+    """
+    idx = np.flatnonzero(integer_mask)
+    if not idx.size:
+        return None
+    vals = x[idx]
+    frac = np.abs(vals - np.round(vals))
+    k = int(np.argmax(frac))
+    if frac[k] <= _INT_TOL:
+        return None
+    return int(idx[k])
+
+
+def _feasible_incumbent(form: MatrixForm, x: np.ndarray) -> np.ndarray | None:
+    """Validate a candidate warm incumbent against ``form``; None if stale.
+
+    Sweep variants share structure but not coefficients, so the previous
+    variant's optimum may violate this variant's constraints — it is a
+    *hint*, never trusted.  Integer entries are snapped before checking.
+    """
+    if x.shape != (len(form.variable_names),):
+        return None
+    candidate = np.asarray(x, float).copy()
+    candidate[form.integer] = np.round(candidate[form.integer])
+    if not np.isfinite(candidate).all():
+        return None
+    if (candidate < form.lower - _FEAS_TOL).any() or (candidate > form.upper + _FEAS_TOL).any():
+        return None
+    if form.a_ub.size and (form.a_ub @ candidate > form.b_ub + _FEAS_TOL).any():
+        return None
+    if form.a_eq.size and (np.abs(form.a_eq @ candidate - form.b_eq) > _FEAS_TOL).any():
+        return None
+    return candidate
 
 
 def solve_milp(
     form: MatrixForm,
     node_limit: int = 20000,
     gap_tol: float = 1e-9,
+    *,
+    warm_basis: Basis | None = None,
+    warm_incumbent: np.ndarray | None = None,
 ) -> MILPResult:
     """Solve a MILP given in matrix form.
 
     The objective handled internally is the *minimization* objective of the
     matrix form; the returned objective is in the original model's sense
     (via :meth:`MatrixForm.objective_value`).
-    """
-    if not np.any(form.integer):
-        lp = solve_lp(form)
-        return MILPResult(lp.status, lp.x, lp.objective)
 
-    root = solve_lp(form)
+    ``warm_basis`` seeds the root relaxation and ``warm_incumbent`` the
+    integer incumbent, typically from a previous solve of a structurally
+    identical model; both are validated and silently dropped when stale.
+    """
+    warm_used = False
+    if not np.any(form.integer):
+        lp = solve_lp(form, start=warm_basis)
+        return MILPResult(
+            lp.status,
+            lp.x,
+            lp.objective,
+            simplex_iterations=lp.iterations,
+            lp_solves=1,
+            basis_reuses=int(lp.warm_started),
+            warm_hint_used=lp.warm_started,
+            root_basis=lp.basis,
+        )
+
+    iterations = 0
+    lp_solves = 0
+    reuses = 0
+
+    root = solve_lp(form, start=warm_basis)
+    iterations += root.iterations
+    lp_solves += 1
+    reuses += int(root.warm_started)
+    warm_used |= root.warm_started
     if root.status is not LPStatus.OPTIMAL:
-        return MILPResult(root.status, None, None, nodes_explored=1)
+        return MILPResult(
+            root.status,
+            None,
+            None,
+            nodes_explored=1,
+            simplex_iterations=iterations,
+            lp_solves=lp_solves,
+            basis_reuses=reuses,
+            warm_hint_used=warm_used,
+        )
 
     sign = -1.0 if form.flip_objective else 1.0
 
@@ -78,18 +176,33 @@ def solve_milp(
 
     incumbent_x: np.ndarray | None = None
     incumbent_cost = math.inf
+    if warm_incumbent is not None:
+        candidate = _feasible_incumbent(form, warm_incumbent)
+        if candidate is not None:
+            incumbent_x = candidate
+            incumbent_cost = float(form.c @ candidate)
+            warm_used = True
     nodes = 0
+    proven = True  # flips off only when the node budget truncates the search
 
-    stack: list[tuple[np.ndarray, np.ndarray, LPResult]] = [
-        (form.lower.copy(), form.upper.copy(), root)
-    ]
-    while stack and nodes < node_limit:
-        lower, upper, lp = stack.pop()
+    # Best-bound heap: (relaxation bound, insertion counter, bounds, LP).
+    # The counter both breaks bound ties deterministically and keeps the
+    # un-orderable payloads out of heapq's comparisons.
+    counter = 0
+    heap: list[tuple[float, int, np.ndarray, np.ndarray, LPResult]] = []
+    heapq.heappush(heap, (relax_cost(root), counter, form.lower.copy(), form.upper.copy(), root))
+
+    while heap:
+        if nodes >= node_limit:
+            proven = False
+            break
+        bound, _, lower, upper, lp = heapq.heappop(heap)
         nodes += 1
         assert lp.x is not None
-        bound = relax_cost(lp)
         if bound >= incumbent_cost - gap_tol:
-            continue
+            # Best-bound order: every remaining node's bound is >= this
+            # one's, so the incumbent is proven optimal — stop.
+            break
         branch_var = _most_fractional(lp.x, form.integer)
         if branch_var is None:
             x_int = lp.x.copy()
@@ -114,24 +227,43 @@ def solve_milp(
         if dn_lower[branch_var] <= upper[branch_var] + _INT_TOL:
             children.append((dn_lower, upper.copy()))
 
-        solved = []
         for lo, hi in children:
             child_form = replace(form, lower=lo, upper=hi)
-            child_lp = solve_lp(child_form)
+            # The parent's basis stays dual feasible after the bound
+            # change; the child LP reoptimizes from it with dual-simplex
+            # pivots instead of a cold two-phase solve.
+            child_lp = solve_lp(child_form, start=lp.basis)
+            iterations += child_lp.iterations
+            lp_solves += 1
+            reuses += int(child_lp.warm_started)
             if child_lp.status is LPStatus.OPTIMAL:
-                solved.append((relax_cost(child_lp), lo, hi, child_lp))
-        # Explore the more promising child first (it goes last on the stack).
-        solved.sort(key=lambda t: -t[0])
-        for _, lo, hi, child_lp in solved:
-            stack.append((lo, hi, child_lp))
+                counter += 1
+                heapq.heappush(heap, (relax_cost(child_lp), counter, lo, hi, child_lp))
 
     if incumbent_x is None:
-        status = LPStatus.ITERATION_LIMIT if stack else LPStatus.INFEASIBLE
-        return MILPResult(status, None, None, nodes_explored=nodes)
-    status = LPStatus.ITERATION_LIMIT if stack else LPStatus.OPTIMAL
+        status = LPStatus.INFEASIBLE if proven else LPStatus.ITERATION_LIMIT
+        return MILPResult(
+            status,
+            None,
+            None,
+            nodes_explored=nodes,
+            simplex_iterations=iterations,
+            lp_solves=lp_solves,
+            basis_reuses=reuses,
+            warm_hint_used=warm_used,
+        )
+    status = LPStatus.OPTIMAL if proven else LPStatus.FEASIBLE
     return MILPResult(
         status,
         incumbent_x,
         form.objective_value(incumbent_x),
         nodes_explored=nodes,
+        simplex_iterations=iterations,
+        lp_solves=lp_solves,
+        basis_reuses=reuses,
+        warm_hint_used=warm_used,
+        root_basis=root.basis,
     )
+
+
+__all__ = ["MILPResult", "solve_milp", "_most_fractional"]

@@ -9,6 +9,7 @@ plays in the paper's implementation.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from enum import Enum
@@ -236,3 +237,31 @@ class MatrixForm:
     def assignment(self, x: np.ndarray) -> dict[str, float]:
         """Map a solution vector back to variable names."""
         return {name: float(v) for name, v in zip(self.variable_names, x)}
+
+    def structure_fingerprint(self) -> str:
+        """Hash of the model *structure*, ignoring coefficient values.
+
+        Covers shapes, constraint-matrix sparsity patterns, integrality,
+        bound finiteness and the variable layout — exactly what must match
+        for a simplex :class:`~repro.opt.simplex.Basis` (and an integer
+        incumbent hint) from one solve to be a meaningful warm start for
+        another.  Two sweep variants of the same circuit share this
+        fingerprint while differing in every coefficient; see
+        :mod:`repro.opt.warmstart`.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (self.a_ub.shape, self.a_eq.shape, self.flip_objective)
+            ).encode()
+        )
+        for pattern in (
+            self.a_ub != 0.0,
+            self.a_eq != 0.0,
+            np.asarray(self.integer, bool),
+            np.isfinite(self.lower),
+            np.isfinite(self.upper),
+        ):
+            digest.update(np.packbits(pattern.reshape(-1)).tobytes())
+        digest.update("\x00".join(self.variable_names).encode())
+        return digest.hexdigest()

@@ -1,0 +1,351 @@
+"""The historical dense two-phase simplex and DFS branch & bound, retained.
+
+These are the pre-warm-start solvers (`solve_lp` / `solve_milp` as they
+shipped before the revised-simplex rewrite), kept verbatim as the
+**reference engines**:
+
+- the randomized equivalence suite (``tests/opt/test_solver_equivalence.py``)
+  pins the new :mod:`repro.opt.simplex` / :mod:`repro.opt.branch_bound`
+  against them on statuses and objectives across continuous / integer /
+  mixed, feasible / infeasible / unbounded models, and
+- ``benchmarks/bench_offline.py`` uses them as the *old* side of its
+  cold-vs-warm A/B, asserting identical optima while measuring the speedup.
+
+The implementation is deliberately untouched: a dense tableau, the
+shift/mirror/split standardization to non-negative variables, phase-1
+artificials, Bland's rule, and cold DFS branch & bound re-solving every
+node from scratch.  Nothing in the production flow calls these except
+through an explicit ``reference`` backend request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.opt.model import MatrixForm
+from repro.opt.simplex import LPResult, LPStatus
+
+_TOL = 1e-9
+_INT_TOL = 1e-6
+
+
+@dataclass
+class _Shift:
+    """How one original variable maps to standard-form column(s)."""
+
+    kind: str  # "shift", "mirror", "split"
+    columns: tuple[int, ...]
+    offset: float
+
+
+def _standardize(form: MatrixForm) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[_Shift]]:
+    """Rewrite the LP with non-negative variables only.
+
+    Returns ``(A, b, c, shifts)`` for ``min c'y s.t. A y (<=,==) b`` where the
+    first ``len(b_ub')`` rows are inequalities — encoded by the caller — and
+    the variable mapping ``shifts`` recovers original values.
+    """
+    n = len(form.variable_names)
+    shifts: list[_Shift] = []
+    col = 0
+    col_of: list[tuple[int, ...]] = []
+    for i in range(n):
+        lo, hi = form.lower[i], form.upper[i]
+        if math.isfinite(lo):
+            shifts.append(_Shift("shift", (col,), lo))
+            col_of.append((col,))
+            col += 1
+        elif math.isfinite(hi):
+            shifts.append(_Shift("mirror", (col,), hi))
+            col_of.append((col,))
+            col += 1
+        else:
+            shifts.append(_Shift("split", (col, col + 1), 0.0))
+            col_of.append((col, col + 1))
+            col += 2
+    total_cols = col
+
+    def expand_rows(a: np.ndarray) -> np.ndarray:
+        if a.size == 0:
+            return np.zeros((a.shape[0], total_cols))
+        out = np.zeros((a.shape[0], total_cols))
+        for i in range(n):
+            s = shifts[i]
+            if s.kind == "shift":
+                out[:, s.columns[0]] = a[:, i]
+            elif s.kind == "mirror":
+                out[:, s.columns[0]] = -a[:, i]
+            else:
+                out[:, s.columns[0]] = a[:, i]
+                out[:, s.columns[1]] = -a[:, i]
+        return out
+
+    def shift_rhs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.size == 0:
+            return b.copy()
+        adjust = np.zeros(a.shape[0])
+        for i in range(n):
+            s = shifts[i]
+            if s.kind == "shift":
+                adjust += a[:, i] * s.offset
+            elif s.kind == "mirror":
+                adjust += a[:, i] * s.offset
+        return b - adjust
+
+    a_ub = expand_rows(form.a_ub)
+    b_ub = shift_rhs(form.a_ub, form.b_ub)
+    a_eq = expand_rows(form.a_eq)
+    b_eq = shift_rhs(form.a_eq, form.b_eq)
+
+    # Finite upper bounds of shifted variables become extra <= rows.
+    extra_rows = []
+    extra_rhs = []
+    for i in range(n):
+        lo, hi = form.lower[i], form.upper[i]
+        if math.isfinite(lo) and math.isfinite(hi):
+            row = np.zeros(total_cols)
+            row[shifts[i].columns[0]] = 1.0
+            extra_rows.append(row)
+            extra_rhs.append(hi - lo)
+    if extra_rows:
+        a_ub = np.vstack([a_ub, np.array(extra_rows)])
+        b_ub = np.concatenate([b_ub, np.array(extra_rhs)])
+
+    c = np.zeros(total_cols)
+    for i in range(n):
+        s = shifts[i]
+        if s.kind == "shift":
+            c[s.columns[0]] += form.c[i]
+        elif s.kind == "mirror":
+            c[s.columns[0]] -= form.c[i]
+        else:
+            c[s.columns[0]] += form.c[i]
+            c[s.columns[1]] -= form.c[i]
+
+    n_ub = a_ub.shape[0]
+    # Append slack variables for the inequality rows.
+    a = np.hstack([np.vstack([a_ub, a_eq]), np.zeros((n_ub + a_eq.shape[0], n_ub))])
+    for r in range(n_ub):
+        a[r, total_cols + r] = 1.0
+    b = np.concatenate([b_ub, b_eq])
+    c_full = np.concatenate([c, np.zeros(n_ub)])
+    return a, b, c_full, shifts
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """In-place Gauss-Jordan pivot on (row, col)."""
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _TOL:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _simplex_iterations(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    max_iter: int,
+) -> LPStatus:
+    """Run primal simplex on an equality tableau with basic feasible start.
+
+    ``tableau`` is (m, n+1) with the rhs in the last column; ``cost`` is the
+    reduced-cost row maintained by the caller convention: we recompute reduced
+    costs each iteration from ``cost`` and the basis (simple and robust for
+    the small systems this solver targets).
+    """
+    m, width = tableau.shape
+    n = width - 1
+    for _ in range(max_iter):
+        cb = cost[basis]
+        # Reduced costs: c_j - cb' B^-1 A_j; tableau rows are already B^-1 A.
+        reduced = cost[:n] - cb @ tableau[:, :n]
+        entering = -1
+        for j in range(n):  # Bland's rule: first improving index
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return LPStatus.OPTIMAL
+        ratios = np.full(m, np.inf)
+        col = tableau[:, entering]
+        positive = col > _TOL
+        ratios[positive] = tableau[positive, n] / col[positive]
+        if not np.any(np.isfinite(ratios)):
+            return LPStatus.UNBOUNDED
+        best = np.min(ratios)
+        # Bland tie-break: smallest basis index among minimal ratios.
+        candidates = [r for r in range(m) if ratios[r] <= best + _TOL]
+        leaving = min(candidates, key=lambda r: basis[r])
+        _pivot(tableau, basis, leaving, entering)
+    return LPStatus.ITERATION_LIMIT
+
+
+def solve_lp_reference(form: MatrixForm, max_iter: int = 20000) -> LPResult:
+    """Solve the LP relaxation of ``form`` with the historical two-phase simplex."""
+    a, b, c, shifts = _standardize(form)
+    m, n = a.shape
+
+    # Make rhs non-negative so artificials give a feasible start.
+    neg = b < 0
+    a[neg] *= -1.0
+    b = b.copy()
+    b[neg] *= -1.0
+
+    # Phase 1 tableau: [A | I_artificial | b]
+    tableau = np.hstack([a, np.eye(m), b.reshape(-1, 1)])
+    basis = np.arange(n, n + m)
+    phase1_cost = np.concatenate([np.zeros(n), np.ones(m)])
+
+    status = _simplex_iterations(tableau, basis, phase1_cost, max_iter)
+    if status is LPStatus.ITERATION_LIMIT:
+        return LPResult(status, None, None)
+    infeasibility = phase1_cost[basis] @ tableau[:, -1]
+    if infeasibility > 1e-6:
+        return LPResult(LPStatus.INFEASIBLE, None, None)
+
+    # Drive any artificial variables out of the basis when possible.
+    for r in range(m):
+        if basis[r] >= n:
+            pivot_col = -1
+            for j in range(n):
+                if abs(tableau[r, j]) > 1e-7:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, r, pivot_col)
+            # else: the row is redundant (all-zero in structural columns).
+
+    # Phase 2: forbid artificials by giving them prohibitive cost, then solve.
+    tableau2 = np.hstack([tableau[:, :n], tableau[:, -1].reshape(-1, 1)])
+    basis2 = basis.copy()
+    redundant = basis2 >= n
+    if np.any(redundant):
+        keep = ~redundant
+        tableau2 = tableau2[keep]
+        basis2 = basis2[keep]
+    status = _simplex_iterations(tableau2, basis2, np.concatenate([c, [0.0]])[:-1], max_iter)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, None, None)
+
+    y = np.zeros(n)
+    for r, var in enumerate(basis2):
+        y[var] = tableau2[r, -1]
+
+    x = np.zeros(len(form.variable_names))
+    for i, s in enumerate(shifts):
+        if s.kind == "shift":
+            x[i] = y[s.columns[0]] + s.offset
+        elif s.kind == "mirror":
+            x[i] = s.offset - y[s.columns[0]]
+        else:
+            x[i] = y[s.columns[0]] - y[s.columns[1]]
+    return LPResult(LPStatus.OPTIMAL, x, form.objective_value(x))
+
+
+def _most_fractional_reference(x: np.ndarray, integer_mask: np.ndarray) -> int | None:
+    """Index of the integer variable farthest from integrality, or None."""
+    best_idx: int | None = None
+    best_frac = _INT_TOL
+    for i in np.flatnonzero(integer_mask):
+        frac = abs(x[i] - round(x[i]))
+        if frac > best_frac:
+            best_frac = frac
+            best_idx = int(i)
+    return best_idx
+
+
+def solve_milp_reference(
+    form: MatrixForm,
+    node_limit: int = 20000,
+    gap_tol: float = 1e-9,
+) -> "MILPResult":
+    """Solve a MILP with the historical cold depth-first branch & bound.
+
+    Branching is depth-first on the most fractional integer variable, with
+    incumbent pruning; every node's LP relaxation is re-solved from a cold
+    two-phase start.  Determinism: ties are broken by variable index, so the
+    search tree (and therefore the reported optimum) is reproducible.
+    """
+    from repro.opt.branch_bound import MILPResult
+
+    if not np.any(form.integer):
+        lp = solve_lp_reference(form)
+        return MILPResult(lp.status, lp.x, lp.objective)
+
+    root = solve_lp_reference(form)
+    if root.status is not LPStatus.OPTIMAL:
+        return MILPResult(root.status, None, None, nodes_explored=1)
+
+    sign = -1.0 if form.flip_objective else 1.0
+
+    def relax_cost(result: LPResult) -> float:
+        # Internal minimization value (lower bound for child nodes).
+        assert result.x is not None
+        return sign * (result.objective - form.objective_constant)  # type: ignore[operator]
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_cost = math.inf
+    nodes = 0
+
+    stack: list[tuple[np.ndarray, np.ndarray, LPResult]] = [
+        (form.lower.copy(), form.upper.copy(), root)
+    ]
+    while stack and nodes < node_limit:
+        lower, upper, lp = stack.pop()
+        nodes += 1
+        assert lp.x is not None
+        bound = relax_cost(lp)
+        if bound >= incumbent_cost - gap_tol:
+            continue
+        branch_var = _most_fractional_reference(lp.x, form.integer)
+        if branch_var is None:
+            x_int = lp.x.copy()
+            x_int[form.integer] = np.round(x_int[form.integer])
+            # form.c is already the internal minimization cost vector.
+            cost = float(form.c @ x_int)
+            if cost < incumbent_cost - gap_tol:
+                incumbent_cost = cost
+                incumbent_x = x_int
+            continue
+
+        value = lp.x[branch_var]
+        floor_v, ceil_v = math.floor(value), math.ceil(value)
+
+        children = []
+        up_upper = upper.copy()
+        up_upper[branch_var] = min(up_upper[branch_var], floor_v)
+        if up_upper[branch_var] >= lower[branch_var] - _INT_TOL:
+            children.append((lower.copy(), up_upper))
+        dn_lower = lower.copy()
+        dn_lower[branch_var] = max(dn_lower[branch_var], ceil_v)
+        if dn_lower[branch_var] <= upper[branch_var] + _INT_TOL:
+            children.append((dn_lower, upper.copy()))
+
+        solved = []
+        for lo, hi in children:
+            child_form = replace(form, lower=lo, upper=hi)
+            child_lp = solve_lp_reference(child_form)
+            if child_lp.status is LPStatus.OPTIMAL:
+                solved.append((relax_cost(child_lp), lo, hi, child_lp))
+        # Explore the more promising child first (it goes last on the stack).
+        solved.sort(key=lambda t: -t[0])
+        for _, lo, hi, child_lp in solved:
+            stack.append((lo, hi, child_lp))
+
+    if incumbent_x is None:
+        status = LPStatus.ITERATION_LIMIT if stack else LPStatus.INFEASIBLE
+        return MILPResult(status, None, None, nodes_explored=nodes)
+    status = LPStatus.ITERATION_LIMIT if stack else LPStatus.OPTIMAL
+    return MILPResult(
+        status,
+        incumbent_x,
+        form.objective_value(incumbent_x),
+        nodes_explored=nodes,
+    )
+
+
+__all__ = ["solve_lp_reference", "solve_milp_reference"]

@@ -1,23 +1,40 @@
-"""Dense two-phase primal simplex.
+"""Bounded-variable revised simplex with warm starts.
 
-A self-contained LP solver used as the fallback backend of
-:mod:`repro.opt` (the paper used Gurobi; our default backend is SciPy's
-HiGHS, and this module removes even that dependency for small problems and
-serves as an independent cross-check in tests).
+A self-contained LP solver used as the in-tree backend of :mod:`repro.opt`
+(the paper used Gurobi; our default backend is SciPy's HiGHS, and this
+module removes even that dependency for small problems and serves as an
+independent cross-check in tests).  The historical dense two-phase tableau
+solver it replaced lives on verbatim in :mod:`repro.opt.reference_solver`
+for equivalence suites and benchmarks.
 
-The solver works on the :class:`~repro.opt.model.MatrixForm` of a model:
+The solver works directly on the :class:`~repro.opt.model.MatrixForm`
 
     min c'x   s.t.  A_ub x <= b_ub,  A_eq x == b_eq,  l <= x <= u
 
-Variables are shifted/split to be non-negative, slack variables turn
-inequalities into equalities, and a phase-1 artificial problem finds an
-initial basic feasible solution.  Bland's rule guarantees termination.
+*without* the old shift/mirror/split standardization: structural variables
+keep their own (possibly infinite) bounds and inequality rows get one slack
+column each, so a variable bound change — the only thing branch & bound
+ever edits — maps 1:1 onto a column of the standing problem.  That is what
+makes warm starts work:
+
+- :class:`Basis` captures a vertex (basic column set + which nonbasic
+  columns sit at their upper bound) and is cheap to store and share;
+- ``solve_lp(form, start=basis)`` re-optimizes from that vertex: primal
+  simplex when the start is still primal feasible (objective updates
+  across sweep variants), dual simplex when only dual feasible (bound
+  changes from branching), and a cold two-phase solve as the fallback.
+
+Pivoting uses Bland-style smallest-index rules throughout — entering
+column, leaving row, and dual leaving/entering ties are all resolved by
+index — so the visited vertex sequence (and therefore the reported
+optimum) is deterministic and cycling is excluded.  The basis inverse is
+maintained by product-form updates and refactorized periodically.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
@@ -25,6 +42,16 @@ import numpy as np
 from repro.opt.model import MatrixForm
 
 _TOL = 1e-9
+_PIV_TOL = 1e-9
+_FEAS_TOL = 1e-8
+_DUAL_TOL = 1e-7
+_REFACTOR_EVERY = 64
+
+# Column states.
+_AT_LOWER = 0
+_AT_UPPER = 1
+_BASIC = 2
+_FREE = 3  # doubly-unbounded nonbasic column parked at zero
 
 
 class LPStatus(Enum):
@@ -36,6 +63,26 @@ class LPStatus(Enum):
     #: proof of infeasibility nor an iteration budget problem — retrying
     #: with a rescaled model can succeed where more iterations cannot.
     NUMERICAL = "numerical_difficulties"
+    #: Branch & bound only: the node budget ran out *with* an integer
+    #: incumbent in hand.  The solution is feasible and usable but not
+    #: proven optimal — callers can tell a usable answer from a dead one.
+    FEASIBLE = "feasible"
+
+
+@dataclass(frozen=True)
+class Basis:
+    """A simplex vertex in standardized column space.
+
+    ``basic`` lists the basic column indices in row order (structural
+    columns first, then one slack column per inequality row);
+    ``at_upper`` lists the nonbasic columns parked at their finite upper
+    bound (all other nonbasic columns sit at their lower bound, or at
+    zero when doubly unbounded).  Hashable and picklable, so it can ride
+    in warm-start caches across solves, sweep variants and processes.
+    """
+
+    basic: tuple[int, ...]
+    at_upper: tuple[int, ...] = ()
 
 
 @dataclass
@@ -45,221 +92,413 @@ class LPResult:
     status: LPStatus
     x: np.ndarray | None
     objective: float | None
+    #: Terminal vertex for warm-starting a related solve; ``None`` when the
+    #: solve did not end at a clean vertex (infeasible/unbounded/limit, or
+    #: a degenerate basis still holding a phase-1 artificial).
+    basis: "Basis | None" = field(default=None, repr=False)
+    #: Simplex pivots spent (all phases).
+    iterations: int = 0
+    #: True when the solve reoptimized from a caller-provided start basis
+    #: instead of running the two-phase cold start.
+    warm_started: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status is LPStatus.OPTIMAL
 
 
-@dataclass
-class _Shift:
-    """How one original variable maps to standard-form column(s)."""
-
-    kind: str  # "shift", "mirror", "split"
-    columns: tuple[int, ...]
-    offset: float
+class _Numerical(Exception):
+    """Internal: basis refactorization failed; caller degrades gracefully."""
 
 
-def _standardize(form: MatrixForm) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[_Shift]]:
-    """Rewrite the LP with non-negative variables only.
+def _build_standard(
+    form: MatrixForm,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Standardize to ``A x = b`` with per-column bounds (no var rewriting).
 
-    Returns ``(A, b, c, shifts)`` for ``min c'y s.t. A y (<=,==) b`` where the
-    first ``len(b_ub')`` rows are inequalities — encoded by the caller — and
-    the variable mapping ``shifts`` recovers original values.
+    Columns ``0..n-1`` are the structural variables with their original
+    bounds; columns ``n..n+n_ub-1`` are slacks in ``[0, inf)`` turning the
+    inequality rows into equalities.  Rows are ordered ub-rows then
+    eq-rows.
     """
     n = len(form.variable_names)
-    shifts: list[_Shift] = []
-    col = 0
-    col_of: list[tuple[int, ...]] = []
-    for i in range(n):
-        lo, hi = form.lower[i], form.upper[i]
-        if math.isfinite(lo):
-            shifts.append(_Shift("shift", (col,), lo))
-            col_of.append((col,))
-            col += 1
-        elif math.isfinite(hi):
-            shifts.append(_Shift("mirror", (col,), hi))
-            col_of.append((col,))
-            col += 1
-        else:
-            shifts.append(_Shift("split", (col, col + 1), 0.0))
-            col_of.append((col, col + 1))
-            col += 2
-    total_cols = col
+    n_ub = form.a_ub.shape[0] if form.a_ub.size else len(form.b_ub)
+    n_eq = form.a_eq.shape[0] if form.a_eq.size else len(form.b_eq)
+    m = n_ub + n_eq
+    a = np.zeros((m, n + n_ub))
+    if form.a_ub.size:
+        a[:n_ub, :n] = form.a_ub
+    if form.a_eq.size:
+        a[n_ub:, :n] = form.a_eq
+    if n_ub:
+        a[np.arange(n_ub), n + np.arange(n_ub)] = 1.0
+    b = np.concatenate([np.asarray(form.b_ub, float), np.asarray(form.b_eq, float)])
+    c = np.concatenate([np.asarray(form.c, float), np.zeros(n_ub)])
+    lower = np.concatenate([np.asarray(form.lower, float), np.zeros(n_ub)])
+    upper = np.concatenate([np.asarray(form.upper, float), np.full(n_ub, np.inf)])
+    return a, b, c, lower, upper, n, n_ub
 
-    def expand_rows(a: np.ndarray) -> np.ndarray:
-        if a.size == 0:
-            return np.zeros((a.shape[0], total_cols))
-        out = np.zeros((a.shape[0], total_cols))
-        for i in range(n):
-            s = shifts[i]
-            if s.kind == "shift":
-                out[:, s.columns[0]] = a[:, i]
-            elif s.kind == "mirror":
-                out[:, s.columns[0]] = -a[:, i]
+
+class _RevisedSimplex:
+    """One standardized problem instance plus the working basis state."""
+
+    def __init__(self, form: MatrixForm):
+        (self.a, self.b, self.cost, self.lower, self.upper, self.n_struct, self.n_ub) = (
+            _build_standard(form)
+        )
+        self.m = self.a.shape[0]
+        self.n_std = self.a.shape[1]  # structural + slack columns
+        self.status = np.empty(self.n_std, dtype=np.int8)
+        self.basic = np.empty(0, dtype=np.intp)
+        self.b_inv = np.empty((self.m, self.m))
+        self.xb = np.empty(0)
+        self.iterations = 0
+        self._last_refactor = 0
+
+    # -- state helpers ---------------------------------------------------------
+
+    def _preferred_status(self) -> np.ndarray:
+        st = np.full(self.a.shape[1], _FREE, dtype=np.int8)
+        st[np.isfinite(self.upper)] = _AT_UPPER
+        st[np.isfinite(self.lower)] = _AT_LOWER  # lower wins when both finite
+        return st
+
+    def _nonbasic_values(self) -> np.ndarray:
+        vals = np.zeros(self.a.shape[1])
+        at_lo = self.status == _AT_LOWER
+        at_up = self.status == _AT_UPPER
+        vals[at_lo] = self.lower[at_lo]
+        vals[at_up] = self.upper[at_up]
+        return vals
+
+    def _recompute_xb(self) -> None:
+        vals = self._nonbasic_values()
+        vals[self.basic] = 0.0
+        self.xb = self.b_inv @ (self.b - self.a @ vals)
+
+    def _refactor(self) -> None:
+        base = self.a[:, self.basic]
+        try:
+            inv = np.linalg.inv(base)
+        except np.linalg.LinAlgError as exc:
+            raise _Numerical from exc
+        if not np.isfinite(inv).all():
+            raise _Numerical
+        self.b_inv = inv
+        self._recompute_xb()
+        self._last_refactor = self.iterations
+
+    def _maybe_refactor(self) -> None:
+        if self.iterations - self._last_refactor >= _REFACTOR_EVERY:
+            self._refactor()
+
+    def _pivot_update(self, row: int, col: int, w: np.ndarray) -> None:
+        """Product-form update of ``b_inv`` for basic[row] := col."""
+        piv = w[row]
+        if abs(piv) < _PIV_TOL:
+            raise _Numerical
+        row_inv = self.b_inv[row] / piv
+        rest = w.copy()
+        rest[row] = 0.0
+        self.b_inv -= np.outer(rest, row_inv)
+        self.b_inv[row] = row_inv
+
+    def primal_feasible(self) -> bool:
+        lb = self.lower[self.basic]
+        ub = self.upper[self.basic]
+        return bool(np.all(self.xb >= lb - _FEAS_TOL) and np.all(self.xb <= ub + _FEAS_TOL))
+
+    def _reduced_costs(self, cost: np.ndarray) -> np.ndarray:
+        y = cost[self.basic] @ self.b_inv
+        return cost - y @ self.a
+
+    def dual_feasible(self, cost: np.ndarray) -> bool:
+        d = self._reduced_costs(cost)
+        bad = (
+            ((self.status == _AT_LOWER) & (d < -_DUAL_TOL))
+            | ((self.status == _AT_UPPER) & (d > _DUAL_TOL))
+            | ((self.status == _FREE) & (np.abs(d) > _DUAL_TOL))
+        )
+        return not bool(bad.any())
+
+    # -- warm install ----------------------------------------------------------
+
+    def install_basis(self, start: Basis) -> bool:
+        """Adopt a caller basis; False when it no longer fits the problem."""
+        basic = np.asarray(start.basic, dtype=np.intp)
+        if basic.size != self.m:
+            return False
+        if basic.size and (
+            basic.min() < 0 or basic.max() >= self.n_std or np.unique(basic).size != basic.size
+        ):
+            return False
+        status = self._preferred_status()
+        for j in start.at_upper:
+            if 0 <= j < self.n_std and math.isfinite(self.upper[j]):
+                status[j] = _AT_UPPER
+        status[basic] = _BASIC
+        base = self.a[:, basic]
+        try:
+            inv = np.linalg.inv(base)
+        except np.linalg.LinAlgError:
+            return False
+        if not np.isfinite(inv).all():
+            return False
+        if self.m and float(np.abs(base @ inv - np.eye(self.m)).max()) > 1e-6:
+            return False
+        self.basic = basic
+        self.status = status
+        self.b_inv = inv
+        self._recompute_xb()
+        self._last_refactor = self.iterations
+        return True
+
+    # -- primal simplex --------------------------------------------------------
+
+    def primal(self, cost: np.ndarray, max_iter: int) -> LPStatus:
+        """Primal simplex from the current (primal feasible) basis."""
+        while True:
+            if self.iterations >= max_iter:
+                return LPStatus.ITERATION_LIMIT
+            self._maybe_refactor()
+            d = self._reduced_costs(cost)
+            st = self.status
+            candidates = (
+                ((st == _AT_LOWER) & (d < -_TOL))
+                | ((st == _AT_UPPER) & (d > _TOL))
+                | ((st == _FREE) & (np.abs(d) > _TOL))
+            )
+            if not candidates.any():
+                return LPStatus.OPTIMAL
+            j = int(np.argmax(candidates))  # Bland: smallest improving index
+            direction = 1.0 if (st[j] == _AT_LOWER or (st[j] == _FREE and d[j] < 0.0)) else -1.0
+            w = self.b_inv @ self.a[:, j]
+            g = direction * w  # xb moves by -t * g for step t >= 0
+            t_arr = np.full(self.m, np.inf)
+            lb = self.lower[self.basic]
+            ub = self.upper[self.basic]
+            pos = g > _PIV_TOL
+            if pos.any():
+                num = np.where(np.isfinite(lb[pos]), self.xb[pos] - lb[pos], np.inf)
+                t_arr[pos] = np.maximum(num, 0.0) / g[pos]
+            neg = g < -_PIV_TOL
+            if neg.any():
+                num = np.where(np.isfinite(ub[neg]), self.xb[neg] - ub[neg], -np.inf)
+                t_arr[neg] = np.maximum(num / g[neg], 0.0)
+            t_basic = float(t_arr.min()) if self.m else np.inf
+            t_self = self.upper[j] - self.lower[j]  # inf unless both bounds finite
+            if t_self <= t_basic:
+                if not np.isfinite(t_self):
+                    return LPStatus.UNBOUNDED
+                # Bound flip: the entering column hits its own opposite
+                # bound first; no basis change.
+                self.xb -= t_self * g
+                self.status[j] = _AT_UPPER if st[j] == _AT_LOWER else _AT_LOWER
+                self.iterations += 1
+                continue
+            ties = np.flatnonzero(t_arr <= t_basic + _TOL)
+            r = int(ties[np.argmin(self.basic[ties])])  # Bland: smallest leaving var
+            t = max(t_basic, 0.0)
+            self.xb -= t * g
+            if st[j] == _AT_LOWER:
+                entering_value = self.lower[j] + t
+            elif st[j] == _AT_UPPER:
+                entering_value = self.upper[j] - t
             else:
-                out[:, s.columns[0]] = a[:, i]
-                out[:, s.columns[1]] = -a[:, i]
-        return out
+                entering_value = direction * t
+            leaving = int(self.basic[r])
+            self._pivot_update(r, j, w)
+            self.basic[r] = j
+            self.status[leaving] = _AT_LOWER if g[r] > 0.0 else _AT_UPPER
+            self.status[j] = _BASIC
+            self.xb[r] = entering_value
+            self.iterations += 1
 
-    def shift_rhs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        if a.size == 0:
-            return b.copy()
-        adjust = np.zeros(a.shape[0])
-        for i in range(n):
-            s = shifts[i]
-            if s.kind == "shift":
-                adjust += a[:, i] * s.offset
-            elif s.kind == "mirror":
-                adjust += a[:, i] * s.offset
-        return b - adjust
+    # -- dual simplex ----------------------------------------------------------
 
-    a_ub = expand_rows(form.a_ub)
-    b_ub = shift_rhs(form.a_ub, form.b_ub)
-    a_eq = expand_rows(form.a_eq)
-    b_eq = shift_rhs(form.a_eq, form.b_eq)
+    def dual(self, cost: np.ndarray, max_iter: int) -> LPStatus:
+        """Dual simplex from the current (dual feasible) basis.
 
-    # Finite upper bounds of shifted variables become extra <= rows.
-    extra_rows = []
-    extra_rhs = []
-    for i in range(n):
-        lo, hi = form.lower[i], form.upper[i]
-        if math.isfinite(lo) and math.isfinite(hi):
-            row = np.zeros(total_cols)
-            row[shifts[i].columns[0]] = 1.0
-            extra_rows.append(row)
-            extra_rhs.append(hi - lo)
-    if extra_rows:
-        a_ub = np.vstack([a_ub, np.array(extra_rows)])
-        b_ub = np.concatenate([b_ub, np.array(extra_rhs)])
+        Drives primal bound violations out row by row; the standard tool
+        for reoptimizing after branch & bound tightens a variable bound,
+        which keeps the parent's basis dual feasible but usually not
+        primal feasible.
+        """
+        while True:
+            if self.iterations >= max_iter:
+                return LPStatus.ITERATION_LIMIT
+            self._maybe_refactor()
+            lb = self.lower[self.basic]
+            ub = self.upper[self.basic]
+            low_viol = self.xb < lb - _FEAS_TOL
+            up_viol = self.xb > ub + _FEAS_TOL
+            viol = low_viol | up_viol
+            if not viol.any():
+                return LPStatus.OPTIMAL
+            rows = np.flatnonzero(viol)
+            r = int(rows[np.argmin(self.basic[rows])])  # smallest leaving var
+            below = bool(low_viol[r])
+            d = self._reduced_costs(cost)
+            alpha = self.b_inv[r] @ self.a
+            st = self.status
+            if below:  # xb[r] must increase
+                can = ((st == _AT_LOWER) & (alpha < -_PIV_TOL)) | (
+                    (st == _AT_UPPER) & (alpha > _PIV_TOL)
+                )
+            else:  # xb[r] must decrease
+                can = ((st == _AT_LOWER) & (alpha > _PIV_TOL)) | (
+                    (st == _AT_UPPER) & (alpha < -_PIV_TOL)
+                )
+            can |= (st == _FREE) & (np.abs(alpha) > _PIV_TOL)
+            if not can.any():
+                return LPStatus.INFEASIBLE
+            idx = np.flatnonzero(can)
+            ratios = np.abs(d[idx]) / np.abs(alpha[idx])
+            best = float(ratios.min())
+            j = int(idx[ratios <= best + _TOL].min())  # smallest entering index
+            target = lb[r] if below else ub[r]
+            s = (self.xb[r] - target) / alpha[j]  # signed step of the entering var
+            rng = self.upper[j] - self.lower[j]
+            if st[j] != _FREE and np.isfinite(rng) and abs(s) > rng + _TOL:
+                # Dual bound flip: the entering column saturates its own
+                # range before curing row r; flip it and try again.
+                step = math.copysign(rng, s)
+                w = self.b_inv @ self.a[:, j]
+                self.xb -= step * w
+                self.status[j] = _AT_UPPER if st[j] == _AT_LOWER else _AT_LOWER
+                self.iterations += 1
+                continue
+            w = self.b_inv @ self.a[:, j]
+            self.xb -= s * w
+            if st[j] == _AT_LOWER:
+                entering_value = self.lower[j] + s
+            elif st[j] == _AT_UPPER:
+                entering_value = self.upper[j] + s
+            else:
+                entering_value = s
+            leaving = int(self.basic[r])
+            self._pivot_update(r, j, w)
+            self.basic[r] = j
+            self.status[leaving] = _AT_LOWER if below else _AT_UPPER
+            self.status[j] = _BASIC
+            self.xb[r] = entering_value
+            self.iterations += 1
 
-    c = np.zeros(total_cols)
-    for i in range(n):
-        s = shifts[i]
-        if s.kind == "shift":
-            c[s.columns[0]] += form.c[i]
-        elif s.kind == "mirror":
-            c[s.columns[0]] -= form.c[i]
-        else:
-            c[s.columns[0]] += form.c[i]
-            c[s.columns[1]] -= form.c[i]
+    # -- cold start ------------------------------------------------------------
 
-    n_ub = a_ub.shape[0]
-    # Append slack variables for the inequality rows.
-    a = np.hstack([np.vstack([a_ub, a_eq]), np.zeros((n_ub + a_eq.shape[0], n_ub))])
-    for r in range(n_ub):
-        a[r, total_cols + r] = 1.0
-    b = np.concatenate([b_ub, b_eq])
-    c_full = np.concatenate([c, np.zeros(n_ub)])
-    return a, b, c_full, shifts
+    def cold_solve(self, max_iter: int) -> LPStatus:
+        """Two-phase solve: slack/artificial start, then the real objective."""
+        self.status = self._preferred_status()
+        vals = self._nonbasic_values()
+        resid = self.b - self.a @ vals
+
+        basic = np.empty(self.m, dtype=np.intp)
+        art_rows: list[int] = []
+        art_signs: list[float] = []
+        for i in range(self.m):
+            if i < self.n_ub and resid[i] >= 0.0:
+                basic[i] = self.n_struct + i  # the row's own slack, feasible
+            else:
+                art_rows.append(i)
+                art_signs.append(1.0 if resid[i] >= 0.0 else -1.0)
+        n_art = len(art_rows)
+        if n_art:
+            art = np.zeros((self.m, n_art))
+            art[art_rows, np.arange(n_art)] = art_signs
+            self.a = np.hstack([self.a, art])
+            self.cost = np.concatenate([self.cost, np.zeros(n_art)])
+            self.lower = np.concatenate([self.lower, np.zeros(n_art)])
+            self.upper = np.concatenate([self.upper, np.full(n_art, np.inf)])
+            self.status = np.concatenate(
+                [self.status, np.full(n_art, _AT_LOWER, dtype=np.int8)]
+            )
+            basic[art_rows] = self.n_std + np.arange(n_art)
+
+        self.basic = basic
+        self.status[basic] = _BASIC
+        # The start basis is diagonal (slacks are +e_i, artificials ±e_i).
+        self.b_inv = np.eye(self.m)
+        if n_art:
+            self.b_inv[art_rows, art_rows] = art_signs
+        self._recompute_xb()
+        self._last_refactor = self.iterations
+
+        if n_art:
+            phase1 = np.zeros(self.a.shape[1])
+            phase1[self.n_std :] = 1.0
+            status = self.primal(phase1, max_iter)
+            if status is LPStatus.ITERATION_LIMIT:
+                return status
+            infeasibility = float(phase1[self.basic] @ self.xb)
+            if infeasibility > 1e-6:
+                return LPStatus.INFEASIBLE
+            # Pin artificials at zero for phase 2: basic ones stay (at
+            # value 0, boxed so they can never move off it), nonbasic ones
+            # sit at lower.
+            self.upper[self.n_std :] = 0.0
+        return self.primal(self.cost, max_iter)
+
+    # -- result assembly -------------------------------------------------------
+
+    def finish(self, form: MatrixForm, status: LPStatus, warm: bool) -> LPResult:
+        if status is not LPStatus.OPTIMAL:
+            return LPResult(status, None, None, iterations=self.iterations, warm_started=warm)
+        vals = self._nonbasic_values()
+        vals[self.basic] = self.xb
+        x = vals[: self.n_struct].copy()
+        basis: Basis | None = None
+        if not (self.basic >= self.n_std).any():
+            at_upper = np.flatnonzero(self.status[: self.n_std] == _AT_UPPER)
+            basis = Basis(
+                basic=tuple(int(i) for i in self.basic),
+                at_upper=tuple(int(i) for i in at_upper),
+            )
+        return LPResult(
+            LPStatus.OPTIMAL,
+            x,
+            form.objective_value(x),
+            basis=basis,
+            iterations=self.iterations,
+            warm_started=warm,
+        )
 
 
-def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
-    """In-place Gauss-Jordan pivot on (row, col)."""
-    tableau[row] /= tableau[row, col]
-    for r in range(tableau.shape[0]):
-        if r != row and abs(tableau[r, col]) > _TOL:
-            tableau[r] -= tableau[r, col] * tableau[row]
-    basis[row] = col
+def solve_lp(
+    form: MatrixForm,
+    max_iter: int = 20000,
+    start: Basis | None = None,
+) -> LPResult:
+    """Solve the LP relaxation of ``form``, optionally from a start basis.
 
-
-def _simplex_iterations(
-    tableau: np.ndarray,
-    basis: np.ndarray,
-    cost: np.ndarray,
-    max_iter: int,
-) -> LPStatus:
-    """Run primal simplex on an equality tableau with basic feasible start.
-
-    ``tableau`` is (m, n+1) with the rhs in the last column; ``cost`` is the
-    reduced-cost row maintained by the caller convention: we recompute reduced
-    costs each iteration from ``cost`` and the basis (simple and robust for
-    the small systems this solver targets).
+    With ``start`` the solver re-optimizes instead of starting cold:
+    primal simplex when the vertex is still primal feasible (typical after
+    an objective/coefficient update across sweep variants), dual simplex
+    when only dual feasible (typical after a branch & bound bound change).
+    A start that no longer fits — wrong size, singular, neither feasible —
+    silently degrades to the cold two-phase solve, so warm hints are never
+    required for correctness.
     """
-    m, width = tableau.shape
-    n = width - 1
-    for _ in range(max_iter):
-        cb = cost[basis]
-        # Reduced costs: c_j - cb' B^-1 A_j; tableau rows are already B^-1 A.
-        reduced = cost[:n] - cb @ tableau[:, :n]
-        entering = -1
-        for j in range(n):  # Bland's rule: first improving index
-            if reduced[j] < -_TOL:
-                entering = j
-                break
-        if entering < 0:
-            return LPStatus.OPTIMAL
-        ratios = np.full(m, np.inf)
-        col = tableau[:, entering]
-        positive = col > _TOL
-        ratios[positive] = tableau[positive, n] / col[positive]
-        if not np.any(np.isfinite(ratios)):
-            return LPStatus.UNBOUNDED
-        best = np.min(ratios)
-        # Bland tie-break: smallest basis index among minimal ratios.
-        candidates = [r for r in range(m) if ratios[r] <= best + _TOL]
-        leaving = min(candidates, key=lambda r: basis[r])
-        _pivot(tableau, basis, leaving, entering)
-    return LPStatus.ITERATION_LIMIT
+    if start is not None:
+        solver = _RevisedSimplex(form)
+        if solver.install_basis(start):
+            outcome: LPStatus | None = None
+            try:
+                if solver.primal_feasible():
+                    outcome = solver.primal(solver.cost, max_iter)
+                elif solver.dual_feasible(solver.cost):
+                    outcome = solver.dual(solver.cost, max_iter)
+            except _Numerical:
+                outcome = None
+            if outcome in (LPStatus.OPTIMAL, LPStatus.UNBOUNDED, LPStatus.INFEASIBLE):
+                return solver.finish(form, outcome, warm=True)
+            # Iteration limit or numerical trouble on the warm path: retry
+            # cold rather than reporting a warm-start artifact.
+    solver = _RevisedSimplex(form)
+    try:
+        status = solver.cold_solve(max_iter)
+    except _Numerical:
+        return LPResult(LPStatus.NUMERICAL, None, None, iterations=solver.iterations)
+    return solver.finish(form, status, warm=False)
 
 
-def solve_lp(form: MatrixForm, max_iter: int = 20000) -> LPResult:
-    """Solve the LP relaxation of ``form`` with two-phase simplex."""
-    a, b, c, shifts = _standardize(form)
-    m, n = a.shape
-
-    # Make rhs non-negative so artificials give a feasible start.
-    neg = b < 0
-    a[neg] *= -1.0
-    b = b.copy()
-    b[neg] *= -1.0
-
-    # Phase 1 tableau: [A | I_artificial | b]
-    tableau = np.hstack([a, np.eye(m), b.reshape(-1, 1)])
-    basis = np.arange(n, n + m)
-    phase1_cost = np.concatenate([np.zeros(n), np.ones(m)])
-
-    status = _simplex_iterations(tableau, basis, phase1_cost, max_iter)
-    if status is LPStatus.ITERATION_LIMIT:
-        return LPResult(status, None, None)
-    infeasibility = phase1_cost[basis] @ tableau[:, -1]
-    if infeasibility > 1e-6:
-        return LPResult(LPStatus.INFEASIBLE, None, None)
-
-    # Drive any artificial variables out of the basis when possible.
-    for r in range(m):
-        if basis[r] >= n:
-            pivot_col = -1
-            for j in range(n):
-                if abs(tableau[r, j]) > 1e-7:
-                    pivot_col = j
-                    break
-            if pivot_col >= 0:
-                _pivot(tableau, basis, r, pivot_col)
-            # else: the row is redundant (all-zero in structural columns).
-
-    # Phase 2: forbid artificials by giving them prohibitive cost, then solve.
-    tableau2 = np.hstack([tableau[:, :n], tableau[:, -1].reshape(-1, 1)])
-    basis2 = basis.copy()
-    redundant = basis2 >= n
-    if np.any(redundant):
-        keep = ~redundant
-        tableau2 = tableau2[keep]
-        basis2 = basis2[keep]
-    status = _simplex_iterations(tableau2, basis2, np.concatenate([c, [0.0]])[:-1], max_iter)
-    if status is not LPStatus.OPTIMAL:
-        return LPResult(status, None, None)
-
-    y = np.zeros(n)
-    for r, var in enumerate(basis2):
-        y[var] = tableau2[r, -1]
-
-    x = np.zeros(len(form.variable_names))
-    for i, s in enumerate(shifts):
-        if s.kind == "shift":
-            x[i] = y[s.columns[0]] + s.offset
-        elif s.kind == "mirror":
-            x[i] = s.offset - y[s.columns[0]]
-        else:
-            x[i] = y[s.columns[0]] - y[s.columns[1]]
-    return LPResult(LPStatus.OPTIMAL, x, form.objective_value(x))
+__all__ = ["Basis", "LPResult", "LPStatus", "solve_lp"]

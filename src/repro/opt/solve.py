@@ -1,20 +1,68 @@
 """Backend dispatch for :class:`~repro.opt.model.Model`.
 
-``solve(model)`` picks the SciPy/HiGHS backend by default and the
-pure-Python simplex + branch & bound with ``backend="pure"``.  Both return a
-:class:`Solution` mapping variable names to values, so the EffiTest core is
-completely solver-agnostic (the paper's framework treats Gurobi the same
-way).
+``solve(model)`` picks the SciPy/HiGHS backend by default, the pure-Python
+revised simplex + branch & bound with ``backend="pure"``, and a **solver
+portfolio** with ``backend="auto"``: per problem size and integrality
+profile it routes small models to the in-tree solver (whose per-call
+overhead is tiny and which can warm-start) and large or binary-heavy
+models to HiGHS.  All paths return a :class:`Solution` mapping variable
+names to values, so the EffiTest core is completely solver-agnostic (the
+paper's framework treats Gurobi the same way), and every solve carries a
+:class:`SolveStats` record — nodes, pivots, basis-reuse rate, the backend
+chosen — that the offline stage surfaces through ``Preparation`` timing
+metadata.
+
+``solve_matrix_form`` is the lower-level entry used by the precompiled
+models (:class:`~repro.core.alignment.CompiledAlignmentModel`,
+:class:`~repro.core.holdtime.CompiledHoldBoundModel`): it takes a
+ready-made :class:`~repro.opt.model.MatrixForm` plus an optional
+:class:`~repro.opt.warmstart.WarmStartCache` and threads bases and
+incumbents across structurally identical solves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.opt.branch_bound import solve_milp
-from repro.opt.model import Model
+from repro.opt.model import MatrixForm, Model
+from repro.opt.reference_solver import solve_lp_reference, solve_milp_reference
 from repro.opt.scipy_backend import solve_lp_scipy, solve_milp_scipy
 from repro.opt.simplex import LPStatus, solve_lp
+from repro.opt.warmstart import WarmHint, WarmStartCache
+
+_BACKENDS = ("scipy", "pure", "auto", "reference")
+
+# Portfolio thresholds (rows + columns of the standardized problem).  The
+# in-tree revised simplex beats HiGHS below these sizes because SciPy's
+# per-call overhead (model translation, process-level setup) dominates
+# sub-millisecond solves; above them HiGHS's sparse factorizations win.
+# Binary-heavy MILPs go to HiGHS earlier: B&B node counts grow with the
+# integer dimension regardless of matrix size.
+_AUTO_LP_SIZE = 240
+_AUTO_MILP_SIZE = 200
+_AUTO_MILP_INTEGERS = 24
+
+
+@dataclass
+class SolveStats:
+    """Per-solve observability: what ran, how hard, and how warm."""
+
+    backend: str
+    is_mip: bool
+    nodes: int = 0
+    simplex_iterations: int = 0
+    lp_solves: int = 0
+    basis_reuses: int = 0
+    warm_hint_used: bool = False
+    seconds: float = 0.0
+
+    @property
+    def basis_reuse_rate(self) -> float:
+        return self.basis_reuses / self.lp_solves if self.lp_solves else 0.0
 
 
 @dataclass
@@ -24,18 +72,31 @@ class Solution:
     status: LPStatus
     values: dict[str, float]
     objective: float | None
+    stats: SolveStats | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
         return self.status is LPStatus.OPTIMAL
 
     @property
+    def usable(self) -> bool:
+        """True when the values are feasible — proven optimal or not.
+
+        ``FEASIBLE`` (branch & bound ran out of node budget holding an
+        integer incumbent) is usable-but-unproven; everything else usable
+        is ``OPTIMAL``.
+        """
+        return self.status in (LPStatus.OPTIMAL, LPStatus.FEASIBLE)
+
+    @property
     def failure_reason(self) -> str | None:
         """Human-readable reason when not ``ok`` (``None`` on success).
 
-        Distinguishes ``"numerical_difficulties"`` (HiGHS gave up on an
-        ill-conditioned model — rescale and retry) from
-        ``"iteration_limit"`` (raise the budget) and the infeasible /
+        Distinguishes ``"feasible"`` (node budget ran out but an integer
+        incumbent is in hand — the values are usable, just not proven
+        optimal) from ``"iteration_limit"`` (nothing usable; raise the
+        budget), ``"numerical_difficulties"`` (HiGHS gave up on an
+        ill-conditioned model — rescale and retry) and the infeasible /
         unbounded verdicts.
         """
         return None if self.ok else self.status.value
@@ -47,24 +108,116 @@ class Solution:
         return self.values.get(name, default)
 
 
-def solve(model: Model, backend: str = "scipy") -> Solution:
-    """Solve ``model`` and return a :class:`Solution`.
+def _problem_size(form: MatrixForm) -> int:
+    rows = form.a_ub.shape[0] + form.a_eq.shape[0]
+    return rows + len(form.variable_names)
 
-    ``backend`` is ``"scipy"`` (HiGHS, default) or ``"pure"`` (this
-    library's simplex/branch & bound).
+
+def choose_backend(form: MatrixForm, warm_hint: bool = False) -> str:
+    """Resolve ``"auto"`` to a concrete backend for ``form``.
+
+    Deterministic in the problem alone (plus whether a warm hint exists:
+    HiGHS cannot consume one, so a hint shifts the tipping point toward
+    the in-tree solver).
     """
-    if backend not in ("scipy", "pure"):
-        raise ValueError(f"unknown backend {backend!r}; use 'scipy' or 'pure'")
-    form = model.to_matrix_form()
-    if backend == "scipy":
-        result = solve_milp_scipy(form) if model.is_mip else solve_lp_scipy(form)
+    size = _problem_size(form)
+    if bool(np.any(form.integer)):
+        n_int = int(np.count_nonzero(form.integer))
+        if n_int <= _AUTO_MILP_INTEGERS and (size <= _AUTO_MILP_SIZE or warm_hint):
+            return "pure"
+        return "scipy"
+    if size <= _AUTO_LP_SIZE or warm_hint:
+        return "pure"
+    return "scipy"
+
+
+def solve_matrix_form(
+    form: MatrixForm,
+    backend: str = "auto",
+    *,
+    warm: WarmStartCache | None = None,
+    node_limit: int = 20000,
+) -> Solution:
+    """Solve a ready-made matrix form, threading warm starts when given.
+
+    With ``warm``, the cache is consulted under the form's
+    :meth:`~repro.opt.model.MatrixForm.structure_fingerprint` before the
+    solve and updated with the terminal basis/incumbent after it — the
+    mechanism by which sweep variants start from the previous variant's
+    vertex.  Only the in-tree backend can consume hints; ``"auto"``
+    accounts for that when routing.
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; use one of {_BACKENDS}")
+    is_mip = bool(np.any(form.integer))
+    fingerprint: str | None = None
+    hint: WarmHint | None = None
+    if warm is not None and backend in ("auto", "pure"):
+        fingerprint = form.structure_fingerprint()
+        hint = warm.get(fingerprint)
+    chosen = choose_backend(form, warm_hint=hint is not None) if backend == "auto" else backend
+
+    start = time.perf_counter()
+    stats = SolveStats(backend=chosen, is_mip=is_mip)
+    new_hint: WarmHint | None = None
+    if chosen == "scipy":
+        result = solve_milp_scipy(form) if is_mip else solve_lp_scipy(form)
         x, status, obj = result.x, result.status, result.objective
-    elif model.is_mip:
-        milp = solve_milp(form)
+    elif chosen == "reference":
+        if is_mip:
+            ref = solve_milp_reference(form, node_limit=node_limit)
+            x, status, obj = ref.x, ref.status, ref.objective
+            stats.nodes = ref.nodes_explored
+        else:
+            lp_ref = solve_lp_reference(form)
+            x, status, obj = lp_ref.x, lp_ref.status, lp_ref.objective
+    elif is_mip:
+        milp = solve_milp(
+            form,
+            node_limit=node_limit,
+            warm_basis=None if hint is None else hint.basis,
+            warm_incumbent=None if hint is None else hint.x,
+        )
         x, status, obj = milp.x, milp.status, milp.objective
+        stats.nodes = milp.nodes_explored
+        stats.simplex_iterations = milp.simplex_iterations
+        stats.lp_solves = milp.lp_solves
+        stats.basis_reuses = milp.basis_reuses
+        stats.warm_hint_used = milp.warm_hint_used
+        if milp.usable:
+            new_hint = WarmHint(basis=milp.root_basis, x=milp.x, objective=milp.objective)
     else:
-        lp = solve_lp(form)
+        lp = solve_lp(form, start=None if hint is None else hint.basis)
         x, status, obj = lp.x, lp.status, lp.objective
+        stats.simplex_iterations = lp.iterations
+        stats.lp_solves = 1
+        stats.basis_reuses = int(lp.warm_started)
+        stats.warm_hint_used = lp.warm_started
+        if lp.ok:
+            new_hint = WarmHint(basis=lp.basis, x=lp.x, objective=lp.objective)
+    stats.seconds = time.perf_counter() - start
+
+    if warm is not None and fingerprint is not None and new_hint is not None:
+        warm.put(fingerprint, new_hint)
 
     values = form.assignment(x) if x is not None else {}
-    return Solution(status, values, obj)
+    return Solution(status, values, obj, stats=stats)
+
+
+def solve(
+    model: Model,
+    backend: str = "scipy",
+    *,
+    warm: WarmStartCache | None = None,
+) -> Solution:
+    """Solve ``model`` and return a :class:`Solution`.
+
+    ``backend`` is ``"scipy"`` (HiGHS, the default), ``"pure"`` (this
+    library's revised simplex / branch & bound), ``"auto"`` (the size- and
+    integrality-based portfolio) or ``"reference"`` (the historical dense
+    solvers, for A/B checks).
+    """
+    return solve_matrix_form(model.to_matrix_form(), backend, warm=warm)
+
+
+__all__ = ["Solution", "SolveStats", "choose_backend", "solve", "solve_matrix_form"]

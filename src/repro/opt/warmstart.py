@@ -1,0 +1,134 @@
+"""Warm-start cache: bases and incumbents keyed by model structure.
+
+Sweep variants of one circuit (nearby clock periods, different Monte-Carlo
+seeds, perturbed delay models) produce MILPs that share *structure* —
+variable layout, constraint sparsity, integrality, bound finiteness —
+while differing in every coefficient.  The optimal basis and integer
+incumbent of one variant are therefore excellent (though never trusted:
+always re-validated) starting points for the next.
+
+:class:`WarmStartCache` maps
+:meth:`~repro.opt.model.MatrixForm.structure_fingerprint` to the last
+:class:`WarmHint` seen for that structure.  It is an LRU with a small
+bound — hints are a few hundred bytes each, but unbounded growth across a
+long sweep serves nothing: only the most recent variant per structure is
+useful.  Thread-safe, because one :class:`~repro.api.engine.Engine` shares
+a single cache across its pool of offline computations.
+
+Soundness note: a warm hint changes only *where the solver starts*, never
+where it provably ends — `solve_lp` re-validates the basis against the
+current problem and falls back to a cold solve, and `solve_milp` checks a
+hinted incumbent against the current constraints before admitting it.
+Optima are pinned identical warm-vs-cold by the equivalence tests and
+``benchmarks/bench_offline.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.opt.simplex import Basis
+
+
+@dataclass(frozen=True)
+class WarmHint:
+    """What one solve leaves behind for the next structurally equal one."""
+
+    #: Root-relaxation (LP: terminal) basis, or None when the solve ended
+    #: without a clean vertex.
+    basis: Basis | None
+    #: Best integer point found (MILP) / optimal point (LP); re-validated
+    #: against the new problem's constraints before use.
+    x: np.ndarray | None = None
+    objective: float | None = None
+
+
+@dataclass(frozen=True)
+class WarmStats:
+    """Counters exposed for tests and benchmark reporting."""
+
+    hits: int
+    misses: int
+    stores: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class WarmStartCache:
+    """Small thread-safe LRU of :class:`WarmHint` by structure fingerprint."""
+
+    max_entries: int = 256
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _hits: int = 0
+    _misses: int = 0
+    _stores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, fingerprint: str) -> WarmHint | None:
+        with self._lock:
+            hint = self._entries.get(fingerprint)
+            if hint is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self._hits += 1
+            return hint
+
+    def peek(self, fingerprint: str) -> WarmHint | None:
+        """Read without touching LRU order or hit/miss counters.
+
+        For callers that *transform* a hint before the real lookup (e.g.
+        a compiled model repairing a stale incumbent for new coefficients)
+        — the subsequent :meth:`get` inside the solver does the counting.
+        """
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def put(self, fingerprint: str, hint: WarmHint) -> None:
+        if hint.basis is None and hint.x is None:
+            return  # nothing worth remembering
+        x = None if hint.x is None else np.array(hint.x, float, copy=True)
+        stored = WarmHint(basis=hint.basis, x=x, objective=hint.objective)
+        with self._lock:
+            self._entries[fingerprint] = stored
+            self._entries.move_to_end(fingerprint)
+            self._stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    @property
+    def stats(self) -> WarmStats:
+        with self._lock:
+            return WarmStats(
+                hits=self._hits,
+                misses=self._misses,
+                stores=self._stores,
+                size=len(self._entries),
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._stores = 0
+
+
+__all__ = ["WarmHint", "WarmStartCache", "WarmStats"]

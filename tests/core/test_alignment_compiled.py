@@ -1,0 +1,187 @@
+"""Tests for the precompiled eqs. 7-14 alignment model.
+
+Three contracts: (1) with all-finite centers the compiled matrix arrays
+are *bit-identical* to the dynamic ``Model``/``LinExpr`` encoding, so any
+backend answers the same for both; (2) NaN centers keep the matrix shape
+(weight/centre zeroed) without moving the optimum; (3) the warm-start
+cache plus the repaired-incumbent path accelerates coefficient-variant
+re-solves without ever changing the attained optimum value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import (
+    BatchAlignment,
+    CompiledAlignmentModel,
+    _alignment_model,
+    solve_alignment_milp,
+)
+from repro.opt.warmstart import WarmStartCache
+
+
+def make_spec(
+    n_buffers=3,
+    n_paths=4,
+    grid=(-2.0, 2.0, 9),
+    pair_lower=(),
+) -> BatchAlignment:
+    rng = np.random.default_rng(17)
+    grids = tuple(
+        np.linspace(grid[0], grid[1], grid[2]) for _ in range(n_buffers)
+    )
+    src = rng.integers(-1, n_buffers, n_paths).astype(np.intp)
+    snk = rng.integers(-1, n_buffers, n_paths).astype(np.intp)
+    return BatchAlignment(
+        src_buffer=src,
+        snk_buffer=snk,
+        base_shift=rng.normal(0.0, 0.5, n_paths),
+        grids=grids,
+        lower_bounds=np.full(n_buffers, grid[0]),
+        upper_bounds=np.full(n_buffers, grid[1]),
+        pair_lower=tuple(pair_lower),
+        buffer_names=tuple(f"B{i}" for i in range(n_buffers)),
+    )
+
+
+def coefficients(spec, seed=3):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(1.5, 0.4, spec.n_paths)
+    weights = rng.uniform(0.5, 2.0, spec.n_paths)
+    return centers, weights
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("formulation", ["compact", "paper"])
+    def test_matches_dynamic_encoding(self, formulation):
+        spec = make_spec()
+        centers, weights = coefficients(spec)
+        dynamic, _ = _alignment_model(spec, centers, weights, formulation)
+        dyn_form = dynamic.to_matrix_form()
+        form = CompiledAlignmentModel(spec, formulation).load(centers, weights)
+        assert form.variable_names == dyn_form.variable_names
+        for name in ("c", "b_ub", "a_ub", "a_eq", "b_eq", "lower", "upper"):
+            assert np.array_equal(getattr(form, name), getattr(dyn_form, name)), name
+        assert np.array_equal(form.integer, dyn_form.integer)
+
+    @pytest.mark.parametrize("formulation", ["compact", "paper"])
+    def test_reload_is_idempotent(self, formulation):
+        spec = make_spec()
+        compiled = CompiledAlignmentModel(spec, formulation)
+        c1, w1 = coefficients(spec, seed=3)
+        c2, w2 = coefficients(spec, seed=4)
+        compiled.load(c1, w1)
+        compiled.load(c2, w2)
+        again = compiled.load(c1, w1)
+        dynamic, _ = _alignment_model(spec, c1, w1, formulation)
+        dyn_form = dynamic.to_matrix_form()
+        assert np.array_equal(again.a_ub, dyn_form.a_ub)
+        assert np.array_equal(again.b_ub, dyn_form.b_ub)
+
+    def test_fingerprint_stable_across_loads(self):
+        spec = make_spec()
+        compiled = CompiledAlignmentModel(spec)
+        prints = set()
+        for seed in range(4):
+            c, w = coefficients(spec, seed=seed)
+            prints.add(compiled.load(c, w).structure_fingerprint())
+        assert len(prints) == 1
+
+    def test_unknown_formulation(self):
+        with pytest.raises(ValueError, match="formulation"):
+            CompiledAlignmentModel(make_spec(), "exotic")
+
+    def test_bad_shapes_rejected(self):
+        spec = make_spec()
+        with pytest.raises(ValueError, match="per batch path"):
+            CompiledAlignmentModel(spec).load(np.zeros(1), np.zeros(1))
+
+
+class TestSolveEquivalence:
+    @pytest.mark.parametrize("formulation", ["compact", "paper"])
+    def test_matches_reference_solver(self, formulation):
+        spec = make_spec()
+        centers, weights = coefficients(spec)
+        _, _, ref = solve_alignment_milp(
+            spec, centers, weights, formulation=formulation, backend="reference"
+        )
+        _, _, new = CompiledAlignmentModel(spec, formulation).solve(
+            centers, weights, backend="auto"
+        )
+        assert new.objective == pytest.approx(ref.objective, abs=1e-7)
+
+    def test_nan_centers_match_dynamic_optimum(self):
+        """NaN paths stay in the matrix with weight 0 — same (T, x) optimum."""
+        spec = make_spec()
+        centers, weights = coefficients(spec)
+        centers = centers.copy()
+        centers[1] = np.nan
+        _, _, ref = solve_alignment_milp(spec, centers, weights)
+        _, _, new = CompiledAlignmentModel(spec).solve(centers, weights)
+        # Tie-vertex discipline: different encodings may park a tied
+        # optimum at different (T, x) vertices; the value must agree.
+        assert new.objective == pytest.approx(ref.objective, abs=1e-7)
+
+    def test_all_nan_centers_solve(self):
+        spec = make_spec()
+        _, weights = coefficients(spec)
+        T, x, solution = CompiledAlignmentModel(spec).solve(
+            np.full(spec.n_paths, np.nan), weights
+        )
+        assert solution.ok and solution.objective == pytest.approx(0.0)
+
+
+class TestWarmVariants:
+    def variants(self, spec, n=3):
+        rng = np.random.default_rng(29)
+        return [
+            (rng.normal(1.5, 0.3, spec.n_paths), rng.uniform(0.5, 2.0, spec.n_paths))
+            for _ in range(n)
+        ]
+
+    def test_repaired_incumbent_is_consumed(self):
+        spec = make_spec(n_buffers=4, n_paths=6)
+        compiled = CompiledAlignmentModel(spec)
+        cache = WarmStartCache()
+        used = []
+        for centers, weights in self.variants(spec):
+            _, _, solution = compiled.solve(
+                centers, weights, backend="pure", warm=cache
+            )
+            used.append(solution.stats.warm_hint_used)
+        assert not used[0]  # first solve is cold
+        assert all(used[1:])  # repaired incumbents accepted afterwards
+
+    def test_warm_optimum_equals_cold(self):
+        spec = make_spec(n_buffers=4, n_paths=6)
+        compiled = CompiledAlignmentModel(spec)
+        cache = WarmStartCache()
+        for centers, weights in self.variants(spec):
+            _, _, warm = compiled.solve(centers, weights, backend="pure", warm=cache)
+            _, _, cold = CompiledAlignmentModel(spec).solve(
+                centers, weights, backend="pure"
+            )
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_repair_produces_feasible_point(self):
+        spec = make_spec(n_buffers=4, n_paths=6)
+        compiled = CompiledAlignmentModel(spec)
+        (c1, w1), (c2, w2) = self.variants(spec, n=2)
+        _, _, first = compiled.solve(c1, w1, backend="pure")
+        hint = np.array(
+            [first.values[name] for name in compiled.form.variable_names]
+        )
+        form = compiled.load(c2, w2)
+        repaired = compiled._repair_incumbent(hint)
+        assert repaired is not None
+        slack = form.b_ub - form.a_ub @ repaired
+        assert slack.min() >= -1e-7
+        assert np.all(repaired >= form.lower - 1e-9)
+        assert np.all(repaired <= form.upper + 1e-9)
+
+    def test_repair_rejects_wrong_shape(self):
+        spec = make_spec()
+        compiled = CompiledAlignmentModel(spec)
+        c, w = coefficients(spec)
+        compiled.load(c, w)
+        assert compiled._repair_incumbent(np.zeros(3)) is None

@@ -1,0 +1,112 @@
+"""Tests for the incremental grouping sweep and its shared workspace.
+
+:func:`group_and_select` (union-find threshold descent over a presorted
+edge list) must be *exactly* equivalent to
+:func:`group_and_select_reference` (the historical per-round component
+recomputation) — same groups, same order, same thresholds, same selected
+representatives — across random models and parameter settings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import (
+    GroupingWorkspace,
+    group_and_select,
+    group_and_select_reference,
+)
+from repro.variation.correlation import PathDelayModel
+
+
+def random_model(seed: int, n_clusters: int = 3, max_per: int = 5) -> PathDelayModel:
+    """Clustered loadings with noise, so thresholds actually discriminate."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for c in range(n_clusters):
+        shared = rng.uniform(0.6, 0.95)
+        for _ in range(int(rng.integers(1, max_per + 1))):
+            row = np.zeros(n_clusters + 20)
+            row[c] = np.sqrt(shared)
+            row[n_clusters + len(rows) % 20] = np.sqrt(1 - shared)
+            rows.append(row)
+    loadings = np.array(rows)
+    n = len(rows)
+    return PathDelayModel(np.full(n, 100.0), loadings, np.zeros(n))
+
+
+def assert_identical(a, b):
+    assert len(a.groups) == len(b.groups)
+    for ga, gb in zip(a.groups, b.groups):
+        assert np.array_equal(ga.indices, gb.indices)
+        assert np.array_equal(ga.selected, gb.selected)
+        assert ga.threshold == gb.threshold
+        assert ga.n_components == gb.n_components
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_models(self, seed):
+        model = random_model(seed)
+        assert_identical(
+            group_and_select_reference(model), group_and_select(model)
+        )
+
+    @pytest.mark.parametrize("start", [0.95, 0.9, 0.8])
+    @pytest.mark.parametrize("step", [0.05, 0.1])
+    def test_parameter_variants(self, start, step):
+        model = random_model(3)
+        ref = group_and_select_reference(
+            model, start_threshold=start, threshold_step=step
+        )
+        new = group_and_select(model, start_threshold=start, threshold_step=step)
+        assert_identical(ref, new)
+
+    def test_floor_extracts_everything(self):
+        model = random_model(5)
+        ref = group_and_select_reference(model, floor_threshold=0.99)
+        new = group_and_select(model, floor_threshold=0.99)
+        assert_identical(ref, new)
+        covered = np.sort(np.concatenate([g.indices for g in new.groups]))
+        assert np.array_equal(covered, np.arange(model.n_paths))
+
+
+class TestWorkspace:
+    def test_shared_workspace_matches_fresh(self):
+        model = random_model(7)
+        workspace = GroupingWorkspace(model)
+        for start in (0.95, 0.9, 0.85):
+            fresh = group_and_select(model, start_threshold=start)
+            shared = group_and_select(
+                model, start_threshold=start, workspace=workspace
+            )
+            assert_identical(fresh, shared)
+
+    def test_pca_cache_fills_and_serves(self):
+        model = random_model(7)
+        workspace = GroupingWorkspace(model)
+        group_and_select(model, workspace=workspace)
+        size_after_first = workspace.pca_cache_size
+        assert size_after_first > 0
+        group_and_select(model, workspace=workspace)
+        assert workspace.pca_cache_size == size_after_first
+
+    def test_foreign_model_rejected(self):
+        workspace = GroupingWorkspace(random_model(1))
+        with pytest.raises(ValueError, match="workspace"):
+            group_and_select(random_model(2), workspace=workspace)
+
+
+class TestGroupOf:
+    def test_lookup_matches_membership(self):
+        result = group_and_select(random_model(9))
+        for group in result.groups:
+            for path in group.indices:
+                assert result.group_of(int(path)) is group
+
+    def test_missing_path_raises(self):
+        result = group_and_select(random_model(9))
+        n = max(int(g.indices.max()) for g in result.groups)
+        with pytest.raises(KeyError):
+            result.group_of(n + 1)
+        with pytest.raises(KeyError):
+            result.group_of(-1)

@@ -1,0 +1,246 @@
+"""Old-vs-new solver equivalence, portfolio dispatch and warm starts.
+
+The contract across backends is *tie-vertex* equivalence: every solver
+must agree on the status and the optimum **value**, but tied optima may be
+reported at different vertices, so variable values are only compared where
+the optimum is provably unique (or between two cold runs of the same
+backend, which must be bit-identical).
+"""
+
+import numpy as np
+import pytest
+
+from repro.opt.branch_bound import solve_milp
+from repro.opt.model import Model, ObjectiveSense, VarType
+from repro.opt.solve import choose_backend, solve, solve_matrix_form
+from repro.opt.simplex import LPStatus, solve_lp
+from repro.opt.warmstart import WarmHint, WarmStartCache
+
+
+def random_model(seed: int, integers: bool) -> Model:
+    """A bounded random LP/MILP that is feasible at the origin."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    m_rows = int(rng.integers(1, 6))
+    model = Model(f"rand{seed}")
+    kinds = rng.random(n) < 0.5 if integers else np.zeros(n, dtype=bool)
+    xs = [
+        model.add_var(
+            f"x{j}",
+            0,
+            float(rng.integers(1, 8)),
+            VarType.INTEGER if kinds[j] else VarType.CONTINUOUS,
+        )
+        for j in range(n)
+    ]
+    for _ in range(m_rows):
+        coeffs = rng.integers(-3, 4, n)
+        expr = sum((int(c) * x for c, x in zip(coeffs, xs)), 0 * xs[0])
+        model.add_constraint(expr <= float(rng.integers(1, 12)))
+    weights = rng.integers(-5, 6, n)
+    objective = sum((int(w) * x for w, x in zip(weights, xs)), 0 * xs[0])
+    model.set_objective(objective, ObjectiveSense.MAXIMIZE)
+    return model
+
+
+class TestOldVsNewEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_lps(self, seed):
+        model = random_model(seed, integers=False)
+        ref = solve(model, backend="reference")
+        new = solve(model, backend="pure")
+        scipy = solve(model, backend="scipy")
+        assert ref.status is new.status is scipy.status
+        if ref.ok:
+            assert new.objective == pytest.approx(ref.objective, abs=1e-7)
+            assert scipy.objective == pytest.approx(ref.objective, abs=1e-7)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_milps(self, seed):
+        model = random_model(seed, integers=True)
+        ref = solve(model, backend="reference")
+        new = solve(model, backend="pure")
+        assert ref.status is new.status
+        if ref.ok:
+            assert new.objective == pytest.approx(ref.objective, abs=1e-7)
+
+    def test_infeasible_agrees(self):
+        m = Model()
+        x = m.add_var("x", 0, 1)
+        m.add_constraint(x >= 2)
+        for backend in ("reference", "pure", "scipy"):
+            assert solve(m, backend=backend).status is LPStatus.INFEASIBLE
+
+    def test_unbounded_agrees(self):
+        m = Model()
+        x = m.add_var("x", 0, np.inf)
+        m.set_objective(x, ObjectiveSense.MAXIMIZE)
+        for backend in ("reference", "pure"):
+            assert solve(m, backend=backend).status is LPStatus.UNBOUNDED
+
+    @pytest.mark.parametrize("seed", [3, 11, 19])
+    def test_cold_repeat_is_bit_identical(self, seed):
+        """Two cold runs of the in-tree solver return the same vertex."""
+        model = random_model(seed, integers=True)
+        a = solve(model, backend="pure")
+        b = solve(model, backend="pure")
+        assert a.status is b.status
+        assert a.values == b.values
+
+
+class TestPortfolioDispatch:
+    def test_small_lp_routes_pure(self):
+        form = random_model(1, integers=False).to_matrix_form()
+        assert choose_backend(form) == "pure"
+        solution = solve_matrix_form(form, backend="auto")
+        assert solution.stats.backend == "pure"
+
+    def test_large_lp_routes_scipy(self):
+        m = Model()
+        xs = [m.add_var(f"x{j}", 0, 1) for j in range(300)]
+        m.set_objective(sum(xs[1:], xs[0]), ObjectiveSense.MAXIMIZE)
+        form = m.to_matrix_form()
+        assert choose_backend(form) == "scipy"
+        solution = solve_matrix_form(form, backend="auto")
+        assert solution.stats.backend == "scipy"
+        assert solution.objective == pytest.approx(300.0)
+
+    def test_binary_heavy_milp_routes_scipy(self):
+        m = Model()
+        xs = [m.add_binary(f"b{j}") for j in range(30)]
+        m.set_objective(sum(xs[1:], xs[0]), ObjectiveSense.MAXIMIZE)
+        assert choose_backend(m.to_matrix_form()) == "scipy"
+
+    def test_few_binaries_route_pure(self):
+        m = Model()
+        xs = [m.add_binary(f"b{j}") for j in range(20)]
+        m.set_objective(sum(xs[1:], xs[0]), ObjectiveSense.MAXIMIZE)
+        assert choose_backend(m.to_matrix_form()) == "pure"
+
+    def test_warm_hint_shifts_routing_toward_pure(self):
+        m = Model()
+        xs = [m.add_var(f"x{j}", 0, 1) for j in range(300)]
+        m.set_objective(sum(xs[1:], xs[0]), ObjectiveSense.MAXIMIZE)
+        form = m.to_matrix_form()
+        assert choose_backend(form, warm_hint=False) == "scipy"
+        assert choose_backend(form, warm_hint=True) == "pure"
+
+    def test_stats_populated(self):
+        solution = solve(random_model(2, integers=True), backend="pure")
+        stats = solution.stats
+        assert stats is not None and stats.is_mip
+        assert stats.lp_solves >= 1 and stats.seconds >= 0.0
+
+
+class TestFeasibleStatus:
+    def tight_knapsack(self):
+        m = Model()
+        rng = np.random.default_rng(5)
+        xs = [m.add_binary(f"b{j}") for j in range(14)]
+        values = rng.integers(3, 17, 14)
+        weights = rng.integers(2, 11, 14)
+        load = sum((int(w) * x for w, x in zip(weights, xs)), 0 * xs[0])
+        m.add_constraint(load <= int(weights.sum() // 2))
+        gain = sum((int(v) * x for v, x in zip(values, xs)), 0 * xs[0])
+        m.set_objective(gain, ObjectiveSense.MAXIMIZE)
+        return m
+
+    def test_node_limit_with_incumbent_is_feasible(self):
+        form = self.tight_knapsack().to_matrix_form()
+        full = solve_milp(form)
+        assert full.status is LPStatus.OPTIMAL and full.nodes_explored > 10
+        cut = solve_milp(form, node_limit=10)
+        assert cut.status is LPStatus.FEASIBLE
+        assert cut.x is not None
+        assert cut.objective is not None
+
+    def test_warm_incumbent_guarantees_feasible_under_budget(self):
+        """A validated incumbent turns any node-limit stop into FEASIBLE."""
+        form = self.tight_knapsack().to_matrix_form()
+        cut = solve_milp(form, node_limit=1, warm_incumbent=np.zeros(14))
+        assert cut.status is LPStatus.FEASIBLE
+        assert cut.warm_hint_used
+
+    def test_feasible_surfaces_through_solution(self):
+        solution = solve_matrix_form(
+            self.tight_knapsack().to_matrix_form(), backend="pure", node_limit=10
+        )
+        assert solution.status is LPStatus.FEASIBLE
+        assert solution.usable and not solution.ok
+        assert solution.failure_reason == "feasible"
+
+    def test_node_limit_without_incumbent_is_iteration_limit(self):
+        form = self.tight_knapsack().to_matrix_form()
+        res = solve_milp(form, node_limit=0)
+        assert res.status is LPStatus.ITERATION_LIMIT
+        assert res.x is None
+
+
+class TestNodeCountRegression:
+    def test_pinned_seed_node_budget(self):
+        """Best-bound selection + vectorized branching keep the tree small.
+
+        A regression that degrades node selection or branching-variable
+        choice shows up as a node-count explosion on this pinned instance
+        long before wall-clock noise would catch it.
+        """
+        form = random_model(7, integers=True).to_matrix_form()
+        res = solve_milp(form)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.nodes_explored <= 60
+
+    def test_deterministic_node_count(self):
+        form = random_model(7, integers=True).to_matrix_form()
+        assert solve_milp(form).nodes_explored == solve_milp(form).nodes_explored
+
+
+class TestWarmStarts:
+    def test_lp_basis_reuse(self):
+        form = random_model(4, integers=False).to_matrix_form()
+        cold = solve_lp(form)
+        assert cold.status is LPStatus.OPTIMAL and not cold.warm_started
+        warm = solve_lp(form, start=cold.basis)
+        assert warm.status is LPStatus.OPTIMAL and warm.warm_started
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_stale_incumbent_rejected(self):
+        """An incumbent violating the new constraints must not survive."""
+        m = Model()
+        k = m.add_var("k", 0, 10, VarType.INTEGER)
+        m.add_constraint(2 * k <= 7)
+        m.set_objective(k, ObjectiveSense.MAXIMIZE)
+        form = m.to_matrix_form()
+        res = solve_milp(form, warm_incumbent=np.array([9.0]))  # violates 2k<=7
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(3.0)
+
+    def test_cache_round_trip_through_auto(self):
+        model = random_model(6, integers=True)
+        cache = WarmStartCache()
+        first = solve(model, backend="auto", warm=cache)
+        second = solve(model, backend="auto", warm=cache)
+        assert first.ok and second.ok
+        assert second.objective == pytest.approx(first.objective)
+        stats = cache.stats
+        assert stats.hits >= 1 and stats.stores >= 1
+
+    def test_peek_does_not_count(self):
+        cache = WarmStartCache()
+        cache.put("fp", WarmHint(basis=None, x=np.array([1.0])))
+        before = cache.stats
+        assert cache.peek("fp") is not None
+        assert cache.peek("missing") is None
+        after = cache.stats
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_warm_never_changes_optimum(self):
+        """Warm hints may move the vertex, never the optimum value."""
+        for seed in (8, 13, 21):
+            model = random_model(seed, integers=True)
+            cache = WarmStartCache()
+            cold = solve(model, backend="pure")
+            solve(model, backend="pure", warm=cache)
+            warm = solve(model, backend="pure", warm=cache)
+            assert warm.status is cold.status
+            if cold.ok:
+                assert warm.objective == pytest.approx(cold.objective, abs=1e-9)

@@ -1,0 +1,454 @@
+"""Raw-speed benchmark: compiled kernels, shard threads, pipelined sweeps.
+
+Three layers of the PR's speed work, A/B'd on the same inputs with the
+result identity pinned through :meth:`repro.core.reduction.RunSummary.digest`
+(sha256 over every result field, timing excluded — two runs with equal
+digests computed the same thing bit for bit):
+
+* **kernels** — ``test_kernel="compiled"`` routes the frequency-stepping
+  inner loops through :mod:`repro.kernels` (numba ``@njit(nogil=True)``
+  when numba is installed; the *same function bodies* as plain Python when
+  it is not).  The A/B runs one full engine pass per kernel and compares
+  digests; the relaxation kernel gets its own micro A/B through
+  :class:`~repro.opt.diffconstraints.RelaxKernel`.
+* **shard threads** — ``OnlineConfig(shard_workers=...)`` fans the
+  per-shard test/predict/configure/verify work of a *single run* over a
+  thread pool, merging through the same reducer in shard order.
+* **pipelined sweep** — ``Engine.sweep(..., overlap=2)`` prepares scenario
+  ``k+1`` while scenario ``k``'s population work runs.
+
+Honest-environment policy: wall-clock claims here depend on the machine.
+Without numba the "compiled" selection is pure Python (bit-identical and
+*much* slower — so the headline-scale compiled leg is skipped, not fudged);
+without a second CPU, threads and pipelining cannot beat serial wall-clock.
+The JSON records ``numba_available`` and ``cpu_count`` and every speedup
+gate applies only when the environment can express the win; the *identity*
+gates (equal digests) apply always and everywhere.
+
+Run it directly::
+
+    python benchmarks/bench_kernels.py           # full sweep + JSON + gate
+    python benchmarks/bench_kernels.py --smoke   # identity-only, CI mode
+
+Full mode writes ``benchmarks/BENCH_kernels.json`` and fails if any digest
+pair diverges, or — on a capable environment — if the headline compiled
+speedup falls below ``--min-kernel-speedup`` (default 3x) or the threaded /
+pipelined legs fail to beat serial.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import (
+    Engine,
+    OfflineConfig,
+    OnlineConfig,
+    Scenario,
+    ScenarioGrid,
+)
+from repro.api.parallel import process_cpu_count
+from repro.circuit import CircuitSpec, generate_circuit
+from repro.core import operating_periods, sample_circuit
+from repro.kernels import numba_available
+from repro.opt.diffconstraints import RelaxKernel
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_kernels.json"
+
+OFFLINE = OfflineConfig(hold_samples=400)
+
+#: Headline single-run scale (the ISSUE's >= 150k-chip scenario).
+HEADLINE_CHIPS = 150_000
+#: Scale for the always-run digest-identity A/B — small enough that the
+#: pure-Python fallback of the compiled kernels stays tractable.
+IDENTITY_CHIPS = 2_000
+#: Single-run scale for the serial-vs-threaded shard A/B.
+SHARD_CHIPS = 40_000
+SHARD_SIZE = 4_096
+
+#: Pipelined-sweep grid: 6 scenarios, each with its own clock period so
+#: each needs its own offline preparation (that is what overlaps).
+SWEEP_PERIOD_SPREAD = (1.0, 1.01, 1.02, 1.03, 1.04, 1.05)
+SWEEP_CHIPS = 4_000
+
+SMOKE_CHIPS = 600
+SMOKE_SHARD = 128
+
+
+def environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba_available": numba_available(),
+        "cpu_count": process_cpu_count(),
+    }
+
+
+def build_circuit(name: str = "bench", seed: int = 1234):
+    spec = CircuitSpec(
+        name=name, n_flipflops=40, n_gates=800, n_buffers=2, n_paths=24
+    )
+    circuit = generate_circuit(spec, seed=seed)
+    calibration = sample_circuit(circuit, 2000, seed=7)
+    t1, t2 = operating_periods(calibration)
+    return circuit, t1, t2
+
+
+def timed_run(engine, circuit, period, n_chips, online, preparation):
+    scenario = Scenario(circuit, period=period, n_chips=n_chips)
+    start = time.perf_counter()
+    result = engine.run(
+        circuit,
+        scenario.chip_source(),
+        period,
+        online=online,
+        preparation=preparation,
+    )
+    return time.perf_counter() - start, result.summary
+
+
+# -- kernel A/B ----------------------------------------------------------------
+
+
+def bench_kernels(engine, circuit, period, preparation) -> dict:
+    """Compiled vs vectorized stepping through the full engine."""
+
+    def online(kernel):
+        return OnlineConfig(
+            artifacts="summary",
+            chip_shard_size=SHARD_SIZE,
+            test_kernel=kernel,
+        )
+
+    # Digest identity at a scale the pure-Python fallback can afford.
+    seconds = {}
+    digests = {}
+    for kernel in ("vectorized", "compiled"):
+        seconds[kernel], summary = timed_run(
+            engine, circuit, period, IDENTITY_CHIPS, online(kernel),
+            preparation,
+        )
+        digests[kernel] = summary.digest()
+    identical = digests["compiled"] == digests["vectorized"]
+
+    # Headline wall-clock: both kernels when numba can compile them,
+    # vectorized only (skipped, not fudged) on the pure-Python fallback.
+    headline: dict = {"n_chips": HEADLINE_CHIPS}
+    headline["seconds_vectorized"], summary = timed_run(
+        engine, circuit, period, HEADLINE_CHIPS, online("vectorized"),
+        preparation,
+    )
+    headline["stage_seconds"] = summary.stage_seconds
+    if numba_available():
+        headline["seconds_compiled"], compiled_summary = timed_run(
+            engine, circuit, period, HEADLINE_CHIPS, online("compiled"),
+            preparation,
+        )
+        headline["speedup"] = (
+            headline["seconds_vectorized"] / headline["seconds_compiled"]
+        )
+        headline["identical"] = (
+            compiled_summary.digest() == summary.digest()
+        )
+        identical = identical and headline["identical"]
+    else:
+        headline["seconds_compiled"] = None
+        headline["speedup"] = None
+        headline["skipped"] = (
+            "numba unavailable: the compiled selection would run the same "
+            "kernel bodies as pure Python (identity is pinned at "
+            f"{IDENTITY_CHIPS} chips instead)"
+        )
+
+    return {
+        "identity_n_chips": IDENTITY_CHIPS,
+        "identity_seconds": seconds,
+        "identical": identical,
+        "headline": headline,
+    }
+
+
+def bench_relax() -> dict:
+    """The min-plus relaxation kernel on a batched random system."""
+    rng = np.random.default_rng(42)
+    n_nodes, n_edges, n_batch = 24, 96, 400
+    edge_u = rng.integers(0, n_nodes, size=n_edges)
+    edge_v = rng.integers(0, n_nodes, size=n_edges)
+    weights = rng.uniform(-0.05, 2.0, size=(n_edges, n_batch))
+    kernel = RelaxKernel(n_nodes, edge_u, edge_v)
+
+    results, seconds = {}, {}
+    for mode in ("vectorized", "compiled"):
+        start = time.perf_counter()
+        results[mode] = kernel.solve(weights, n_batch=n_batch, mode=mode)
+        seconds[mode] = time.perf_counter() - start
+    identical = bool(
+        np.array_equal(
+            results["compiled"].x, results["vectorized"].x, equal_nan=True
+        )
+        and np.array_equal(
+            np.asarray(results["compiled"].feasible),
+            np.asarray(results["vectorized"].feasible),
+        )
+    )
+    return {
+        "n_nodes": n_nodes,
+        "n_edges": n_edges,
+        "n_batch": n_batch,
+        "seconds": seconds,
+        "speedup": seconds["vectorized"] / seconds["compiled"],
+        "identical": identical,
+    }
+
+
+# -- shard threads -------------------------------------------------------------
+
+
+def bench_shards(engine, circuit, period, preparation) -> dict:
+    """Serial vs threaded per-shard execution of one run."""
+
+    def online(workers):
+        return OnlineConfig(
+            artifacts="summary",
+            chip_shard_size=SHARD_SIZE,
+            shard_workers=workers,
+        )
+
+    serial_seconds, serial_summary = timed_run(
+        engine, circuit, period, SHARD_CHIPS, online(None), preparation
+    )
+    workers = max(2, process_cpu_count())
+    threaded_seconds, threaded_summary = timed_run(
+        engine, circuit, period, SHARD_CHIPS, online(workers), preparation
+    )
+    return {
+        "n_chips": SHARD_CHIPS,
+        "chip_shard_size": SHARD_SIZE,
+        "workers": workers,
+        "seconds_serial": serial_seconds,
+        "seconds_threaded": threaded_seconds,
+        "speedup": serial_seconds / threaded_seconds,
+        "identical": threaded_summary.digest() == serial_summary.digest(),
+    }
+
+
+# -- pipelined sweep -----------------------------------------------------------
+
+
+def sweep_grid(circuit, t1, n_chips=SWEEP_CHIPS):
+    """6 scenarios; clock_period=None leaves each period as its own
+    design period, so each scenario pays its own offline preparation."""
+    return ScenarioGrid(
+        circuit,
+        periods=[t1 * f for f in SWEEP_PERIOD_SPREAD],
+        n_chips=n_chips,
+        offline=OFFLINE,
+        online=OnlineConfig(artifacts="summary", chip_shard_size=SHARD_SIZE),
+    )
+
+
+def bench_sweep(circuit, t1, n_chips=SWEEP_CHIPS) -> dict:
+    """Cold serial sweep vs cold pipelined sweep on a 6-scenario grid.
+
+    Fresh engines per leg so both pay the full offline preparation cost —
+    the work the pipeline overlaps with population runs.
+    """
+    grid = sweep_grid(circuit, t1, n_chips)
+    start = time.perf_counter()
+    serial = list(Engine(offline=OFFLINE).sweep(grid))
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pipelined = list(Engine(offline=OFFLINE).sweep(grid, overlap=2))
+    pipelined_seconds = time.perf_counter() - start
+
+    identical = all(
+        a.summary.digest() == b.summary.digest()
+        for a, b in zip(serial, pipelined)
+    )
+    return {
+        "n_scenarios": len(grid),
+        "n_chips": n_chips,
+        "seconds_serial": serial_seconds,
+        "seconds_pipelined": pipelined_seconds,
+        "speedup": serial_seconds / pipelined_seconds,
+        "identical": identical,
+    }
+
+
+# -- smoke ---------------------------------------------------------------------
+
+
+def run_smoke() -> int:
+    """Identity-only pass at tiny scale: every seam, no wall-clock gate."""
+    circuit, t1, _ = build_circuit("smoke")
+    engine = Engine(offline=OFFLINE)
+    preparation = engine.prepare(circuit, t1)
+
+    digests = {}
+    for label, online in {
+        "vectorized": OnlineConfig(
+            artifacts="summary", chip_shard_size=SMOKE_SHARD,
+            test_kernel="vectorized",
+        ),
+        "compiled": OnlineConfig(
+            artifacts="summary", chip_shard_size=SMOKE_SHARD,
+            test_kernel="compiled",
+        ),
+        "threaded": OnlineConfig(
+            artifacts="summary", chip_shard_size=SMOKE_SHARD,
+            shard_workers=2,
+        ),
+    }.items():
+        _, summary = timed_run(
+            engine, circuit, t1, SMOKE_CHIPS, online, preparation
+        )
+        digests[label] = summary.digest()
+    failures = [
+        label for label in ("compiled", "threaded")
+        if digests[label] != digests["vectorized"]
+    ]
+
+    relax = bench_relax()
+    if not relax["identical"]:
+        failures.append("relax")
+
+    grid = sweep_grid(circuit, t1, n_chips=SMOKE_CHIPS)
+    serial = list(Engine(offline=OFFLINE).sweep(grid))
+    pipelined = list(Engine(offline=OFFLINE).sweep(grid, overlap=2))
+    if any(
+        a.summary.digest() != b.summary.digest()
+        for a, b in zip(serial, pipelined)
+    ):
+        failures.append("pipelined-sweep")
+
+    for label in failures:
+        print(f"FAIL: {label} diverges from the serial/vectorized digest")
+    if not failures:
+        print(
+            "smoke: compiled/threaded/pipelined digests all identical to "
+            f"serial vectorized ({SMOKE_CHIPS} chips, "
+            f"{len(grid)}-scenario sweep; numba_available="
+            f"{numba_available()})"
+        )
+    return 1 if failures else 0
+
+
+# -- driver --------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="identity-only pass at tiny scale (CI mode)",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup", type=float, default=3.0,
+        help="required headline compiled speedup (numba environments only)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=DEFAULT_JSON,
+        help=f"result trajectory path (default {DEFAULT_JSON.name})",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    env = environment()
+    print(f"environment: {env}")
+    circuit, t1, _ = build_circuit()
+    engine = Engine(offline=OFFLINE)
+    preparation = engine.prepare(circuit, t1)
+
+    print("kernel A/B ...")
+    kernels = bench_kernels(engine, circuit, t1, preparation)
+    relax = bench_relax()
+    print("shard threads ...")
+    shards = bench_shards(engine, circuit, t1, preparation)
+    print("pipelined sweep ...")
+    sweep = bench_sweep(circuit, t1)
+
+    payload = {
+        "benchmark": "raw-speed-kernels",
+        "environment": env,
+        "kernels": kernels,
+        "relax": relax,
+        "shards": shards,
+        "sweep": sweep,
+    }
+    if not args.no_json:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    failures = []
+    # Identity gates are unconditional.
+    for label, section in (
+        ("kernel", kernels), ("relax", relax), ("shards", shards),
+        ("sweep", sweep),
+    ):
+        if not section["identical"]:
+            failures.append(f"{label}: digests/results diverge")
+    # Speed gates apply where the environment can express the win.
+    if env["numba_available"]:
+        speedup = kernels["headline"]["speedup"]
+        if speedup is None or speedup < args.min_kernel_speedup:
+            failures.append(
+                f"kernel: headline speedup {speedup} below required "
+                f"{args.min_kernel_speedup:.1f}x"
+            )
+    else:
+        print(
+            "kernel speed gate skipped: numba unavailable (identity pinned "
+            "via the pure-Python fallback instead)"
+        )
+    if env["cpu_count"] >= 2:
+        if shards["speedup"] <= 1.0:
+            failures.append(
+                f"shards: threaded run not faster than serial "
+                f"({shards['speedup']:.2f}x)"
+            )
+        if sweep["speedup"] <= 1.0:
+            failures.append(
+                f"sweep: pipelined sweep not faster than serial "
+                f"({sweep['speedup']:.2f}x)"
+            )
+    else:
+        print(
+            "thread/pipeline speed gates skipped: single-CPU environment "
+            f"(cpu_count={env['cpu_count']}); identity still enforced"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    headline = kernels["headline"]
+    print(
+        f"PASS: digests identical on every A/B; headline "
+        f"{headline['n_chips']} chips vectorized "
+        f"{headline['seconds_vectorized']:.1f}s"
+        + (
+            f", compiled {headline['seconds_compiled']:.1f}s "
+            f"({headline['speedup']:.1f}x)"
+            if headline["seconds_compiled"] is not None
+            else " (compiled leg skipped: no numba)"
+        )
+        + f"; shards {shards['speedup']:.2f}x, sweep {sweep['speedup']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Unified performance trajectory: one gate over the recorded BENCH files.
+
+Each perf PR leaves a JSON trajectory behind (``BENCH_configure.json``,
+``BENCH_offline.json``, ``BENCH_kernels.json``) written by its benchmark
+driver on real hardware.  This script is the *single* regression gate over
+all of them: it reads the recorded headlines, re-checks every identity
+flag and every speedup floor, and prints one table.  CI runs ``--check``
+so a PR that silently regresses a recorded trajectory (or deletes one)
+fails even when nobody re-runs the slow benchmarks.
+
+Floors (headline = the largest recorded scenario of each file):
+
+* **configure** — vectorized configure/verify >= 10x the reference kernel,
+  results bit-identical.
+* **offline** — precompiled + warm-started offline stage >= 5x the
+  dynamic-encode/reference-solver path, optima identical.
+* **kernels** — every A/B digest-identical, always; the >= 3x compiled
+  headline and the >1x thread/pipeline wins apply only when the recorded
+  environment could express them (``numba_available`` / ``cpu_count >= 2``
+  at record time) — wall-clock honesty over aspirational numbers.
+
+Run it directly::
+
+    python benchmarks/trajectory.py           # table only
+    python benchmarks/trajectory.py --check   # table + gate (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+FLOORS = {
+    "configure": 10.0,
+    "offline": 5.0,
+    "kernels": 3.0,
+}
+
+
+def check_configure(payload: dict) -> tuple[list[str], list[str]]:
+    rows, failures = [], []
+    headline = payload["scenarios"][-1]
+    rows.append(
+        f"{'configure':>10}  {headline['circuit']:<8} "
+        f"{headline['configure_speedup']:>8.1f}x  "
+        f"(n_chips={headline['n_chips']})"
+    )
+    if headline["configure_speedup"] < FLOORS["configure"]:
+        failures.append(
+            f"configure: headline speedup "
+            f"{headline['configure_speedup']:.1f}x below the "
+            f"{FLOORS['configure']:.0f}x floor"
+        )
+    for scenario in payload["scenarios"]:
+        if not (
+            scenario["configure_identical"] and scenario["ideal_identical"]
+        ):
+            failures.append(
+                f"configure: {scenario['circuit']} results diverge from "
+                "the reference kernel"
+            )
+    return rows, failures
+
+
+def check_offline(payload: dict) -> tuple[list[str], list[str]]:
+    rows, failures = [], []
+    headline = payload["scenarios"][-1]
+    rows.append(
+        f"{'offline':>10}  {headline['circuit']:<8} "
+        f"{headline['offline_speedup']:>8.1f}x  "
+        f"(warm hints={headline['align_warm_hints_used']})"
+    )
+    if headline["offline_speedup"] < FLOORS["offline"]:
+        failures.append(
+            f"offline: headline speedup {headline['offline_speedup']:.1f}x "
+            f"below the {FLOORS['offline']:.0f}x floor"
+        )
+    if headline["align_warm_hints_used"] < 1:
+        failures.append(
+            "offline: warm-start cache served no headline alignment variant"
+        )
+    for scenario in payload["scenarios"]:
+        if not scenario["identical"]:
+            failures.append(
+                f"offline: {scenario['circuit']} optima diverge from the "
+                "reference solver"
+            )
+    return rows, failures
+
+
+def check_kernels(payload: dict) -> tuple[list[str], list[str]]:
+    rows, failures = [], []
+    env = payload["environment"]
+    headline = payload["kernels"]["headline"]
+    speedup = headline.get("speedup")
+    rows.append(
+        f"{'kernels':>10}  {'headline':<8} "
+        + (f"{speedup:>8.1f}x  " if speedup is not None else f"{'--':>9}  ")
+        + f"(n_chips={headline['n_chips']}, "
+        f"numba={env['numba_available']}, cpus={env['cpu_count']})"
+    )
+    rows.append(
+        f"{'':>10}  {'shards':<8} {payload['shards']['speedup']:>8.2f}x  "
+        f"{'sweep':<8} {payload['sweep']['speedup']:>8.2f}x"
+    )
+    # Identity is unconditional — every recorded A/B must agree.
+    for label in ("kernels", "relax", "shards", "sweep"):
+        if not payload[label]["identical"]:
+            failures.append(f"kernels: {label} digests/results diverge")
+    # Speed floors apply when the recording environment could express them.
+    if env["numba_available"]:
+        if speedup is None or speedup < FLOORS["kernels"]:
+            failures.append(
+                f"kernels: headline compiled speedup {speedup} below the "
+                f"{FLOORS['kernels']:.0f}x floor (numba was available)"
+            )
+    if env["cpu_count"] >= 2:
+        if payload["shards"]["speedup"] <= 1.0:
+            failures.append(
+                "kernels: threaded shards not faster than serial on a "
+                "multi-CPU recording"
+            )
+        if payload["sweep"]["speedup"] <= 1.0:
+            failures.append(
+                "kernels: pipelined sweep not faster than serial on a "
+                "multi-CPU recording"
+            )
+    return rows, failures
+
+
+CHECKS = {
+    "BENCH_configure.json": check_configure,
+    "BENCH_offline.json": check_offline,
+    "BENCH_kernels.json": check_kernels,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on any missing trajectory, identity break or "
+        "floor violation",
+    )
+    parser.add_argument(
+        "--dir", type=Path, default=HERE,
+        help="directory holding the BENCH_*.json trajectories",
+    )
+    args = parser.parse_args(argv)
+
+    rows: list[str] = []
+    failures: list[str] = []
+    for name, check in CHECKS.items():
+        path = args.dir / name
+        if not path.exists():
+            failures.append(f"missing trajectory: {name}")
+            continue
+        payload = json.loads(path.read_text())
+        file_rows, file_failures = check(payload)
+        rows.extend(file_rows)
+        failures.extend(file_failures)
+
+    print(f"{'benchmark':>10}  {'headline':<8} {'speedup':>9}")
+    print("-" * 64)
+    for row in rows:
+        print(row)
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if args.check:
+            return 1
+        print("(informational: run with --check to gate)")
+        return 0
+    print(
+        "\nPASS: every recorded trajectory holds its identity pins and "
+        "speedup floors"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

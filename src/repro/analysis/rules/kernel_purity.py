@@ -92,6 +92,8 @@ class KernelPurity(Rule):
     scope = (
         "*/opt/diffconstraints.py",
         "*/core/configuration.py",
+        "*/kernels/*.py",
+        "*/tester/freqstep.py",
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

@@ -89,19 +89,42 @@ class OnlineConfig:
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
     # Relaxation engine for the configure stage's feasibility solves:
+    #   "auto"       — "compiled" when numba is importable, else
+    #                  "vectorized" (the default).
+    #   "compiled"   — the numba per-row kernel (repro.kernels.relax);
+    #                  degrades to slow pure Python without numba.
     #   "vectorized" — the precompiled ConfigGraph + RelaxKernel path
-    #                  (the default; orders of magnitude faster at scale).
+    #                  (orders of magnitude faster than reference at scale).
     #   "reference"  — the historical per-edge Python sweep, kept for A/B
     #                  identity checks and benchmarks.
-    # Both engines produce bit-identical ConfigurationResults (pinned by
-    # tests and benchmarks/bench_configure.py), so like `artifacts` this
+    # All engines produce bit-identical ConfigurationResults (pinned by
+    # tests, tests/kernels and benchmarks), so like `artifacts` this
     # knob is excluded from result_fields().  (Caveat, mirroring the
     # moments one below: on continuous-mode problems — no shared buffer
     # lattice — witness settings can differ below the solver epsilon when
     # two constraint chains tie within 1e-9; lattice-mode results re-snap
     # and are immune.  See repro.opt.diffconstraints.)
-    # effilint: disable=EFT001 -- both kernels produce bit-identical ConfigurationResults (pinned by tests and bench_configure.py); results never fork on this knob
-    configure_kernel: str = "vectorized"
+    # effilint: disable=EFT001 -- all kernels produce bit-identical ConfigurationResults (pinned by tests, tests/kernels and bench_configure.py); results never fork on this knob
+    configure_kernel: str = "auto"
+    # Stepping engine for the test stage's per-iteration bound updates
+    # (aligned batch engine and the path-wise baseline): "auto" (default),
+    # "compiled" or "vectorized" — see repro.kernels.TEST_KERNELS.  Same
+    # contract as configure_kernel: every engine accepts/rejects the same
+    # bounds in the same order, so results are bit-identical.
+    # effilint: disable=EFT001 -- stepping engines apply identical float updates in identical order (pinned by tests/kernels); results never fork on this knob
+    test_kernel: str = "auto"
+    # Intra-run shard parallelism: run the per-shard test/configure/verify
+    # work of a *single* run on a thread pool of this many workers (chips
+    # are independent; shard parts merge through the same RunReducer path
+    # in shard order, so results are bit-identical to the serial loop).
+    #   None   — serial shard loop (the default).
+    #   "auto" — one worker per available CPU (os.process_cpu_count()).
+    #   int    — explicit worker count (>= 1).
+    # Takes effect when chip_shard_size splits the population into at
+    # least two shards; compiled kernels release the GIL, so threads scale
+    # without process fan-out.
+    # effilint: disable=EFT001 -- thread fan-out only reorders which shard computes when; parts merge in shard order so results are bit-identical (pinned by tests)
+    shard_workers: int | str | None = None
     # Output retention: what a run keeps per chip.
     #   "dense"   — the historical full artifacts (test result, (n_chips,
     #               n_paths) bounds, per-chip configuration).  The default,
@@ -117,8 +140,10 @@ class OnlineConfig:
     artifacts: str = "dense"
 
     def __post_init__(self) -> None:
+        from repro.api.parallel import validate_shard_workers
         from repro.core.configuration import KERNELS
         from repro.core.reduction import artifacts_rank
+        from repro.kernels import TEST_KERNELS
 
         if self.chip_shard_size is not None and self.chip_shard_size < 1:
             raise ValueError("chip_shard_size must be >= 1")
@@ -128,6 +153,12 @@ class OnlineConfig:
                 f"configure_kernel must be one of {KERNELS}, "
                 f"got {self.configure_kernel!r}"
             )
+        if self.test_kernel not in TEST_KERNELS:
+            raise ValueError(
+                f"test_kernel must be one of {TEST_KERNELS}, "
+                f"got {self.test_kernel!r}"
+            )
+        validate_shard_workers(self.shard_workers)
 
     def result_fields(self) -> tuple:
         """The knobs that determine a run's *numbers*.

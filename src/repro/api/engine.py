@@ -44,6 +44,12 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.api.cache import CacheStats, PreparationCache, PreparationKey
 from repro.api.config import OfflineConfig, OnlineConfig
+from repro.api.parallel import (
+    ShardExecutor,
+    resolve_shard_workers,
+    validate_max_workers,
+)
+from repro.api.pipeline import ScenarioPipeline
 from repro.api.stages import (
     AlignedTestStage,
     Chips,
@@ -57,11 +63,17 @@ from repro.api.stages import (
 from repro.circuit.fingerprint import fingerprint_circuit
 from repro.circuit.generator import Circuit
 from repro.core.framework import PopulationRunResult, Preparation
-from repro.core.reduction import RunReducer, RunSummary, merge_run_summaries
+from repro.core.reduction import (
+    RunReducer,
+    RunSummary,
+    merge_run_summaries,
+    summarize_shard,
+)
 from repro.core.yields import ChipSource, CircuitPopulation
 from repro.opt.warmstart import WarmStartCache
 from repro.tester.freqstep import PathwiseResult, pathwise_frequency_stepping
 from repro.utils.rng import derive_seed
+from repro.utils.timing import Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.results.store import RunKey, RunStore
@@ -302,6 +314,40 @@ def _iter_population_shards(
         )
 
 
+#: RunSummary.stage_seconds keys, in pipeline order.
+_STAGE_KEYS = ("test", "predict", "configure", "verify")
+
+
+def _run_shard_stages(
+    circuit: Circuit,
+    shard: Chips,
+    period: float,
+    preparation: Preparation,
+    stage: TestStage,
+    predict: PredictStage,
+    configure: ConfigureStage,
+    verify: VerifyStage,
+) -> tuple:
+    """One realized chip shard through the four online stages, timed.
+
+    Returns the stage artifacts plus a per-stage wall-clock dict (the
+    ``RunSummary.stage_seconds`` contribution of this shard).  Shared by
+    the serial shard loop and the :class:`~repro.api.parallel.ShardExecutor`
+    thread jobs, so both paths produce identical artifacts by construction.
+    """
+    watch = Stopwatch()
+    with watch.measure("test"):
+        tested = stage.run(preparation, shard)
+    with watch.measure("predict"):
+        bounds = predict.run(preparation, tested)
+    with watch.measure("configure"):
+        configured = configure.run(preparation, bounds, period)
+    with watch.measure("verify"):
+        verified = verify.run(circuit, shard, configured, period)
+    timing = {key: watch.total(key) for key in _STAGE_KEYS}
+    return tested, bounds, configured, verified, timing
+
+
 def iter_shard_summaries(
     circuit: Circuit,
     population: Chips,
@@ -331,10 +377,10 @@ def iter_shard_summaries(
     shard_size = online.chip_shard_size if test_stage is None else None
     reducer = RunReducer(period, online.artifacts)
     for shard in _iter_population_shards(population, shard_size):
-        tested = stage.run(preparation, shard)
-        bounds = predict.run(preparation, tested)
-        configured = configure.run(preparation, bounds, period)
-        verified = verify.run(circuit, shard, configured, period)
+        tested, bounds, configured, verified, timing = _run_shard_stages(
+            circuit, shard, period, preparation,
+            stage, predict, configure, verify,
+        )
         yield reducer.add_shard(
             tested.test,
             bounds.lower,
@@ -345,7 +391,70 @@ def iter_shard_summaries(
             # The paper's Ts is the whole off-tester stage: prediction
             # + configuration.
             bounds.predict_seconds_per_chip + configured.config_seconds_per_chip,
+            stage_seconds=timing,
         )
+
+
+def _shard_ranges(n_chips: int, shard_size: int | None) -> list[tuple[int, int]]:
+    """Chip-shard ``[start, stop)`` ranges, in chip order."""
+    step = n_chips if shard_size is None else max(int(shard_size), 1)
+    return [
+        (start, min(start + step, n_chips)) for start in range(0, n_chips, step)
+    ]
+
+
+def _materialize_shard(
+    population: Chips, start: int, stop: int
+) -> CircuitPopulation:
+    """Realize chips ``[start, stop)`` — in the *calling* thread.
+
+    :class:`ChipSource` shards materialize independently via counter-based
+    sampling (no shared RNG state), so concurrent threads each realize
+    exactly their own chips; dense populations slice by view.
+    """
+    if isinstance(population, ChipSource):
+        return population.realize(start, stop)
+    return CircuitPopulation(
+        population.required[start:stop],
+        population.background[start:stop],
+        population.hold_requirements[start:stop],
+    )
+
+
+def _run_shard_job(
+    circuit: Circuit,
+    population: Chips,
+    start: int,
+    stop: int,
+    period: float,
+    preparation: Preparation,
+    online: OnlineConfig,
+) -> RunSummary:
+    """One thread-pool job of the intra-run shard fan-out.
+
+    Materializes its own shard (so the parent never holds more than the
+    in-flight shards' delay matrices), runs the four online stages and
+    reduces to the shard's :class:`RunSummary` — the exact part the serial
+    reducer loop would have produced for the same chip range.
+    """
+    shard = _materialize_shard(population, start, stop)
+    tested, bounds, configured, verified, timing = _run_shard_stages(
+        circuit, shard, period, preparation,
+        AlignedTestStage(online), PredictStage(),
+        ConfigureStage(online), VerifyStage(online.chip_shard_size),
+    )
+    return summarize_shard(
+        period,
+        tested.test,
+        bounds.lower,
+        bounds.upper,
+        configured.configuration,
+        verified.passed,
+        tested.tester_seconds_per_chip,
+        bounds.predict_seconds_per_chip + configured.config_seconds_per_chip,
+        artifacts=online.artifacts,
+        stage_seconds=timing,
+    )
 
 
 def _run_prepared(
@@ -364,7 +473,28 @@ def _run_prepared(
     output side as well as the input side.  Module-level so process-pool
     workers can run it without shipping the engine (and its cache) to
     every worker.
+
+    ``online.shard_workers`` switches the shard loop to a
+    :class:`~repro.api.parallel.ShardExecutor` thread pool: shards run
+    concurrently (the compiled kernels release the GIL) and their parts
+    merge in shard order through :func:`merge_run_summaries` — the same
+    reduction the serial loop performs, so results are bit-identical.
+    Only the default aligned stage fans out; a custom ``test_stage`` may
+    aggregate across chips and always sees the population whole.
     """
+    workers = resolve_shard_workers(online.shard_workers)
+    if test_stage is None and workers > 1:
+        ranges = _shard_ranges(population.n_chips, online.chip_shard_size)
+        if len(ranges) > 1:
+            parts = ShardExecutor(workers).map(
+                _run_shard_job,
+                [
+                    (circuit, population, start, stop, period, preparation,
+                     online)
+                    for start, stop in ranges
+                ],
+            )
+            return merge_run_summaries(parts)
     parts = list(
         iter_shard_summaries(
             circuit, population, period, preparation, online, test_stage
@@ -651,17 +781,22 @@ class Engine:
         self,
         scenarios: Iterable[Scenario] | ScenarioGrid,
         max_workers: int | None = None,
+        *,
+        overlap: int | None = None,
     ) -> list[RunRecord]:
         """Fan a batch of scenarios across cached preparations.
 
         Preparations are resolved first (in scenario order, deduplicated by
         cache key) so the offline stage runs once per distinct key; the
         per-population online stages then execute serially or, with
-        ``max_workers > 1``, on a process pool.  Records come back in input
-        order.  ``run_many`` is :meth:`sweep` without a result store —
-        every scenario is computed.
+        ``max_workers > 1``, on a process pool.  ``overlap`` instead
+        pipelines preparation against population work (see :meth:`sweep`).
+        Records come back in input order.  ``run_many`` is :meth:`sweep`
+        without a result store — every scenario is computed.
         """
-        return list(self.sweep(scenarios, max_workers=max_workers))
+        return list(
+            self.sweep(scenarios, max_workers=max_workers, overlap=overlap)
+        )
 
     def run_key(self, scenario: Scenario) -> "RunKey | None":
         """The content-addressed result-store key of a scenario.
@@ -691,6 +826,7 @@ class Engine:
         *,
         store: "RunStore | str | Path | None" = None,
         max_workers: int | None = None,
+        overlap: int | None = None,
     ) -> Iterator[RunRecord]:
         """Run a scenario sweep, resumably, yielding records incrementally.
 
@@ -711,21 +847,38 @@ class Engine:
         Ctrl+C), scenarios whose shards already finished in the workers
         are still salvaged into the store, and tasks that never started
         are cancelled rather than waited for.
+
+        ``overlap`` selects the *pipelined* scheduler instead of the
+        process pool (the two are mutually exclusive): a dedicated thread
+        prepares scenario ``k+1`` (offline stage, strictly in input order
+        — warm-start hand-off preserved) while scenario ``k``'s population
+        work runs, with at most ``overlap`` scenarios in flight
+        (``overlap=2`` is the classic one-ahead pipeline).  Computed
+        results are written to the store the moment each run completes, so
+        an abandoned pipelined sweep salvages every finished scenario too.
         """
         from repro.results.store import ensure_store
 
+        validate_max_workers(max_workers)
+        validate_max_workers(overlap, name="overlap")
+        if overlap is not None and max_workers is not None and max_workers > 1:
+            raise ValueError(
+                "overlap (pipelined scheduler) and max_workers > 1 (process "
+                "pool) are mutually exclusive; pick one"
+            )
         expanded = (
             scenarios.scenarios()
             if isinstance(scenarios, ScenarioGrid)
             else list(scenarios)
         )
-        return self._sweep_iter(expanded, ensure_store(store), max_workers)
+        return self._sweep_iter(expanded, ensure_store(store), max_workers, overlap)
 
     def _sweep_iter(
         self,
         scenarios: list[Scenario],
         store: "RunStore | None",
         max_workers: int | None,
+        overlap: int | None = None,
     ) -> Iterator[RunRecord]:
         # 1. Probe what the store already has — before any offline work, so
         # a fully warm sweep never touches the preparation cache either.
@@ -743,6 +896,60 @@ class Engine:
                 if store.probe(keys[i], artifacts=online.artifacts):
                     stored_hits.add(i)
         pending = [i for i in range(len(scenarios)) if i not in stored_hits]
+
+        def stored_record(i: int) -> RunRecord:
+            """Load a probed record at its yield point (one at a time)."""
+            scenario = scenarios[i]
+            online = scenario.online or self.online
+            stored = store.load(keys[i], artifacts=online.artifacts)
+            if stored is not None:
+                return self._record(
+                    scenario,
+                    stored.summary,
+                    offline_seconds=stored.offline_seconds,
+                    cache_hit=True,
+                    from_store=True,
+                )
+            # Late miss: the record's payload went bad between probe and
+            # load (and was dropped).  Compute this one on the spot.
+            offline = scenario.offline or self.offline
+            hit = (
+                self.preparation_key(
+                    scenario.circuit, scenario.design_period, offline
+                )
+                in self.cache
+            )
+            prep = self.prepare(
+                scenario.circuit, scenario.design_period, offline
+            )
+            summary = _run_prepared(
+                scenario.circuit,
+                self._scenario_chips(scenario),
+                scenario.period,
+                prep,
+                online,
+            )
+            if keys[i] is not None:
+                store.store(
+                    keys[i], summary, offline_seconds=prep.offline_seconds
+                )
+            return self._record(
+                scenario,
+                summary,
+                offline_seconds=prep.offline_seconds,
+                cache_hit=hit,
+                from_store=False,
+            )
+
+        # Pipelined scheduler: skip the eager preparation pass entirely —
+        # each scenario's offline prep happens on the pipeline's prep
+        # thread, overlapped with the previous scenario's population work.
+        if overlap is not None and pending:
+            yield from self._sweep_pipelined(
+                scenarios, store, keys, stored_hits, pending, overlap,
+                stored_record,
+            )
+            return
 
         # 2. Resolve preparations for the missing scenarios (deduplicated
         # by cache key: the offline stage runs once per distinct key).
@@ -795,50 +1002,6 @@ class Engine:
 
         # 4. Execute the missing scenarios and yield everything in input
         # order, each record as soon as its scenario completes.
-        def stored_record(i: int) -> RunRecord:
-            """Load a probed record at its yield point (one at a time)."""
-            scenario = scenarios[i]
-            online = scenario.online or self.online
-            stored = store.load(keys[i], artifacts=online.artifacts)
-            if stored is not None:
-                return self._record(
-                    scenario,
-                    stored.summary,
-                    offline_seconds=stored.offline_seconds,
-                    cache_hit=True,
-                    from_store=True,
-                )
-            # Late miss: the record's payload went bad between probe and
-            # load (and was dropped).  Compute this one on the spot.
-            offline = scenario.offline or self.offline
-            hit = (
-                self.preparation_key(
-                    scenario.circuit, scenario.design_period, offline
-                )
-                in self.cache
-            )
-            prep = self.prepare(
-                scenario.circuit, scenario.design_period, offline
-            )
-            summary = _run_prepared(
-                scenario.circuit,
-                self._scenario_chips(scenario),
-                scenario.period,
-                prep,
-                online,
-            )
-            if keys[i] is not None:
-                store.store(
-                    keys[i], summary, offline_seconds=prep.offline_seconds
-                )
-            return self._record(
-                scenario,
-                summary,
-                offline_seconds=prep.offline_seconds,
-                cache_hit=hit,
-                from_store=False,
-            )
-
         def finish(i: int, summary: RunSummary) -> RunRecord:
             prep = preps[prep_index[i]]
             if store is not None and keys[i] is not None:
@@ -929,6 +1092,98 @@ class Engine:
                     preps[p_index], online,
                 )
                 yield finish(i, summary)
+
+    def _sweep_pipelined(
+        self,
+        scenarios: list[Scenario],
+        store: "RunStore | None",
+        keys: list,
+        stored_hits: set[int],
+        pending: list[int],
+        overlap: int,
+        stored_record: Callable[[int], RunRecord],
+    ) -> Iterator[RunRecord]:
+        """Overlapped prepare/run execution of a sweep's missing scenarios.
+
+        One :class:`~repro.api.pipeline.ScenarioPipeline` drives the
+        pending scenarios: preparation stays strictly sequential in input
+        order (preserving the preparation-cache dedup *and* the
+        warm-start hand-off between sweep variants), population runs
+        execute one at a time overlapped with the next preparation, and
+        at most ``overlap`` scenarios are in flight.  Completed results
+        are stored from the run worker the moment they finish; records
+        are yielded in input order as soon as available.
+        """
+
+        def prep(j: int) -> tuple[Preparation, bool]:
+            scenario = scenarios[pending[j]]
+            offline = scenario.offline or self.offline
+            key = self.preparation_key(
+                scenario.circuit, scenario.design_period, offline
+            )
+            hit = key in self.cache
+            preparation = self.prepare(
+                scenario.circuit, scenario.design_period, offline
+            )
+            return preparation, hit
+
+        def run(
+            j: int, payload: tuple[Preparation, bool]
+        ) -> tuple[RunSummary, float, bool]:
+            scenario = scenarios[pending[j]]
+            preparation, hit = payload
+            summary = _run_prepared(
+                scenario.circuit,
+                self._scenario_chips(scenario),
+                scenario.period,
+                preparation,
+                scenario.online or self.online,
+            )
+            return summary, preparation.offline_seconds, hit
+
+        def persist(
+            j: int,
+            payload: tuple[Preparation, bool],
+            result: tuple[RunSummary, float, bool],
+        ) -> None:
+            # Fires in the run worker as each scenario completes, so an
+            # abandoned sweep still banks every finished run.
+            i = pending[j]
+            if store is not None and keys[i] is not None:
+                store.store(
+                    keys[i], result[0],
+                    offline_seconds=payload[0].offline_seconds,
+                )
+
+        pipeline = ScenarioPipeline(
+            len(pending), prep, run, in_flight=overlap, on_complete=persist
+        )
+        completions = pipeline.results()
+        done: dict[int, tuple[RunSummary, float, bool]] = {}
+        try:
+            for i in range(len(scenarios)):
+                if i in stored_hits:
+                    yield stored_record(i)
+                    continue
+                while i not in done:
+                    try:
+                        j, result = next(completions)
+                    except StopIteration:
+                        raise RuntimeError(
+                            "pipelined sweep ended before scenario "
+                            f"{i} completed"
+                        ) from None
+                    done[pending[j]] = result
+                summary, offline_seconds, hit = done.pop(i)
+                yield self._record(
+                    scenarios[i],
+                    summary,
+                    offline_seconds=offline_seconds,
+                    cache_hit=hit,
+                    from_store=False,
+                )
+        finally:
+            pipeline.close()
 
     @staticmethod
     def _record(

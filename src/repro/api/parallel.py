@@ -1,0 +1,131 @@
+"""Worker-count plumbing and the intra-run shard thread pool.
+
+Two kinds of parallelism live in the API layer and they compose:
+
+* **Across runs** — :meth:`repro.api.engine.Engine.run_many` fans whole
+  runs over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``max_workers``).  Processes, because a run's Python-level work is
+  GIL-bound on the pure-NumPy kernels.
+* **Within a run** — :class:`ShardExecutor` runs the per-shard
+  test/configure/verify work of a *single* run on a thread pool
+  (``OnlineConfig.shard_workers``).  Threads, because the compiled
+  kernels (:mod:`repro.kernels`) release the GIL and the shards share
+  the preparation read-only; parts merge through the same
+  :class:`~repro.core.reduction.RunReducer` path in shard order, so the
+  result is bit-identical to the serial loop.
+
+This module owns the validation/resolution helpers for both knobs so the
+engine, the config dataclass and the CLI agree on the rules.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+
+def process_cpu_count() -> int:
+    """CPUs available to *this process* (affinity-aware where possible).
+
+    ``os.process_cpu_count`` is 3.13+; fall back to the scheduling
+    affinity (Linux) and then ``os.cpu_count``.  Never returns < 1.
+    """
+    probe = getattr(os, "process_cpu_count", None)
+    count: int | None = None
+    if probe is not None:
+        count = probe()
+    if count is None:
+        affinity = getattr(os, "sched_getaffinity", None)
+        if affinity is not None:
+            try:
+                count = len(affinity(0))
+            except OSError:  # pragma: no cover - exotic platforms
+                count = None
+    if count is None:
+        count = os.cpu_count()
+    return max(1, count or 1)
+
+
+def validate_max_workers(value: int | None, name: str = "max_workers") -> None:
+    """Reject worker counts that would silently misbehave.
+
+    ``None`` means "pick a default" and is always fine.  Anything else
+    must be an integer >= 1: ``ProcessPoolExecutor(max_workers=0)``
+    raises a cryptic error deep in ``concurrent.futures``, and a bool
+    sneaking through (``True == 1``) is almost certainly a bug upstream.
+    """
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be a positive int or None, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+def validate_shard_workers(value: int | str | None) -> None:
+    """Validate an ``OnlineConfig.shard_workers`` setting.
+
+    Accepts ``None`` (serial), the string ``"auto"`` (one worker per
+    available CPU) or an explicit integer >= 1.
+    """
+    if value is None or value == "auto":
+        return
+    if isinstance(value, str):
+        raise ValueError(
+            f'shard_workers must be None, "auto" or a positive int, got {value!r}'
+        )
+    validate_max_workers(value, name="shard_workers")
+
+
+def resolve_shard_workers(value: int | str | None) -> int:
+    """Turn a validated ``shard_workers`` setting into a worker count."""
+    validate_shard_workers(value)
+    if value is None:
+        return 1
+    if value == "auto":
+        return process_cpu_count()
+    return int(value)
+
+
+class ShardExecutor:
+    """A small ordered map-over-threads for per-shard run work.
+
+    ``map`` submits ``fn(*args)`` for every args-tuple in ``items`` and
+    returns the results *in submission order* (shard order), regardless
+    of completion order — callers feed the parts straight into
+    :meth:`repro.core.reduction.RunReducer.add_shard` and get the same
+    merge the serial loop produces.  Exceptions propagate after all
+    in-flight work has been collected, so a failing shard does not leak
+    threads mid-run.
+    """
+
+    def __init__(self, max_workers: int):
+        validate_max_workers(max_workers)
+        self.max_workers = int(max_workers)
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Sequence[Any]],
+    ) -> list[Any]:
+        jobs = list(items)
+        if not jobs:
+            return []
+        if self.max_workers == 1 or len(jobs) == 1:
+            return [fn(*args) for args in jobs]
+        workers = min(self.max_workers, len(jobs))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        ) as pool:
+            futures = [pool.submit(fn, *args) for args in jobs]
+            return [future.result() for future in futures]
+
+
+__all__ = [
+    "ShardExecutor",
+    "process_cpu_count",
+    "resolve_shard_workers",
+    "validate_max_workers",
+    "validate_shard_workers",
+]

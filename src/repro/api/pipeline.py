@@ -1,0 +1,165 @@
+"""Overlapped prepare/run scheduling for scenario sweeps.
+
+A cold sweep alternates two very different workloads: the *offline*
+preparation of the next scenario (solver-heavy, touches the preparation
+and warm-start caches) and the *online* population run of the current one
+(NumPy/kernel-heavy, releases the GIL for most of its time).  The serial
+sweep loop runs them back to back; :class:`ScenarioPipeline` overlaps
+them — one dedicated thread prepares scenarios strictly in input order
+(preserving the :class:`~repro.opt.warmstart.WarmStartCache` hand-off
+chain between sweep variants) while a run pool executes the population
+work, with a bounded number of scenarios in flight.
+
+The pipeline is deliberately engine-agnostic: it schedules three caller
+callbacks (``prepare``, ``run``, ``on_complete``) over integer item
+indices and never looks inside the payloads.  Results stream out in
+*completion* order via :meth:`results`; callers that need input order
+buffer the handful of out-of-order completions (bounded by ``in_flight``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator
+
+#: Output-queue tag marking the prep thread's retirement; its payload is
+#: the number of result events the consumer should still expect in total.
+_PREP_DONE = object()
+
+
+class ScenarioPipeline:
+    """Bounded-in-flight prepare/run overlap over ``n_items`` work items.
+
+    * ``prepare(i) -> payload`` runs on a single dedicated thread, strictly
+      in input order — item ``i+1`` never prepares before item ``i``.
+    * ``run(i, payload) -> result`` runs on a thread pool of
+      ``run_workers`` (default 1: runs execute one at a time, overlapped
+      only with preparation).
+    * ``on_complete(i, payload, result)`` (optional) fires in the run
+      worker thread immediately after a successful run — the hook sweep
+      callers use to persist results the moment they are paid for, so an
+      abandoned sweep salvages every finished run.
+
+    At most ``in_flight`` items are past ``prepare`` but not yet completed
+    at any moment; ``in_flight=2`` is the classic one-ahead pipeline
+    (scenario ``k+1`` prepares while scenario ``k`` runs).
+
+    :meth:`results` yields ``(index, result)`` in completion order and
+    re-raises the first prepare/run/on_complete failure.  Always
+    :meth:`close` the pipeline (normally in a ``finally``) — close stops
+    the prep thread, cancels queued runs and *waits* for in-flight runs,
+    so their ``on_complete`` effects are never torn mid-write.  Do not
+    consume :meth:`results` after ``close``.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        prepare: Callable[[int], Any],
+        run: Callable[[int, Any], Any],
+        *,
+        in_flight: int = 2,
+        run_workers: int = 1,
+        on_complete: Callable[[int, Any, Any], None] | None = None,
+    ):
+        if n_items < 0:
+            raise ValueError(f"n_items must be >= 0, got {n_items}")
+        if in_flight < 1:
+            raise ValueError(f"in_flight must be >= 1, got {in_flight}")
+        if run_workers < 1:
+            raise ValueError(f"run_workers must be >= 1, got {run_workers}")
+        self._n = n_items
+        self._prepare = prepare
+        self._run = run
+        self._on_complete = on_complete
+        self._slots = threading.Semaphore(in_flight)
+        self._out: queue.SimpleQueue = queue.SimpleQueue()
+        self._stop = threading.Event()
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=run_workers, thread_name_prefix="repro-sweep-run"
+        )
+        self._prep_thread = threading.Thread(
+            target=self._prep_loop, name="repro-sweep-prep", daemon=True
+        )
+        self._prep_thread.start()
+
+    # -- worker side -----------------------------------------------------------
+
+    def _prep_loop(self) -> None:
+        emitted = 0  # result events guaranteed to reach the queue
+        try:
+            for i in range(self._n):
+                # Block for a free slot, waking periodically so a close()
+                # during a long run still stops the prep thread promptly.
+                acquired = False
+                while not self._stop.is_set():
+                    if self._slots.acquire(timeout=0.05):
+                        acquired = True
+                        break
+                if not acquired:
+                    break
+                try:
+                    payload = self._prepare(i)
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    self._slots.release()
+                    self._out.put((i, None, exc))
+                    emitted += 1
+                    continue
+                try:
+                    self._pool.submit(self._run_one, i, payload)
+                except RuntimeError:  # pool already shut down by close()
+                    self._slots.release()
+                    break
+                emitted += 1
+        finally:
+            self._out.put((_PREP_DONE, emitted, None))
+
+    def _run_one(self, i: int, payload: Any) -> None:
+        result: Any = None
+        failure: BaseException | None = None
+        try:
+            result = self._run(i, payload)
+            if self._on_complete is not None:
+                self._on_complete(i, payload, result)
+        except BaseException as exc:  # noqa: BLE001 - forwarded
+            failure = exc
+        finally:
+            self._out.put((i, result, failure))
+            self._slots.release()
+
+    # -- consumer side ---------------------------------------------------------
+
+    def results(self) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, result)`` as items complete; raise on failure.
+
+        Caveat: a run cancelled by :meth:`close` before it started never
+        emits an event, so this generator must not be resumed after
+        ``close`` — the sweep's contract (close in ``finally``, never
+        iterate afterwards).
+        """
+        expected: int | None = None
+        received = 0
+        while expected is None or received < expected:
+            tag, result, failure = self._out.get()
+            if tag is _PREP_DONE:
+                expected = result
+                continue
+            received += 1
+            if failure is not None:
+                raise failure
+            yield tag, result
+
+    def close(self) -> None:
+        """Stop preparing, cancel queued runs, wait for in-flight ones."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self._prep_thread.join(timeout=5.0)
+
+
+__all__ = ["ScenarioPipeline"]

@@ -293,6 +293,7 @@ class AlignedTestStage:
                 align=self.online.align,
                 x_inits=preparation.x_inits,
                 chip_shard_size=self.online.chip_shard_size,
+                kernel=self.online.test_kernel,
             )
         return TestArtifact(
             test=test,
@@ -309,6 +310,9 @@ class PathwiseTestStage:
     exists for comparison runs, not for out-of-core scale.
     """
 
+    def __init__(self, online: OnlineConfig | None = None):
+        self.online = online or OnlineConfig()
+
     def run(self, preparation: Preparation, population: Chips) -> TestArtifact:
         watch = Stopwatch()
         with watch.measure("tester"):
@@ -323,6 +327,7 @@ class PathwiseTestStage:
                 preparation.prior_stds,
                 preparation.epsilon,
                 sigma_window=preparation.sigma_window,
+                kernel=self.online.test_kernel,
             )
             n_chips, n_paths = result.lower.shape
             test = PopulationTestResult(

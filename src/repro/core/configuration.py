@@ -46,10 +46,14 @@ _EPS = 1e-9
 
 #: Relaxation engines accepted by :func:`configure_chips` and
 #: :func:`ideal_feasibility`.  "vectorized" is the precompiled
-#: :class:`ConfigGraph` path; "reference" rebuilds the edge list and runs
-#: the per-edge Python sweep every step, exactly as before the kernel
-#: rework (kept for A/B identity checks and benchmarks).
-KERNELS = ("vectorized", "reference")
+#: :class:`ConfigGraph` path; "compiled" is the same graph relaxed by the
+#: numba per-row kernel of :mod:`repro.kernels.relax` (bit-identical;
+#: degrades to slow pure Python without numba); "auto" resolves to
+#: "compiled" when numba is importable and "vectorized" otherwise;
+#: "reference" rebuilds the edge list and runs the per-edge Python sweep
+#: every step, exactly as before the kernel rework (kept for A/B identity
+#: checks and benchmarks).
+KERNELS = ("auto", "compiled", "vectorized", "reference")
 
 
 @dataclass(frozen=True)
@@ -186,6 +190,7 @@ class ConfigGraph:
         lower: np.ndarray,
         upper: np.ndarray,
         period: float,
+        mode: str = "vectorized",
     ) -> None:
         lower = np.atleast_2d(np.asarray(lower, dtype=float))
         upper = np.atleast_2d(np.asarray(upper, dtype=float))
@@ -228,6 +233,7 @@ class ConfigGraph:
         self.step = structure.step
         self.n_chips = n_chips
         self.n_buffers = nb
+        self.mode = mode  # relaxation implementation (vectorized/compiled)
         self.kernel = RelaxKernel(
             nb + 1,
             np.array(edges_u, dtype=np.intp),
@@ -256,6 +262,7 @@ class ConfigGraph:
         clone.period = self.period
         clone.step = self.step
         clone.n_buffers = self.n_buffers
+        clone.mode = self.mode
         clone.kernel = self.kernel
         clone._const = self._const
         clone._lmax = self._lmax[rows]
@@ -286,7 +293,7 @@ class ConfigGraph:
 
     def feasibility(self, xi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Batched feasibility at ``xi``: (feasible mask, witness settings)."""
-        dist, infeasible = self.kernel.solve_rows(self.weights(xi))
+        dist, infeasible = self.kernel.solve_rows(self.weights(xi), mode=self.mode)
         nb = self.n_buffers
         x = dist[:, :nb] - dist[:, nb : nb + 1]
         if self.step:
@@ -371,9 +378,13 @@ def _feasibility_reference(
     return np.asarray(result.feasible, dtype=bool), x
 
 
-def _check_kernel(kernel: str) -> None:
+def _check_kernel(kernel: str) -> str:
+    """Validate a kernel name and resolve ``"auto"`` for this environment."""
     if kernel not in KERNELS:
         raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    from repro.kernels import resolve_kernel
+
+    return resolve_kernel(kernel)
 
 
 def configure_chips(
@@ -399,10 +410,10 @@ def configure_chips(
     converged rows back, exactly like the population test engine's
     active-set sweep; infeasible and converged-at-floor chips never pay
     for another solve.  ``kernel`` selects the relaxation engine (see
-    :data:`KERNELS`); both kernels and both ``compact`` modes produce
+    :data:`KERNELS`); all kernels and both ``compact`` modes produce
     bit-identical results.
     """
-    _check_kernel(kernel)
+    kernel = _check_kernel(kernel)
     lower = np.atleast_2d(np.asarray(lower, dtype=float))
     upper = np.atleast_2d(np.asarray(upper, dtype=float))
     n_chips = lower.shape[0]
@@ -424,8 +435,8 @@ def configure_chips(
         return ConfigurationResult(feasible, settings, xi, structure.buffer_names)
 
     graph = None
-    if kernel == "vectorized":
-        graph = ConfigGraph(structure, lower, upper, period)
+    if kernel in ("vectorized", "compiled"):
+        graph = ConfigGraph(structure, lower, upper, period, mode=kernel)
 
         def feas_all(xi):
             return graph.feasibility(xi)
@@ -521,7 +532,7 @@ def ideal_feasibility(
     single feasibility check — one :class:`ConfigGraph` build plus one
     vectorized relaxation solve over the whole shard.
     """
-    _check_kernel(kernel)
+    kernel = _check_kernel(kernel)
     true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
     n_chips = true_delays.shape[0]
     feasible = np.ones(n_chips, dtype=bool)
@@ -536,8 +547,8 @@ def ideal_feasibility(
             np.zeros(n_chips),
             structure.buffer_names,
         )
-    if kernel == "vectorized":
-        graph = ConfigGraph(structure, true_delays, true_delays, period)
+    if kernel in ("vectorized", "compiled"):
+        graph = ConfigGraph(structure, true_delays, true_delays, period, mode=kernel)
         ok, x = graph.feasibility(np.zeros(n_chips))
     else:
         ok, x = _feasibility_reference(

@@ -83,7 +83,9 @@ class EffiTestConfig:
     artifacts: str = "dense"  # per-chip output retention (see OnlineConfig)
     # §3.4 configuration — xi search tolerance (None -> lattice step / 4)
     xi_tolerance: float | None = None
-    configure_kernel: str = "vectorized"  # relaxation engine (see OnlineConfig)
+    configure_kernel: str = "auto"  # relaxation engine (see OnlineConfig)
+    test_kernel: str = "auto"  # stepping engine (see OnlineConfig)
+    shard_workers: int | str | None = None  # intra-run shard threads
     # §3.5 hold bounds
     hold_yield: float = 0.99
     hold_samples: int = 1000

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.alignment import BatchAlignment, center_sorted_weights, solve_alignment
 from repro.core.multiplexing import MultiplexPlan
+from repro.kernels import TEST_KERNELS, resolve_kernel
 from repro.opt.weighted_median import weighted_median_rows
 from repro.tester.oracle import shifted_slack_pass
 
@@ -158,6 +159,7 @@ def _sweep_active_set(
     kd: float,
     align: bool,
     max_iterations: int,
+    kernel: str = "vectorized",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Active-set sweep: compact to still-active chips, scatter on retire.
 
@@ -165,12 +167,22 @@ def _sweep_active_set(
     bound tightening) is row-independent, so dropping retired rows changes
     nothing about the rows that remain — the trace is bit-identical to
     :func:`_sweep_all_rows`, but late iterations only pay for stragglers.
+
+    ``kernel="compiled"`` fuses the oracle + bound-tightening step into
+    one in-place numba pass (:func:`repro.kernels.freqstep.
+    step_bounds_kernel`) over the working copies this function owns —
+    cell-for-cell the same accepted bounds, without the four masks and two
+    fresh arrays per iteration.
     """
     n_chips = true_delays.shape[0]
     out_lower, out_upper = lower, upper
     iterations = np.zeros(n_chips, dtype=int)
     active_idx = np.arange(n_chips, dtype=np.intp)
     delays = true_delays
+    if kernel == "compiled":
+        from repro.kernels.freqstep import step_bounds_kernel
+    else:
+        step_bounds_kernel = None
 
     for _ in range(max_iterations):
         active = (upper - lower) >= epsilon
@@ -200,10 +212,13 @@ def _sweep_active_set(
             shift = spec.shift(x)
             period = weighted_median_rows(centers + shift, weights)
 
-        passed = shifted_slack_pass(delays, shift, period[:, None])
-        bound = period[:, None] - shift
-        upper = np.where(active & passed, np.minimum(upper, bound), upper)
-        lower = np.where(active & ~passed, np.maximum(lower, bound), lower)
+        if step_bounds_kernel is not None:
+            step_bounds_kernel(lower, upper, delays, shift, period, active)
+        else:
+            passed = shifted_slack_pass(delays, shift, period[:, None])
+            bound = period[:, None] - shift
+            upper = np.where(active & passed, np.minimum(upper, bound), upper)
+            lower = np.where(active & ~passed, np.maximum(lower, bound), lower)
         iterations[active_idx] += 1
 
     # Rows that ran out of iterations (or never compacted) scatter here.
@@ -224,14 +239,20 @@ def run_batch_population(
     align: bool = True,
     max_iterations: int | None = None,
     compact: bool = True,
+    kernel: str = "vectorized",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Test one batch across all chips.
 
     ``true_delays`` is ``(n_chips, m)`` for the batch's paths; priors are
     per path.  Returns per-chip bounds and iteration counts.  ``compact``
     selects the active-set engine (default) or the all-rows reference
-    sweep; both produce bit-identical results.
+    sweep; ``kernel`` selects the stepping-update implementation inside
+    the active-set engine (:data:`repro.kernels.TEST_KERNELS`).  All
+    combinations produce bit-identical results.
     """
+    if kernel not in TEST_KERNELS:
+        raise ValueError(f"kernel must be one of {TEST_KERNELS}, got {kernel!r}")
+    kernel = resolve_kernel(kernel)
     true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
     n_chips, m = true_delays.shape
     if epsilon <= 0:
@@ -243,8 +264,12 @@ def run_batch_population(
         max_iterations = _batch_max_iterations(
             prior_lower, prior_upper, epsilon, m
         )
-    sweep = _sweep_active_set if compact else _sweep_all_rows
-    return sweep(
+    if compact:
+        return _sweep_active_set(
+            true_delays, spec, lower, upper, x, epsilon, k0, kd, align,
+            max_iterations, kernel=kernel,
+        )
+    return _sweep_all_rows(
         true_delays, spec, lower, upper, x, epsilon, k0, kd, align,
         max_iterations,
     )
@@ -264,6 +289,7 @@ def _test_shard(
     x_inits: list[np.ndarray] | None,
     compact: bool,
     column_of: dict[int, int],
+    kernel: str = "vectorized",
 ) -> PopulationTestResult:
     """Run every batch over one chip shard."""
     n_chips = true_delays.shape[0]
@@ -286,6 +312,7 @@ def _test_shard(
             kd=kd,
             align=align,
             compact=compact,
+            kernel=kernel,
         )
         cols = np.array([column_of[int(p)] for p in idx], dtype=np.intp)
         lower_full[:, cols] = lower
@@ -315,6 +342,7 @@ def test_population(
     x_inits: list[np.ndarray] | None = None,
     chip_shard_size: int | None = None,
     compact: bool = True,
+    kernel: str = "vectorized",
 ) -> PopulationTestResult:
     """Aligned delay test of every batch over every chip.
 
@@ -341,6 +369,7 @@ def test_population(
         x_inits=x_inits,
         chip_shard_size=chip_shard_size,
         compact=compact,
+        kernel=kernel,
     )
 
 
@@ -359,6 +388,7 @@ def test_population_lazy(
     x_inits: list[np.ndarray] | None = None,
     chip_shard_size: int | None = None,
     compact: bool = True,
+    kernel: str = "vectorized",
 ) -> PopulationTestResult:
     """Out-of-core variant of :func:`test_population`.
 
@@ -397,6 +427,7 @@ def test_population_lazy(
             x_inits,
             compact,
             column_of,
+            kernel=kernel,
         )
         for start in range(0, max(n_chips, 1), shard)
     ]

@@ -24,6 +24,7 @@ and process fan-out share a single reduction code path.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Sequence
@@ -150,12 +151,20 @@ class RunSummary:
     n_feasible: int
     iteration_moments: Moments
     xi_moments: Moments
+    # effilint: disable=EFT001 -- wall-clock timing is observability, not result identity; digest() compares what was computed, not how fast
     tester_seconds_per_chip: float
+    # effilint: disable=EFT001 -- wall-clock timing is observability, not result identity; digest() compares what was computed, not how fast
     config_seconds_per_chip: float
     artifacts: str = "summary"
     passed: np.ndarray | None = None  # (n_chips,) bool
     iterations: np.ndarray | None = None  # (n_chips,) uint16/uint32
     dense: DenseArtifacts | None = None
+    # Wall-clock seconds per pipeline stage ("test"/"predict"/"configure"/
+    # "verify"), summed over shards.  Pure observability: never part of the
+    # result identity (digest() excludes it) and optional end to end, so
+    # payloads written before this field existed load unchanged.
+    # effilint: disable=EFT001 -- wall-clock timing is observability, not result identity; digest() compares what was computed, not how fast
+    stage_seconds: dict[str, float] | None = None
 
     def __post_init__(self) -> None:
         artifacts_rank(self.artifacts)
@@ -205,6 +214,63 @@ class RunSummary:
             "config_seconds_per_chip": self.config_seconds_per_chip,
         }
 
+    def digest(self) -> str:
+        """Content hash of the run's *results*; timing is excluded.
+
+        Two runs that computed identical numbers hash identically,
+        regardless of kernel choice, shard size, worker count, scheduler
+        or wall clock — the bit-identity witness the benchmark gates
+        (``benchmarks/bench_kernels.py``) and the kernel tests compare.
+        Floats enter via ``float.hex`` / raw array bytes, so the digest
+        distinguishes even sub-ulp differences.
+        """
+        h = hashlib.sha256()
+
+        def put(token: str) -> None:
+            h.update(token.encode())
+            h.update(b";")
+
+        def put_moments(m: Moments) -> None:
+            put(str(m.count))
+            for value in (m.mean, m.m2, m.min, m.max):
+                put(float(value).hex())
+
+        def put_array(tag: str, values: np.ndarray | None) -> None:
+            h.update(tag.encode() + b":")
+            if values is None:
+                put("none")
+                return
+            values = np.ascontiguousarray(values)
+            put(str(values.dtype))
+            put(repr(values.shape))
+            h.update(values.tobytes())
+            h.update(b";")
+
+        put(float(self.period).hex())
+        put(str(self.n_chips))
+        put(str(self.n_measured))
+        put(str(self.n_passed))
+        put(str(self.n_feasible))
+        put_moments(self.iteration_moments)
+        put_moments(self.xi_moments)
+        put(self.artifacts)
+        put_array("passed", self.passed)
+        put_array("iterations", self.iterations)
+        if self.dense is not None:
+            test = self.dense.test
+            config = self.dense.configuration
+            put_array("measured_indices", test.measured_indices)
+            put_array("test_lower", test.lower)
+            put_array("test_upper", test.upper)
+            put_array("test_iterations", test.iterations)
+            put_array("test_iterations_per_batch", test.iterations_per_batch)
+            put_array("bounds_lower", self.dense.bounds_lower)
+            put_array("bounds_upper", self.dense.bounds_upper)
+            put_array("feasible", config.feasible)
+            put_array("settings", config.settings)
+            put_array("xi", config.xi)
+        return h.hexdigest()
+
 
 def _compact_iterations(iterations: np.ndarray) -> np.ndarray:
     """Per-chip iteration counts as the narrowest sufficient unsigned dtype."""
@@ -224,6 +290,7 @@ def summarize_shard(
     tester_seconds_per_chip: float,
     config_seconds_per_chip: float,
     artifacts: str = "summary",
+    stage_seconds: dict[str, float] | None = None,
 ) -> RunSummary:
     """Reduce one chip shard's stage artifacts to a :class:`RunSummary`."""
     rank = artifacts_rank(artifacts)
@@ -253,7 +320,23 @@ def summarize_shard(
         )
         if rank >= 2
         else None,
+        stage_seconds=dict(stage_seconds) if stage_seconds else None,
     )
+
+
+def _merge_stage_seconds(
+    parts: Sequence[RunSummary],
+) -> dict[str, float] | None:
+    """Per-stage wall-clock totals across shards (None when never timed)."""
+    totals: dict[str, float] = {}
+    timed = False
+    for part in parts:
+        if part.stage_seconds is None:
+            continue
+        timed = True
+        for stage, seconds in part.stage_seconds.items():
+            totals[stage] = totals.get(stage, 0.0) + float(seconds)
+    return totals if timed else None
 
 
 def _merge_dense(parts: Sequence[DenseArtifacts]) -> DenseArtifacts:
@@ -343,6 +426,7 @@ def merge_run_summaries(parts: Sequence[RunSummary]) -> RunSummary:
             else None
         ),
         dense=dense,
+        stage_seconds=_merge_stage_seconds(parts),
     )
 
 
@@ -374,6 +458,7 @@ class RunReducer:
         passed: np.ndarray,
         tester_seconds_per_chip: float,
         config_seconds_per_chip: float,
+        stage_seconds: dict[str, float] | None = None,
     ) -> RunSummary:
         """Reduce one shard; returns the shard's own summary."""
         part = summarize_shard(
@@ -386,6 +471,7 @@ class RunReducer:
             tester_seconds_per_chip,
             config_seconds_per_chip,
             artifacts=self.artifacts,
+            stage_seconds=stage_seconds,
         )
         self._parts.append(part)
         return part

@@ -1,0 +1,61 @@
+"""Optional compiled fast paths for the two hottest inner loops.
+
+The reproduction's wall-clock at the paper's headline scale (Tables 1/2:
+frequency-stepping test cost over 10^5..10^6 chips) concentrates in two
+inner loops:
+
+* the min-plus relaxation sweep behind every configure/verify feasibility
+  solve (:class:`repro.opt.diffconstraints.RelaxKernel`), and
+* the per-chip frequency-stepping updates of the test stage
+  (:mod:`repro.tester.freqstep` and the batch population engine).
+
+This package holds ``numba``-compiled twins of those loops
+(``@njit(nogil=True, cache=True)``), selected through the existing
+``kernel=`` seam: ``"compiled"`` forces them, ``"auto"`` picks
+``"compiled"`` when numba is importable and falls back to
+``"vectorized"`` otherwise.  numba is strictly optional — without it the
+kernel functions degrade to their pure-Python bodies (bit-identical,
+slow), so ``"compiled"`` remains testable everywhere while ``"auto"``
+never routes production work through the uncompiled fallback.
+
+Every compiled kernel is pinned bit-identical to its vectorized twin: the
+same float operations in the same order, with output buffers named through
+the ``*_out``/``*_buf`` seam so effilint's EFT005 purity rule covers this
+package too (see ``tests/kernels``).
+"""
+
+from __future__ import annotations
+
+from repro.kernels._compile import NUMBA_AVAILABLE
+
+#: Kernel names accepted by the test-stage stepping seam
+#: (``OnlineConfig.test_kernel``, :func:`repro.tester.freqstep.
+#: pathwise_frequency_stepping`, :func:`repro.core.population.
+#: run_batch_population`).  The configure seam accepts these plus
+#: ``"reference"`` (see :data:`repro.core.configuration.KERNELS`).
+TEST_KERNELS = ("auto", "compiled", "vectorized")
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency imported successfully."""
+    return NUMBA_AVAILABLE
+
+
+def resolve_kernel(name: str) -> str:
+    """Resolve the ``"auto"`` kernel name against the environment.
+
+    ``"auto"`` becomes ``"compiled"`` when numba is importable and
+    ``"vectorized"`` otherwise; every other name passes through unchanged
+    (validation stays with the accepting seam, which knows its own menu).
+    """
+    if name == "auto":
+        return "compiled" if NUMBA_AVAILABLE else "vectorized"
+    return name
+
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "TEST_KERNELS",
+    "numba_available",
+    "resolve_kernel",
+]

@@ -1,0 +1,35 @@
+"""The numba shim: ``@njit(nogil=True, cache=True)`` or identity.
+
+numba is an *optional* dependency (``pip install repro[compiled]``).  When
+it is absent the decorator degrades to the identity function, so every
+kernel in this package still runs — as its plain Python body, bit-identical
+but slow — which keeps the ``"compiled"`` selection testable on pure-NumPy
+installs while ``"auto"`` routes around it (see
+:func:`repro.kernels.resolve_kernel`).
+
+``nogil=True`` is what makes the intra-run shard thread pool
+(:mod:`repro.api.parallel`) scale: compiled shards drop the GIL for the
+whole inner loop.  ``cache=True`` persists compilation artifacts next to
+the module (or under ``NUMBA_CACHE_DIR``), so warm processes skip the
+multi-second JIT cost.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only on numba-enabled installs
+    from numba import njit as _numba_njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the pure-NumPy environment
+    _numba_njit = None
+    NUMBA_AVAILABLE = False
+
+
+def njit_kernel(func):
+    """Compile ``func`` with ``@njit(nogil=True, cache=True)`` if possible."""
+    if NUMBA_AVAILABLE:
+        return _numba_njit(nogil=True, cache=True)(func)
+    return func
+
+
+__all__ = ["NUMBA_AVAILABLE", "njit_kernel"]

@@ -1,0 +1,82 @@
+"""Compiled frequency-stepping updates (path-wise and batch engines).
+
+Two kernels, both elementwise over ``(chip, path)`` and therefore
+trivially bit-identical to their NumPy twins:
+
+* :func:`pathwise_step_kernel` — the full binary search of the path-wise
+  baseline, one ``(chip, path)`` cell at a time instead of whole-array
+  lockstep halving.  Per cell the float sequence (midpoint, compare,
+  shrink) is exactly the vectorized one; cells are independent.
+* :func:`step_bounds_kernel` — one fused iteration of the aligned batch
+  engine's oracle + bound tightening
+  (:func:`repro.tester.oracle.shifted_slack_pass` followed by the two
+  masked ``np.minimum``/``np.maximum`` updates in
+  ``_sweep_active_set``), writing the bound buffers in place instead of
+  allocating four masks and two fresh arrays per iteration.
+
+Output buffers carry the ``*_out``/``*_buf`` seam names, so effilint's
+EFT005 purity rule recognizes them as sanctioned write targets.
+"""
+
+from __future__ import annotations
+
+from repro.kernels._compile import njit_kernel
+
+
+@njit_kernel
+def pathwise_step_kernel(
+    lower_out, upper_out, true_delays, epsilon, max_iterations
+):  # pragma: no cover - covered via pathwise_frequency_stepping
+    """Binary-search every ``(chip, path)`` cell down to ``epsilon``.
+
+    ``lower_out``/``upper_out`` hold the prior ranges on entry and the
+    final ranges on return.  Matches the lockstep NumPy loop exactly: a
+    cell stops shrinking once its width drops below ``epsilon``, and no
+    cell steps more than ``max_iterations`` times.
+    """
+    n_chips, n_paths = true_delays.shape
+    for i in range(n_chips):
+        for j in range(n_paths):
+            lo = lower_out[i, j]
+            up = upper_out[i, j]
+            delay = true_delays[i, j]
+            for _ in range(max_iterations):
+                if not (up - lo >= epsilon):
+                    break
+                mid = 0.5 * (lo + up)
+                if delay <= mid:
+                    up = mid
+                else:
+                    lo = mid
+            lower_out[i, j] = lo
+            upper_out[i, j] = up
+
+
+@njit_kernel
+def step_bounds_kernel(
+    lower_buf, upper_buf, true_delays, shift, period, active
+):  # pragma: no cover - covered via run_batch_population
+    """One aligned-test iteration: oracle + bound tightening, in place.
+
+    Fuses ``passed = true_delays + shift <= period`` with the masked
+    ``upper = min(upper, period - shift)`` / ``lower = max(lower, period -
+    shift)`` updates of the batch engine.  Inactive cells are untouched;
+    for active cells the accepted value equals the NumPy path's
+    ``np.minimum``/``np.maximum`` result exactly.
+    """
+    n_chips, n_paths = true_delays.shape
+    for i in range(n_chips):
+        t = period[i]
+        for j in range(n_paths):
+            if not active[i, j]:
+                continue
+            bound = t - shift[i, j]
+            if true_delays[i, j] + shift[i, j] <= t:
+                if bound < upper_buf[i, j]:
+                    upper_buf[i, j] = bound
+            else:
+                if bound > lower_buf[i, j]:
+                    lower_buf[i, j] = bound
+
+
+__all__ = ["pathwise_step_kernel", "step_bounds_kernel"]

@@ -1,0 +1,104 @@
+"""Compiled min-plus relaxation: the per-row twin of ``RelaxKernel``.
+
+:meth:`repro.opt.diffconstraints.RelaxKernel.solve_rows` sweeps all batch
+rows simultaneously with three array operations per level (gather,
+``np.minimum.reduceat``, masked update).  This module is the same
+algorithm turned inside out: one compiled loop nest per *row*, walking the
+identical level schedule — so a row's working set (its ``n_nodes``
+distances plus one weight row) stays in cache for its whole solve, and the
+``nogil`` loop lets shard threads relax different rows concurrently.
+
+Bit-identity argument (pinned by ``tests/kernels``):
+
+* the segmented minimum visits each group's edges in the same kernel
+  order ``np.minimum.reduceat`` reduces them (sequential, NaN-propagating
+  — the ``isnan`` arm below mirrors ``np.minimum`` exactly);
+* the level schedule guarantees no group reads a target written earlier
+  in its own level, so per-group sequential writes see exactly the
+  distances the per-level batched update reads;
+* every accepted update, the epsilon threshold, the divergence floor cut
+  and the final quiescence check apply the same float64 operations in the
+  same order as the vectorized sweep — only the batching differs, and
+  ``floor_bound`` is computed by the caller in NumPy (pairwise summation)
+  so even its rounding matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels._compile import njit_kernel
+
+
+@njit_kernel
+def relax_rows_kernel(
+    dist_out,
+    infeasible_out,
+    w,
+    edge_u,
+    group_start,
+    group_end,
+    group_target,
+    level_ptr,
+    floor_bound,
+    n_nodes,
+    eps,
+):  # pragma: no cover - covered via the dispatching solve_rows
+    """Relax every row of ``w`` to quiescence; write into the out buffers.
+
+    ``dist_out`` is ``(n_rows, n_nodes)`` zeros and ``infeasible_out``
+    ``(n_rows,)`` False on entry.  ``w`` is destination-grouped weights
+    (kernel edge order); the schedule arrays describe the level structure:
+    level ``lv`` spans groups ``level_ptr[lv]:level_ptr[lv+1]``, group
+    ``g`` spans edges ``group_start[g]:group_end[g]`` into node
+    ``group_target[g]``.
+    """
+    n_rows = w.shape[0]
+    n_groups = group_target.shape[0]
+    n_levels = level_ptr.shape[0] - 1
+    for r in range(n_rows):
+        d = dist_out[r]
+        wr = w[r]
+        fb = floor_bound[r]
+        quiesced = False
+        diverged = False
+        for _ in range(n_nodes):
+            changed = False
+            for lv in range(n_levels):
+                for g in range(level_ptr[lv], level_ptr[lv + 1]):
+                    m = np.inf
+                    for e in range(group_start[g], group_end[g]):
+                        c = d[edge_u[e]] + wr[e]
+                        if c < m or np.isnan(c):
+                            m = c
+                    t = group_target[g]
+                    if m < d[t] - eps:
+                        d[t] = m
+                        changed = True
+            if not changed:
+                quiesced = True
+                break
+            dmin = d[0]
+            for k in range(1, n_nodes):
+                if d[k] < dmin:
+                    dmin = d[k]
+            if dmin < fb:
+                diverged = True
+                break
+        if diverged:
+            infeasible_out[r] = True
+        elif not quiesced:
+            # Survived all n_nodes sweeps still improving: negative cycle
+            # iff any group can relax against the final distances.
+            for g in range(n_groups):
+                m = np.inf
+                for e in range(group_start[g], group_end[g]):
+                    c = d[edge_u[e]] + wr[e]
+                    if c < m or np.isnan(c):
+                        m = c
+                if m < d[group_target[g]] - eps:
+                    infeasible_out[r] = True
+                    break
+
+
+__all__ = ["relax_rows_kernel"]

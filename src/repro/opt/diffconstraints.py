@@ -103,6 +103,7 @@ class RelaxKernel:
             raise ValueError("edge endpoints out of range")
         self.n_nodes = int(n_nodes)
         self.n_edges = len(edge_u)
+        self._schedule = None  # flattened level schedule, built on first use
         if self.n_edges == 0:
             self.order = np.zeros(0, dtype=np.intp)
             self._u = self.order
@@ -189,11 +190,31 @@ class RelaxKernel:
         rank[post] = np.arange(n - 1, -1, -1)
         return rank
 
-    def solve(self, weights: np.ndarray, n_batch: int | None = None) -> DiffResult:
+    def _schedule_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The level schedule flattened for the compiled kernel.
+
+        Levels cover consecutive schedule groups, so the group edge ranges
+        are exactly ``_starts`` with their successors and only the
+        per-level group counts need assembling.  Returns ``(group_start,
+        group_end, group_target, level_ptr)``.
+        """
+        if self._schedule is None:
+            group_start = self._starts
+            group_end = np.r_[self._starts[1:], self.n_edges].astype(np.intp)
+            counts = np.array([len(tgts) for _, _, tgts, _ in self._levels], dtype=np.intp)
+            level_ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
+            self._schedule = (group_start, group_end, self._targets, level_ptr)
+        return self._schedule
+
+    def solve(
+        self, weights: np.ndarray, n_batch: int | None = None, mode: str = "vectorized"
+    ) -> DiffResult:
         """Feasibility + witness; ``weights`` in original edge order.
 
         ``weights`` is ``(n_edges,)`` for a scalar system or ``(n_edges,
         n_batch)`` for a batched one.  Matches :func:`bellman_ford`.
+        ``mode`` selects the sweep implementation (``"vectorized"`` or the
+        bit-identical ``"compiled"`` per-row kernel).
         """
         weights = np.asarray(weights, dtype=float)
         batched = weights.ndim == 2
@@ -210,26 +231,35 @@ class RelaxKernel:
                     f"weights shape {weights.shape} does not match ({self.n_edges},)"
                 )
             rows = weights[self.order].reshape(1, -1)
-        dist, infeasible = self.solve_rows(np.ascontiguousarray(rows))
+        dist, infeasible = self.solve_rows(np.ascontiguousarray(rows), mode=mode)
         if batched:
             return DiffResult(~infeasible, dist)
         return DiffResult(bool(~infeasible[0]), dist[0])
 
     def solve_rows(
-        self, weights: np.ndarray
+        self, weights: np.ndarray, mode: str = "vectorized"
     ) -> tuple[np.ndarray, np.ndarray]:
         """Core solve on destination-grouped ``(rows, n_edges)`` weights.
 
         The fast path for callers that precompute weights directly in the
         kernel's edge order (see
         :class:`repro.core.configuration.ConfigGraph`).  Returns ``(dist,
-        infeasible)``; infeasible rows of ``dist`` contain NaN.
+        infeasible)``; infeasible rows of ``dist`` contain NaN.  ``mode``
+        picks the vectorized all-rows sweep (default) or the compiled
+        per-row kernel of :mod:`repro.kernels.relax` — bit-identical by
+        construction and pinned by ``tests/kernels``.
         """
+        if mode not in ("vectorized", "compiled"):
+            raise ValueError(
+                f"mode must be 'vectorized' or 'compiled', got {mode!r}"
+            )
         n_rows = weights.shape[0]
         dist = np.zeros((n_rows, self.n_nodes))
         infeasible = np.zeros(n_rows, dtype=bool)
         if self.n_edges == 0 or n_rows == 0:
             return dist, infeasible
+        if mode == "compiled":
+            return self._solve_rows_compiled(weights, dist, infeasible)
 
         u = self._u
         # Working set: rows still making >eps improvements.  `d`/`w` are
@@ -299,6 +329,38 @@ class RelaxKernel:
         infeasible[active_idx[bad]] = True
         dist[infeasible] = np.nan
         return dist, infeasible
+
+    def _solve_rows_compiled(
+        self, weights: np.ndarray, dist_out: np.ndarray, infeasible_out: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dispatch one batch to the compiled per-row relaxation kernel.
+
+        The early negative-cycle floor is computed here in NumPy (pairwise
+        summation) and passed in, so its float rounding matches the
+        vectorized sweep bit for bit; the kernel itself replays the same
+        level schedule row by row (see :mod:`repro.kernels.relax`).
+        """
+        from repro.kernels.relax import relax_rows_kernel
+
+        w = np.ascontiguousarray(weights, dtype=float)
+        floor_bound = np.minimum(w, 0.0).sum(axis=1)
+        floor_bound -= 1e-6 + 1e-9 * np.abs(w).sum(axis=1)
+        group_start, group_end, group_target, level_ptr = self._schedule_arrays()
+        relax_rows_kernel(
+            dist_out,
+            infeasible_out,
+            w,
+            self._u,
+            group_start,
+            group_end,
+            group_target,
+            level_ptr,
+            floor_bound,
+            self.n_nodes,
+            _EPS,
+        )
+        dist_out[infeasible_out] = np.nan
+        return dist_out, infeasible_out
 
 
 def bellman_ford(

@@ -226,6 +226,11 @@ def summary_payload(summary: RunSummary) -> tuple[dict, dict[str, np.ndarray]]:
         "artifacts": summary.artifacts,
         "arrays": sorted(arrays),
     }
+    if summary.stage_seconds is not None:
+        meta["stage_seconds"] = {
+            stage: float(seconds)
+            for stage, seconds in summary.stage_seconds.items()
+        }
     return meta, arrays
 
 
@@ -270,6 +275,8 @@ def payload_summary(
         passed=arrays.get("passed"),
         iterations=arrays.get("iterations"),
         dense=dense,
+        # .get(): records written before stage timing existed load fine.
+        stage_seconds=meta.get("stage_seconds"),
     )
 
 

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import TEST_KERNELS, resolve_kernel
+
 
 @dataclass(frozen=True)
 class PathwiseResult:
@@ -49,13 +51,21 @@ def pathwise_frequency_stepping(
     prior_stds: np.ndarray,
     epsilon: float,
     sigma_window: float = 3.0,
+    kernel: str = "vectorized",
 ) -> PathwiseResult:
     """Binary-search every path of every chip independently.
 
     ``true_delays`` is ``(n_chips, n_paths)``; the priors are per path.
     Fully vectorized: all chips/paths step in lockstep since the iteration
-    count depends only on the prior width.
+    count depends only on the prior width.  ``kernel`` selects the
+    stepping implementation (:data:`repro.kernels.TEST_KERNELS`):
+    ``"compiled"`` runs the per-cell numba loop of
+    :mod:`repro.kernels.freqstep` — cells are independent and step the
+    same midpoints, so results are bit-identical (pinned by tests).
     """
+    if kernel not in TEST_KERNELS:
+        raise ValueError(f"kernel must be one of {TEST_KERNELS}, got {kernel!r}")
+    kernel = resolve_kernel(kernel)
     true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
     prior_means = np.asarray(prior_means, dtype=float)
     prior_stds = np.asarray(prior_stds, dtype=float)
@@ -66,15 +76,24 @@ def pathwise_frequency_stepping(
     lower = np.tile(prior_means - sigma_window * prior_stds, (n_chips, 1))
     upper = np.tile(prior_means + sigma_window * prior_stds, (n_chips, 1))
     iters = required_iterations(upper[0] - lower[0], epsilon)
+    max_iterations = int(iters.max(initial=0))
 
-    for _ in range(int(iters.max(initial=0))):
-        active = (upper - lower) >= epsilon
-        midpoint = 0.5 * (lower + upper)
-        passed = true_delays <= midpoint
-        shrink_upper = active & passed
-        shrink_lower = active & ~passed
-        upper[shrink_upper] = midpoint[shrink_upper]
-        lower[shrink_lower] = midpoint[shrink_lower]
+    if kernel == "compiled":
+        from repro.kernels.freqstep import pathwise_step_kernel
+
+        pathwise_step_kernel(
+            lower, upper, np.ascontiguousarray(true_delays), epsilon,
+            max_iterations,
+        )
+    else:
+        for _ in range(max_iterations):
+            active = (upper - lower) >= epsilon
+            midpoint = 0.5 * (lower + upper)
+            passed = true_delays <= midpoint
+            shrink_upper = active & passed
+            shrink_lower = active & ~passed
+            upper[shrink_upper] = midpoint[shrink_upper]
+            lower[shrink_lower] = midpoint[shrink_lower]
 
     return PathwiseResult(
         lower=lower,

@@ -26,6 +26,8 @@ _ALTERNATES = {
     "chip_shard_size": 7,  # None -> a real shard bound
     "artifacts": "summary",  # validated by artifacts_rank
     "configure_kernel": "reference",  # validated against KERNELS
+    "test_kernel": "vectorized",  # validated against TEST_KERNELS
+    "shard_workers": 2,  # None -> a real thread count
     "epsilon": 0.5,  # None -> explicit resolution
     "xi_tolerance": 0.5,  # None -> explicit tolerance
     "pc_criterion": "centroid",
@@ -105,6 +107,8 @@ class TestOnlineConfig:
         assert _annotated_exclusions("OnlineConfig") == {
             "chip_shard_size",
             "configure_kernel",
+            "test_kernel",
+            "shard_workers",
             "artifacts",
         }
 

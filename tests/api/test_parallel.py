@@ -1,0 +1,196 @@
+"""Worker-count validation, the shard thread pool, and threaded-run identity."""
+
+import threading
+
+import pytest
+
+from repro.api import Engine, OnlineConfig, Scenario
+from repro.api.parallel import (
+    ShardExecutor,
+    process_cpu_count,
+    resolve_shard_workers,
+    validate_max_workers,
+    validate_shard_workers,
+)
+
+from _common import TINY_OFFLINE
+
+
+class TestValidation:
+    def test_none_passes(self):
+        validate_max_workers(None)
+        validate_shard_workers(None)
+
+    @pytest.mark.parametrize("bad", [0, -3, True, False, 2.0, "2"])
+    def test_max_workers_rejects_non_positive_and_non_int(self, bad):
+        with pytest.raises(ValueError, match="max_workers"):
+            validate_max_workers(bad)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="overlap"):
+            validate_max_workers(0, name="overlap")
+
+    def test_shard_workers_accepts_auto(self):
+        validate_shard_workers("auto")
+        assert resolve_shard_workers("auto") == process_cpu_count()
+
+    @pytest.mark.parametrize("bad", ["all", 0, -1, True])
+    def test_shard_workers_rejects_everything_else(self, bad):
+        with pytest.raises(ValueError, match="shard_workers"):
+            validate_shard_workers(bad)
+
+    def test_resolution(self):
+        assert resolve_shard_workers(None) == 1
+        assert resolve_shard_workers(3) == 3
+
+    def test_process_cpu_count_positive(self):
+        assert process_cpu_count() >= 1
+
+    def test_engine_sweep_rejects_zero_workers(self, tiny_circuit, tiny_periods):
+        engine = Engine(offline=TINY_OFFLINE)
+        scenario = Scenario(tiny_circuit, period=tiny_periods[0], n_chips=4)
+        with pytest.raises(ValueError, match="max_workers"):
+            list(engine.sweep([scenario], max_workers=0))
+
+    def test_engine_sweep_rejects_overlap_plus_pool(
+        self, tiny_circuit, tiny_periods
+    ):
+        engine = Engine(offline=TINY_OFFLINE)
+        scenario = Scenario(tiny_circuit, period=tiny_periods[0], n_chips=4)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            list(engine.sweep([scenario], max_workers=2, overlap=2))
+
+
+class TestShardExecutor:
+    def test_results_in_submission_order(self):
+        executor = ShardExecutor(4)
+        barrier = threading.Barrier(3, timeout=10.0)
+
+        def job(i):
+            if i < 3:
+                barrier.wait()  # first three finish in scrambled order
+            return i
+
+        assert executor.map(job, [(i,) for i in range(6)]) == list(range(6))
+
+    def test_serial_fallback_for_one_worker(self):
+        threads = set()
+
+        def job(i):
+            threads.add(threading.current_thread())
+            return i * i
+
+        assert ShardExecutor(1).map(job, [(i,) for i in range(4)]) == [
+            0, 1, 4, 9,
+        ]
+        assert threads == {threading.main_thread()}
+
+    def test_empty_items(self):
+        assert ShardExecutor(2).map(lambda: None, []) == []
+
+    def test_exception_propagates(self):
+        def job(i):
+            if i == 2:
+                raise RuntimeError("shard 2 failed")
+            return i
+
+        with pytest.raises(RuntimeError, match="shard 2 failed"):
+            ShardExecutor(3).map(job, [(i,) for i in range(4)])
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ShardExecutor(0)
+
+
+class TestThreadedRunIdentity:
+    """shard_workers must never change what a run computes."""
+
+    @pytest.fixture(scope="class")
+    def serial_summary(self, tiny_circuit, tiny_periods):
+        engine = Engine(offline=TINY_OFFLINE)
+        online = OnlineConfig(chip_shard_size=16, artifacts="dense")
+        result = engine.run(
+            tiny_circuit,
+            Scenario(tiny_circuit, period=tiny_periods[0], n_chips=48).chip_source(),
+            tiny_periods[0],
+            online=online,
+        )
+        return result.summary
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_threaded_digest_matches_serial(
+        self, tiny_circuit, tiny_periods, serial_summary, workers
+    ):
+        engine = Engine(offline=TINY_OFFLINE)
+        online = OnlineConfig(
+            chip_shard_size=16, artifacts="dense", shard_workers=workers
+        )
+        result = engine.run(
+            tiny_circuit,
+            Scenario(tiny_circuit, period=tiny_periods[0], n_chips=48).chip_source(),
+            tiny_periods[0],
+            online=online,
+        )
+        assert result.summary.digest() == serial_summary.digest()
+
+    def test_threaded_dense_population_matches(
+        self, tiny_circuit, tiny_population, tiny_periods, serial_summary
+    ):
+        """A dense population threads through view slices, same result."""
+        engine = Engine(offline=TINY_OFFLINE)
+        online = OnlineConfig(
+            chip_shard_size=16, artifacts="dense", shard_workers=2
+        )
+        result = engine.run(
+            tiny_circuit, tiny_population, tiny_periods[0], online=online
+        )
+        serial = engine.run(
+            tiny_circuit,
+            tiny_population,
+            tiny_periods[0],
+            online=OnlineConfig(chip_shard_size=16, artifacts="dense"),
+        )
+        assert result.summary.digest() == serial.summary.digest()
+
+    def test_single_shard_stays_serial(self, tiny_circuit, tiny_periods):
+        """Without chip_shard_size there is one shard — nothing to fan out,
+        and the run must still work with shard_workers set."""
+        engine = Engine(offline=TINY_OFFLINE)
+        online = OnlineConfig(shard_workers=4, artifacts="summary")
+        result = engine.run(
+            tiny_circuit,
+            Scenario(tiny_circuit, period=tiny_periods[0], n_chips=8).chip_source(),
+            tiny_periods[0],
+            online=online,
+        )
+        assert result.summary.n_chips == 8
+
+    def test_stage_seconds_recorded(self, tiny_circuit, tiny_periods):
+        engine = Engine(offline=TINY_OFFLINE)
+        online = OnlineConfig(
+            chip_shard_size=8, shard_workers=2, artifacts="summary"
+        )
+        result = engine.run(
+            tiny_circuit,
+            Scenario(tiny_circuit, period=tiny_periods[0], n_chips=24).chip_source(),
+            tiny_periods[0],
+            online=online,
+        )
+        timing = result.summary.stage_seconds
+        assert timing is not None
+        assert set(timing) == {"test", "predict", "configure", "verify"}
+        assert all(seconds >= 0.0 for seconds in timing.values())
+
+    def test_digest_insensitive_to_timing(self, serial_summary):
+        """The digest compares results, not wall clock."""
+        import dataclasses
+
+        faster = dataclasses.replace(
+            serial_summary,
+            tester_seconds_per_chip=0.0,
+            config_seconds_per_chip=0.0,
+            stage_seconds={"test": 0.0},
+        )
+        assert faster.digest() == serial_summary.digest()
+        worse = dataclasses.replace(serial_summary, n_passed=0)
+        assert worse.digest() != serial_summary.digest()

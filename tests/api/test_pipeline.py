@@ -1,0 +1,268 @@
+"""ScenarioPipeline scheduling and the pipelined (overlap=) sweep."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, OnlineConfig, ScenarioGrid
+from repro.api.pipeline import ScenarioPipeline
+from repro.results import RunStore
+
+from _common import TINY_OFFLINE
+
+#: Compact retention plus sharding so the reducer merge path is exercised.
+COMPACT = OnlineConfig(artifacts="compact", chip_shard_size=7)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestScenarioPipeline:
+    def test_all_items_complete_with_payloads(self):
+        prepared = []
+
+        def prepare(i):
+            prepared.append(i)
+            return i * 10
+
+        pipeline = ScenarioPipeline(
+            5, prepare, lambda i, payload: payload + i, in_flight=2
+        )
+        try:
+            results = dict(pipeline.results())
+        finally:
+            pipeline.close()
+        assert results == {i: i * 11 for i in range(5)}
+        # Preparation is strictly sequential in input order.
+        assert prepared == list(range(5))
+
+    def test_zero_items(self):
+        pipeline = ScenarioPipeline(0, lambda i: i, lambda i, p: p)
+        try:
+            assert list(pipeline.results()) == []
+        finally:
+            pipeline.close()
+
+    def test_in_flight_bounds_preparation(self):
+        """With runs blocked, at most ``in_flight`` items pass prepare."""
+        started = []
+        gate = threading.Event()
+
+        def prepare(i):
+            started.append(i)
+            return i
+
+        def run(i, payload):
+            assert gate.wait(timeout=10.0)
+            return payload
+
+        pipeline = ScenarioPipeline(6, prepare, run, in_flight=2)
+        try:
+            assert _wait_until(lambda: len(started) == 2)
+            time.sleep(0.1)  # give an over-eager prep thread rope
+            assert started == [0, 1]  # item 2 must wait for a free slot
+            gate.set()
+            assert sorted(i for i, _ in pipeline.results()) == list(range(6))
+        finally:
+            gate.set()
+            pipeline.close()
+
+    def test_prepare_failure_propagates(self):
+        def prepare(i):
+            if i == 1:
+                raise ValueError("prep boom")
+            return i
+
+        pipeline = ScenarioPipeline(3, prepare, lambda i, p: p, in_flight=2)
+        try:
+            with pytest.raises(ValueError, match="prep boom"):
+                list(pipeline.results())
+        finally:
+            pipeline.close()
+
+    def test_run_failure_propagates(self):
+        def run(i, payload):
+            if i == 2:
+                raise RuntimeError("run boom")
+            return payload
+
+        pipeline = ScenarioPipeline(4, lambda i: i, run, in_flight=2)
+        try:
+            with pytest.raises(RuntimeError, match="run boom"):
+                list(pipeline.results())
+        finally:
+            pipeline.close()
+
+    def test_on_complete_fires_per_success(self):
+        completed = []
+        pipeline = ScenarioPipeline(
+            4,
+            lambda i: i + 100,
+            lambda i, payload: payload * 2,
+            in_flight=2,
+            on_complete=lambda i, payload, result: completed.append(
+                (i, payload, result)
+            ),
+        )
+        try:
+            list(pipeline.results())
+        finally:
+            pipeline.close()
+        assert sorted(completed) == [
+            (i, i + 100, (i + 100) * 2) for i in range(4)
+        ]
+
+    def test_close_stops_preparation_early(self):
+        """Abandoning the pipeline must not prepare the whole input."""
+        started = []
+
+        def prepare(i):
+            started.append(i)
+            return i
+
+        def run(i, payload):
+            time.sleep(0.05)
+            return payload
+
+        pipeline = ScenarioPipeline(50, prepare, run, in_flight=2)
+        results = pipeline.results()
+        next(results)
+        pipeline.close()
+        assert len(started) < 50
+
+    def test_close_waits_for_in_flight_on_complete(self):
+        """close() returns only after running items finish, so their
+        on_complete side effects (store writes) are never torn."""
+        banked = []
+
+        def run(i, payload):
+            time.sleep(0.05)
+            return payload
+
+        pipeline = ScenarioPipeline(
+            10, lambda i: i, run, in_flight=3,
+            on_complete=lambda i, payload, result: banked.append(i),
+        )
+        results = pipeline.results()
+        next(results)
+        pipeline.close()
+        snapshot = list(banked)
+        time.sleep(0.1)
+        assert banked == snapshot  # nothing completes after close returns
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_items": -1},
+            {"in_flight": 0},
+            {"run_workers": 0},
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        params = {"n_items": 3, "in_flight": 2, "run_workers": 1, **kwargs}
+        with pytest.raises(ValueError):
+            ScenarioPipeline(
+                params["n_items"], lambda i: i, lambda i, p: p,
+                in_flight=params["in_flight"],
+                run_workers=params["run_workers"],
+            )
+
+
+def _grid(circuit, t1, t2):
+    return ScenarioGrid(
+        circuit,
+        periods=[t1, 0.5 * (t1 + t2), t2, 1.02 * t2],
+        n_chips=18,
+        clock_period=t1,
+        offline=TINY_OFFLINE,
+        online=COMPACT,
+    )
+
+
+def _assert_same_run(a, b):
+    assert a.label == b.label and a.period == b.period
+    assert a.yield_fraction == b.yield_fraction
+    assert a.summary.digest() == b.summary.digest()
+    np.testing.assert_array_equal(a.summary.passed, b.summary.passed)
+
+
+class TestPipelinedSweep:
+    def test_matches_serial_sweep(self, tiny_circuit, tiny_periods):
+        t1, t2 = tiny_periods
+        grid = _grid(tiny_circuit, t1, t2)
+        serial = list(Engine(offline=TINY_OFFLINE).sweep(grid))
+        pipelined = list(
+            Engine(offline=TINY_OFFLINE).sweep(grid, overlap=2)
+        )
+        assert len(pipelined) == len(serial) == 4
+        for a, b in zip(serial, pipelined):
+            _assert_same_run(a, b)
+
+    def test_populates_store_and_rerun_is_warm(
+        self, tiny_circuit, tiny_periods, tmp_path
+    ):
+        t1, t2 = tiny_periods
+        store = RunStore(tmp_path / "runs")
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        cold = list(engine.sweep(grid, store=store, overlap=2))
+        assert len(store) == 4
+        assert not any(r.from_store for r in cold)
+        warm = list(engine.sweep(grid, store=store, overlap=2))
+        assert all(r.from_store for r in warm)
+        for a, b in zip(cold, warm):
+            _assert_same_run(a, b)
+
+    def test_resumes_partial_store_in_input_order(
+        self, tiny_circuit, tiny_periods, tmp_path
+    ):
+        """Stored scenarios load, missing ones compute, yield order is
+        input order either way."""
+        t1, t2 = tiny_periods
+        store = RunStore(tmp_path / "runs")
+        engine = Engine(offline=TINY_OFFLINE)
+        scenarios = _grid(tiny_circuit, t1, t2).scenarios()
+        first = list(engine.sweep(scenarios[1:3], store=store))
+        assert len(store) == 2
+        resumed = list(engine.sweep(scenarios, store=store, overlap=2))
+        assert [r.period for r in resumed] == [s.period for s in scenarios]
+        assert [r.from_store for r in resumed] == [False, True, True, False]
+        for a, b in zip(first, resumed[1:3]):
+            _assert_same_run(a, b)
+        assert len(store) == 4
+
+    def test_abandoned_sweep_salvages_finished_runs(
+        self, tiny_circuit, tiny_periods, tmp_path
+    ):
+        """Breaking out of a pipelined sweep banks every completed run:
+        results are stored from the run worker the moment they finish."""
+        t1, t2 = tiny_periods
+        store = RunStore(tmp_path / "runs")
+        engine = Engine(offline=TINY_OFFLINE)
+        grid = _grid(tiny_circuit, t1, t2)
+        sweep = engine.sweep(grid, store=store, overlap=2)
+        first = next(sweep)
+        sweep.close()
+        assert not first.from_store
+        assert 1 <= len(store) <= len(grid)
+        warm = list(engine.sweep(grid, store=store))
+        assert warm[0].from_store
+        _assert_same_run(first, warm[0])
+
+    def test_overlap_allows_serial_pool(self, tiny_circuit, tiny_periods):
+        """overlap composes with max_workers=1 (an explicitly serial
+        pool); only max_workers > 1 is mutually exclusive."""
+        t1, t2 = tiny_periods
+        grid = _grid(tiny_circuit, t1, t2)
+        records = list(
+            Engine(offline=TINY_OFFLINE).sweep(grid, max_workers=1, overlap=2)
+        )
+        assert len(records) == 4

@@ -331,9 +331,9 @@ class TestBinarySearchConvergence:
         calls = []
         original = RelaxKernel.solve_rows
 
-        def counting(self, weights):
+        def counting(self, weights, mode="vectorized"):
             calls.append(weights.shape[0])
-            return original(self, weights)
+            return original(self, weights, mode=mode)
 
         monkeypatch.setattr(RelaxKernel, "solve_rows", counting)
         result = configure_chips(structure, lower, upper, 10.0, **kwargs)

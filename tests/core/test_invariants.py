@@ -94,7 +94,10 @@ def test_milp_formulations_equivalent(seed):
     weights = rng.uniform(0.5, 3.0, size=3)
     _, _, compact = solve_alignment_milp(spec, centers, weights, "compact")
     _, _, paper = solve_alignment_milp(spec, centers, weights, "paper")
-    assert compact.objective == pytest.approx(paper.objective, abs=1e-5)
+    # Equal up to the solver's MIP optimality gap: HiGHS accepts incumbents
+    # within a 1e-4 *relative* gap by default, so either encoding may stop
+    # that far from the true optimum (seed 21 lands at ~7e-5 relative).
+    assert compact.objective == pytest.approx(paper.objective, rel=2e-4)
 
 
 @settings(max_examples=20, deadline=None)

@@ -1,0 +1,88 @@
+"""The numba shim, kernel-name resolution, and the config seam."""
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.api import OnlineConfig
+from repro.kernels import TEST_KERNELS, numba_available, resolve_kernel
+from repro.kernels._compile import NUMBA_AVAILABLE, njit_kernel
+
+
+class TestShim:
+    def test_flag_and_probe_agree(self):
+        assert numba_available() is NUMBA_AVAILABLE
+
+    def test_identity_decorator_without_numba(self):
+        """Without numba the decorator must hand the function back
+        unchanged — the "compiled" selection then runs the plain Python
+        body, bit-identical but slow."""
+        if NUMBA_AVAILABLE:
+            pytest.skip("numba present: decorator wraps instead")
+
+        def probe(x):
+            return x + 1
+
+        assert njit_kernel(probe) is probe
+
+    def test_kernels_run_without_numba(self):
+        """The compiled kernels are callable either way (here: the
+        path-wise stepping kernel on a trivial cell)."""
+        from repro.kernels.freqstep import pathwise_step_kernel
+
+        lower = np.array([[0.0]])
+        upper = np.array([[8.0]])
+        pathwise_step_kernel(lower, upper, np.array([[3.0]]), 1.0, 10)
+        assert upper[0, 0] - lower[0, 0] < 1.0
+        assert lower[0, 0] <= 3.0 <= upper[0, 0]
+
+
+class TestResolveKernel:
+    def test_auto_follows_numba_presence(self, monkeypatch):
+        monkeypatch.setattr(kernels, "NUMBA_AVAILABLE", False)
+        assert resolve_kernel("auto") == "vectorized"
+        monkeypatch.setattr(kernels, "NUMBA_AVAILABLE", True)
+        assert resolve_kernel("auto") == "compiled"
+
+    def test_explicit_names_pass_through(self):
+        assert resolve_kernel("vectorized") == "vectorized"
+        assert resolve_kernel("compiled") == "compiled"
+        assert resolve_kernel("reference") == "reference"
+
+    def test_menu(self):
+        assert TEST_KERNELS == ("auto", "compiled", "vectorized")
+
+
+class TestOnlineConfigSeam:
+    def test_defaults_are_auto(self):
+        online = OnlineConfig()
+        assert online.configure_kernel == "auto"
+        assert online.test_kernel == "auto"
+        assert online.shard_workers is None
+
+    def test_test_kernel_validated(self):
+        with pytest.raises(ValueError, match="test_kernel"):
+            OnlineConfig(test_kernel="gpu")
+
+    def test_reference_is_configure_only(self):
+        # The stepping seam has no reference twin; only configure does.
+        OnlineConfig(configure_kernel="reference")
+        with pytest.raises(ValueError, match="test_kernel"):
+            OnlineConfig(test_kernel="reference")
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.5, "four"])
+    def test_shard_workers_validated(self, bad):
+        with pytest.raises(ValueError, match="shard_workers"):
+            OnlineConfig(shard_workers=bad)
+
+    def test_shard_workers_accepts_auto_and_ints(self):
+        OnlineConfig(shard_workers="auto")
+        OnlineConfig(shard_workers=4)
+
+    def test_kernel_knobs_do_not_fork_result_keys(self):
+        base = OnlineConfig().result_fields()
+        assert OnlineConfig(test_kernel="compiled").result_fields() == base
+        assert OnlineConfig(shard_workers=8).result_fields() == base
+        assert (
+            OnlineConfig(configure_kernel="reference").result_fields() == base
+        )

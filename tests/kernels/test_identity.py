@@ -1,0 +1,170 @@
+"""Bit-identity pins: compiled kernels vs their vectorized/reference twins.
+
+Without numba the "compiled" selection runs the same kernel bodies as
+plain Python (see ``repro.kernels._compile``), so these pins hold — and
+mean the same thing — on every install; on a numba-enabled install they
+additionally pin the JIT-compiled code.  Everything asserts *exact* array
+equality, NaN rows included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.population import test_population as run_test_population
+from repro.opt.diffconstraints import RelaxKernel, bellman_ford_reference
+from repro.tester.freqstep import pathwise_frequency_stepping
+
+
+def random_graph(rng, max_nodes=10, max_edges=24):
+    n = int(rng.integers(2, max_nodes))
+    n_edges = int(rng.integers(1, max_edges))
+    edge_u = rng.integers(0, n, size=n_edges)
+    edge_v = rng.integers(0, n, size=n_edges)
+    return n, edge_u, edge_v
+
+
+class TestRelaxCompiled:
+    """The per-row compiled relaxation vs the vectorized sweep (and the
+    per-edge reference), over randomized batched systems."""
+
+    def _assert_triple_identity(self, n, edge_u, edge_v, weights, n_batch):
+        kernel = RelaxKernel(n, edge_u, edge_v)
+        compiled = kernel.solve(weights, n_batch=n_batch, mode="compiled")
+        vectorized = kernel.solve(weights, n_batch=n_batch, mode="vectorized")
+        reference = bellman_ford_reference(
+            n, edge_u, edge_v, weights, n_batch=n_batch
+        )
+        for got in (compiled,):
+            np.testing.assert_array_equal(
+                np.asarray(got.feasible), np.asarray(vectorized.feasible)
+            )
+            np.testing.assert_array_equal(got.x, vectorized.x)
+        np.testing.assert_array_equal(
+            np.asarray(compiled.feasible), np.asarray(reference.feasible)
+        )
+        np.testing.assert_array_equal(compiled.x, reference.x)
+
+    def test_randomized_continuous_identity(self):
+        for seed in range(120):
+            rng = np.random.default_rng(seed)
+            n, edge_u, edge_v = random_graph(rng)
+            n_batch = int(rng.integers(1, 7))
+            weights = rng.uniform(-2.0, 2.0, size=(len(edge_u), n_batch))
+            self._assert_triple_identity(n, edge_u, edge_v, weights, n_batch)
+
+    def test_randomized_lattice_identity(self):
+        """Lattice-floored weights — the discrete configure mode."""
+        step = 0.1
+        for seed in range(120):
+            rng = np.random.default_rng(5_000_000 + seed)
+            n, edge_u, edge_v = random_graph(rng)
+            n_batch = int(rng.integers(1, 7))
+            raw = rng.uniform(-2.0, 2.0, size=(len(edge_u), n_batch))
+            weights = np.floor(raw / step + 1e-9) * step
+            self._assert_triple_identity(n, edge_u, edge_v, weights, n_batch)
+
+    def test_infeasible_rows_identical(self):
+        """Negative-cycle rows: same verdicts, same all-NaN witnesses."""
+        weights = np.array([[-1.0, -1.0, 0.5], [1.5, -2.0, -0.6]])
+        kernel = RelaxKernel(2, np.array([0, 1]), np.array([1, 0]))
+        compiled = kernel.solve(weights, n_batch=3, mode="compiled")
+        vectorized = kernel.solve(weights, n_batch=3, mode="vectorized")
+        assert compiled.feasible.tolist() == vectorized.feasible.tolist()
+        np.testing.assert_array_equal(compiled.x, vectorized.x)
+        assert np.isnan(compiled.x[1]).all()
+
+    def test_mode_validated(self):
+        kernel = RelaxKernel(2, np.array([0]), np.array([1]))
+        with pytest.raises(ValueError, match="mode"):
+            kernel.solve_rows(np.array([[1.0]]), mode="gpu")
+
+
+class TestPathwiseCompiled:
+    def test_randomized_identity(self):
+        for seed in range(25):
+            rng = np.random.default_rng(9_000_000 + seed)
+            n_chips = int(rng.integers(1, 40))
+            n_paths = int(rng.integers(1, 12))
+            means = rng.uniform(50.0, 100.0, size=n_paths)
+            stds = rng.uniform(0.5, 4.0, size=n_paths)
+            delays = means + stds * rng.standard_normal((n_chips, n_paths))
+            results = {
+                kernel: pathwise_frequency_stepping(
+                    delays, means, stds, epsilon=0.25, kernel=kernel
+                )
+                for kernel in ("compiled", "vectorized")
+            }
+            np.testing.assert_array_equal(
+                results["compiled"].lower, results["vectorized"].lower
+            )
+            np.testing.assert_array_equal(
+                results["compiled"].upper, results["vectorized"].upper
+            )
+            assert (
+                results["compiled"].total_iterations
+                == results["vectorized"].total_iterations
+            )
+
+    def test_kernel_validated(self):
+        with pytest.raises(ValueError, match="kernel"):
+            pathwise_frequency_stepping(
+                np.zeros((1, 1)), np.zeros(1), np.ones(1), 0.5,
+                kernel="reference",
+            )
+
+
+class TestBatchEngineCompiled:
+    """The fused stepping kernel inside the aligned batch engine."""
+
+    def test_full_test_stage_identity(self, tiny_preparation, tiny_population):
+        """End to end through test_population: measured bounds, per-chip
+        and per-batch iteration counts all bit-identical — with and
+        without shard streaming, so shard boundaries cross-check too."""
+        prep = tiny_preparation
+        results = {}
+        for kernel in ("compiled", "vectorized"):
+            for shard in (None, 17):
+                results[kernel, shard] = run_test_population(
+                    tiny_population.required,
+                    prep.plan,
+                    prep.specs,
+                    prep.prior_means,
+                    prep.prior_stds,
+                    prep.epsilon,
+                    x_inits=prep.x_inits,
+                    chip_shard_size=shard,
+                    kernel=kernel,
+                )
+        baseline = results["vectorized", None]
+        for key, got in results.items():
+            np.testing.assert_array_equal(got.lower, baseline.lower)
+            np.testing.assert_array_equal(got.upper, baseline.upper)
+            np.testing.assert_array_equal(got.iterations, baseline.iterations)
+            np.testing.assert_array_equal(
+                got.iterations_per_batch, baseline.iterations_per_batch
+            )
+
+    def test_alignment_off_identity(self, tiny_preparation, tiny_population):
+        prep = tiny_preparation
+        results = {
+            kernel: run_test_population(
+                tiny_population.required,
+                prep.plan,
+                prep.specs,
+                prep.prior_means,
+                prep.prior_stds,
+                prep.epsilon,
+                align=False,
+                kernel=kernel,
+            )
+            for kernel in ("compiled", "vectorized")
+        }
+        np.testing.assert_array_equal(
+            results["compiled"].lower, results["vectorized"].lower
+        )
+        np.testing.assert_array_equal(
+            results["compiled"].upper, results["vectorized"].upper
+        )
+        np.testing.assert_array_equal(
+            results["compiled"].iterations, results["vectorized"].iterations
+        )

@@ -1,0 +1,391 @@
+"""Test-stage benchmark: adaptive graduated budgets vs the uniform budget.
+
+The online test stage's cost is the paper's ``t_a`` — mean
+frequency-stepping iterations per chip.  The uniform budget steps every
+measured path down to the offline resolution ``epsilon`` on every chip;
+the adaptive budget (``OnlineConfig(test_budget="adaptive")``) runs a
+*graduated* test instead:
+
+1. a **coarse pass** at a per-path resolution from
+   :func:`repro.core.budget.coarse_epsilon` — paths with low SSTA
+   criticality and a tight conditional sigma get a coarser (cheaper)
+   resolution;
+2. a per-chip **refinement certificate**
+   (:func:`repro.core.budget.certify_refinement`) that brackets what any
+   epsilon-resolution rerun could conclude — configure feasibility and
+   the verify verdict — from the coarse intervals alone;
+3. uncertified chips **rerun from the priors at the uniform epsilon**,
+   which is bit-identical to the uniform budget because chips are
+   independent rows.
+
+So every chip's final verdict is either certified invariant or produced
+by the uniform procedure itself — matched yield by construction, and the
+A/B below asserts it verdict-for-verdict (configure feasibility *and*
+verified pass) on every scenario, not just in aggregate.
+
+Two micro-benchmarks ride along, covering the predictor-v2 machinery the
+adaptive budget is built on:
+
+* **SSTA criticality** — :func:`repro.core.criticality.arrival_times`
+  (batched level-parallel Clark propagation) vs the per-node reference
+  :func:`repro.variation.ssta.topological_arrival_times`, bit-identical
+  by contract;
+* **predictor** — :func:`repro.core.prediction.greedy_fill_ranking` with
+  the rank-extended Cholesky (``mode="incremental"``) vs the dense
+  rebuild-per-pick reference (``mode="dense"``), identical pick order.
+
+Run it directly::
+
+    python benchmarks/bench_test.py           # full sweep + JSON + gate
+    python benchmarks/bench_test.py --smoke   # tiny scenario, CI mode
+
+Full mode sweeps the operating period (T1, T2, 1.05*T2 — the headline,
+where most chips configure comfortably and coarse intervals certify
+easily), writes ``benchmarks/BENCH_test.json`` and fails unless the
+headline ``t_a`` reduction is at least ``--min-speedup`` (default 2x)
+with identical verdicts everywhere.  Smoke mode runs one small circuit
+and only checks verdict identity plus the micro-benchmark identity
+contracts, so CI fails fast on a divergence without benchmark
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_test.json"
+
+#: The A/B circuit: small enough that 2000-chip populations run in
+#: seconds, large enough that the measured set leaves real paths to the
+#: predictor (24 paths over 2 buffers -> multiplexed test batches).
+BENCH_CIRCUIT = ("bench", 40, 800, 2, 24)
+BENCH_SEED = 11
+N_CHIPS = 2000
+HOLD_SAMPLES = 400
+
+SMOKE_CIRCUIT = ("smoke", 12, 160, 2, 10)
+SMOKE_SEED = 5
+SMOKE_CHIPS = 300
+
+
+def build_scenario(circuit_spec, circuit_seed, n_chips, hold_samples):
+    """Circuit, calibrated periods, evaluation population, shared engine."""
+    from repro.api import Engine, OfflineConfig
+    from repro.circuit.generator import CircuitSpec, generate_circuit
+    from repro.core.yields import operating_periods, sample_circuit
+
+    label, n_ffs, n_gates, n_buffers, n_paths = circuit_spec
+    spec = CircuitSpec(
+        name=f"bench-test-{label}",
+        n_flipflops=n_ffs,
+        n_gates=n_gates,
+        n_buffers=n_buffers,
+        n_paths=n_paths,
+    )
+    circuit = generate_circuit(spec, seed=circuit_seed)
+    calibration = sample_circuit(circuit, 2000, seed=7)
+    t1, t2 = operating_periods(calibration)
+    population = sample_circuit(circuit, n_chips, seed=3)
+    engine = Engine(offline=OfflineConfig(hold_samples=hold_samples))
+    return circuit, t1, t2, population, engine
+
+
+def bench_period(circuit, t1, period, label, population, engine) -> dict:
+    """One uniform-vs-adaptive A/B at a fixed operating period."""
+    from repro.api import OnlineConfig
+
+    start = time.perf_counter()
+    uniform = engine.run(
+        circuit, population, period, clock_period=t1,
+        online=OnlineConfig(artifacts="dense"),
+    )
+    uniform_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    adaptive = engine.run(
+        circuit, population, period, clock_period=t1,
+        online=OnlineConfig(test_budget="adaptive", artifacts="dense"),
+    )
+    adaptive_seconds = time.perf_counter() - start
+
+    feas_u = uniform.configuration.feasible
+    feas_a = adaptive.configuration.feasible
+    pass_u = uniform.passed
+    pass_a = adaptive.passed
+    verdicts_identical = bool(
+        np.array_equal(feas_u, feas_a) and np.array_equal(pass_u, pass_a)
+    )
+    ta_u = float(uniform.mean_iterations)
+    ta_a = float(adaptive.mean_iterations)
+    return {
+        "period_label": label,
+        "period": float(period),
+        "n_chips": population.n_chips,
+        "ta_uniform": ta_u,
+        "ta_adaptive": ta_a,
+        "ta_speedup": ta_u / max(ta_a, 1e-12),
+        "yield_uniform": float((feas_u & pass_u).mean()),
+        "yield_adaptive": float((feas_a & pass_a).mean()),
+        "verdicts_identical": verdicts_identical,
+        "uniform_seconds": uniform_seconds,
+        "adaptive_seconds": adaptive_seconds,
+    }
+
+
+def _layered_dag(rng, n_layers, width, extra_skips):
+    """Random layered DAG with mixed fan-in plus a few skip edges."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    layers = [
+        [f"n{depth}_{i}" for i in range(int(rng.integers(2, width + 1)))]
+        for depth in range(n_layers)
+    ]
+    for depth in range(1, n_layers):
+        for node in layers[depth]:
+            n_preds = int(rng.integers(1, len(layers[depth - 1]) + 1))
+            preds = rng.choice(layers[depth - 1], size=n_preds, replace=False)
+            for p in preds:
+                g.add_edge(str(p), node)
+    flat = [n for layer in layers for n in layer]
+    for _ in range(extra_skips):
+        src, dst = rng.choice(len(flat), size=2, replace=False)
+        if src < dst and flat[dst] not in layers[0]:
+            g.add_edge(flat[src], flat[dst])
+    for node in flat:
+        g.add_node(node)
+    return g, layers[0], flat
+
+
+def bench_ssta(n_layers=14, width=16, extra_skips=40, n_factors=12) -> dict:
+    """A/B the batched arrival-time propagation against the scalar SSTA."""
+    from repro.core.criticality import arrival_times
+    from repro.variation.canonical import CanonicalForm
+    from repro.variation.ssta import topological_arrival_times
+
+    rng = np.random.default_rng(2016)
+    g, sources, flat = _layered_dag(rng, n_layers, width, extra_skips)
+    delays = {
+        n: CanonicalForm(
+            float(rng.normal(10.0, 4.0)),
+            {f: float(rng.normal(0.0, 1.0)) for f in range(n_factors)},
+            float(abs(rng.normal(0.0, 0.5))),
+        )
+        for n in flat
+        if n not in sources
+    }
+
+    start = time.perf_counter()
+    ref = topological_arrival_times(g, delays, sources)
+    ref_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    new = arrival_times(g, delays, sources, kernel="vectorized")
+    new_seconds = time.perf_counter() - start
+
+    identical = set(ref) == set(new) and all(
+        ref[n].mean == new[n].mean
+        and ref[n].independent == new[n].independent
+        and ref[n].sensitivities == new[n].sensitivities
+        for n in ref
+    )
+    return {
+        "ssta_nodes": len(flat),
+        "ssta_factors": n_factors,
+        "ssta_seconds_reference": ref_seconds,
+        "ssta_seconds_vectorized": new_seconds,
+        "ssta_speedup": ref_seconds / max(new_seconds, 1e-12),
+        "ssta_identical": bool(identical),
+    }
+
+
+def bench_predictor(n_paths=160, n_factors=24, n_tested=8, budget=64) -> dict:
+    """A/B greedy slot filling: incremental Cholesky vs dense rebuilds."""
+    from repro.core.prediction import greedy_fill_ranking
+    from repro.variation.correlation import PathDelayModel
+
+    rng = np.random.default_rng(7)
+    model = PathDelayModel(
+        rng.normal(10.0, 2.0, n_paths),
+        rng.normal(0.0, 0.6, (n_paths, n_factors)),
+        np.abs(rng.normal(0.0, 0.3, n_paths)) + 0.05,
+    )
+    tested = np.arange(n_tested)
+    candidates = np.arange(n_tested, n_paths)
+
+    start = time.perf_counter()
+    dense = greedy_fill_ranking(model, tested, candidates, budget, mode="dense")
+    dense_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    incremental = greedy_fill_ranking(
+        model, tested, candidates, budget, mode="incremental"
+    )
+    incremental_seconds = time.perf_counter() - start
+
+    return {
+        "predictor_paths": n_paths,
+        "predictor_budget": budget,
+        "predictor_seconds_dense": dense_seconds,
+        "predictor_seconds_incremental": incremental_seconds,
+        "predictor_speedup": dense_seconds / max(incremental_seconds, 1e-12),
+        "predictor_identical": dense == incremental,
+    }
+
+
+def print_row(row: dict) -> None:
+    print(
+        f"{row['period_label']:>8} {row['period']:>7.3f} "
+        f"{row['ta_uniform']:>8.2f} {row['ta_adaptive']:>8.2f} "
+        f"{row['ta_speedup']:>7.2f}x "
+        f"{row['yield_uniform']:>7.4f} "
+        f"{'yes' if row['verdicts_identical'] else 'NO':>9}"
+    )
+
+
+def run_smoke() -> int:
+    """CI mode: verdict identity + micro-benchmark contracts, no gate."""
+    circuit, t1, t2, population, engine = build_scenario(
+        SMOKE_CIRCUIT, SMOKE_SEED, SMOKE_CHIPS, hold_samples=200
+    )
+    failures = []
+    for label, period in (("t1", t1), ("t2", t2)):
+        row = bench_period(circuit, t1, period, label, population, engine)
+        if not row["verdicts_identical"]:
+            failures.append(
+                f"adaptive verdicts diverge from uniform at {label} "
+                f"(yield {row['yield_uniform']:.4f} vs "
+                f"{row['yield_adaptive']:.4f})"
+            )
+        if row["ta_adaptive"] >= row["ta_uniform"] * 1.5:
+            # Not the speedup gate — just a sanity bound: the graduated
+            # test must never cost vastly more than uniform.
+            failures.append(
+                f"adaptive t_a {row['ta_adaptive']:.2f} exceeds 1.5x the "
+                f"uniform {row['ta_uniform']:.2f} at {label}"
+            )
+    ssta = bench_ssta(n_layers=6, width=5, extra_skips=6, n_factors=6)
+    if not ssta["ssta_identical"]:
+        failures.append("vectorized SSTA arrival times diverge bit-wise")
+    predictor = bench_predictor(n_paths=40, n_factors=8, budget=16)
+    if not predictor["predictor_identical"]:
+        failures.append("incremental greedy fill diverges from dense rebuild")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "PASS: adaptive budget verdict-identical to uniform at t1 and t2 "
+        f"({SMOKE_CHIPS} chips), vectorized SSTA bit-identical, incremental "
+        "predictor matches dense; speedup gate skipped in smoke mode"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small scenario: verify verdict identity, skip the gate",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="required t_a reduction on the headline (1.05*T2) scenario",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=DEFAULT_JSON,
+        help=f"result trajectory path (default {DEFAULT_JSON.name})",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    circuit, t1, t2, population, engine = build_scenario(
+        BENCH_CIRCUIT, BENCH_SEED, N_CHIPS, HOLD_SAMPLES
+    )
+    header = (
+        f"{'period':>8} {'T':>7} {'ta_uni':>8} {'ta_ada':>8} "
+        f"{'speedup':>8} {'yield':>7} {'identical':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for label, period in (("t1", t1), ("t2", t2), ("t2x1.05", 1.05 * t2)):
+        row = bench_period(circuit, t1, period, label, population, engine)
+        rows.append(row)
+        print_row(row)
+
+    ssta = bench_ssta()
+    predictor = bench_predictor()
+    print(
+        f"\nssta: {ssta['ssta_speedup']:.1f}x over {ssta['ssta_nodes']} "
+        f"nodes (identical: {ssta['ssta_identical']}); predictor: "
+        f"{predictor['predictor_speedup']:.1f}x over "
+        f"{predictor['predictor_budget']} picks "
+        f"(identical: {predictor['predictor_identical']})"
+    )
+
+    if not args.no_json:
+        payload = {
+            "benchmark": "test-stage",
+            "n_chips": N_CHIPS,
+            "circuit": {
+                "n_flipflops": BENCH_CIRCUIT[1],
+                "n_gates": BENCH_CIRCUIT[2],
+                "n_buffers": BENCH_CIRCUIT[3],
+                "n_paths": BENCH_CIRCUIT[4],
+            },
+            "scenarios": rows,
+            "ssta": ssta,
+            "predictor": predictor,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+
+    broken = [r for r in rows if not r["verdicts_identical"]]
+    if broken:
+        for r in broken:
+            print(
+                f"FAIL: adaptive verdicts diverge from uniform at "
+                f"{r['period_label']}"
+            )
+        return 1
+    if not ssta["ssta_identical"]:
+        print("FAIL: vectorized SSTA arrival times diverge bit-wise")
+        return 1
+    if not predictor["predictor_identical"]:
+        print("FAIL: incremental greedy fill diverges from dense rebuild")
+        return 1
+    print("verdicts identical to the uniform budget on every scenario: yes")
+
+    headline = rows[-1]
+    if headline["ta_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: headline t_a reduction {headline['ta_speedup']:.2f}x at "
+            f"{headline['period_label']} is below the required "
+            f"{args.min_speedup:.1f}x"
+        )
+        return 1
+    print(
+        f"PASS: adaptive budget cuts t_a {headline['ta_speedup']:.2f}x at "
+        f"{headline['period_label']} ({headline['ta_uniform']:.2f} -> "
+        f"{headline['ta_adaptive']:.2f} iterations/chip, >= "
+        f"{args.min_speedup:.1f}x required) at matched yield "
+        f"({headline['yield_uniform']:.4f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

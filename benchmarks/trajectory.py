@@ -1,12 +1,13 @@
 """Unified performance trajectory: one gate over the recorded BENCH files.
 
 Each perf PR leaves a JSON trajectory behind (``BENCH_configure.json``,
-``BENCH_offline.json``, ``BENCH_kernels.json``) written by its benchmark
-driver on real hardware.  This script is the *single* regression gate over
-all of them: it reads the recorded headlines, re-checks every identity
-flag and every speedup floor, and prints one table.  CI runs ``--check``
-so a PR that silently regresses a recorded trajectory (or deletes one)
-fails even when nobody re-runs the slow benchmarks.
+``BENCH_offline.json``, ``BENCH_kernels.json``, ``BENCH_test.json``,
+``BENCH_service.json``) written by its benchmark driver on real hardware.
+This script is the *single* regression gate over all of them: it reads
+the recorded headlines, re-checks every identity flag and every speedup
+floor, and prints one table.  CI runs ``--check`` so a PR that silently
+regresses a recorded trajectory (or deletes one) fails even when nobody
+re-runs the slow benchmarks.
 
 Floors (headline = the largest recorded scenario of each file):
 
@@ -18,6 +19,13 @@ Floors (headline = the largest recorded scenario of each file):
   headline and the >1x thread/pipeline wins apply only when the recorded
   environment could express them (``numba_available`` / ``cpu_count >= 2``
   at record time) — wall-clock honesty over aspirational numbers.
+* **test** — the adaptive graduated budget cuts mean tester iterations
+  ``t_a`` >= 2x on the headline (1.05*T2) scenario, with configure and
+  verify verdicts identical to the uniform budget on *every* scenario;
+  the SSTA and predictor micro-benchmark identity flags pin always.
+* **service** — no speedup floor; the recorded daemon invariants must
+  hold (request coalescing actually shared engine runs, warm store-tier
+  requests computed nothing, clean shutdown).
 
 Run it directly::
 
@@ -38,6 +46,7 @@ FLOORS = {
     "configure": 10.0,
     "offline": 5.0,
     "kernels": 3.0,
+    "test": 2.0,
 }
 
 
@@ -132,10 +141,74 @@ def check_kernels(payload: dict) -> tuple[list[str], list[str]]:
     return rows, failures
 
 
+def check_test(payload: dict) -> tuple[list[str], list[str]]:
+    rows, failures = [], []
+    headline = payload["scenarios"][-1]
+    rows.append(
+        f"{'test':>10}  {headline['period_label']:<8} "
+        f"{headline['ta_speedup']:>8.2f}x  "
+        f"(t_a {headline['ta_uniform']:.1f} -> {headline['ta_adaptive']:.1f}, "
+        f"yield={headline['yield_uniform']:.4f}, "
+        f"n_chips={headline['n_chips']})"
+    )
+    if headline["ta_speedup"] < FLOORS["test"]:
+        failures.append(
+            f"test: headline t_a reduction {headline['ta_speedup']:.2f}x "
+            f"below the {FLOORS['test']:.0f}x floor"
+        )
+    # Verdict identity is unconditional on every scenario — the adaptive
+    # budget's whole contract is matched yield chip-for-chip.
+    for scenario in payload["scenarios"]:
+        if not scenario["verdicts_identical"]:
+            failures.append(
+                f"test: adaptive verdicts diverge from the uniform budget "
+                f"at {scenario['period_label']}"
+            )
+    if not payload["ssta"]["ssta_identical"]:
+        failures.append(
+            "test: vectorized SSTA arrival times diverge from the reference"
+        )
+    if not payload["predictor"]["predictor_identical"]:
+        failures.append(
+            "test: incremental greedy fill diverges from the dense rebuild"
+        )
+    return rows, failures
+
+
+def check_service(payload: dict) -> tuple[list[str], list[str]]:
+    rows, failures = [], []
+    coalescing = payload["coalescing"]
+    rows.append(
+        f"{'service':>10}  {'daemon':<8} {'--':>9}  "
+        f"(coalesced {coalescing['burst_requests']} -> "
+        f"{coalescing['burst_engine_runs']} runs, "
+        f"warm computes={payload['warm']['engine_runs']})"
+    )
+    if coalescing["burst_engine_runs"] >= coalescing["burst_requests"]:
+        failures.append(
+            "service: duplicate burst requests shared no engine runs"
+        )
+    if payload["warm"]["engine_runs"] != 0:
+        failures.append(
+            "service: warm store-tier requests recomputed instead of "
+            "loading from the RunStore"
+        )
+    if payload["engine_runs_total"] != payload["unique_keys"]:
+        failures.append(
+            f"service: {payload['engine_runs_total']} engine runs for "
+            f"{payload['unique_keys']} unique keys — coalescing leaked"
+        )
+    if not payload["clean_shutdown"]:
+        failures.append("service: daemon did not shut down cleanly")
+    return rows, failures
+
+
 CHECKS = {
     "BENCH_configure.json": check_configure,
     "BENCH_offline.json": check_offline,
     "BENCH_kernels.json": check_kernels,
+    "BENCH_test.json": check_test,
+    "BENCH_service.json": check_service,
 }
 
 

@@ -92,6 +92,7 @@ class KernelPurity(Rule):
     scope = (
         "*/opt/diffconstraints.py",
         "*/core/configuration.py",
+        "*/core/criticality.py",
         "*/kernels/*.py",
         "*/tester/freqstep.py",
     )

@@ -47,7 +47,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 #: changes; old artifacts are then simply never matched again.
 #: 2: Preparation grew ``solver_stats``; OfflineConfig grew
 #: ``hold_exact``/``hold_backend`` (both enter cache_fields()).
-DISK_FORMAT_VERSION = 2
+#: 3: Preparation grew ``model`` (needed by adaptive test budgets);
+#: OfflineConfig grew ``fill_rank`` (enters cache_fields()).
+DISK_FORMAT_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,12 @@ class OfflineConfig:
     fill_slots: bool = True
     fill_sigma_fraction: float = 0.5  # fill only still-poorly-predicted paths
     max_fill_factor: float = 1.0  # fills <= factor * |selected|
+    # Slot-fill ranking: "static" scores every candidate once against the
+    # selected set (the paper's §3.2 reading, the default); "greedy"
+    # re-conditions on each committed fill via the incremental Cholesky
+    # predictor (repro.core.prediction.greedy_fill_ranking), so
+    # near-collinear candidates stop shadowing each other.
+    fill_rank: str = "static"
     batch_affinity: bool = False  # extension: mean-affinity batch packing
     # §3.3 test resolution (epsilon is baked into the preparation)
     epsilon: float | None = None  # None -> calibrated from pathwise target
@@ -113,6 +119,25 @@ class OnlineConfig:
     # bounds in the same order, so results are bit-identical.
     # effilint: disable=EFT001 -- stepping engines apply identical float updates in identical order (pinned by tests/kernels); results never fork on this knob
     test_kernel: str = "auto"
+    # Test-stage iteration budgets:
+    #   "uniform"  — every chip steps every batch to the full epsilon
+    #                resolution (the paper's flow; bit-identical to the
+    #                historical behavior, the default).
+    #   "adaptive" — a coarse criticality-allocated pass first, then a
+    #                per-chip certificate (corner configure runs + a
+    #                guard-banded settings box) proves which verdicts
+    #                cannot differ from the full-resolution rerun; only
+    #                uncertified chips are re-tested at full resolution.
+    #                Verdicts are identical by construction; mean
+    #                iterations (t_a) drop (gated by bench_test.py).
+    test_budget: str = "uniform"
+    # Criticality engine for the adaptive budget allocation — same menu
+    # and contract as the other kernel knobs ("auto" | "compiled" |
+    # "vectorized" | "reference"; see repro.core.criticality).  All
+    # engines produce bit-identical criticality probabilities (pinned by
+    # tests/core/test_criticality.py), so the knob never forks results.
+    # effilint: disable=EFT001 -- criticality engines are pinned bit-identical (tests/core/test_criticality.py); results never fork on this knob
+    criticality_kernel: str = "auto"
     # Intra-run shard parallelism: run the per-shard test/configure/verify
     # work of a *single* run on a thread pool of this many workers (chips
     # are independent; shard parts merge through the same RunReducer path
@@ -158,6 +183,18 @@ class OnlineConfig:
                 f"test_kernel must be one of {TEST_KERNELS}, "
                 f"got {self.test_kernel!r}"
             )
+        if self.test_budget not in ("uniform", "adaptive"):
+            raise ValueError(
+                "test_budget must be 'uniform' or 'adaptive', "
+                f"got {self.test_budget!r}"
+            )
+        from repro.core.criticality import CRITICALITY_KERNELS
+
+        if self.criticality_kernel not in CRITICALITY_KERNELS:
+            raise ValueError(
+                f"criticality_kernel must be one of {CRITICALITY_KERNELS}, "
+                f"got {self.criticality_kernel!r}"
+            )
         validate_shard_workers(self.shard_workers)
 
     def result_fields(self) -> tuple:
@@ -172,7 +209,13 @@ class OnlineConfig:
         shard order, so two shard sizes can differ in the final ulp;
         moments with a retained column are recomputed exactly.)
         """
-        return (self.align, self.k0, self.kd, self.xi_tolerance)
+        return (
+            self.align,
+            self.k0,
+            self.kd,
+            self.xi_tolerance,
+            self.test_budget,
+        )
 
 
 __all__ = ["OfflineConfig", "OnlineConfig"]

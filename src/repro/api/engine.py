@@ -337,7 +337,7 @@ def _run_shard_stages(
     """
     watch = Stopwatch()
     with watch.measure("test"):
-        tested = stage.run(preparation, shard)
+        tested = stage.run(preparation, shard, period=period, circuit=circuit)
     with watch.measure("predict"):
         bounds = predict.run(preparation, tested)
     with watch.measure("configure"):

@@ -31,6 +31,7 @@ from repro.api.config import OfflineConfig, OnlineConfig
 from repro.circuit.generator import Circuit
 from repro.circuit.insertion import plan_buffers
 from repro.core.alignment import build_batch_alignment
+from repro.core.budget import certify_refinement, coarse_epsilon
 from repro.core.calibration import calibrate_epsilon
 from repro.core.configuration import ConfigurationResult, build_config_structure, configure_chips
 from repro.core.framework import Preparation
@@ -41,7 +42,11 @@ from repro.core.holdtime import (
     solve_hold_bounds_exact,
 )
 from repro.core.multiplexing import plan_multiplexing
-from repro.core.population import PopulationTestResult, test_population_lazy
+from repro.core.population import (
+    PopulationTestResult,
+    test_population,
+    test_population_lazy,
+)
 from repro.core.prediction import build_predictor
 from repro.core.yields import ChipSource, CircuitPopulation, configured_pass
 from repro.opt.warmstart import WarmStartCache
@@ -174,6 +179,7 @@ class OfflineStage:
                 affinity=cfg.batch_affinity,
                 fill_sigma_fraction=cfg.fill_sigma_fraction,
                 max_fill_factor=cfg.max_fill_factor,
+                fill_rank=cfg.fill_rank,
             )
 
             solver_stats: list = []
@@ -245,16 +251,45 @@ class OfflineStage:
             offline_seconds=watch.total("offline"),
             sigma_window=cfg.sigma_window,
             solver_stats=tuple(solver_stats),
+            model=model,
         )
 
 
 class TestStage(Protocol):
-    """Any on-tester measurement strategy producing delay ranges."""
+    """Any on-tester measurement strategy producing delay ranges.
+
+    ``period`` and ``circuit`` are the operating context of the run; the
+    uniform budget ignores them, the adaptive budget needs both to certify
+    that coarse measurements cannot flip the chip's final verdict (the
+    engine always supplies them).
+    """
 
     def run(
-        self, preparation: Preparation, population: Chips
+        self,
+        preparation: Preparation,
+        population: Chips,
+        period: float | None = None,
+        circuit: Circuit | None = None,
     ) -> TestArtifact:  # pragma: no cover - protocol
         ...
+
+
+def _check_adaptive_context(
+    preparation: Preparation, period: float | None, circuit: Circuit | None
+) -> None:
+    """Fail fast when the adaptive budget lacks its certification inputs."""
+    if period is None or circuit is None:
+        raise ValueError(
+            "test_budget='adaptive' certifies verdicts against the operating "
+            "period and circuit; run through the engine or pass period= and "
+            "circuit= to the stage's run()"
+        )
+    if preparation.model is None:
+        raise ValueError(
+            "preparation carries no delay model (it predates adaptive test "
+            "budgets — e.g. an old on-disk cache entry); recompute the "
+            "offline stage"
+        )
 
 
 class AlignedTestStage:
@@ -266,12 +301,30 @@ class AlignedTestStage:
     :class:`~repro.core.yields.ChipSource` each shard's required-path
     delays are materialized on demand and dropped after testing, so the
     dense ``(n_chips, n_paths)`` matrix never exists in this process.
+
+    ``OnlineConfig.test_budget="adaptive"`` switches to the graduated
+    test of :mod:`repro.core.budget`: a coarse pass at
+    criticality-allocated per-path resolution, a per-chip certificate
+    that refinement cannot change the configure/verify verdict, and a
+    uniform rerun (bit-identical to the default budget) for the chips the
+    certificate rejects.  Yield verdicts match the uniform budget; mean
+    iterations (``t_a``) drop.  The adaptive path needs the realized
+    population (background + hold delays feed the certificate), so a lazy
+    source is materialized here.
     """
 
     def __init__(self, online: OnlineConfig | None = None):
         self.online = online or OnlineConfig()
 
-    def run(self, preparation: Preparation, population: Chips) -> TestArtifact:
+    def run(
+        self,
+        preparation: Preparation,
+        population: Chips,
+        period: float | None = None,
+        circuit: Circuit | None = None,
+    ) -> TestArtifact:
+        if self.online.test_budget == "adaptive":
+            return self._run_adaptive(preparation, population, period, circuit)
         watch = Stopwatch()
         with watch.measure("tester"):
             if isinstance(population, ChipSource):
@@ -300,6 +353,83 @@ class AlignedTestStage:
             tester_seconds_per_chip=watch.total("tester") / population.n_chips,
         )
 
+    def _run_adaptive(
+        self,
+        preparation: Preparation,
+        population: Chips,
+        period: float | None,
+        circuit: Circuit | None,
+    ) -> TestArtifact:
+        _check_adaptive_context(preparation, period, circuit)
+        if isinstance(population, ChipSource):
+            population = population.realize()
+        online = self.online
+        watch = Stopwatch()
+        with watch.measure("tester"):
+
+            def aligned_test(delays, epsilon):
+                return test_population(
+                    delays,
+                    preparation.plan,
+                    preparation.specs,
+                    preparation.prior_means,
+                    preparation.prior_stds,
+                    epsilon,
+                    sigma_window=preparation.sigma_window,
+                    k0=online.k0,
+                    kd=online.kd,
+                    align=online.align,
+                    x_inits=preparation.x_inits,
+                    chip_shard_size=online.chip_shard_size,
+                    kernel=online.test_kernel,
+                )
+
+            eps_uniform = preparation.epsilon
+            eps_coarse = coarse_epsilon(
+                preparation.model,
+                preparation.plan.measured,
+                eps_uniform,
+                kernel=online.criticality_kernel,
+            )
+            coarse = aligned_test(population.required, eps_coarse)
+            certified = certify_refinement(
+                preparation.structure,
+                circuit.short_paths,
+                preparation.predictor,
+                coarse,
+                population,
+                period,
+                eps_uniform,
+                sigma_window=preparation.sigma_window,
+                xi_tolerance=online.xi_tolerance,
+                kernel=online.configure_kernel,
+            )
+            lower = coarse.lower.copy()
+            upper = coarse.upper.copy()
+            iterations = coarse.iterations.copy()
+            per_batch = coarse.iterations_per_batch.copy()
+            refine = np.flatnonzero(~certified)
+            if refine.size:
+                # Chips are row-independent through the whole test engine,
+                # so this rerun reproduces the uniform budget's rows bit
+                # for bit — an uncertified chip pays coarse + full.
+                full = aligned_test(population.required[refine], eps_uniform)
+                lower[refine] = full.lower
+                upper[refine] = full.upper
+                iterations[refine] += full.iterations
+                per_batch[refine] += full.iterations_per_batch
+            test = PopulationTestResult(
+                measured_indices=coarse.measured_indices,
+                lower=lower,
+                upper=upper,
+                iterations=iterations,
+                iterations_per_batch=per_batch,
+            )
+        return TestArtifact(
+            test=test,
+            tester_seconds_per_chip=watch.total("tester") / population.n_chips,
+        )
+
 
 class PathwiseTestStage:
     """The baseline of [2, 6, 8, 9]: every required path stepped alone.
@@ -308,12 +438,26 @@ class PathwiseTestStage:
     is its own batch), so the downstream stages run unchanged with nothing
     left to predict.  A lazy source is realized eagerly here — the baseline
     exists for comparison runs, not for out-of-core scale.
+
+    With ``OnlineConfig.test_budget="adaptive"`` the same graduated-test
+    machinery as :class:`AlignedTestStage` applies: the per-path binary
+    searches first run at criticality-allocated coarse resolutions, chips
+    whose verdict the certificate pins keep the coarse ranges, the rest
+    rerun at full resolution (bit-identical to the uniform baseline).
     """
 
     def __init__(self, online: OnlineConfig | None = None):
         self.online = online or OnlineConfig()
 
-    def run(self, preparation: Preparation, population: Chips) -> TestArtifact:
+    def run(
+        self,
+        preparation: Preparation,
+        population: Chips,
+        period: float | None = None,
+        circuit: Circuit | None = None,
+    ) -> TestArtifact:
+        if self.online.test_budget == "adaptive":
+            return self._run_adaptive(preparation, population, period, circuit)
         watch = Stopwatch()
         with watch.measure("tester"):
             required = (
@@ -335,9 +479,93 @@ class PathwiseTestStage:
                 lower=result.lower,
                 upper=result.upper,
                 iterations=np.full(n_chips, result.total_iterations, dtype=int),
-                iterations_per_batch=np.tile(
-                    result.iterations_per_path, (n_chips, 1)
+                # Per-path counts are deterministic, so every chip's row is
+                # the same vector: share it as a broadcast view instead of
+                # materializing O(chips x paths) copies.
+                iterations_per_batch=np.broadcast_to(
+                    result.iterations_per_path, (n_chips, n_paths)
                 ),
+            )
+        return TestArtifact(
+            test=test,
+            tester_seconds_per_chip=watch.total("tester") / population.n_chips,
+        )
+
+    def _run_adaptive(
+        self,
+        preparation: Preparation,
+        population: Chips,
+        period: float | None,
+        circuit: Circuit | None,
+    ) -> TestArtifact:
+        _check_adaptive_context(preparation, period, circuit)
+        if isinstance(population, ChipSource):
+            population = population.realize()
+        online = self.online
+        watch = Stopwatch()
+        with watch.measure("tester"):
+            n_paths = len(preparation.prior_means)
+            all_paths = np.arange(n_paths, dtype=np.intp)
+
+            def pathwise_test(delays, epsilon):
+                return pathwise_frequency_stepping(
+                    delays,
+                    preparation.prior_means,
+                    preparation.prior_stds,
+                    epsilon,
+                    sigma_window=preparation.sigma_window,
+                    kernel=online.test_kernel,
+                )
+
+            eps_uniform = preparation.epsilon
+            eps_coarse = coarse_epsilon(
+                preparation.model,
+                all_paths,
+                eps_uniform,
+                kernel=online.criticality_kernel,
+            )
+            coarse = pathwise_test(population.required, eps_coarse)
+            n_chips = coarse.lower.shape[0]
+            coarse_test = PopulationTestResult(
+                measured_indices=all_paths,
+                lower=coarse.lower,
+                upper=coarse.upper,
+                iterations=np.full(
+                    n_chips, coarse.total_iterations, dtype=int
+                ),
+                iterations_per_batch=np.broadcast_to(
+                    coarse.iterations_per_path, (n_chips, n_paths)
+                ),
+            )
+            certified = certify_refinement(
+                preparation.structure,
+                circuit.short_paths,
+                None,  # every path is measured; nothing is predicted
+                coarse_test,
+                population,
+                period,
+                eps_uniform,
+                sigma_window=preparation.sigma_window,
+                xi_tolerance=online.xi_tolerance,
+                kernel=online.configure_kernel,
+            )
+            lower = coarse.lower.copy()
+            upper = coarse.upper.copy()
+            iterations = np.full(n_chips, coarse.total_iterations, dtype=int)
+            per_batch = np.tile(coarse.iterations_per_path, (n_chips, 1))
+            refine = np.flatnonzero(~certified)
+            if refine.size:
+                full = pathwise_test(population.required[refine], eps_uniform)
+                lower[refine] = full.lower
+                upper[refine] = full.upper
+                iterations[refine] += full.total_iterations
+                per_batch[refine] += full.iterations_per_path
+            test = PopulationTestResult(
+                measured_indices=all_paths,
+                lower=lower,
+                upper=upper,
+                iterations=iterations,
+                iterations_per_batch=per_batch,
             )
         return TestArtifact(
             test=test,

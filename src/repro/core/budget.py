@@ -1,0 +1,288 @@
+"""Adaptive test budgets: criticality-allocated resolution + verdict certificates.
+
+The uniform aligned test (§3.3) steps every path of every chip down to one
+global resolution ``epsilon`` — the tester pays the same iteration budget
+for a path that decides the chip's fate and for one that is both
+well-predicted and far from critical.  This module implements the
+*graduated* test the criticality sequels to the paper describe:
+
+1. **Coarse pass** — the full aligned test runs once with a *per-path*
+   resolution from :func:`coarse_epsilon`: paths whose delay is nearly
+   determined by the other measured paths (small conditional sigma) and
+   rarely the chip maximum (small analytic criticality,
+   :mod:`repro.core.criticality`) stop stepping early.
+2. **Certificate** — :func:`certify_refinement` decides, per chip, whether
+   *any* refinement of the coarse ranges down to ``epsilon`` could change
+   the chip's final configure/verify verdict.  Certified chips keep their
+   coarse ranges.
+3. **Refinement** — uncertified chips rerun the uniform test from the
+   priors, which is bit-identical to what the uniform budget would have
+   produced for those chips (chips are row-independent through the whole
+   test engine).
+
+The certificate works on the **refinement hull**: a coarse range
+``[l_c, u_c]`` at resolution coarser than ``epsilon`` brackets the true
+delay, so any rerun at resolution ``epsilon`` lands its bounds inside
+``[l_c - epsilon, u_c + epsilon]`` and its measured *upper* bound inside
+``[l_c, u_c + epsilon]``.  Two corner configure problems bracket every
+refinement outcome:
+
+* **P** (pessimistic) takes every measured range at the hull's top
+  (``l = u_c``, ``u = u_c + epsilon``) and every predicted range at the
+  largest conditional mean the hull allows (sign-split predictor weights:
+  ``mu_max = mu + W^+ (u_hull - mu_t) + W^- (l_hull - mu_t)``),
+* **O** (optimistic) takes the hull's bottom symmetrically.
+
+Every dynamic edge weight of the configuration problem
+(:mod:`repro.core.configuration`) has the form ``min(c, Td - max(l, u -
+xi))`` — monotone non-increasing in ``(l, u)`` — so feasibility of P
+implies feasibility of every refinement, which implies feasibility of O:
+when the two corners agree, the refined feasibility verdict is *provably*
+that value.  The chosen buffer settings are distances in the constraint
+graph and do **not** inherit this monotonicity; the certificate instead
+encloses both corner witnesses in a guard-banded box (``guard_steps``
+lattice steps on each side) and requires the worst- and best-case verify
+outcomes (setup/hold legs evaluated at the box corners) to coincide.  The
+guard band is a validated heuristic, not a proof — which is exactly why
+the adaptive budget is benchmarked verdict-for-verdict against the
+uniform budget (``benchmarks/bench_test.py``) rather than assumed
+correct, and why uncertified chips fall back to the bit-identical rerun.
+
+Allocation (:func:`coarse_epsilon`) only moves *where* iterations are
+spent; verdicts are protected by the certificate + rerun regardless of how
+good the allocation is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.paths import PathSet
+from repro.core.configuration import ConfigStructure, configure_chips
+from repro.core.criticality import BatchedForms, member_criticality
+from repro.core.population import PopulationTestResult
+from repro.core.prediction import ConditionalPredictor
+from repro.core.yields import CircuitPopulation
+from repro.variation.correlation import PathDelayModel
+
+_EPS = 1e-9
+_JITTER = 1e-9
+
+
+def coarse_epsilon(
+    model: PathDelayModel,
+    measured,
+    epsilon: float,
+    *,
+    kappa: float = 4.0,
+    criticality_floor: float = 0.02,
+    cap_factor: float = 64.0,
+    kernel: str = "auto",
+) -> np.ndarray:
+    """Per-path resolution for the coarse pass of the graduated test.
+
+    Returns an ``(n_paths,)`` array over the model's global path indexing;
+    unmeasured paths keep the uniform ``epsilon`` (their entries are never
+    consumed).  Each measured path gets
+
+        ``eps_p = clip(kappa * sigma_floor(p) / max(crit_p, floor),
+                       epsilon, cap_factor * epsilon)``
+
+    where ``sigma_floor(p)`` is the conditional sigma of path ``p`` given
+    *all other measured paths* (how much of its delay the tester would
+    learn anyway) and ``crit_p`` its analytic probability of being the
+    maximum of the measured set (:func:`~repro.core.criticality.
+    member_criticality`).  Well-explained, rarely-critical paths get wide
+    coarse ranges; the decisive paths stay near ``epsilon``.  The
+    allocation is a pure performance knob: final verdicts are guaranteed
+    by :func:`certify_refinement` and the uniform rerun, never by this
+    ranking.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    measured = np.unique(np.asarray(measured, dtype=np.intp))
+    out = np.full(model.n_paths, float(epsilon))
+    if measured.size == 0:
+        return out
+
+    crit = member_criticality(
+        BatchedForms.from_model(model).take(measured), kernel=kernel
+    )
+
+    # sigma_floor via the precision matrix of the measured block: the
+    # conditional variance of one coordinate given all others is the
+    # reciprocal of the corresponding precision diagonal.
+    loadings = model.loadings[measured]
+    sigma = loadings @ loadings.T
+    sigma[np.diag_indices_from(sigma)] += (
+        model.independent[measured] ** 2
+        + _JITTER * max(float(np.trace(sigma)), 1.0)
+    )
+    precision_diag = np.diag(np.linalg.inv(sigma))
+    sigma_floor = np.sqrt(1.0 / np.maximum(precision_diag, _JITTER))
+
+    allocated = kappa * sigma_floor / np.maximum(crit, criticality_floor)
+    out[measured] = np.clip(allocated, epsilon, cap_factor * epsilon)
+    return out
+
+
+def _corner_shifts(
+    src_settings: np.ndarray,
+    snk_settings: np.ndarray,
+    src_col: np.ndarray,
+    snk_col: np.ndarray,
+    n_paths: int,
+) -> np.ndarray:
+    """Per-path ``x_src - x_snk`` with *different* corner settings per role.
+
+    The worst-case setup shift over a settings box takes the source buffer
+    at its high corner and the sink at its low corner (and vice versa), so
+    unlike :func:`repro.core.yields.path_shifts` the two endpoints read
+    from different settings matrices.
+    """
+    n_chips = src_settings.shape[0]
+    shifts = np.zeros((n_chips, n_paths))
+    has_src = src_col >= 0
+    if has_src.any():
+        shifts[:, has_src] += src_settings[:, src_col[has_src]]
+    has_snk = snk_col >= 0
+    if has_snk.any():
+        shifts[:, has_snk] -= snk_settings[:, snk_col[has_snk]]
+    return shifts
+
+
+def _buffer_columns(
+    paths: PathSet, buffer_names: tuple[str, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """(source, sink) buffer column per path, -1 where untunable."""
+    local = {name: b for b, name in enumerate(buffer_names)}
+    src = np.array(
+        [local.get(paths.ff_names[i], -1) for i in paths.source_idx],
+        dtype=np.intp,
+    )
+    snk = np.array(
+        [local.get(paths.ff_names[i], -1) for i in paths.sink_idx],
+        dtype=np.intp,
+    )
+    return src, snk
+
+
+def certify_refinement(
+    structure: ConfigStructure,
+    short_paths: PathSet,
+    predictor: ConditionalPredictor | None,
+    test: PopulationTestResult,
+    population: CircuitPopulation,
+    period: float,
+    epsilon: float,
+    *,
+    sigma_window: float = 3.0,
+    xi_tolerance: float | None = None,
+    guard_steps: int = 4,
+    kernel: str = "vectorized",
+) -> np.ndarray:
+    """Per-chip certificate that refining ``test`` cannot flip the verdict.
+
+    ``test`` holds coarse measured ranges; ``epsilon`` is the uniform
+    (full) resolution a refinement would use.  Returns a boolean
+    ``(n_chips,)`` mask: ``True`` means the chip's final configure
+    feasibility *and* verify pass/fail are the same for every refinement
+    of the coarse ranges, so the coarse ranges can be kept as-is.  See the
+    module docstring for the bracketing argument and the guard-band
+    caveat.
+    """
+    n_chips = test.n_chips
+    n_paths = int(structure.src_buffer.shape[0])
+    measured = test.measured_indices
+
+    p_lower = np.empty((n_chips, n_paths))
+    p_upper = np.empty((n_chips, n_paths))
+    o_lower = np.empty((n_chips, n_paths))
+    o_upper = np.empty((n_chips, n_paths))
+    p_lower[:, measured] = test.upper
+    p_upper[:, measured] = test.upper + epsilon
+    o_lower[:, measured] = test.lower - epsilon
+    o_upper[:, measured] = test.lower
+
+    if test.n_measured < n_paths:
+        if predictor is None:
+            raise ValueError(
+                "a predictor is required when the test covers only part of "
+                "the required paths"
+            )
+        if not np.array_equal(predictor.tested_idx, measured):
+            raise ValueError(
+                "predictor tested paths do not match the test's measured paths"
+            )
+        w_pos = np.maximum(predictor.weights, 0.0)
+        w_neg = np.minimum(predictor.weights, 0.0)
+        # The refined measured *upper* bound lies in [l_c, u_c + epsilon];
+        # the conditional mean is affine in it, so sign-split weights give
+        # its exact extremes over the hull.
+        hull_hi = (test.upper + epsilon) - predictor.prior_means_tested
+        hull_lo = test.lower - predictor.prior_means_tested
+        mu_max = (
+            predictor.prior_means_predicted
+            + hull_hi @ w_pos.T
+            + hull_lo @ w_neg.T
+        )
+        mu_min = (
+            predictor.prior_means_predicted
+            + hull_lo @ w_pos.T
+            + hull_hi @ w_neg.T
+        )
+        half = sigma_window * predictor.conditional_stds
+        p_lower[:, predictor.predicted_idx] = mu_max - half
+        p_upper[:, predictor.predicted_idx] = mu_max + half
+        o_lower[:, predictor.predicted_idx] = mu_min - half
+        o_upper[:, predictor.predicted_idx] = mu_min + half
+
+    corner_p = configure_chips(
+        structure, p_lower, p_upper, period,
+        xi_tolerance=xi_tolerance, kernel=kernel,
+    )
+    corner_o = configure_chips(
+        structure, o_lower, o_upper, period,
+        xi_tolerance=xi_tolerance, kernel=kernel,
+    )
+    feas_agree = corner_p.feasible == corner_o.feasible
+    both_feasible = corner_p.feasible & corner_o.feasible
+
+    guard = guard_steps * (structure.step if structure.step else float(epsilon))
+    settings_p = np.nan_to_num(corner_p.settings, nan=0.0)
+    settings_o = np.nan_to_num(corner_o.settings, nan=0.0)
+    box_lo = np.minimum(settings_p, settings_o) - guard
+    box_hi = np.maximum(settings_p, settings_o) + guard
+
+    src_col = structure.src_buffer
+    snk_col = structure.snk_buffer
+    hold_src, hold_snk = _buffer_columns(short_paths, structure.buffer_names)
+
+    required = population.required
+    setup_worst = (
+        required + _corner_shifts(box_hi, box_lo, src_col, snk_col, n_paths)
+        <= period + _EPS
+    ).all(axis=1)
+    setup_best = (
+        required + _corner_shifts(box_lo, box_hi, src_col, snk_col, n_paths)
+        <= period + _EPS
+    ).all(axis=1)
+    background_ok = (population.background <= period + _EPS).all(axis=1)
+    n_short = short_paths.n_paths
+    hold_worst = (
+        _corner_shifts(box_lo, box_hi, hold_src, hold_snk, n_short) + _EPS
+        >= population.hold_requirements
+    ).all(axis=1)
+    hold_best = (
+        _corner_shifts(box_hi, box_lo, hold_src, hold_snk, n_short) + _EPS
+        >= population.hold_requirements
+    ).all(axis=1)
+    pass_worst = setup_worst & background_ok & hold_worst
+    pass_best = setup_best & background_ok & hold_best
+
+    return (feas_agree & ~corner_p.feasible) | (
+        feas_agree & both_feasible & (pass_worst == pass_best)
+    )
+
+
+__all__ = ["certify_refinement", "coarse_epsilon"]

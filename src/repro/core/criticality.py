@@ -1,0 +1,529 @@
+"""Analytic path criticality from batched canonical forms.
+
+The per-node SSTA loop of :mod:`repro.variation.ssta` propagates one
+:class:`~repro.variation.canonical.CanonicalForm` at a time through dict
+arithmetic — fine for ranking a handful of flip-flop pairs offline, far
+too slow to recompute criticality per budget decision.  This module
+restates the same arithmetic over *stacked* forms: means ``(n,)``,
+factor loadings ``(n, n_factors)`` and independent coefficients ``(n,)``,
+with Clark's moment-matched max vectorized row-wise and DAG propagation
+scheduled level by level (the same levelization idiom as
+:class:`repro.opt.diffconstraints.RelaxKernel`).
+
+Bit-identity contract
+---------------------
+
+Every batched operation replicates the scalar reference float-for-float:
+the same operations in the same order, with the dict folds of
+:class:`CanonicalForm` (``variance``, ``covariance``, the blended
+``shared_var``) replayed as explicit left folds over factor columns in
+ascending factor order.  The pin therefore holds whenever the reference
+forms keep their ``sensitivities`` dicts in ascending factor order — which
+is how every form in this project is built (``loading_matrix`` row order,
+:class:`~repro.variation.correlation.PathDelayModel` rows, the circuit
+generators).  ``tests/core/test_criticality.py`` bit-compares both the
+propagation and the criticality probabilities against the retained
+per-node loop on randomized DAGs.
+
+Two details are load-bearing and easy to break:
+
+* ``CanonicalForm.__add__`` combines independent terms with
+  ``math.hypot``, and ``np.hypot`` is *not* bit-identical to it — the
+  batched sum applies ``math.hypot`` elementwise instead;
+* the degenerate Clark branch (``theta^2 <= 1e-24``) returns the
+  larger-mean *operand object*; the batched twin row-copies the winning
+  operand's mean, loadings and independent term.
+
+``kernel=`` selects the implementation: ``"reference"`` is the per-node
+loop, ``"vectorized"`` the NumPy twin, ``"compiled"`` routes the two pure
+arithmetic stages of the Clark max through numba
+(:mod:`repro.kernels.criticality`) with the Gaussian pdf/cdf evaluated
+between them in NumPy (scipy ufuncs cannot run under numba), and
+``"auto"`` resolves through :func:`repro.kernels.resolve_kernel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+from scipy import stats
+
+from repro.variation.canonical import CanonicalForm
+from repro.variation.correlation import PathDelayModel
+from repro.variation.ssta import topological_arrival_times
+
+Node = Hashable
+
+#: Degenerate-spread threshold of ``CanonicalForm.maximum``.
+_THETA2_FLOOR = 1e-24
+
+#: Kernel names accepted by the criticality seam.
+CRITICALITY_KERNELS = ("auto", "compiled", "vectorized", "reference")
+
+# math.hypot (CPython's corrected algorithm) is not bit-identical to
+# np.hypot (libm); the scalar reference uses math.hypot, so we do too.
+_hypot = np.frompyfunc(math.hypot, 2, 1)
+
+
+def _check_kernel(kernel: str) -> str:
+    if kernel not in CRITICALITY_KERNELS:
+        raise ValueError(
+            f"kernel must be one of {CRITICALITY_KERNELS}, got {kernel!r}"
+        )
+    from repro.kernels import resolve_kernel
+
+    return resolve_kernel(kernel)
+
+
+@dataclass(frozen=True)
+class BatchedForms:
+    """Stacked canonical forms: ``means + loadings @ X + independent * R``."""
+
+    means: np.ndarray  # (n,)
+    loadings: np.ndarray  # (n, n_factors)
+    independent: np.ndarray  # (n,)
+
+    @property
+    def n(self) -> int:
+        return len(self.means)
+
+    @property
+    def n_factors(self) -> int:
+        return self.loadings.shape[1]
+
+    @classmethod
+    def from_forms(
+        cls, forms: Sequence[CanonicalForm], n_factors: int | None = None
+    ) -> "BatchedForms":
+        if n_factors is None:
+            n_factors = 0
+            for form in forms:
+                if form.sensitivities:
+                    n_factors = max(n_factors, max(form.sensitivities) + 1)
+        means = np.array([f.mean for f in forms], dtype=float)
+        independent = np.array([f.independent for f in forms], dtype=float)
+        loadings = np.zeros((len(forms), n_factors))
+        for row, form in enumerate(forms):
+            for idx, coeff in form.sensitivities.items():
+                if idx >= n_factors:
+                    raise ValueError(
+                        f"form {row} uses factor {idx} >= n_factors={n_factors}"
+                    )
+                loadings[row, idx] = coeff
+        return cls(means, loadings, independent)
+
+    @classmethod
+    def from_model(cls, model: PathDelayModel) -> "BatchedForms":
+        return cls(
+            np.asarray(model.means, dtype=float),
+            np.asarray(model.loadings, dtype=float),
+            np.asarray(model.independent, dtype=float),
+        )
+
+    def to_forms(self) -> list[CanonicalForm]:
+        """Scalar forms with dense ascending-factor sensitivity dicts."""
+        return [
+            CanonicalForm(
+                float(self.means[i]),
+                {f: float(self.loadings[i, f]) for f in range(self.n_factors)},
+                float(self.independent[i]),
+            )
+            for i in range(self.n)
+        ]
+
+    def take(self, rows: np.ndarray) -> "BatchedForms":
+        return BatchedForms(
+            self.means[rows], self.loadings[rows], self.independent[rows]
+        )
+
+    def variances(self) -> np.ndarray:
+        """Row variances, replaying the dict fold in column order."""
+        acc = np.zeros(self.n)
+        for f in range(self.n_factors):
+            column = self.loadings[:, f]
+            acc = acc + column * column
+        return acc + self.independent**2
+
+
+def _fold_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Left fold of ``sum(a[:, f] * b[:, f])`` in ascending column order."""
+    acc = np.zeros(a.shape[0])
+    for f in range(a.shape[1]):
+        acc = acc + a[:, f] * b[:, f]
+    return acc
+
+
+def batched_sum(a: BatchedForms, b: BatchedForms) -> BatchedForms:
+    """Row-wise ``a + b``, bit-identical to ``CanonicalForm.__add__``."""
+    independent = _hypot(a.independent, b.independent).astype(float)
+    return BatchedForms(
+        a.means + b.means, a.loadings + b.loadings, independent
+    )
+
+
+def batched_maximum(
+    a: BatchedForms, b: BatchedForms, kernel: str = "vectorized"
+) -> tuple[BatchedForms, np.ndarray]:
+    """Row-wise Clark max; returns ``(max forms, tightness)``.
+
+    The tightness is ``P(a >= b)`` under the joint Gaussian (Clark's
+    blending weight); degenerate rows report 1.0 when ``a`` wins the
+    mean comparison and 0.0 otherwise.
+    """
+    if kernel == "compiled":
+        return _batched_maximum_compiled(a, b)
+
+    var_a = a.variances()
+    var_b = b.variances()
+    cov = _fold_product(a.loadings, b.loadings)
+    denom = np.sqrt(var_a) * np.sqrt(var_b)
+    safe_denom = np.where(denom == 0.0, 1.0, denom)
+    rho = np.where(denom == 0.0, 0.0, cov / safe_denom)
+    theta2 = var_a + var_b - (2.0 * rho) * np.sqrt(var_a * var_b)
+    degenerate = theta2 <= _THETA2_FLOOR
+    theta = np.sqrt(np.where(degenerate, 1.0, theta2))
+    alpha = (a.means - b.means) / theta
+    phi = stats.norm.pdf(alpha)
+    tightness = stats.norm.cdf(alpha)
+
+    mean = a.means * tightness + b.means * (1.0 - tightness) + theta * phi
+    second = (
+        (var_a + a.means**2) * tightness
+        + (var_b + b.means**2) * (1.0 - tightness)
+        + (a.means + b.means) * theta * phi
+    )
+    variance = np.maximum(second - mean * mean, 0.0)
+
+    loadings = (
+        a.loadings * tightness[:, None]
+        + b.loadings * (1.0 - tightness[:, None])
+    )
+    shared_var = _fold_product(loadings, loadings)
+    independent = np.sqrt(np.maximum(variance - shared_var, 0.0))
+
+    if degenerate.any():
+        a_wins = a.means >= b.means
+        mean = np.where(degenerate, np.where(a_wins, a.means, b.means), mean)
+        independent = np.where(
+            degenerate,
+            np.where(a_wins, a.independent, b.independent),
+            independent,
+        )
+        loadings = np.where(
+            degenerate[:, None],
+            np.where(a_wins[:, None], a.loadings, b.loadings),
+            loadings,
+        )
+        tightness = np.where(
+            degenerate, np.where(a_wins, 1.0, 0.0), tightness
+        )
+    return BatchedForms(mean, loadings, independent), tightness
+
+
+def _batched_maximum_compiled(
+    a: BatchedForms, b: BatchedForms
+) -> tuple[BatchedForms, np.ndarray]:
+    """numba twin: compiled folds around the NumPy Gaussian pdf/cdf."""
+    from repro.kernels.criticality import clark_blend_kernel, clark_moments_kernel
+
+    n = a.n
+    var_a_out = np.empty(n)
+    var_b_out = np.empty(n)
+    theta2_out = np.empty(n)
+    alpha_out = np.empty(n)
+    clark_moments_kernel(
+        a.means, a.loadings, a.independent,
+        b.means, b.loadings, b.independent,
+        var_a_out, var_b_out, theta2_out, alpha_out,
+    )
+    # scipy's ufuncs stay outside the compiled region.
+    phi = stats.norm.pdf(alpha_out)
+    tightness = stats.norm.cdf(alpha_out)
+
+    mean_out = np.empty(n)
+    load_out = np.empty_like(a.loadings)
+    ind_out = np.empty(n)
+    tight_out = np.array(tightness, dtype=float)
+    clark_blend_kernel(
+        a.means, a.loadings, a.independent,
+        b.means, b.loadings, b.independent,
+        var_a_out, var_b_out, theta2_out, phi,
+        mean_out, load_out, ind_out, tight_out,
+    )
+    return BatchedForms(mean_out, load_out, ind_out), tight_out
+
+
+def _fold_maximum(forms: BatchedForms, kernel: str) -> BatchedForms:
+    """Left-fold Clark max over all rows (a 1-row result)."""
+    acc = forms.take(np.array([0], dtype=np.intp))
+    for i in range(1, forms.n):
+        acc, _ = batched_maximum(
+            acc, forms.take(np.array([i], dtype=np.intp)), kernel=kernel
+        )
+    return acc
+
+
+def arrival_times(
+    graph: nx.DiGraph,
+    node_delays: Mapping[Node, CanonicalForm],
+    sources: Iterable[Node],
+    source_arrivals: Mapping[Node, CanonicalForm] | None = None,
+    kernel: str = "auto",
+) -> dict[Node, CanonicalForm]:
+    """Latest statistical arrival at every reachable node, batched.
+
+    Drop-in for :func:`repro.variation.ssta.topological_arrival_times`
+    (which remains the bit-compared reference, ``kernel="reference"``).
+    Nodes are processed level by level — ``level(n) = 1 + max(level(p))``
+    over reachable predecessors — and within a level the fan-in fold runs
+    in rounds: round ``k`` combines each node's accumulated arrival with
+    its ``k``-th predecessor, which replays the reference's left fold
+    exactly while keeping every Clark max a batched row-wise operation.
+    """
+    kernel = _check_kernel(kernel)
+    if kernel == "reference":
+        return topological_arrival_times(
+            graph, node_delays, sources, source_arrivals
+        )
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("combinational graph must be acyclic")
+
+    source_set = set(sources)
+    starts = source_arrivals or {}
+
+    # Reachability and levels in one topological pass.
+    level: dict[Node, int] = {node: 0 for node in source_set}
+    pred_lists: dict[Node, list[Node]] = {}
+    order: list[Node] = []
+    for node in nx.topological_sort(graph):
+        if node in source_set:
+            order.append(node)
+            continue
+        incoming = [p for p in graph.predecessors(node) if p in level]
+        if not incoming:
+            continue
+        if node_delays.get(node) is None:
+            raise KeyError(
+                f"node {node!r} is reachable from the sources but has no "
+                "entry in node_delays"
+            )
+        pred_lists[node] = incoming
+        level[node] = 1 + max(level[p] for p in incoming)
+        order.append(node)
+    for node in source_set:
+        # The reference reports every declared source, graph node or not.
+        if node not in graph:
+            order.append(node)
+
+    n_factors = 0
+    for form in (*node_delays.values(), *starts.values()):
+        if form.sensitivities:
+            n_factors = max(n_factors, max(form.sensitivities) + 1)
+
+    row_of = {node: i for i, node in enumerate(order)}
+    n_rows = len(order)
+    means = np.zeros(n_rows)
+    loadings = np.zeros((n_rows, n_factors))
+    independent = np.zeros(n_rows)
+
+    def write_row(row: int, forms: BatchedForms, local: int) -> None:
+        means[row] = forms.means[local]
+        loadings[row] = forms.loadings[local]
+        independent[row] = forms.independent[local]
+
+    for node in source_set:
+        start = starts.get(node, None)
+        if start is not None:
+            row = row_of[node]
+            means[row] = start.mean
+            for idx, coeff in start.sensitivities.items():
+                loadings[row, idx] = coeff
+            independent[row] = start.independent
+
+    by_level: dict[int, list[Node]] = {}
+    for node in order:
+        if node not in source_set:
+            by_level.setdefault(level[node], []).append(node)
+
+    store = BatchedForms(means, loadings, independent)
+    for lvl in sorted(by_level):
+        nodes = by_level[lvl]
+        preds = [pred_lists[node] for node in nodes]
+        first = np.array([row_of[p[0]] for p in preds], dtype=np.intp)
+        acc = store.take(first)
+        max_fanin = max(len(p) for p in preds)
+        for k in range(1, max_fanin):
+            rows = np.array(
+                [i for i, p in enumerate(preds) if len(p) > k], dtype=np.intp
+            )
+            others = np.array(
+                [row_of[p[k]] for p in preds if len(p) > k], dtype=np.intp
+            )
+            merged, _ = batched_maximum(
+                acc.take(rows), store.take(others), kernel=kernel
+            )
+            acc.means[rows] = merged.means
+            acc.loadings[rows] = merged.loadings
+            acc.independent[rows] = merged.independent
+        delays = BatchedForms.from_forms(
+            [node_delays[node] for node in nodes], n_factors
+        )
+        combined = batched_sum(acc, delays)
+        for i, node in enumerate(nodes):
+            write_row(row_of[node], combined, i)
+
+    out: dict[Node, CanonicalForm] = {}
+    for node in order:
+        row = row_of[node]
+        out[node] = CanonicalForm(
+            float(means[row]),
+            {
+                f: float(loadings[row, f])
+                for f in range(n_factors)
+                if loadings[row, f] != 0.0
+            },
+            float(independent[row]),
+        )
+    return out
+
+
+def _binary_exceedance(
+    item: BatchedForms, versus: BatchedForms
+) -> np.ndarray:
+    """``P(item >= versus)`` row-wise under the joint Gaussian."""
+    var_a = item.variances()
+    var_b = versus.variances()
+    cov = _fold_product(item.loadings, versus.loadings)
+    theta2 = var_a + var_b - 2.0 * cov
+    degenerate = theta2 <= _THETA2_FLOOR
+    theta = np.sqrt(np.where(degenerate, 1.0, theta2))
+    alpha = (item.means - versus.means) / theta
+    prob = stats.norm.cdf(alpha)
+    return np.where(
+        degenerate, np.where(item.means >= versus.means, 1.0, 0.0), prob
+    )
+
+
+def member_criticality(
+    forms: BatchedForms, kernel: str = "auto"
+) -> np.ndarray:
+    """``P(form i is the maximum of the set)`` for every row.
+
+    Analytic, via Clark: each member is compared against the
+    moment-matched max of the *other* members (a left fold in row order),
+    so the probabilities are the standard SSTA criticality approximation
+    — they need not sum to exactly one.
+    """
+    kernel = _check_kernel(kernel)
+    n = forms.n
+    if n == 1:
+        return np.ones(1)
+    if kernel == "reference":
+        return _member_criticality_reference(forms.to_forms())
+    crit = np.empty(n)
+    for i in range(n):
+        others = forms.take(
+            np.array([j for j in range(n) if j != i], dtype=np.intp)
+        )
+        rest = _fold_maximum(others, kernel)
+        crit[i] = _binary_exceedance(
+            forms.take(np.array([i], dtype=np.intp)), rest
+        )[0]
+    return crit
+
+
+def _member_criticality_reference(
+    forms: list[CanonicalForm],
+) -> np.ndarray:
+    """Per-form scalar twin of :func:`member_criticality`."""
+    n = len(forms)
+    crit = np.empty(n)
+    for i, form in enumerate(forms):
+        others = [forms[j] for j in range(n) if j != i]
+        rest = others[0]
+        for other in others[1:]:
+            rest = rest.maximum(other)
+        var_a = form.variance
+        var_b = rest.variance
+        cov = form.covariance(rest)
+        theta2 = var_a + var_b - 2.0 * cov
+        if theta2 <= _THETA2_FLOOR:
+            crit[i] = 1.0 if form.mean >= rest.mean else 0.0
+        else:
+            alpha = (form.mean - rest.mean) / math.sqrt(theta2)
+            crit[i] = float(stats.norm.cdf(alpha))
+    return crit
+
+
+def group_criticality(
+    model: PathDelayModel | BatchedForms,
+    groups: Iterable[np.ndarray],
+    kernel: str = "auto",
+) -> list[np.ndarray]:
+    """Criticality of every member within each group of path indices.
+
+    ``groups`` are index arrays into the model's paths (the configure
+    stage's ``into``/``from``/pair path groups); the result is one
+    probability array per group: ``P(member is the group's delay max)``.
+    """
+    forms = (
+        model
+        if isinstance(model, BatchedForms)
+        else BatchedForms.from_model(model)
+    )
+    kernel = _check_kernel(kernel)
+    out: list[np.ndarray] = []
+    for group in groups:
+        idx = np.asarray(group, dtype=np.intp)
+        if idx.size == 0:
+            out.append(np.zeros(0))
+            continue
+        out.append(member_criticality(forms.take(idx), kernel=kernel))
+    return out
+
+
+def pair_criticality(
+    model: PathDelayModel | BatchedForms,
+    groups: Sequence[np.ndarray],
+    kernel: str = "auto",
+) -> np.ndarray:
+    """``P(group g contains the overall maximum)`` for each path group.
+
+    Each group is collapsed to its Clark max, then the group maxima
+    compete: the standard "which flip-flop pair limits the chip" question
+    of the PST-buffer criticality papers.
+    """
+    forms = (
+        model
+        if isinstance(model, BatchedForms)
+        else BatchedForms.from_model(model)
+    )
+    kernel = _check_kernel(kernel)
+    maxima: list[BatchedForms] = []
+    for group in groups:
+        idx = np.asarray(group, dtype=np.intp)
+        if idx.size == 0:
+            raise ValueError("pair_criticality groups must be non-empty")
+        maxima.append(_fold_maximum(forms.take(idx), kernel))
+    stacked = BatchedForms(
+        np.concatenate([m.means for m in maxima]),
+        np.vstack([m.loadings for m in maxima]),
+        np.concatenate([m.independent for m in maxima]),
+    )
+    return member_criticality(stacked, kernel=kernel)
+
+
+__all__ = [
+    "CRITICALITY_KERNELS",
+    "BatchedForms",
+    "arrival_times",
+    "batched_maximum",
+    "batched_sum",
+    "group_criticality",
+    "member_criticality",
+    "pair_criticality",
+]

@@ -71,6 +71,7 @@ class EffiTestConfig:
     fill_slots: bool = True
     fill_sigma_fraction: float = 0.5  # fill only still-poorly-predicted paths
     max_fill_factor: float = 1.0  # fills <= factor * |selected|
+    fill_rank: str = "static"  # slot-fill ranking (see OfflineConfig)
     batch_affinity: bool = False  # extension: mean-affinity batch packing
     # §3.3 aligned test
     epsilon: float | None = None  # None -> calibrated from pathwise target
@@ -85,6 +86,8 @@ class EffiTestConfig:
     xi_tolerance: float | None = None
     configure_kernel: str = "auto"  # relaxation engine (see OnlineConfig)
     test_kernel: str = "auto"  # stepping engine (see OnlineConfig)
+    test_budget: str = "uniform"  # iteration budgets (see OnlineConfig)
+    criticality_kernel: str = "auto"  # criticality engine (see OnlineConfig)
     shard_workers: int | str | None = None  # intra-run shard threads
     # §3.5 hold bounds
     hold_yield: float = 0.99
@@ -159,6 +162,12 @@ class Preparation:
     #: records — backend chosen, node counts, basis-reuse rate, whether a
     #: warm hint was consumed.
     solver_stats: tuple = ()
+    #: The path-delay model the preparation was built from.  The adaptive
+    #: test budget (``OnlineConfig(test_budget="adaptive")``) needs it at
+    #: run time for criticality and corner-interval computations; ``None``
+    #: in preparations restored from a pre-v2 disk cache, in which case
+    #: the adaptive path refuses to run rather than guessing.
+    model: "object | None" = None
 
     @property
     def n_tested(self) -> int:

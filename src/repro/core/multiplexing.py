@@ -24,7 +24,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuit.paths import PathSet
-from repro.core.prediction import conditional_stds_if_tested
+from repro.core.prediction import (
+    conditional_stds_if_tested,
+    greedy_fill_ranking,
+)
 
 
 @dataclass(frozen=True)
@@ -260,6 +263,7 @@ def plan_multiplexing(
     affinity: bool = False,
     fill_sigma_fraction: float = 0.5,
     max_fill_factor: float = 1.0,
+    fill_rank: str = "static",
 ) -> MultiplexPlan:
     """Build the full §3.2 plan: batches over the selected paths, then fill
     idle slots with the largest-conditional-variance unselected paths.
@@ -270,7 +274,18 @@ def plan_multiplexing(
     free only while slots are genuinely idle).  ``affinity=True`` enables
     mean-affinity packing (an extension beyond the paper's first-fit
     batching; see :func:`form_batches`).
+
+    ``fill_rank`` picks how fill candidates are ordered: ``"static"``
+    scores every candidate once against the selected set (the default,
+    the paper's reading), ``"greedy"`` re-conditions after each committed
+    fill through the incremental Cholesky predictor
+    (:func:`repro.core.prediction.greedy_fill_ranking`), so two
+    near-collinear candidates don't both win slots.
     """
+    if fill_rank not in ("static", "greedy"):
+        raise ValueError(
+            f"fill_rank must be 'static' or 'greedy', got {fill_rank!r}"
+        )
     selected = np.unique(np.asarray(selected_indices, dtype=np.intp))
     builders = form_batches(paths, selected, mutual_exclusions, affinity=affinity)
 
@@ -283,12 +298,20 @@ def plan_multiplexing(
         prior = np.sqrt(paths.model.variances()[predictor_idx])
         poorly_predicted = conditional > fill_sigma_fraction * np.maximum(prior, 1e-12)
         candidates = predictor_idx[poorly_predicted]
-        order = candidates[
-            np.argsort(-conditional[poorly_predicted], kind="stable")
-        ]
         budget = int(np.floor(max_fill_factor * selected.size))
+        if fill_rank == "greedy":
+            order = np.asarray(
+                greedy_fill_ranking(
+                    paths.model, selected, candidates, budget
+                ),
+                dtype=np.intp,
+            )
+        else:
+            order = candidates[
+                np.argsort(-conditional[poorly_predicted], kind="stable")
+            ][:budget]
         fills = fill_idle_slots(
-            builders, paths, order[:budget], mutual_exclusions
+            builders, paths, order, mutual_exclusions
         )
 
     batches = tuple(

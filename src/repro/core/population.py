@@ -99,8 +99,12 @@ def concat_population_test_results(
 
 
 def _batch_max_iterations(
-    prior_lower: np.ndarray, prior_upper: np.ndarray, epsilon: float, m: int
+    prior_lower: np.ndarray,
+    prior_upper: np.ndarray,
+    epsilon: float | np.ndarray,
+    m: int,
 ) -> int:
+    """Iteration cap for one batch; ``epsilon`` may be scalar or per-path."""
     widths = np.maximum(prior_upper - prior_lower, epsilon)
     return int(m * (np.ceil(np.log2(widths / epsilon)).max() + 2))
 
@@ -111,7 +115,7 @@ def _sweep_all_rows(
     lower: np.ndarray,
     upper: np.ndarray,
     x: np.ndarray,
-    epsilon: float,
+    epsilon: float | np.ndarray,
     k0: float,
     kd: float,
     align: bool,
@@ -154,7 +158,7 @@ def _sweep_active_set(
     lower: np.ndarray,
     upper: np.ndarray,
     x: np.ndarray,
-    epsilon: float,
+    epsilon: float | np.ndarray,
     k0: float,
     kd: float,
     align: bool,
@@ -233,7 +237,7 @@ def run_batch_population(
     prior_lower: np.ndarray,
     prior_upper: np.ndarray,
     x_init: np.ndarray,
-    epsilon: float,
+    epsilon: float | np.ndarray,
     k0: float = 1000.0,
     kd: float = 1.0,
     align: bool = True,
@@ -244,18 +248,26 @@ def run_batch_population(
     """Test one batch across all chips.
 
     ``true_delays`` is ``(n_chips, m)`` for the batch's paths; priors are
-    per path.  Returns per-chip bounds and iteration counts.  ``compact``
-    selects the active-set engine (default) or the all-rows reference
-    sweep; ``kernel`` selects the stepping-update implementation inside
-    the active-set engine (:data:`repro.kernels.TEST_KERNELS`).  All
-    combinations produce bit-identical results.
+    per path.  ``epsilon`` is the stepping resolution — a scalar, or an
+    ``(m,)`` array for per-path resolutions (the adaptive budget's coarse
+    pass): a path retires from the active set as soon as its own range is
+    narrower than its own epsilon.  Returns per-chip bounds and iteration
+    counts.  ``compact`` selects the active-set engine (default) or the
+    all-rows reference sweep; ``kernel`` selects the stepping-update
+    implementation inside the active-set engine
+    (:data:`repro.kernels.TEST_KERNELS`).  All combinations produce
+    bit-identical results.
     """
     if kernel not in TEST_KERNELS:
         raise ValueError(f"kernel must be one of {TEST_KERNELS}, got {kernel!r}")
     kernel = resolve_kernel(kernel)
     true_delays = np.atleast_2d(np.asarray(true_delays, dtype=float))
     n_chips, m = true_delays.shape
-    if epsilon <= 0:
+    if np.ndim(epsilon) > 0:
+        epsilon = np.asarray(epsilon, dtype=float)
+        if epsilon.shape != (m,):
+            raise ValueError("per-path epsilon must have one entry per path")
+    if np.any(np.asarray(epsilon) <= 0):
         raise ValueError("epsilon must be positive")
     lower = np.tile(np.asarray(prior_lower, dtype=float), (n_chips, 1))
     upper = np.tile(np.asarray(prior_upper, dtype=float), (n_chips, 1))
@@ -281,7 +293,7 @@ def _test_shard(
     specs: list[BatchAlignment],
     prior_means: np.ndarray,
     prior_stds: np.ndarray,
-    epsilon: float,
+    epsilon: float | np.ndarray,
     sigma_window: float,
     k0: float,
     kd: float,
@@ -301,13 +313,14 @@ def _test_shard(
     for b, (batch, spec) in enumerate(zip(plan.batches, specs)):
         idx = batch.path_indices
         x_init = x_inits[b] if x_inits is not None else spec.feasible_default()
+        eps_batch = epsilon if np.ndim(epsilon) == 0 else epsilon[idx]
         lower, upper, iters = run_batch_population(
             true_delays[:, idx],
             spec,
             prior_means[idx] - sigma_window * prior_stds[idx],
             prior_means[idx] + sigma_window * prior_stds[idx],
             x_init,
-            epsilon,
+            eps_batch,
             k0=k0,
             kd=kd,
             align=align,
@@ -334,7 +347,7 @@ def test_population(
     specs: list[BatchAlignment],
     prior_means: np.ndarray,
     prior_stds: np.ndarray,
-    epsilon: float,
+    epsilon: float | np.ndarray,
     sigma_window: float = 3.0,
     k0: float = 1000.0,
     kd: float = 1.0,
@@ -380,7 +393,7 @@ def test_population_lazy(
     specs: list[BatchAlignment],
     prior_means: np.ndarray,
     prior_stds: np.ndarray,
-    epsilon: float,
+    epsilon: float | np.ndarray,
     sigma_window: float = 3.0,
     k0: float = 1000.0,
     kd: float = 1.0,
@@ -403,6 +416,15 @@ def test_population_lazy(
         raise ValueError("one alignment spec per batch required")
     if chip_shard_size is not None and chip_shard_size < 1:
         raise ValueError("chip_shard_size must be >= 1")
+    if np.ndim(epsilon) > 0:
+        epsilon = np.asarray(epsilon, dtype=float)
+        if epsilon.shape != np.shape(prior_means):
+            raise ValueError(
+                "per-path epsilon must have one entry per path (global "
+                "indexing, like the priors)"
+            )
+    if np.any(np.asarray(epsilon) <= 0):
+        raise ValueError("epsilon must be positive")
     column_of = {int(p): k for k, p in enumerate(plan.measured)}
 
     shard = chip_shard_size if chip_shard_size is not None else n_chips

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.linalg import solve_triangular
 
 from repro.variation.correlation import PathDelayModel
 
@@ -115,3 +116,154 @@ def conditional_stds_if_tested(
     values, the benefit of measuring one more path can be ranked offline.
     """
     return build_predictor(model, tested_indices).conditional_stds
+
+
+class IncrementalConditioner:
+    """Predictor v2: the tested block's Cholesky factor, grown in place.
+
+    Greedy slot filling asks "which candidate path, if measured next,
+    stays hardest to predict?" after *every* pick — with the dense
+    :func:`build_predictor` rebuild that is one O(n^3) factorization per
+    hypothetical candidate.  This class keeps the Cholesky factor ``L`` of
+    the tested covariance block and the forward-solved cross block
+    ``W = L^-1 Sigma_tk`` and extends both by one rank per committed path:
+
+    * the conditional variance of every remaining path is
+      ``sigma_k^2 - ||W_k||^2`` (eq. 5), available in O(n_k) at any time;
+    * committing candidate ``c`` appends the row ``[W_c^T, sqrt(var(c|T))]``
+      to ``L`` and one row ``(Sigma_ck - W_c^T W) / sqrt(var(c|T))`` to
+      ``W`` — O(n_tested * n_candidates), no refactorization.
+
+    The dense rebuild stays the reference; the two agree to solver
+    tolerance (the per-step diagonal jitter is sized from the running
+    trace rather than the final one, an O(1e-9) difference — see
+    ``tests/core/test_prediction.py``).
+    """
+
+    def __init__(self, model: PathDelayModel, tested_indices):
+        tested = np.unique(np.asarray(tested_indices, dtype=np.intp))
+        if tested.size == 0:
+            raise ValueError("at least one tested path is required")
+        if tested.max(initial=0) >= model.n_paths:
+            raise ValueError("tested index out of range")
+        self._model = model
+        self._tested = list(tested.tolist())
+        all_idx = np.arange(model.n_paths, dtype=np.intp)
+        self._predicted = np.setdiff1d(all_idx, tested)
+
+        a_t = model.loadings[tested]
+        sigma_t = a_t @ a_t.T
+        self._trace = float(np.trace(sigma_t))
+        sigma_t[np.diag_indices_from(sigma_t)] += (
+            model.independent[tested] ** 2
+            + _JITTER * max(self._trace, 1.0)
+        )
+        self._chol = np.linalg.cholesky(sigma_t)
+        a_k = model.loadings[self._predicted]
+        # W = L^-1 Sigma_tk, one column per still-predicted path.
+        self._w = solve_triangular(
+            self._chol, a_t @ a_k.T, lower=True
+        )
+        self._prior_var = (
+            np.einsum("ij,ij->i", a_k, a_k)
+            + model.independent[self._predicted] ** 2
+        )
+
+    @property
+    def tested_idx(self) -> np.ndarray:
+        return np.asarray(self._tested, dtype=np.intp)
+
+    @property
+    def predicted_idx(self) -> np.ndarray:
+        return self._predicted
+
+    def conditional_stds(self) -> np.ndarray:
+        """Conditional sigma of every still-predicted path (eq. 5)."""
+        explained = np.einsum("ij,ij->j", self._w, self._w)
+        return np.sqrt(np.maximum(self._prior_var - explained, 0.0))
+
+    def extend(self, path_index: int) -> None:
+        """Commit one more path to the tested set (one rank-1 extension)."""
+        pos_arr = np.flatnonzero(self._predicted == path_index)
+        if pos_arr.size == 0:
+            raise ValueError(
+                f"path {path_index} is not available to test (already "
+                "tested or out of range)"
+            )
+        pos = int(pos_arr[0])
+        model = self._model
+        s_c = model.loadings[path_index]
+        w_c = self._w[:, pos].copy()
+        raw_var = float(s_c @ s_c)
+        self._trace += raw_var
+        own_var = (
+            raw_var
+            + float(model.independent[path_index]) ** 2
+            + _JITTER * max(self._trace, 1.0)
+            - float(w_c @ w_c)
+        )
+        pivot = np.sqrt(max(own_var, _JITTER))
+
+        keep = np.ones(len(self._predicted), dtype=bool)
+        keep[pos] = False
+        remaining = self._predicted[keep]
+        w_keep = self._w[:, keep]
+        # cov(c, k | T) / pivot becomes the new row of W.
+        cross = model.loadings[remaining] @ s_c - w_keep.T @ w_c
+        new_row = cross / pivot
+
+        n = self._chol.shape[0]
+        chol = np.zeros((n + 1, n + 1))
+        chol[:n, :n] = self._chol
+        chol[n, :n] = w_c
+        chol[n, n] = pivot
+        self._chol = chol
+        self._w = np.vstack([w_keep, new_row])
+        self._prior_var = self._prior_var[keep]
+        self._predicted = remaining
+        self._tested.append(int(path_index))
+
+
+def greedy_fill_ranking(
+    model: PathDelayModel,
+    tested_indices,
+    candidates,
+    budget: int,
+    *,
+    mode: str = "incremental",
+) -> list[int]:
+    """Sequentially pick ``budget`` candidates by conditional sigma.
+
+    Unlike the static ranking (one :func:`conditional_stds_if_tested`
+    call), each pick conditions on the previously picked paths too, so
+    near-collinear candidates stop shadowing each other.  ``mode``
+    selects the engine: ``"incremental"`` (Cholesky extension, the fast
+    path) or ``"dense"`` (full rebuild per pick, the reference).
+    """
+    if mode not in ("incremental", "dense"):
+        raise ValueError(f"mode must be 'incremental' or 'dense', got {mode!r}")
+    candidate_set = [int(c) for c in np.asarray(candidates, dtype=np.intp)]
+    picks: list[int] = []
+    if mode == "incremental":
+        conditioner = IncrementalConditioner(model, tested_indices)
+        for _ in range(min(budget, len(candidate_set))):
+            stds = conditioner.conditional_stds()
+            pos = {int(p): i for i, p in enumerate(conditioner.predicted_idx)}
+            scores = np.array([stds[pos[c]] for c in candidate_set])
+            best = int(np.argmax(scores))
+            chosen = candidate_set.pop(best)
+            picks.append(chosen)
+            conditioner.extend(chosen)
+        return picks
+    tested = list(np.unique(np.asarray(tested_indices, dtype=np.intp)))
+    for _ in range(min(budget, len(candidate_set))):
+        predictor = build_predictor(model, tested)
+        pos = {int(p): i for i, p in enumerate(predictor.predicted_idx)}
+        scores = np.array(
+            [predictor.conditional_stds[pos[c]] for c in candidate_set]
+        )
+        best = int(np.argmax(scores))
+        chosen = candidate_set.pop(best)
+        picks.append(chosen)
+        tested.append(chosen)
+    return picks

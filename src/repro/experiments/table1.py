@@ -3,15 +3,17 @@ prediction.
 
 Per circuit: circuit sizes (``ns``, ``ng``, ``nb``, ``np``), tested paths
 ``npt``, average frequency-stepping iterations per chip ``ta`` and per
-tested path ``tv = ta/npt`` for EffiTest, the path-wise baseline ``t'a``
-and ``t'v``, the reduction ratios ``ra`` and ``rv``, and the runtimes
-``Tp`` (offline), ``Tt`` (on-tester optimization per chip) and ``Ts``
-(configuration per chip).
+tested path ``tv = ta/npt`` for EffiTest, the adaptive-budget iterations
+``ta*`` (``OnlineConfig(test_budget="adaptive")`` — the graduated
+coarse/certify/refine test at verdict-identical yield), the path-wise
+baseline ``t'a`` and ``t'v``, the reduction ratios ``ra`` and ``rv``,
+and the runtimes ``Tp`` (offline), ``Tt`` (on-tester optimization per
+chip) and ``Ts`` (configuration per chip).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.experiments.benchdata import BENCHMARK_NAMES, PAPER_BY_NAME
@@ -34,6 +36,7 @@ class Table1Row:
     npt: int
     ta: float
     tv: float
+    ta_adaptive: float
     ta_pathwise: float
     tv_pathwise: float
     ra_percent: float
@@ -55,6 +58,12 @@ def run_circuit(
     """
     circuit = context.circuit
     (record,) = context.engine.sweep([context.scenario(context.t1)], store=store)
+    adaptive = context.scenario(
+        context.t1,
+        online=replace(context.online, test_budget="adaptive"),
+        label=f"{context.name}@{context.t1:g}/adaptive",
+    )
+    (adaptive_record,) = context.engine.sweep([adaptive], store=store)
     baseline = context.pathwise_baseline()
 
     ta = record.mean_iterations
@@ -71,6 +80,7 @@ def run_circuit(
         npt=npt,
         ta=ta,
         tv=tv,
+        ta_adaptive=adaptive_record.mean_iterations,
         ta_pathwise=ta_p,
         tv_pathwise=tv_p,
         ra_percent=100.0 * (ta_p - ta) / ta_p if ta_p else 0.0,
@@ -106,13 +116,13 @@ def run_table1(
 def render_table1(rows: list[Table1Row], with_paper: bool = True) -> str:
     """Format measured rows, optionally interleaved with the paper's."""
     table = Table(
-        ["circuit", "ns", "ng", "nb", "np", "npt", "ta", "tv",
+        ["circuit", "ns", "ng", "nb", "np", "npt", "ta", "tv", "ta*",
          "t'a", "t'v", "ra%", "rv%", "Tp(s)", "Tt(s)", "Ts(s)"],
     )
     for row in rows:
         table.add_row([
             row.name, row.ns, row.ng, row.nb, row.np_, row.npt,
-            round(row.ta, 1), round(row.tv, 2),
+            round(row.ta, 1), round(row.tv, 2), round(row.ta_adaptive, 1),
             round(row.ta_pathwise, 0), round(row.tv_pathwise, 2),
             round(row.ra_percent, 2), round(row.rv_percent, 2),
             round(row.tp_seconds, 2), round(row.tt_seconds, 4),
@@ -122,7 +132,7 @@ def render_table1(rows: list[Table1Row], with_paper: bool = True) -> str:
             p = PAPER_BY_NAME[row.name]
             table.add_row([
                 "  (paper)", p.ns, p.ng, p.nb, p.np_, p.npt,
-                p.ta, p.tv, p.ta_pathwise, p.tv_pathwise,
+                p.ta, p.tv, "-", p.ta_pathwise, p.tv_pathwise,
                 p.ra_percent, p.rv_percent, "-", "-", "-",
             ])
     return table.render()

@@ -1,0 +1,132 @@
+"""Compiled Clark-max arithmetic for batched criticality SSTA.
+
+The batched Clark maximum of :mod:`repro.core.criticality` splits into
+three stages: moment folds over the factor columns, the Gaussian
+pdf/cdf of the normalized mean gap, and the moment-matched blend.  Only
+the first and third are compiled here — scipy's ``norm.pdf``/``norm.cdf``
+ufuncs cannot run under numba, and substituting libm equivalents would
+break the bit-identity pin, so the Gaussian stage stays in NumPy between
+the two kernel calls.  (The batched *sum* is never compiled at all:
+``CanonicalForm.__add__`` combines independent terms with CPython's
+``math.hypot``, whose corrected rounding differs bitwise from the libm
+``hypot`` numba would emit.)
+
+Both kernels replay the vectorized twin float-for-float: per row the
+same left folds in ascending factor order, the same expression grouping,
+with squares written as ``x * x`` (NumPy lowers ``arr ** 2`` to
+``np.square``).  Output buffers carry the ``*_out`` seam names so
+effilint's EFT005 purity rule covers this module.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernels._compile import njit_kernel
+
+# Degenerate-spread threshold of ``CanonicalForm.maximum`` (kept local:
+# the kernels package must not import from ``repro.core``).
+_THETA2_FLOOR = 1e-24
+
+
+@njit_kernel
+def clark_moments_kernel(
+    mean_a, load_a, ind_a, mean_b, load_b, ind_b,
+    var_a_out, var_b_out, theta2_out, alpha_out,
+):  # pragma: no cover - covered via batched_maximum bit-compare tests
+    """Row-wise Clark first stage: variances, spread and mean gap.
+
+    Fills ``var_a_out``/``var_b_out`` with the operand variances (factor
+    fold plus independent term), ``theta2_out`` with the raw spread
+    ``var_a + var_b - 2 rho sqrt(var_a var_b)`` and ``alpha_out`` with the
+    normalized mean gap, using a unit spread for degenerate rows exactly
+    like the NumPy twin.
+    """
+    n, n_factors = load_a.shape
+    for i in range(n):
+        var_a = 0.0
+        for f in range(n_factors):
+            c = load_a[i, f]
+            var_a = var_a + c * c
+        var_a = var_a + ind_a[i] * ind_a[i]
+        var_b = 0.0
+        for f in range(n_factors):
+            c = load_b[i, f]
+            var_b = var_b + c * c
+        var_b = var_b + ind_b[i] * ind_b[i]
+        cov = 0.0
+        for f in range(n_factors):
+            cov = cov + load_a[i, f] * load_b[i, f]
+        denom = math.sqrt(var_a) * math.sqrt(var_b)
+        if denom == 0.0:
+            rho = 0.0
+        else:
+            rho = cov / denom
+        theta2 = var_a + var_b - (2.0 * rho) * math.sqrt(var_a * var_b)
+        if theta2 <= _THETA2_FLOOR:
+            theta = 1.0
+        else:
+            theta = math.sqrt(theta2)
+        var_a_out[i] = var_a
+        var_b_out[i] = var_b
+        theta2_out[i] = theta2
+        alpha_out[i] = (mean_a[i] - mean_b[i]) / theta
+
+
+@njit_kernel
+def clark_blend_kernel(
+    mean_a, load_a, ind_a, mean_b, load_b, ind_b,
+    var_a, var_b, theta2, phi,
+    mean_out, load_out, ind_out, tight_out,
+):  # pragma: no cover - covered via batched_maximum bit-compare tests
+    """Row-wise Clark third stage: moment-matched blend of the operands.
+
+    ``tight_out`` holds the Gaussian cdf of the mean gap on entry
+    (Clark's blending weight) and the final tightness on return —
+    degenerate rows (``theta2 <= 1e-24``) copy the larger-mean operand
+    and report a tightness of exactly 1.0 or 0.0, matching the scalar
+    reference's early return of the winning operand object.
+    """
+    n, n_factors = load_a.shape
+    for i in range(n):
+        if theta2[i] <= _THETA2_FLOOR:
+            if mean_a[i] >= mean_b[i]:
+                mean_out[i] = mean_a[i]
+                for f in range(n_factors):
+                    load_out[i, f] = load_a[i, f]
+                ind_out[i] = ind_a[i]
+                tight_out[i] = 1.0
+            else:
+                mean_out[i] = mean_b[i]
+                for f in range(n_factors):
+                    load_out[i, f] = load_b[i, f]
+                ind_out[i] = ind_b[i]
+                tight_out[i] = 0.0
+            continue
+        theta = math.sqrt(theta2[i])
+        t = tight_out[i]
+        p = phi[i]
+        ma = mean_a[i]
+        mb = mean_b[i]
+        mean = ma * t + mb * (1.0 - t) + theta * p
+        second = (
+            (var_a[i] + ma * ma) * t
+            + (var_b[i] + mb * mb) * (1.0 - t)
+            + (ma + mb) * theta * p
+        )
+        variance = second - mean * mean
+        if not variance > 0.0:
+            variance = 0.0
+        shared = 0.0
+        for f in range(n_factors):
+            merged = load_a[i, f] * t + load_b[i, f] * (1.0 - t)
+            load_out[i, f] = merged
+            shared = shared + merged * merged
+        leftover = variance - shared
+        if not leftover > 0.0:
+            leftover = 0.0
+        mean_out[i] = mean
+        ind_out[i] = math.sqrt(leftover)
+
+
+__all__ = ["clark_blend_kernel", "clark_moments_kernel"]

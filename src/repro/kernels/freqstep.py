@@ -27,12 +27,14 @@ from repro.kernels._compile import njit_kernel
 def pathwise_step_kernel(
     lower_out, upper_out, true_delays, epsilon, max_iterations
 ):  # pragma: no cover - covered via pathwise_frequency_stepping
-    """Binary-search every ``(chip, path)`` cell down to ``epsilon``.
+    """Binary-search every ``(chip, path)`` cell down to its ``epsilon``.
 
     ``lower_out``/``upper_out`` hold the prior ranges on entry and the
-    final ranges on return.  Matches the lockstep NumPy loop exactly: a
-    cell stops shrinking once its width drops below ``epsilon``, and no
-    cell steps more than ``max_iterations`` times.
+    final ranges on return; ``epsilon`` is an ``(n_paths,)`` resolution
+    array (the uniform budget passes one value broadcast per path, the
+    adaptive budget a per-path allocation).  Matches the lockstep NumPy
+    loop exactly: a cell stops shrinking once its width drops below its
+    path's epsilon, and no cell steps more than ``max_iterations`` times.
     """
     n_chips, n_paths = true_delays.shape
     for i in range(n_chips):
@@ -40,8 +42,9 @@ def pathwise_step_kernel(
             lo = lower_out[i, j]
             up = upper_out[i, j]
             delay = true_delays[i, j]
+            eps = epsilon[j]
             for _ in range(max_iterations):
-                if not (up - lo >= epsilon):
+                if not (up - lo >= eps):
                     break
                 mid = 0.5 * (lo + up)
                 if delay <= mid:

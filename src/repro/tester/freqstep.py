@@ -31,14 +31,20 @@ class PathwiseResult:
         return float(self.iterations_per_path.mean())
 
 
-def required_iterations(width: np.ndarray, epsilon: float) -> np.ndarray:
+def required_iterations(
+    width: np.ndarray, epsilon: float | np.ndarray
+) -> np.ndarray:
     """Iterations of halving needed to take ``width`` below ``epsilon``.
 
     Binary search halves the range every iteration regardless of pass/fail,
-    so the count is ``ceil(log2(width / epsilon))`` (0 when already narrow).
+    so the count is ``ceil(log2(width / epsilon))`` (0 when already
+    narrow).  ``epsilon`` may be a scalar or a per-path array broadcasting
+    against ``width`` — the adaptive budget allocates a coarser resolution
+    to well-predicted, rarely-critical paths.
     """
     width = np.asarray(width, dtype=float)
-    if epsilon <= 0:
+    epsilon = np.asarray(epsilon, dtype=float)
+    if np.any(epsilon <= 0):
         raise ValueError("epsilon must be positive")
     with np.errstate(divide="ignore"):
         ratio = np.where(width > epsilon, width / epsilon, 1.0)
@@ -49,19 +55,21 @@ def pathwise_frequency_stepping(
     true_delays: np.ndarray,
     prior_means: np.ndarray,
     prior_stds: np.ndarray,
-    epsilon: float,
+    epsilon: float | np.ndarray,
     sigma_window: float = 3.0,
     kernel: str = "vectorized",
 ) -> PathwiseResult:
     """Binary-search every path of every chip independently.
 
     ``true_delays`` is ``(n_chips, n_paths)``; the priors are per path.
-    Fully vectorized: all chips/paths step in lockstep since the iteration
-    count depends only on the prior width.  ``kernel`` selects the
-    stepping implementation (:data:`repro.kernels.TEST_KERNELS`):
-    ``"compiled"`` runs the per-cell numba loop of
-    :mod:`repro.kernels.freqstep` — cells are independent and step the
-    same midpoints, so results are bit-identical (pinned by tests).
+    ``epsilon`` is the stepping resolution, scalar or per-path
+    (``(n_paths,)``).  Fully vectorized: all chips/paths step in lockstep
+    since the iteration count depends only on the prior width.  ``kernel``
+    selects the stepping implementation
+    (:data:`repro.kernels.TEST_KERNELS`): ``"compiled"`` runs the per-cell
+    numba loop of :mod:`repro.kernels.freqstep` — cells are independent
+    and step the same midpoints, so results are bit-identical (pinned by
+    tests).
     """
     if kernel not in TEST_KERNELS:
         raise ValueError(f"kernel must be one of {TEST_KERNELS}, got {kernel!r}")
@@ -72,6 +80,8 @@ def pathwise_frequency_stepping(
     n_chips, n_paths = true_delays.shape
     if prior_means.shape != (n_paths,) or prior_stds.shape != (n_paths,):
         raise ValueError("prior arrays must have one entry per path")
+    if np.ndim(epsilon) > 0 and np.shape(epsilon) != (n_paths,):
+        raise ValueError("per-path epsilon must have one entry per path")
 
     lower = np.tile(prior_means - sigma_window * prior_stds, (n_chips, 1))
     upper = np.tile(prior_means + sigma_window * prior_stds, (n_chips, 1))
@@ -81,8 +91,11 @@ def pathwise_frequency_stepping(
     if kernel == "compiled":
         from repro.kernels.freqstep import pathwise_step_kernel
 
+        eps_row = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(epsilon, dtype=float), (n_paths,))
+        )
         pathwise_step_kernel(
-            lower, upper, np.ascontiguousarray(true_delays), epsilon,
+            lower, upper, np.ascontiguousarray(true_delays), eps_row,
             max_iterations,
         )
     else:

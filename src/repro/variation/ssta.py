@@ -49,7 +49,14 @@ def topological_arrival_times(
         for form in incoming[1:]:
             combined = combined.maximum(form)
         delay = node_delays.get(node)
-        arrivals[node] = combined + delay if delay is not None else combined
+        if delay is None:
+            # A reachable interior node without a declared delay would
+            # silently propagate a wrong (delay-free) arrival downstream.
+            raise KeyError(
+                f"node {node!r} is reachable from the sources but has no "
+                "entry in node_delays"
+            )
+        arrivals[node] = combined + delay
     return arrivals
 
 

@@ -1,0 +1,148 @@
+"""End-to-end adaptive test budgets through the staged engine.
+
+The contract under test: ``OnlineConfig(test_budget="adaptive")`` may
+only move tester iterations around — every chip's configure feasibility
+and verify verdict must be identical to the uniform budget's, at every
+operating period, because certified chips are provably (feasibility) or
+guard-band-checked (settings) invariant and every uncertified chip is
+rerun through the bit-identical uniform procedure.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, OnlineConfig
+from repro.api.stages import AlignedTestStage, PathwiseTestStage
+
+from _common import TINY_OFFLINE
+
+
+@pytest.fixture(scope="module")
+def adaptive_engine():
+    return Engine(offline=TINY_OFFLINE)
+
+
+def run_pair(engine, circuit, population, period, t1, **kwargs):
+    uniform = engine.run(
+        circuit, population, period, clock_period=t1,
+        online=OnlineConfig(artifacts="dense"), **kwargs,
+    )
+    adaptive = engine.run(
+        circuit, population, period, clock_period=t1,
+        online=OnlineConfig(test_budget="adaptive", artifacts="dense"),
+        **kwargs,
+    )
+    return uniform, adaptive
+
+
+class TestVerdictIdentity:
+    @pytest.mark.parametrize("period_idx", [0, 1])
+    def test_aligned(
+        self, adaptive_engine, tiny_circuit, tiny_population, tiny_periods,
+        period_idx,
+    ):
+        period = tiny_periods[period_idx]
+        uniform, adaptive = run_pair(
+            adaptive_engine, tiny_circuit, tiny_population, period,
+            tiny_periods[0],
+        )
+        assert np.array_equal(
+            uniform.configuration.feasible, adaptive.configuration.feasible
+        )
+        assert np.array_equal(uniform.passed, adaptive.passed)
+        assert uniform.yield_fraction == adaptive.yield_fraction
+        # The graduated test can only add the coarse pass on top of a
+        # full rerun in the worst case; it must never balloon past that.
+        assert adaptive.mean_iterations <= 1.5 * uniform.mean_iterations
+
+    def test_pathwise(
+        self, adaptive_engine, tiny_circuit, tiny_population, tiny_periods
+    ):
+        t1 = tiny_periods[0]
+        uniform = adaptive_engine.run(
+            tiny_circuit, tiny_population, t1, clock_period=t1,
+            test_stage=PathwiseTestStage(OnlineConfig(artifacts="dense")),
+        )
+        adaptive = adaptive_engine.run(
+            tiny_circuit, tiny_population, t1, clock_period=t1,
+            test_stage=PathwiseTestStage(
+                OnlineConfig(test_budget="adaptive", artifacts="dense")
+            ),
+        )
+        assert np.array_equal(
+            uniform.configuration.feasible, adaptive.configuration.feasible
+        )
+        assert np.array_equal(uniform.passed, adaptive.passed)
+
+    def test_uniform_explicit_matches_default(
+        self, adaptive_engine, tiny_circuit, tiny_population, tiny_periods
+    ):
+        t1 = tiny_periods[0]
+        default = adaptive_engine.run(
+            tiny_circuit, tiny_population, t1, clock_period=t1,
+            online=OnlineConfig(artifacts="dense"),
+        )
+        explicit = adaptive_engine.run(
+            tiny_circuit, tiny_population, t1, clock_period=t1,
+            online=OnlineConfig(test_budget="uniform", artifacts="dense"),
+        )
+        assert np.array_equal(default.test.lower, explicit.test.lower)
+        assert np.array_equal(default.test.upper, explicit.test.upper)
+        assert np.array_equal(
+            default.test.iterations, explicit.test.iterations
+        )
+
+
+class TestAdaptiveValidation:
+    def test_stage_requires_period_and_circuit(
+        self, adaptive_engine, tiny_circuit, tiny_population, tiny_periods
+    ):
+        preparation = adaptive_engine.prepare(
+            tiny_circuit, tiny_periods[0], TINY_OFFLINE
+        )
+        stage = AlignedTestStage(OnlineConfig(test_budget="adaptive"))
+        with pytest.raises(ValueError, match="period= and\\s+circuit="):
+            stage.run(preparation, tiny_population)
+
+    def test_stage_requires_model(
+        self, adaptive_engine, tiny_circuit, tiny_population, tiny_periods
+    ):
+        preparation = adaptive_engine.prepare(
+            tiny_circuit, tiny_periods[0], TINY_OFFLINE
+        )
+        stale = replace(preparation, model=None)
+        stage = AlignedTestStage(OnlineConfig(test_budget="adaptive"))
+        with pytest.raises(ValueError, match="no delay model"):
+            stage.run(
+                preparation=stale,
+                population=tiny_population,
+                period=tiny_periods[0],
+                circuit=tiny_circuit,
+            )
+
+    def test_pathwise_stage_validates_too(
+        self, adaptive_engine, tiny_circuit, tiny_population, tiny_periods
+    ):
+        preparation = adaptive_engine.prepare(
+            tiny_circuit, tiny_periods[0], TINY_OFFLINE
+        )
+        stage = PathwiseTestStage(OnlineConfig(test_budget="adaptive"))
+        with pytest.raises(ValueError, match="period= and\\s+circuit="):
+            stage.run(preparation, tiny_population)
+
+    def test_config_rejects_unknown_budget(self):
+        with pytest.raises(ValueError, match="test_budget"):
+            OnlineConfig(test_budget="greedy")
+
+    def test_budget_forks_result_keys(self):
+        # Adaptive runs record different iteration counts, so cached
+        # results must fork on the budget (unlike the kernel knobs).
+        base = OnlineConfig().result_fields()
+        forked = OnlineConfig(test_budget="adaptive").result_fields()
+        assert base != forked
+        assert (
+            OnlineConfig(criticality_kernel="reference").result_fields()
+            == base
+        )

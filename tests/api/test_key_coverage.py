@@ -31,6 +31,9 @@ _ALTERNATES = {
     "epsilon": 0.5,  # None -> explicit resolution
     "xi_tolerance": 0.5,  # None -> explicit tolerance
     "pc_criterion": "centroid",
+    "fill_rank": "greedy",  # validated against ("static", "greedy")
+    "test_budget": "adaptive",  # validated against ("uniform", "adaptive")
+    "criticality_kernel": "vectorized",  # validated against CRITICALITY_KERNELS
 }
 
 
@@ -108,6 +111,7 @@ class TestOnlineConfig:
             "chip_shard_size",
             "configure_kernel",
             "test_kernel",
+            "criticality_kernel",
             "shard_workers",
             "artifacts",
         }

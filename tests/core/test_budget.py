@@ -1,0 +1,298 @@
+"""Adaptive test budgets: coarse allocation and the refinement certificate.
+
+The allocation (:func:`coarse_epsilon`) is a pure performance knob, so
+its tests pin the *contract* (bounds, indexing, validation, kernel
+agreement) and one directional property; the certificate
+(:func:`certify_refinement`) is what protects verdicts, so its tests
+check soundness on the tiny circuit — a chip the certificate keeps on
+its coarse ranges must have had nothing to gain from refinement — plus
+the fail-fast validation paths.  The full uniform-vs-adaptive verdict
+identity runs end to end in ``tests/api/test_adaptive.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import certify_refinement, coarse_epsilon
+from repro.core.population import test_population as _test_population
+from repro.core.prediction import build_predictor
+from repro.variation.correlation import PathDelayModel
+
+
+def toy_model(n_paths=6, n_factors=3, seed=0) -> PathDelayModel:
+    rng = np.random.default_rng(seed)
+    return PathDelayModel(
+        rng.normal(10.0, 2.0, n_paths),
+        rng.normal(0.0, 0.5, (n_paths, n_factors)),
+        np.abs(rng.normal(0.0, 0.2, n_paths)) + 0.05,
+    )
+
+
+class TestCoarseEpsilon:
+    def test_bounds_and_unmeasured_entries(self):
+        model = toy_model()
+        measured = np.array([0, 2, 4])
+        eps = coarse_epsilon(model, measured, 0.25)
+        assert eps.shape == (model.n_paths,)
+        # Unmeasured paths keep the uniform resolution verbatim.
+        assert np.all(eps[[1, 3, 5]] == 0.25)
+        # Measured allocations are clipped to [epsilon, cap * epsilon].
+        assert np.all(eps[measured] >= 0.25)
+        assert np.all(eps[measured] <= 64.0 * 0.25)
+
+    def test_empty_measured_is_all_uniform(self):
+        model = toy_model()
+        eps = coarse_epsilon(model, np.array([], dtype=int), 0.5)
+        assert np.all(eps == 0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_epsilon_validated(self, bad):
+        with pytest.raises(ValueError, match="epsilon"):
+            coarse_epsilon(toy_model(), [0, 1], bad)
+
+    def test_criticality_kernels_agree(self):
+        # member_criticality's kernels are bit-identical by contract, so
+        # the allocation cannot fork on the kernel choice.
+        model = toy_model(n_paths=8)
+        measured = np.arange(8)
+        ref = coarse_epsilon(model, measured, 0.1, kernel="reference")
+        vec = coarse_epsilon(model, measured, 0.1, kernel="vectorized")
+        assert np.array_equal(ref, vec)
+
+    def test_rarely_critical_path_gets_coarser(self):
+        # Two orthogonal paths with equal sigma: the one far below the
+        # max gets (criticality-floored) more coarse budget than the one
+        # that is almost surely the maximum.
+        model = PathDelayModel(
+            np.array([20.0, 5.0]),
+            np.array([[1.0, 0.0], [0.0, 1.0]]),
+            np.array([0.1, 0.1]),
+        )
+        eps = coarse_epsilon(model, [0, 1], 1.0)
+        assert eps[1] > eps[0]
+
+
+@pytest.fixture(scope="module")
+def uniform_test(tiny_preparation, tiny_population):
+    prep = tiny_preparation
+    return _test_population(
+        tiny_population.required,
+        prep.plan,
+        prep.specs,
+        prep.prior_means,
+        prep.prior_stds,
+        prep.epsilon,
+        sigma_window=prep.sigma_window,
+        x_inits=prep.x_inits,
+    )
+
+
+class TestCertifyRefinement:
+    def test_shape_and_dtype(
+        self, tiny_preparation, tiny_circuit, tiny_population, tiny_periods,
+        uniform_test,
+    ):
+        prep = tiny_preparation
+        certified = certify_refinement(
+            prep.structure,
+            tiny_circuit.short_paths,
+            prep.predictor,
+            uniform_test,
+            tiny_population,
+            tiny_periods[0],
+            prep.epsilon,
+            sigma_window=prep.sigma_window,
+        )
+        assert certified.shape == (tiny_population.n_chips,)
+        assert certified.dtype == bool
+
+    def test_certified_chips_match_uniform_verdicts(
+        self, tiny_preparation, tiny_circuit, tiny_population, tiny_periods,
+        uniform_test,
+    ):
+        # Soundness at the relaxed period: test coarsely, certify, and
+        # check every certified chip's coarse verdict against the verdict
+        # the uniform test produces — the exact guarantee the graduated
+        # test relies on (uncertified chips are rerun, so they need none).
+        from repro.api.stages import (
+            ConfigureStage,
+            PredictStage,
+            TestArtifact,
+            VerifyStage,
+        )
+        from repro.api import OnlineConfig
+
+        prep = tiny_preparation
+        period = 1.05 * tiny_periods[1]
+        eps_coarse = coarse_epsilon(
+            prep.model, prep.plan.measured, prep.epsilon
+        )
+        coarse = _test_population(
+            tiny_population.required,
+            prep.plan,
+            prep.specs,
+            prep.prior_means,
+            prep.prior_stds,
+            eps_coarse,
+            sigma_window=prep.sigma_window,
+            x_inits=prep.x_inits,
+        )
+        certified = certify_refinement(
+            prep.structure,
+            tiny_circuit.short_paths,
+            prep.predictor,
+            coarse,
+            tiny_population,
+            period,
+            prep.epsilon,
+            sigma_window=prep.sigma_window,
+        )
+        # The relaxed period is benign enough that the certificate must
+        # do real work here, not vacuously certify nothing.
+        assert certified.any()
+
+        online = OnlineConfig()
+
+        def verdicts(test):
+            bounds = PredictStage().run(
+                prep, TestArtifact(test=test, tester_seconds_per_chip=0.0)
+            )
+            configured = ConfigureStage(online).run(prep, bounds, period)
+            verified = VerifyStage().run(
+                tiny_circuit, tiny_population, configured, period
+            )
+            return configured.configuration.feasible, verified.passed
+
+        feas_coarse, pass_coarse = verdicts(coarse)
+        feas_uniform, pass_uniform = verdicts(uniform_test)
+        assert np.array_equal(
+            feas_coarse[certified], feas_uniform[certified]
+        )
+        assert np.array_equal(
+            pass_coarse[certified], pass_uniform[certified]
+        )
+
+    def test_partial_coverage_requires_predictor(
+        self, tiny_preparation, tiny_circuit, tiny_population, tiny_periods,
+        uniform_test,
+    ):
+        prep = tiny_preparation
+        if uniform_test.n_measured == prep.structure.src_buffer.shape[0]:
+            pytest.skip("tiny plan measures every path")
+        with pytest.raises(ValueError, match="predictor is required"):
+            certify_refinement(
+                prep.structure,
+                tiny_circuit.short_paths,
+                None,
+                uniform_test,
+                tiny_population,
+                tiny_periods[0],
+                prep.epsilon,
+            )
+
+    def test_predictor_measured_mismatch_rejected(
+        self, tiny_preparation, tiny_circuit, tiny_population, tiny_periods,
+        uniform_test,
+    ):
+        prep = tiny_preparation
+        measured = np.asarray(prep.plan.measured)
+        stale = build_predictor(prep.model, measured[:-1])
+        with pytest.raises(ValueError, match="do not match"):
+            certify_refinement(
+                prep.structure,
+                tiny_circuit.short_paths,
+                stale,
+                uniform_test,
+                tiny_population,
+                tiny_periods[0],
+                prep.epsilon,
+            )
+
+
+class TestPerPathEpsilonPlumbing:
+    """Scalar epsilon and its broadcast per-path twin are bit-identical."""
+
+    def test_test_population_scalar_vs_array(
+        self, tiny_preparation, tiny_population
+    ):
+        prep = tiny_preparation
+        n_paths = len(prep.prior_means)
+
+        def run(eps):
+            return _test_population(
+                tiny_population.required,
+                prep.plan,
+                prep.specs,
+                prep.prior_means,
+                prep.prior_stds,
+                eps,
+                sigma_window=prep.sigma_window,
+                x_inits=prep.x_inits,
+            )
+
+        scalar = run(prep.epsilon)
+        array = run(np.full(n_paths, prep.epsilon))
+        assert np.array_equal(scalar.lower, array.lower)
+        assert np.array_equal(scalar.upper, array.upper)
+        assert np.array_equal(scalar.iterations, array.iterations)
+
+    def test_test_population_epsilon_validated(
+        self, tiny_preparation, tiny_population
+    ):
+        prep = tiny_preparation
+
+        def run(eps):
+            return _test_population(
+                tiny_population.required,
+                prep.plan,
+                prep.specs,
+                prep.prior_means,
+                prep.prior_stds,
+                eps,
+                x_inits=prep.x_inits,
+            )
+
+        with pytest.raises(ValueError, match="one entry per path"):
+            run(np.array([0.1, 0.1]))
+        bad = np.full(len(prep.prior_means), 0.1)
+        bad[0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            run(bad)
+
+    def test_pathwise_scalar_vs_array(self, rng):
+        from repro.tester.freqstep import pathwise_frequency_stepping
+
+        n_chips, n_paths = 16, 5
+        means = rng.normal(10.0, 1.0, n_paths)
+        stds = np.abs(rng.normal(0.0, 0.4, n_paths)) + 0.1
+        delays = rng.normal(means, stds, (n_chips, n_paths))
+
+        scalar = pathwise_frequency_stepping(delays, means, stds, 0.05)
+        array = pathwise_frequency_stepping(
+            delays, means, stds, np.full(n_paths, 0.05)
+        )
+        assert np.array_equal(scalar.lower, array.lower)
+        assert np.array_equal(scalar.upper, array.upper)
+        assert np.array_equal(
+            scalar.iterations_per_path, array.iterations_per_path
+        )
+
+        ragged = pathwise_frequency_stepping(
+            delays, means, stds, np.linspace(0.05, 0.8, n_paths)
+        )
+        assert np.all(ragged.upper - ragged.lower < np.linspace(0.05, 0.8, n_paths))
+        assert ragged.total_iterations <= scalar.total_iterations
+
+        with pytest.raises(ValueError, match="one entry per path"):
+            pathwise_frequency_stepping(
+                delays, means, stds, np.full(n_paths + 1, 0.05)
+            )
+
+    def test_required_iterations_per_path(self):
+        from repro.tester.freqstep import required_iterations
+
+        width = np.array([8.0, 8.0, 8.0])
+        counts = required_iterations(width, np.array([1.0, 2.0, 8.0]))
+        assert counts.tolist() == [3, 2, 0]
+        with pytest.raises(ValueError, match="positive"):
+            required_iterations(width, np.array([1.0, 0.0, 1.0]))

@@ -1,0 +1,285 @@
+"""Bit-compare tests: batched criticality SSTA vs the per-node reference.
+
+The contract of :mod:`repro.core.criticality` is *bit identity* with the
+scalar :class:`CanonicalForm` arithmetic for forms whose sensitivity
+dicts are in ascending factor order — so these tests assert exact float
+equality (``==``), not tolerances, on randomized forms and DAGs.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.criticality import (
+    CRITICALITY_KERNELS,
+    BatchedForms,
+    arrival_times,
+    batched_maximum,
+    batched_sum,
+    group_criticality,
+    member_criticality,
+    pair_criticality,
+)
+from repro.variation.canonical import CanonicalForm, loading_matrix
+from repro.variation.ssta import topological_arrival_times
+
+N_FACTORS = 6
+
+
+def random_form(rng, n_factors=N_FACTORS, dense=True):
+    """A canonical form with an ascending-factor sensitivity dict."""
+    factors = range(n_factors) if dense else sorted(
+        rng.choice(n_factors, size=rng.integers(1, n_factors), replace=False)
+    )
+    return CanonicalForm(
+        float(rng.normal(10.0, 4.0)),
+        {int(f): float(rng.normal(0.0, 1.0)) for f in factors},
+        float(abs(rng.normal(0.0, 0.5))),
+    )
+
+
+def assert_forms_equal(batched, forms, n_factors=N_FACTORS):
+    """Exact equality between a BatchedForms and scalar reference forms."""
+    ref_loadings = loading_matrix(forms, n_factors)
+    assert np.array_equal(batched.means, np.array([f.mean for f in forms]))
+    assert np.array_equal(batched.loadings, ref_loadings)
+    assert np.array_equal(
+        batched.independent, np.array([f.independent for f in forms])
+    )
+
+
+class TestBatchedForms:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        forms = [random_form(rng) for _ in range(5)]
+        batched = BatchedForms.from_forms(forms)
+        assert batched.n == 5
+        assert batched.n_factors == N_FACTORS
+        back = batched.to_forms()
+        assert_forms_equal(batched, back)
+        for ref, got in zip(forms, back):
+            assert got.mean == ref.mean
+            assert got.independent == ref.independent
+
+    def test_variances_bitwise(self):
+        rng = np.random.default_rng(1)
+        forms = [random_form(rng) for _ in range(64)]
+        batched = BatchedForms.from_forms(forms)
+        expected = np.array([f.variance for f in forms])
+        assert np.array_equal(batched.variances(), expected)
+
+    def test_factor_overflow_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            BatchedForms.from_forms([CanonicalForm(0.0, {3: 1.0})], n_factors=2)
+
+
+class TestBatchedSum:
+    def test_bitwise_vs_add(self):
+        rng = np.random.default_rng(2)
+        a_forms = [random_form(rng) for _ in range(64)]
+        b_forms = [random_form(rng) for _ in range(64)]
+        total = batched_sum(
+            BatchedForms.from_forms(a_forms), BatchedForms.from_forms(b_forms)
+        )
+        assert_forms_equal(total, [a + b for a, b in zip(a_forms, b_forms)])
+
+    def test_uses_math_hypot(self):
+        # np.hypot is not bit-identical to math.hypot; the scalar
+        # reference uses the latter, so the batched sum must too.
+        a = CanonicalForm(0.0, {}, 0.7173474562)
+        b = CanonicalForm(0.0, {}, 0.2186300278)
+        total = batched_sum(
+            BatchedForms.from_forms([a], 0), BatchedForms.from_forms([b], 0)
+        )
+        assert total.independent[0] == math.hypot(a.independent, b.independent)
+
+
+class TestBatchedMaximum:
+    @pytest.mark.parametrize("kernel", ["vectorized", "compiled"])
+    def test_bitwise_vs_reference(self, kernel):
+        rng = np.random.default_rng(3)
+        a_forms = [random_form(rng) for _ in range(128)]
+        b_forms = [random_form(rng) for _ in range(128)]
+        merged, tightness = batched_maximum(
+            BatchedForms.from_forms(a_forms),
+            BatchedForms.from_forms(b_forms),
+            kernel=kernel,
+        )
+        assert_forms_equal(
+            merged, [a.maximum(b) for a, b in zip(a_forms, b_forms)]
+        )
+        assert np.all((tightness >= 0.0) & (tightness <= 1.0))
+
+    @pytest.mark.parametrize("kernel", ["vectorized", "compiled"])
+    def test_degenerate_rows_copy_winner(self, kernel):
+        # Perfectly correlated equal-spread rows hit the theta^2 floor;
+        # the reference returns the larger-mean operand object.
+        a_forms = [CanonicalForm(5.0, {0: 1.0}), CanonicalForm(1.0, {1: 2.0})]
+        b_forms = [CanonicalForm(3.0, {0: 1.0}), CanonicalForm(4.0, {1: 2.0})]
+        merged, tightness = batched_maximum(
+            BatchedForms.from_forms(a_forms, 2),
+            BatchedForms.from_forms(b_forms, 2),
+            kernel=kernel,
+        )
+        assert_forms_equal(
+            merged, [a.maximum(b) for a, b in zip(a_forms, b_forms)], 2
+        )
+        assert tightness.tolist() == [1.0, 0.0]
+
+    def test_deterministic_forms(self):
+        # Zero-variance operands (no factors at all) stay degenerate-safe.
+        a = BatchedForms.from_forms([CanonicalForm(2.0)], 0)
+        b = BatchedForms.from_forms([CanonicalForm(7.0)], 0)
+        merged, tightness = batched_maximum(a, b)
+        assert merged.means[0] == 7.0
+        assert tightness[0] == 0.0
+
+
+def layered_dag(rng, n_layers=5, width=4, extra_skips=3):
+    """Random layered DAG with mixed fan-in plus a few skip edges."""
+    g = nx.DiGraph()
+    layers = [
+        [f"n{depth}_{i}" for i in range(int(rng.integers(2, width + 1)))]
+        for depth in range(n_layers)
+    ]
+    for depth in range(1, n_layers):
+        for node in layers[depth]:
+            n_preds = int(rng.integers(1, len(layers[depth - 1]) + 1))
+            preds = rng.choice(layers[depth - 1], size=n_preds, replace=False)
+            for p in preds:
+                g.add_edge(str(p), node)
+    flat = [n for layer in layers for n in layer]
+    for _ in range(extra_skips):
+        src, dst = rng.choice(len(flat), size=2, replace=False)
+        if src < dst and flat[dst] not in layers[0]:
+            g.add_edge(flat[src], flat[dst])
+    for node in flat:
+        g.add_node(node)
+    return g, layers[0], flat
+
+
+class TestArrivalTimes:
+    @pytest.mark.parametrize("kernel", ["vectorized", "compiled"])
+    def test_bitwise_vs_reference_random_dags(self, kernel):
+        rng = np.random.default_rng(4)
+        for trial in range(8):
+            g, sources, flat = layered_dag(rng)
+            delays = {n: random_form(rng) for n in flat if n not in sources}
+            ref = topological_arrival_times(g, delays, sources)
+            got = arrival_times(g, delays, sources, kernel=kernel)
+            assert set(got) == set(ref)
+            for node, form in ref.items():
+                batched = BatchedForms.from_forms([got[node]], N_FACTORS)
+                assert_forms_equal(batched, [form])
+
+    def test_source_arrivals_bitwise(self):
+        rng = np.random.default_rng(5)
+        g, sources, flat = layered_dag(rng)
+        delays = {n: random_form(rng) for n in flat if n not in sources}
+        starts = {s: random_form(rng) for s in sources}
+        ref = topological_arrival_times(g, delays, sources, starts)
+        got = arrival_times(g, delays, sources, starts, kernel="vectorized")
+        for node, form in ref.items():
+            assert_forms_equal(
+                BatchedForms.from_forms([got[node]], N_FACTORS), [form]
+            )
+
+    def test_reference_kernel_delegates(self):
+        rng = np.random.default_rng(6)
+        g, sources, flat = layered_dag(rng)
+        delays = {n: random_form(rng) for n in flat if n not in sources}
+        ref = topological_arrival_times(g, delays, sources)
+        got = arrival_times(g, delays, sources, kernel="reference")
+        assert got.keys() == ref.keys()
+
+    def test_unreachable_nodes_absent(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b")])
+        g.add_node("island")
+        got = arrival_times(
+            g, {"b": CanonicalForm(1.0)}, ["a"], kernel="vectorized"
+        )
+        assert "island" not in got
+        assert got["b"].mean == 1.0
+
+    def test_missing_interior_delay_raises(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b"), ("b", "c")])
+        with pytest.raises(KeyError, match="'c'"):
+            arrival_times(g, {"b": CanonicalForm(1.0)}, ["a"], kernel="vectorized")
+
+    def test_cyclic_rejected(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError, match="acyclic"):
+            arrival_times(g, {}, ["a"], kernel="vectorized")
+
+    def test_detached_source_reported(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b")])
+        ref = topological_arrival_times(g, {"b": CanonicalForm(1.0)}, ["a", "ghost"])
+        got = arrival_times(
+            g, {"b": CanonicalForm(1.0)}, ["a", "ghost"], kernel="vectorized"
+        )
+        assert set(got) == set(ref)
+        assert got["ghost"].mean == 0.0
+
+    def test_bad_kernel_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError, match="kernel"):
+            arrival_times(g, {"b": CanonicalForm(1.0)}, ["a"], kernel="simd")
+
+
+class TestCriticality:
+    @pytest.mark.parametrize("kernel", ["vectorized", "compiled"])
+    def test_member_bitwise_vs_reference(self, kernel):
+        rng = np.random.default_rng(7)
+        for size in (2, 3, 7):
+            forms = BatchedForms.from_forms(
+                [random_form(rng) for _ in range(size)]
+            )
+            ref = member_criticality(forms, kernel="reference")
+            got = member_criticality(forms, kernel=kernel)
+            assert np.array_equal(got, ref)
+            assert np.all((got >= 0.0) & (got <= 1.0))
+
+    def test_singleton_is_certain(self):
+        forms = BatchedForms.from_forms([CanonicalForm(1.0, {0: 1.0})])
+        assert member_criticality(forms).tolist() == [1.0]
+
+    def test_dominant_member_near_one(self):
+        rng = np.random.default_rng(8)
+        forms = [random_form(rng) for _ in range(4)]
+        forms.append(CanonicalForm(100.0, {0: 0.5}))
+        crit = member_criticality(BatchedForms.from_forms(forms))
+        assert crit[-1] == pytest.approx(1.0, abs=1e-9)
+        assert np.all(crit[:-1] < 1e-6)
+
+    def test_group_criticality_shapes(self):
+        rng = np.random.default_rng(9)
+        forms = BatchedForms.from_forms([random_form(rng) for _ in range(6)])
+        groups = [np.array([0, 1, 2]), np.array([3]), np.array([], dtype=int)]
+        crit = group_criticality(forms, groups, kernel="vectorized")
+        assert [len(c) for c in crit] == [3, 1, 0]
+        assert crit[1].tolist() == [1.0]
+
+    def test_pair_criticality_sums_near_one(self):
+        rng = np.random.default_rng(10)
+        forms = BatchedForms.from_forms([random_form(rng) for _ in range(6)])
+        groups = [np.array([0, 1]), np.array([2, 3]), np.array([4, 5])]
+        crit = pair_criticality(forms, groups, kernel="vectorized")
+        assert crit.shape == (3,)
+        assert crit.sum() == pytest.approx(1.0, abs=0.05)
+
+    def test_pair_criticality_empty_group_rejected(self):
+        forms = BatchedForms.from_forms([CanonicalForm(1.0, {0: 1.0})])
+        with pytest.raises(ValueError, match="non-empty"):
+            pair_criticality(forms, [np.array([], dtype=int)])
+
+    def test_kernel_menu(self):
+        assert CRITICALITY_KERNELS == (
+            "auto", "compiled", "vectorized", "reference"
+        )

@@ -6,10 +6,42 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.prediction import (
+    IncrementalConditioner,
     build_predictor,
     conditional_stds_if_tested,
+    greedy_fill_ranking,
 )
 from repro.variation.correlation import PathDelayModel
+
+
+def random_model(rng, n_paths=8, n_factors=4, collinear=False):
+    """Random path-delay model; ``collinear=True`` makes rows of the
+    loading matrix near-linearly-dependent (the jitter regime)."""
+    loadings = rng.normal(size=(n_paths, n_factors))
+    if collinear:
+        base = rng.normal(size=n_factors)
+        loadings = np.outer(
+            rng.uniform(0.5, 1.5, size=n_paths), base
+        ) + 1e-6 * loadings
+    independent = rng.uniform(0.01, 0.5, size=n_paths)
+    return PathDelayModel(
+        rng.normal(size=n_paths) + 10.0, loadings, independent
+    )
+
+
+def mvn_oracle(model, tested, measured):
+    """Brute-force conditional MVN via dense linear algebra (eqs. 4-5)."""
+    cov = model.loadings @ model.loadings.T + np.diag(model.independent**2)
+    tested = np.asarray(tested, dtype=np.intp)
+    predicted = np.setdiff1d(np.arange(model.n_paths, dtype=np.intp), tested)
+    s_tt = cov[np.ix_(tested, tested)]
+    s_kt = cov[np.ix_(predicted, tested)]
+    solve = np.linalg.solve(s_tt, (measured - model.means[tested]))
+    mu = model.means[predicted] + s_kt @ solve
+    cond_cov = cov[np.ix_(predicted, predicted)] - s_kt @ np.linalg.solve(
+        s_tt, s_kt.T
+    )
+    return mu, np.sqrt(np.maximum(np.diag(cond_cov), 0.0))
 
 
 def correlated_model(rho: float = 0.9) -> PathDelayModel:
@@ -107,6 +139,121 @@ class TestConditionalStdsIfTested:
         stds = conditional_stds_if_tested(model, [1])
         pred = build_predictor(model, [1])
         np.testing.assert_allclose(stds, pred.conditional_stds)
+
+
+class TestAgainstMvnOracle:
+    """Randomized pins of eqs. 4-5 against a brute-force dense oracle."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_well_conditioned(self, seed):
+        rng = np.random.default_rng(seed)
+        model = random_model(rng)
+        tested = sorted(rng.choice(8, size=3, replace=False).tolist())
+        measured = model.means[tested] + rng.normal(size=3)
+        pred = build_predictor(model, tested)
+        mu_oracle, stds_oracle = mvn_oracle(model, tested, measured)
+        np.testing.assert_allclose(
+            pred.predict_means(measured), mu_oracle, rtol=1e-6, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            pred.conditional_stds, stds_oracle, rtol=1e-5, atol=1e-7
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_near_collinear_jitter_regime(self, seed):
+        # Nearly rank-1 loadings: the unjittered tested block is close to
+        # singular; the predictor must stay finite and oracle-consistent.
+        rng = np.random.default_rng(100 + seed)
+        model = random_model(rng, collinear=True)
+        tested = sorted(rng.choice(8, size=3, replace=False).tolist())
+        measured = model.means[tested] + rng.normal(size=3) * 0.1
+        pred = build_predictor(model, tested)
+        assert np.all(np.isfinite(pred.weights))
+        assert np.all(np.isfinite(pred.conditional_stds))
+        mu_oracle, stds_oracle = mvn_oracle(model, tested, measured)
+        # The jitter perturbs the solve at the 1e-9 scale; the private
+        # terms keep the oracle itself well-posed here.
+        np.testing.assert_allclose(
+            pred.predict_means(measured), mu_oracle, rtol=1e-4, atol=1e-5
+        )
+        np.testing.assert_allclose(
+            pred.conditional_stds, stds_oracle, rtol=1e-3, atol=1e-5
+        )
+
+
+class TestIncrementalConditioner:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense_rebuild_after_extensions(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        model = random_model(rng, n_paths=10)
+        conditioner = IncrementalConditioner(model, [0, 3])
+        tested = [0, 3]
+        for path in (7, 1, 9):
+            conditioner.extend(path)
+            tested.append(path)
+            dense = build_predictor(model, tested)
+            pos = {int(p): i for i, p in enumerate(dense.predicted_idx)}
+            expected = np.array(
+                [
+                    dense.conditional_stds[pos[int(p)]]
+                    for p in conditioner.predicted_idx
+                ]
+            )
+            np.testing.assert_allclose(
+                conditioner.conditional_stds(), expected, rtol=1e-5, atol=1e-7
+            )
+        assert sorted(conditioner.tested_idx.tolist()) == sorted(tested)
+
+    def test_collinear_extension_stays_finite(self):
+        rng = np.random.default_rng(42)
+        model = random_model(rng, collinear=True)
+        conditioner = IncrementalConditioner(model, [0])
+        for path in (1, 2, 3):
+            conditioner.extend(path)
+        assert np.all(np.isfinite(conditioner.conditional_stds()))
+
+    def test_validation(self):
+        model = correlated_model()
+        with pytest.raises(ValueError):
+            IncrementalConditioner(model, [])
+        conditioner = IncrementalConditioner(model, [1])
+        with pytest.raises(ValueError, match="not available"):
+            conditioner.extend(1)
+        with pytest.raises(ValueError, match="not available"):
+            conditioner.extend(99)
+
+
+class TestGreedyFillRanking:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_matches_dense(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        model = random_model(rng, n_paths=12)
+        candidates = list(range(2, 12))
+        fast = greedy_fill_ranking(model, [0, 1], candidates, 5)
+        slow = greedy_fill_ranking(model, [0, 1], candidates, 5, mode="dense")
+        assert fast == slow
+
+    def test_sequential_beats_static_on_collinear_candidates(self):
+        # Two near-identical candidates: static ranking picks both, the
+        # sequential greedy spends its second slot on fresh information.
+        loadings = np.array([
+            [1.0, 0.0, 0.0],
+            [0.9, 1.0, 0.0],
+            [0.9, 1.0, 1e-6],
+            [0.0, 0.0, 1.0],
+        ])
+        model = PathDelayModel(
+            np.full(4, 10.0), loadings, np.full(4, 1e-3)
+        )
+        picks = greedy_fill_ranking(model, [0], [1, 2, 3], 2)
+        assert 3 in picks  # the independent path earns the second slot
+
+    def test_budget_and_mode_validation(self):
+        model = correlated_model()
+        assert greedy_fill_ranking(model, [0], [1, 2], 0) == []
+        assert len(greedy_fill_ranking(model, [0], [1], 5)) == 1
+        with pytest.raises(ValueError, match="mode"):
+            greedy_fill_ranking(model, [0], [1], 1, mode="static")
 
 
 @settings(max_examples=25, deadline=None)

@@ -32,7 +32,7 @@ class TestShim:
 
         lower = np.array([[0.0]])
         upper = np.array([[8.0]])
-        pathwise_step_kernel(lower, upper, np.array([[3.0]]), 1.0, 10)
+        pathwise_step_kernel(lower, upper, np.array([[3.0]]), np.array([1.0]), 10)
         assert upper[0, 0] - lower[0, 0] < 1.0
         assert lower[0, 0] <= 3.0 <= upper[0, 0]
 

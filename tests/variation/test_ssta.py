@@ -45,8 +45,16 @@ class TestArrivalTimes:
     def test_unreachable_nodes_absent(self):
         g = chain_graph()
         g.add_node("island")
-        arrivals = topological_arrival_times(g, {}, ["a"])
+        delays = {"b": CanonicalForm(1.0), "c": CanonicalForm(1.0)}
+        arrivals = topological_arrival_times(g, delays, ["a"])
         assert "island" not in arrivals
+
+    def test_missing_interior_delay_raises(self):
+        # A reachable node without a declared delay must fail loudly
+        # instead of silently propagating a delay-free arrival.
+        delays = {"b": CanonicalForm(1.0)}
+        with pytest.raises(KeyError, match="'c'"):
+            topological_arrival_times(chain_graph(), delays, ["a"])
 
     def test_cyclic_rejected(self):
         g = nx.DiGraph()
